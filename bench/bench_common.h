@@ -1,0 +1,88 @@
+#ifndef LSCHED_BENCH_BENCH_COMMON_H_
+#define LSCHED_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/agent.h"
+#include "core/trainer.h"
+#include "exec/sim_engine.h"
+#include "sched/decima.h"
+#include "sched/selftune.h"
+#include "workload/workload.h"
+
+namespace lsched {
+namespace bench {
+
+/// Shared knobs for the figure-reproduction benchmarks. Episode counts are
+/// scaled down from the paper's 5000/3000 real-execution episodes to a
+/// simulator-friendly default; set LSCHED_EPISODES to change, and
+/// LSCHED_MODEL_DIR to relocate the trained-model cache.
+struct BenchConfig {
+  int threads = 60;       ///< paper default
+  int episodes = 80;      ///< per trained model (env: LSCHED_EPISODES)
+  int eval_queries = 80;  ///< paper's test workloads
+  double eval_interarrival = 0.05;
+  uint64_t seed = 1234;
+  std::string model_dir = "/tmp/lsched_models";
+
+  static BenchConfig FromEnv();
+};
+
+/// Simulator with the default cost model at `threads`.
+SimEngine MakeEngine(int threads, uint64_t seed = 7);
+
+/// The §7.1 training-episode factory for `benchmark` (training split,
+/// varying query counts and arrival rates).
+WorkloadFactory TrainFactory(Benchmark benchmark);
+
+/// Test workload (held-out split) per §7.1.
+std::vector<QuerySubmission> TestWorkload(Benchmark benchmark,
+                                          int num_queries, bool batch,
+                                          double mean_interarrival,
+                                          uint64_t seed);
+
+/// Default LSched network configuration used across benchmarks; the
+/// ablation toggles default to the full system.
+LSchedConfig DefaultLSchedConfig();
+
+/// Trains (or loads from the model cache) an LSched model for `benchmark`
+/// with the given config. `variant` tags the cache entry (e.g. "full",
+/// "nogat"). Returns the trained model.
+std::unique_ptr<LSchedModel> TrainedLSched(const BenchConfig& bench,
+                                           Benchmark benchmark,
+                                           const std::string& variant,
+                                           LSchedConfig config,
+                                           int episodes_override = -1,
+                                           LSchedModel* warm_start = nullptr);
+
+/// Trains (or loads) a Decima model for `benchmark`.
+std::unique_ptr<DecimaModel> TrainedDecima(const BenchConfig& bench,
+                                           Benchmark benchmark,
+                                           int episodes_override = -1);
+
+/// Tunes SelfTune's hyper-parameters on training workloads of `benchmark`.
+SelfTuneParams TunedSelfTune(const BenchConfig& bench, Benchmark benchmark,
+                             int iterations = 12);
+
+/// Prints "name: p10 p20 ... p100" of per-query durations (the CDF rows of
+/// Figs. 8-10) plus the mean.
+void PrintCdfRow(const std::string& name,
+                 const std::vector<double>& latencies);
+
+/// Prints a one-line summary and returns the mean.
+double PrintAvgRow(const std::string& name, const EpisodeResult& result);
+
+/// The full Figs. 8/9/10 experiment: trains LSched and Decima on the
+/// training split of `benchmark`, tunes SelfTune, then prints the CDF of
+/// average query duration for every paper competitor under streaming and
+/// batched test workloads, plus LSched's improvement over Decima.
+/// `include_fifo` matches Fig. 8 (FIFO is dropped after TPCH).
+void RunHeadlineComparison(const BenchConfig& bench, Benchmark benchmark,
+                           bool include_fifo);
+
+}  // namespace bench
+}  // namespace lsched
+
+#endif  // LSCHED_BENCH_BENCH_COMMON_H_

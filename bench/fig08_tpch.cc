@@ -1,0 +1,13 @@
+// Reproduces Figure 8: CDF of average query duration under streaming and
+// batched TPCH test workloads for LSched vs Decima / Quickstep / SelfTune /
+// Fair / FIFO. Paper shape: LSched best; >= 35% (streaming) and >= 50%
+// (batching) improvement over Decima; FIFO worst by far.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace lsched::bench;
+  const BenchConfig cfg = BenchConfig::FromEnv();
+  std::printf("Figure 8 — TPCH streaming/batching comparison\n");
+  RunHeadlineComparison(cfg, lsched::Benchmark::kTpch, /*include_fifo=*/true);
+  return 0;
+}

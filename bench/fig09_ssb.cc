@@ -1,0 +1,13 @@
+// Reproduces Figure 9: CDF of average query duration on SSB (streaming and
+// batching). Paper shape: LSched best but with a smaller gap than TPCH
+// because SSB's max scale factor (50) makes queries lighter; FIFO omitted
+// after Fig. 8.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace lsched::bench;
+  const BenchConfig cfg = BenchConfig::FromEnv();
+  std::printf("Figure 9 — SSB streaming/batching comparison\n");
+  RunHeadlineComparison(cfg, lsched::Benchmark::kSsb, /*include_fifo=*/false);
+  return 0;
+}

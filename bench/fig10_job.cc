@@ -1,0 +1,13 @@
+// Reproduces Figure 10: CDF of average query duration on JOB (streaming and
+// batching). Paper shape: LSched's gain is larger than on TPCH/SSB
+// (>= 38% / 59% over Decima) because JOB's join-heavy queries (up to 17
+// joins) reward careful scheduling.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace lsched::bench;
+  const BenchConfig cfg = BenchConfig::FromEnv();
+  std::printf("Figure 10 — JOB streaming/batching comparison\n");
+  RunHeadlineComparison(cfg, lsched::Benchmark::kJob, /*include_fifo=*/false);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Reproduces Figure 11: (a) average query duration while scaling worker
+// threads 20 -> 100 and (b) while varying the mean inter-query arrival gap.
+// Paper shape: all scale with threads; Fair catches up at very high thread
+// counts (smart decisions matter less when resources are abundant); the
+// gap between LSched and the rest shrinks as arrivals become sparse.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "sched/heuristics.h"
+
+int main() {
+  using namespace lsched;
+  using namespace lsched::bench;
+  const BenchConfig cfg = BenchConfig::FromEnv();
+
+  auto lsched_model =
+      TrainedLSched(cfg, Benchmark::kTpch, "full", DefaultLSchedConfig());
+  auto decima_model = TrainedDecima(cfg, Benchmark::kTpch);
+  const SelfTuneParams st_params = TunedSelfTune(cfg, Benchmark::kTpch);
+
+  std::printf("Figure 11a — avg query duration (sec) vs #worker threads "
+              "(TPCH, %d streaming queries)\n", cfg.eval_queries);
+  std::printf("%8s %10s %10s %10s %10s %10s\n", "threads", "LSched",
+              "Decima", "Quickstep", "SelfTune", "Fair");
+  for (int threads : {20, 40, 60, 80, 100}) {
+    SimEngine engine = MakeEngine(threads, cfg.seed + 2);
+    const auto workload = TestWorkload(Benchmark::kTpch, cfg.eval_queries,
+                                       false, cfg.eval_interarrival,
+                                       cfg.seed + 99);
+    LSchedAgent lsched(lsched_model.get());
+    DecimaScheduler decima(decima_model.get());
+    QuickstepScheduler quickstep;
+    SelfTuneScheduler selftune(st_params);
+    FairScheduler fair;
+    std::printf("%8d", threads);
+    for (Scheduler* s : std::initializer_list<Scheduler*>{
+             &lsched, &decima, &quickstep, &selftune, &fair}) {
+      std::printf(" %10.3f", engine.Run(workload, s).avg_latency);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nFigure 11b — avg query duration (sec) vs mean inter-query "
+              "arrival gap (ms) (TPCH, %d streaming queries, %d threads)\n",
+              cfg.eval_queries, cfg.threads);
+  std::printf("%8s %10s %10s %10s %10s %10s\n", "gap_ms", "LSched",
+              "Decima", "Quickstep", "SelfTune", "Fair");
+  for (int gap_ms : {10, 50, 100, 200, 400}) {
+    SimEngine engine = MakeEngine(cfg.threads, cfg.seed + 3);
+    const auto workload =
+        TestWorkload(Benchmark::kTpch, cfg.eval_queries, false,
+                     gap_ms / 1000.0, cfg.seed + 100);
+    LSchedAgent lsched(lsched_model.get());
+    DecimaScheduler decima(decima_model.get());
+    QuickstepScheduler quickstep;
+    SelfTuneScheduler selftune(st_params);
+    FairScheduler fair;
+    std::printf("%8d", gap_ms);
+    for (Scheduler* s : std::initializer_list<Scheduler*>{
+             &lsched, &decima, &quickstep, &selftune, &fair}) {
+      std::printf(" %10.3f", engine.Run(workload, s).avg_latency);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

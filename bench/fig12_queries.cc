@@ -1,0 +1,45 @@
+// Reproduces Figure 12: average query duration while varying the number of
+// (a) streaming and (b) batched queries from 20 to 100 at 60 threads.
+// Paper shape: schedulers are close at small counts; past the thread count
+// they degrade, with LSched degrading most gracefully.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "sched/heuristics.h"
+
+int main() {
+  using namespace lsched;
+  using namespace lsched::bench;
+  const BenchConfig cfg = BenchConfig::FromEnv();
+
+  auto lsched_model =
+      TrainedLSched(cfg, Benchmark::kTpch, "full", DefaultLSchedConfig());
+  auto decima_model = TrainedDecima(cfg, Benchmark::kTpch);
+  const SelfTuneParams st_params = TunedSelfTune(cfg, Benchmark::kTpch);
+
+  for (const bool batch : {false, true}) {
+    std::printf("\nFigure 12%s — avg query duration (sec) vs #%s queries "
+                "(TPCH, %d threads)\n",
+                batch ? "b" : "a", batch ? "batched" : "streaming",
+                cfg.threads);
+    std::printf("%8s %10s %10s %10s %10s %10s\n", "queries", "LSched",
+                "Decima", "Quickstep", "SelfTune", "Fair");
+    for (int n : {20, 40, 60, 80, 100}) {
+      SimEngine engine = MakeEngine(cfg.threads, cfg.seed + 4);
+      const auto workload = TestWorkload(
+          Benchmark::kTpch, n, batch, cfg.eval_interarrival, cfg.seed + 101);
+      LSchedAgent lsched(lsched_model.get());
+      DecimaScheduler decima(decima_model.get());
+      QuickstepScheduler quickstep;
+      SelfTuneScheduler selftune(st_params);
+      FairScheduler fair;
+      std::printf("%8d", n);
+      for (Scheduler* s : std::initializer_list<Scheduler*>{
+               &lsched, &decima, &quickstep, &selftune, &fair}) {
+        std::printf(" %10.3f", engine.Run(workload, s).avg_latency);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

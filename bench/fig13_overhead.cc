@@ -1,0 +1,60 @@
+// Reproduces Figure 13: (a) average scheduling latency per query (the cost
+// of running the policy itself) and (b) the number of scheduling actions
+// the learned agents take, as the streaming TPCH workload grows 20 -> 100
+// queries. Paper shape: learned schedulers cost orders of magnitude more
+// per decision than heuristics (neural network inference) but the total is
+// still ~100x smaller than the execution time it saves; actions grow with
+// the query count into the thousands.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "sched/heuristics.h"
+
+int main() {
+  using namespace lsched;
+  using namespace lsched::bench;
+  const BenchConfig cfg = BenchConfig::FromEnv();
+
+  auto lsched_model =
+      TrainedLSched(cfg, Benchmark::kTpch, "full", DefaultLSchedConfig());
+  auto decima_model = TrainedDecima(cfg, Benchmark::kTpch);
+  const SelfTuneParams st_params = TunedSelfTune(cfg, Benchmark::kTpch);
+
+  std::printf("Figure 13a — avg scheduling latency per query (msec, wall "
+              "clock inside Schedule())\n");
+  std::printf("%8s %10s %10s %10s %10s %10s\n", "queries", "LSched",
+              "Decima", "Quickstep", "SelfTune", "Fair");
+  std::printf("Figure 13b columns appended: #scheduling actions "
+              "(LSched, Decima)\n");
+  for (int n : {20, 40, 60, 80, 100}) {
+    SimEngine engine = MakeEngine(cfg.threads, cfg.seed + 5);
+    const auto workload = TestWorkload(Benchmark::kTpch, n, false,
+                                       cfg.eval_interarrival, cfg.seed + 102);
+    LSchedAgent lsched(lsched_model.get());
+    DecimaScheduler decima(decima_model.get());
+    QuickstepScheduler quickstep;
+    SelfTuneScheduler selftune(st_params);
+    FairScheduler fair;
+    std::printf("%8d", n);
+    int lsched_actions = 0, decima_actions = 0;
+    struct Entry {
+      Scheduler* sched;
+      bool is_lsched;
+      bool is_decima;
+    };
+    for (const Entry& e : std::initializer_list<Entry>{
+             {&lsched, true, false},
+             {&decima, false, true},
+             {&quickstep, false, false},
+             {&selftune, false, false},
+             {&fair, false, false}}) {
+      const EpisodeResult r = engine.Run(workload, e.sched);
+      std::printf(" %10.4f",
+                  1000.0 * r.scheduler_wall_seconds / static_cast<double>(n));
+      if (e.is_lsched) lsched_actions = r.num_actions;
+      if (e.is_decima) decima_actions = r.num_actions;
+    }
+    std::printf("   | actions: %6d %6d\n", lsched_actions, decima_actions);
+  }
+  return 0;
+}

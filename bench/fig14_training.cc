@@ -1,0 +1,90 @@
+// Reproduces Figure 14: (a) test-set average query duration as the number
+// of training episodes grows, for LSched vs Decima (paper shape: LSched
+// saturates in ~40% of the episodes Decima needs), and (b) the average
+// episode reward with vs without transfer learning when moving TPCH -> SSB
+// (paper shape: transfer halves the episodes needed to reach a good
+// reward; reward is negative because it is a latency penalty).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "util/math_util.h"
+
+int main() {
+  using namespace lsched;
+  using namespace lsched::bench;
+  const BenchConfig cfg = BenchConfig::FromEnv();
+  const int total_episodes = cfg.episodes;
+  const int checkpoints = 5;
+  const int step = std::max(1, total_episodes / checkpoints);
+
+  // --- 14a: test latency vs training episodes -----------------------------
+  std::printf("Figure 14a — TPCH test avg query duration (sec) vs training "
+              "episodes\n");
+  std::printf("%10s %10s %10s\n", "episodes", "LSched", "Decima");
+  const auto test = TestWorkload(Benchmark::kTpch, cfg.eval_queries, false,
+                                 cfg.eval_interarrival, cfg.seed + 99);
+  {
+    LSchedModel lmodel(DefaultLSchedConfig());
+    DecimaModel dmodel(DecimaConfig{});
+    SimEngine train_engine = MakeEngine(cfg.threads, cfg.seed);
+    SimEngine eval_engine = MakeEngine(cfg.threads, cfg.seed + 1);
+    TrainConfig tcfg;
+    tcfg.learning_rate = 2e-3;
+    tcfg.episodes = 0;  // driven manually below
+    ReinforceTrainer ltrainer(&lmodel, &train_engine, tcfg);
+    DecimaTrainer dtrainer(&dmodel, &train_engine, 0, 2e-3);
+    WorkloadFactory factory = TrainFactory(Benchmark::kTpch);
+    Rng rng(cfg.seed);
+    for (int done = 0; done < total_episodes; done += step) {
+      for (int e = 0; e < step; ++e) {
+        const auto w = factory(done + e, &rng);
+        ltrainer.TrainOneEpisode(w);
+        dtrainer.TrainOneEpisode(w);
+      }
+      LSchedAgent lagent(&lmodel);
+      DecimaScheduler dagent(&dmodel);
+      std::printf("%10d %10.3f %10.3f\n", done + step,
+                  eval_engine.Run(test, &lagent).avg_latency,
+                  eval_engine.Run(test, &dagent).avg_latency);
+    }
+  }
+
+  // --- 14b: transfer learning TPCH -> SSB ---------------------------------
+  std::printf("\nFigure 14b — SSB avg episode reward vs episodes, with and "
+              "without transfer learning from the TPCH model\n");
+  std::printf("%10s %14s %14s\n", "episodes", "with_TL", "without_TL");
+  auto base = TrainedLSched(cfg, Benchmark::kTpch, "full",
+                            DefaultLSchedConfig());
+
+  LSchedModel with_tl(DefaultLSchedConfig());
+  with_tl.params()->CopyValuesFrom(*base->params());
+  with_tl.FreezeForTransfer();
+  LSchedModel without_tl(DefaultLSchedConfig());
+
+  SimEngine engine = MakeEngine(cfg.threads, cfg.seed + 6);
+  TrainConfig tcfg;
+  tcfg.learning_rate = 2e-3;
+  ReinforceTrainer tl_trainer(&with_tl, &engine, tcfg);
+  ReinforceTrainer scratch_trainer(&without_tl, &engine, tcfg);
+  WorkloadFactory factory = TrainFactory(Benchmark::kSsb);
+  Rng rng(cfg.seed + 7);
+  std::vector<double> tl_rewards, scratch_rewards;
+  for (int done = 0; done < total_episodes; done += step) {
+    for (int e = 0; e < step; ++e) {
+      const auto w = factory(done + e, &rng);
+      tl_rewards.push_back(tl_trainer.TrainOneEpisode(w));
+      scratch_rewards.push_back(scratch_trainer.TrainOneEpisode(w));
+    }
+    // Report the mean reward over the last window (smoother curve).
+    auto window_mean = [&](const std::vector<double>& v) {
+      double s = 0.0;
+      for (size_t i = v.size() - static_cast<size_t>(step); i < v.size(); ++i) {
+        s += v[i];
+      }
+      return s / step;
+    };
+    std::printf("%10d %14.2f %14.2f\n", done + step, window_mean(tl_rewards),
+                window_mean(scratch_rewards));
+  }
+  return 0;
+}

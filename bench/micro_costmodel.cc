@@ -1,0 +1,157 @@
+// Calibration harness for the simulator's cost model: measures REAL kernel
+// work-order durations in RealEngine's QueryExecution and compares the
+// relative costs against the cost model's BaseCostPerRow ratios, plus
+// google-benchmark throughput numbers for the individual kernels.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "exec/kernels.h"
+#include "plan/cost_model.h"
+#include "plan/plan_builder.h"
+#include "storage/table_generator.h"
+#include "util/clock.h"
+
+namespace lsched {
+namespace {
+
+std::unique_ptr<Catalog> MakeCatalog() {
+  auto catalog = std::make_unique<Catalog>();
+  Rng rng(11);
+  TableSpec t;
+  t.name = "t";
+  t.num_rows = 64 * 1024;
+  t.block_capacity = 4096;
+  t.columns = {
+      {"k", DataType::kInt64, ColumnDistribution::kSequential, 0, 0, 0},
+      {"g", DataType::kInt64, ColumnDistribution::kUniformInt, 0, 63, 0},
+      {"v", DataType::kDouble, ColumnDistribution::kUniformReal, 0, 1, 0}};
+  (void)catalog->AddRelation(GenerateTable(t, &rng));
+  TableSpec d;
+  d.name = "d";
+  d.num_rows = 8 * 1024;
+  d.block_capacity = 4096;
+  d.columns = {
+      {"k", DataType::kInt64, ColumnDistribution::kSequential, 0, 0, 0},
+      {"w", DataType::kDouble, ColumnDistribution::kUniformReal, 0, 1, 0}};
+  (void)catalog->AddRelation(GenerateTable(d, &rng));
+  return catalog;
+}
+
+struct KernelUnderTest {
+  OperatorType type;
+  QueryPlan plan;
+  int target_op;
+};
+
+KernelUnderTest MakeScanCase(const Catalog& catalog, OperatorType type) {
+  PlanBuilder b(&catalog);
+  PlanBuilder::NodeOptions opts;
+  opts.kernel.filter_column = 2;
+  opts.kernel.filter_lo = 0.25;
+  opts.kernel.filter_hi = 0.75;
+  const int op = b.AddSource(type, 0, opts);
+  auto plan = b.Build();
+  return {type, std::move(plan).value(), op};
+}
+
+double MeasureScanSecondsPerWorkOrder(const Catalog& catalog,
+                                      OperatorType type) {
+  KernelUnderTest cut = MakeScanCase(catalog, type);
+  QueryExecution exec(&catalog, &cut.plan, 4096);
+  const int wos = exec.NumWorkOrders(cut.target_op);
+  Stopwatch sw;
+  for (int i = 0; i < wos; ++i) {
+    (void)exec.ExecuteWorkOrder({cut.target_op}, i);
+  }
+  return sw.ElapsedSeconds() / wos;
+}
+
+void BM_SelectKernel(benchmark::State& s) {
+  auto catalog = MakeCatalog();
+  KernelUnderTest cut = MakeScanCase(*catalog, OperatorType::kSelect);
+  QueryExecution exec(catalog.get(), &cut.plan, 4096);
+  int i = 0;
+  const int wos = exec.NumWorkOrders(cut.target_op);
+  for (auto _ : s) {
+    (void)exec.ExecuteWorkOrder({cut.target_op}, i % wos);
+    ++i;
+  }
+  s.SetItemsProcessed(s.iterations() * 4096);
+}
+BENCHMARK(BM_SelectKernel);
+
+void BM_BuildHashKernel(benchmark::State& s) {
+  auto catalog = MakeCatalog();
+  for (auto _ : s) {
+    s.PauseTiming();
+    PlanBuilder b(catalog.get());
+    const int scan = b.AddSource(OperatorType::kTableScan, 1, {});
+    PlanBuilder::NodeOptions build_opts;
+    build_opts.kernel.build_key = 0;
+    const int build = b.AddOp(OperatorType::kBuildHash, {scan}, build_opts);
+    auto plan = b.Build();
+    QueryExecution exec(catalog.get(), &*plan, 4096);
+    const int wos = exec.NumWorkOrders(scan);
+    for (int i = 0; i < wos; ++i) (void)exec.ExecuteWorkOrder({scan}, i);
+    s.ResumeTiming();
+    for (int i = 0; i < exec.NumWorkOrders(build); ++i) {
+      (void)exec.ExecuteWorkOrder({build}, i);
+    }
+  }
+  s.SetItemsProcessed(s.iterations() * 8192);
+}
+BENCHMARK(BM_BuildHashKernel);
+
+void BM_HashAggregateKernel(benchmark::State& s) {
+  auto catalog = MakeCatalog();
+  PlanBuilder b(catalog.get());
+  const int scan = b.AddSource(OperatorType::kTableScan, 0, {});
+  PlanBuilder::NodeOptions agg_opts;
+  agg_opts.kernel.group_by_column = 1;
+  agg_opts.kernel.agg_column = 2;
+  agg_opts.kernel.agg_fn = AggFn::kSum;
+  const int agg = b.AddOp(OperatorType::kHashAggregate, {scan}, agg_opts);
+  auto plan = b.Build();
+  QueryExecution exec(catalog.get(), &*plan, 4096);
+  const int swos = exec.NumWorkOrders(scan);
+  for (int i = 0; i < swos; ++i) (void)exec.ExecuteWorkOrder({scan}, i);
+  int i = 0;
+  const int awos = exec.NumWorkOrders(agg);
+  for (auto _ : s) {
+    (void)exec.ExecuteWorkOrder({agg}, i % awos);
+    ++i;
+  }
+  s.SetItemsProcessed(s.iterations() * 4096);
+}
+BENCHMARK(BM_HashAggregateKernel);
+
+/// Not a google-benchmark: prints the calibration table comparing measured
+/// relative kernel costs against the cost model's assumed ratios.
+void PrintCalibrationTable() {
+  auto catalog = MakeCatalog();
+  const double select_s =
+      MeasureScanSecondsPerWorkOrder(*catalog, OperatorType::kSelect);
+  const double scan_s =
+      MeasureScanSecondsPerWorkOrder(*catalog, OperatorType::kTableScan);
+  std::printf("\nCost-model calibration (relative to Select == 1.0):\n");
+  std::printf("%-12s measured=%6.2f  model=%6.2f\n", "TableScan",
+              scan_s / select_s,
+              BaseCostPerRow(OperatorType::kTableScan) /
+                  BaseCostPerRow(OperatorType::kSelect));
+  std::printf("(absolute Select work-order latency: %.1f us for 4096 rows; "
+              "model charges %.1f us)\n",
+              select_s * 1e6,
+              BaseCostPerRow(OperatorType::kSelect) * 4096 *
+                  CostModelParams{}.seconds_per_cost_unit * 1e6);
+}
+
+}  // namespace
+}  // namespace lsched
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  lsched::PrintCalibrationTable();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Micro-benchmarks of the learned scheduler's per-decision costs: feature
+// extraction, query encoding (TCN+GAT vs GCN fallback), and the full
+// predictor forward pass — the ingredients of the Fig. 13a overhead.
+#include <benchmark/benchmark.h>
+
+#include "core/agent.h"
+#include "core/encoder.h"
+#include "core/predictor.h"
+#include "workload/workload.h"
+
+namespace lsched {
+namespace {
+
+struct Fixture {
+  Fixture(int num_queries, bool use_tcn) {
+    WorkloadConfig wcfg;
+    wcfg.benchmark = Benchmark::kTpch;
+    wcfg.num_queries = num_queries;
+    wcfg.scale_factors = {10};
+    Rng rng(5);
+    auto workload = GenerateWorkload(wcfg, &rng);
+    for (auto& sub : workload) {
+      queries.push_back(
+          std::make_unique<QueryState>(static_cast<QueryId>(queries.size()),
+                                       std::move(sub.plan), 0.0));
+    }
+    state.threads.resize(60);
+    for (int i = 0; i < 60; ++i) state.threads[static_cast<size_t>(i)].id = i;
+    for (auto& q : queries) state.queries.push_back(q.get());
+
+    LSchedConfig cfg;
+    cfg.hidden_dim = 12;
+    cfg.summary_dim = 12;
+    cfg.head_hidden = 16;
+    cfg.use_tree_conv = use_tcn;
+    model = std::make_unique<LSchedModel>(cfg);
+    extractor = std::make_unique<FeatureExtractor>(cfg.features);
+    features = extractor->Extract(state);
+  }
+
+  std::vector<std::unique_ptr<QueryState>> queries;
+  SystemState state;
+  std::unique_ptr<LSchedModel> model;
+  std::unique_ptr<FeatureExtractor> extractor;
+  StateFeatures features;
+};
+
+void BM_FeatureExtraction(benchmark::State& s) {
+  Fixture fx(static_cast<int>(s.range(0)), true);
+  for (auto _ : s) {
+    benchmark::DoNotOptimize(fx.extractor->Extract(fx.state));
+  }
+}
+BENCHMARK(BM_FeatureExtraction)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_EncodeState(benchmark::State& s) {
+  Fixture fx(static_cast<int>(s.range(0)), true);
+  for (auto _ : s) {
+    Tape tape;
+    benchmark::DoNotOptimize(EncodeState(fx.model.get(), fx.features, &tape));
+  }
+}
+BENCHMARK(BM_EncodeState)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_EncodeStateGcn(benchmark::State& s) {
+  Fixture fx(static_cast<int>(s.range(0)), false);
+  for (auto _ : s) {
+    Tape tape;
+    benchmark::DoNotOptimize(EncodeState(fx.model.get(), fx.features, &tape));
+  }
+}
+BENCHMARK(BM_EncodeStateGcn)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_FullPredictorForward(benchmark::State& s) {
+  Fixture fx(static_cast<int>(s.range(0)), true);
+  for (auto _ : s) {
+    Tape tape;
+    const EncodedState enc = EncodeState(fx.model.get(), fx.features, &tape);
+    benchmark::DoNotOptimize(
+        RunPredictor(fx.model.get(), fx.features, enc, &tape));
+  }
+}
+BENCHMARK(BM_FullPredictorForward)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_AgentScheduleDecision(benchmark::State& s) {
+  Fixture fx(static_cast<int>(s.range(0)), true);
+  LSchedAgent agent(fx.model.get());
+  SchedulingEvent event;
+  for (auto _ : s) {
+    benchmark::DoNotOptimize(agent.Schedule(event, fx.state));
+  }
+}
+BENCHMARK(BM_AgentScheduleDecision)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace lsched
+
+BENCHMARK_MAIN();

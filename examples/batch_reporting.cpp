@@ -1,0 +1,69 @@
+// Scenario: a nightly batch of report queries (the paper's batching mode —
+// "the user provides a script with all queries that need to run in
+// advance"). All queries arrive at t=0 and the system runs fully loaded;
+// this is where the paper finds learned scheduling has the biggest impact
+// (Fig. 8b). Trains LSched on batched JOB-shaped episodes and compares.
+//
+//   ./build/examples/batch_reporting
+#include <cstdio>
+
+#include "core/agent.h"
+#include "core/trainer.h"
+#include "sched/heuristics.h"
+#include "workload/workload.h"
+
+using namespace lsched;
+
+int main() {
+  SimEngineConfig engine_cfg;
+  engine_cfg.num_threads = 16;
+  SimEngine engine(engine_cfg);
+
+  std::printf("training LSched on batched JOB episodes...\n");
+  LSchedConfig model_cfg;
+  model_cfg.hidden_dim = 12;
+  model_cfg.summary_dim = 12;
+  model_cfg.head_hidden = 16;
+  LSchedModel model(model_cfg);
+  TrainConfig train_cfg;
+  train_cfg.episodes = 12;
+  ReinforceTrainer trainer(&model, &engine, train_cfg);
+  trainer.Train([](int ep, Rng* rng) {
+    WorkloadConfig cfg;
+    cfg.benchmark = Benchmark::kJob;
+    cfg.split = WorkloadSplit::kTrain;
+    cfg.batch = true;
+    cfg.num_queries =
+        8 + static_cast<int>(rng->UniformInt(uint64_t{8}));
+    (void)ep;
+    return GenerateWorkload(cfg, rng);
+  });
+
+  WorkloadConfig eval_cfg;
+  eval_cfg.benchmark = Benchmark::kJob;
+  eval_cfg.split = WorkloadSplit::kTest;
+  eval_cfg.batch = true;
+  eval_cfg.num_queries = 24;
+  Rng rng(77);
+  const auto batch = GenerateWorkload(eval_cfg, &rng);
+
+  LSchedAgent lsched(&model);
+  FairScheduler fair;
+  QuickstepScheduler quickstep;
+  CriticalPathScheduler cp;
+  std::printf("\nnightly batch: %d held-out JOB queries, all at t=0:\n",
+              eval_cfg.num_queries);
+  std::printf("%-12s %10s %10s %10s\n", "scheduler", "avg(s)", "p90(s)",
+              "makespan");
+  for (auto& [name, sched] :
+       std::vector<std::pair<const char*, Scheduler*>>{
+           {"LSched", &lsched},
+           {"Fair", &fair},
+           {"Quickstep", &quickstep},
+           {"CriticalPath", &cp}}) {
+    const EpisodeResult r = engine.Run(batch, sched);
+    std::printf("%-12s %10.3f %10.3f %10.3f\n", name, r.avg_latency,
+                r.p90_latency, r.makespan);
+  }
+  return 0;
+}

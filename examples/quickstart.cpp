@@ -1,0 +1,118 @@
+// Quickstart: build a tiny in-memory database, construct a query plan,
+// execute it with real worker threads under a heuristic scheduler, then
+// train a small LSched model on simulated workloads and serve it.
+//
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/agent.h"
+#include "core/trainer.h"
+#include "exec/real_engine.h"
+#include "plan/plan_builder.h"
+#include "sched/heuristics.h"
+#include "storage/table_generator.h"
+#include "workload/workload.h"
+
+using namespace lsched;
+
+int main() {
+  // ---------------------------------------------------------------- 1. data
+  // A dimension table with a unique key and a fact table referencing it.
+  Catalog catalog;
+  Rng rng(42);
+  TableSpec users;
+  users.name = "users";
+  users.num_rows = 10000;
+  users.columns = {
+      {"id", DataType::kInt64, ColumnDistribution::kSequential, 0, 0, 0},
+      {"age", DataType::kInt64, ColumnDistribution::kUniformInt, 18, 80, 0}};
+  TableSpec clicks;
+  clicks.name = "clicks";
+  clicks.num_rows = 80000;
+  clicks.columns = {
+      {"user_id", DataType::kInt64, ColumnDistribution::kForeignKey, 0,
+       10000, 0},
+      {"amount", DataType::kDouble, ColumnDistribution::kUniformReal, 0, 100,
+       0}};
+  const RelationId users_id = *catalog.AddRelation(GenerateTable(users, &rng));
+  const RelationId clicks_id =
+      *catalog.AddRelation(GenerateTable(clicks, &rng));
+  std::printf("catalog: users=%lld rows, clicks=%lld rows\n",
+              static_cast<long long>(catalog.relation(users_id).num_rows()),
+              static_cast<long long>(catalog.relation(clicks_id).num_rows()));
+
+  // ------------------------------------------------------------- 2. a query
+  // SELECT count(*) FROM clicks JOIN users ON user_id = id
+  // WHERE amount BETWEEN 20 AND 60;
+  PlanBuilder builder(&catalog);
+  const int users_scan =
+      builder.AddSource(OperatorType::kTableScan, users_id, {});
+  PlanBuilder::NodeOptions build_opts;
+  build_opts.kernel.build_key = 0;  // users.id
+  const int build =
+      builder.AddOp(OperatorType::kBuildHash, {users_scan}, build_opts);
+  PlanBuilder::NodeOptions scan_opts;
+  scan_opts.selectivity = 0.4;
+  scan_opts.kernel.filter_column = 1;  // clicks.amount
+  scan_opts.kernel.filter_lo = 20.0;
+  scan_opts.kernel.filter_hi = 60.0;
+  const int clicks_scan =
+      builder.AddSource(OperatorType::kSelect, clicks_id, scan_opts);
+  PlanBuilder::NodeOptions probe_opts;
+  probe_opts.kernel.probe_key = 0;  // clicks.user_id
+  const int join = builder.AddOp(OperatorType::kProbeHash,
+                                 {clicks_scan, build}, probe_opts);
+  PlanBuilder::NodeOptions agg_opts;
+  agg_opts.kernel.agg_fn = AggFn::kCount;
+  builder.AddOp(OperatorType::kHashAggregate, {join}, agg_opts);
+  auto plan = builder.Build();
+  if (!plan.ok()) {
+    std::printf("plan error: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+
+  // ----------------------------------------------- 3. real threaded execution
+  RealEngineConfig engine_cfg;
+  engine_cfg.num_threads = 4;
+  RealEngine engine(&catalog, engine_cfg);
+  FairScheduler fair;
+  std::vector<RealQuerySubmission> workload;
+  workload.push_back({*plan, 0.0});
+  const RealRunResult result = engine.Run(workload, &fair);
+  std::printf("join count = %.0f (latency %.3fs on %d real threads)\n",
+              result.sink_checksums[0], result.episode.query_latencies[0],
+              engine_cfg.num_threads);
+
+  // ------------------------------------- 4. train a learned scheduler (sim)
+  std::printf("\ntraining a small LSched model (simulated episodes)...\n");
+  LSchedConfig model_cfg;
+  model_cfg.hidden_dim = 8;
+  model_cfg.summary_dim = 8;
+  model_cfg.head_hidden = 8;
+  LSchedModel model(model_cfg);
+  SimEngineConfig sim_cfg;
+  sim_cfg.num_threads = 8;
+  SimEngine sim(sim_cfg);
+  TrainConfig train_cfg;
+  train_cfg.episodes = 40;
+  ReinforceTrainer trainer(&model, &sim, train_cfg);
+  const TrainStats stats =
+      trainer.Train(MakeEpisodeFactory(Benchmark::kSsb, 5, 10, 0.05, 0.1, {2}));
+  std::printf("episode rewards: first=%.2f last=%.2f\n",
+              stats.episode_reward.front(), stats.episode_reward.back());
+
+  // ------------------------------------------------ 5. serve the policy
+  WorkloadConfig eval_cfg;
+  eval_cfg.benchmark = Benchmark::kSsb;
+  eval_cfg.num_queries = 20;
+  eval_cfg.mean_interarrival_seconds = 0.03;  // contended system
+  eval_cfg.scale_factors = {2};
+  Rng eval_rng(7);
+  const auto eval_workload = GenerateWorkload(eval_cfg, &eval_rng);
+  LSchedAgent agent(&model);  // greedy serving mode
+  const EpisodeResult lsched_run = sim.Run(eval_workload, &agent);
+  const EpisodeResult fair_run = sim.Run(eval_workload, &fair);
+  std::printf("eval avg latency: LSched=%.3fs Fair=%.3fs\n",
+              lsched_run.avg_latency, fair_run.avg_latency);
+  return 0;
+}

@@ -1,0 +1,10 @@
+#!/bin/bash
+# Runs every figure-reproduction benchmark and the micro-benchmarks.
+# Scale with LSCHED_EPISODES / LSCHED_EVAL_QUERIES / LSCHED_THREADS.
+set -u
+for b in build/bench/*; do
+  [ -x "$b" ] || continue
+  echo "### $b"
+  "$b" 2> >(grep '\[bench\]' >&2) || echo "(exit $?)"
+  echo
+done

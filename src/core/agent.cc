@@ -1,0 +1,109 @@
+#include "core/agent.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/encoder.h"
+#include "util/logging.h"
+
+namespace lsched {
+
+LSchedAgent::LSchedAgent(LSchedModel* model, uint64_t seed)
+    : model_(model), extractor_(model->config().features), rng_(seed) {}
+
+void LSchedAgent::Reset() { experiences_.clear(); }
+
+int LSchedAgent::SampleFromLogProbs(const Matrix& logprobs) {
+  std::vector<double> probs(static_cast<size_t>(logprobs.cols()));
+  for (int c = 0; c < logprobs.cols(); ++c) {
+    probs[static_cast<size_t>(c)] = std::exp(logprobs.at(0, c));
+  }
+  if (exploration_epsilon_ > 0.0 &&
+      rng_.Uniform() < exploration_epsilon_) {
+    // Uniform among actions the policy has not masked out (p > 0).
+    std::vector<double> uniform(probs.size(), 0.0);
+    for (size_t i = 0; i < probs.size(); ++i) {
+      uniform[i] = probs[i] > 1e-30 ? 1.0 : 0.0;
+    }
+    const size_t idx = rng_.WeightedIndex(uniform);
+    if (idx < probs.size()) return static_cast<int>(idx);
+  }
+  const size_t idx = rng_.WeightedIndex(probs);
+  return idx >= probs.size() ? 0 : static_cast<int>(idx);
+}
+
+namespace {
+int ArgmaxRow(const Matrix& m) {
+  int best = 0;
+  for (int c = 1; c < m.cols(); ++c) {
+    if (m.at(0, c) > m.at(0, best)) best = c;
+  }
+  return best;
+}
+}  // namespace
+
+SchedulingDecision LSchedAgent::Schedule(const SchedulingEvent& event,
+                                         const SystemState& state) {
+  (void)event;
+  SchedulingDecision decision;
+  StateFeatures features = extractor_.Extract(state);
+  if (features.candidates.empty() || features.free_threads == 0) {
+    return decision;
+  }
+
+  Tape tape;
+  const EncodedState encoded = EncodeState(model_, features, &tape);
+  const PredictorOutput out = RunPredictor(model_, features, encoded, &tape);
+
+  SchedulingAction action;
+  if (sample_actions_) {
+    action.candidate_index = SampleFromLogProbs(out.root_logprobs.value());
+    action.degree_index = SampleFromLogProbs(
+        out.degree_logprobs[static_cast<size_t>(action.candidate_index)]
+            .value());
+    action.parallelism_index = SampleFromLogProbs(
+        out.par_logprobs[static_cast<size_t>(action.candidate_index)]
+            .value());
+  } else {
+    action.candidate_index = ArgmaxRow(out.root_logprobs.value());
+    action.degree_index = ArgmaxRow(
+        out.degree_logprobs[static_cast<size_t>(action.candidate_index)]
+            .value());
+    action.parallelism_index = ArgmaxRow(
+        out.par_logprobs[static_cast<size_t>(action.candidate_index)]
+            .value());
+  }
+
+  const Candidate& cand =
+      features.candidates[static_cast<size_t>(action.candidate_index)];
+  const QueryFeatures& q =
+      features.queries[static_cast<size_t>(cand.query_index)];
+
+  PipelineChoice pipeline;
+  pipeline.query = q.qid;
+  pipeline.root_op = cand.op;
+  pipeline.degree = action.degree_index + 1;
+  decision.pipelines.push_back(pipeline);
+
+  const double frac =
+      model_->config()
+          .parallelism_fractions[static_cast<size_t>(action.parallelism_index)];
+  ParallelismChoice par;
+  par.query = q.qid;
+  par.max_threads = std::max(
+      1, static_cast<int>(std::lround(
+             frac * static_cast<double>(features.total_threads))));
+  decision.parallelism.push_back(par);
+
+  if (record_experiences_) {
+    Experience exp;
+    exp.time = state.now;
+    exp.num_running_queries = static_cast<int>(state.queries.size());
+    exp.action = action;
+    exp.state = std::move(features);
+    experiences_.push_back(std::move(exp));
+  }
+  return decision;
+}
+
+}  // namespace lsched

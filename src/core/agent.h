@@ -1,0 +1,67 @@
+#ifndef LSCHED_CORE_AGENT_H_
+#define LSCHED_CORE_AGENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/features.h"
+#include "core/model.h"
+#include "core/predictor.h"
+#include "exec/scheduler.h"
+#include "util/rng.h"
+
+namespace lsched {
+
+/// One recorded decision: enough to replay the forward pass during the
+/// REINFORCE update (paper §6) long after the episode finished.
+struct Experience {
+  StateFeatures state;
+  SchedulingAction action;
+  double time = 0.0;
+  int num_running_queries = 0;
+};
+
+/// The LSched scheduling agent (paper Fig. 2): feature extraction ->
+/// Query Encoder -> Scheduling Predictor -> one (root, degree, parallelism)
+/// action per invocation. The engine re-invokes it while free threads and
+/// schedulable operators remain, so a scheduling event unrolls into a
+/// sequence of sampled actions — each one a REINFORCE step.
+class LSchedAgent : public Scheduler {
+ public:
+  LSchedAgent(LSchedModel* model, uint64_t seed = 101);
+
+  std::string name() const override { return "LSched"; }
+  void Reset() override;
+  SchedulingDecision Schedule(const SchedulingEvent& event,
+                              const SystemState& state) override;
+
+  /// Sampling (training) vs greedy argmax (serving) action selection.
+  void set_sample_actions(bool v) { sample_actions_ = v; }
+  /// With probability eps, a sampled sub-action is drawn uniformly instead
+  /// of from the policy — keeps exploration alive after the softmax heads
+  /// sharpen (prevents premature convergence to local optima).
+  void set_exploration_epsilon(double eps) { exploration_epsilon_ = eps; }
+  /// Whether to record experiences for the trainer.
+  void set_record_experiences(bool v) { record_experiences_ = v; }
+
+  std::vector<Experience>& experiences() { return experiences_; }
+  const std::vector<Experience>& experiences() const { return experiences_; }
+
+  LSchedModel* model() { return model_; }
+  const FeatureExtractor& extractor() const { return extractor_; }
+
+ private:
+  int SampleFromLogProbs(const Matrix& logprobs);
+
+  LSchedModel* model_;
+  FeatureExtractor extractor_;
+  Rng rng_;
+  bool sample_actions_ = false;
+  double exploration_epsilon_ = 0.0;
+  bool record_experiences_ = false;
+  std::vector<Experience> experiences_;
+};
+
+}  // namespace lsched
+
+#endif  // LSCHED_CORE_AGENT_H_

@@ -1,0 +1,176 @@
+#include "core/encoder.h"
+
+#include "util/logging.h"
+
+namespace lsched {
+
+namespace {
+
+/// One edge-aware tree-convolution layer (Eq. 2) with optional GAT
+/// attention weighting (Eqs. 3-5) applied to every node in parallel.
+std::vector<Var> TreeConvLayer(LSchedModel* model,
+                               const LSchedModel::ConvLayer& layer,
+                               const QueryFeatures& q,
+                               const std::vector<Var>& x,
+                               const std::vector<Var>& e, Tape* tape) {
+  const bool use_gat = model->config().use_gat;
+  std::vector<Var> out;
+  out.reserve(x.size());
+
+  Var w_self = tape->Leaf(layer.w_self);
+  Var w_left = tape->Leaf(layer.w_left);
+  Var w_right = tape->Leaf(layer.w_right);
+  Var w_eleft = tape->Leaf(layer.w_eleft);
+  Var w_eright = tape->Leaf(layer.w_eright);
+  Var att = tape->Leaf(layer.att);
+
+  for (int i = 0; i < q.num_nodes; ++i) {
+    // Weighted terms of the triangle filter. Slot 0 = right (heaviest
+    // producer), slot 1 = left. Missing children simply contribute nothing
+    // (equivalent to zero-padded leaves in standard tree convolution).
+    std::vector<Var> terms;
+    Var self_term = tape->Mul(x[static_cast<size_t>(i)], w_self);
+    terms.push_back(self_term);
+    const std::array<Var, 2> child_w = {w_right, w_left};
+    const std::array<Var, 2> edge_w = {w_eright, w_eleft};
+    for (int s = 0; s < 2; ++s) {
+      const int child = q.child_node[static_cast<size_t>(i)][s];
+      const int edge = q.child_edge[static_cast<size_t>(i)][s];
+      if (child < 0) continue;
+      terms.push_back(tape->Mul(x[static_cast<size_t>(child)], child_w[s]));
+      terms.push_back(tape->Mul(e[static_cast<size_t>(edge)], edge_w[s]));
+    }
+
+    Var combined;
+    if (use_gat && terms.size() > 1) {
+      // Un-normalized scores y_k = LeakyReLU(a . (self_term || term_k))
+      // (Eq. 3; the Hadamard-with-a formulation followed by the sum that
+      // makes the score scalar, as in standard GAT), then softmax (Eq. 4).
+      std::vector<Var> scores;
+      scores.reserve(terms.size());
+      for (const Var& term : terms) {
+        Var cat = tape->ConcatCols({self_term, term});
+        scores.push_back(tape->LeakyRelu(tape->DotRows(att, cat)));
+      }
+      Var logits = tape->ConcatCols(scores);
+      Var logz = tape->LogSoftmaxRow(logits);
+      for (size_t k = 0; k < terms.size(); ++k) {
+        Var zk = tape->Exp(tape->PickCol(logz, static_cast<int>(k)));
+        Var weighted = tape->Mul(terms[k], zk);
+        combined = k == 0 ? weighted : tape->Add(combined, weighted);
+      }
+    } else {
+      // Isotropic aggregation (the Fig. 15 "w/o GAT" ablation): every term
+      // contributes equally, per Eq. 2.
+      for (size_t k = 0; k < terms.size(); ++k) {
+        combined = k == 0 ? terms[k] : tape->Add(combined, terms[k]);
+      }
+    }
+    out.push_back(tape->Relu(layer.mix.Forward(tape, combined)));
+  }
+  return out;
+}
+
+/// Sequential message-passing GCN layer (the Decima-style encoder used for
+/// the "w/o triangle convolution" ablation): children embeddings computed
+/// earlier in the same sweep are fused into their parents, which is exactly
+/// the within-iteration indirect fusion the paper identifies as the source
+/// of over-smoothing (§4.2.1).
+std::vector<Var> GcnLayer(LSchedModel* model, const QueryFeatures& q,
+                          const std::vector<Var>& x, Tape* tape) {
+  std::vector<Var> out = x;
+  for (int i : q.topo_order) {  // producers first: sequential steps
+    Var h = model->gcn_self.Forward(tape, out[static_cast<size_t>(i)]);
+    for (int s = 0; s < 2; ++s) {
+      const int child = q.child_node[static_cast<size_t>(i)][s];
+      if (child < 0) continue;
+      h = tape->Add(
+          h, model->gcn_child.Forward(tape, out[static_cast<size_t>(child)]));
+    }
+    out[static_cast<size_t>(i)] = tape->Relu(h);
+  }
+  return out;
+}
+
+}  // namespace
+
+EncodedQuery EncodeQuery(LSchedModel* model, const QueryFeatures& q,
+                         Tape* tape) {
+  EncodedQuery enc;
+  const int sd = model->config().summary_dim;
+
+  // Initial projections of OPF and EDF.
+  enc.node_emb.reserve(static_cast<size_t>(q.num_nodes));
+  for (int i = 0; i < q.num_nodes; ++i) {
+    Var f = tape->Constant(Matrix::FromRow(q.opf[static_cast<size_t>(i)]));
+    enc.node_emb.push_back(
+        tape->Relu(model->proj_node.Forward(tape, f)));
+  }
+  enc.edge_emb.reserve(q.edf.size());
+  for (const std::vector<double>& edf : q.edf) {
+    Var f = tape->Constant(Matrix::FromRow(edf));
+    enc.edge_emb.push_back(tape->Relu(model->proj_edge.Forward(tape, f)));
+  }
+
+  // Stacked convolution layers.
+  if (model->config().use_tree_conv) {
+    for (const LSchedModel::ConvLayer& layer : model->conv) {
+      enc.node_emb =
+          TreeConvLayer(model, layer, q, enc.node_emb, enc.edge_emb, tape);
+    }
+  } else {
+    for (int l = 0; l < model->config().num_conv_layers; ++l) {
+      enc.node_emb = GcnLayer(model, q, enc.node_emb, tape);
+    }
+  }
+
+  // PQE: summarize nodes (NE || OPF) and edges (EE || EDF) into one vector
+  // via the false-edges-to-summary-node message passing of Fig. 6.
+  Var node_sum;
+  for (int i = 0; i < q.num_nodes; ++i) {
+    Var cat = tape->ConcatCols(
+        {enc.node_emb[static_cast<size_t>(i)],
+         tape->Constant(Matrix::FromRow(q.opf[static_cast<size_t>(i)]))});
+    Var msg = tape->Relu(model->pqe_node_in.Forward(tape, cat));
+    node_sum = i == 0 ? msg : tape->Add(node_sum, msg);
+  }
+  Var edge_sum;
+  if (!q.edf.empty()) {
+    for (size_t j = 0; j < q.edf.size(); ++j) {
+      Var cat = tape->ConcatCols(
+          {enc.edge_emb[j], tape->Constant(Matrix::FromRow(q.edf[j]))});
+      Var msg = tape->Relu(model->pqe_edge_in.Forward(tape, cat));
+      edge_sum = j == 0 ? msg : tape->Add(edge_sum, msg);
+    }
+  } else {
+    edge_sum = tape->Constant(Matrix(1, sd, 0.0));
+  }
+  enc.pqe = model->pqe_out.Forward(tape, tape->ConcatCols({node_sum,
+                                                           edge_sum}));
+  return enc;
+}
+
+EncodedState EncodeState(LSchedModel* model, const StateFeatures& state,
+                         Tape* tape) {
+  EncodedState out;
+  out.queries.reserve(state.queries.size());
+  for (const QueryFeatures& q : state.queries) {
+    out.queries.push_back(EncodeQuery(model, q, tape));
+  }
+  // AQE: summarize concat(PQE, QF) across queries (Fig. 6 bottom).
+  Var sum;
+  for (size_t qi = 0; qi < state.queries.size(); ++qi) {
+    Var cat = tape->ConcatCols(
+        {out.queries[qi].pqe,
+         tape->Constant(Matrix::FromRow(state.queries[qi].qf))});
+    Var msg = tape->Relu(model->aqe_in.Forward(tape, cat));
+    sum = qi == 0 ? msg : tape->Add(sum, msg);
+  }
+  if (state.queries.empty()) {
+    sum = tape->Constant(Matrix(1, model->config().summary_dim, 0.0));
+  }
+  out.aqe = model->aqe_out.Forward(tape, sum);
+  return out;
+}
+
+}  // namespace lsched

@@ -1,0 +1,41 @@
+#ifndef LSCHED_CORE_ENCODER_H_
+#define LSCHED_CORE_ENCODER_H_
+
+#include <vector>
+
+#include "core/features.h"
+#include "core/model.h"
+#include "nn/autograd.h"
+
+namespace lsched {
+
+/// Embeddings of one query produced by the Single Query Encoder + PQE
+/// summarization (paper Fig. 6).
+struct EncodedQuery {
+  std::vector<Var> node_emb;  ///< NE, one (1 x d) per operator
+  std::vector<Var> edge_emb;  ///< EE, one (1 x d) per plan edge
+  Var pqe;                    ///< per-query embedding (1 x summary_dim)
+};
+
+/// Encoder output for the full system state.
+struct EncodedState {
+  std::vector<EncodedQuery> queries;
+  Var aqe;  ///< all-queries embedding (1 x summary_dim)
+};
+
+/// Runs the Query Encoder on `state` over `tape`:
+///  - projects OPF/EDF into d-dim embeddings,
+///  - stacks edge-aware tree-convolution layers (Eq. 2) weighted by GAT
+///    attention scores (Eqs. 3-5), or the sequential-message-passing GCN
+///    fallback when config.use_tree_conv is false,
+///  - summarizes per query (PQE) and across queries (AQE).
+EncodedState EncodeState(LSchedModel* model, const StateFeatures& state,
+                         Tape* tape);
+
+/// Encodes one query (exposed for tests and micro-benchmarks).
+EncodedQuery EncodeQuery(LSchedModel* model, const QueryFeatures& q,
+                         Tape* tape);
+
+}  // namespace lsched
+
+#endif  // LSCHED_CORE_ENCODER_H_

@@ -1,0 +1,51 @@
+#ifndef LSCHED_CORE_EXPERIENCE_H_
+#define LSCHED_CORE_EXPERIENCE_H_
+
+#include <deque>
+#include <vector>
+
+#include "core/agent.h"
+
+namespace lsched {
+
+/// The Experience Manager (paper Fig. 2): stores reward experiences from
+/// training/online episodes and maintains the per-decision-index reward
+/// baselines used to reduce REINFORCE's gradient variance (paper §6, [61]).
+class ExperienceManager {
+ public:
+  explicit ExperienceManager(size_t max_episodes = 64, double baseline_alpha = 0.1)
+      : max_episodes_(max_episodes), baseline_alpha_(baseline_alpha) {}
+
+  /// Records an episode's returns and updates the baselines.
+  void AddEpisode(std::vector<Experience> experiences,
+                  std::vector<double> returns);
+
+  /// Baseline value b(d) for decision index d (0 before any data).
+  double Baseline(size_t decision_index) const;
+
+  /// Advantages G_d - b(d) for the most recent episode, normalized to unit
+  /// variance when `normalize` (stabilizes updates across workload scales).
+  std::vector<double> LatestAdvantages(bool normalize = true) const;
+
+  struct StoredEpisode {
+    std::vector<Experience> experiences;
+    std::vector<double> returns;
+    std::vector<double> advantages;  ///< returns minus pre-episode baselines
+  };
+
+  const StoredEpisode& latest() const { return episodes_.back(); }
+  size_t num_episodes() const { return episodes_.size(); }
+  bool empty() const { return episodes_.empty(); }
+  void Clear();
+
+ private:
+  size_t max_episodes_;
+  double baseline_alpha_;
+  std::deque<StoredEpisode> episodes_;
+  std::vector<double> baseline_;       ///< EWMA of G_d per decision index
+  std::vector<bool> baseline_init_;
+};
+
+}  // namespace lsched
+
+#endif  // LSCHED_CORE_EXPERIENCE_H_

@@ -1,0 +1,88 @@
+#include "core/model.h"
+
+namespace lsched {
+
+LSchedModel::LSchedModel(LSchedConfig config) : config_(std::move(config)) {
+  Rng rng(config_.seed);
+  const int d = config_.hidden_dim;
+  const int sd = config_.summary_dim;
+  const int opf = config_.features.opf_dim();
+  const int edf = config_.features.edf_dim();
+  const int qf = config_.features.qf_dim();
+
+  proj_node = Linear(&store_, "encoder/proj_node", opf, d, &rng);
+  proj_edge = Linear(&store_, "encoder/proj_edge", edf, d, &rng);
+
+  conv.resize(static_cast<size_t>(config_.num_conv_layers));
+  for (int l = 0; l < config_.num_conv_layers; ++l) {
+    const std::string base = "encoder/conv" + std::to_string(l);
+    ConvLayer& layer = conv[static_cast<size_t>(l)];
+    layer.w_self = store_.Create(base + "/w_self", 1, d, &rng);
+    layer.w_left = store_.Create(base + "/w_left", 1, d, &rng);
+    layer.w_right = store_.Create(base + "/w_right", 1, d, &rng);
+    layer.w_eleft = store_.Create(base + "/w_eleft", 1, d, &rng);
+    layer.w_eright = store_.Create(base + "/w_eright", 1, d, &rng);
+    layer.att = store_.Create(base + "/att", 1, 2 * d, &rng);
+    layer.mix = Linear(&store_, base + "/mix", d, d, &rng);
+  }
+
+  gcn_self = Linear(&store_, "encoder/gcn_self", d, d, &rng);
+  gcn_child = Linear(&store_, "encoder/gcn_child", d, d, &rng);
+
+  pqe_node_in = Mlp(&store_, "encoder/pqe_node_in", {d + opf, sd}, &rng);
+  pqe_edge_in = Mlp(&store_, "encoder/pqe_edge_in", {d + edf, sd}, &rng);
+  pqe_out = Mlp(&store_, "encoder/pqe_out", {2 * sd, sd, sd}, &rng);
+  aqe_in = Mlp(&store_, "encoder/aqe_in", {sd + qf, sd}, &rng);
+  aqe_out = Mlp(&store_, "encoder/aqe_out", {sd, sd, sd}, &rng);
+
+  const int root_in = d + d + sd;
+  root_head = Mlp(&store_, "head/root", {root_in, config_.head_hidden, 1},
+                  &rng);
+  const int degree_in = d + d + sd + edf;
+  degree_head =
+      Mlp(&store_, "head/degree",
+          {degree_in, config_.head_hidden, config_.max_pipeline_degree},
+          &rng);
+  const int par_in = sd + sd + qf;
+  par_head = Mlp(&store_, "head/parallelism",
+                 {par_in, config_.head_hidden,
+                  static_cast<int>(config_.parallelism_fractions.size())},
+                 &rng);
+}
+
+int LSchedModel::FreezeForTransfer() {
+  int frozen = 0;
+  // Freeze the stacked convolution layers (general hierarchical patterns).
+  frozen += store_.SetTrainableByPrefix("encoder/conv", false);
+  frozen += store_.SetTrainableByPrefix("encoder/gcn", false);
+  // Freeze the summarization cores but keep their (input-adjacent) first
+  // layers trainable. pqe_out/aqe_out first layer = l0, output layer = l1:
+  // freeze l0 of the two-layer heads, keep l1 (output).
+  frozen += store_.SetTrainableByPrefix("encoder/pqe_out/l0", false);
+  frozen += store_.SetTrainableByPrefix("encoder/aqe_out/l0", false);
+  // Freeze the heads' hidden (first) layers; output layers stay trainable.
+  frozen += store_.SetTrainableByPrefix("head/root/l0", false);
+  frozen += store_.SetTrainableByPrefix("head/degree/l0", false);
+  frozen += store_.SetTrainableByPrefix("head/parallelism/l0", false);
+  return frozen;
+}
+
+void LSchedModel::UnfreezeAll() { store_.SetTrainableByPrefix("", true); }
+
+Status LSchedModel::Save(const std::string& path) const {
+  BinaryWriter writer;
+  writer.WriteString("lsched-model-v1");
+  store_.Serialize(&writer);
+  return writer.SaveToFile(path);
+}
+
+Status LSchedModel::Load(const std::string& path) {
+  LSCHED_ASSIGN_OR_RETURN(BinaryReader reader, BinaryReader::FromFile(path));
+  LSCHED_ASSIGN_OR_RETURN(std::string magic, reader.ReadString());
+  if (magic != "lsched-model-v1") {
+    return Status::InvalidArgument("bad model file magic");
+  }
+  return store_.Deserialize(&reader);
+}
+
+}  // namespace lsched

@@ -1,0 +1,106 @@
+#ifndef LSCHED_CORE_MODEL_H_
+#define LSCHED_CORE_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/features.h"
+#include "nn/layers.h"
+#include "nn/params.h"
+#include "util/status.h"
+
+namespace lsched {
+
+/// Hyper-parameters of the LSched networks, including the ablation toggles
+/// evaluated in Fig. 15.
+struct LSchedConfig {
+  FeatureConfig features;
+
+  int hidden_dim = 16;        ///< node/edge embedding width d
+  int num_conv_layers = 2;    ///< stacked tree-convolution (+GAT) layers
+  int summary_dim = 16;       ///< PQE / AQE width
+  int head_hidden = 32;       ///< hidden width of the decision heads
+  int max_pipeline_degree = 8;
+
+  /// Parallelism-degree action buckets, as fractions of the thread pool
+  /// (mapped to 1..T threads at decision time).
+  std::vector<double> parallelism_fractions = {0.1, 0.2, 0.35, 0.5,
+                                               0.65, 0.8, 1.0};
+
+  // --- ablation toggles (Fig. 15) ---
+  bool use_tree_conv = true;  ///< false: sequential message-passing GCN
+  bool use_gat = true;        ///< false: isotropic (equal-weight) aggregation
+  bool predict_pipeline = true;  ///< false: always degree 1 (Decima-style)
+  /// false: always grant the full thread pool (isolates the pipelining
+  /// decision, e.g. for the Fig. 1 motivating experiment).
+  bool predict_parallelism = true;
+
+  uint64_t seed = 17;
+};
+
+/// All parameters of the Query Encoder (Fig. 6) and Scheduling Predictor
+/// (Fig. 7), owned by one ParameterStore for training, checkpointing, and
+/// transfer-learning freezes.
+class LSchedModel {
+ public:
+  explicit LSchedModel(LSchedConfig config);
+
+  const LSchedConfig& config() const { return config_; }
+  ParameterStore* params() { return &store_; }
+  const ParameterStore& params() const { return store_; }
+
+  // --- encoder modules ---
+  Linear proj_node;  ///< OPF -> d
+  Linear proj_edge;  ///< EDF -> d
+
+  /// One edge-aware triangle filter layer (Eq. 2) with its GAT attention
+  /// vector (Eq. 3) and a channel-mixing projection (standing in for the
+  /// paper's "hundreds of filters" per layer).
+  struct ConvLayer {
+    Param* w_self = nullptr;   ///< w_p
+    Param* w_left = nullptr;   ///< w_n
+    Param* w_right = nullptr;  ///< w_m
+    Param* w_eleft = nullptr;  ///< w_{p,n}
+    Param* w_eright = nullptr; ///< w_{p,m}
+    Param* att = nullptr;      ///< a^l, (1 x 2d)
+    Linear mix;
+  };
+  std::vector<ConvLayer> conv;
+
+  /// GCN fallback used when use_tree_conv == false (the Fig. 15 "w/o
+  /// triangle convolution" variant): sequential message passing.
+  Linear gcn_self;
+  Linear gcn_child;
+
+  // --- high-level encoders (Fig. 6) ---
+  Mlp pqe_node_in;  ///< concat(NE, OPF) -> summary_dim
+  Mlp pqe_edge_in;  ///< concat(EE, EDF) -> summary_dim
+  Mlp pqe_out;      ///< 2*summary_dim -> summary_dim
+  Mlp aqe_in;       ///< concat(PQE, QF) -> summary_dim
+  Mlp aqe_out;      ///< summary_dim -> summary_dim
+
+  // --- decision heads (Fig. 7) ---
+  Mlp root_head;    ///< concat(NE, EE_in, PQE) -> 1 (score)
+  Mlp degree_head;  ///< concat(NE, EE_in, PQE, EDF_agg) -> max_pipeline_degree
+  Mlp par_head;     ///< concat(AQE, PQE, QF) -> #parallelism buckets
+
+  /// Applies the paper's transfer-learning freeze (§6): freezes the stacked
+  /// convolution layers and the hidden layers of the summarization networks
+  /// and heads, keeping the input projections and each network's output
+  /// layer trainable. Returns the number of frozen parameters.
+  int FreezeForTransfer();
+  /// Makes every parameter trainable again.
+  void UnfreezeAll();
+
+  /// Checkpoint I/O (values only).
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
+
+ private:
+  LSchedConfig config_;
+  ParameterStore store_;
+};
+
+}  // namespace lsched
+
+#endif  // LSCHED_CORE_MODEL_H_

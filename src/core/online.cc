@@ -1,0 +1,69 @@
+#include "core/online.h"
+
+#include "core/encoder.h"
+#include "util/math_util.h"
+
+namespace lsched {
+
+OnlineLSched::OnlineLSched(LSchedModel* model, OnlineConfig config,
+                           uint64_t seed)
+    : model_(model),
+      config_(config),
+      agent_(model, seed),
+      optimizer_(config.learning_rate) {
+  agent_.set_sample_actions(config_.sample_actions);
+  agent_.set_record_experiences(true);
+  agent_.set_exploration_epsilon(config_.exploration_epsilon);
+}
+
+void OnlineLSched::Reset() {
+  agent_.Reset();
+  completions_since_update_ = 0;
+  last_event_time_ = 0.0;
+}
+
+SchedulingDecision OnlineLSched::Schedule(const SchedulingEvent& event,
+                                          const SystemState& state) {
+  last_event_time_ = state.now;
+  return agent_.Schedule(event, state);
+}
+
+void OnlineLSched::OnQueryCompleted(QueryId query, double latency) {
+  (void)query;
+  (void)latency;
+  if (++completions_since_update_ >= config_.update_every_queries) {
+    completions_since_update_ = 0;
+    ApplyUpdate(last_event_time_);
+  }
+}
+
+void OnlineLSched::ApplyUpdate(double now) {
+  std::vector<Experience>& exps = agent_.experiences();
+  if (exps.size() < 2) return;
+  const std::vector<double> rewards =
+      ComputeRewards(exps, config_.reward, now);
+  const std::vector<double> returns = ComputeReturns(rewards);
+  experience_.AddEpisode(std::move(exps), returns);
+  agent_.experiences().clear();
+
+  const ExperienceManager::StoredEpisode& ep = experience_.latest();
+  const std::vector<double> adv = experience_.LatestAdvantages(true);
+  model_->params()->ZeroGrads();
+  const double scale =
+      1.0 / static_cast<double>(std::max<size_t>(ep.experiences.size(), 1));
+  for (size_t d = 0; d < ep.experiences.size(); ++d) {
+    const Experience& exp = ep.experiences[d];
+    if (exp.state.candidates.empty()) continue;
+    Tape tape;
+    const EncodedState encoded = EncodeState(model_, exp.state, &tape);
+    const PredictorOutput out =
+        RunPredictor(model_, exp.state, encoded, &tape);
+    Var loss = tape.Scale(ActionLogProb(&tape, out, exp.action), -adv[d]);
+    tape.Backward(loss, scale);
+  }
+  model_->params()->ClipGradNorm(config_.grad_clip);
+  optimizer_.Step(model_->params());
+  ++num_updates_;
+}
+
+}  // namespace lsched

@@ -1,0 +1,62 @@
+#ifndef LSCHED_CORE_ONLINE_H_
+#define LSCHED_CORE_ONLINE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/agent.h"
+#include "core/experience.h"
+#include "core/reward.h"
+#include "nn/optimizer.h"
+
+namespace lsched {
+
+/// Online self-correction (paper §3): in serving mode, completely executed
+/// scheduling decisions are rewarded and used to keep improving the
+/// predictor, either query-by-query or at user-controlled checkpoints.
+struct OnlineConfig {
+  /// Apply a policy-gradient update after this many completed queries
+  /// (1 = query-by-query; larger = checkpointing).
+  int update_every_queries = 4;
+  double learning_rate = 5e-4;
+  double grad_clip = 5.0;
+  RewardConfig reward;
+  /// Sampling temperature: online mode keeps sampling (with a small
+  /// exploration floor) so corrections have signal; set false to serve
+  /// greedily between checkpoints.
+  bool sample_actions = true;
+  double exploration_epsilon = 0.02;
+};
+
+/// A serving scheduler that self-corrects: wraps an LSchedAgent, records
+/// its decisions, and applies REINFORCE updates from the observed rewards
+/// every `update_every_queries` completions.
+class OnlineLSched : public Scheduler {
+ public:
+  OnlineLSched(LSchedModel* model, OnlineConfig config, uint64_t seed = 303);
+
+  std::string name() const override { return "LSched-online"; }
+  void Reset() override;
+  SchedulingDecision Schedule(const SchedulingEvent& event,
+                              const SystemState& state) override;
+  void OnQueryCompleted(QueryId query, double latency) override;
+
+  int num_updates() const { return num_updates_; }
+  ExperienceManager* experience_manager() { return &experience_; }
+
+ private:
+  void ApplyUpdate(double now);
+
+  LSchedModel* model_;
+  OnlineConfig config_;
+  LSchedAgent agent_;
+  ExperienceManager experience_;
+  Adam optimizer_;
+  int completions_since_update_ = 0;
+  int num_updates_ = 0;
+  double last_event_time_ = 0.0;
+};
+
+}  // namespace lsched
+
+#endif  // LSCHED_CORE_ONLINE_H_

@@ -1,0 +1,140 @@
+#include "core/predictor.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace lsched {
+
+namespace {
+
+/// Mean of the edge embeddings incident (incoming) to `op`, or zeros.
+Var InEdgeEmbedding(const EncodedQuery& eq, const QueryFeatures& q, int op,
+                    int dim, Tape* tape) {
+  const std::vector<int>& edges = q.in_edges[static_cast<size_t>(op)];
+  if (edges.empty()) return tape->Constant(Matrix(1, dim, 0.0));
+  Var sum;
+  for (size_t k = 0; k < edges.size(); ++k) {
+    const Var& e = eq.edge_emb[static_cast<size_t>(edges[k])];
+    sum = k == 0 ? e : tape->Add(sum, e);
+  }
+  return tape->Scale(sum, 1.0 / static_cast<double>(edges.size()));
+}
+
+/// Mean raw EDF over all edges touching `op` (input of the degree head).
+Matrix EdfAggregate(const QueryFeatures& q, int op, int edf_dim) {
+  Matrix agg(1, edf_dim, 0.0);
+  int count = 0;
+  auto add = [&](int e) {
+    for (int c = 0; c < edf_dim; ++c) {
+      agg.at(0, c) += q.edf[static_cast<size_t>(e)][static_cast<size_t>(c)];
+    }
+    ++count;
+  };
+  for (int e : q.in_edges[static_cast<size_t>(op)]) add(e);
+  for (int e : q.out_edges[static_cast<size_t>(op)]) add(e);
+  if (count > 0) {
+    for (int c = 0; c < edf_dim; ++c) {
+      agg.at(0, c) /= static_cast<double>(count);
+    }
+  }
+  return agg;
+}
+
+}  // namespace
+
+PredictorOutput RunPredictor(LSchedModel* model, const StateFeatures& state,
+                             const EncodedState& encoded, Tape* tape) {
+  LSCHED_CHECK(!state.candidates.empty());
+  const LSchedConfig& cfg = model->config();
+  const int d = cfg.hidden_dim;
+  const int edf_dim = cfg.features.edf_dim();
+  const int max_deg = cfg.max_pipeline_degree;
+  const int num_par = static_cast<int>(cfg.parallelism_fractions.size());
+
+  PredictorOutput out;
+  std::vector<Var> root_scores;
+  root_scores.reserve(state.candidates.size());
+
+  for (const Candidate& cand : state.candidates) {
+    const QueryFeatures& q = state.queries[static_cast<size_t>(cand.query_index)];
+    const EncodedQuery& eq = encoded.queries[static_cast<size_t>(cand.query_index)];
+    Var ne = eq.node_emb[static_cast<size_t>(cand.op)];
+    Var ee = InEdgeEmbedding(eq, q, cand.op, d, tape);
+
+    // Execution-roots head: score(NE, EE, PQE) (Fig. 7 left).
+    Var root_in = tape->ConcatCols({ne, ee, eq.pqe});
+    root_scores.push_back(model->root_head.Forward(tape, root_in));
+
+    // Pipeline-degree head: same input + aggregated EDF of the root's
+    // edges (Fig. 7 middle). Invalid degrees (beyond the currently-valid
+    // chain) are masked out; the "w/o pipelining prediction" ablation masks
+    // everything but degree 1.
+    Var edf_agg = tape->Constant(EdfAggregate(q, cand.op, edf_dim));
+    Var deg_in = tape->ConcatCols({ne, ee, eq.pqe, edf_agg});
+    Var deg_logits = model->degree_head.Forward(tape, deg_in);
+    Matrix mask(1, max_deg, 0.0);
+    const int valid =
+        cfg.predict_pipeline ? std::min(cand.max_degree, max_deg) : 1;
+    for (int k = 0; k < max_deg; ++k) {
+      if (k >= valid) mask.at(0, k) = -1e9;
+    }
+    deg_logits = tape->Add(deg_logits, tape->Constant(std::move(mask)));
+    out.degree_logprobs.push_back(tape->LogSoftmaxRow(deg_logits));
+
+    // Parallelism-degree head: AQE + PQE + QF (Fig. 7 right).
+    Var qf = tape->Constant(Matrix::FromRow(q.qf));
+    Var par_in = tape->ConcatCols({encoded.aqe, eq.pqe, qf});
+    Var par_logits = model->par_head.Forward(tape, par_in);
+    LSCHED_DCHECK(par_logits.cols() == num_par);
+    if (!cfg.predict_parallelism) {
+      // Force the full-pool bucket (the last fraction, 1.0).
+      Matrix pmask(1, num_par, -1e9);
+      pmask.at(0, num_par - 1) = 0.0;
+      par_logits = tape->Add(par_logits, tape->Constant(std::move(pmask)));
+    }
+    out.par_logprobs.push_back(tape->LogSoftmaxRow(par_logits));
+  }
+
+  out.root_logprobs = tape->LogSoftmaxRow(tape->ConcatCols(root_scores));
+  return out;
+}
+
+Var ActionLogProb(Tape* tape, const PredictorOutput& output,
+                  const SchedulingAction& action) {
+  Var lp = tape->PickCol(output.root_logprobs, action.candidate_index);
+  lp = tape->Add(
+      lp, tape->PickCol(
+              output.degree_logprobs[static_cast<size_t>(action.candidate_index)],
+              action.degree_index));
+  lp = tape->Add(
+      lp, tape->PickCol(
+              output.par_logprobs[static_cast<size_t>(action.candidate_index)],
+              action.parallelism_index));
+  return lp;
+}
+
+namespace {
+Var CategoricalEntropy(Tape* tape, Var logprobs) {
+  // H = -sum p * log p. Masked entries have p == 0 exactly (exp underflow),
+  // and 0 * -1e9 = -0, so they contribute nothing.
+  Var p = tape->Exp(logprobs);
+  return tape->Scale(tape->SumAll(tape->Mul(p, logprobs)), -1.0);
+}
+}  // namespace
+
+Var ActionEntropy(Tape* tape, const PredictorOutput& output,
+                  const SchedulingAction& action) {
+  Var h = CategoricalEntropy(tape, output.root_logprobs);
+  h = tape->Add(
+      h, CategoricalEntropy(
+             tape, output.degree_logprobs[static_cast<size_t>(
+                       action.candidate_index)]));
+  h = tape->Add(
+      h, CategoricalEntropy(
+             tape, output.par_logprobs[static_cast<size_t>(
+                       action.candidate_index)]));
+  return h;
+}
+
+}  // namespace lsched

@@ -1,0 +1,47 @@
+#ifndef LSCHED_CORE_PREDICTOR_H_
+#define LSCHED_CORE_PREDICTOR_H_
+
+#include <vector>
+
+#include "core/encoder.h"
+
+namespace lsched {
+
+/// The triple of sub-actions sampled at one scheduling decision
+/// (paper §5.3): which execution root, what pipeline degree, and which
+/// parallelism bucket for that root's query.
+struct SchedulingAction {
+  int candidate_index = -1;  ///< into StateFeatures::candidates
+  int degree_index = 0;      ///< 0-based: pipeline degree = index + 1
+  int parallelism_index = 0; ///< into config.parallelism_fractions
+};
+
+/// Differentiable outputs of the Scheduling Predictor for one state.
+struct PredictorOutput {
+  /// Log-probabilities over candidates (1 x num_candidates).
+  Var root_logprobs;
+  /// Per-candidate log-probabilities over pipeline degrees
+  /// (1 x max_pipeline_degree each, invalid degrees masked to -inf).
+  std::vector<Var> degree_logprobs;
+  /// Per-candidate log-probabilities over parallelism buckets.
+  std::vector<Var> par_logprobs;
+};
+
+/// Runs the three decision heads (Fig. 7) over the encoded state. Requires
+/// state.candidates to be non-empty.
+PredictorOutput RunPredictor(LSchedModel* model, const StateFeatures& state,
+                             const EncodedState& encoded, Tape* tape);
+
+/// Joint log-probability of `action` under `output` (sum of the three
+/// categorical log-probs); differentiable.
+Var ActionLogProb(Tape* tape, const PredictorOutput& output,
+                  const SchedulingAction& action);
+
+/// Sum of the entropies of the three categorical heads for the chosen
+/// candidate — the exploration bonus used by the trainer.
+Var ActionEntropy(Tape* tape, const PredictorOutput& output,
+                  const SchedulingAction& action);
+
+}  // namespace lsched
+
+#endif  // LSCHED_CORE_PREDICTOR_H_

@@ -1,0 +1,36 @@
+#ifndef LSCHED_CORE_REWARD_H_
+#define LSCHED_CORE_REWARD_H_
+
+#include <vector>
+
+#include "core/agent.h"
+
+namespace lsched {
+
+/// Weights of the average-vs-tail latency reward (paper §6). The final
+/// per-decision reward is r_d = (w_avg * r1 + w_tail * r2) / (w_avg +
+/// w_tail) with r1 = -H_d and r2 = -(H_d - P), where H_d = (t_d - t_{d-1})
+/// * Q_d approximates the latency accumulated by the Q_d queries running in
+/// the interval and P is the `tail_percentile`-th percentile of all H
+/// values in the episode.
+struct RewardConfig {
+  double w_avg = 0.5;
+  double w_tail = 0.5;
+  double tail_percentile = 90.0;
+};
+
+/// Per-decision rewards for one episode of experiences (time-ordered).
+/// `end_time` (the episode makespan), when past the last decision time,
+/// charges the final execution interval to the last decision — without it
+/// the tail after the last scheduling decision would be unpenalized and
+/// the policy would optimize time-to-last-decision instead of completion.
+std::vector<double> ComputeRewards(const std::vector<Experience>& episode,
+                                   const RewardConfig& config,
+                                   double end_time = -1.0);
+
+/// Undiscounted returns G_d = sum_{k >= d} r_k.
+std::vector<double> ComputeReturns(const std::vector<double>& rewards);
+
+}  // namespace lsched
+
+#endif  // LSCHED_CORE_REWARD_H_

@@ -1,0 +1,92 @@
+#include "core/trainer.h"
+
+#include "core/encoder.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace lsched {
+
+ReinforceTrainer::ReinforceTrainer(LSchedModel* model, SimEngine* engine,
+                                   TrainConfig config)
+    : model_(model),
+      engine_(engine),
+      config_(config),
+      agent_(model, config.seed ^ 0x5bd1e995),
+      optimizer_(config.learning_rate),
+      rng_(config.seed) {
+  agent_.set_sample_actions(true);
+  agent_.set_record_experiences(true);
+  agent_.set_exploration_epsilon(config.exploration_epsilon);
+}
+
+double ReinforceTrainer::TrainOneEpisode(
+    const std::vector<QuerySubmission>& workload) {
+  agent_.set_sample_actions(true);
+  agent_.set_record_experiences(true);
+  const EpisodeResult result = engine_->Run(workload, &agent_);
+
+  std::vector<Experience>& exps = agent_.experiences();
+  if (exps.empty()) {
+    stats_.episode_avg_latency.push_back(result.avg_latency);
+    stats_.episode_reward.push_back(0.0);
+    return 0.0;
+  }
+
+  const std::vector<double> rewards =
+      ComputeRewards(exps, config_.reward, result.makespan);
+  const std::vector<double> returns = ComputeReturns(rewards);
+  double total_reward = 0.0;
+  for (double r : rewards) total_reward += r;
+
+  experience_.AddEpisode(std::move(exps), returns);
+  agent_.experiences().clear();
+
+  UpdateFromLatestEpisode();
+
+  stats_.episode_avg_latency.push_back(result.avg_latency);
+  stats_.episode_reward.push_back(total_reward);
+  return total_reward;
+}
+
+void ReinforceTrainer::UpdateFromLatestEpisode() {
+  const ExperienceManager::StoredEpisode& ep = experience_.latest();
+  const std::vector<double> adv = experience_.LatestAdvantages(true);
+
+  model_->params()->ZeroGrads();
+  const double scale = 1.0 / std::max<size_t>(ep.experiences.size(), 1);
+  for (size_t d = 0; d < ep.experiences.size(); ++d) {
+    const Experience& exp = ep.experiences[d];
+    if (exp.state.candidates.empty()) continue;
+    // Replay the forward pass on a fresh tape and backprop the policy
+    // gradient term: loss_d = -adv_d * log pi(a_d | s_d) - beta * H(pi).
+    Tape tape;
+    const EncodedState encoded = EncodeState(model_, exp.state, &tape);
+    const PredictorOutput out =
+        RunPredictor(model_, exp.state, encoded, &tape);
+    Var logprob = ActionLogProb(&tape, out, exp.action);
+    Var loss = tape.Scale(logprob, -adv[d]);
+    if (config_.entropy_coef > 0.0) {
+      Var entropy = ActionEntropy(&tape, out, exp.action);
+      loss = tape.Add(loss, tape.Scale(entropy, -config_.entropy_coef));
+    }
+    tape.Backward(loss, scale);
+    ++stats_.total_decisions;
+  }
+  model_->params()->ClipGradNorm(config_.grad_clip);
+  optimizer_.Step(model_->params());
+}
+
+TrainStats ReinforceTrainer::Train(const WorkloadFactory& factory) {
+  for (int ep = 0; ep < config_.episodes; ++ep) {
+    const std::vector<QuerySubmission> workload = factory(ep, &rng_);
+    const double reward = TrainOneEpisode(workload);
+    if (config_.log_every > 0 && (ep + 1) % config_.log_every == 0) {
+      LSCHED_LOG(Info) << "episode " << (ep + 1) << "/" << config_.episodes
+                       << " reward=" << reward << " avg_latency="
+                       << stats_.episode_avg_latency.back();
+    }
+  }
+  return stats_;
+}
+
+}  // namespace lsched

@@ -1,0 +1,76 @@
+#ifndef LSCHED_CORE_TRAINER_H_
+#define LSCHED_CORE_TRAINER_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/agent.h"
+#include "core/experience.h"
+#include "core/reward.h"
+#include "exec/sim_engine.h"
+#include "nn/optimizer.h"
+
+namespace lsched {
+
+struct TrainConfig {
+  int episodes = 200;
+  double learning_rate = 1e-3;
+  double entropy_coef = 0.01;
+  /// Probability of a uniformly-random sub-action during training episodes
+  /// (keeps exploration alive once the policy sharpens).
+  double exploration_epsilon = 0.05;
+  double grad_clip = 5.0;
+  RewardConfig reward;
+  uint64_t seed = 31;
+  /// Emit an INFO log line every this many episodes (0 = silent).
+  int log_every = 0;
+};
+
+struct TrainStats {
+  /// Average query latency of each training episode (sampled policy).
+  std::vector<double> episode_avg_latency;
+  /// Total reward of each episode (the Fig. 14b y-axis).
+  std::vector<double> episode_reward;
+  /// Policy-gradient decisions processed in total.
+  int total_decisions = 0;
+};
+
+/// Generates the workload for training episode `episode` (paper §7.1:
+/// episodes vary query counts and arrival rates).
+using WorkloadFactory =
+    std::function<std::vector<QuerySubmission>(int episode, Rng* rng)>;
+
+/// REINFORCE policy-gradient trainer (paper §6): runs episodes on the
+/// simulator with the agent sampling actions, computes the average+tail
+/// latency rewards, and replays each recorded decision to accumulate
+/// log-prob gradients weighted by baselined advantages.
+class ReinforceTrainer {
+ public:
+  ReinforceTrainer(LSchedModel* model, SimEngine* engine, TrainConfig config);
+
+  /// Full training run; `factory` supplies one workload per episode.
+  TrainStats Train(const WorkloadFactory& factory);
+
+  /// Runs one episode + one gradient update; returns the episode's total
+  /// reward. Exposed for tests and for the incremental training curves of
+  /// Fig. 14.
+  double TrainOneEpisode(const std::vector<QuerySubmission>& workload);
+
+  ExperienceManager* experience_manager() { return &experience_; }
+
+ private:
+  void UpdateFromLatestEpisode();
+
+  LSchedModel* model_;
+  SimEngine* engine_;
+  TrainConfig config_;
+  LSchedAgent agent_;
+  ExperienceManager experience_;
+  Adam optimizer_;
+  Rng rng_;
+  TrainStats stats_;
+};
+
+}  // namespace lsched
+
+#endif  // LSCHED_CORE_TRAINER_H_

@@ -1,0 +1,75 @@
+#ifndef LSCHED_EXEC_EXEC_TYPES_H_
+#define LSCHED_EXEC_EXEC_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lsched {
+
+using QueryId = int64_t;
+inline constexpr QueryId kInvalidQuery = -1;
+
+/// The major events that trigger the scheduler (paper §5.2). The scheduler
+/// is NOT invoked per work order — only on these events.
+enum class SchedulingEventType : uint8_t {
+  kQueryArrival = 0,      ///< a new query entered the system
+  kOperatorCompleted,     ///< a scheduled operator finished all work orders
+  kThreadIdle,            ///< a worker thread has no more assigned work
+  kThreadAdded,           ///< the worker pool grew
+  kThreadRemoved,         ///< the worker pool shrank
+};
+
+const char* SchedulingEventTypeName(SchedulingEventType t);
+
+struct SchedulingEvent {
+  SchedulingEventType type = SchedulingEventType::kQueryArrival;
+  double time = 0.0;
+  QueryId query = kInvalidQuery;  ///< for arrival / operator completion
+  int op = -1;                    ///< for operator completion
+  int thread = -1;                ///< for thread events
+};
+
+/// One unit of work: one (possibly fused pipeline) work order. In the
+/// simulator a fused work order pushes one root block through the whole
+/// scheduled pipeline; in the real engine it additionally carries the block
+/// index to process.
+struct WorkOrder {
+  QueryId query = kInvalidQuery;
+  std::vector<int> chain;  ///< pipeline member op ids, root first
+  int index = 0;           ///< work-order sequence number within the pipeline
+  double est_seconds = 0.0;
+};
+
+/// A scheduling decision: which pipelines to launch (execution root +
+/// pipeline degree, paper §5.3.1–5.3.2) and per-query thread caps
+/// (parallelism degree, §5.3.3). Queries without an entry keep their cap.
+struct PipelineChoice {
+  QueryId query = kInvalidQuery;
+  int root_op = -1;
+  int degree = 1;  ///< number of operators in the pipeline (>= 1)
+};
+
+struct ParallelismChoice {
+  QueryId query = kInvalidQuery;
+  int max_threads = 0;
+};
+
+struct SchedulingDecision {
+  std::vector<PipelineChoice> pipelines;
+  std::vector<ParallelismChoice> parallelism;
+
+  bool empty() const { return pipelines.empty() && parallelism.empty(); }
+};
+
+/// Per-thread status exposed to schedulers (for Q-ATH / Q-FTH / Q-LOC).
+struct ThreadInfo {
+  int id = -1;
+  bool busy = false;
+  QueryId running_query = kInvalidQuery;  ///< query currently executing
+  QueryId last_query = kInvalidQuery;     ///< most recent query executed
+};
+
+}  // namespace lsched
+
+#endif  // LSCHED_EXEC_EXEC_TYPES_H_

@@ -1,0 +1,120 @@
+#ifndef LSCHED_EXEC_KERNELS_H_
+#define LSCHED_EXEC_KERNELS_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "plan/query_plan.h"
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace lsched {
+
+/// Materialized intermediate result: fixed-arity rows of doubles, viewed as
+/// chunks of `chunk_rows` rows (the work-order granularity for consumers).
+class RowStore {
+ public:
+  RowStore() = default;
+  RowStore(int num_cols, size_t chunk_rows)
+      : num_cols_(num_cols), chunk_rows_(chunk_rows) {}
+
+  int num_cols() const { return num_cols_; }
+  size_t num_rows() const {
+    return num_cols_ == 0 ? 0 : data_.size() / static_cast<size_t>(num_cols_);
+  }
+  size_t num_chunks() const {
+    return chunk_rows_ == 0 ? 0 : (num_rows() + chunk_rows_ - 1) / chunk_rows_;
+  }
+  size_t chunk_rows() const { return chunk_rows_; }
+
+  void AppendRow(const std::vector<double>& row);
+  void AppendRow(const double* row, int n);
+
+  double at(size_t row, int col) const {
+    return data_[row * static_cast<size_t>(num_cols_) +
+                 static_cast<size_t>(col)];
+  }
+
+  /// Copies chunk `idx` (bounded) into `out` as row vectors.
+  void ChunkRows(size_t idx, std::vector<std::vector<double>>* out) const;
+
+  size_t ByteSize() const { return data_.size() * sizeof(double); }
+
+ private:
+  int num_cols_ = 0;
+  size_t chunk_rows_ = 4096;
+  std::vector<double> data_;
+};
+
+/// Runtime execution state of one query in RealEngine: per-operator shared
+/// state (hash tables, aggregation maps, sort runs, ...) plus output stores.
+/// Work orders from multiple worker threads may touch the same operator
+/// concurrently; all shared state is mutex-protected, mirroring Quickstep's
+/// concurrent work-order execution (paper §2).
+class QueryExecution {
+ public:
+  QueryExecution(const Catalog* catalog, const QueryPlan* plan,
+                 size_t chunk_rows);
+
+  const QueryPlan& plan() const { return *plan_; }
+
+  /// Number of work orders the root of `chain` generates *now* (source:
+  /// base-relation blocks; intermediate: chunks of its completed producer
+  /// outputs). RealEngine requires standalone producers to be complete.
+  int NumWorkOrders(int op) const;
+
+  /// Executes fused work order `index` of `chain`: one root input block
+  /// pushed through every (streaming) stage; stateful tails consume into
+  /// their operator state. Thread-safe.
+  Status ExecuteWorkOrder(const std::vector<int>& chain, int index);
+
+  /// Called once when `op` finished all work orders: blocking operators
+  /// (aggregates, sorts, top-k, ...) emit their buffered results.
+  Status FinalizeOperator(int op);
+
+  /// Output rows of `op` (valid once the op is finalized for blocking ops).
+  const RowStore& output(int op) const { return *outputs_[op]; }
+
+  /// Approximate bytes of operator state currently held by `op`.
+  size_t StateBytes(int op) const;
+
+ private:
+  struct OpState {
+    // Hash join / index build: key -> row index into build input rows.
+    std::unordered_multimap<int64_t, size_t> hash_table;
+    std::vector<std::vector<double>> hash_rows;
+    // Aggregation: group key -> (accumulator, count).
+    std::map<int64_t, std::pair<double, int64_t>> agg;
+    // Distinct / intersect membership.
+    std::unordered_map<int64_t, int> seen;
+    // Sort runs / top-k buffers.
+    std::vector<std::vector<double>> buffer;
+    int64_t rows_consumed = 0;
+    std::mutex mu;
+  };
+
+  /// Rows of chunk `index` of the input feeding `op` (source block or
+  /// producer-output chunk), resolved across multiple producers.
+  Status InputChunk(int op, int index,
+                    std::vector<std::vector<double>>* rows) const;
+
+  /// Streams `rows` through operator `op`, appending survivors to `out`.
+  /// Stateful operators consume into state and emit nothing until finalize.
+  Status ProcessRows(int op, std::vector<std::vector<double>>&& rows,
+                     std::vector<std::vector<double>>* out);
+
+  int OutputArity(int op) const;
+
+  const Catalog* catalog_;
+  const QueryPlan* plan_;
+  size_t chunk_rows_;
+  std::vector<std::unique_ptr<OpState>> states_;
+  std::vector<std::unique_ptr<RowStore>> outputs_;
+};
+
+}  // namespace lsched
+
+#endif  // LSCHED_EXEC_KERNELS_H_

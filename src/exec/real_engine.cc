@@ -1,0 +1,396 @@
+#include "exec/real_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/clock.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace lsched {
+
+RealEngine::RealEngine(const Catalog* catalog, RealEngineConfig config)
+    : catalog_(catalog), config_(std::move(config)) {}
+
+void RealEngine::WorkerLoop(int worker_id) {
+  Worker& w = *workers_[static_cast<size_t>(worker_id)];
+  while (true) {
+    WorkerTask task;
+    {
+      std::unique_lock<std::mutex> lock(w.mu);
+      w.cv.wait(lock, [&] { return w.task.has_value(); });
+      task = std::move(*w.task);
+      w.task.reset();
+    }
+    if (task.shutdown) return;
+    Stopwatch sw;
+    Status st = executions_[static_cast<size_t>(task.query_index)]
+                    ->ExecuteWorkOrder(task.chain, task.wo_index);
+    Completion c;
+    c.thread_id = worker_id;
+    c.pipeline_index = task.pipeline_index;
+    c.wo_index = task.wo_index;
+    c.seconds = sw.ElapsedSeconds();
+    c.status = std::move(st);
+    PushCompletion(std::move(c));
+  }
+}
+
+void RealEngine::PushCompletion(Completion c) {
+  {
+    std::lock_guard<std::mutex> lock(completion_mu_);
+    completions_.push_back(std::move(c));
+  }
+  completion_cv_.notify_one();
+}
+
+SystemState RealEngine::SnapshotState(double now) {
+  SystemState state;
+  state.now = now;
+  for (auto& q : query_states_) {
+    if (q != nullptr && !q->completed()) state.queries.push_back(q.get());
+  }
+  for (const auto& w : workers_) state.threads.push_back(w->info);
+  return state;
+}
+
+void RealEngine::ApplyDecision(const SchedulingDecision& decision) {
+  for (const ParallelismChoice& pc : decision.parallelism) {
+    for (auto& q : query_states_) {
+      if (q != nullptr && q->id() == pc.query && !q->completed()) {
+        q->set_max_threads(std::max(0, pc.max_threads));
+      }
+    }
+  }
+  for (const PipelineChoice& choice : decision.pipelines) {
+    QueryState* q = nullptr;
+    int query_index = -1;
+    for (size_t i = 0; i < query_states_.size(); ++i) {
+      if (query_states_[i] != nullptr && query_states_[i]->id() == choice.query &&
+          !query_states_[i]->completed()) {
+        q = query_states_[i].get();
+        query_index = static_cast<int>(i);
+        break;
+      }
+    }
+    if (q == nullptr) continue;
+    if (choice.root_op < 0 ||
+        choice.root_op >= static_cast<int>(q->plan().num_nodes())) {
+      continue;
+    }
+    if (!q->IsOpSchedulable(choice.root_op)) continue;
+    // RealEngine restriction: every producer of the root must be complete
+    // (no cross-thread streaming into a standalone root).
+    bool producers_done = true;
+    for (int e : q->plan().node(choice.root_op).in_edges) {
+      if (!q->op_completed(q->plan().edge(e).producer)) {
+        producers_done = false;
+        break;
+      }
+    }
+    if (!producers_done) continue;
+
+    std::vector<int> valid = q->ValidPipelineFrom(choice.root_op);
+    const int degree =
+        std::clamp(choice.degree, 1, static_cast<int>(valid.size()));
+    valid.resize(static_cast<size_t>(degree));
+
+    ActivePipeline p;
+    p.query_index = query_index;
+    p.chain = valid;
+    p.total_fused = executions_[static_cast<size_t>(query_index)]
+                        ->NumWorkOrders(valid[0]);
+    for (int op : valid) q->set_op_scheduled(op, true);
+    pipelines_.push_back(std::move(p));
+    ++result_.num_actions;
+  }
+}
+
+int RealEngine::AssignThreads() {
+  int dispatched = 0;
+  while (true) {
+    int pipeline_index = -1;
+    for (size_t i = 0; i < pipelines_.size(); ++i) {
+      ActivePipeline& p = pipelines_[i];
+      if (p.dispatched >= p.total_fused) continue;
+      QueryState* q = query_states_[static_cast<size_t>(p.query_index)].get();
+      const int cap =
+          q->max_threads() > 0 ? q->max_threads() : config_.num_threads;
+      if (q->assigned_threads() >= cap) continue;
+      pipeline_index = static_cast<int>(i);
+      break;
+    }
+    if (pipeline_index < 0) return dispatched;
+    ActivePipeline& p = pipelines_[static_cast<size_t>(pipeline_index)];
+    QueryState* q = query_states_[static_cast<size_t>(p.query_index)].get();
+
+    // Find a free worker, preferring locality.
+    int worker_id = -1;
+    for (const auto& w : workers_) {
+      if (!w->info.busy && w->info.last_query == q->id()) {
+        worker_id = w->info.id;
+        break;
+      }
+    }
+    if (worker_id < 0) {
+      for (const auto& w : workers_) {
+        if (!w->info.busy) {
+          worker_id = w->info.id;
+          break;
+        }
+      }
+    }
+    if (worker_id < 0) return dispatched;
+
+    Worker& w = *workers_[static_cast<size_t>(worker_id)];
+    WorkerTask task;
+    task.query_index = p.query_index;
+    task.pipeline_index = pipeline_index;
+    task.chain = p.chain;
+    task.wo_index = p.dispatched;
+    ++p.dispatched;
+    ++p.inflight;
+    w.info.busy = true;
+    w.info.running_query = q->id();
+    q->set_assigned_threads(q->assigned_threads() + 1);
+    {
+      std::lock_guard<std::mutex> lock(w.mu);
+      w.task = std::move(task);
+    }
+    w.cv.notify_one();
+    ++dispatched;
+  }
+}
+
+void RealEngine::InvokeScheduler(const SchedulingEvent& event,
+                                 Scheduler* scheduler, double now) {
+  for (int round = 0; round < config_.max_rounds_per_event; ++round) {
+    SystemState state = SnapshotState(now);
+    if (state.num_free_threads() == 0) return;
+    bool any_schedulable = false;
+    for (QueryState* q : state.queries) {
+      if (!q->SchedulableOps().empty()) {
+        any_schedulable = true;
+        break;
+      }
+    }
+    if (!any_schedulable) return;
+    Stopwatch sw;
+    const SchedulingDecision decision = scheduler->Schedule(event, state);
+    result_.scheduler_wall_seconds += sw.ElapsedSeconds();
+    ++result_.num_scheduler_invocations;
+    result_.decisions.push_back(
+        {now, static_cast<int>(state.queries.size())});
+    if (decision.empty()) return;
+    const size_t before = pipelines_.size();
+    ApplyDecision(decision);
+    AssignThreads();
+    if (pipelines_.size() == before) return;
+  }
+}
+
+void RealEngine::ForceFallback() {
+  for (size_t i = 0; i < query_states_.size(); ++i) {
+    QueryState* q = query_states_[i].get();
+    if (q == nullptr || q->completed()) continue;
+    for (int op : q->SchedulableOps()) {
+      bool producers_done = true;
+      for (int e : q->plan().node(op).in_edges) {
+        if (!q->op_completed(q->plan().edge(e).producer)) {
+          producers_done = false;
+          break;
+        }
+      }
+      if (!producers_done) continue;
+      SchedulingDecision d;
+      d.pipelines.push_back(PipelineChoice{q->id(), op, 1});
+      ApplyDecision(d);
+      AssignThreads();
+      ++result_.num_fallback_decisions;
+      return;
+    }
+  }
+}
+
+RealRunResult RealEngine::Run(const std::vector<RealQuerySubmission>& workload,
+                              Scheduler* scheduler) {
+  query_states_.clear();
+  executions_.clear();
+  pipelines_.clear();
+  completions_.clear();
+  result_ = EpisodeResult{};
+  scheduler->Reset();
+
+  query_states_.resize(workload.size());
+  executions_.resize(workload.size());
+
+  workers_.clear();
+  for (int i = 0; i < config_.num_threads; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->info.id = i;
+    workers_.push_back(std::move(w));
+  }
+  for (int i = 0; i < config_.num_threads; ++i) {
+    workers_[static_cast<size_t>(i)]->thread =
+        std::thread([this, i] { WorkerLoop(i); });
+  }
+
+  WallClock clock;
+  size_t next_arrival = 0;
+  std::vector<size_t> arrival_order(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) arrival_order[i] = i;
+  std::sort(arrival_order.begin(), arrival_order.end(),
+            [&](size_t a, size_t b) {
+              return workload[a].arrival_offset_seconds <
+                     workload[b].arrival_offset_seconds;
+            });
+
+  int completed_queries = 0;
+  while (completed_queries < static_cast<int>(workload.size())) {
+    const double now = clock.Now();
+
+    // Release due arrivals.
+    while (next_arrival < arrival_order.size() &&
+           workload[arrival_order[next_arrival]].arrival_offset_seconds <=
+               now) {
+      const size_t idx = arrival_order[next_arrival];
+      query_states_[idx] = std::make_unique<QueryState>(
+          static_cast<QueryId>(idx), workload[idx].plan, now);
+      executions_[idx] = std::make_unique<QueryExecution>(
+          catalog_, &query_states_[idx]->plan(), config_.chunk_rows);
+      ++next_arrival;
+      SchedulingEvent se;
+      se.type = SchedulingEventType::kQueryArrival;
+      se.time = now;
+      se.query = static_cast<QueryId>(idx);
+      InvokeScheduler(se, scheduler, now);
+      AssignThreads();
+    }
+
+    // Deadlock guard: nothing running, nothing pending, queries remain.
+    bool any_busy = false;
+    for (const auto& w : workers_) any_busy |= w->info.busy;
+    bool any_pending = false;
+    for (const ActivePipeline& p : pipelines_) {
+      any_pending |= p.dispatched < p.total_fused;
+    }
+    if (!any_busy && !any_pending && next_arrival >= arrival_order.size()) {
+      bool all_done = true;
+      for (const auto& q : query_states_) {
+        if (q != nullptr && !q->completed()) all_done = false;
+      }
+      if (all_done) break;
+      ForceFallback();
+    }
+
+    // Wait for a completion (with a timeout so arrivals are released).
+    Completion c;
+    {
+      std::unique_lock<std::mutex> lock(completion_mu_);
+      if (!completion_cv_.wait_for(lock, std::chrono::milliseconds(2),
+                                   [&] { return !completions_.empty(); })) {
+        continue;
+      }
+      c = std::move(completions_.front());
+      completions_.pop_front();
+    }
+    const double done_now = clock.Now();
+    LSCHED_CHECK(c.status.ok()) << c.status.ToString();
+
+    ActivePipeline& p = pipelines_[static_cast<size_t>(c.pipeline_index)];
+    QueryState* q = query_states_[static_cast<size_t>(p.query_index)].get();
+    Worker& w = *workers_[static_cast<size_t>(c.thread_id)];
+    w.info.busy = false;
+    w.info.last_query = q->id();
+    w.info.running_query = kInvalidQuery;
+    q->AddAttainedService(c.seconds);
+    --p.inflight;
+    q->set_assigned_threads(q->assigned_threads() - 1);
+
+    std::vector<int> completed_ops;
+    const double fused_total = static_cast<double>(p.total_fused);
+    for (size_t s = 0; s < p.chain.size(); ++s) {
+      const int op = p.chain[s];
+      const double amount =
+          static_cast<double>(q->plan().node(op).num_work_orders) /
+          fused_total;
+      const double mem = static_cast<double>(
+          executions_[static_cast<size_t>(p.query_index)]->StateBytes(op));
+      if (q->AdvanceOperator(
+              op, amount, c.seconds / static_cast<double>(p.chain.size()),
+              mem / fused_total)) {
+        const Status fin = executions_[static_cast<size_t>(p.query_index)]
+                               ->FinalizeOperator(op);
+        LSCHED_CHECK(fin.ok()) << fin.ToString();
+        completed_ops.push_back(op);
+      }
+    }
+
+    if (q->completed() && q->completion_time() < 0.0) {
+      q->set_completion_time(done_now);
+      const double latency = done_now - q->arrival_time();
+      result_.query_latencies.push_back(latency);
+      scheduler->OnQueryCompleted(q->id(), latency);
+      ++completed_queries;
+    }
+
+    AssignThreads();
+    if (!completed_ops.empty()) {
+      SchedulingEvent se;
+      se.type = SchedulingEventType::kOperatorCompleted;
+      se.time = done_now;
+      se.query = q->id();
+      se.op = completed_ops.front();
+      InvokeScheduler(se, scheduler, done_now);
+      AssignThreads();
+    } else if (!w.info.busy) {
+      SchedulingEvent se;
+      se.type = SchedulingEventType::kThreadIdle;
+      se.time = done_now;
+      se.thread = w.info.id;
+      InvokeScheduler(se, scheduler, done_now);
+      AssignThreads();
+    }
+  }
+
+  // Shut the pool down.
+  for (auto& w : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(w->mu);
+      WorkerTask t;
+      t.shutdown = true;
+      w->task = t;
+    }
+    w->cv.notify_one();
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+
+  result_.avg_latency = Mean(result_.query_latencies);
+  result_.p90_latency = Percentile(result_.query_latencies, 90.0);
+  result_.makespan = clock.Now();
+
+  RealRunResult out;
+  out.episode = std::move(result_);
+  for (size_t i = 0; i < workload.size(); ++i) {
+    int64_t rows = 0;
+    double checksum = 0.0;
+    if (executions_[i] != nullptr) {
+      for (int sink : query_states_[i]->plan().SinkNodes()) {
+        const RowStore& store = executions_[i]->output(sink);
+        rows += static_cast<int64_t>(store.num_rows());
+        for (size_t r = 0; r < store.num_rows(); ++r) {
+          for (int col = 0; col < store.num_cols(); ++col) {
+            checksum += store.at(r, col);
+          }
+        }
+      }
+    }
+    out.sink_row_counts.push_back(rows);
+    out.sink_checksums.push_back(checksum);
+  }
+  return out;
+}
+
+}  // namespace lsched

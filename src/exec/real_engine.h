@@ -1,0 +1,119 @@
+#ifndef LSCHED_EXEC_REAL_ENGINE_H_
+#define LSCHED_EXEC_REAL_ENGINE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "exec/kernels.h"
+#include "exec/query_state.h"
+#include "exec/scheduler.h"
+#include "exec/sim_engine.h"  // for EpisodeResult
+#include "storage/catalog.h"
+
+namespace lsched {
+
+struct RealEngineConfig {
+  int num_threads = 8;
+  size_t chunk_rows = 4096;
+  int max_rounds_per_event = 64;
+};
+
+struct RealQuerySubmission {
+  QueryPlan plan;
+  double arrival_offset_seconds = 0.0;  ///< wall-clock offset from run start
+};
+
+/// Result of a real execution run: scheduling telemetry plus per-query sink
+/// output sizes/checksums for correctness verification.
+struct RealRunResult {
+  EpisodeResult episode;
+  std::vector<int64_t> sink_row_counts;
+  std::vector<double> sink_checksums;
+};
+
+/// Work-order execution engine with REAL worker threads running REAL
+/// relational kernels over catalog blocks (the Quickstep-substitute
+/// substrate, paper §2/§5.1): one coordinator ("scheduler thread") plus a
+/// pool of workers, each executing fused pipeline work orders. Scheduling
+/// policy decisions come from the same Scheduler interface the simulator
+/// uses, so any policy (heuristic or learned) drives real execution
+/// unchanged.
+///
+/// Simplification vs. the simulator: an execution root must have all its
+/// producers completed (cross-thread producer/consumer streaming is not
+/// supported; in-chain pipelining is). DESIGN.md documents this.
+class RealEngine {
+ public:
+  RealEngine(const Catalog* catalog, RealEngineConfig config);
+
+  RealRunResult Run(const std::vector<RealQuerySubmission>& workload,
+                    Scheduler* scheduler);
+
+ private:
+  struct ActivePipeline {
+    int query_index = -1;
+    std::vector<int> chain;
+    int total_fused = 0;
+    int dispatched = 0;
+    int inflight = 0;
+  };
+
+  struct Completion {
+    int thread_id = -1;
+    int pipeline_index = -1;
+    int wo_index = -1;
+    double seconds = 0.0;
+    Status status;
+  };
+
+  struct WorkerTask {
+    bool shutdown = false;
+    int query_index = -1;
+    int pipeline_index = -1;
+    std::vector<int> chain;
+    int wo_index = 0;
+  };
+
+  struct Worker {
+    std::thread thread;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<WorkerTask> task;
+    ThreadInfo info;
+  };
+
+  void WorkerLoop(int worker_id);
+  void PushCompletion(Completion c);
+
+  // Coordinator helpers (no locking needed: only the coordinator mutates
+  // scheduling state).
+  SystemState SnapshotState(double now);
+  void ApplyDecision(const SchedulingDecision& decision);
+  int AssignThreads();
+  void InvokeScheduler(const SchedulingEvent& event, Scheduler* scheduler,
+                       double now);
+  void ForceFallback();
+
+  const Catalog* catalog_;
+  RealEngineConfig config_;
+
+  // Per-run state (owned by the coordinator).
+  std::vector<std::unique_ptr<QueryState>> query_states_;
+  std::vector<std::unique_ptr<QueryExecution>> executions_;
+  std::vector<ActivePipeline> pipelines_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  EpisodeResult result_;
+
+  std::mutex completion_mu_;
+  std::condition_variable completion_cv_;
+  std::deque<Completion> completions_;
+};
+
+}  // namespace lsched
+
+#endif  // LSCHED_EXEC_REAL_ENGINE_H_

@@ -1,0 +1,64 @@
+#ifndef LSCHED_EXEC_SCHEDULER_H_
+#define LSCHED_EXEC_SCHEDULER_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/exec_types.h"
+#include "exec/query_state.h"
+
+namespace lsched {
+
+/// Read-only snapshot of the execution environment handed to schedulers at
+/// each scheduling event.
+struct SystemState {
+  double now = 0.0;
+  /// Queries that have arrived and not yet completed. Pointers remain valid
+  /// for the duration of the Schedule() call only.
+  std::vector<QueryState*> queries;
+  std::vector<ThreadInfo> threads;
+
+  int num_free_threads() const {
+    int n = 0;
+    for (const ThreadInfo& t : threads) {
+      if (!t.busy) ++n;
+    }
+    return n;
+  }
+
+  QueryState* FindQuery(QueryId id) const {
+    for (QueryState* q : queries) {
+      if (q->id() == id) return q;
+    }
+    return nullptr;
+  }
+};
+
+/// Scheduling-policy interface. Implementations include the heuristic
+/// baselines (FIFO, Fair, SJF, HPF, critical path), the learned baselines
+/// (Decima), and LSched itself. Engines invoke Schedule() at every
+/// scheduling event (paper §5.2) and apply the returned decision.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called at the start of each workload/episode.
+  virtual void Reset() {}
+
+  /// Produces scheduling decisions for `event` given `state`. An empty
+  /// decision means "keep running what is already scheduled".
+  virtual SchedulingDecision Schedule(const SchedulingEvent& event,
+                                      const SystemState& state) = 0;
+
+  /// Feedback when a query finishes (latency = completion - arrival).
+  virtual void OnQueryCompleted(QueryId query, double latency) {
+    (void)query;
+    (void)latency;
+  }
+};
+
+}  // namespace lsched
+
+#endif  // LSCHED_EXEC_SCHEDULER_H_

@@ -1,0 +1,413 @@
+#include "exec/sim_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/clock.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace lsched {
+
+SimEngine::SimEngine(SimEngineConfig config)
+    : config_(std::move(config)), cost_model_(config_.cost_params) {}
+
+void SimEngine::ResetRunState() {
+  rng_ = Rng(config_.seed);
+  queries_.clear();
+  threads_.assign(static_cast<size_t>(config_.num_threads), SimThread{});
+  for (size_t i = 0; i < threads_.size(); ++i) {
+    threads_[i].info.id = static_cast<int>(i);
+  }
+  active_pipelines_.clear();
+  while (!events_.empty()) events_.pop();
+  event_seq_ = 0;
+  result_ = EpisodeResult{};
+  completed_queries_ = 0;
+  pending_thread_removals_ = 0;
+  for (size_t i = 0; i < config_.thread_events.size(); ++i) {
+    events_.push(SimEvent{config_.thread_events[i].time, event_seq_++,
+                          SimEvent::kPoolChange, static_cast<int>(i)});
+  }
+}
+
+SystemState SimEngine::SnapshotState(double now) {
+  SystemState state;
+  state.now = now;
+  for (auto& q : queries_) {
+    if (q != nullptr && !q->completed()) state.queries.push_back(q.get());
+  }
+  state.threads.reserve(threads_.size());
+  for (const SimThread& t : threads_) {
+    if (!t.retired) state.threads.push_back(t.info);
+  }
+  return state;
+}
+
+bool SimEngine::AnySchedulableOp() const {
+  for (const auto& q : queries_) {
+    if (q != nullptr && !q->completed() && !q->SchedulableOps().empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SimEngine::AnyPendingFusedWork() const {
+  for (const ActivePipeline& p : active_pipelines_) {
+    if (p.dispatched < p.total_fused) return true;
+  }
+  return false;
+}
+
+void SimEngine::ApplyDecision(const SchedulingDecision& decision, double now) {
+  for (const ParallelismChoice& pc : decision.parallelism) {
+    for (auto& q : queries_) {
+      if (q != nullptr && q->id() == pc.query && !q->completed()) {
+        q->set_max_threads(std::max(0, pc.max_threads));
+      }
+    }
+  }
+  for (const PipelineChoice& choice : decision.pipelines) {
+    QueryState* q = nullptr;
+    for (auto& cand : queries_) {
+      if (cand != nullptr && cand->id() == choice.query &&
+          !cand->completed()) {
+        q = cand.get();
+        break;
+      }
+    }
+    if (q == nullptr) continue;
+    if (choice.root_op < 0 ||
+        choice.root_op >= static_cast<int>(q->plan().num_nodes())) {
+      continue;
+    }
+    if (!q->IsOpSchedulable(choice.root_op)) continue;
+
+    std::vector<int> valid = q->ValidPipelineFrom(choice.root_op);
+    const int degree =
+        std::clamp(choice.degree, 1, static_cast<int>(valid.size()));
+    valid.resize(static_cast<size_t>(degree));
+
+    ActivePipeline pipeline;
+    pipeline.query = q->id();
+    pipeline.chain = valid;
+    pipeline.total_fused =
+        std::max(q->plan().node(valid[0]).num_work_orders, 1);
+    pipeline.est_seconds_per_fused =
+        cost_model_.PipelineWorkOrderSeconds(q->plan(), valid);
+    pipeline.memory = cost_model_.PipelineMemory(q->plan(), valid);
+    for (int op : valid) q->set_op_scheduled(op, true);
+    active_pipelines_.push_back(std::move(pipeline));
+    ++result_.num_actions;
+    (void)now;
+  }
+}
+
+void SimEngine::DispatchTo(int thread_id, int pipeline_idx, double now) {
+  ActivePipeline& p = active_pipelines_[static_cast<size_t>(pipeline_idx)];
+  SimThread& t = threads_[static_cast<size_t>(thread_id)];
+
+  QueryState* q = nullptr;
+  for (auto& cand : queries_) {
+    if (cand != nullptr && cand->id() == p.query) {
+      q = cand.get();
+      break;
+    }
+  }
+  LSCHED_CHECK(q != nullptr);
+
+  double duration = p.est_seconds_per_fused;
+  const double noise =
+      std::max(0.05, rng_.Normal(1.0, config_.cost_params.noise_cv));
+  duration *= noise;
+  if (t.info.last_query == p.query) {
+    duration *= (1.0 - config_.cost_params.locality_gain);
+  }
+  // Intra-query contention: k threads (incl. this one) on the same query.
+  duration *= 1.0 + config_.cost_params.intra_query_contention *
+                        static_cast<double>(q->assigned_threads());
+  duration = std::max(duration, 1e-9);
+
+  ++p.dispatched;
+  ++p.inflight;
+  t.info.busy = true;
+  t.info.running_query = p.query;
+  t.pipeline_index = pipeline_idx;
+  t.busy_until = now + duration;
+  q->set_assigned_threads(q->assigned_threads() + 1);
+
+  events_.push(SimEvent{now + duration, event_seq_++, SimEvent::kWorkOrderDone,
+                        thread_id});
+}
+
+int SimEngine::AssignThreads(double now) {
+  int dispatched = 0;
+  while (true) {
+    // Candidate pipelines with pending fused work whose query is below its
+    // parallelism cap.
+    std::vector<int> candidates;
+    for (size_t i = 0; i < active_pipelines_.size(); ++i) {
+      const ActivePipeline& p = active_pipelines_[i];
+      if (p.dispatched >= p.total_fused) continue;
+      QueryState* q = nullptr;
+      for (auto& cand : queries_) {
+        if (cand != nullptr && cand->id() == p.query) {
+          q = cand.get();
+          break;
+        }
+      }
+      if (q == nullptr || q->completed()) continue;
+      const int cap =
+          q->max_threads() > 0 ? q->max_threads() : config_.num_threads;
+      if (q->assigned_threads() >= cap) continue;
+      candidates.push_back(static_cast<int>(i));
+    }
+    if (candidates.empty()) return dispatched;
+
+    // Pick a free thread, preferring one with locality to some candidate.
+    int thread_id = -1;
+    int chosen_pipeline = -1;
+    for (const SimThread& t : threads_) {
+      if (t.info.busy || t.retired) continue;
+      for (int ci : candidates) {
+        if (active_pipelines_[static_cast<size_t>(ci)].query ==
+            t.info.last_query) {
+          thread_id = t.info.id;
+          chosen_pipeline = ci;
+          break;
+        }
+      }
+      if (thread_id >= 0) break;
+    }
+    if (thread_id < 0) {
+      for (const SimThread& t : threads_) {
+        if (!t.info.busy && !t.retired) {
+          thread_id = t.info.id;
+          break;
+        }
+      }
+      if (thread_id < 0) return dispatched;  // no free thread
+      // Least-loaded query first (fair progress among scheduled pipelines).
+      double best_load = 1e300;
+      for (int ci : candidates) {
+        const ActivePipeline& p = active_pipelines_[static_cast<size_t>(ci)];
+        for (auto& cand : queries_) {
+          if (cand != nullptr && cand->id() == p.query) {
+            const double load = static_cast<double>(cand->assigned_threads());
+            if (load < best_load) {
+              best_load = load;
+              chosen_pipeline = ci;
+            }
+            break;
+          }
+        }
+      }
+    }
+    if (chosen_pipeline < 0) return dispatched;
+    DispatchTo(thread_id, chosen_pipeline, now);
+    ++dispatched;
+  }
+}
+
+void SimEngine::InvokeScheduler(const SchedulingEvent& event,
+                                Scheduler* scheduler, double now) {
+  // Per §5.2: no decisions if all threads are busy or nothing to schedule.
+  for (int round = 0; round < config_.max_rounds_per_event; ++round) {
+    if (SnapshotState(now).num_free_threads() == 0) return;
+    if (!AnySchedulableOp()) return;
+    SystemState state = SnapshotState(now);
+    Stopwatch sw;
+    const SchedulingDecision decision = scheduler->Schedule(event, state);
+    result_.scheduler_wall_seconds += sw.ElapsedSeconds();
+    ++result_.num_scheduler_invocations;
+    int running = static_cast<int>(state.queries.size());
+    result_.decisions.push_back({now, running});
+    if (decision.empty()) return;
+    const size_t before = active_pipelines_.size();
+    ApplyDecision(decision, now);
+    AssignThreads(now);
+    if (active_pipelines_.size() == before) return;  // no new pipelines
+  }
+}
+
+void SimEngine::ForceFallbackSchedule(double now) {
+  // Deadlock guard: the policy scheduled nothing although work exists.
+  // Launch the first schedulable operator of the oldest query, degree 1.
+  for (auto& q : queries_) {
+    if (q == nullptr || q->completed()) continue;
+    const std::vector<int> ops = q->SchedulableOps();
+    if (ops.empty()) continue;
+    SchedulingDecision d;
+    d.pipelines.push_back(PipelineChoice{q->id(), ops[0], 1});
+    ApplyDecision(d, now);
+    AssignThreads(now);
+    ++result_.num_fallback_decisions;
+    return;
+  }
+}
+
+EpisodeResult SimEngine::Run(const std::vector<QuerySubmission>& workload,
+                             Scheduler* scheduler) {
+  ResetRunState();
+  scheduler->Reset();
+
+  for (size_t i = 0; i < workload.size(); ++i) {
+    events_.push(SimEvent{workload[i].arrival_time, event_seq_++,
+                          SimEvent::kArrival, static_cast<int>(i)});
+  }
+  queries_.resize(workload.size());
+
+  double now = 0.0;
+  while (!events_.empty()) {
+    const SimEvent ev = events_.top();
+    events_.pop();
+    now = ev.time;
+    if (now > config_.max_virtual_seconds) {
+      LSCHED_LOG(Warning) << "simulation exceeded max virtual time";
+      break;
+    }
+
+    if (ev.kind == SimEvent::kArrival) {
+      const size_t idx = static_cast<size_t>(ev.payload);
+      queries_[idx] = std::make_unique<QueryState>(
+          static_cast<QueryId>(idx), workload[idx].plan, now,
+          config_.regression_window);
+      SchedulingEvent se;
+      se.type = SchedulingEventType::kQueryArrival;
+      se.time = now;
+      se.query = static_cast<QueryId>(idx);
+      InvokeScheduler(se, scheduler, now);
+      AssignThreads(now);
+    } else if (ev.kind == SimEvent::kPoolChange) {
+      const ThreadPoolEvent& change =
+          config_.thread_events[static_cast<size_t>(ev.payload)];
+      SchedulingEvent se;
+      se.time = now;
+      if (change.delta > 0) {
+        for (int k = 0; k < change.delta; ++k) {
+          SimThread t;
+          t.info.id = static_cast<int>(threads_.size());
+          threads_.push_back(t);
+        }
+        se.type = SchedulingEventType::kThreadAdded;
+      } else if (change.delta < 0) {
+        int to_remove = -change.delta;
+        for (SimThread& t : threads_) {
+          if (to_remove == 0) break;
+          if (!t.retired && !t.info.busy) {
+            t.retired = true;
+            --to_remove;
+          }
+        }
+        // Busy threads retire as their current work order completes.
+        pending_thread_removals_ += to_remove;
+        se.type = SchedulingEventType::kThreadRemoved;
+      }
+      InvokeScheduler(se, scheduler, now);
+      AssignThreads(now);
+    } else {  // kWorkOrderDone
+      SimThread& t = threads_[static_cast<size_t>(ev.payload)];
+      LSCHED_CHECK(t.info.busy);
+      const int pipeline_idx = t.pipeline_index;
+      ActivePipeline& p =
+          active_pipelines_[static_cast<size_t>(pipeline_idx)];
+      QueryState* q = nullptr;
+      for (auto& cand : queries_) {
+        if (cand != nullptr && cand->id() == p.query) {
+          q = cand.get();
+          break;
+        }
+      }
+      LSCHED_CHECK(q != nullptr);
+
+      // Advance every pipeline member proportionally and detect
+      // operator completions.
+      std::vector<int> completed_ops;
+      const double fused_total = static_cast<double>(p.total_fused);
+      for (size_t s = 0; s < p.chain.size(); ++s) {
+        const int op = p.chain[s];
+        const double amount =
+            static_cast<double>(q->plan().node(op).num_work_orders) /
+            fused_total;
+        const double op_share =
+            p.est_seconds_per_fused / static_cast<double>(p.chain.size());
+        const double mem_share =
+            q->plan().node(op).est_mem_per_wo * amount;
+        if (q->AdvanceOperator(op, amount, op_share, mem_share)) {
+          completed_ops.push_back(op);
+        }
+      }
+
+      q->AddAttainedService(p.est_seconds_per_fused);
+      --p.inflight;
+      t.info.busy = false;
+      t.info.last_query = p.query;
+      t.info.running_query = kInvalidQuery;
+      t.pipeline_index = -1;
+      q->set_assigned_threads(q->assigned_threads() - 1);
+      if (pending_thread_removals_ > 0 && !t.retired) {
+        t.retired = true;
+        --pending_thread_removals_;
+      }
+
+      // Retire fully-executed pipelines (swap-erase keeps indices of other
+      // pipelines stable only if we fix thread references, so mark instead).
+      // We leave exhausted pipelines in place; they are skipped by
+      // AssignThreads and cleared when the run ends.
+
+      const bool query_done = q->completed();
+      if (query_done && q->completion_time() < 0.0) {
+        q->set_completion_time(now);
+        const double latency = now - q->arrival_time();
+        result_.query_latencies.push_back(latency);
+        scheduler->OnQueryCompleted(q->id(), latency);
+        ++completed_queries_;
+      }
+
+      // Re-dispatch pending work first; the scheduler is only consulted on
+      // the major events of §5.2 — an operator completing, or a thread left
+      // with nothing to do — not on every work-order completion.
+      AssignThreads(now);
+      SchedulingEvent se;
+      se.time = now;
+      bool should_invoke = false;
+      if (!completed_ops.empty()) {
+        se.type = SchedulingEventType::kOperatorCompleted;
+        se.query = p.query;
+        se.op = completed_ops.front();
+        should_invoke = true;
+      } else if (!threads_[static_cast<size_t>(ev.payload)].info.busy) {
+        se.type = SchedulingEventType::kThreadIdle;
+        se.thread = t.info.id;
+        should_invoke = true;
+      }
+      if (should_invoke) {
+        InvokeScheduler(se, scheduler, now);
+        AssignThreads(now);
+      }
+    }
+
+    // Deadlock guard: incomplete queries but no running or pending work.
+    bool any_busy = false;
+    for (const SimThread& t : threads_) any_busy |= t.info.busy;
+    if (!any_busy && !AnyPendingFusedWork() &&
+        completed_queries_ < static_cast<int>(queries_.size()) &&
+        events_.empty()) {
+      bool all_created_done = true;
+      for (const auto& q : queries_) {
+        if (q != nullptr && !q->completed()) all_created_done = false;
+      }
+      if (!all_created_done) {
+        ForceFallbackSchedule(now);
+      }
+    }
+  }
+
+  result_.avg_latency = Mean(result_.query_latencies);
+  result_.p90_latency = Percentile(result_.query_latencies, 90.0);
+  result_.makespan = now;
+  return result_;
+}
+
+}  // namespace lsched

@@ -1,0 +1,142 @@
+#ifndef LSCHED_EXEC_SIM_ENGINE_H_
+#define LSCHED_EXEC_SIM_ENGINE_H_
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "exec/exec_types.h"
+#include "exec/query_state.h"
+#include "exec/scheduler.h"
+#include "plan/cost_model.h"
+#include "util/rng.h"
+
+namespace lsched {
+
+/// One query to run: its physical plan and its (virtual-time) arrival.
+struct QuerySubmission {
+  QueryPlan plan;
+  double arrival_time = 0.0;
+};
+
+/// Telemetry from one workload execution ("episode" during training).
+struct EpisodeResult {
+  std::vector<double> query_latencies;  ///< completion - arrival, per query
+  double avg_latency = 0.0;
+  double p90_latency = 0.0;
+  double makespan = 0.0;  ///< completion of last query (virtual seconds)
+
+  int num_scheduler_invocations = 0;
+  int num_actions = 0;  ///< pipelines launched by the scheduler (Fig. 13b)
+  int num_fallback_decisions = 0;
+  double scheduler_wall_seconds = 0.0;  ///< real time inside Schedule()
+
+  /// (time, #running queries) at each scheduler invocation — the raw series
+  /// from which the reward H_d = (t_d - t_{d-1}) * Q_d is computed (§6).
+  struct DecisionRecord {
+    double time = 0.0;
+    int running_queries = 0;
+  };
+  std::vector<DecisionRecord> decisions;
+};
+
+/// A scheduled change to the worker pool size (paper §5.1: "the worker
+/// threads pool can shrink or grow dynamically during execution"; §5.2
+/// events (1)). Positive delta adds threads; negative removes idle threads
+/// (busy ones retire when their current work order completes).
+struct ThreadPoolEvent {
+  double time = 0.0;
+  int delta = 0;
+};
+
+struct SimEngineConfig {
+  int num_threads = 60;
+  std::vector<ThreadPoolEvent> thread_events;
+  CostModelParams cost_params;
+  uint64_t seed = 7;
+  size_t regression_window = 32;
+  /// Safety valve: abort (with whatever completed) past this virtual time.
+  double max_virtual_seconds = 1e9;
+  /// Max scheduler re-invocations per event while it keeps scheduling.
+  int max_rounds_per_event = 128;
+};
+
+/// Discrete-event simulator of the work-order execution model (paper §5.1):
+/// a scheduler thread plus a pool of worker threads, each executing fused
+/// pipeline work orders whose durations come from the cost model (plus
+/// noise, locality gain, and memory-thrashing penalties). It triggers the
+/// Scheduler exactly on the events of §5.2 and applies its decisions.
+///
+/// This is the substrate used for RL training and all large benchmark
+/// sweeps; RealEngine executes the same decisions on real blocks.
+class SimEngine {
+ public:
+  explicit SimEngine(SimEngineConfig config);
+
+  /// Runs `workload` to completion under `scheduler` and returns telemetry.
+  EpisodeResult Run(const std::vector<QuerySubmission>& workload,
+                    Scheduler* scheduler);
+
+  const SimEngineConfig& config() const { return config_; }
+
+ private:
+  struct ActivePipeline {
+    QueryId query = kInvalidQuery;
+    std::vector<int> chain;
+    int total_fused = 0;
+    int dispatched = 0;
+    int inflight = 0;
+    double est_seconds_per_fused = 0.0;
+    double memory = 0.0;
+  };
+
+  struct SimThread {
+    ThreadInfo info;
+    // In-flight work order.
+    int pipeline_index = -1;  ///< index into active_pipelines_
+    double busy_until = 0.0;
+    bool retired = false;  ///< removed from the pool (skipped everywhere)
+  };
+
+  struct SimEvent {
+    double time = 0.0;
+    int64_t seq = 0;  ///< FIFO tiebreak
+    enum Kind { kArrival, kWorkOrderDone, kPoolChange } kind = kArrival;
+    int payload = 0;  ///< arrival: workload index; done: thread id
+    bool operator>(const SimEvent& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  // --- helpers used by Run ------------------------------------------------
+  void ResetRunState();
+  SystemState SnapshotState(double now);
+  bool AnySchedulableOp() const;
+  bool AnyPendingFusedWork() const;
+  void ApplyDecision(const SchedulingDecision& decision, double now);
+  int AssignThreads(double now);  ///< returns #dispatches made
+  void DispatchTo(int thread_id, int pipeline_idx, double now);
+  void InvokeScheduler(const SchedulingEvent& event, Scheduler* scheduler,
+                       double now);
+  void ForceFallbackSchedule(double now);
+
+  SimEngineConfig config_;
+  CostModel cost_model_;
+
+  // Per-run state.
+  Rng rng_{0};
+  std::vector<std::unique_ptr<QueryState>> queries_;
+  std::vector<SimThread> threads_;
+  std::vector<ActivePipeline> active_pipelines_;
+  std::priority_queue<SimEvent, std::vector<SimEvent>, std::greater<SimEvent>>
+      events_;
+  int64_t event_seq_ = 0;
+  EpisodeResult result_;
+  int completed_queries_ = 0;
+  int pending_thread_removals_ = 0;
+};
+
+}  // namespace lsched
+
+#endif  // LSCHED_EXEC_SIM_ENGINE_H_

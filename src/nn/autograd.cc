@@ -1,0 +1,413 @@
+#include "nn/autograd.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace lsched {
+
+const Matrix& Var::value() const { return tape_->value(id_); }
+
+int Tape::NewNode(Matrix value) {
+  Node n;
+  n.grad = Matrix(value.rows(), value.cols(), 0.0);
+  n.value = std::move(value);
+  nodes_.push_back(std::move(n));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void Tape::AccumulateWithBroadcast(Matrix* target_grad, const Matrix& delta) {
+  Matrix& t = *target_grad;
+  if (t.SameShape(delta)) {
+    t.AddInPlace(delta);
+    return;
+  }
+  if (t.rows() == 1 && t.cols() == 1) {
+    double s = 0.0;
+    for (double v : delta.raw()) s += v;
+    t.at(0, 0) += s;
+    return;
+  }
+  if (t.rows() == 1 && t.cols() == delta.cols()) {
+    for (int r = 0; r < delta.rows(); ++r) {
+      for (int c = 0; c < delta.cols(); ++c) t.at(0, c) += delta.at(r, c);
+    }
+    return;
+  }
+  LSCHED_CHECK(false) << "incompatible broadcast grad shapes";
+}
+
+namespace {
+/// Expands broadcasting: returns value of `m` at (r, c) treating (1 x d)
+/// and (1 x 1) shapes as broadcast against an (n x d) partner.
+inline double BroadcastAt(const Matrix& m, int r, int c) {
+  const int rr = m.rows() == 1 ? 0 : r;
+  const int cc = m.cols() == 1 ? 0 : c;
+  return m.at(rr, cc);
+}
+
+inline bool BroadcastCompatible(const Matrix& a, const Matrix& b) {
+  if (a.SameShape(b)) return true;
+  if (b.rows() == 1 && b.cols() == 1) return true;
+  if (b.rows() == 1 && b.cols() == a.cols()) return true;
+  return false;
+}
+}  // namespace
+
+Var Tape::Constant(Matrix value) { return Var(this, NewNode(std::move(value))); }
+
+Var Tape::Leaf(Param* param) {
+  const int id = NewNode(param->value);
+  nodes_[id].param = param;
+  nodes_[id].backward = [id](Tape* t) {
+    // Frozen params accumulate too; the optimizer is what skips them.
+    Param* p = t->nodes_[id].param;
+    p->grad.AddInPlace(t->nodes_[id].grad);
+  };
+  return Var(this, id);
+}
+
+Var Tape::MatMul(Var a, Var b) {
+  const int id = NewNode(Matrix::MatMul(a.value(), b.value()));
+  const int ia = a.id(), ib = b.id();
+  nodes_[id].backward = [id, ia, ib](Tape* t) {
+    const Matrix& g = t->nodes_[id].grad;
+    const Matrix& av = t->nodes_[ia].value;
+    const Matrix& bv = t->nodes_[ib].value;
+    t->nodes_[ia].grad.AddInPlace(Matrix::MatMul(g, bv.Transposed()));
+    t->nodes_[ib].grad.AddInPlace(Matrix::MatMul(av.Transposed(), g));
+  };
+  return Var(this, id);
+}
+
+Var Tape::Add(Var a, Var b) {
+  const Matrix& av = a.value();
+  const Matrix& bv = b.value();
+  LSCHED_CHECK(BroadcastCompatible(av, bv)) << "Add shape mismatch";
+  Matrix out(av.rows(), av.cols());
+  for (int r = 0; r < av.rows(); ++r) {
+    for (int c = 0; c < av.cols(); ++c) {
+      out.at(r, c) = av.at(r, c) + BroadcastAt(bv, r, c);
+    }
+  }
+  const int id = NewNode(std::move(out));
+  const int ia = a.id(), ib = b.id();
+  nodes_[id].backward = [id, ia, ib](Tape* t) {
+    const Matrix& g = t->nodes_[id].grad;
+    AccumulateWithBroadcast(&t->nodes_[ia].grad, g);
+    AccumulateWithBroadcast(&t->nodes_[ib].grad, g);
+  };
+  return Var(this, id);
+}
+
+Var Tape::Sub(Var a, Var b) { return Add(a, Scale(b, -1.0)); }
+
+Var Tape::Mul(Var a, Var b) {
+  const Matrix& av = a.value();
+  const Matrix& bv = b.value();
+  LSCHED_CHECK(BroadcastCompatible(av, bv)) << "Mul shape mismatch";
+  Matrix out(av.rows(), av.cols());
+  for (int r = 0; r < av.rows(); ++r) {
+    for (int c = 0; c < av.cols(); ++c) {
+      out.at(r, c) = av.at(r, c) * BroadcastAt(bv, r, c);
+    }
+  }
+  const int id = NewNode(std::move(out));
+  const int ia = a.id(), ib = b.id();
+  nodes_[id].backward = [id, ia, ib](Tape* t) {
+    const Matrix& g = t->nodes_[id].grad;
+    const Matrix& av2 = t->nodes_[ia].value;
+    const Matrix& bv2 = t->nodes_[ib].value;
+    Matrix da(av2.rows(), av2.cols());
+    Matrix db_full(av2.rows(), av2.cols());
+    for (int r = 0; r < av2.rows(); ++r) {
+      for (int c = 0; c < av2.cols(); ++c) {
+        da.at(r, c) = g.at(r, c) * BroadcastAt(bv2, r, c);
+        db_full.at(r, c) = g.at(r, c) * av2.at(r, c);
+      }
+    }
+    t->nodes_[ia].grad.AddInPlace(da);
+    AccumulateWithBroadcast(&t->nodes_[ib].grad, db_full);
+  };
+  return Var(this, id);
+}
+
+Var Tape::Scale(Var a, double c) {
+  Matrix out = a.value();
+  for (double& v : out.raw()) v *= c;
+  const int id = NewNode(std::move(out));
+  const int ia = a.id();
+  nodes_[id].backward = [id, ia, c](Tape* t) {
+    t->nodes_[ia].grad.AddScaled(t->nodes_[id].grad, c);
+  };
+  return Var(this, id);
+}
+
+Var Tape::AddConst(Var a, double c) {
+  Matrix out = a.value();
+  for (double& v : out.raw()) v += c;
+  const int id = NewNode(std::move(out));
+  const int ia = a.id();
+  nodes_[id].backward = [id, ia](Tape* t) {
+    t->nodes_[ia].grad.AddInPlace(t->nodes_[id].grad);
+  };
+  return Var(this, id);
+}
+
+Var Tape::Relu(Var a) {
+  Matrix out = a.value();
+  for (double& v : out.raw()) v = v > 0.0 ? v : 0.0;
+  const int id = NewNode(std::move(out));
+  const int ia = a.id();
+  nodes_[id].backward = [id, ia](Tape* t) {
+    const Matrix& g = t->nodes_[id].grad;
+    const Matrix& av = t->nodes_[ia].value;
+    Matrix d(g.rows(), g.cols());
+    for (size_t i = 0; i < g.raw().size(); ++i) {
+      d.raw()[i] = av.raw()[i] > 0.0 ? g.raw()[i] : 0.0;
+    }
+    t->nodes_[ia].grad.AddInPlace(d);
+  };
+  return Var(this, id);
+}
+
+Var Tape::Exp(Var a) {
+  Matrix out = a.value();
+  for (double& v : out.raw()) v = std::exp(v);
+  const int id = NewNode(std::move(out));
+  const int ia = a.id();
+  nodes_[id].backward = [id, ia](Tape* t) {
+    const Matrix& g = t->nodes_[id].grad;
+    const Matrix& ov = t->nodes_[id].value;
+    Matrix d(g.rows(), g.cols());
+    for (size_t i = 0; i < g.raw().size(); ++i) {
+      d.raw()[i] = g.raw()[i] * ov.raw()[i];
+    }
+    t->nodes_[ia].grad.AddInPlace(d);
+  };
+  return Var(this, id);
+}
+
+Var Tape::LeakyRelu(Var a, double alpha) {
+  Matrix out = a.value();
+  for (double& v : out.raw()) v = v > 0.0 ? v : alpha * v;
+  const int id = NewNode(std::move(out));
+  const int ia = a.id();
+  nodes_[id].backward = [id, ia, alpha](Tape* t) {
+    const Matrix& g = t->nodes_[id].grad;
+    const Matrix& av = t->nodes_[ia].value;
+    Matrix d(g.rows(), g.cols());
+    for (size_t i = 0; i < g.raw().size(); ++i) {
+      d.raw()[i] = av.raw()[i] > 0.0 ? g.raw()[i] : alpha * g.raw()[i];
+    }
+    t->nodes_[ia].grad.AddInPlace(d);
+  };
+  return Var(this, id);
+}
+
+Var Tape::Tanh(Var a) {
+  Matrix out = a.value();
+  for (double& v : out.raw()) v = std::tanh(v);
+  const int id = NewNode(std::move(out));
+  const int ia = a.id();
+  nodes_[id].backward = [id, ia](Tape* t) {
+    const Matrix& g = t->nodes_[id].grad;
+    const Matrix& ov = t->nodes_[id].value;
+    Matrix d(g.rows(), g.cols());
+    for (size_t i = 0; i < g.raw().size(); ++i) {
+      d.raw()[i] = g.raw()[i] * (1.0 - ov.raw()[i] * ov.raw()[i]);
+    }
+    t->nodes_[ia].grad.AddInPlace(d);
+  };
+  return Var(this, id);
+}
+
+Var Tape::Sigmoid(Var a) {
+  Matrix out = a.value();
+  for (double& v : out.raw()) v = 1.0 / (1.0 + std::exp(-v));
+  const int id = NewNode(std::move(out));
+  const int ia = a.id();
+  nodes_[id].backward = [id, ia](Tape* t) {
+    const Matrix& g = t->nodes_[id].grad;
+    const Matrix& ov = t->nodes_[id].value;
+    Matrix d(g.rows(), g.cols());
+    for (size_t i = 0; i < g.raw().size(); ++i) {
+      d.raw()[i] = g.raw()[i] * ov.raw()[i] * (1.0 - ov.raw()[i]);
+    }
+    t->nodes_[ia].grad.AddInPlace(d);
+  };
+  return Var(this, id);
+}
+
+Var Tape::ConcatCols(const std::vector<Var>& parts) {
+  LSCHED_CHECK(!parts.empty());
+  const int rows = parts[0].value().rows();
+  int cols = 0;
+  for (const Var& p : parts) {
+    LSCHED_CHECK(p.value().rows() == rows) << "ConcatCols row mismatch";
+    cols += p.value().cols();
+  }
+  Matrix out(rows, cols);
+  int offset = 0;
+  for (const Var& p : parts) {
+    const Matrix& v = p.value();
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < v.cols(); ++c) out.at(r, offset + c) = v.at(r, c);
+    }
+    offset += v.cols();
+  }
+  const int id = NewNode(std::move(out));
+  std::vector<int> ids;
+  ids.reserve(parts.size());
+  for (const Var& p : parts) ids.push_back(p.id());
+  nodes_[id].backward = [id, ids](Tape* t) {
+    const Matrix& g = t->nodes_[id].grad;
+    int off = 0;
+    for (int pid : ids) {
+      Matrix& pg = t->nodes_[pid].grad;
+      for (int r = 0; r < pg.rows(); ++r) {
+        for (int c = 0; c < pg.cols(); ++c) pg.at(r, c) += g.at(r, off + c);
+      }
+      off += pg.cols();
+    }
+  };
+  return Var(this, id);
+}
+
+Var Tape::ConcatRows(const std::vector<Var>& parts) {
+  LSCHED_CHECK(!parts.empty());
+  const int cols = parts[0].value().cols();
+  int rows = 0;
+  for (const Var& p : parts) {
+    LSCHED_CHECK(p.value().cols() == cols) << "ConcatRows col mismatch";
+    rows += p.value().rows();
+  }
+  Matrix out(rows, cols);
+  int offset = 0;
+  for (const Var& p : parts) {
+    const Matrix& v = p.value();
+    for (int r = 0; r < v.rows(); ++r) {
+      for (int c = 0; c < cols; ++c) out.at(offset + r, c) = v.at(r, c);
+    }
+    offset += v.rows();
+  }
+  const int id = NewNode(std::move(out));
+  std::vector<int> ids;
+  ids.reserve(parts.size());
+  for (const Var& p : parts) ids.push_back(p.id());
+  nodes_[id].backward = [id, ids](Tape* t) {
+    const Matrix& g = t->nodes_[id].grad;
+    int off = 0;
+    for (int pid : ids) {
+      Matrix& pg = t->nodes_[pid].grad;
+      for (int r = 0; r < pg.rows(); ++r) {
+        for (int c = 0; c < pg.cols(); ++c) pg.at(r, c) += g.at(off + r, c);
+      }
+      off += pg.rows();
+    }
+  };
+  return Var(this, id);
+}
+
+Var Tape::SliceRow(Var a, int row) {
+  const Matrix& av = a.value();
+  Matrix out(1, av.cols());
+  for (int c = 0; c < av.cols(); ++c) out.at(0, c) = av.at(row, c);
+  const int id = NewNode(std::move(out));
+  const int ia = a.id();
+  nodes_[id].backward = [id, ia, row](Tape* t) {
+    const Matrix& g = t->nodes_[id].grad;
+    Matrix& pg = t->nodes_[ia].grad;
+    for (int c = 0; c < g.cols(); ++c) pg.at(row, c) += g.at(0, c);
+  };
+  return Var(this, id);
+}
+
+Var Tape::SumAll(Var a) {
+  double s = 0.0;
+  for (double v : a.value().raw()) s += v;
+  Matrix out(1, 1);
+  out.at(0, 0) = s;
+  const int id = NewNode(std::move(out));
+  const int ia = a.id();
+  nodes_[id].backward = [id, ia](Tape* t) {
+    const double g = t->nodes_[id].grad.at(0, 0);
+    Matrix& pg = t->nodes_[ia].grad;
+    for (double& v : pg.raw()) v += g;
+  };
+  return Var(this, id);
+}
+
+Var Tape::SumRows(Var a) {
+  const Matrix& av = a.value();
+  Matrix out(1, av.cols());
+  for (int r = 0; r < av.rows(); ++r) {
+    for (int c = 0; c < av.cols(); ++c) out.at(0, c) += av.at(r, c);
+  }
+  const int id = NewNode(std::move(out));
+  const int ia = a.id();
+  nodes_[id].backward = [id, ia](Tape* t) {
+    const Matrix& g = t->nodes_[id].grad;
+    Matrix& pg = t->nodes_[ia].grad;
+    for (int r = 0; r < pg.rows(); ++r) {
+      for (int c = 0; c < pg.cols(); ++c) pg.at(r, c) += g.at(0, c);
+    }
+  };
+  return Var(this, id);
+}
+
+Var Tape::MeanRows(Var a) {
+  const int n = a.value().rows();
+  return Scale(SumRows(a), 1.0 / static_cast<double>(n));
+}
+
+Var Tape::LogSoftmaxRow(Var a) {
+  const Matrix& av = a.value();
+  LSCHED_CHECK(av.rows() == 1) << "LogSoftmaxRow expects a row vector";
+  const double lse = LogSumExp(av.raw());
+  Matrix out = av;
+  for (double& v : out.raw()) v -= lse;
+  const int id = NewNode(std::move(out));
+  const int ia = a.id();
+  nodes_[id].backward = [id, ia](Tape* t) {
+    const Matrix& g = t->nodes_[id].grad;
+    const Matrix& ov = t->nodes_[id].value;  // log-probs
+    double gsum = 0.0;
+    for (double v : g.raw()) gsum += v;
+    Matrix d(1, g.cols());
+    for (int c = 0; c < g.cols(); ++c) {
+      d.at(0, c) = g.at(0, c) - std::exp(ov.at(0, c)) * gsum;
+    }
+    t->nodes_[ia].grad.AddInPlace(d);
+  };
+  return Var(this, id);
+}
+
+Var Tape::PickCol(Var a, int j) {
+  const Matrix& av = a.value();
+  LSCHED_CHECK(av.rows() == 1 && j >= 0 && j < av.cols());
+  Matrix out(1, 1);
+  out.at(0, 0) = av.at(0, j);
+  const int id = NewNode(std::move(out));
+  const int ia = a.id();
+  nodes_[id].backward = [id, ia, j](Tape* t) {
+    t->nodes_[ia].grad.at(0, j) += t->nodes_[id].grad.at(0, 0);
+  };
+  return Var(this, id);
+}
+
+Var Tape::DotRows(Var a, Var b) { return SumAll(Mul(a, b)); }
+
+void Tape::Backward(Var output, double seed) {
+  LSCHED_CHECK(output.tape() == this);
+  const Matrix& out = output.value();
+  LSCHED_CHECK(out.rows() == 1 && out.cols() == 1)
+      << "Backward expects a scalar output";
+  nodes_[output.id()].grad.at(0, 0) += seed;
+  for (int i = output.id(); i >= 0; --i) {
+    if (nodes_[i].backward) nodes_[i].backward(this);
+  }
+}
+
+}  // namespace lsched

@@ -1,0 +1,113 @@
+#ifndef LSCHED_NN_AUTOGRAD_H_
+#define LSCHED_NN_AUTOGRAD_H_
+
+#include <functional>
+#include <vector>
+
+#include "nn/params.h"
+#include "nn/tensor.h"
+
+namespace lsched {
+
+class Tape;
+
+/// Lightweight handle to a node on a Tape. Copyable; valid while the Tape
+/// lives.
+class Var {
+ public:
+  Var() = default;
+  Var(Tape* tape, int id) : tape_(tape), id_(id) {}
+
+  bool valid() const { return tape_ != nullptr && id_ >= 0; }
+  int id() const { return id_; }
+  Tape* tape() const { return tape_; }
+
+  const Matrix& value() const;
+  int rows() const { return value().rows(); }
+  int cols() const { return value().cols(); }
+
+ private:
+  Tape* tape_ = nullptr;
+  int id_ = -1;
+};
+
+/// Dynamic reverse-mode autodiff tape. A fresh Tape is built per forward
+/// pass (per scheduling decision during training); Backward() accumulates
+/// gradients of a scalar output into the tape nodes and, for Leaf(Param*)
+/// nodes, into the ParameterStore's grad buffers.
+///
+/// Broadcasting: binary elementwise ops (Add/Mul) accept a right operand
+/// that is (1 x d) against (n x d), or (1 x 1) against anything; the
+/// gradient is sum-reduced accordingly.
+class Tape {
+ public:
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  /// --- graph inputs -----------------------------------------------------
+  Var Constant(Matrix value);                 ///< no gradient tracked
+  Var Leaf(Param* param);                     ///< parameter leaf
+
+  /// --- elementwise / linear algebra --------------------------------------
+  Var MatMul(Var a, Var b);
+  Var Add(Var a, Var b);        ///< supports (n x d)+(1 x d), +(1 x 1)
+  Var Sub(Var a, Var b);
+  Var Mul(Var a, Var b);        ///< Hadamard; same broadcasting as Add
+  Var Scale(Var a, double c);
+  Var AddConst(Var a, double c);
+
+  /// --- nonlinearities -----------------------------------------------------
+  Var Relu(Var a);
+  Var Exp(Var a);
+  Var LeakyRelu(Var a, double alpha = 0.2);
+  Var Tanh(Var a);
+  Var Sigmoid(Var a);
+
+  /// --- shape ops ----------------------------------------------------------
+  Var ConcatCols(const std::vector<Var>& parts);  ///< equal row counts
+  Var ConcatRows(const std::vector<Var>& parts);  ///< equal col counts
+  Var SliceRow(Var a, int row);                   ///< (n x d) -> (1 x d)
+  Var SumAll(Var a);                              ///< -> (1 x 1)
+  Var MeanRows(Var a);                            ///< (n x d) -> (1 x d)
+  Var SumRows(Var a);                             ///< (n x d) -> (1 x d)
+
+  /// --- softmax / losses ----------------------------------------------------
+  /// Log-softmax along the single row of a (1 x n) input.
+  Var LogSoftmaxRow(Var a);
+  /// Extracts column j of a (1 x n) value as (1 x 1).
+  Var PickCol(Var a, int j);
+  /// Dot product of two (1 x d) rows -> (1 x 1).
+  Var DotRows(Var a, Var b);
+
+  /// Runs backprop from scalar (1 x 1) node `output`, seeding with `seed`.
+  /// Accumulates parameter gradients into their ParameterStore entries.
+  void Backward(Var output, double seed = 1.0);
+
+  const Matrix& value(int id) const { return nodes_[id].value; }
+  const Matrix& grad(int id) const { return nodes_[id].grad; }
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    Matrix value;
+    Matrix grad;
+    std::function<void(Tape*)> backward;  ///< may be empty (constants)
+    Param* param = nullptr;
+  };
+
+  int NewNode(Matrix value);
+  Matrix& grad_ref(int id) { return nodes_[id].grad; }
+
+  /// Accumulates `delta` (shaped like the op output) into `target` grad of
+  /// shape `shape`, sum-reducing when `target` was broadcast.
+  static void AccumulateWithBroadcast(Matrix* target_grad,
+                                      const Matrix& delta);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace lsched
+
+#endif  // LSCHED_NN_AUTOGRAD_H_

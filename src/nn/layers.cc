@@ -1,0 +1,50 @@
+#include "nn/layers.h"
+
+namespace lsched {
+
+Linear::Linear(ParameterStore* store, const std::string& name, int in,
+               int out, Rng* rng)
+    : in_(in), out_(out) {
+  w_ = store->Create(name + "/w", in, out, rng);
+  b_ = store->CreateZero(name + "/b", 1, out);
+}
+
+Var Linear::Forward(Tape* tape, Var x) const {
+  Var w = tape->Leaf(w_);
+  Var b = tape->Leaf(b_);
+  return tape->Add(tape->MatMul(x, w), b);
+}
+
+Var Activate(Tape* tape, Var x, Activation act) {
+  switch (act) {
+    case Activation::kRelu:
+      return tape->Relu(x);
+    case Activation::kLeakyRelu:
+      return tape->LeakyRelu(x);
+    case Activation::kTanh:
+      return tape->Tanh(x);
+    case Activation::kNone:
+      return x;
+  }
+  return x;
+}
+
+Mlp::Mlp(ParameterStore* store, const std::string& name,
+         const std::vector<int>& dims, Rng* rng, Activation hidden_act)
+    : hidden_act_(hidden_act) {
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(store, name + "/l" + std::to_string(i), dims[i],
+                         dims[i + 1], rng);
+  }
+}
+
+Var Mlp::Forward(Tape* tape, Var x) const {
+  Var h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(tape, h);
+    if (i + 1 < layers_.size()) h = Activate(tape, h, hidden_act_);
+  }
+  return h;
+}
+
+}  // namespace lsched

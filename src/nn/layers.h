@@ -1,0 +1,60 @@
+#ifndef LSCHED_NN_LAYERS_H_
+#define LSCHED_NN_LAYERS_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/autograd.h"
+#include "nn/params.h"
+
+namespace lsched {
+
+/// Affine layer y = x W + b applied to (n x in) inputs.
+class Linear {
+ public:
+  Linear() = default;
+  Linear(ParameterStore* store, const std::string& name, int in, int out,
+         Rng* rng);
+
+  Var Forward(Tape* tape, Var x) const;
+
+  int in_dim() const { return in_; }
+  int out_dim() const { return out_; }
+
+ private:
+  Param* w_ = nullptr;
+  Param* b_ = nullptr;
+  int in_ = 0;
+  int out_ = 0;
+};
+
+/// Activation selector for MLP hidden layers.
+enum class Activation { kRelu, kLeakyRelu, kTanh, kNone };
+
+/// Multi-layer perceptron: Linear + activation stacks, final layer linear.
+class Mlp {
+ public:
+  Mlp() = default;
+  /// `dims` = {in, h1, ..., out}. Creates dims.size()-1 Linear layers.
+  Mlp(ParameterStore* store, const std::string& name,
+      const std::vector<int>& dims, Rng* rng,
+      Activation hidden_act = Activation::kRelu);
+
+  Var Forward(Tape* tape, Var x) const;
+
+  int in_dim() const { return layers_.empty() ? 0 : layers_.front().in_dim(); }
+  int out_dim() const {
+    return layers_.empty() ? 0 : layers_.back().out_dim();
+  }
+
+ private:
+  std::vector<Linear> layers_;
+  Activation hidden_act_ = Activation::kRelu;
+};
+
+/// Applies `act` to `x` on `tape`.
+Var Activate(Tape* tape, Var x, Activation act);
+
+}  // namespace lsched
+
+#endif  // LSCHED_NN_LAYERS_H_

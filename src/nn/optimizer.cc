@@ -1,0 +1,52 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace lsched {
+
+void Sgd::Step(ParameterStore* store) {
+  for (Param* p : store->All()) {
+    if (!p->trainable) continue;
+    if (momentum_ > 0.0) {
+      auto it = velocity_.find(p);
+      if (it == velocity_.end()) {
+        it = velocity_.emplace(p, Matrix(p->value.rows(), p->value.cols()))
+                 .first;
+      }
+      Matrix& v = it->second;
+      for (size_t i = 0; i < v.raw().size(); ++i) {
+        v.raw()[i] = momentum_ * v.raw()[i] - lr_ * p->grad.raw()[i];
+        p->value.raw()[i] += v.raw()[i];
+      }
+    } else {
+      p->value.AddScaled(p->grad, -lr_);
+    }
+  }
+}
+
+void Adam::Step(ParameterStore* store) {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (Param* p : store->All()) {
+    if (!p->trainable) continue;
+    auto it = slots_.find(p);
+    if (it == slots_.end()) {
+      Slot s;
+      s.m = Matrix(p->value.rows(), p->value.cols());
+      s.v = Matrix(p->value.rows(), p->value.cols());
+      it = slots_.emplace(p, std::move(s)).first;
+    }
+    Slot& s = it->second;
+    for (size_t i = 0; i < p->value.raw().size(); ++i) {
+      const double g = p->grad.raw()[i];
+      s.m.raw()[i] = beta1_ * s.m.raw()[i] + (1.0 - beta1_) * g;
+      s.v.raw()[i] = beta2_ * s.v.raw()[i] + (1.0 - beta2_) * g * g;
+      const double mhat = s.m.raw()[i] / bc1;
+      const double vhat = s.v.raw()[i] / bc2;
+      p->value.raw()[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace lsched

@@ -1,0 +1,54 @@
+#ifndef LSCHED_NN_OPTIMIZER_H_
+#define LSCHED_NN_OPTIMIZER_H_
+
+#include <map>
+#include <vector>
+
+#include "nn/params.h"
+
+namespace lsched {
+
+/// Optimizer interface: applies accumulated gradients to trainable params.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// One update from the currently-accumulated grads (does not zero them).
+  virtual void Step(ParameterStore* store) = 0;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.0)
+      : lr_(lr), momentum_(momentum) {}
+  void Step(ParameterStore* store) override;
+  void set_lr(double lr) { lr_ = lr; }
+
+ private:
+  double lr_;
+  double momentum_;
+  std::map<Param*, Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba). Skips frozen parameters.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+  void Step(ParameterStore* store) override;
+  void set_lr(double lr) { lr_ = lr; }
+
+ private:
+  struct Slot {
+    Matrix m;
+    Matrix v;
+  };
+  double lr_, beta1_, beta2_, eps_;
+  int64_t t_ = 0;
+  std::map<Param*, Slot> slots_;
+};
+
+}  // namespace lsched
+
+#endif  // LSCHED_NN_OPTIMIZER_H_

@@ -1,0 +1,132 @@
+#include "nn/params.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace lsched {
+
+Param* ParameterStore::Create(const std::string& name, int rows, int cols,
+                              Rng* rng) {
+  LSCHED_CHECK(by_name_.count(name) == 0) << "duplicate param: " << name;
+  auto p = std::make_unique<Param>();
+  p->name = name;
+  p->value = Matrix::Xavier(rows, cols, rng);
+  p->grad = Matrix(rows, cols, 0.0);
+  Param* raw = p.get();
+  by_name_[name] = raw;
+  params_.push_back(std::move(p));
+  return raw;
+}
+
+Param* ParameterStore::CreateZero(const std::string& name, int rows,
+                                  int cols) {
+  LSCHED_CHECK(by_name_.count(name) == 0) << "duplicate param: " << name;
+  auto p = std::make_unique<Param>();
+  p->name = name;
+  p->value = Matrix(rows, cols, 0.0);
+  p->grad = Matrix(rows, cols, 0.0);
+  Param* raw = p.get();
+  by_name_[name] = raw;
+  params_.push_back(std::move(p));
+  return raw;
+}
+
+Param* ParameterStore::Find(const std::string& name) {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+std::vector<Param*> ParameterStore::All() {
+  std::vector<Param*> out;
+  out.reserve(params_.size());
+  for (auto& p : params_) out.push_back(p.get());
+  return out;
+}
+
+void ParameterStore::ZeroGrads() {
+  for (auto& p : params_) p->grad.Zero();
+}
+
+int ParameterStore::SetTrainableByPrefix(const std::string& prefix,
+                                         bool trainable) {
+  int count = 0;
+  for (auto& p : params_) {
+    if (p->name.rfind(prefix, 0) == 0) {
+      p->trainable = trainable;
+      ++count;
+    }
+  }
+  return count;
+}
+
+double ParameterStore::GradNorm() const {
+  double sum = 0.0;
+  for (const auto& p : params_) {
+    if (!p->trainable) continue;
+    for (double g : p->grad.raw()) sum += g * g;
+  }
+  return std::sqrt(sum);
+}
+
+void ParameterStore::ClipGradNorm(double max_norm) {
+  const double norm = GradNorm();
+  if (norm <= max_norm || norm == 0.0) return;
+  const double scale = max_norm / norm;
+  for (auto& p : params_) {
+    if (!p->trainable) continue;
+    for (double& g : p->grad.raw()) g *= scale;
+  }
+}
+
+void ParameterStore::Serialize(BinaryWriter* writer) const {
+  writer->WriteU64(params_.size());
+  for (const auto& p : params_) {
+    writer->WriteString(p->name);
+    writer->WriteU32(static_cast<uint32_t>(p->value.rows()));
+    writer->WriteU32(static_cast<uint32_t>(p->value.cols()));
+    writer->WriteDoubleVector(p->value.raw());
+  }
+}
+
+Status ParameterStore::Deserialize(BinaryReader* reader) {
+  LSCHED_ASSIGN_OR_RETURN(uint64_t n, reader->ReadU64());
+  for (uint64_t i = 0; i < n; ++i) {
+    LSCHED_ASSIGN_OR_RETURN(std::string name, reader->ReadString());
+    LSCHED_ASSIGN_OR_RETURN(uint32_t rows, reader->ReadU32());
+    LSCHED_ASSIGN_OR_RETURN(uint32_t cols, reader->ReadU32());
+    LSCHED_ASSIGN_OR_RETURN(std::vector<double> data,
+                            reader->ReadDoubleVector());
+    Param* p = Find(name);
+    if (p == nullptr) {
+      return Status::NotFound("checkpoint param not in model: " + name);
+    }
+    if (p->value.rows() != static_cast<int>(rows) ||
+        p->value.cols() != static_cast<int>(cols) ||
+        data.size() != p->value.size()) {
+      return Status::InvalidArgument("shape mismatch for param: " + name);
+    }
+    p->value.raw() = std::move(data);
+  }
+  return Status::OK();
+}
+
+int ParameterStore::CopyValuesFrom(const ParameterStore& other) {
+  int copied = 0;
+  for (const auto& src : other.params_) {
+    Param* dst = Find(src->name);
+    if (dst != nullptr && dst->value.SameShape(src->value)) {
+      dst->value = src->value;
+      ++copied;
+    }
+  }
+  return copied;
+}
+
+size_t ParameterStore::NumWeights() const {
+  size_t n = 0;
+  for (const auto& p : params_) n += p->value.size();
+  return n;
+}
+
+}  // namespace lsched

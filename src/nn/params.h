@@ -1,0 +1,73 @@
+#ifndef LSCHED_NN_PARAMS_H_
+#define LSCHED_NN_PARAMS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/serialization.h"
+#include "util/status.h"
+
+namespace lsched {
+
+/// One trainable tensor with its accumulated gradient.
+struct Param {
+  std::string name;
+  Matrix value;
+  Matrix grad;
+  /// Frozen parameters still propagate gradients to their inputs but are
+  /// skipped by the optimizer — the mechanism behind LSched's transfer
+  /// learning (paper §6: freeze convolution/hidden layers, retrain the
+  /// layers adjacent to input and output).
+  bool trainable = true;
+};
+
+/// Owns all parameters of a model. Names are hierarchical
+/// ("encoder/tcn0/w_p") so layer groups can be frozen by prefix.
+class ParameterStore {
+ public:
+  /// Creates a Xavier-initialized parameter. Name must be unique.
+  Param* Create(const std::string& name, int rows, int cols, Rng* rng);
+
+  /// Creates a zero-initialized parameter (biases).
+  Param* CreateZero(const std::string& name, int rows, int cols);
+
+  Param* Find(const std::string& name);
+
+  std::vector<Param*> All();
+
+  /// Zeroes every gradient (call before accumulating an episode's loss).
+  void ZeroGrads();
+
+  /// Marks all parameters whose name starts with `prefix` (non-)trainable.
+  /// Returns how many matched.
+  int SetTrainableByPrefix(const std::string& prefix, bool trainable);
+
+  /// Global L2 norm of all trainable gradients (for clipping).
+  double GradNorm() const;
+  /// Scales trainable grads so the global norm is at most `max_norm`.
+  void ClipGradNorm(double max_norm);
+
+  /// Model checkpoint I/O. Load requires identical names and shapes.
+  void Serialize(BinaryWriter* writer) const;
+  Status Deserialize(BinaryReader* reader);
+
+  /// Copies values (not grads) from `other` for all same-named,
+  /// same-shaped parameters; returns the number copied. This is the
+  /// transfer-learning warm start.
+  int CopyValuesFrom(const ParameterStore& other);
+
+  size_t size() const { return params_.size(); }
+  /// Total number of scalar weights.
+  size_t NumWeights() const;
+
+ private:
+  std::vector<std::unique_ptr<Param>> params_;
+  std::map<std::string, Param*> by_name_;
+};
+
+}  // namespace lsched
+
+#endif  // LSCHED_NN_PARAMS_H_

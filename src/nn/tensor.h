@@ -1,0 +1,68 @@
+#ifndef LSCHED_NN_TENSOR_H_
+#define LSCHED_NN_TENSOR_H_
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace lsched {
+
+/// Dense row-major matrix of doubles. The only tensor rank the LSched
+/// networks need: node/edge embeddings are row vectors (1 x d), batched
+/// node sets are (n x d), weights are (in x out).
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols, double init = 0.0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), init) {}
+
+  static Matrix FromRow(const std::vector<double>& row);
+
+  /// Xavier/Glorot-style initialization: N(0, sqrt(2/(rows+cols))).
+  static Matrix Xavier(int rows, int cols, Rng* rng);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& at(int r, int c) { return data_[idx(r, c)]; }
+  double at(int r, int c) const { return data_[idx(r, c)]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::vector<double>& raw() { return data_; }
+  const std::vector<double>& raw() const { return data_; }
+
+  void Fill(double v);
+  void Zero() { Fill(0.0); }
+
+  /// this += other (same shape required).
+  void AddInPlace(const Matrix& other);
+  /// this += scale * other.
+  void AddScaled(const Matrix& other, double scale);
+
+  Matrix Transposed() const;
+
+  /// Matrix product (rows x k) * (k x cols).
+  static Matrix MatMul(const Matrix& a, const Matrix& b);
+
+  bool SameShape(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+ private:
+  size_t idx(int r, int c) const {
+    return static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+           static_cast<size_t>(c);
+  }
+
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace lsched
+
+#endif  // LSCHED_NN_TENSOR_H_

@@ -1,0 +1,71 @@
+#include "plan/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lsched {
+
+void CostModel::Annotate(QueryPlan* plan) const {
+  for (size_t i = 0; i < plan->num_nodes(); ++i) {
+    PlanNode& node = plan->mutable_node(static_cast<int>(i));
+    const double rows_per_wo =
+        node.num_work_orders > 0
+            ? static_cast<double>(node.est_input_rows) /
+                  static_cast<double>(node.num_work_orders)
+            : 0.0;
+    node.est_cost_per_wo = BaseCostPerRow(node.type) *
+                           std::max(rows_per_wo, 1.0) *
+                           params_.seconds_per_cost_unit;
+    node.est_mem_per_wo = MemoryPerRow(node.type) * std::max(rows_per_wo, 1.0);
+  }
+}
+
+
+double CostModel::WorkOrderSeconds(const PlanNode& node) const {
+  return node.est_cost_per_wo;
+}
+
+double CostModel::PipelineWorkOrderSeconds(
+    const QueryPlan& plan, const std::vector<int>& chain) const {
+  if (chain.empty()) return 0.0;
+  const PlanNode& root = plan.node(chain[0]);
+  const double root_wos = std::max(root.num_work_orders, 1);
+  double total = 0.0;
+  for (size_t s = 0; s < chain.size(); ++s) {
+    const PlanNode& node = plan.node(chain[s]);
+    // Scale each stage's total remaining cost onto the root's work-order
+    // granularity: one fused work order advances every stage by
+    // (stage WOs / root WOs) of a stage work order.
+    const double stage_total =
+        static_cast<double>(std::max(node.num_work_orders, 1)) *
+        node.est_cost_per_wo;
+    double per_fused = stage_total / root_wos;
+    if (s > 0) per_fused *= (1.0 - params_.pipeline_gain);
+    total += per_fused;
+  }
+  return total * ThrashMultiplier(PipelineMemory(plan, chain));
+}
+
+double CostModel::PipelineMemory(const QueryPlan& plan,
+                                 const std::vector<int>& chain) const {
+  double mem = 0.0;
+  for (size_t s = 0; s < chain.size(); ++s) {
+    const PlanNode& node = plan.node(chain[s]);
+    double stage = node.est_mem_per_wo;
+    if (s > 0) {
+      // In-flight buffers between stages grow with pipeline depth.
+      stage += node.est_mem_per_wo * params_.pipeline_buffer_factor *
+               static_cast<double>(s);
+    }
+    mem += stage;
+  }
+  return mem;
+}
+
+double CostModel::ThrashMultiplier(double memory) const {
+  const double budget = params_.memory_budget_per_thread;
+  if (budget <= 0.0 || memory <= budget) return 1.0;
+  return 1.0 + params_.thrash_slope * (memory / budget - 1.0);
+}
+
+}  // namespace lsched

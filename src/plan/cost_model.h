@@ -1,0 +1,93 @@
+#ifndef LSCHED_PLAN_COST_MODEL_H_
+#define LSCHED_PLAN_COST_MODEL_H_
+
+#include <vector>
+
+#include "plan/query_plan.h"
+
+namespace lsched {
+
+/// Tunable constants of the analytical cost model. The defaults are
+/// calibrated so that one TPCH-shaped SF-10 query takes on the order of
+/// seconds of (virtual) time on one thread, matching the magnitude the
+/// paper reports; `bench/micro_costmodel` compares the model against real
+/// kernel measurements from RealEngine.
+struct CostModelParams {
+  /// Virtual seconds per abstract cost unit (1 unit == one row through a
+  /// simple filter).
+  double seconds_per_cost_unit = 2e-6;
+
+  /// Fractional per-work-order cost reduction for a pipelined (non-root)
+  /// stage: its input arrives cache-hot from the previous stage.
+  double pipeline_gain = 0.30;
+
+  /// Memory budget per execution thread, in model units (MemoryPerRow *
+  /// rows). Exceeding it while running a pipeline causes thrashing.
+  /// Calibrated so ~3 full-width streaming stages fit; selective chains
+  /// (smaller per-stage rows) pipeline deeper — which is exactly the
+  /// workload-dependent sweet spot the paper's degree predictor learns.
+  double memory_budget_per_thread = 150000.0;
+
+  /// Slope of the thrashing penalty: multiplier = 1 + slope * overrun_ratio
+  /// once pipeline memory exceeds the budget (paper §5.3.2: greedy
+  /// pipelining "consumes memory buffers at a high rate and causes
+  /// thrashing").
+  double thrash_slope = 0.5;
+
+  /// Additional in-flight buffer memory a pipeline holds per stage beyond
+  /// the first, as a fraction of the stage's own state (deep pipelines keep
+  /// more blocks in flight).
+  double pipeline_buffer_factor = 0.5;
+
+  /// Coefficient of variation of work-order duration noise in simulation.
+  double noise_cv = 0.12;
+
+  /// Relative speedup when a work order runs on a thread that recently ran
+  /// work from the same query (thread locality, Q-LOC).
+  double locality_gain = 0.10;
+
+  /// Per-extra-thread slowdown when k threads execute work orders of the
+  /// same query concurrently (shared hash tables, memory bandwidth, morsel
+  /// dispatch contention): duration *= 1 + c * (k - 1). This is why
+  /// granting one query the whole pool — FIFO's policy — has diminishing
+  /// returns, and what makes the parallelism-degree decision non-trivial.
+  double intra_query_contention = 0.015;
+};
+
+/// Computes per-work-order cost/memory annotations for plans and fused
+/// pipeline costs for the simulator and heuristics.
+class CostModel {
+ public:
+  CostModel() = default;
+  explicit CostModel(CostModelParams params) : params_(params) {}
+
+  const CostModelParams& params() const { return params_; }
+
+  /// Fills est_cost_per_wo / est_mem_per_wo on every node of `plan`.
+  void Annotate(QueryPlan* plan) const;
+
+  /// Expected duration (virtual seconds) of one work order of `node` when
+  /// executed standalone.
+  double WorkOrderSeconds(const PlanNode& node) const;
+
+  /// Expected duration of one fused work order of the pipeline `chain`
+  /// (node ids, root first): one root block pushed through all stages,
+  /// with cache gains for non-root stages and a thrashing penalty when the
+  /// pipeline's memory footprint exceeds the per-thread budget.
+  double PipelineWorkOrderSeconds(const QueryPlan& plan,
+                                  const std::vector<int>& chain) const;
+
+  /// Memory footprint (model units) of running `chain` as one pipeline.
+  double PipelineMemory(const QueryPlan& plan,
+                        const std::vector<int>& chain) const;
+
+  /// Thrash multiplier for a pipeline using `memory` units on one thread.
+  double ThrashMultiplier(double memory) const;
+
+ private:
+  CostModelParams params_;
+};
+
+}  // namespace lsched
+
+#endif  // LSCHED_PLAN_COST_MODEL_H_

@@ -1,0 +1,194 @@
+#include "plan/operator_type.h"
+
+namespace lsched {
+
+const char* OperatorTypeName(OperatorType t) {
+  switch (t) {
+    case OperatorType::kTableScan:
+      return "TableScan";
+    case OperatorType::kSelect:
+      return "Select";
+    case OperatorType::kIndexScan:
+      return "IndexScan";
+    case OperatorType::kProject:
+      return "Project";
+    case OperatorType::kBuildHash:
+      return "BuildHash";
+    case OperatorType::kProbeHash:
+      return "ProbeHash";
+    case OperatorType::kNestedLoopJoin:
+      return "NestedLoopJoin";
+    case OperatorType::kIndexNestedLoopJoin:
+      return "IndexNestedLoopJoin";
+    case OperatorType::kMergeJoin:
+      return "MergeJoin";
+    case OperatorType::kSortRuns:
+      return "SortRuns";
+    case OperatorType::kMergeSortedRuns:
+      return "MergeSortedRuns";
+    case OperatorType::kHashAggregate:
+      return "HashAggregate";
+    case OperatorType::kSortedAggregate:
+      return "SortedAggregate";
+    case OperatorType::kFinalizeAggregate:
+      return "FinalizeAggregate";
+    case OperatorType::kDistinct:
+      return "Distinct";
+    case OperatorType::kUnion:
+      return "Union";
+    case OperatorType::kIntersect:
+      return "Intersect";
+    case OperatorType::kTopK:
+      return "TopK";
+    case OperatorType::kLimit:
+      return "Limit";
+    case OperatorType::kWindow:
+      return "Window";
+    case OperatorType::kMaterialize:
+      return "Materialize";
+    case OperatorType::kCreateTempTable:
+      return "CreateTempTable";
+    case OperatorType::kNumOperatorTypes:
+      break;
+  }
+  return "?";
+}
+
+bool ProducesIncrementally(OperatorType t) {
+  switch (t) {
+    case OperatorType::kBuildHash:
+    case OperatorType::kSortRuns:
+    case OperatorType::kMergeSortedRuns:
+    case OperatorType::kHashAggregate:
+    case OperatorType::kSortedAggregate:
+    case OperatorType::kFinalizeAggregate:
+    case OperatorType::kTopK:
+    case OperatorType::kWindow:
+    case OperatorType::kIntersect:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool IsSourceOperator(OperatorType t) {
+  switch (t) {
+    case OperatorType::kTableScan:
+    case OperatorType::kSelect:
+    case OperatorType::kIndexScan:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double BaseCostPerRow(OperatorType t) {
+  // Relative units: 1.0 == cost of streaming one row through a simple
+  // filter. Joins and sorts cost more per row; index access is cheap per
+  // *output* row but applied to fewer rows.
+  switch (t) {
+    case OperatorType::kTableScan:
+      return 0.6;
+    case OperatorType::kSelect:
+      return 1.0;
+    case OperatorType::kIndexScan:
+      return 0.35;
+    case OperatorType::kProject:
+      return 0.5;
+    case OperatorType::kBuildHash:
+      return 1.8;
+    case OperatorType::kProbeHash:
+      return 1.6;
+    case OperatorType::kNestedLoopJoin:
+      return 6.0;
+    case OperatorType::kIndexNestedLoopJoin:
+      return 2.2;
+    case OperatorType::kMergeJoin:
+      return 1.4;
+    case OperatorType::kSortRuns:
+      return 2.6;
+    case OperatorType::kMergeSortedRuns:
+      return 1.2;
+    case OperatorType::kHashAggregate:
+      return 1.7;
+    case OperatorType::kSortedAggregate:
+      return 0.9;
+    case OperatorType::kFinalizeAggregate:
+      return 0.8;
+    case OperatorType::kDistinct:
+      return 1.5;
+    case OperatorType::kUnion:
+      return 0.4;
+    case OperatorType::kIntersect:
+      return 1.5;
+    case OperatorType::kTopK:
+      return 1.1;
+    case OperatorType::kLimit:
+      return 0.2;
+    case OperatorType::kWindow:
+      return 2.0;
+    case OperatorType::kMaterialize:
+      return 0.5;
+    case OperatorType::kCreateTempTable:
+      return 0.4;
+    case OperatorType::kNumOperatorTypes:
+      break;
+  }
+  return 1.0;
+}
+
+double MemoryPerRow(OperatorType t) {
+  // Relative units: bytes of state retained per input row while running.
+  switch (t) {
+    case OperatorType::kBuildHash:
+      return 24.0;
+    case OperatorType::kHashAggregate:
+      return 16.0;
+    case OperatorType::kSortRuns:
+    case OperatorType::kMergeSortedRuns:
+      return 16.0;
+    case OperatorType::kDistinct:
+      return 16.0;
+    case OperatorType::kIntersect:
+      return 16.0;
+    case OperatorType::kTopK:
+      return 4.0;
+    case OperatorType::kWindow:
+      return 12.0;
+    case OperatorType::kMaterialize:
+    case OperatorType::kCreateTempTable:
+      return 8.0;
+    default:
+      return 4.0;  // streaming operators hold in-flight block buffers
+  }
+}
+
+double DefaultOutputRatio(OperatorType t) {
+  switch (t) {
+    case OperatorType::kSelect:
+      return 0.25;
+    case OperatorType::kIndexScan:
+      return 0.05;
+    case OperatorType::kProbeHash:
+    case OperatorType::kMergeJoin:
+    case OperatorType::kIndexNestedLoopJoin:
+    case OperatorType::kNestedLoopJoin:
+      return 1.0;
+    case OperatorType::kHashAggregate:
+    case OperatorType::kSortedAggregate:
+      return 0.05;
+    case OperatorType::kFinalizeAggregate:
+      return 0.5;
+    case OperatorType::kDistinct:
+      return 0.4;
+    case OperatorType::kTopK:
+    case OperatorType::kLimit:
+      return 0.01;
+    case OperatorType::kBuildHash:
+      return 0.0;  // produces a hash table, not a tuple stream
+    default:
+      return 1.0;
+  }
+}
+
+}  // namespace lsched

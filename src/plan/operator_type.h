@@ -1,0 +1,67 @@
+#ifndef LSCHED_PLAN_OPERATOR_TYPE_H_
+#define LSCHED_PLAN_OPERATOR_TYPE_H_
+
+#include <cstdint>
+
+namespace lsched {
+
+/// Physical operator types. Mirrors the work-order based operator set of
+/// Quickstep (paper §2 reports 29 operator implementations; we implement the
+/// 22 that the TPCH/SSB/JOB plan shapes exercise).
+enum class OperatorType : uint8_t {
+  kTableScan = 0,        ///< full scan, no predicate
+  kSelect,               ///< scan + filter predicate
+  kIndexScan,            ///< selective scan via an index
+  kProject,              ///< column projection / expression evaluation
+  kBuildHash,            ///< build side of a hash join
+  kProbeHash,            ///< probe side of a hash join
+  kNestedLoopJoin,       ///< block nested loop join
+  kIndexNestedLoopJoin,  ///< index nested loop join
+  kMergeJoin,            ///< merge join over sorted inputs
+  kSortRuns,             ///< in-block sort run generation
+  kMergeSortedRuns,      ///< merge of sorted runs
+  kHashAggregate,        ///< hash-based (partial) aggregation
+  kSortedAggregate,      ///< aggregation over sorted input
+  kFinalizeAggregate,    ///< final merge of partial aggregates
+  kDistinct,             ///< hash-based duplicate elimination
+  kUnion,                ///< bag union
+  kIntersect,            ///< set intersection
+  kTopK,                 ///< top-k selection
+  kLimit,                ///< row limit
+  kWindow,               ///< window function over partitions
+  kMaterialize,          ///< materialize intermediate result
+  kCreateTempTable,      ///< DDL-ish sink for temp results
+  kNumOperatorTypes,     ///< sentinel: size of the O-TY one-hot vocabulary
+};
+
+inline constexpr int kNumOperatorTypes =
+    static_cast<int>(OperatorType::kNumOperatorTypes);
+
+/// Stable printable name ("Select", "ProbeHash", ...).
+const char* OperatorTypeName(OperatorType t);
+
+/// True when the operator emits output tuples incrementally as it consumes
+/// input. An edge out of a non-incremental producer is pipeline breaking
+/// (E-NPB = 0): the consumer is blocked until the producer completes
+/// (paper §4.1, e.g. BuildHash -> ProbeHash).
+bool ProducesIncrementally(OperatorType t);
+
+/// True for leaf operators that read base relations (generate their own
+/// work orders directly from stored blocks).
+bool IsSourceOperator(OperatorType t);
+
+/// Relative CPU cost per input row for the simulator's cost model
+/// (calibrated against RealEngine kernels; see bench/micro_costmodel).
+double BaseCostPerRow(OperatorType t);
+
+/// Relative memory footprint per input row held while the operator runs
+/// (hash tables and sorts retain state; filters do not).
+double MemoryPerRow(OperatorType t);
+
+/// Average output rows per input row absent a more specific estimate
+/// (selectivity for filters, fan-out for joins).
+double DefaultOutputRatio(OperatorType t);
+
+}  // namespace lsched
+
+#endif  // LSCHED_PLAN_OPERATOR_TYPE_H_

@@ -1,0 +1,120 @@
+#include "plan/plan_builder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "plan/cost_model.h"
+#include "util/logging.h"
+
+namespace lsched {
+
+int PlanBuilder::AddSource(OperatorType type, RelationId base,
+                           NodeOptions opts) {
+  return AddNodeInternal(type, {}, base, std::move(opts));
+}
+
+int PlanBuilder::AddOp(OperatorType type, const std::vector<int>& inputs,
+                       NodeOptions opts) {
+  return AddNodeInternal(type, inputs, kInvalidRelation, std::move(opts));
+}
+
+int PlanBuilder::AddNodeInternal(OperatorType type,
+                                 const std::vector<int>& inputs,
+                                 RelationId base, NodeOptions opts) {
+  PlanNode node;
+  node.id = static_cast<int>(plan_.nodes_.size());
+  node.type = type;
+  node.kernel = opts.kernel;
+  node.selectivity = opts.selectivity.value_or(-1.0);
+
+  int64_t input_rows = 0;
+  int64_t rows_per_wo =
+      opts.rows_per_work_order.value_or(kDefaultRowsPerWorkOrder);
+
+  if (base != kInvalidRelation) {
+    node.base_inputs.push_back(base);
+    if (catalog_ != nullptr) {
+      const Relation& rel = catalog_->relation(base);
+      input_rows = opts.input_rows.value_or(rel.num_rows());
+      if (!opts.rows_per_work_order.has_value()) {
+        rows_per_wo = static_cast<int64_t>(rel.block_capacity());
+      }
+    } else {
+      input_rows = opts.input_rows.value_or(rows_per_wo);
+    }
+  } else if (!inputs.empty()) {
+    for (int producer : inputs) {
+      LSCHED_CHECK(producer >= 0 &&
+                   producer < static_cast<int>(plan_.nodes_.size()))
+          << "invalid producer id " << producer;
+      const PlanNode& p = plan_.nodes_[producer];
+      input_rows += p.est_output_rows;
+      // Propagate base-relation lineage for the O-IN feature.
+      for (RelationId rid : p.base_inputs) {
+        if (std::find(node.base_inputs.begin(), node.base_inputs.end(),
+                      rid) == node.base_inputs.end()) {
+          node.base_inputs.push_back(rid);
+        }
+      }
+      PlanEdge edge;
+      edge.id = static_cast<int>(plan_.edges_.size());
+      edge.producer = producer;
+      edge.consumer = node.id;
+      edge.pipeline_breaking = !ProducesIncrementally(p.type);
+      plan_.nodes_[producer].out_edges.push_back(edge.id);
+      node.in_edges.push_back(edge.id);
+      plan_.edges_.push_back(edge);
+    }
+  } else {
+    input_rows = opts.input_rows.value_or(rows_per_wo);
+  }
+
+  node.est_input_rows = std::max<int64_t>(input_rows, 0);
+  const double ratio = node.selectivity >= 0.0 ? node.selectivity
+                                               : DefaultOutputRatio(type);
+  node.est_output_rows = std::max<int64_t>(
+      static_cast<int64_t>(std::llround(
+          static_cast<double>(node.est_input_rows) * ratio)),
+      type == OperatorType::kBuildHash ? 0 : 1);
+
+  if (rows_per_wo <= 0) rows_per_wo = kDefaultRowsPerWorkOrder;
+  node.num_work_orders = static_cast<int>(std::max<int64_t>(
+      (node.est_input_rows + rows_per_wo - 1) / rows_per_wo, 1));
+  node.block_bitmap.assign(static_cast<size_t>(node.num_work_orders), 1.0);
+
+  plan_.nodes_.push_back(std::move(node));
+  return plan_.nodes_.back().id;
+}
+
+Status PlanBuilder::SetEdgeBreaking(int producer, int consumer,
+                                    bool breaking) {
+  for (PlanEdge& e : plan_.edges_) {
+    if (e.producer == producer && e.consumer == consumer) {
+      e.pipeline_breaking = breaking;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no such edge");
+}
+
+void PlanBuilder::AddBaseInput(int node, RelationId relation) {
+  LSCHED_CHECK(node >= 0 && node < static_cast<int>(plan_.nodes_.size()));
+  std::vector<RelationId>& inputs = plan_.nodes_[node].base_inputs;
+  if (std::find(inputs.begin(), inputs.end(), relation) == inputs.end()) {
+    inputs.push_back(relation);
+  }
+}
+
+void PlanBuilder::AddUsedColumn(int node, ColumnId column) {
+  LSCHED_CHECK(node >= 0 && node < static_cast<int>(plan_.nodes_.size()));
+  plan_.nodes_[node].used_columns.push_back(column);
+}
+
+Result<QueryPlan> PlanBuilder::Build() {
+  CostModel cost_model;
+  cost_model.Annotate(&plan_);
+  LSCHED_RETURN_IF_ERROR(plan_.Validate());
+  return std::move(plan_);
+}
+
+}  // namespace lsched

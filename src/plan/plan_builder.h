@@ -1,0 +1,71 @@
+#ifndef LSCHED_PLAN_PLAN_BUILDER_H_
+#define LSCHED_PLAN_PLAN_BUILDER_H_
+
+#include <optional>
+#include <vector>
+
+#include "plan/query_plan.h"
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace lsched {
+
+/// Fluent constructor for QueryPlan DAGs. Node estimates (rows, work
+/// orders, block bitmaps) are derived from catalog statistics for source
+/// operators and from producer estimates for intermediates; the pipeline-
+/// breaking flag of each edge defaults to !ProducesIncrementally(producer)
+/// and can be overridden.
+class PlanBuilder {
+ public:
+  /// `catalog` may be null for simulation-only plans that set row counts
+  /// explicitly via NodeOptions.
+  explicit PlanBuilder(const Catalog* catalog) : catalog_(catalog) {}
+
+  struct NodeOptions {
+    /// Explicit input-row estimate; required for source nodes built without
+    /// a catalog, otherwise derived.
+    std::optional<int64_t> input_rows;
+    /// Output/input ratio override (type default otherwise).
+    std::optional<double> selectivity;
+    /// Rows per work order (defaults to the base relation's block capacity
+    /// for source nodes, or kDefaultRowsPerWorkOrder for intermediates).
+    std::optional<int64_t> rows_per_work_order;
+    KernelSpec kernel;
+  };
+
+  static constexpr int64_t kDefaultRowsPerWorkOrder = 4096;
+
+  /// Adds a source operator over `base` (scan/select/index-scan).
+  int AddSource(OperatorType type, RelationId base, NodeOptions opts = {});
+
+  /// Adds an operator consuming the outputs of `inputs` (node ids).
+  int AddOp(OperatorType type, const std::vector<int>& inputs,
+            NodeOptions opts = {});
+
+  /// Overrides the pipeline-breaking flag of the edge producer->consumer.
+  Status SetEdgeBreaking(int producer, int consumer, bool breaking);
+
+  /// Marks columns used by a node (O-COLS feature).
+  void AddUsedColumn(int node, ColumnId column);
+
+  /// Adds a base relation to a node's O-IN lineage (e.g. the indexed table
+  /// probed by an index-nested-loop join, which is not a plan producer).
+  void AddBaseInput(int node, RelationId relation);
+
+  /// Finalizes: validates, computes cost annotations, and returns the plan.
+  Result<QueryPlan> Build();
+
+  /// Access while building (e.g. for tests).
+  const QueryPlan& plan() const { return plan_; }
+
+ private:
+  int AddNodeInternal(OperatorType type, const std::vector<int>& inputs,
+                      RelationId base, NodeOptions opts);
+
+  const Catalog* catalog_;
+  QueryPlan plan_;
+};
+
+}  // namespace lsched
+
+#endif  // LSCHED_PLAN_PLAN_BUILDER_H_

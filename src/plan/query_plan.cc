@@ -1,0 +1,128 @@
+#include "plan/query_plan.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace lsched {
+
+std::vector<int> QueryPlan::Producers(int node_id) const {
+  std::vector<int> out;
+  for (int e : nodes_[node_id].in_edges) out.push_back(edges_[e].producer);
+  return out;
+}
+
+std::vector<int> QueryPlan::Consumers(int node_id) const {
+  std::vector<int> out;
+  for (int e : nodes_[node_id].out_edges) out.push_back(edges_[e].consumer);
+  return out;
+}
+
+std::vector<int> QueryPlan::SourceNodes() const {
+  std::vector<int> out;
+  for (const PlanNode& n : nodes_) {
+    if (n.in_edges.empty()) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::vector<int> QueryPlan::SinkNodes() const {
+  std::vector<int> out;
+  for (const PlanNode& n : nodes_) {
+    if (n.out_edges.empty()) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::vector<int> QueryPlan::TopologicalOrder() const {
+  std::vector<int> indegree(nodes_.size(), 0);
+  for (const PlanEdge& e : edges_) ++indegree[e.consumer];
+  std::vector<int> frontier;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (indegree[i] == 0) frontier.push_back(static_cast<int>(i));
+  }
+  std::vector<int> order;
+  order.reserve(nodes_.size());
+  while (!frontier.empty()) {
+    const int n = frontier.back();
+    frontier.pop_back();
+    order.push_back(n);
+    for (int e : nodes_[n].out_edges) {
+      if (--indegree[edges_[e].consumer] == 0) {
+        frontier.push_back(edges_[e].consumer);
+      }
+    }
+  }
+  return order;
+}
+
+Status QueryPlan::Validate() const {
+  const int n = static_cast<int>(nodes_.size());
+  if (n == 0) return Status::InvalidArgument("empty plan");
+  for (const PlanEdge& e : edges_) {
+    if (e.producer < 0 || e.producer >= n || e.consumer < 0 ||
+        e.consumer >= n || e.producer == e.consumer) {
+      return Status::InvalidArgument("edge references invalid node");
+    }
+  }
+  if (TopologicalOrder().size() != nodes_.size()) {
+    return Status::InvalidArgument("plan contains a cycle");
+  }
+  for (const PlanNode& node : nodes_) {
+    if (node.in_edges.empty() && !IsSourceOperator(node.type) &&
+        node.base_inputs.empty()) {
+      return Status::InvalidArgument(
+          std::string("non-source node without inputs: ") +
+          OperatorTypeName(node.type));
+    }
+    if (node.num_work_orders <= 0) {
+      return Status::InvalidArgument("node with no work orders");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<int> QueryPlan::LongestPipelineFrom(int node_id) const {
+  // Memoized longest chain over the (acyclic) non-breaking subgraph.
+  std::vector<std::vector<int>> memo(nodes_.size());
+  std::function<const std::vector<int>&(int)> chain =
+      [&](int id) -> const std::vector<int>& {
+    if (!memo[id].empty()) return memo[id];
+    std::vector<int> best;
+    for (int e : nodes_[id].out_edges) {
+      if (edges_[e].pipeline_breaking) continue;
+      const std::vector<int>& sub = chain(edges_[e].consumer);
+      if (sub.size() > best.size()) best = sub;
+    }
+    memo[id].push_back(id);
+    memo[id].insert(memo[id].end(), best.begin(), best.end());
+    return memo[id];
+  };
+  return chain(node_id);
+}
+
+double QueryPlan::TotalEstimatedCost() const {
+  double total = 0.0;
+  for (const PlanNode& n : nodes_) {
+    total += static_cast<double>(n.num_work_orders) * n.est_cost_per_wo;
+  }
+  return total;
+}
+
+double QueryPlan::CriticalPathCost() const {
+  std::vector<double> best(nodes_.size(), 0.0);
+  const std::vector<int> order = TopologicalOrder();
+  double answer = 0.0;
+  for (int id : order) {
+    const PlanNode& node = nodes_[id];
+    double incoming = 0.0;
+    for (int e : node.in_edges) {
+      incoming = std::max(incoming, best[edges_[e].producer]);
+    }
+    best[id] = incoming +
+               static_cast<double>(node.num_work_orders) * node.est_cost_per_wo;
+    answer = std::max(answer, best[id]);
+  }
+  return answer;
+}
+
+}  // namespace lsched

@@ -1,0 +1,148 @@
+#ifndef LSCHED_PLAN_QUERY_PLAN_H_
+#define LSCHED_PLAN_QUERY_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "plan/operator_type.h"
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace lsched {
+
+/// Aggregate functions supported by the aggregation kernels.
+enum class AggFn : uint8_t { kSum = 0, kCount, kMin, kMax, kAvg };
+
+/// Kernel parameters needed by RealEngine to actually execute an operator.
+/// Simulation-only plans may leave this default-initialized.
+struct KernelSpec {
+  // Filter (Select / IndexScan): keep rows with lo <= col <= hi.
+  int filter_column = -1;
+  double filter_lo = 0.0;
+  double filter_hi = 0.0;
+
+  // Projection: output column subset (empty = all).
+  std::vector<int> project_columns;
+
+  // Hash / merge / nested-loop joins: key column per side.
+  int build_key = -1;
+  int probe_key = -1;
+
+  // Aggregation.
+  int group_by_column = -1;  ///< -1 = scalar aggregate
+  int agg_column = -1;
+  AggFn agg_fn = AggFn::kSum;
+
+  // Sort / TopK / Limit.
+  int sort_column = -1;
+  int64_t limit = -1;
+
+  // Index-nested-loop join: the indexed base relation and its key column.
+  RelationId index_relation = kInvalidRelation;
+  int index_key = 0;
+};
+
+/// One physical operator in the query DAG, annotated with the optimizer
+/// estimates that the feature extractor (paper §4.1) and cost model consume.
+struct PlanNode {
+  int id = -1;
+  OperatorType type = OperatorType::kSelect;
+
+  /// Base relations this operator reads (O-IN). Intermediate inputs are
+  /// represented by the incoming edges instead.
+  std::vector<RelationId> base_inputs;
+
+  /// Catalog column ids referenced by this operator (O-COLS).
+  std::vector<ColumnId> used_columns;
+
+  /// For source operators: which blocks of the base relation the optimizer
+  /// planned to touch (1 entry per planned block). For intermediates: one
+  /// entry per estimated input block. Downsampled into O-BLCKS (Eq. 1).
+  std::vector<double> block_bitmap;
+
+  int64_t est_input_rows = 0;
+  int64_t est_output_rows = 0;
+
+  /// Optimizer's planned number of work orders (== planned input blocks).
+  int num_work_orders = 0;
+
+  /// Cost-model estimates, filled by CostModel::Annotate.
+  double est_cost_per_wo = 0.0;
+  double est_mem_per_wo = 0.0;
+
+  /// Output-rows / input-rows; <0 means "use the type default".
+  double selectivity = -1.0;
+
+  KernelSpec kernel;
+
+  /// Edge indices (into QueryPlan::edges) for inputs and outputs.
+  std::vector<int> in_edges;
+  std::vector<int> out_edges;
+};
+
+/// A producer -> consumer data-flow edge with its pipelining annotations
+/// (E-NPB: non-pipeline-breaking status; direction is producer->consumer,
+/// i.e. E-DIR identifies the pipeline source, paper §4.1).
+struct PlanEdge {
+  int id = -1;
+  int producer = -1;
+  int consumer = -1;
+  bool pipeline_breaking = false;
+};
+
+/// A DAG of physical operators for one query. Immutable after building
+/// (construct via PlanBuilder); engines keep runtime progress elsewhere.
+class QueryPlan {
+ public:
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+  const PlanNode& node(int i) const { return nodes_[i]; }
+  const PlanEdge& edge(int i) const { return edges_[i]; }
+  const std::vector<PlanNode>& nodes() const { return nodes_; }
+  const std::vector<PlanEdge>& edges() const { return edges_; }
+
+  PlanNode& mutable_node(int i) { return nodes_[i]; }
+
+  /// Node ids of producers feeding `node_id`.
+  std::vector<int> Producers(int node_id) const;
+  /// Node ids consuming the output of `node_id`.
+  std::vector<int> Consumers(int node_id) const;
+
+  /// Nodes with no producers (typically source scans).
+  std::vector<int> SourceNodes() const;
+  /// Nodes with no consumers (query sinks).
+  std::vector<int> SinkNodes() const;
+
+  /// Producer-before-consumer order. Requires a valid (acyclic) plan.
+  std::vector<int> TopologicalOrder() const;
+
+  /// Checks the DAG is well-formed: edges reference valid nodes, the graph
+  /// is acyclic, and every non-source node has at least one producer.
+  Status Validate() const;
+
+  /// The longest chain of operators reachable from `node_id` by repeatedly
+  /// following non-pipeline-breaking output edges. Index 0 is `node_id`
+  /// itself. This bounds the pipeline-degree action (paper §5.3.2).
+  std::vector<int> LongestPipelineFrom(int node_id) const;
+
+  /// Total estimated remaining cost of the whole plan (sum over nodes of
+  /// num_work_orders * est_cost_per_wo). A static "work" metric used by
+  /// heuristic schedulers (SJF, critical path).
+  double TotalEstimatedCost() const;
+
+  /// Length (in nodes) of the most expensive source-to-sink path, weighting
+  /// each node by its estimated total cost. Used by the critical-path
+  /// heuristic.
+  double CriticalPathCost() const;
+
+ private:
+  friend class PlanBuilder;
+
+  std::vector<PlanNode> nodes_;
+  std::vector<PlanEdge> edges_;
+};
+
+}  // namespace lsched
+
+#endif  // LSCHED_PLAN_QUERY_PLAN_H_

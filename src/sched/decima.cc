@@ -1,0 +1,331 @@
+#include "sched/decima.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/autograd.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace lsched {
+
+DecimaModel::DecimaModel(DecimaConfig config) : config_(std::move(config)) {
+  Rng rng(config_.seed);
+  const int d = config_.hidden_dim;
+  const int sd = config_.summary_dim;
+  proj = Linear(&store_, "decima/proj", kNodeFeatureDim, d, &rng);
+  mp_self = Linear(&store_, "decima/mp_self", d, d, &rng);
+  mp_child = Linear(&store_, "decima/mp_child", d, d, &rng);
+  query_summary = Mlp(&store_, "decima/query_summary", {d, sd, sd}, &rng);
+  global_summary = Mlp(&store_, "decima/global_summary", {sd, sd, sd}, &rng);
+  node_head = Mlp(&store_, "decima/node_head", {d + sd, config_.head_hidden, 1},
+                  &rng);
+  par_head =
+      Mlp(&store_, "decima/par_head",
+          {sd + sd + kQueryFeatureDim, config_.head_hidden,
+           static_cast<int>(config_.parallelism_fractions.size())},
+          &rng);
+}
+
+DecimaStateFeatures DecimaScheduler::ExtractFeatures(
+    const SystemState& state) {
+  DecimaStateFeatures out;
+  out.time = state.now;
+  out.total_threads = static_cast<int>(state.threads.size());
+  const double total = std::max<double>(1.0, out.total_threads);
+  int free_threads = 0;
+  for (const ThreadInfo& t : state.threads) {
+    if (!t.busy) ++free_threads;
+  }
+
+  for (size_t qi = 0; qi < state.queries.size(); ++qi) {
+    const QueryState* q = state.queries[qi];
+    const QueryPlan& plan = q->plan();
+    DecimaQueryFeatures f;
+    f.qid = q->id();
+    f.num_nodes = static_cast<int>(plan.num_nodes());
+    f.topo_order = plan.TopologicalOrder();
+    f.child_node.assign(plan.num_nodes(), {-1, -1});
+    for (size_t i = 0; i < plan.num_nodes(); ++i) {
+      const int op = static_cast<int>(i);
+      const PlanNode& node = plan.node(op);
+      // Black-box task features only: counts, durations, progress. No
+      // operator types, columns, or pipelining annotations.
+      const double remaining = q->RemainingWorkOrders(op);
+      const double planned =
+          std::max(1.0, static_cast<double>(node.num_work_orders));
+      // Decima's no-pipelining runnability: all producers fully done.
+      bool runnable = !q->op_completed(op) && !q->op_scheduled(op);
+      for (int e : node.in_edges) {
+        if (!q->op_completed(plan.edge(e).producer)) runnable = false;
+      }
+      f.node_features.push_back(
+          {std::log1p(remaining) * 0.2, 1.0 - remaining / planned,
+           std::log1p(q->EstimateRemainingSeconds(op)),
+           q->op_scheduled(op) ? 1.0 : 0.0, runnable ? 1.0 : 0.0});
+      int slot = 0;
+      for (int e : node.in_edges) {
+        if (slot < 2) {
+          f.child_node[i][slot++] = plan.edge(e).producer;
+        }
+      }
+      if (runnable) {
+        out.candidates.push_back({static_cast<int>(qi), op});
+      }
+    }
+    f.query_features = {static_cast<double>(q->assigned_threads()) / total,
+                        static_cast<double>(free_threads) / total};
+    out.queries.push_back(std::move(f));
+  }
+  return out;
+}
+
+namespace {
+
+struct DecimaEncoded {
+  std::vector<std::vector<Var>> node_emb;  ///< per query, per node
+  std::vector<Var> query_emb;              ///< per query summary
+  Var global_emb;
+};
+
+DecimaEncoded Encode(DecimaModel* model, const DecimaStateFeatures& state,
+                     Tape* tape) {
+  DecimaEncoded enc;
+  const int sd = model->config().summary_dim;
+  for (const DecimaQueryFeatures& q : state.queries) {
+    std::vector<Var> x;
+    x.reserve(static_cast<size_t>(q.num_nodes));
+    for (int i = 0; i < q.num_nodes; ++i) {
+      Var f = tape->Constant(
+          Matrix::FromRow(q.node_features[static_cast<size_t>(i)]));
+      x.push_back(tape->Relu(model->proj.Forward(tape, f)));
+    }
+    // Sequential message passing: within one iteration, children computed
+    // earlier in the topological sweep feed their parents (Decima's scheme
+    // — the source of the over-smoothing LSched's TCN avoids, §4.2.1).
+    for (int it = 0; it < model->config().num_mp_iterations; ++it) {
+      for (int i : q.topo_order) {
+        Var h = model->mp_self.Forward(tape, x[static_cast<size_t>(i)]);
+        for (int s = 0; s < 2; ++s) {
+          const int child = q.child_node[static_cast<size_t>(i)][s];
+          if (child < 0) continue;
+          h = tape->Add(
+              h, model->mp_child.Forward(tape, x[static_cast<size_t>(child)]));
+        }
+        x[static_cast<size_t>(i)] = tape->Relu(h);
+      }
+    }
+    Var sum;
+    for (int i = 0; i < q.num_nodes; ++i) {
+      sum = i == 0 ? x[static_cast<size_t>(i)]
+                   : tape->Add(sum, x[static_cast<size_t>(i)]);
+    }
+    enc.query_emb.push_back(model->query_summary.Forward(tape, sum));
+    enc.node_emb.push_back(std::move(x));
+  }
+  Var gsum;
+  for (size_t qi = 0; qi < enc.query_emb.size(); ++qi) {
+    gsum = qi == 0 ? enc.query_emb[qi] : tape->Add(gsum, enc.query_emb[qi]);
+  }
+  if (enc.query_emb.empty()) gsum = tape->Constant(Matrix(1, sd, 0.0));
+  enc.global_emb = model->global_summary.Forward(tape, gsum);
+  return enc;
+}
+
+struct DecimaForward {
+  Var node_logprobs;              ///< over candidates
+  std::vector<Var> par_logprobs;  ///< per candidate
+};
+
+DecimaForward Forward(DecimaModel* model, const DecimaStateFeatures& state,
+                      const DecimaEncoded& enc, Tape* tape) {
+  DecimaForward out;
+  std::vector<Var> scores;
+  for (const auto& [qi, op] : state.candidates) {
+    Var in = tape->ConcatCols({enc.node_emb[static_cast<size_t>(qi)]
+                                           [static_cast<size_t>(op)],
+                               enc.query_emb[static_cast<size_t>(qi)]});
+    scores.push_back(model->node_head.Forward(tape, in));
+    Var qf = tape->Constant(Matrix::FromRow(
+        state.queries[static_cast<size_t>(qi)].query_features));
+    Var par_in = tape->ConcatCols(
+        {enc.global_emb, enc.query_emb[static_cast<size_t>(qi)], qf});
+    out.par_logprobs.push_back(
+        tape->LogSoftmaxRow(model->par_head.Forward(tape, par_in)));
+  }
+  out.node_logprobs = tape->LogSoftmaxRow(tape->ConcatCols(scores));
+  return out;
+}
+
+int SampleRow(const Matrix& logprobs, Rng* rng) {
+  std::vector<double> p(static_cast<size_t>(logprobs.cols()));
+  for (int c = 0; c < logprobs.cols(); ++c) {
+    p[static_cast<size_t>(c)] = std::exp(logprobs.at(0, c));
+  }
+  const size_t idx = rng->WeightedIndex(p);
+  return idx >= p.size() ? 0 : static_cast<int>(idx);
+}
+
+int ArgmaxRow(const Matrix& m) {
+  int best = 0;
+  for (int c = 1; c < m.cols(); ++c) {
+    if (m.at(0, c) > m.at(0, best)) best = c;
+  }
+  return best;
+}
+
+}  // namespace
+
+DecimaScheduler::DecimaScheduler(DecimaModel* model, uint64_t seed)
+    : model_(model), rng_(seed) {}
+
+void DecimaScheduler::Reset() { experiences_.clear(); }
+
+SchedulingDecision DecimaScheduler::Schedule(const SchedulingEvent& event,
+                                             const SystemState& state) {
+  (void)event;
+  SchedulingDecision decision;
+  DecimaStateFeatures features = ExtractFeatures(state);
+  if (features.candidates.empty()) return decision;
+
+  Tape tape;
+  const DecimaEncoded enc = Encode(model_, features, &tape);
+  const DecimaForward out = Forward(model_, features, enc, &tape);
+
+  int cand_idx, par_idx;
+  if (sample_actions_) {
+    cand_idx = SampleRow(out.node_logprobs.value(), &rng_);
+    par_idx = SampleRow(
+        out.par_logprobs[static_cast<size_t>(cand_idx)].value(), &rng_);
+  } else {
+    cand_idx = ArgmaxRow(out.node_logprobs.value());
+    par_idx =
+        ArgmaxRow(out.par_logprobs[static_cast<size_t>(cand_idx)].value());
+  }
+
+  const auto& [qi, op] = features.candidates[static_cast<size_t>(cand_idx)];
+  const QueryId qid = features.queries[static_cast<size_t>(qi)].qid;
+  // Degree is always 1: Decima cannot co-schedule pipelined operators.
+  decision.pipelines.push_back(PipelineChoice{qid, op, 1});
+  const double frac =
+      model_->config().parallelism_fractions[static_cast<size_t>(par_idx)];
+  decision.parallelism.push_back(ParallelismChoice{
+      qid,
+      std::max(1, static_cast<int>(std::lround(
+                      frac * static_cast<double>(features.total_threads))))});
+
+  if (record_experiences_) {
+    DecimaExperience exp;
+    exp.time = state.now;
+    exp.num_running_queries = static_cast<int>(state.queries.size());
+    exp.chosen_candidate = cand_idx;
+    exp.chosen_parallelism = par_idx;
+    exp.state = std::move(features);
+    experiences_.push_back(std::move(exp));
+  }
+  return decision;
+}
+
+DecimaTrainer::DecimaTrainer(DecimaModel* model, SimEngine* engine,
+                             int episodes, double learning_rate,
+                             uint64_t seed)
+    : model_(model),
+      engine_(engine),
+      episodes_(episodes),
+      agent_(model, seed ^ 0x9747b28c),
+      optimizer_(learning_rate),
+      rng_(seed) {
+  agent_.set_sample_actions(true);
+  agent_.set_record_experiences(true);
+}
+
+double DecimaTrainer::TrainOneEpisode(
+    const std::vector<QuerySubmission>& workload) {
+  agent_.set_sample_actions(true);
+  agent_.set_record_experiences(true);
+  const EpisodeResult result = engine_->Run(workload, &agent_);
+  std::vector<DecimaExperience> exps = std::move(agent_.experiences());
+  agent_.experiences().clear();
+  stats_.episode_avg_latency.push_back(result.avg_latency);
+  if (exps.empty()) {
+    stats_.episode_reward.push_back(0.0);
+    return 0.0;
+  }
+
+  // Average-latency-only reward: r_d = -H_d (no tail term, unlike LSched).
+  std::vector<double> rewards(exps.size(), 0.0);
+  double prev = 0.0;
+  for (size_t d = 0; d < exps.size(); ++d) {
+    rewards[d] = -(exps[d].time - prev) *
+                 static_cast<double>(exps[d].num_running_queries);
+    prev = exps[d].time;
+  }
+  // Terminal interval after the last decision (same correction as LSched's
+  // trainer, so the comparison stays apples-to-apples).
+  if (result.makespan > prev) {
+    rewards.back() -= (result.makespan - prev) *
+                      static_cast<double>(exps.back().num_running_queries);
+  }
+  std::vector<double> returns(exps.size(), 0.0);
+  double acc = 0.0;
+  for (size_t i = exps.size(); i-- > 0;) {
+    acc += rewards[i];
+    returns[i] = acc;
+  }
+  double total_reward = 0.0;
+  for (double r : rewards) total_reward += r;
+
+  // Per-index EWMA baseline, then normalized advantages.
+  if (baseline_.size() < returns.size()) {
+    baseline_.resize(returns.size(), 0.0);
+    baseline_init_.resize(returns.size(), false);
+  }
+  std::vector<double> adv(returns.size(), 0.0);
+  for (size_t d = 0; d < returns.size(); ++d) {
+    adv[d] = baseline_init_[d] ? returns[d] - baseline_[d] : 0.0;
+    if (!baseline_init_[d]) {
+      baseline_[d] = returns[d];
+      baseline_init_[d] = true;
+    } else {
+      baseline_[d] = 0.9 * baseline_[d] + 0.1 * returns[d];
+    }
+  }
+  const double sd = StdDev(adv);
+  const double m = Mean(adv);
+  if (sd > 1e-9) {
+    for (double& a : adv) a = (a - m) / sd;
+  }
+
+  model_->params()->ZeroGrads();
+  const double scale =
+      1.0 / static_cast<double>(std::max<size_t>(exps.size(), 1));
+  for (size_t d = 0; d < exps.size(); ++d) {
+    const DecimaExperience& exp = exps[d];
+    if (exp.state.candidates.empty()) continue;
+    Tape tape;
+    const DecimaEncoded enc = Encode(model_, exp.state, &tape);
+    const DecimaForward out = Forward(model_, exp.state, enc, &tape);
+    Var lp = tape.PickCol(out.node_logprobs, exp.chosen_candidate);
+    lp = tape.Add(
+        lp, tape.PickCol(
+                out.par_logprobs[static_cast<size_t>(exp.chosen_candidate)],
+                exp.chosen_parallelism));
+    Var loss = tape.Scale(lp, -adv[d]);
+    tape.Backward(loss, scale);
+  }
+  model_->params()->ClipGradNorm(5.0);
+  optimizer_.Step(model_->params());
+
+  stats_.episode_reward.push_back(total_reward);
+  return total_reward;
+}
+
+DecimaTrainStats DecimaTrainer::Train(
+    const std::function<std::vector<QuerySubmission>(int, Rng*)>& factory) {
+  for (int ep = 0; ep < episodes_; ++ep) {
+    TrainOneEpisode(factory(ep, &rng_));
+  }
+  return stats_;
+}
+
+}  // namespace lsched

@@ -1,0 +1,142 @@
+#ifndef LSCHED_SCHED_DECIMA_H_
+#define LSCHED_SCHED_DECIMA_H_
+
+#include <array>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/scheduler.h"
+#include "exec/sim_engine.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "nn/params.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace lsched {
+
+/// Configuration of the Decima baseline (Mao et al., SIGCOMM'19), as
+/// characterized by the LSched paper (§1, §4.2): black-box per-task
+/// features, sequential-message-passing GCN encoder, (node, parallelism)
+/// action space, no pipelining support — a task is runnable only when ALL
+/// its parents completed — and an average-latency-only reward.
+struct DecimaConfig {
+  int hidden_dim = 16;
+  int num_mp_iterations = 2;
+  int summary_dim = 16;
+  int head_hidden = 32;
+  std::vector<double> parallelism_fractions = {0.1, 0.2, 0.35, 0.5,
+                                               0.65, 0.8, 1.0};
+  uint64_t seed = 23;
+};
+
+/// Black-box snapshot of one query for Decima's encoder.
+struct DecimaQueryFeatures {
+  QueryId qid = kInvalidQuery;
+  int num_nodes = 0;
+  /// Per task: [log #remaining work orders, completion ratio,
+  /// log est. remaining duration, is_scheduled, is_runnable].
+  std::vector<std::vector<double>> node_features;
+  std::vector<std::array<int, 2>> child_node;  ///< producer slots
+  std::vector<int> topo_order;
+  std::vector<double> query_features;  ///< [assigned frac, free frac]
+};
+
+struct DecimaStateFeatures {
+  double time = 0.0;
+  int total_threads = 0;
+  std::vector<DecimaQueryFeatures> queries;
+  /// Runnable tasks: (query index, op). Decima has no pipelining: runnable
+  /// requires every producer completed.
+  std::vector<std::pair<int, int>> candidates;
+};
+
+struct DecimaExperience {
+  DecimaStateFeatures state;
+  int chosen_candidate = -1;
+  int chosen_parallelism = 0;
+  double time = 0.0;
+  int num_running_queries = 0;
+};
+
+/// Decima's networks: GCN + query/global summaries + two heads.
+class DecimaModel {
+ public:
+  explicit DecimaModel(DecimaConfig config);
+
+  const DecimaConfig& config() const { return config_; }
+  ParameterStore* params() { return &store_; }
+
+  static constexpr int kNodeFeatureDim = 5;
+  static constexpr int kQueryFeatureDim = 2;
+
+  Linear proj;
+  Linear mp_self;
+  Linear mp_child;
+  Mlp query_summary;   ///< per-node message -> summary
+  Mlp global_summary;  ///< per-query message -> summary
+  Mlp node_head;
+  Mlp par_head;
+
+ private:
+  DecimaConfig config_;
+  ParameterStore store_;
+};
+
+/// The Decima scheduling agent.
+class DecimaScheduler : public Scheduler {
+ public:
+  DecimaScheduler(DecimaModel* model, uint64_t seed = 77);
+
+  std::string name() const override { return "Decima"; }
+  void Reset() override;
+  SchedulingDecision Schedule(const SchedulingEvent& event,
+                              const SystemState& state) override;
+
+  void set_sample_actions(bool v) { sample_actions_ = v; }
+  void set_record_experiences(bool v) { record_experiences_ = v; }
+  std::vector<DecimaExperience>& experiences() { return experiences_; }
+
+  /// Extracts Decima's black-box features (exposed for tests).
+  static DecimaStateFeatures ExtractFeatures(const SystemState& state);
+
+ private:
+  DecimaModel* model_;
+  Rng rng_;
+  bool sample_actions_ = false;
+  bool record_experiences_ = false;
+  std::vector<DecimaExperience> experiences_;
+};
+
+struct DecimaTrainStats {
+  std::vector<double> episode_avg_latency;
+  std::vector<double> episode_reward;
+};
+
+/// REINFORCE trainer for Decima (average-latency reward only, per the
+/// paper's contribution #4 contrast).
+class DecimaTrainer {
+ public:
+  DecimaTrainer(DecimaModel* model, SimEngine* engine, int episodes,
+                double learning_rate = 1e-3, uint64_t seed = 41);
+
+  double TrainOneEpisode(const std::vector<QuerySubmission>& workload);
+  DecimaTrainStats Train(
+      const std::function<std::vector<QuerySubmission>(int, Rng*)>& factory);
+
+ private:
+  DecimaModel* model_;
+  SimEngine* engine_;
+  int episodes_;
+  DecimaScheduler agent_;
+  Adam optimizer_;
+  Rng rng_;
+  std::vector<double> baseline_;
+  std::vector<bool> baseline_init_;
+  DecimaTrainStats stats_;
+};
+
+}  // namespace lsched
+
+#endif  // LSCHED_SCHED_DECIMA_H_

@@ -1,0 +1,188 @@
+#include "sched/heuristics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace lsched {
+
+namespace {
+
+/// Launches every currently-schedulable operator of `q` as a full pipeline.
+void ScheduleAllOps(QueryState* q, SchedulingDecision* d) {
+  for (int root : q->SchedulableOps()) {
+    const int degree = static_cast<int>(q->ValidPipelineFrom(root).size());
+    d->pipelines.push_back(PipelineChoice{q->id(), root, degree});
+  }
+}
+
+}  // namespace
+
+SchedulingDecision FifoScheduler::Schedule(const SchedulingEvent& event,
+                                           const SystemState& state) {
+  (void)event;
+  SchedulingDecision d;
+  // Strict arrival order: find the oldest query that still has schedulable
+  // work; grant it everything. Later queries wait.
+  std::vector<QueryState*> order = state.queries;
+  std::sort(order.begin(), order.end(),
+            [](const QueryState* a, const QueryState* b) {
+              return a->arrival_time() < b->arrival_time();
+            });
+  for (QueryState* q : order) {
+    if (!q->SchedulableOps().empty()) {
+      ScheduleAllOps(q, &d);
+      d.parallelism.push_back(
+          ParallelismChoice{q->id(), static_cast<int>(state.threads.size())});
+      return d;
+    }
+    if (!q->completed()) {
+      // Head-of-line query still running: FIFO does not look past it.
+      return d;
+    }
+  }
+  return d;
+}
+
+SchedulingDecision FairScheduler::Schedule(const SchedulingEvent& event,
+                                           const SystemState& state) {
+  (void)event;
+  SchedulingDecision d;
+  if (state.queries.empty()) return d;
+  const int total = static_cast<int>(state.threads.size());
+
+  double total_weight = 0.0;
+  std::vector<double> weights(state.queries.size(), 1.0);
+  for (size_t i = 0; i < state.queries.size(); ++i) {
+    if (weight_by_cost_ > 0.0) {
+      weights[i] = 1.0 + weight_by_cost_ *
+                             state.queries[i]->EstimateQueryRemainingSeconds();
+    }
+    total_weight += weights[i];
+  }
+  for (size_t i = 0; i < state.queries.size(); ++i) {
+    QueryState* q = state.queries[i];
+    // Ceil keeps fair sharing work-conserving: with more threads than
+    // queries the spare capacity is still handed out.
+    const int cap = std::max(
+        1, static_cast<int>(std::ceil(static_cast<double>(total) *
+                                      weights[i] / total_weight)));
+    d.parallelism.push_back(ParallelismChoice{q->id(), cap});
+    ScheduleAllOps(q, &d);
+  }
+  return d;
+}
+
+SchedulingDecision SjfScheduler::Schedule(const SchedulingEvent& event,
+                                          const SystemState& state) {
+  (void)event;
+  SchedulingDecision d;
+  QueryState* best = nullptr;
+  double best_remaining = std::numeric_limits<double>::infinity();
+  for (QueryState* q : state.queries) {
+    if (q->SchedulableOps().empty()) continue;
+    const double rem = q->EstimateQueryRemainingSeconds();
+    if (rem < best_remaining) {
+      best_remaining = rem;
+      best = q;
+    }
+  }
+  if (best != nullptr) {
+    ScheduleAllOps(best, &d);
+    d.parallelism.push_back(
+        ParallelismChoice{best->id(), static_cast<int>(state.threads.size())});
+  }
+  return d;
+}
+
+SchedulingDecision HpfScheduler::Schedule(const SchedulingEvent& event,
+                                          const SystemState& state) {
+  (void)event;
+  SchedulingDecision d;
+  QueryState* best = nullptr;
+  double best_priority = -1.0;
+  for (QueryState* q : state.queries) {
+    if (q->SchedulableOps().empty()) continue;
+    // Static priority fixed by the optimizer's plan cost at arrival.
+    const double priority = 1.0 / (1.0 + q->plan().TotalEstimatedCost());
+    if (priority > best_priority) {
+      best_priority = priority;
+      best = q;
+    }
+  }
+  if (best != nullptr) {
+    ScheduleAllOps(best, &d);
+    d.parallelism.push_back(
+        ParallelismChoice{best->id(), static_cast<int>(state.threads.size())});
+  }
+  return d;
+}
+
+SchedulingDecision CriticalPathScheduler::Schedule(
+    const SchedulingEvent& event, const SystemState& state) {
+  (void)event;
+  SchedulingDecision d;
+  // Pick the schedulable pipeline with the most aggregate remaining work,
+  // pipeline it aggressively (full chain).
+  QueryState* best_q = nullptr;
+  int best_root = -1;
+  int best_degree = 1;
+  double best_work = -1.0;
+  for (QueryState* q : state.queries) {
+    for (int root : q->SchedulableOps()) {
+      const std::vector<int> chain = q->ValidPipelineFrom(root);
+      double work = 0.0;
+      for (int op : chain) {
+        work += q->EstimateRemainingSeconds(op);
+      }
+      if (work > best_work) {
+        best_work = work;
+        best_q = q;
+        best_root = root;
+        best_degree = static_cast<int>(chain.size());
+      }
+    }
+  }
+  if (best_q != nullptr) {
+    d.pipelines.push_back(PipelineChoice{best_q->id(), best_root, best_degree});
+    d.parallelism.push_back(ParallelismChoice{
+        best_q->id(), static_cast<int>(state.threads.size())});
+  }
+  return d;
+}
+
+SchedulingDecision QuickstepScheduler::Schedule(const SchedulingEvent& event,
+                                                const SystemState& state) {
+  (void)event;
+  SchedulingDecision d;
+  if (state.queries.empty()) return d;
+  const int total = static_cast<int>(state.threads.size());
+
+  // Proportional-priority allocation by remaining work orders (largest
+  // remainder method), then keep all active nodes scheduled.
+  double total_remaining = 0.0;
+  std::vector<double> remaining(state.queries.size(), 0.0);
+  for (size_t i = 0; i < state.queries.size(); ++i) {
+    const QueryState* q = state.queries[i];
+    double r = 0.0;
+    for (size_t op = 0; op < q->plan().num_nodes(); ++op) {
+      r += q->RemainingWorkOrders(static_cast<int>(op));
+    }
+    remaining[i] = r;
+    total_remaining += r;
+  }
+  for (size_t i = 0; i < state.queries.size(); ++i) {
+    QueryState* q = state.queries[i];
+    int cap = total;
+    if (total_remaining > 0.0) {
+      cap = std::max(1, static_cast<int>(std::lround(
+                            static_cast<double>(total) * remaining[i] /
+                            total_remaining)));
+    }
+    d.parallelism.push_back(ParallelismChoice{q->id(), cap});
+    ScheduleAllOps(q, &d);
+  }
+  return d;
+}
+
+}  // namespace lsched

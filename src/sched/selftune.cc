@@ -1,0 +1,106 @@
+#include "sched/selftune.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lsched {
+
+SchedulingDecision SelfTuneScheduler::Schedule(const SchedulingEvent& event,
+                                               const SystemState& state) {
+  (void)event;
+  SchedulingDecision d;
+  if (state.queries.empty()) return d;
+
+  // Thread shares proportional to (1 / attained service)^exponent: stride
+  // scheduling's decaying priorities (no cost estimates involved).
+  const int total = static_cast<int>(state.threads.size());
+  double share_sum = 0.0;
+  std::vector<double> shares(state.queries.size(), 0.0);
+  for (size_t i = 0; i < state.queries.size(); ++i) {
+    const double attained = state.queries[i]->attained_service();
+    shares[i] = std::pow(1.0 / (1.0 + attained), params_.share_exponent);
+    share_sum += shares[i];
+  }
+  for (size_t i = 0; i < state.queries.size(); ++i) {
+    const int cap =
+        share_sum > 0.0
+            ? std::max(1, static_cast<int>(std::lround(
+                              static_cast<double>(total) * shares[i] /
+                              share_sum)))
+            : total;
+    d.parallelism.push_back(ParallelismChoice{state.queries[i]->id(), cap});
+  }
+
+  // Score all candidate execution roots; schedule the best ones, one per
+  // free thread (the fixed priority policy).
+  struct Candidate {
+    QueryState* q;
+    int root;
+    int degree;
+    double score;
+  };
+  std::vector<Candidate> candidates;
+  for (QueryState* q : state.queries) {
+    const double age = state.now - q->arrival_time();
+    const double attained = q->attained_service();
+    for (int root : q->SchedulableOps()) {
+      const std::vector<int> chain = q->ValidPipelineFrom(root);
+      double chain_cost = 0.0;
+      for (int op : chain) chain_cost += q->EstimateRemainingSeconds(op);
+      const double score = params_.w_age * age - params_.w_decay * attained +
+                           params_.w_chain * chain_cost;
+      int degree = static_cast<int>(std::lround(
+          params_.pipeline_frac * static_cast<double>(chain.size())));
+      degree = std::clamp(degree, 1, static_cast<int>(chain.size()));
+      candidates.push_back(Candidate{q, root, degree, score});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.score > b.score;
+            });
+  const int budget = std::max(1, state.num_free_threads());
+  for (size_t i = 0;
+       i < candidates.size() && static_cast<int>(i) < budget; ++i) {
+    d.pipelines.push_back(PipelineChoice{candidates[i].q->id(),
+                                         candidates[i].root,
+                                         candidates[i].degree});
+  }
+  return d;
+}
+
+SelfTuneResult TuneSelfTune(
+    SimEngine* engine,
+    const std::vector<std::vector<QuerySubmission>>& training_workloads,
+    int iterations, Rng* rng) {
+  SelfTuneResult result;
+  double best = 1e300;
+  for (int it = 0; it < iterations; ++it) {
+    SelfTuneParams p;
+    if (it > 0) {  // iteration 0 evaluates the defaults
+      p.w_age = rng->Uniform(0.0, 4.0);
+      p.w_decay = rng->Uniform(0.0, 4.0);
+      p.w_chain = rng->Uniform(0.0, 2.0);
+      p.pipeline_frac = rng->Uniform(0.2, 1.0);
+      p.share_exponent = rng->Uniform(0.0, 2.0);
+    }
+    SelfTuneScheduler sched(p);
+    double total_latency = 0.0;
+    int count = 0;
+    for (const auto& workload : training_workloads) {
+      const EpisodeResult r = engine->Run(workload, &sched);
+      total_latency += r.avg_latency;
+      ++count;
+    }
+    const double avg = count > 0 ? total_latency / count : 0.0;
+    result.latency_per_iteration.push_back(avg);
+    if (avg < best) {
+      best = avg;
+      result.best_params = p;
+      result.best_avg_latency = avg;
+    }
+  }
+  return result;
+}
+
+}  // namespace lsched

@@ -1,0 +1,68 @@
+#include "storage/block.h"
+
+namespace lsched {
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kInt64:
+      return "Int64";
+    case DataType::kDouble:
+      return "Double";
+  }
+  return "?";
+}
+
+Block::Block(const Schema& schema, size_t capacity) : capacity_(capacity) {
+  types_.reserve(schema.num_columns());
+  columns_.reserve(schema.num_columns());
+  stats_.resize(schema.num_columns());
+  for (const ColumnDef& col : schema.columns()) {
+    types_.push_back(col.type);
+    if (col.type == DataType::kInt64) {
+      std::vector<int64_t> v;
+      v.reserve(capacity);
+      columns_.emplace_back(std::move(v));
+    } else {
+      std::vector<double> v;
+      v.reserve(capacity);
+      columns_.emplace_back(std::move(v));
+    }
+  }
+}
+
+Status Block::AppendRow(const std::vector<double>& values) {
+  if (full()) return Status::FailedPrecondition("block is full");
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (types_[i] == DataType::kInt64) {
+      std::get<std::vector<int64_t>>(columns_[i])
+          .push_back(static_cast<int64_t>(values[i]));
+    } else {
+      std::get<std::vector<double>>(columns_[i]).push_back(values[i]);
+    }
+    ColumnStats& st = stats_[i];
+    if (values[i] < st.min) st.min = values[i];
+    if (values[i] > st.max) st.max = values[i];
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+double Block::ValueAsDouble(size_t col, size_t row) const {
+  if (types_[col] == DataType::kInt64) {
+    return static_cast<double>(Int64Column(col)[row]);
+  }
+  return DoubleColumn(col)[row];
+}
+
+size_t Block::ByteSize() const {
+  size_t bytes = sizeof(Block) + stats_.size() * sizeof(ColumnStats);
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    bytes += num_rows_ * 8;  // both supported types are 8 bytes wide
+  }
+  return bytes;
+}
+
+}  // namespace lsched

@@ -1,0 +1,68 @@
+#ifndef LSCHED_STORAGE_BLOCK_H_
+#define LSCHED_STORAGE_BLOCK_H_
+
+#include <cstdint>
+#include <limits>
+#include <variant>
+#include <vector>
+
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace lsched {
+
+/// Typed columnar sub-block storage.
+using ColumnData = std::variant<std::vector<int64_t>, std::vector<double>>;
+
+/// Per-column zone-map style statistics kept in the block header; used by
+/// kernels for block pruning and by the optimizer for cardinality estimates.
+struct ColumnStats {
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+};
+
+/// A self-contained mini-database unit (paper §2): columnar sub-blocks of
+/// data plus a metadata header. Each work order processes exactly one block.
+class Block {
+ public:
+  /// Creates an empty block with the given schema and row capacity.
+  Block(const Schema& schema, size_t capacity);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t capacity() const { return capacity_; }
+  size_t num_columns() const { return columns_.size(); }
+  bool full() const { return num_rows_ >= capacity_; }
+
+  /// Appends one row given per-column values as doubles (int columns are
+  /// truncated). Returns FailedPrecondition when full or arity mismatches.
+  Status AppendRow(const std::vector<double>& values);
+
+  /// Typed column accessors. The variant alternative must match the schema.
+  const std::vector<int64_t>& Int64Column(size_t i) const {
+    return std::get<std::vector<int64_t>>(columns_[i]);
+  }
+  const std::vector<double>& DoubleColumn(size_t i) const {
+    return std::get<std::vector<double>>(columns_[i]);
+  }
+  DataType column_type(size_t i) const { return types_[i]; }
+
+  /// Value of column `col` at row `row` widened to double.
+  double ValueAsDouble(size_t col, size_t row) const;
+
+  /// Header statistics for column `i` (maintained on append).
+  const ColumnStats& column_stats(size_t i) const { return stats_[i]; }
+
+  /// Approximate in-memory footprint in bytes (data + header).
+  size_t ByteSize() const;
+
+ private:
+  size_t capacity_;
+  size_t num_rows_ = 0;
+  std::vector<DataType> types_;
+  std::vector<ColumnData> columns_;
+  std::vector<ColumnStats> stats_;
+};
+
+}  // namespace lsched
+
+#endif  // LSCHED_STORAGE_BLOCK_H_

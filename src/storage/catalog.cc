@@ -1,0 +1,34 @@
+#include "storage/catalog.h"
+
+namespace lsched {
+
+Result<RelationId> Catalog::AddRelation(std::unique_ptr<Relation> relation) {
+  const std::string& name = relation->name();
+  if (by_name_.count(name) > 0) {
+    return Status::AlreadyExists("relation exists: " + name);
+  }
+  const RelationId id = static_cast<RelationId>(relations_.size());
+  by_name_[name] = id;
+  // Pre-register all columns so O-COLS ids are stable per catalog.
+  for (const ColumnDef& col : relation->schema().columns()) {
+    ColumnIdFor(name + "." + col.name);
+  }
+  relations_.push_back(std::move(relation));
+  return id;
+}
+
+Result<RelationId> Catalog::FindRelation(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return Status::NotFound("no relation: " + name);
+  return it->second;
+}
+
+ColumnId Catalog::ColumnIdFor(const std::string& qualified_name) {
+  auto it = column_ids_.find(qualified_name);
+  if (it != column_ids_.end()) return it->second;
+  const ColumnId id = static_cast<ColumnId>(column_ids_.size());
+  column_ids_[qualified_name] = id;
+  return id;
+}
+
+}  // namespace lsched

@@ -1,0 +1,48 @@
+#ifndef LSCHED_STORAGE_CATALOG_H_
+#define LSCHED_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/relation.h"
+#include "util/status.h"
+
+namespace lsched {
+
+/// Owns all base relations of a database instance and assigns RelationIds.
+/// RelationIds are dense, so they double as positions in the O-IN feature
+/// vector (paper §4.1).
+class Catalog {
+ public:
+  /// Registers `relation` and returns its id; error if the name exists.
+  Result<RelationId> AddRelation(std::unique_ptr<Relation> relation);
+
+  /// Number of registered relations.
+  size_t num_relations() const { return relations_.size(); }
+
+  /// Lookup by id. Requires a valid id.
+  const Relation& relation(RelationId id) const { return *relations_[id]; }
+  Relation& mutable_relation(RelationId id) { return *relations_[id]; }
+
+  /// Lookup by name.
+  Result<RelationId> FindRelation(const std::string& name) const;
+
+  /// Total number of distinct column names across all relations; used to
+  /// size the O-COLS one-hot vocabulary.
+  size_t num_distinct_columns() const { return column_ids_.size(); }
+
+  /// Stable dense id for a (relation-qualified) column name, creating one on
+  /// first use.
+  ColumnId ColumnIdFor(const std::string& qualified_name);
+
+ private:
+  std::vector<std::unique_ptr<Relation>> relations_;
+  std::map<std::string, RelationId> by_name_;
+  std::map<std::string, ColumnId> column_ids_;
+};
+
+}  // namespace lsched
+
+#endif  // LSCHED_STORAGE_CATALOG_H_

@@ -1,0 +1,31 @@
+#include "storage/relation.h"
+
+namespace lsched {
+
+Relation::Relation(std::string name, Schema schema, size_t block_capacity)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      block_capacity_(block_capacity == 0 ? kDefaultBlockCapacity
+                                          : block_capacity) {}
+
+Status Relation::AppendRow(const std::vector<double>& values) {
+  if (blocks_.empty() || blocks_.back()->full()) {
+    blocks_.push_back(std::make_unique<Block>(schema_, block_capacity_));
+  }
+  LSCHED_RETURN_IF_ERROR(blocks_.back()->AppendRow(values));
+  ++num_rows_;
+  return Status::OK();
+}
+
+void Relation::AppendBlock(std::unique_ptr<Block> block) {
+  num_rows_ += static_cast<int64_t>(block->num_rows());
+  blocks_.push_back(std::move(block));
+}
+
+size_t Relation::ByteSize() const {
+  size_t bytes = 0;
+  for (const auto& b : blocks_) bytes += b->ByteSize();
+  return bytes;
+}
+
+}  // namespace lsched

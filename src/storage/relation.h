@@ -1,0 +1,53 @@
+#ifndef LSCHED_STORAGE_RELATION_H_
+#define LSCHED_STORAGE_RELATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/block.h"
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace lsched {
+
+/// A named table stored as a sequence of Blocks (paper §2: "Quickstep
+/// manages its table storage as a set of blocks"). Also used for
+/// intermediate results produced by operators.
+class Relation {
+ public:
+  static constexpr size_t kDefaultBlockCapacity = 4096;
+
+  Relation(std::string name, Schema schema,
+           size_t block_capacity = kDefaultBlockCapacity);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t block_capacity() const { return block_capacity_; }
+
+  size_t num_blocks() const { return blocks_.size(); }
+  const Block& block(size_t i) const { return *blocks_[i]; }
+  Block& mutable_block(size_t i) { return *blocks_[i]; }
+
+  int64_t num_rows() const { return num_rows_; }
+
+  /// Appends a row, allocating a new block when the tail block is full.
+  Status AppendRow(const std::vector<double>& values);
+
+  /// Appends a pre-built block (bulk load path).
+  void AppendBlock(std::unique_ptr<Block> block);
+
+  /// Total approximate bytes across all blocks.
+  size_t ByteSize() const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  size_t block_capacity_;
+  std::vector<std::unique_ptr<Block>> blocks_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace lsched
+
+#endif  // LSCHED_STORAGE_RELATION_H_

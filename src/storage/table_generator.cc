@@ -1,0 +1,52 @@
+#include "storage/table_generator.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace lsched {
+
+namespace {
+double DrawValue(const ColumnSpec& spec, int64_t row, Rng* rng) {
+  switch (spec.dist) {
+    case ColumnDistribution::kSequential:
+      return static_cast<double>(row);
+    case ColumnDistribution::kUniformInt:
+      return static_cast<double>(rng->UniformInt(
+          static_cast<int64_t>(spec.lo), static_cast<int64_t>(spec.hi)));
+    case ColumnDistribution::kUniformReal:
+      return rng->Uniform(spec.lo, spec.hi);
+    case ColumnDistribution::kZipfInt:
+      return static_cast<double>(
+          rng->Zipf(static_cast<uint64_t>(spec.hi), spec.param));
+    case ColumnDistribution::kNormalReal:
+      return rng->Normal(spec.lo, spec.param);
+    case ColumnDistribution::kForeignKey: {
+      const uint64_t n = static_cast<uint64_t>(spec.hi);
+      return static_cast<double>(n == 0 ? 0 : rng->UniformInt(n));
+    }
+  }
+  return 0.0;
+}
+}  // namespace
+
+std::unique_ptr<Relation> GenerateTable(const TableSpec& spec, Rng* rng) {
+  std::vector<ColumnDef> defs;
+  defs.reserve(spec.columns.size());
+  for (const ColumnSpec& col : spec.columns) {
+    defs.push_back(ColumnDef{col.name, col.type});
+  }
+  auto rel = std::make_unique<Relation>(spec.name, Schema(std::move(defs)),
+                                        spec.block_capacity);
+  std::vector<double> row(spec.columns.size());
+  for (int64_t r = 0; r < spec.num_rows; ++r) {
+    for (size_t c = 0; c < spec.columns.size(); ++c) {
+      row[c] = DrawValue(spec.columns[c], r, rng);
+    }
+    const Status st = rel->AppendRow(row);
+    LSCHED_CHECK(st.ok()) << st.ToString();
+  }
+  return rel;
+}
+
+}  // namespace lsched

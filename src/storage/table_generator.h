@@ -1,0 +1,47 @@
+#ifndef LSCHED_STORAGE_TABLE_GENERATOR_H_
+#define LSCHED_STORAGE_TABLE_GENERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/relation.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace lsched {
+
+/// How a synthetic column's values are drawn.
+enum class ColumnDistribution {
+  kSequential,   ///< 0, 1, 2, ... (primary keys)
+  kUniformInt,   ///< uniform integer in [lo, hi]
+  kUniformReal,  ///< uniform double in [lo, hi)
+  kZipfInt,      ///< zipf over [0, hi) with skew `param`
+  kNormalReal,   ///< normal(lo, param)
+  kForeignKey,   ///< uniform in [0, hi) — reference into another table
+};
+
+/// Specification of one synthetic column.
+struct ColumnSpec {
+  std::string name;
+  DataType type = DataType::kInt64;
+  ColumnDistribution dist = ColumnDistribution::kUniformInt;
+  double lo = 0.0;
+  double hi = 100.0;
+  double param = 0.0;  ///< zipf skew or normal stddev
+};
+
+/// Specification of one synthetic table.
+struct TableSpec {
+  std::string name;
+  std::vector<ColumnSpec> columns;
+  int64_t num_rows = 0;
+  size_t block_capacity = Relation::kDefaultBlockCapacity;
+};
+
+/// Deterministically materializes `spec` using `rng`.
+std::unique_ptr<Relation> GenerateTable(const TableSpec& spec, Rng* rng);
+
+}  // namespace lsched
+
+#endif  // LSCHED_STORAGE_TABLE_GENERATOR_H_

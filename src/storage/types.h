@@ -1,0 +1,55 @@
+#ifndef LSCHED_STORAGE_TYPES_H_
+#define LSCHED_STORAGE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lsched {
+
+/// Column data types. Strings are dictionary-encoded to Int64 keys by the
+/// table generators, so the execution kernels only deal with fixed-width
+/// values (the common design in block-based columnar engines).
+enum class DataType : uint8_t { kInt64 = 0, kDouble = 1 };
+
+const char* DataTypeName(DataType t);
+
+/// One column of a relation schema.
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kInt64;
+};
+
+/// An ordered list of columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or -1 if absent.
+  int FindColumn(const std::string& name) const {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (columns_[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+/// Identifiers used throughout the library.
+using RelationId = int32_t;
+using BlockId = int32_t;
+using ColumnId = int32_t;
+
+inline constexpr RelationId kInvalidRelation = -1;
+
+}  // namespace lsched
+
+#endif  // LSCHED_STORAGE_TYPES_H_

@@ -1,0 +1,60 @@
+#ifndef LSCHED_UTIL_CLOCK_H_
+#define LSCHED_UTIL_CLOCK_H_
+
+#include <chrono>
+
+namespace lsched {
+
+/// Abstract time source so engines can run on wall-clock time (RealEngine)
+/// or virtual time (SimEngine) behind the same interface. Times are seconds.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual double Now() const = 0;
+};
+
+/// Monotonic wall clock (seconds since first use).
+class WallClock : public Clock {
+ public:
+  WallClock() : start_(std::chrono::steady_clock::now()) {}
+  double Now() const override {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Manually-advanced virtual clock used by the discrete-event simulator.
+class VirtualClock : public Clock {
+ public:
+  double Now() const override { return now_; }
+  void AdvanceTo(double t) {
+    if (t > now_) now_ = t;
+  }
+  void Reset() { now_ = 0.0; }
+
+ private:
+  double now_ = 0.0;
+};
+
+/// RAII stopwatch measuring elapsed wall time in seconds.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace lsched
+
+#endif  // LSCHED_UTIL_CLOCK_H_

@@ -1,0 +1,62 @@
+#ifndef LSCHED_UTIL_LOGGING_H_
+#define LSCHED_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace lsched {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Global minimum level; messages below it are dropped. Default kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// FATAL messages abort the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when a log statement is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define LSCHED_LOG(level) \
+  ::lsched::internal::LogMessage(::lsched::LogLevel::k##level, __FILE__, __LINE__)
+
+#define LSCHED_CHECK(cond)                                                 \
+  if (!(cond))                                                             \
+  ::lsched::internal::LogMessage(::lsched::LogLevel::kFatal, __FILE__,     \
+                                 __LINE__)                                 \
+      << "Check failed: " #cond " "
+
+#define LSCHED_DCHECK(cond) LSCHED_CHECK(cond)
+
+}  // namespace lsched
+
+#endif  // LSCHED_UTIL_LOGGING_H_

@@ -1,0 +1,142 @@
+#include "util/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lsched {
+
+void SoftmaxInPlace(std::vector<double>* v) {
+  if (v->empty()) return;
+  const double mx = *std::max_element(v->begin(), v->end());
+  double sum = 0.0;
+  for (double& x : *v) {
+    x = std::exp(x - mx);
+    sum += x;
+  }
+  for (double& x : *v) x /= sum;
+}
+
+std::vector<double> Softmax(const std::vector<double>& v) {
+  std::vector<double> out = v;
+  SoftmaxInPlace(&out);
+  return out;
+}
+
+double LogSumExp(const std::vector<double>& v) {
+  if (v.empty()) return -INFINITY;
+  const double mx = *std::max_element(v.begin(), v.end());
+  double sum = 0.0;
+  for (double x : v) sum += std::exp(x - mx);
+  return mx + std::log(sum);
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  if (p <= 0.0) return values.front();
+  if (p >= 100.0) return values.back();
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= values.size()) return values.back();
+  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values) s += v;
+  return s / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double m = Mean(values);
+  double s = 0.0;
+  for (double v : values) s += (v - m) * (v - m);
+  return std::sqrt(s / static_cast<double>(values.size()));
+}
+
+WindowedLinearRegression::WindowedLinearRegression(size_t window)
+    : window_(window == 0 ? 1 : window) {}
+
+void WindowedLinearRegression::Add(double x, double y) {
+  points_.emplace_back(x, y);
+  sx_ += x;
+  sy_ += y;
+  sxx_ += x * x;
+  sxy_ += x * y;
+  if (points_.size() > window_) {
+    auto [ox, oy] = points_.front();
+    points_.pop_front();
+    sx_ -= ox;
+    sy_ -= oy;
+    sxx_ -= ox * ox;
+    sxy_ -= ox * oy;
+  }
+}
+
+void WindowedLinearRegression::Fit(double* a, double* b) const {
+  const double n = static_cast<double>(points_.size());
+  if (points_.size() < 2) {
+    *b = 0.0;
+    *a = points_.empty() ? 0.0 : sy_ / n;
+    return;
+  }
+  const double denom = n * sxx_ - sx_ * sx_;
+  if (std::fabs(denom) < 1e-12) {  // all x identical
+    *b = 0.0;
+    *a = sy_ / n;
+    return;
+  }
+  *b = (n * sxy_ - sx_ * sy_) / denom;
+  *a = (sy_ - *b * sx_) / n;
+}
+
+double WindowedLinearRegression::Predict(double x) const {
+  double a, b;
+  Fit(&a, &b);
+  return a + b * x;
+}
+
+double WindowedLinearRegression::Slope() const {
+  double a, b;
+  Fit(&a, &b);
+  return b;
+}
+
+double WindowedLinearRegression::Intercept() const {
+  double a, b;
+  Fit(&a, &b);
+  return a;
+}
+
+std::vector<double> MovingAverageDownsample(const std::vector<double>& b,
+                                            size_t out_size) {
+  if (out_size == 0) return {};
+  std::vector<double> d(out_size, 0.0);
+  if (b.empty()) return d;
+  if (b.size() <= out_size) {
+    // Fewer inputs than outputs: copy and pad with the last value's average
+    // semantics (each output bucket maps to at most one input).
+    for (size_t j = 0; j < out_size; ++j) {
+      const size_t idx = j * b.size() / out_size;
+      d[j] = b[idx];
+    }
+    return d;
+  }
+  const double stride =
+      static_cast<double>(b.size()) / static_cast<double>(out_size);
+  for (size_t j = 0; j < out_size; ++j) {
+    const size_t lo = static_cast<size_t>(static_cast<double>(j) * stride);
+    size_t hi = static_cast<size_t>(static_cast<double>(j + 1) * stride);
+    if (hi <= lo) hi = lo + 1;
+    if (hi > b.size()) hi = b.size();
+    double sum = 0.0;
+    for (size_t k = lo; k < hi; ++k) sum += b[k];
+    d[j] = sum / static_cast<double>(hi - lo);
+  }
+  return d;
+}
+
+}  // namespace lsched

@@ -1,0 +1,86 @@
+#ifndef LSCHED_UTIL_MATH_UTIL_H_
+#define LSCHED_UTIL_MATH_UTIL_H_
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace lsched {
+
+/// In-place numerically-stable softmax over `v` (shifts by max).
+void SoftmaxInPlace(std::vector<double>* v);
+
+/// Returns softmax(v) without mutating the input.
+std::vector<double> Softmax(const std::vector<double>& v);
+
+/// log(sum(exp(v))) computed stably.
+double LogSumExp(const std::vector<double>& v);
+
+/// The p-th percentile (p in [0,100]) of `values` using linear
+/// interpolation between closest ranks. Returns 0 for empty input.
+double Percentile(std::vector<double> values, double p);
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& values);
+
+/// Population standard deviation; 0 for size < 2.
+double StdDev(const std::vector<double>& values);
+
+/// Online simple linear regression y = a + b*x over a sliding window of the
+/// most recent `window` observations. This is the estimator LSched uses for
+/// per-work-order duration and memory prediction (paper §4.1 footnote 1):
+/// fit on the durations of work orders within the last time window and
+/// extrapolate the next one.
+class WindowedLinearRegression {
+ public:
+  explicit WindowedLinearRegression(size_t window = 32);
+
+  /// Adds an (x, y) observation, evicting the oldest beyond the window.
+  void Add(double x, double y);
+
+  /// Predicted y at `x`. With < 2 points falls back to the mean of y (or 0).
+  double Predict(double x) const;
+
+  /// Fitted slope b (0 until 2 distinct x values seen).
+  double Slope() const;
+  /// Fitted intercept a.
+  double Intercept() const;
+
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+ private:
+  void Fit(double* a, double* b) const;
+
+  size_t window_;
+  std::deque<std::pair<double, double>> points_;
+  // Running sums over the window for O(1) fits.
+  double sx_ = 0.0, sy_ = 0.0, sxx_ = 0.0, sxy_ = 0.0;
+};
+
+/// Exponentially-weighted moving average.
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.2) : alpha_(alpha) {}
+  void Add(double v) {
+    value_ = initialized_ ? alpha_ * v + (1.0 - alpha_) * value_ : v;
+    initialized_ = true;
+  }
+  double value() const { return value_; }
+  bool initialized() const { return initialized_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Moving-average downsampling of a 0/1 (or real-valued) array to a fixed
+/// size, per Eq. (1) of the paper: each output entry j averages the input
+/// slice [j*|b|/|d|, (j+1)*|b|/|d|). Used to compress the O-BLCKS bitmap.
+std::vector<double> MovingAverageDownsample(const std::vector<double>& b,
+                                            size_t out_size);
+
+}  // namespace lsched
+
+#endif  // LSCHED_UTIL_MATH_UTIL_H_

@@ -1,0 +1,69 @@
+#ifndef LSCHED_UTIL_RNG_H_
+#define LSCHED_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace lsched {
+
+/// Deterministic, seedable PRNG (xoshiro256**). All randomness in the
+/// library flows through explicitly-passed Rng instances so that workloads,
+/// training, and simulations are exactly reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires hi >= lo.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Exponential with expected value `mean` (= 1/lambda).
+  double Exponential(double mean);
+
+  /// Standard normal via Box–Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Zipf-distributed integer in [0, n) with skew `theta` in (0, 1).
+  /// theta -> 0 approaches uniform. Uses the rejection-free CDF inversion
+  /// over a precomputed harmonic table for small n, direct sampling otherwise.
+  uint64_t Zipf(uint64_t n, double theta);
+
+  /// Fisher–Yates shuffle of `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = UniformInt(static_cast<uint64_t>(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Samples an index according to (non-negative, not necessarily
+  /// normalized) weights. Returns weights.size() if all weights are zero.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Splits off an independent child generator (useful for per-query or
+  /// per-thread determinism regardless of interleaving).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace lsched
+
+#endif  // LSCHED_UTIL_RNG_H_

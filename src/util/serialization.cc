@@ -1,0 +1,106 @@
+#include "util/serialization.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace lsched {
+
+namespace {
+template <typename T>
+void AppendRaw(std::string* buf, T v) {
+  char tmp[sizeof(T)];
+  std::memcpy(tmp, &v, sizeof(T));
+  buf->append(tmp, sizeof(T));
+}
+}  // namespace
+
+void BinaryWriter::WriteU32(uint32_t v) { AppendRaw(&buffer_, v); }
+void BinaryWriter::WriteU64(uint64_t v) { AppendRaw(&buffer_, v); }
+void BinaryWriter::WriteI64(int64_t v) { AppendRaw(&buffer_, v); }
+void BinaryWriter::WriteDouble(double v) { AppendRaw(&buffer_, v); }
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  buffer_.append(s);
+}
+
+void BinaryWriter::WriteDoubleVector(const std::vector<double>& v) {
+  WriteU64(v.size());
+  for (double d : v) WriteDouble(d);
+}
+
+Status BinaryWriter::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  if (!out) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+Result<BinaryReader> BinaryReader::FromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return BinaryReader(std::move(data));
+}
+
+Status BinaryReader::Need(size_t n) {
+  if (pos_ + n > buffer_.size()) {
+    return Status::OutOfRange("binary buffer underflow");
+  }
+  return Status::OK();
+}
+
+Result<uint32_t> BinaryReader::ReadU32() {
+  LSCHED_RETURN_IF_ERROR(Need(sizeof(uint32_t)));
+  uint32_t v;
+  std::memcpy(&v, buffer_.data() + pos_, sizeof(v));
+  pos_ += sizeof(v);
+  return v;
+}
+
+Result<uint64_t> BinaryReader::ReadU64() {
+  LSCHED_RETURN_IF_ERROR(Need(sizeof(uint64_t)));
+  uint64_t v;
+  std::memcpy(&v, buffer_.data() + pos_, sizeof(v));
+  pos_ += sizeof(v);
+  return v;
+}
+
+Result<int64_t> BinaryReader::ReadI64() {
+  LSCHED_RETURN_IF_ERROR(Need(sizeof(int64_t)));
+  int64_t v;
+  std::memcpy(&v, buffer_.data() + pos_, sizeof(v));
+  pos_ += sizeof(v);
+  return v;
+}
+
+Result<double> BinaryReader::ReadDouble() {
+  LSCHED_RETURN_IF_ERROR(Need(sizeof(double)));
+  double v;
+  std::memcpy(&v, buffer_.data() + pos_, sizeof(v));
+  pos_ += sizeof(v);
+  return v;
+}
+
+Result<std::string> BinaryReader::ReadString() {
+  LSCHED_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+  LSCHED_RETURN_IF_ERROR(Need(n));
+  std::string s = buffer_.substr(pos_, n);
+  pos_ += n;
+  return s;
+}
+
+Result<std::vector<double>> BinaryReader::ReadDoubleVector() {
+  LSCHED_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+  std::vector<double> v;
+  v.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    LSCHED_ASSIGN_OR_RETURN(double d, ReadDouble());
+    v.push_back(d);
+  }
+  return v;
+}
+
+}  // namespace lsched

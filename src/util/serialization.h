@@ -1,0 +1,56 @@
+#ifndef LSCHED_UTIL_SERIALIZATION_H_
+#define LSCHED_UTIL_SERIALIZATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lsched {
+
+/// Append-only little-endian binary writer used for model checkpoints.
+class BinaryWriter {
+ public:
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI64(int64_t v);
+  void WriteDouble(double v);
+  void WriteString(const std::string& s);
+  void WriteDoubleVector(const std::vector<double>& v);
+
+  const std::string& buffer() const { return buffer_; }
+
+  /// Writes the buffer to `path` atomically-ish (truncate + write).
+  Status SaveToFile(const std::string& path) const;
+
+ private:
+  std::string buffer_;
+};
+
+/// Sequential reader over a byte buffer; all reads bounds-checked.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string buffer) : buffer_(std::move(buffer)) {}
+
+  static Result<BinaryReader> FromFile(const std::string& path);
+
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int64_t> ReadI64();
+  Result<double> ReadDouble();
+  Result<std::string> ReadString();
+  Result<std::vector<double>> ReadDoubleVector();
+
+  bool AtEnd() const { return pos_ == buffer_.size(); }
+
+ private:
+  Status Need(size_t n);
+
+  std::string buffer_;
+  size_t pos_ = 0;
+};
+
+}  // namespace lsched
+
+#endif  // LSCHED_UTIL_SERIALIZATION_H_

@@ -1,0 +1,96 @@
+#include "workload/benchmarks.h"
+
+#include "util/logging.h"
+
+namespace lsched {
+
+const char* BenchmarkName(Benchmark b) {
+  switch (b) {
+    case Benchmark::kTpch:
+      return "TPCH";
+    case Benchmark::kSsb:
+      return "SSB";
+    case Benchmark::kJob:
+      return "JOB";
+  }
+  return "?";
+}
+
+const std::vector<BenchTable>& TablesOf(Benchmark benchmark) {
+  // Row counts are 1/200th of the real benchmarks, preserving ratios.
+  static const std::vector<BenchTable> kTpch = {
+      {"lineitem", 0, 30000.0, 0.0}, {"orders", 1, 7500.0, 0.0},
+      {"partsupp", 2, 4000.0, 0.0},  {"part", 3, 1000.0, 0.0},
+      {"customer", 4, 750.0, 0.0},   {"supplier", 5, 50.0, 0.0},
+      {"nation", 6, 0.0, 25.0},      {"region", 7, 0.0, 5.0},
+  };
+  static const std::vector<BenchTable> kSsb = {
+      {"lineorder", 0, 30000.0, 0.0}, {"customer", 1, 150.0, 0.0},
+      {"supplier", 2, 10.0, 0.0},     {"part", 3, 0.0, 1000.0},
+      {"date", 4, 0.0, 2556.0},
+  };
+  // JOB's IMDB snapshot is fixed-size (7.2 GB); sf is ignored (fixed rows).
+  static const std::vector<BenchTable> kJob = {
+      {"title", 0, 0.0, 250000.0},
+      {"cast_info", 1, 0.0, 900000.0},
+      {"movie_info", 2, 0.0, 700000.0},
+      {"movie_keyword", 3, 0.0, 450000.0},
+      {"movie_companies", 4, 0.0, 260000.0},
+      {"name", 5, 0.0, 400000.0},
+      {"char_name", 6, 0.0, 310000.0},
+      {"movie_info_idx", 7, 0.0, 138000.0},
+      {"company_name", 8, 0.0, 23000.0},
+      {"keyword", 9, 0.0, 13000.0},
+      {"person_info", 10, 0.0, 290000.0},
+      {"aka_name", 11, 0.0, 90000.0},
+      {"aka_title", 12, 0.0, 36000.0},
+      {"complete_cast", 13, 0.0, 13500.0},
+      {"company_type", 14, 0.0, 4.0},
+      {"info_type", 15, 0.0, 113.0},
+      {"keyword_type", 16, 0.0, 5.0},
+      {"kind_type", 17, 0.0, 7.0},
+      {"link_type", 18, 0.0, 18.0},
+      {"movie_link", 19, 0.0, 3000.0},
+      {"role_type", 20, 0.0, 12.0},
+  };
+  switch (benchmark) {
+    case Benchmark::kTpch:
+      return kTpch;
+    case Benchmark::kSsb:
+      return kSsb;
+    case Benchmark::kJob:
+      return kJob;
+  }
+  LSCHED_CHECK(false);
+  return kTpch;
+}
+
+const std::vector<int>& ScaleFactorsOf(Benchmark benchmark) {
+  static const std::vector<int> kTpch = {2, 5, 10, 50, 100};
+  static const std::vector<int> kSsb = {2, 5, 10, 50};
+  static const std::vector<int> kJob = {1};
+  switch (benchmark) {
+    case Benchmark::kTpch:
+      return kTpch;
+    case Benchmark::kSsb:
+      return kSsb;
+    case Benchmark::kJob:
+      return kJob;
+  }
+  LSCHED_CHECK(false);
+  return kTpch;
+}
+
+int NumTemplatesOf(Benchmark benchmark) {
+  switch (benchmark) {
+    case Benchmark::kTpch:
+      return 22;
+    case Benchmark::kSsb:
+      return 13;
+    case Benchmark::kJob:
+      return 113;
+  }
+  return 0;
+}
+
+}  // namespace lsched

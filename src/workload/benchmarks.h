@@ -1,0 +1,48 @@
+#ifndef LSCHED_WORKLOAD_BENCHMARKS_H_
+#define LSCHED_WORKLOAD_BENCHMARKS_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace lsched {
+
+/// The three evaluation benchmarks of the paper (§7.1).
+enum class Benchmark { kTpch = 0, kSsb, kJob };
+
+const char* BenchmarkName(Benchmark b);
+
+/// A benchmark base table: `rows_per_sf * sf + fixed_rows` rows at scale
+/// factor `sf`. Row counts are scaled down from the real benchmarks so one
+/// query costs virtual seconds (not minutes) in the simulator while keeping
+/// the relative table-size ratios of the originals.
+struct BenchTable {
+  std::string name;
+  RelationId id = 0;
+  double rows_per_sf = 0.0;
+  double fixed_rows = 0.0;
+
+  int64_t RowsAt(int scale_factor) const {
+    return static_cast<int64_t>(rows_per_sf * scale_factor + fixed_rows);
+  }
+};
+
+/// Tables of `benchmark`, with dense RelationIds (stable across runs).
+const std::vector<BenchTable>& TablesOf(Benchmark benchmark);
+
+/// Scale factors the paper evaluates per benchmark: TPCH {2,5,10,50,100},
+/// SSB {2,5,10,50}, JOB {1} (fixed IMDB dataset).
+const std::vector<int>& ScaleFactorsOf(Benchmark benchmark);
+
+/// Number of query templates: TPCH 22, SSB 13, JOB 113.
+int NumTemplatesOf(Benchmark benchmark);
+
+/// Stable column id for (table, column ordinal) pairs.
+inline ColumnId BenchColumnId(RelationId table, int column) {
+  return table * 16 + column;
+}
+
+}  // namespace lsched
+
+#endif  // LSCHED_WORKLOAD_BENCHMARKS_H_

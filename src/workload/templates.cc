@@ -1,0 +1,292 @@
+#include "workload/templates.h"
+
+#include <algorithm>
+
+#include "plan/plan_builder.h"
+#include "util/logging.h"
+
+namespace lsched {
+
+namespace {
+
+using ScanSpec = TemplateSpec::ScanSpec;
+
+/// The 22 TPCH template shapes (join partner sets, aggregation, and result
+/// ordering approximate the official queries; tables: 0=lineitem 1=orders
+/// 2=partsupp 3=part 4=customer 5=supplier 6=nation 7=region).
+std::vector<TemplateSpec> TpchTemplates() {
+  auto T = [](std::vector<ScanSpec> scans, std::vector<JoinKind> joins,
+              bool agg, bool sort, bool topk) {
+    TemplateSpec s;
+    s.scans = std::move(scans);
+    s.joins = std::move(joins);
+    s.aggregate = agg;
+    s.sort = sort;
+    s.topk = topk;
+    return s;
+  };
+  const JoinKind H = JoinKind::kHash;
+  const JoinKind I = JoinKind::kIndexNlj;
+  const JoinKind M = JoinKind::kMerge;
+  std::vector<TemplateSpec> t;
+  // Q1: lineitem scan + aggregation + sort.
+  t.push_back(T({{0, 0.90, 0.98}}, {}, true, true, false));
+  // Q2: part x partsupp x supplier x nation x region, top-k.
+  t.push_back(T({{3, 0.02, 0.1}, {2, 0.8, 1.0}, {5, 0.8, 1.0},
+                 {6, 0.9, 1.0}, {7, 0.2, 0.2}},
+                {H, H, H, H}, false, false, true));
+  // Q3: customer x orders x lineitem, agg + top-k.
+  t.push_back(T({{0, 0.4, 0.6}, {1, 0.4, 0.6}, {4, 0.15, 0.25}},
+                {H, H}, true, false, true));
+  // Q4: orders x lineitem (semi), agg + sort.
+  t.push_back(T({{0, 0.5, 0.7}, {1, 0.03, 0.05}}, {H}, true, true, false));
+  // Q5: 6-way region-bound join, agg + sort.
+  t.push_back(T({{0, 0.9, 1.0}, {1, 0.12, 0.18}, {4, 0.9, 1.0},
+                 {5, 0.9, 1.0}, {6, 0.9, 1.0}, {7, 0.2, 0.2}},
+                {H, H, H, H, H}, true, true, false));
+  // Q6: lineitem selective scan, scalar agg.
+  t.push_back(T({{0, 0.015, 0.03}}, {}, true, false, false));
+  // Q7: supplier x lineitem x orders x customer x nation x nation.
+  t.push_back(T({{0, 0.25, 0.35}, {5, 0.05, 0.1}, {1, 0.9, 1.0},
+                 {4, 0.05, 0.1}, {6, 0.08, 0.08}, {6, 0.08, 0.08}},
+                {H, H, H, H, H}, true, true, false));
+  // Q8: 8-way join, agg + sort.
+  t.push_back(T({{0, 0.9, 1.0}, {3, 0.001, 0.003}, {5, 0.9, 1.0},
+                 {1, 0.3, 0.4}, {4, 0.9, 1.0}, {6, 0.9, 1.0},
+                 {6, 0.9, 1.0}, {7, 0.2, 0.2}},
+                {H, H, H, H, H, H, H}, true, true, false));
+  // Q9: part-filtered 6-way join, agg + sort.
+  t.push_back(T({{0, 0.9, 1.0}, {3, 0.04, 0.06}, {5, 0.9, 1.0},
+                 {2, 0.9, 1.0}, {1, 0.9, 1.0}, {6, 0.9, 1.0}},
+                {H, H, H, H, H}, true, true, false));
+  // Q10: returned-items, 4-way join, agg + top-k.
+  t.push_back(T({{0, 0.24, 0.26}, {1, 0.03, 0.05}, {4, 0.9, 1.0},
+                 {6, 0.9, 1.0}},
+                {H, H, H}, true, false, true));
+  // Q11: partsupp x supplier x nation, agg + sort.
+  t.push_back(T({{2, 0.9, 1.0}, {5, 0.9, 1.0}, {6, 0.04, 0.04}},
+                {H, H}, true, true, false));
+  // Q12: orders x lineitem (shipmode), agg + sort (merge join shapes well:
+  // both sides clustered on orderkey).
+  t.push_back(T({{0, 0.01, 0.02}, {1, 0.9, 1.0}}, {M}, true, true, false));
+  // Q13: customer left join orders, agg + sort.
+  t.push_back(T({{1, 0.95, 1.0}, {4, 0.9, 1.0}}, {H}, true, true, false));
+  // Q14: lineitem x part, scalar agg.
+  t.push_back(T({{0, 0.012, 0.02}, {3, 0.9, 1.0}}, {H}, true, false, false));
+  // Q15: lineitem(view) x supplier, agg + sort.
+  t.push_back(T({{0, 0.03, 0.05}, {5, 0.9, 1.0}}, {H}, true, true, false));
+  // Q16: partsupp x part x supplier, distinct agg + sort.
+  t.push_back(T({{2, 0.9, 1.0}, {3, 0.1, 0.15}, {5, 0.95, 1.0}},
+                {H, H}, true, true, false));
+  // Q17: lineitem x part (avg-quantity subquery shape), scalar agg.
+  t.push_back(T({{0, 0.9, 1.0}, {3, 0.001, 0.002}}, {I}, true, false, false));
+  // Q18: big-orders, 3-way join + agg + top-k.
+  t.push_back(T({{0, 0.9, 1.0}, {1, 0.9, 1.0}, {4, 0.9, 1.0}},
+                {H, H}, true, false, true));
+  // Q19: lineitem x part disjunctive predicate, scalar agg.
+  t.push_back(T({{0, 0.02, 0.04}, {3, 0.01, 0.03}}, {I}, true, false, false));
+  // Q20: supplier x nation x partsupp x part x lineitem, sort.
+  t.push_back(T({{2, 0.9, 1.0}, {3, 0.01, 0.02}, {0, 0.2, 0.3},
+                 {5, 0.9, 1.0}, {6, 0.04, 0.04}},
+                {H, H, H, H}, false, true, false));
+  // Q21: suppliers-who-kept-waiting, 4-way join + agg + top-k.
+  t.push_back(T({{0, 0.45, 0.55}, {5, 0.04, 0.05}, {1, 0.45, 0.55},
+                 {6, 0.04, 0.04}},
+                {H, H, H}, true, false, true));
+  // Q22: customer anti-join orders, agg + sort.
+  t.push_back(T({{4, 0.2, 0.3}, {1, 0.9, 1.0}}, {H}, true, true, false));
+  LSCHED_CHECK(static_cast<int>(t.size()) == NumTemplatesOf(Benchmark::kTpch));
+  return t;
+}
+
+/// SSB's 13 flights (tables: 0=lineorder 1=customer 2=supplier 3=part
+/// 4=date). Flight 1: one date join, scalar agg; flights 2-4 widen the star.
+std::vector<TemplateSpec> SsbTemplates() {
+  std::vector<TemplateSpec> t;
+  auto flight = [&](std::vector<ScanSpec> dims, double fact_lo,
+                    double fact_hi, bool group) {
+    TemplateSpec s;
+    s.scans.push_back({0, fact_lo, fact_hi, false});
+    for (const ScanSpec& d : dims) s.scans.push_back(d);
+    s.joins.assign(dims.size(), JoinKind::kHash);
+    s.aggregate = true;
+    s.sort = group;  // grouped flights order their result
+    return s;
+  };
+  // Q1.1 - Q1.3: lineorder x date, narrowing selections.
+  t.push_back(flight({{4, 0.14, 0.15}}, 0.45, 0.5, false));
+  t.push_back(flight({{4, 0.012, 0.013}}, 0.2, 0.25, false));
+  t.push_back(flight({{4, 0.002, 0.003}}, 0.05, 0.1, false));
+  // Q2.1 - Q2.3: + part & supplier.
+  t.push_back(flight({{4, 0.9, 1.0}, {3, 0.04, 0.05}, {2, 0.2, 0.2}},
+                     0.9, 1.0, true));
+  t.push_back(flight({{4, 0.9, 1.0}, {3, 0.008, 0.009}, {2, 0.2, 0.2}},
+                     0.9, 1.0, true));
+  t.push_back(flight({{4, 0.9, 1.0}, {3, 0.001, 0.002}, {2, 0.04, 0.05}},
+                     0.9, 1.0, true));
+  // Q3.1 - Q3.4: + customer & supplier over date ranges.
+  t.push_back(flight({{1, 0.2, 0.2}, {2, 0.2, 0.2}, {4, 0.85, 0.9}},
+                     0.9, 1.0, true));
+  t.push_back(flight({{1, 0.04, 0.05}, {2, 0.04, 0.05}, {4, 0.85, 0.9}},
+                     0.9, 1.0, true));
+  t.push_back(flight({{1, 0.008, 0.01}, {2, 0.008, 0.01}, {4, 0.85, 0.9}},
+                     0.9, 1.0, true));
+  t.push_back(flight({{1, 0.008, 0.01}, {2, 0.008, 0.01}, {4, 0.002, 0.003}},
+                     0.9, 1.0, true));
+  // Q4.1 - Q4.3: full 4-dimension star.
+  t.push_back(flight({{1, 0.2, 0.2}, {2, 0.2, 0.2}, {3, 0.4, 0.45},
+                      {4, 0.9, 1.0}},
+                     0.9, 1.0, true));
+  t.push_back(flight({{1, 0.2, 0.2}, {2, 0.2, 0.2}, {3, 0.4, 0.45},
+                      {4, 0.28, 0.3}},
+                     0.9, 1.0, true));
+  t.push_back(flight({{1, 0.2, 0.2}, {2, 0.04, 0.05}, {3, 0.04, 0.05},
+                      {4, 0.28, 0.3}},
+                     0.9, 1.0, true));
+  LSCHED_CHECK(static_cast<int>(t.size()) == NumTemplatesOf(Benchmark::kSsb));
+  return t;
+}
+
+/// 113 deterministically generated JOB-shaped templates: join-heavy (4..17
+/// joins, matching the real benchmark's range), selective index scans on
+/// the dimension side, scalar MIN aggregations, no sorting.
+std::vector<TemplateSpec> JobTemplates() {
+  std::vector<TemplateSpec> t;
+  Rng rng(0xB0B5EED);
+  const int num_tables = static_cast<int>(TablesOf(Benchmark::kJob).size());
+  // Fact-ish tables that anchor JOB joins.
+  const std::vector<RelationId> facts = {0, 1, 2, 3, 4};
+  for (int i = 0; i < NumTemplatesOf(Benchmark::kJob); ++i) {
+    TemplateSpec s;
+    // Join count: most queries 4-8 joins, a tail up to 17.
+    int njoins = 4 + static_cast<int>(rng.UniformInt(static_cast<uint64_t>(5)));
+    if (rng.Uniform() < 0.25) {
+      njoins = 9 + static_cast<int>(rng.UniformInt(static_cast<uint64_t>(9)));
+    }
+    const RelationId fact = facts[rng.UniformInt(facts.size())];
+    s.scans.push_back({fact, 0.15, 0.6, false});
+    for (int j = 0; j < njoins; ++j) {
+      RelationId dim =
+          static_cast<RelationId>(rng.UniformInt(static_cast<uint64_t>(num_tables)));
+      const bool selective = rng.Uniform() < 0.6;
+      ScanSpec scan;
+      scan.table = dim;
+      scan.index_scan = selective;
+      scan.sel_lo = selective ? 0.002 : 0.3;
+      scan.sel_hi = selective ? 0.08 : 0.9;
+      s.scans.push_back(scan);
+      s.joins.push_back(rng.Uniform() < 0.3 ? JoinKind::kIndexNlj
+                                            : JoinKind::kHash);
+    }
+    s.join_fanout_lo = 0.3;
+    s.join_fanout_hi = 1.0;
+    s.aggregate = true;  // JOB queries end in MIN() aggregates
+    s.agg_ratio = 0.001;
+    t.push_back(std::move(s));
+  }
+  return t;
+}
+
+}  // namespace
+
+std::vector<TemplateSpec> TemplatesOf(Benchmark benchmark) {
+  switch (benchmark) {
+    case Benchmark::kTpch:
+      return TpchTemplates();
+    case Benchmark::kSsb:
+      return SsbTemplates();
+    case Benchmark::kJob:
+      return JobTemplates();
+  }
+  return {};
+}
+
+Result<QueryPlan> InstantiateTemplate(Benchmark benchmark,
+                                      const TemplateSpec& spec, int sf,
+                                      Rng* rng) {
+  if (spec.scans.empty()) {
+    return Status::InvalidArgument("template without scans");
+  }
+  if (!spec.joins.empty() && spec.joins.size() + 1 != spec.scans.size()) {
+    return Status::InvalidArgument("join/scan count mismatch");
+  }
+  const std::vector<BenchTable>& tables = TablesOf(benchmark);
+  PlanBuilder builder(nullptr);
+
+  auto add_scan = [&](const ScanSpec& scan) {
+    const BenchTable& table = tables[static_cast<size_t>(scan.table)];
+    PlanBuilder::NodeOptions opts;
+    opts.input_rows = table.RowsAt(sf);
+    opts.selectivity = rng->Uniform(scan.sel_lo, scan.sel_hi);
+    const int node = builder.AddSource(
+        scan.index_scan ? OperatorType::kIndexScan : OperatorType::kSelect,
+        scan.table, opts);
+    builder.AddUsedColumn(node, BenchColumnId(scan.table, 1));
+    return node;
+  };
+
+  int stream = add_scan(spec.scans[0]);
+  for (size_t j = 0; j + 1 < spec.scans.size(); ++j) {
+    const ScanSpec& dim_scan = spec.scans[j + 1];
+    const double fanout =
+        rng->Uniform(spec.join_fanout_lo, spec.join_fanout_hi);
+    const JoinKind kind = spec.joins[j];
+    if (kind == JoinKind::kHash) {
+      const int dim = add_scan(dim_scan);
+      PlanBuilder::NodeOptions bopts;
+      const int build = builder.AddOp(OperatorType::kBuildHash, {dim}, bopts);
+      builder.AddUsedColumn(build, BenchColumnId(dim_scan.table, 0));
+      PlanBuilder::NodeOptions popts;
+      popts.selectivity = fanout;
+      stream = builder.AddOp(OperatorType::kProbeHash, {stream, build}, popts);
+      builder.AddUsedColumn(stream, BenchColumnId(dim_scan.table, 0));
+    } else if (kind == JoinKind::kIndexNlj) {
+      // Probes a pre-built index on the dimension table: a single-input
+      // operator whose lineage includes the indexed relation.
+      PlanBuilder::NodeOptions opts;
+      opts.selectivity = fanout;
+      stream =
+          builder.AddOp(OperatorType::kIndexNestedLoopJoin, {stream}, opts);
+      builder.AddBaseInput(stream, dim_scan.table);
+      builder.AddUsedColumn(stream, BenchColumnId(dim_scan.table, 0));
+    } else {  // kMerge
+      const int dim = add_scan(dim_scan);
+      const int sort_l = builder.AddOp(OperatorType::kSortRuns, {stream});
+      const int merged_l =
+          builder.AddOp(OperatorType::kMergeSortedRuns, {sort_l});
+      const int sort_r = builder.AddOp(OperatorType::kSortRuns, {dim});
+      const int merged_r =
+          builder.AddOp(OperatorType::kMergeSortedRuns, {sort_r});
+      PlanBuilder::NodeOptions opts;
+      opts.selectivity = fanout;
+      stream = builder.AddOp(OperatorType::kMergeJoin, {merged_l, merged_r},
+                             opts);
+    }
+  }
+  if (spec.aggregate) {
+    PlanBuilder::NodeOptions aopts;
+    aopts.selectivity = spec.agg_ratio;
+    stream = builder.AddOp(OperatorType::kHashAggregate, {stream}, aopts);
+    stream = builder.AddOp(OperatorType::kFinalizeAggregate, {stream});
+  }
+  if (spec.sort) {
+    const int runs = builder.AddOp(OperatorType::kSortRuns, {stream});
+    stream = builder.AddOp(OperatorType::kMergeSortedRuns, {runs});
+  }
+  if (spec.topk) {
+    stream = builder.AddOp(OperatorType::kTopK, {stream});
+  }
+  return builder.Build();
+}
+
+Result<QueryPlan> InstantiateTemplate(Benchmark benchmark, int index, int sf,
+                                      Rng* rng) {
+  const std::vector<TemplateSpec> specs = TemplatesOf(benchmark);
+  if (index < 0 || index >= static_cast<int>(specs.size())) {
+    return Status::OutOfRange("template index");
+  }
+  return InstantiateTemplate(benchmark, specs[static_cast<size_t>(index)], sf,
+                             rng);
+}
+
+}  // namespace lsched

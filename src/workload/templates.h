@@ -1,0 +1,56 @@
+#ifndef LSCHED_WORKLOAD_TEMPLATES_H_
+#define LSCHED_WORKLOAD_TEMPLATES_H_
+
+#include <vector>
+
+#include "plan/query_plan.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "workload/benchmarks.h"
+
+namespace lsched {
+
+/// How one join in a template's join chain is implemented.
+enum class JoinKind { kHash = 0, kIndexNlj, kMerge };
+
+/// Declarative shape of one benchmark query template: the scans (first is
+/// the probe/fact stream), the join kinds gluing them, and the top of the
+/// plan. Instantiation samples per-instance predicate selectivities inside
+/// [sel_lo, sel_hi], modeling the parameterized query templates of
+/// TPCH/SSB/JOB.
+struct TemplateSpec {
+  struct ScanSpec {
+    RelationId table = 0;
+    double sel_lo = 0.1;
+    double sel_hi = 0.5;
+    bool index_scan = false;
+  };
+  std::vector<ScanSpec> scans;
+  std::vector<JoinKind> joins;  ///< size == scans.size() - 1
+  /// Per-join output fan-out range (output rows / probe rows).
+  double join_fanout_lo = 0.4;
+  double join_fanout_hi = 1.1;
+  bool aggregate = false;      ///< HashAggregate + FinalizeAggregate
+  double agg_ratio = 0.02;     ///< groups per input row
+  bool sort = false;           ///< SortRuns + MergeSortedRuns
+  bool topk = false;
+};
+
+/// The template specs of one benchmark. TPCH returns 22 specs approximating
+/// the shapes of Q1..Q22, SSB the 13 flights, JOB 113 deterministically
+/// generated join-heavy templates (4..17 joins, IMDB table mix).
+std::vector<TemplateSpec> TemplatesOf(Benchmark benchmark);
+
+/// Builds the physical plan of `spec` at scale factor `sf`; `rng` samples
+/// the per-instance selectivities.
+Result<QueryPlan> InstantiateTemplate(Benchmark benchmark,
+                                      const TemplateSpec& spec, int sf,
+                                      Rng* rng);
+
+/// Convenience: instantiate template `index` of `benchmark`.
+Result<QueryPlan> InstantiateTemplate(Benchmark benchmark, int index, int sf,
+                                      Rng* rng);
+
+}  // namespace lsched
+
+#endif  // LSCHED_WORKLOAD_TEMPLATES_H_

@@ -1,0 +1,90 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace lsched {
+
+std::vector<std::pair<int, int>> TemplatePool(const WorkloadConfig& config) {
+  const int num_templates = NumTemplatesOf(config.benchmark);
+  const std::vector<int>& sfs = config.scale_factors.empty()
+                                    ? ScaleFactorsOf(config.benchmark)
+                                    : config.scale_factors;
+
+  // Deterministic 50/50 split of template indices (shared across scale
+  // factors so a test template is never seen in training at any SF).
+  std::vector<int> order(static_cast<size_t>(num_templates));
+  for (int i = 0; i < num_templates; ++i) order[static_cast<size_t>(i)] = i;
+  Rng split_rng(config.split_seed);
+  split_rng.Shuffle(&order);
+  const size_t half = order.size() / 2;
+
+  std::vector<int> chosen;
+  switch (config.split) {
+    case WorkloadSplit::kTrain:
+      chosen.assign(order.begin(), order.begin() + static_cast<long>(half));
+      break;
+    case WorkloadSplit::kTest:
+      chosen.assign(order.begin() + static_cast<long>(half), order.end());
+      break;
+    case WorkloadSplit::kAll:
+      chosen = order;
+      break;
+  }
+  std::sort(chosen.begin(), chosen.end());
+
+  std::vector<std::pair<int, int>> pool;
+  for (int sf : sfs) {
+    for (int t : chosen) pool.push_back({t, sf});
+  }
+  return pool;
+}
+
+std::vector<QuerySubmission> GenerateWorkload(const WorkloadConfig& config,
+                                              Rng* rng) {
+  const std::vector<std::pair<int, int>> pool = TemplatePool(config);
+  LSCHED_CHECK(!pool.empty());
+  const std::vector<TemplateSpec> specs = TemplatesOf(config.benchmark);
+
+  std::vector<QuerySubmission> out;
+  out.reserve(static_cast<size_t>(config.num_queries));
+  double t = 0.0;
+  for (int i = 0; i < config.num_queries; ++i) {
+    const auto& [tmpl, sf] = pool[rng->UniformInt(pool.size())];
+    Result<QueryPlan> plan = InstantiateTemplate(
+        config.benchmark, specs[static_cast<size_t>(tmpl)], sf, rng);
+    LSCHED_CHECK(plan.ok()) << plan.status().ToString();
+    QuerySubmission sub;
+    sub.plan = std::move(plan).value();
+    if (config.batch) {
+      sub.arrival_time = 0.0;
+    } else {
+      t += rng->Exponential(config.mean_interarrival_seconds);
+      sub.arrival_time = t;
+    }
+    out.push_back(std::move(sub));
+  }
+  return out;
+}
+
+std::function<std::vector<QuerySubmission>(int, Rng*)> MakeEpisodeFactory(
+    Benchmark benchmark, int min_queries, int max_queries,
+    double min_interarrival, double max_interarrival,
+    std::vector<int> scale_factors) {
+  return [=](int episode, Rng* rng) {
+    (void)episode;
+    WorkloadConfig config;
+    config.benchmark = benchmark;
+    config.split = WorkloadSplit::kTrain;
+    config.num_queries = static_cast<int>(
+        rng->UniformInt(static_cast<int64_t>(min_queries),
+                        static_cast<int64_t>(max_queries)));
+    config.mean_interarrival_seconds =
+        rng->Uniform(min_interarrival, max_interarrival);
+    config.scale_factors = scale_factors;
+    return GenerateWorkload(config, rng);
+  };
+}
+
+}  // namespace lsched

@@ -1,0 +1,51 @@
+#ifndef LSCHED_WORKLOAD_WORKLOAD_H_
+#define LSCHED_WORKLOAD_WORKLOAD_H_
+
+#include <functional>
+#include <vector>
+
+#include "exec/sim_engine.h"
+#include "util/rng.h"
+#include "workload/templates.h"
+
+namespace lsched {
+
+/// Which half of the 50/50 train/test template split to draw from
+/// (paper §7.1: per scale factor, half the benchmark queries train, the
+/// other half test; test queries are never seen in training).
+enum class WorkloadSplit { kTrain = 0, kTest, kAll };
+
+struct WorkloadConfig {
+  Benchmark benchmark = Benchmark::kTpch;
+  WorkloadSplit split = WorkloadSplit::kTest;
+  int num_queries = 80;
+  /// Mean exponential inter-arrival gap in virtual seconds (§7.1's 1/lambda).
+  /// Ignored when `batch` is true (all queries arrive at t = 0).
+  double mean_interarrival_seconds = 0.25;
+  bool batch = false;
+  /// Restrict to these scale factors (empty = the benchmark's defaults).
+  std::vector<int> scale_factors;
+  /// Seed of the 50/50 template split; fixed so train/test stay disjoint
+  /// across runs.
+  uint64_t split_seed = 0xC0FFEE;
+};
+
+/// The (template index, scale factor) pool the workload samples from.
+std::vector<std::pair<int, int>> TemplatePool(const WorkloadConfig& config);
+
+/// Samples a workload: `num_queries` draws with replacement from the pool,
+/// exponential inter-arrival gaps (or batch arrivals).
+std::vector<QuerySubmission> GenerateWorkload(const WorkloadConfig& config,
+                                              Rng* rng);
+
+/// Training-episode factory matching §7.1's setup: each episode draws a
+/// fresh streaming workload whose query count and arrival rate vary within
+/// the given ranges.
+std::function<std::vector<QuerySubmission>(int, Rng*)> MakeEpisodeFactory(
+    Benchmark benchmark, int min_queries, int max_queries,
+    double min_interarrival, double max_interarrival,
+    std::vector<int> scale_factors = {});
+
+}  // namespace lsched
+
+#endif  // LSCHED_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/agent.h"
+#include "core/trainer.h"
+#include "exec/real_engine.h"
+#include "plan/plan_builder.h"
+#include "sched/decima.h"
+#include "sched/heuristics.h"
+#include "sched/selftune.h"
+#include "storage/table_generator.h"
+#include "workload/workload.h"
+
+namespace lsched {
+namespace {
+
+LSchedConfig TinyConfig() {
+  LSchedConfig cfg;
+  cfg.hidden_dim = 8;
+  cfg.summary_dim = 8;
+  cfg.head_hidden = 8;
+  return cfg;
+}
+
+SimEngineConfig TinyEngine() {
+  SimEngineConfig cfg;
+  cfg.num_threads = 6;
+  return cfg;
+}
+
+TEST(IntegrationTest, AllSchedulersOnSameWorkloadProduceFiniteResults) {
+  SimEngine engine(TinyEngine());
+  WorkloadConfig wcfg;
+  wcfg.benchmark = Benchmark::kTpch;
+  wcfg.num_queries = 8;
+  wcfg.scale_factors = {2, 5};
+  Rng rng(101);
+  const auto workload = GenerateWorkload(wcfg, &rng);
+
+  LSchedModel lsched_model(TinyConfig());
+  LSchedAgent lsched(&lsched_model);
+  DecimaModel decima_model(DecimaConfig{});
+  DecimaScheduler decima(&decima_model);
+  FifoScheduler fifo;
+  FairScheduler fair;
+  SjfScheduler sjf;
+  SelfTuneScheduler selftune;
+  QuickstepScheduler quickstep;
+  CriticalPathScheduler cp;
+  std::vector<Scheduler*> all = {&lsched, &decima,    &fifo, &fair,
+                                 &sjf,    &selftune, &quickstep, &cp};
+  for (Scheduler* s : all) {
+    const EpisodeResult r = engine.Run(workload, s);
+    EXPECT_EQ(r.query_latencies.size(), workload.size()) << s->name();
+    EXPECT_TRUE(std::isfinite(r.avg_latency)) << s->name();
+    EXPECT_GE(r.p90_latency, r.avg_latency * 0.5) << s->name();
+  }
+}
+
+TEST(IntegrationTest, TrainingImprovesOverRandomInitOnFixedWorkload) {
+  // Train briefly on tiny SSB episodes, then compare greedy inference
+  // before/after on a held-out workload. With few episodes this is noisy,
+  // so only require the trained agent not to be dramatically worse.
+  SimEngine engine(TinyEngine());
+  WorkloadConfig wcfg;
+  wcfg.benchmark = Benchmark::kSsb;
+  wcfg.split = WorkloadSplit::kTest;
+  wcfg.num_queries = 8;
+  wcfg.scale_factors = {2};
+  Rng rng(7);
+  const auto test_workload = GenerateWorkload(wcfg, &rng);
+
+  LSchedModel model(TinyConfig());
+  LSchedAgent before_agent(&model);
+  const double before =
+      engine.Run(test_workload, &before_agent).avg_latency;
+
+  TrainConfig tcfg;
+  tcfg.episodes = 5;
+  ReinforceTrainer trainer(&model, &engine, tcfg);
+  trainer.Train(MakeEpisodeFactory(Benchmark::kSsb, 4, 8, 0.05, 0.15, {2}));
+
+  LSchedAgent after_agent(&model);
+  const double after = engine.Run(test_workload, &after_agent).avg_latency;
+  EXPECT_TRUE(std::isfinite(after));
+  EXPECT_LT(after, before * 3.0);
+}
+
+TEST(IntegrationTest, TransferLearningWorkflow) {
+  // Train a source model on SSB, transfer into a fresh model, freeze, and
+  // continue training — the §6 workflow end to end.
+  SimEngine engine(TinyEngine());
+  LSchedModel source(TinyConfig());
+  TrainConfig tcfg;
+  tcfg.episodes = 2;
+  ReinforceTrainer src_trainer(&source, &engine, tcfg);
+  src_trainer.Train(MakeEpisodeFactory(Benchmark::kSsb, 4, 6, 0.05, 0.1, {2}));
+
+  LSchedModel target(TinyConfig());
+  const int copied = target.params()->CopyValuesFrom(*source.params());
+  EXPECT_EQ(copied, static_cast<int>(target.params()->size()));
+  const int frozen = target.FreezeForTransfer();
+  EXPECT_GT(frozen, 0);
+
+  const std::vector<double> frozen_before =
+      target.params()->Find("encoder/conv0/w_self")->value.raw();
+  ReinforceTrainer tgt_trainer(&target, &engine, tcfg);
+  tgt_trainer.Train(
+      MakeEpisodeFactory(Benchmark::kTpch, 4, 6, 0.05, 0.1, {2}));
+  // Frozen layers unchanged; trainable boundary layers updated.
+  EXPECT_EQ(target.params()->Find("encoder/conv0/w_self")->value.raw(),
+            frozen_before);
+}
+
+TEST(IntegrationTest, ModelCheckpointServesAfterReload) {
+  SimEngine engine(TinyEngine());
+  LSchedModel model(TinyConfig());
+  TrainConfig tcfg;
+  tcfg.episodes = 2;
+  ReinforceTrainer trainer(&model, &engine, tcfg);
+  trainer.Train(MakeEpisodeFactory(Benchmark::kSsb, 3, 5, 0.05, 0.1, {2}));
+  const std::string path = "/tmp/lsched_integration_ckpt.bin";
+  ASSERT_TRUE(model.Save(path).ok());
+
+  LSchedModel reloaded(TinyConfig());
+  ASSERT_TRUE(reloaded.Load(path).ok());
+  std::remove(path.c_str());
+
+  WorkloadConfig wcfg;
+  wcfg.benchmark = Benchmark::kSsb;
+  wcfg.num_queries = 4;
+  wcfg.scale_factors = {2};
+  Rng rng(9);
+  const auto workload = GenerateWorkload(wcfg, &rng);
+  LSchedAgent a(&model), b(&reloaded);
+  const EpisodeResult ra = engine.Run(workload, &a);
+  const EpisodeResult rb = engine.Run(workload, &b);
+  // Greedy agents with identical weights act identically.
+  ASSERT_EQ(ra.query_latencies.size(), rb.query_latencies.size());
+  for (size_t i = 0; i < ra.query_latencies.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra.query_latencies[i], rb.query_latencies[i]);
+  }
+}
+
+TEST(IntegrationTest, LearnedAgentDrivesRealEngine) {
+  // The same LSched agent that schedules the simulator drives real kernel
+  // execution through the identical Scheduler interface.
+  auto catalog = std::make_unique<Catalog>();
+  Rng rng(12);
+  TableSpec dim;
+  dim.name = "dim";
+  dim.num_rows = 600;
+  dim.block_capacity = 128;
+  dim.columns = {
+      {"k", DataType::kInt64, ColumnDistribution::kSequential, 0, 0, 0},
+      {"w", DataType::kDouble, ColumnDistribution::kUniformReal, 0, 1, 0}};
+  TableSpec fact;
+  fact.name = "fact";
+  fact.num_rows = 2400;
+  fact.block_capacity = 128;
+  fact.columns = {
+      {"fk", DataType::kInt64, ColumnDistribution::kForeignKey, 0, 600, 0},
+      {"val", DataType::kDouble, ColumnDistribution::kUniformReal, 0, 1, 0}};
+  ASSERT_TRUE(catalog->AddRelation(GenerateTable(dim, &rng)).ok());
+  ASSERT_TRUE(catalog->AddRelation(GenerateTable(fact, &rng)).ok());
+
+  PlanBuilder b(catalog.get());
+  PlanBuilder::NodeOptions build_opts;
+  build_opts.kernel.build_key = 0;
+  const int dscan = b.AddSource(OperatorType::kTableScan, 0, {});
+  const int build = b.AddOp(OperatorType::kBuildHash, {dscan}, build_opts);
+  PlanBuilder::NodeOptions probe_opts;
+  probe_opts.kernel.probe_key = 0;
+  const int fscan = b.AddSource(OperatorType::kTableScan, 1, {});
+  b.AddOp(OperatorType::kProbeHash, {fscan, build}, probe_opts);
+  auto plan = b.Build();
+  ASSERT_TRUE(plan.ok());
+
+  LSchedModel model(TinyConfig());
+  LSchedAgent agent(&model);
+  RealEngineConfig cfg;
+  cfg.num_threads = 3;
+  cfg.chunk_rows = 128;
+  RealEngine engine(catalog.get(), cfg);
+  std::vector<RealQuerySubmission> workload;
+  workload.push_back({*plan, 0.0});
+  workload.push_back({*plan, 0.0});
+  const RealRunResult result = engine.Run(workload, &agent);
+  ASSERT_EQ(result.episode.query_latencies.size(), 2u);
+  // Every fact row joins exactly one dim row.
+  EXPECT_EQ(result.sink_row_counts[0], 2400);
+  EXPECT_EQ(result.sink_row_counts[1], 2400);
+}
+
+}  // namespace
+}  // namespace lsched

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "plan/cost_model.h"
+#include "plan/operator_type.h"
+#include "plan/plan_builder.h"
+#include "plan/query_plan.h"
+
+namespace lsched {
+namespace {
+
+/// select(A) -> buildhash ; select(B) -> probehash(probe B, build A) -> agg.
+Result<QueryPlan> BuildJoinAggPlan() {
+  PlanBuilder b(nullptr);
+  PlanBuilder::NodeOptions scan_a;
+  scan_a.input_rows = 40000;
+  scan_a.selectivity = 0.5;
+  const int sa = b.AddSource(OperatorType::kSelect, 0, scan_a);
+  const int build = b.AddOp(OperatorType::kBuildHash, {sa});
+  PlanBuilder::NodeOptions scan_b;
+  scan_b.input_rows = 80000;
+  scan_b.selectivity = 0.25;
+  const int sb = b.AddSource(OperatorType::kSelect, 1, scan_b);
+  PlanBuilder::NodeOptions probe;
+  probe.selectivity = 1.0;
+  const int pj = b.AddOp(OperatorType::kProbeHash, {sb, build}, probe);
+  const int agg = b.AddOp(OperatorType::kHashAggregate, {pj});
+  const int fin = b.AddOp(OperatorType::kFinalizeAggregate, {agg});
+  (void)fin;
+  return b.Build();
+}
+
+TEST(PlanBuilderTest, BuildsValidatedDag) {
+  auto plan = BuildJoinAggPlan();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->num_nodes(), 6u);
+  EXPECT_EQ(plan->num_edges(), 5u);
+  EXPECT_TRUE(plan->Validate().ok());
+}
+
+TEST(PlanBuilderTest, PipelineBreakingDefaults) {
+  auto plan = BuildJoinAggPlan();
+  ASSERT_TRUE(plan.ok());
+  // select -> buildhash: select produces incrementally => non-breaking.
+  // buildhash -> probehash: breaking. probehash -> agg: non-breaking
+  // (probe streams). agg -> finalize: breaking.
+  for (const PlanEdge& e : plan->edges()) {
+    const OperatorType p = plan->node(e.producer).type;
+    EXPECT_EQ(e.pipeline_breaking, !ProducesIncrementally(p));
+  }
+}
+
+TEST(PlanBuilderTest, EdgeBreakingOverride) {
+  PlanBuilder b(nullptr);
+  PlanBuilder::NodeOptions opts;
+  opts.input_rows = 1000;
+  const int s1 = b.AddSource(OperatorType::kSelect, 0, opts);
+  const int s2 = b.AddOp(OperatorType::kSelect, {s1});
+  ASSERT_TRUE(b.SetEdgeBreaking(s1, s2, true).ok());
+  EXPECT_FALSE(b.SetEdgeBreaking(s2, s1, true).ok());
+  auto plan = b.Build();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->edge(0).pipeline_breaking);
+}
+
+TEST(PlanBuilderTest, WorkOrderCountFromRows) {
+  PlanBuilder b(nullptr);
+  PlanBuilder::NodeOptions opts;
+  opts.input_rows = 10000;
+  opts.rows_per_work_order = 4096;
+  const int s = b.AddSource(OperatorType::kSelect, 0, opts);
+  auto plan = b.Build();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->node(s).num_work_orders, 3);  // ceil(10000/4096)
+  EXPECT_EQ(plan->node(s).block_bitmap.size(), 3u);
+}
+
+TEST(PlanBuilderTest, LineagePropagatesBaseInputs) {
+  auto plan = BuildJoinAggPlan();
+  ASSERT_TRUE(plan.ok());
+  // The final aggregate should carry lineage of both base relations 0 and 1.
+  const PlanNode& fin = plan->node(5);
+  EXPECT_EQ(fin.base_inputs.size(), 2u);
+}
+
+TEST(QueryPlanTest, TopologicalOrderRespectsEdges) {
+  auto plan = BuildJoinAggPlan();
+  ASSERT_TRUE(plan.ok());
+  const std::vector<int> order = plan->TopologicalOrder();
+  ASSERT_EQ(order.size(), plan->num_nodes());
+  std::vector<int> pos(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    pos[static_cast<size_t>(order[i])] = static_cast<int>(i);
+  }
+  for (const PlanEdge& e : plan->edges()) {
+    EXPECT_LT(pos[static_cast<size_t>(e.producer)],
+              pos[static_cast<size_t>(e.consumer)]);
+  }
+}
+
+TEST(QueryPlanTest, SourcesAndSinks) {
+  auto plan = BuildJoinAggPlan();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->SourceNodes().size(), 2u);
+  EXPECT_EQ(plan->SinkNodes().size(), 1u);
+}
+
+TEST(QueryPlanTest, LongestPipelineFollowsNonBreakingEdges) {
+  auto plan = BuildJoinAggPlan();
+  ASSERT_TRUE(plan.ok());
+  // From scan B (node 2): select -> probe -> agg (agg output edge breaks).
+  const std::vector<int> chain = plan->LongestPipelineFrom(2);
+  EXPECT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0], 2);
+  EXPECT_EQ(chain[1], 3);
+  EXPECT_EQ(chain[2], 4);
+  // From scan A (node 0): select -> buildhash, then the edge breaks.
+  EXPECT_EQ(plan->LongestPipelineFrom(0).size(), 2u);
+}
+
+TEST(QueryPlanTest, CriticalPathAtLeastHeaviestNode) {
+  auto plan = BuildJoinAggPlan();
+  ASSERT_TRUE(plan.ok());
+  double heaviest = 0.0;
+  for (const PlanNode& n : plan->nodes()) {
+    heaviest = std::max(
+        heaviest, static_cast<double>(n.num_work_orders) * n.est_cost_per_wo);
+  }
+  EXPECT_GE(plan->CriticalPathCost(), heaviest);
+  EXPECT_LE(plan->CriticalPathCost(), plan->TotalEstimatedCost());
+}
+
+TEST(CostModelTest, AnnotationsPositive) {
+  auto plan = BuildJoinAggPlan();
+  ASSERT_TRUE(plan.ok());
+  for (const PlanNode& n : plan->nodes()) {
+    EXPECT_GT(n.est_cost_per_wo, 0.0) << OperatorTypeName(n.type);
+    EXPECT_GT(n.est_mem_per_wo, 0.0);
+  }
+}
+
+TEST(CostModelTest, PipelineGainReducesFusedCost) {
+  auto plan = BuildJoinAggPlan();
+  ASSERT_TRUE(plan.ok());
+  CostModel cm;
+  // Chain 2 -> 3 -> 4 fused must cost less than the sum of running each
+  // stage standalone (cache gain), as long as memory stays in budget.
+  const std::vector<int> chain = {2, 3, 4};
+  double standalone = 0.0;
+  const double root_wos =
+      std::max(plan->node(2).num_work_orders, 1);
+  for (int op : chain) {
+    standalone += static_cast<double>(plan->node(op).num_work_orders) *
+                  plan->node(op).est_cost_per_wo / root_wos;
+  }
+  const double mem = cm.PipelineMemory(*plan, chain);
+  if (mem <= cm.params().memory_budget_per_thread) {
+    EXPECT_LT(cm.PipelineWorkOrderSeconds(*plan, chain), standalone);
+  }
+}
+
+TEST(CostModelTest, ThrashMultiplierKicksInBeyondBudget) {
+  CostModel cm;
+  const double budget = cm.params().memory_budget_per_thread;
+  EXPECT_DOUBLE_EQ(cm.ThrashMultiplier(budget * 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(cm.ThrashMultiplier(budget), 1.0);
+  EXPECT_GT(cm.ThrashMultiplier(budget * 2.0), 1.0);
+  EXPECT_GT(cm.ThrashMultiplier(budget * 4.0), cm.ThrashMultiplier(budget * 2.0));
+}
+
+TEST(CostModelTest, DeepPipelinesEventuallyHurt) {
+  // A long chain of stateful stages must exceed the budget and thrash —
+  // the effect that makes the *learned* pipeline degree non-trivial.
+  PlanBuilder b(nullptr);
+  PlanBuilder::NodeOptions opts;
+  opts.input_rows = 400000;
+  int node = b.AddSource(OperatorType::kSelect, 0, opts);
+  std::vector<int> chain = {node};
+  for (int i = 0; i < 6; ++i) {
+    PlanBuilder::NodeOptions o2;
+    o2.selectivity = 1.0;
+    node = b.AddOp(OperatorType::kProbeHash, {node}, o2);
+    chain.push_back(node);
+  }
+  auto plan = b.Build();
+  ASSERT_TRUE(plan.ok());
+  CostModel cm;
+  EXPECT_GT(cm.PipelineMemory(*plan, chain),
+            cm.params().memory_budget_per_thread);
+  EXPECT_GT(cm.ThrashMultiplier(cm.PipelineMemory(*plan, chain)), 1.0);
+}
+
+TEST(OperatorTypeTest, TraitsConsistency) {
+  for (int t = 0; t < kNumOperatorTypes; ++t) {
+    const OperatorType type = static_cast<OperatorType>(t);
+    EXPECT_GT(BaseCostPerRow(type), 0.0);
+    EXPECT_GT(MemoryPerRow(type), 0.0);
+    EXPECT_STRNE(OperatorTypeName(type), "?");
+  }
+  EXPECT_FALSE(ProducesIncrementally(OperatorType::kBuildHash));
+  EXPECT_TRUE(ProducesIncrementally(OperatorType::kSelect));
+  EXPECT_TRUE(IsSourceOperator(OperatorType::kIndexScan));
+  EXPECT_FALSE(IsSourceOperator(OperatorType::kProbeHash));
+}
+
+TEST(QueryPlanTest, ValidateRejectsEmptyPlan) {
+  QueryPlan plan;
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+}  // namespace
+}  // namespace lsched

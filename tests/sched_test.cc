@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "sched/decima.h"
+#include "sched/heuristics.h"
+#include "sched/selftune.h"
+#include "workload/workload.h"
+
+namespace lsched {
+namespace {
+
+std::vector<QuerySubmission> TestWorkload(int n, uint64_t seed,
+                                          bool batch = false) {
+  WorkloadConfig cfg;
+  cfg.benchmark = Benchmark::kSsb;
+  cfg.num_queries = n;
+  cfg.scale_factors = {2, 5};
+  cfg.batch = batch;
+  cfg.mean_interarrival_seconds = 0.05;
+  Rng rng(seed);
+  return GenerateWorkload(cfg, &rng);
+}
+
+SimEngine MakeEngine(int threads = 8) {
+  SimEngineConfig cfg;
+  cfg.num_threads = threads;
+  return SimEngine(cfg);
+}
+
+/// All heuristic schedulers must complete every query (parameterized).
+class HeuristicCompletion : public ::testing::TestWithParam<int> {};
+
+TEST_P(HeuristicCompletion, CompletesWorkload) {
+  std::unique_ptr<Scheduler> sched;
+  switch (GetParam()) {
+    case 0:
+      sched = std::make_unique<FifoScheduler>();
+      break;
+    case 1:
+      sched = std::make_unique<FairScheduler>();
+      break;
+    case 2:
+      sched = std::make_unique<SjfScheduler>();
+      break;
+    case 3:
+      sched = std::make_unique<HpfScheduler>();
+      break;
+    case 4:
+      sched = std::make_unique<CriticalPathScheduler>();
+      break;
+    case 5:
+      sched = std::make_unique<QuickstepScheduler>();
+      break;
+    case 6:
+      sched = std::make_unique<SelfTuneScheduler>();
+      break;
+  }
+  SimEngine engine = MakeEngine();
+  const EpisodeResult r = engine.Run(TestWorkload(8, 11), sched.get());
+  EXPECT_EQ(r.query_latencies.size(), 8u) << sched->name();
+  for (double lat : r.query_latencies) EXPECT_GT(lat, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllHeuristics, HeuristicCompletion,
+                         ::testing::Range(0, 7));
+
+TEST(HeuristicsTest, FifoStallsLaterQueries) {
+  // Under FIFO with batch arrivals, the last-finishing query waits for all
+  // earlier ones: its latency is close to the makespan.
+  SimEngine engine = MakeEngine(4);
+  FifoScheduler fifo;
+  const EpisodeResult r = engine.Run(TestWorkload(6, 13, true), &fifo);
+  double max_latency = 0.0;
+  for (double lat : r.query_latencies) max_latency = std::max(max_latency, lat);
+  EXPECT_GT(max_latency, 0.8 * r.makespan);
+}
+
+TEST(HeuristicsTest, FairBeatsFifoUnderHeadOfLineBlocking) {
+  // FIFO is the paper's worst baseline because it stalls short queries
+  // behind long ones (§7.2). Streaming arrivals + mixed scale factors make
+  // that head-of-line blocking visible.
+  WorkloadConfig cfg;
+  cfg.benchmark = Benchmark::kSsb;
+  cfg.num_queries = 12;
+  cfg.scale_factors = {2, 50};
+  cfg.mean_interarrival_seconds = 0.05;
+  Rng rng(17);
+  const auto workload = GenerateWorkload(cfg, &rng);
+  // Enough threads that a single head query cannot fill the pool during its
+  // narrow stages — the regime the paper evaluates (60 threads).
+  SimEngine engine = MakeEngine(16);
+  FifoScheduler fifo;
+  FairScheduler fair;
+  const EpisodeResult rf = engine.Run(workload, &fifo);
+  const EpisodeResult ra = engine.Run(workload, &fair);
+  EXPECT_LT(ra.avg_latency, rf.avg_latency);
+}
+
+TEST(HeuristicsTest, CriticalPathSchedulesHeaviestPipeline) {
+  SimEngine engine = MakeEngine(4);
+  CriticalPathScheduler cp;
+  const EpisodeResult r = engine.Run(TestWorkload(4, 19), &cp);
+  EXPECT_EQ(r.query_latencies.size(), 4u);
+  EXPECT_GT(r.num_actions, 0);
+}
+
+TEST(SelfTuneTest, TunerNeverWorseThanDefault) {
+  SimEngine engine = MakeEngine(6);
+  std::vector<std::vector<QuerySubmission>> training = {TestWorkload(6, 23),
+                                                        TestWorkload(6, 29)};
+  Rng rng(31);
+  const SelfTuneResult result = TuneSelfTune(&engine, training, 6, &rng);
+  ASSERT_EQ(result.latency_per_iteration.size(), 6u);
+  // Iteration 0 evaluates the defaults; the best found must be <= that.
+  EXPECT_LE(result.best_avg_latency, result.latency_per_iteration[0] + 1e-9);
+}
+
+TEST(DecimaTest, FeaturesAreBlackBoxAndNoPipelining) {
+  auto workload = TestWorkload(1, 37);
+  QueryState q(0, workload[0].plan, 0.0);
+  SystemState state;
+  state.queries = {&q};
+  state.threads.resize(4);
+  const DecimaStateFeatures f = DecimaScheduler::ExtractFeatures(state);
+  ASSERT_EQ(f.queries.size(), 1u);
+  EXPECT_EQ(f.queries[0].node_features[0].size(),
+            static_cast<size_t>(DecimaModel::kNodeFeatureDim));
+  // Decima's runnable set (all parents complete) is a subset of LSched's
+  // schedulable set (which allows streaming consumers).
+  q.set_op_scheduled(0, true);
+  const DecimaStateFeatures f2 = DecimaScheduler::ExtractFeatures(state);
+  const auto lsched_ops = q.SchedulableOps();
+  EXPECT_LE(f2.candidates.size() + 1, lsched_ops.size() + 1);
+  for (const auto& [qi, op] : f2.candidates) {
+    bool all_parents_done = true;
+    for (int e : q.plan().node(op).in_edges) {
+      all_parents_done &= q.op_completed(q.plan().edge(e).producer);
+    }
+    EXPECT_TRUE(all_parents_done);
+  }
+}
+
+TEST(DecimaTest, SchedulerCompletesWorkload) {
+  DecimaModel model(DecimaConfig{});
+  DecimaScheduler decima(&model);
+  SimEngine engine = MakeEngine();
+  const EpisodeResult r = engine.Run(TestWorkload(6, 41), &decima);
+  EXPECT_EQ(r.query_latencies.size(), 6u);
+}
+
+TEST(DecimaTest, DecisionsAreDegreeOne) {
+  DecimaModel model(DecimaConfig{});
+  DecimaScheduler decima(&model);
+  auto workload = TestWorkload(1, 43);
+  QueryState q(0, workload[0].plan, 0.0);
+  SystemState state;
+  state.queries = {&q};
+  state.threads.resize(4);
+  for (int i = 0; i < 4; ++i) state.threads[static_cast<size_t>(i)].id = i;
+  SchedulingEvent event;
+  const SchedulingDecision d = decima.Schedule(event, state);
+  ASSERT_EQ(d.pipelines.size(), 1u);
+  EXPECT_EQ(d.pipelines[0].degree, 1);
+}
+
+TEST(DecimaTest, TrainerRunsAndUpdatesParams) {
+  DecimaModel model(DecimaConfig{});
+  SimEngineConfig ecfg;
+  ecfg.num_threads = 4;
+  SimEngine engine(ecfg);
+  DecimaTrainer trainer(&model, &engine, 2, 1e-2);
+  const std::vector<double> before =
+      model.params()->Find("decima/node_head/l1/w")->value.raw();
+  auto factory = MakeEpisodeFactory(Benchmark::kSsb, 4, 6, 0.05, 0.1, {2});
+  const DecimaTrainStats stats = trainer.Train(factory);
+  EXPECT_EQ(stats.episode_avg_latency.size(), 2u);
+  EXPECT_NE(before, model.params()->Find("decima/node_head/l1/w")->value.raw());
+}
+
+}  // namespace
+}  // namespace lsched

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "storage/block.h"
+#include "storage/catalog.h"
+#include "storage/relation.h"
+#include "storage/table_generator.h"
+
+namespace lsched {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema({{"id", DataType::kInt64}, {"v", DataType::kDouble}});
+}
+
+TEST(BlockTest, AppendAndRead) {
+  Block b(TwoColSchema(), 4);
+  ASSERT_TRUE(b.AppendRow({1.0, 2.5}).ok());
+  ASSERT_TRUE(b.AppendRow({2.0, -1.5}).ok());
+  EXPECT_EQ(b.num_rows(), 2u);
+  EXPECT_EQ(b.Int64Column(0)[1], 2);
+  EXPECT_DOUBLE_EQ(b.DoubleColumn(1)[0], 2.5);
+  EXPECT_DOUBLE_EQ(b.ValueAsDouble(0, 1), 2.0);
+}
+
+TEST(BlockTest, CapacityEnforced) {
+  Block b(TwoColSchema(), 1);
+  ASSERT_TRUE(b.AppendRow({1, 1}).ok());
+  EXPECT_TRUE(b.full());
+  EXPECT_FALSE(b.AppendRow({2, 2}).ok());
+}
+
+TEST(BlockTest, ArityChecked) {
+  Block b(TwoColSchema(), 4);
+  EXPECT_FALSE(b.AppendRow({1.0}).ok());
+}
+
+TEST(BlockTest, HeaderStatsTrackMinMax) {
+  Block b(TwoColSchema(), 8);
+  ASSERT_TRUE(b.AppendRow({5, 1.0}).ok());
+  ASSERT_TRUE(b.AppendRow({-3, 9.0}).ok());
+  EXPECT_DOUBLE_EQ(b.column_stats(0).min, -3.0);
+  EXPECT_DOUBLE_EQ(b.column_stats(0).max, 5.0);
+  EXPECT_DOUBLE_EQ(b.column_stats(1).max, 9.0);
+}
+
+TEST(RelationTest, SpillsIntoMultipleBlocks) {
+  Relation rel("t", TwoColSchema(), 3);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(rel.AppendRow({static_cast<double>(i), 0.0}).ok());
+  }
+  EXPECT_EQ(rel.num_rows(), 10);
+  EXPECT_EQ(rel.num_blocks(), 4u);  // 3+3+3+1
+  EXPECT_EQ(rel.block(3).num_rows(), 1u);
+}
+
+TEST(CatalogTest, AddAndFind) {
+  Catalog catalog;
+  auto rel = std::make_unique<Relation>("orders", TwoColSchema());
+  auto id = catalog.AddRelation(std::move(rel));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*catalog.FindRelation("orders"), *id);
+  EXPECT_FALSE(catalog.FindRelation("nope").ok());
+  EXPECT_FALSE(
+      catalog.AddRelation(std::make_unique<Relation>("orders", TwoColSchema()))
+          .ok());
+}
+
+TEST(CatalogTest, ColumnIdsStable) {
+  Catalog catalog;
+  ASSERT_TRUE(
+      catalog.AddRelation(std::make_unique<Relation>("t", TwoColSchema()))
+          .ok());
+  const ColumnId a = catalog.ColumnIdFor("t.id");
+  const ColumnId b = catalog.ColumnIdFor("t.v");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(catalog.ColumnIdFor("t.id"), a);
+  EXPECT_EQ(catalog.num_distinct_columns(), 2u);
+}
+
+TEST(TableGeneratorTest, GeneratesRequestedShape) {
+  TableSpec spec;
+  spec.name = "t";
+  spec.num_rows = 1000;
+  spec.block_capacity = 128;
+  spec.columns = {
+      {"pk", DataType::kInt64, ColumnDistribution::kSequential, 0, 0, 0},
+      {"fk", DataType::kInt64, ColumnDistribution::kForeignKey, 0, 50, 0},
+      {"val", DataType::kDouble, ColumnDistribution::kUniformReal, 0, 1, 0},
+  };
+  Rng rng(77);
+  auto rel = GenerateTable(spec, &rng);
+  EXPECT_EQ(rel->num_rows(), 1000);
+  EXPECT_EQ(rel->num_blocks(), 8u);  // ceil(1000/128)
+  // Sequential pk.
+  EXPECT_EQ(rel->block(0).Int64Column(0)[5], 5);
+  // FK within range.
+  for (size_t b = 0; b < rel->num_blocks(); ++b) {
+    for (int64_t v : rel->block(b).Int64Column(1)) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 50);
+    }
+  }
+}
+
+TEST(TableGeneratorTest, DeterministicForSameSeed) {
+  TableSpec spec;
+  spec.name = "t";
+  spec.num_rows = 64;
+  spec.columns = {
+      {"v", DataType::kDouble, ColumnDistribution::kNormalReal, 0, 0, 1.0}};
+  Rng r1(5), r2(5);
+  auto a = GenerateTable(spec, &r1);
+  auto b = GenerateTable(spec, &r2);
+  EXPECT_EQ(a->block(0).DoubleColumn(0), b->block(0).DoubleColumn(0));
+}
+
+}  // namespace
+}  // namespace lsched

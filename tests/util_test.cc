@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/math_util.h"
+#include "util/rng.h"
+#include "util/serialization.h"
+#include "util/status.h"
+
+namespace lsched {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad");
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok(42);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> err(Status::NotFound("x"));
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> Doubled(Result<int> in) {
+  LSCHED_ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_FALSE(Doubled(Status::Internal("boom")).ok());
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(int64_t{3}, int64_t{7});
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(0.5);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal(1.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 1.0, 0.1);
+  EXPECT_NEAR(std::sqrt(sq / n - mean * mean), 2.0, 0.1);
+}
+
+TEST(RngTest, ZipfSkewsLow) {
+  Rng rng(17);
+  int low = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Zipf(1000, 0.8) < 10) ++low;
+  }
+  // Heavily skewed: the 1% smallest values take far more than 1% of mass.
+  EXPECT_GT(low, n / 10);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(19);
+  std::vector<double> w = {0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) ++counts[rng.WeightedIndex(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.35);
+}
+
+TEST(RngTest, WeightedIndexAllZero) {
+  Rng rng(23);
+  std::vector<double> w = {0.0, 0.0};
+  EXPECT_EQ(rng.WeightedIndex(w), w.size());
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto copy = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(MathTest, SoftmaxSumsToOne) {
+  std::vector<double> v = {1.0, 2.0, 3.0, -100.0};
+  SoftmaxInPlace(&v);
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_GT(v[2], v[1]);
+  EXPECT_GT(v[1], v[0]);
+}
+
+TEST(MathTest, SoftmaxStableForLargeInputs) {
+  std::vector<double> v = {1e6, 1e6 + 1.0};
+  SoftmaxInPlace(&v);
+  EXPECT_NEAR(v[0] + v[1], 1.0, 1e-12);
+  EXPECT_FALSE(std::isnan(v[0]));
+}
+
+TEST(MathTest, LogSumExp) {
+  EXPECT_NEAR(LogSumExp({0.0, 0.0}), std::log(2.0), 1e-12);
+  EXPECT_NEAR(LogSumExp({1000.0, 1000.0}), 1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(MathTest, PercentileInterpolates) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 2.0);
+}
+
+TEST(MathTest, PercentileEmpty) { EXPECT_EQ(Percentile({}, 90), 0.0); }
+
+TEST(MathTest, MeanAndStdDev) {
+  EXPECT_DOUBLE_EQ(Mean({2, 4, 6}), 4.0);
+  EXPECT_NEAR(StdDev({2, 4, 6}), std::sqrt(8.0 / 3.0), 1e-12);
+  EXPECT_EQ(StdDev({5}), 0.0);
+}
+
+TEST(RegressionTest, ExactLinearFit) {
+  WindowedLinearRegression reg(16);
+  for (int i = 0; i < 10; ++i) {
+    reg.Add(i, 3.0 + 2.0 * i);
+  }
+  EXPECT_NEAR(reg.Slope(), 2.0, 1e-9);
+  EXPECT_NEAR(reg.Intercept(), 3.0, 1e-9);
+  EXPECT_NEAR(reg.Predict(20.0), 43.0, 1e-9);
+}
+
+TEST(RegressionTest, WindowEvictsOldPoints) {
+  WindowedLinearRegression reg(4);
+  // Old regime y = x; new regime y = 100 + x. After 4 new points the old
+  // regime must be fully forgotten.
+  for (int i = 0; i < 10; ++i) reg.Add(i, i);
+  for (int i = 10; i < 14; ++i) reg.Add(i, 100.0 + i);
+  EXPECT_NEAR(reg.Predict(14.0), 114.0, 1e-6);
+  EXPECT_EQ(reg.size(), 4u);
+}
+
+TEST(RegressionTest, FallbackWithFewPoints) {
+  WindowedLinearRegression reg(8);
+  EXPECT_EQ(reg.Predict(5.0), 0.0);
+  reg.Add(1.0, 7.0);
+  EXPECT_DOUBLE_EQ(reg.Predict(100.0), 7.0);  // mean fallback
+}
+
+TEST(RegressionTest, IdenticalXFallsBackToMean) {
+  WindowedLinearRegression reg(8);
+  reg.Add(2.0, 10.0);
+  reg.Add(2.0, 20.0);
+  EXPECT_DOUBLE_EQ(reg.Predict(2.0), 15.0);
+}
+
+TEST(DownsampleTest, PaperEquation1Example) {
+  // Paper §4.1: b = {1,1,0,1,1,0} reduced to |d| = 3 gives {1, 0.5, 0.5}...
+  // the paper's worked example states d = {1, 1, 0.5} with windows
+  // {1,1},{0,1},{1,0} — i.e. window k covers [j*|b|/|d|, (j+1)*|b|/|d|).
+  const std::vector<double> d =
+      MovingAverageDownsample({1, 1, 0, 1, 1, 0}, 3);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 1.0);
+  EXPECT_DOUBLE_EQ(d[1], 0.5);
+  EXPECT_DOUBLE_EQ(d[2], 0.5);
+}
+
+TEST(DownsampleTest, PreservesMean) {
+  std::vector<double> b;
+  Rng rng(31);
+  for (int i = 0; i < 64; ++i) b.push_back(rng.Uniform());
+  const std::vector<double> d = MovingAverageDownsample(b, 8);
+  EXPECT_NEAR(Mean(d), Mean(b), 1e-9);
+}
+
+TEST(DownsampleTest, UpsamplePathAndEdgeCases) {
+  EXPECT_TRUE(MovingAverageDownsample({}, 0).empty());
+  const std::vector<double> zero = MovingAverageDownsample({}, 4);
+  EXPECT_EQ(zero.size(), 4u);
+  const std::vector<double> up = MovingAverageDownsample({1.0, 2.0}, 4);
+  EXPECT_EQ(up.size(), 4u);
+  EXPECT_DOUBLE_EQ(up[0], 1.0);
+  EXPECT_DOUBLE_EQ(up[3], 2.0);
+}
+
+TEST(EwmaTest, ConvergesTowardConstant) {
+  Ewma e(0.5);
+  EXPECT_FALSE(e.initialized());
+  e.Add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+  for (int i = 0; i < 20; ++i) e.Add(0.0);
+  EXPECT_LT(e.value(), 1e-4);
+}
+
+TEST(SerializationTest, RoundTrip) {
+  BinaryWriter w;
+  w.WriteU32(7);
+  w.WriteU64(1ull << 40);
+  w.WriteI64(-5);
+  w.WriteDouble(3.25);
+  w.WriteString("hello");
+  w.WriteDoubleVector({1.0, 2.0, 3.0});
+
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(*r.ReadU32(), 7u);
+  EXPECT_EQ(*r.ReadU64(), 1ull << 40);
+  EXPECT_EQ(*r.ReadI64(), -5);
+  EXPECT_DOUBLE_EQ(*r.ReadDouble(), 3.25);
+  EXPECT_EQ(*r.ReadString(), "hello");
+  EXPECT_EQ(*r.ReadDoubleVector(), (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializationTest, UnderflowReturnsError) {
+  BinaryReader r("abc");
+  EXPECT_FALSE(r.ReadU64().ok());
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  BinaryWriter w;
+  w.WriteString("file-test");
+  const std::string path = "/tmp/lsched_serialization_test.bin";
+  ASSERT_TRUE(w.SaveToFile(path).ok());
+  auto r = BinaryReader::FromFile(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r->ReadString(), "file-test");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lsched

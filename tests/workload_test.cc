@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/benchmarks.h"
+#include "workload/templates.h"
+#include "workload/workload.h"
+
+namespace lsched {
+namespace {
+
+TEST(BenchmarksTest, TemplateCountsMatchPaper) {
+  EXPECT_EQ(NumTemplatesOf(Benchmark::kTpch), 22);
+  EXPECT_EQ(NumTemplatesOf(Benchmark::kSsb), 13);
+  EXPECT_EQ(NumTemplatesOf(Benchmark::kJob), 113);
+  EXPECT_EQ(TemplatesOf(Benchmark::kTpch).size(), 22u);
+  EXPECT_EQ(TemplatesOf(Benchmark::kSsb).size(), 13u);
+  EXPECT_EQ(TemplatesOf(Benchmark::kJob).size(), 113u);
+}
+
+TEST(BenchmarksTest, ScaleFactorsMatchPaper) {
+  EXPECT_EQ(ScaleFactorsOf(Benchmark::kTpch),
+            (std::vector<int>{2, 5, 10, 50, 100}));
+  EXPECT_EQ(ScaleFactorsOf(Benchmark::kSsb), (std::vector<int>{2, 5, 10, 50}));
+  EXPECT_EQ(ScaleFactorsOf(Benchmark::kJob), (std::vector<int>{1}));
+}
+
+TEST(BenchmarksTest, TableRowsScale) {
+  const auto& tables = TablesOf(Benchmark::kTpch);
+  EXPECT_EQ(tables[0].name, "lineitem");
+  EXPECT_EQ(tables[0].RowsAt(10), 10 * tables[0].RowsAt(1));
+  // JOB tables are fixed-size.
+  const auto& job = TablesOf(Benchmark::kJob);
+  EXPECT_EQ(job[0].RowsAt(1), job[0].RowsAt(50));
+}
+
+/// Every template of every benchmark must instantiate to a valid plan at
+/// every scale factor (parameterized sweep).
+class TemplateValidity
+    : public ::testing::TestWithParam<std::tuple<Benchmark, int>> {};
+
+TEST_P(TemplateValidity, AllTemplatesBuildValidPlans) {
+  const auto [bench, sf] = GetParam();
+  Rng rng(99);
+  const auto specs = TemplatesOf(bench);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    auto plan = InstantiateTemplate(bench, specs[i], sf, &rng);
+    ASSERT_TRUE(plan.ok())
+        << BenchmarkName(bench) << " template " << i << ": "
+        << plan.status().ToString();
+    EXPECT_TRUE(plan->Validate().ok());
+    EXPECT_GE(plan->num_nodes(), 1u);
+    for (const PlanNode& n : plan->nodes()) {
+      EXPECT_GT(n.num_work_orders, 0);
+      EXPECT_GT(n.est_cost_per_wo, 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, TemplateValidity,
+    ::testing::Values(std::make_tuple(Benchmark::kTpch, 2),
+                      std::make_tuple(Benchmark::kTpch, 100),
+                      std::make_tuple(Benchmark::kSsb, 2),
+                      std::make_tuple(Benchmark::kSsb, 50),
+                      std::make_tuple(Benchmark::kJob, 1)));
+
+TEST(TemplatesTest, JobTemplatesAreJoinHeavy) {
+  const auto specs = TemplatesOf(Benchmark::kJob);
+  int max_joins = 0;
+  int total = 0;
+  for (const TemplateSpec& s : specs) {
+    max_joins = std::max(max_joins, static_cast<int>(s.joins.size()));
+    total += static_cast<int>(s.joins.size());
+    EXPECT_GE(s.joins.size(), 4u);
+    EXPECT_LE(s.joins.size(), 17u);
+  }
+  EXPECT_GT(max_joins, 10);  // "some queries have more than 10 joins"
+  EXPECT_GT(total / static_cast<int>(specs.size()), 4);
+}
+
+TEST(TemplatesTest, InstantiationVariesWithRng) {
+  Rng rng(7);
+  auto a = InstantiateTemplate(Benchmark::kTpch, 2, 10, &rng);
+  auto b = InstantiateTemplate(Benchmark::kTpch, 2, 10, &rng);
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Same shape, different sampled selectivities -> different row estimates.
+  EXPECT_EQ(a->num_nodes(), b->num_nodes());
+  bool any_diff = false;
+  for (size_t i = 0; i < a->num_nodes(); ++i) {
+    any_diff |= a->node(static_cast<int>(i)).est_output_rows !=
+                b->node(static_cast<int>(i)).est_output_rows;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TemplatesTest, ScaleFactorGrowsWork) {
+  Rng r1(3), r2(3);
+  auto small = InstantiateTemplate(Benchmark::kTpch, 0, 2, &r1);
+  auto large = InstantiateTemplate(Benchmark::kTpch, 0, 100, &r2);
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_GT(large->TotalEstimatedCost(), small->TotalEstimatedCost() * 10);
+}
+
+TEST(WorkloadTest, TrainTestSplitsAreDisjointAndCoverAll) {
+  WorkloadConfig train_cfg, test_cfg;
+  train_cfg.benchmark = test_cfg.benchmark = Benchmark::kTpch;
+  train_cfg.split = WorkloadSplit::kTrain;
+  test_cfg.split = WorkloadSplit::kTest;
+  std::set<int> train, test;
+  for (const auto& [tmpl, sf] : TemplatePool(train_cfg)) train.insert(tmpl);
+  for (const auto& [tmpl, sf] : TemplatePool(test_cfg)) test.insert(tmpl);
+  EXPECT_EQ(train.size(), 11u);
+  EXPECT_EQ(test.size(), 11u);
+  for (int t : train) EXPECT_EQ(test.count(t), 0u);
+}
+
+TEST(WorkloadTest, PoolSizeMatchesPaper) {
+  // Paper §7.1: "a total of 55 queries, from all scale factors" for TPCH
+  // training (11 templates x 5 scale factors).
+  WorkloadConfig cfg;
+  cfg.benchmark = Benchmark::kTpch;
+  cfg.split = WorkloadSplit::kTrain;
+  EXPECT_EQ(TemplatePool(cfg).size(), 55u);
+}
+
+TEST(WorkloadTest, StreamingArrivalsIncrease) {
+  WorkloadConfig cfg;
+  cfg.benchmark = Benchmark::kSsb;
+  cfg.num_queries = 20;
+  cfg.mean_interarrival_seconds = 0.1;
+  Rng rng(55);
+  const auto workload = GenerateWorkload(cfg, &rng);
+  ASSERT_EQ(workload.size(), 20u);
+  for (size_t i = 1; i < workload.size(); ++i) {
+    EXPECT_GT(workload[i].arrival_time, workload[i - 1].arrival_time);
+  }
+}
+
+TEST(WorkloadTest, BatchArrivalsAtZero) {
+  WorkloadConfig cfg;
+  cfg.benchmark = Benchmark::kJob;
+  cfg.num_queries = 10;
+  cfg.batch = true;
+  Rng rng(56);
+  const auto workload = GenerateWorkload(cfg, &rng);
+  for (const QuerySubmission& q : workload) {
+    EXPECT_DOUBLE_EQ(q.arrival_time, 0.0);
+  }
+}
+
+TEST(WorkloadTest, EpisodeFactoryVariesSizes) {
+  auto factory = MakeEpisodeFactory(Benchmark::kTpch, 5, 15, 0.05, 0.2, {2});
+  Rng rng(57);
+  std::set<size_t> sizes;
+  for (int ep = 0; ep < 10; ++ep) {
+    const auto w = factory(ep, &rng);
+    EXPECT_GE(w.size(), 5u);
+    EXPECT_LE(w.size(), 15u);
+    sizes.insert(w.size());
+  }
+  EXPECT_GT(sizes.size(), 2u);
+}
+
+}  // namespace
+}  // namespace lsched

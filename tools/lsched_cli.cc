@@ -1,0 +1,240 @@
+// Command-line driver for training, evaluating, and comparing schedulers
+// on the benchmark workloads without writing any C++.
+//
+//   lsched_cli train   --benchmark=tpch --episodes=100 --out=model.bin
+//   lsched_cli eval    --benchmark=tpch --model=model.bin --queries=80
+//   lsched_cli compare --benchmark=ssb  --model=model.bin --batch
+//
+// Flags (all optional unless noted):
+//   --benchmark=tpch|ssb|job   workload family            [tpch]
+//   --episodes=N               training episodes          [100]
+//   --queries=N                evaluation queries         [80]
+//   --threads=N                simulated worker threads   [60]
+//   --interarrival-ms=N        mean arrival gap           [50]
+//   --batch                    batch arrivals (all at t=0)
+//   --seed=N                   master seed                [1]
+//   --model=PATH               model to load (eval/compare)
+//   --out=PATH                 checkpoint to write (train, required)
+//   --transfer-from=PATH       warm start + freeze for transfer training
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/agent.h"
+#include "core/trainer.h"
+#include "sched/decima.h"
+#include "sched/heuristics.h"
+#include "sched/selftune.h"
+#include "workload/workload.h"
+
+namespace lsched {
+namespace {
+
+struct Args {
+  std::string command;
+  Benchmark benchmark = Benchmark::kTpch;
+  int episodes = 100;
+  int queries = 80;
+  int threads = 60;
+  double interarrival = 0.05;
+  bool batch = false;
+  uint64_t seed = 1;
+  std::string model_path;
+  std::string out_path;
+  std::string transfer_from;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  if (argc < 2) return false;
+  args->command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--benchmark=")) {
+      if (std::strcmp(v, "tpch") == 0) {
+        args->benchmark = Benchmark::kTpch;
+      } else if (std::strcmp(v, "ssb") == 0) {
+        args->benchmark = Benchmark::kSsb;
+      } else if (std::strcmp(v, "job") == 0) {
+        args->benchmark = Benchmark::kJob;
+      } else {
+        std::fprintf(stderr, "unknown benchmark: %s\n", v);
+        return false;
+      }
+    } else if (const char* v2 = value("--episodes=")) {
+      args->episodes = std::atoi(v2);
+    } else if (const char* v3 = value("--queries=")) {
+      args->queries = std::atoi(v3);
+    } else if (const char* v4 = value("--threads=")) {
+      args->threads = std::atoi(v4);
+    } else if (const char* v5 = value("--interarrival-ms=")) {
+      args->interarrival = std::atof(v5) / 1000.0;
+    } else if (arg == "--batch") {
+      args->batch = true;
+    } else if (const char* v6 = value("--seed=")) {
+      args->seed = static_cast<uint64_t>(std::atoll(v6));
+    } else if (const char* v7 = value("--model=")) {
+      args->model_path = v7;
+    } else if (const char* v8 = value("--out=")) {
+      args->out_path = v8;
+    } else if (const char* v9 = value("--transfer-from=")) {
+      args->transfer_from = v9;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+LSchedConfig DefaultConfig() {
+  LSchedConfig cfg;
+  cfg.hidden_dim = 12;
+  cfg.summary_dim = 12;
+  cfg.head_hidden = 16;
+  return cfg;
+}
+
+std::vector<QuerySubmission> EvalWorkload(const Args& args) {
+  WorkloadConfig cfg;
+  cfg.benchmark = args.benchmark;
+  cfg.split = WorkloadSplit::kTest;
+  cfg.num_queries = args.queries;
+  cfg.batch = args.batch;
+  cfg.mean_interarrival_seconds = args.interarrival;
+  Rng rng(args.seed + 7777);
+  return GenerateWorkload(cfg, &rng);
+}
+
+std::function<std::vector<QuerySubmission>(int, Rng*)> TrainFactoryForCli(
+    Benchmark benchmark) {
+  return MakeEpisodeFactory(benchmark, 10, 30, 0.02, 0.12);
+}
+
+int RunTrain(const Args& args) {
+  if (args.out_path.empty()) {
+    std::fprintf(stderr, "train requires --out=PATH\n");
+    return 2;
+  }
+  LSchedModel model(DefaultConfig());
+  if (!args.transfer_from.empty()) {
+    LSchedModel base(DefaultConfig());
+    const Status st = base.Load(args.transfer_from);
+    if (!st.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", args.transfer_from.c_str(),
+                   st.ToString().c_str());
+      return 2;
+    }
+    model.params()->CopyValuesFrom(*base.params());
+    const int frozen = model.FreezeForTransfer();
+    std::printf("transfer warm start from %s (%d tensors frozen)\n",
+                args.transfer_from.c_str(), frozen);
+  }
+  SimEngineConfig ecfg;
+  ecfg.num_threads = args.threads;
+  ecfg.seed = args.seed;
+  SimEngine engine(ecfg);
+  TrainConfig tcfg;
+  tcfg.episodes = args.episodes;
+  tcfg.seed = args.seed;
+  tcfg.log_every = std::max(1, args.episodes / 10);
+  ReinforceTrainer trainer(&model, &engine, tcfg);
+  std::printf("training on %s for %d episodes (%d threads)...\n",
+              BenchmarkName(args.benchmark), args.episodes, args.threads);
+  const TrainStats stats = trainer.Train(TrainFactoryForCli(args.benchmark));
+  std::printf("final episode avg latency: %.3fs\n",
+              stats.episode_avg_latency.back());
+  const Status st = model.Save(args.out_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("model written to %s\n", args.out_path.c_str());
+  return 0;
+}
+
+int RunEval(const Args& args) {
+  LSchedModel model(DefaultConfig());
+  if (args.model_path.empty() || !model.Load(args.model_path).ok()) {
+    std::fprintf(stderr, "eval requires a loadable --model=PATH\n");
+    return 2;
+  }
+  SimEngineConfig ecfg;
+  ecfg.num_threads = args.threads;
+  ecfg.seed = args.seed;
+  SimEngine engine(ecfg);
+  LSchedAgent agent(&model);
+  const EpisodeResult r = engine.Run(EvalWorkload(args), &agent);
+  std::printf("%s %s x%d: avg=%.3fs p90=%.3fs makespan=%.3fs actions=%d "
+              "sched_overhead=%.1fms\n",
+              BenchmarkName(args.benchmark),
+              args.batch ? "batch" : "streaming", args.queries, r.avg_latency,
+              r.p90_latency, r.makespan, r.num_actions,
+              1000.0 * r.scheduler_wall_seconds);
+  return 0;
+}
+
+int RunCompare(const Args& args) {
+  SimEngineConfig ecfg;
+  ecfg.num_threads = args.threads;
+  ecfg.seed = args.seed;
+  SimEngine engine(ecfg);
+  const auto workload = EvalWorkload(args);
+
+  LSchedModel model(DefaultConfig());
+  const bool have_model =
+      !args.model_path.empty() && model.Load(args.model_path).ok();
+  LSchedAgent lsched(&model);
+  FifoScheduler fifo;
+  FairScheduler fair;
+  SjfScheduler sjf;
+  QuickstepScheduler quickstep;
+  CriticalPathScheduler cp;
+  SelfTuneScheduler selftune;
+
+  std::printf("%s %s x%d queries, %d threads:\n",
+              BenchmarkName(args.benchmark),
+              args.batch ? "batch" : "streaming", args.queries, args.threads);
+  std::printf("%-12s %10s %10s %10s\n", "scheduler", "avg(s)", "p90(s)",
+              "makespan");
+  std::vector<std::pair<std::string, Scheduler*>> all;
+  if (have_model) all.push_back({"LSched", &lsched});
+  all.insert(all.end(), {{"Fair", &fair},
+                         {"SJF", &sjf},
+                         {"Quickstep", &quickstep},
+                         {"SelfTune", &selftune},
+                         {"CriticalPath", &cp},
+                         {"FIFO", &fifo}});
+  for (auto& [name, sched] : all) {
+    const EpisodeResult r = engine.Run(workload, sched);
+    std::printf("%-12s %10.3f %10.3f %10.3f\n", name.c_str(), r.avg_latency,
+                r.p90_latency, r.makespan);
+  }
+  if (!have_model) {
+    std::printf("(pass --model=PATH to include a trained LSched policy)\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace lsched
+
+int main(int argc, char** argv) {
+  lsched::Args args;
+  if (!lsched::ParseArgs(argc, argv, &args)) {
+    std::fprintf(stderr,
+                 "usage: %s train|eval|compare [--benchmark=tpch|ssb|job] "
+                 "[--episodes=N] [--queries=N] [--threads=N] [--batch] "
+                 "[--model=PATH] [--out=PATH] [--transfer-from=PATH]\n",
+                 argv[0]);
+    return 2;
+  }
+  if (args.command == "train") return lsched::RunTrain(args);
+  if (args.command == "eval") return lsched::RunEval(args);
+  if (args.command == "compare") return lsched::RunCompare(args);
+  std::fprintf(stderr, "unknown command: %s\n", args.command.c_str());
+  return 2;
+}
