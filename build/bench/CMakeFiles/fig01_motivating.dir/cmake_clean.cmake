@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_motivating.dir/fig01_motivating.cc.o"
+  "CMakeFiles/fig01_motivating.dir/fig01_motivating.cc.o.d"
+  "fig01_motivating"
+  "fig01_motivating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_motivating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_tpch.dir/fig08_tpch.cc.o"
+  "CMakeFiles/fig08_tpch.dir/fig08_tpch.cc.o.d"
+  "fig08_tpch"
+  "fig08_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

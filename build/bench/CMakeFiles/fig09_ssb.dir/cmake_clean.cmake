@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_ssb.dir/fig09_ssb.cc.o"
+  "CMakeFiles/fig09_ssb.dir/fig09_ssb.cc.o.d"
+  "fig09_ssb"
+  "fig09_ssb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_ssb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_job.dir/fig10_job.cc.o"
+  "CMakeFiles/fig10_job.dir/fig10_job.cc.o.d"
+  "fig10_job"
+  "fig10_job.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_job.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

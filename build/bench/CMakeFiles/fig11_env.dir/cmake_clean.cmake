@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_env.dir/fig11_env.cc.o"
+  "CMakeFiles/fig11_env.dir/fig11_env.cc.o.d"
+  "fig11_env"
+  "fig11_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig12_queries.cc" "bench/CMakeFiles/fig12_queries.dir/fig12_queries.cc.o" "gcc" "bench/CMakeFiles/fig12_queries.dir/fig12_queries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/lsched_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/lsched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lsched_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/lsched_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lsched_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/lsched_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lsched_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_queries.dir/fig12_queries.cc.o"
+  "CMakeFiles/fig12_queries.dir/fig12_queries.cc.o.d"
+  "fig12_queries"
+  "fig12_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

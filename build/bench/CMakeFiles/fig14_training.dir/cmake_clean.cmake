@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_training.dir/fig14_training.cc.o"
+  "CMakeFiles/fig14_training.dir/fig14_training.cc.o.d"
+  "fig14_training"
+  "fig14_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

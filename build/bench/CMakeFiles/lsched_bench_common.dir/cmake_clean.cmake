@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsched_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/lsched_bench_common.dir/bench_common.cc.o.d"
+  "liblsched_bench_common.a"
+  "liblsched_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsched_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_reporting.dir/batch_reporting.cpp.o"
+  "CMakeFiles/batch_reporting.dir/batch_reporting.cpp.o.d"
+  "batch_reporting"
+  "batch_reporting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_reporting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

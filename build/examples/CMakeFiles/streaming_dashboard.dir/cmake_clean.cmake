@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_dashboard.dir/streaming_dashboard.cpp.o"
+  "CMakeFiles/streaming_dashboard.dir/streaming_dashboard.cpp.o.d"
+  "streaming_dashboard"
+  "streaming_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

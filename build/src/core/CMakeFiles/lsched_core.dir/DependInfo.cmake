@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/agent.cc" "src/core/CMakeFiles/lsched_core.dir/agent.cc.o" "gcc" "src/core/CMakeFiles/lsched_core.dir/agent.cc.o.d"
+  "/root/repo/src/core/encoder.cc" "src/core/CMakeFiles/lsched_core.dir/encoder.cc.o" "gcc" "src/core/CMakeFiles/lsched_core.dir/encoder.cc.o.d"
+  "/root/repo/src/core/experience.cc" "src/core/CMakeFiles/lsched_core.dir/experience.cc.o" "gcc" "src/core/CMakeFiles/lsched_core.dir/experience.cc.o.d"
+  "/root/repo/src/core/features.cc" "src/core/CMakeFiles/lsched_core.dir/features.cc.o" "gcc" "src/core/CMakeFiles/lsched_core.dir/features.cc.o.d"
+  "/root/repo/src/core/model.cc" "src/core/CMakeFiles/lsched_core.dir/model.cc.o" "gcc" "src/core/CMakeFiles/lsched_core.dir/model.cc.o.d"
+  "/root/repo/src/core/online.cc" "src/core/CMakeFiles/lsched_core.dir/online.cc.o" "gcc" "src/core/CMakeFiles/lsched_core.dir/online.cc.o.d"
+  "/root/repo/src/core/predictor.cc" "src/core/CMakeFiles/lsched_core.dir/predictor.cc.o" "gcc" "src/core/CMakeFiles/lsched_core.dir/predictor.cc.o.d"
+  "/root/repo/src/core/reward.cc" "src/core/CMakeFiles/lsched_core.dir/reward.cc.o" "gcc" "src/core/CMakeFiles/lsched_core.dir/reward.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/lsched_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/lsched_core.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/lsched_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lsched_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/lsched_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lsched_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lsched_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

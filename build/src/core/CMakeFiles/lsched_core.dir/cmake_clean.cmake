@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsched_core.dir/agent.cc.o"
+  "CMakeFiles/lsched_core.dir/agent.cc.o.d"
+  "CMakeFiles/lsched_core.dir/encoder.cc.o"
+  "CMakeFiles/lsched_core.dir/encoder.cc.o.d"
+  "CMakeFiles/lsched_core.dir/experience.cc.o"
+  "CMakeFiles/lsched_core.dir/experience.cc.o.d"
+  "CMakeFiles/lsched_core.dir/features.cc.o"
+  "CMakeFiles/lsched_core.dir/features.cc.o.d"
+  "CMakeFiles/lsched_core.dir/model.cc.o"
+  "CMakeFiles/lsched_core.dir/model.cc.o.d"
+  "CMakeFiles/lsched_core.dir/online.cc.o"
+  "CMakeFiles/lsched_core.dir/online.cc.o.d"
+  "CMakeFiles/lsched_core.dir/predictor.cc.o"
+  "CMakeFiles/lsched_core.dir/predictor.cc.o.d"
+  "CMakeFiles/lsched_core.dir/reward.cc.o"
+  "CMakeFiles/lsched_core.dir/reward.cc.o.d"
+  "CMakeFiles/lsched_core.dir/trainer.cc.o"
+  "CMakeFiles/lsched_core.dir/trainer.cc.o.d"
+  "liblsched_core.a"
+  "liblsched_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsched_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/kernels.cc" "src/exec/CMakeFiles/lsched_exec.dir/kernels.cc.o" "gcc" "src/exec/CMakeFiles/lsched_exec.dir/kernels.cc.o.d"
+  "/root/repo/src/exec/query_state.cc" "src/exec/CMakeFiles/lsched_exec.dir/query_state.cc.o" "gcc" "src/exec/CMakeFiles/lsched_exec.dir/query_state.cc.o.d"
+  "/root/repo/src/exec/real_engine.cc" "src/exec/CMakeFiles/lsched_exec.dir/real_engine.cc.o" "gcc" "src/exec/CMakeFiles/lsched_exec.dir/real_engine.cc.o.d"
+  "/root/repo/src/exec/sim_engine.cc" "src/exec/CMakeFiles/lsched_exec.dir/sim_engine.cc.o" "gcc" "src/exec/CMakeFiles/lsched_exec.dir/sim_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/plan/CMakeFiles/lsched_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lsched_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

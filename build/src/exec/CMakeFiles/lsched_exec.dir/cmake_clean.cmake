@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsched_exec.dir/kernels.cc.o"
+  "CMakeFiles/lsched_exec.dir/kernels.cc.o.d"
+  "CMakeFiles/lsched_exec.dir/query_state.cc.o"
+  "CMakeFiles/lsched_exec.dir/query_state.cc.o.d"
+  "CMakeFiles/lsched_exec.dir/real_engine.cc.o"
+  "CMakeFiles/lsched_exec.dir/real_engine.cc.o.d"
+  "CMakeFiles/lsched_exec.dir/sim_engine.cc.o"
+  "CMakeFiles/lsched_exec.dir/sim_engine.cc.o.d"
+  "liblsched_exec.a"
+  "liblsched_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsched_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsched_nn.dir/autograd.cc.o"
+  "CMakeFiles/lsched_nn.dir/autograd.cc.o.d"
+  "CMakeFiles/lsched_nn.dir/layers.cc.o"
+  "CMakeFiles/lsched_nn.dir/layers.cc.o.d"
+  "CMakeFiles/lsched_nn.dir/optimizer.cc.o"
+  "CMakeFiles/lsched_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/lsched_nn.dir/params.cc.o"
+  "CMakeFiles/lsched_nn.dir/params.cc.o.d"
+  "CMakeFiles/lsched_nn.dir/tensor.cc.o"
+  "CMakeFiles/lsched_nn.dir/tensor.cc.o.d"
+  "liblsched_nn.a"
+  "liblsched_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsched_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/cost_model.cc" "src/plan/CMakeFiles/lsched_plan.dir/cost_model.cc.o" "gcc" "src/plan/CMakeFiles/lsched_plan.dir/cost_model.cc.o.d"
+  "/root/repo/src/plan/operator_type.cc" "src/plan/CMakeFiles/lsched_plan.dir/operator_type.cc.o" "gcc" "src/plan/CMakeFiles/lsched_plan.dir/operator_type.cc.o.d"
+  "/root/repo/src/plan/plan_builder.cc" "src/plan/CMakeFiles/lsched_plan.dir/plan_builder.cc.o" "gcc" "src/plan/CMakeFiles/lsched_plan.dir/plan_builder.cc.o.d"
+  "/root/repo/src/plan/query_plan.cc" "src/plan/CMakeFiles/lsched_plan.dir/query_plan.cc.o" "gcc" "src/plan/CMakeFiles/lsched_plan.dir/query_plan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/lsched_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsched_plan.dir/cost_model.cc.o"
+  "CMakeFiles/lsched_plan.dir/cost_model.cc.o.d"
+  "CMakeFiles/lsched_plan.dir/operator_type.cc.o"
+  "CMakeFiles/lsched_plan.dir/operator_type.cc.o.d"
+  "CMakeFiles/lsched_plan.dir/plan_builder.cc.o"
+  "CMakeFiles/lsched_plan.dir/plan_builder.cc.o.d"
+  "CMakeFiles/lsched_plan.dir/query_plan.cc.o"
+  "CMakeFiles/lsched_plan.dir/query_plan.cc.o.d"
+  "liblsched_plan.a"
+  "liblsched_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsched_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsched_sched.dir/decima.cc.o"
+  "CMakeFiles/lsched_sched.dir/decima.cc.o.d"
+  "CMakeFiles/lsched_sched.dir/heuristics.cc.o"
+  "CMakeFiles/lsched_sched.dir/heuristics.cc.o.d"
+  "CMakeFiles/lsched_sched.dir/selftune.cc.o"
+  "CMakeFiles/lsched_sched.dir/selftune.cc.o.d"
+  "liblsched_sched.a"
+  "liblsched_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsched_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/block.cc" "src/storage/CMakeFiles/lsched_storage.dir/block.cc.o" "gcc" "src/storage/CMakeFiles/lsched_storage.dir/block.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/storage/CMakeFiles/lsched_storage.dir/catalog.cc.o" "gcc" "src/storage/CMakeFiles/lsched_storage.dir/catalog.cc.o.d"
+  "/root/repo/src/storage/relation.cc" "src/storage/CMakeFiles/lsched_storage.dir/relation.cc.o" "gcc" "src/storage/CMakeFiles/lsched_storage.dir/relation.cc.o.d"
+  "/root/repo/src/storage/table_generator.cc" "src/storage/CMakeFiles/lsched_storage.dir/table_generator.cc.o" "gcc" "src/storage/CMakeFiles/lsched_storage.dir/table_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

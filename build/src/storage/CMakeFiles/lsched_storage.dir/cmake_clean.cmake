@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsched_storage.dir/block.cc.o"
+  "CMakeFiles/lsched_storage.dir/block.cc.o.d"
+  "CMakeFiles/lsched_storage.dir/catalog.cc.o"
+  "CMakeFiles/lsched_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/lsched_storage.dir/relation.cc.o"
+  "CMakeFiles/lsched_storage.dir/relation.cc.o.d"
+  "CMakeFiles/lsched_storage.dir/table_generator.cc.o"
+  "CMakeFiles/lsched_storage.dir/table_generator.cc.o.d"
+  "liblsched_storage.a"
+  "liblsched_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsched_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

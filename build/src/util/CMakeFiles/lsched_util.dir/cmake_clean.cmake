@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsched_util.dir/logging.cc.o"
+  "CMakeFiles/lsched_util.dir/logging.cc.o.d"
+  "CMakeFiles/lsched_util.dir/math_util.cc.o"
+  "CMakeFiles/lsched_util.dir/math_util.cc.o.d"
+  "CMakeFiles/lsched_util.dir/rng.cc.o"
+  "CMakeFiles/lsched_util.dir/rng.cc.o.d"
+  "CMakeFiles/lsched_util.dir/serialization.cc.o"
+  "CMakeFiles/lsched_util.dir/serialization.cc.o.d"
+  "CMakeFiles/lsched_util.dir/status.cc.o"
+  "CMakeFiles/lsched_util.dir/status.cc.o.d"
+  "liblsched_util.a"
+  "liblsched_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsched_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsched_workload.dir/benchmarks.cc.o"
+  "CMakeFiles/lsched_workload.dir/benchmarks.cc.o.d"
+  "CMakeFiles/lsched_workload.dir/templates.cc.o"
+  "CMakeFiles/lsched_workload.dir/templates.cc.o.d"
+  "CMakeFiles/lsched_workload.dir/workload.cc.o"
+  "CMakeFiles/lsched_workload.dir/workload.cc.o.d"
+  "liblsched_workload.a"
+  "liblsched_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsched_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_engine_test.dir/real_engine_test.cc.o"
+  "CMakeFiles/real_engine_test.dir/real_engine_test.cc.o.d"
+  "real_engine_test"
+  "real_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

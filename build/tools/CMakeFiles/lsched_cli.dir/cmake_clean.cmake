@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsched_cli.dir/lsched_cli.cc.o"
+  "CMakeFiles/lsched_cli.dir/lsched_cli.cc.o.d"
+  "lsched_cli"
+  "lsched_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsched_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
