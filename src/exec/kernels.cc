@@ -28,11 +28,6 @@ void RowStore::ChunkRows(size_t idx,
   }
 }
 
-namespace {
-
-/// Producers whose rows stream INTO `op` as its work-order input (as
-/// opposed to side inputs consumed via operator state: hash-join build
-/// sides, the inner of nested-loop joins, the right of merge joins).
 std::vector<int> StreamProducers(const QueryPlan& plan, int op) {
   const PlanNode& node = plan.node(op);
   std::vector<int> producers;
@@ -56,7 +51,6 @@ std::vector<int> StreamProducers(const QueryPlan& plan, int op) {
   }
 }
 
-/// The side-input producer of a binary operator (or -1).
 int SideProducer(const QueryPlan& plan, int op) {
   const PlanNode& node = plan.node(op);
   std::vector<int> producers;
@@ -75,6 +69,8 @@ int SideProducer(const QueryPlan& plan, int op) {
       return -1;
   }
 }
+
+namespace {
 
 inline int64_t KeyOf(const std::vector<double>& row, int col) {
   const size_t c =
@@ -596,7 +592,11 @@ Status QueryExecution::FinalizeOperator(int op) {
 }
 
 size_t QueryExecution::StateBytes(int op) const {
-  const OpState& s = *states_[op];
+  // Workers mutate these containers under the op mutex while executing
+  // work orders; the coordinator calls this concurrently for progress
+  // accounting, so it must take the same lock.
+  OpState& s = *states_[op];
+  std::lock_guard<std::mutex> lock(s.mu);
   size_t bytes = s.hash_rows.size() * 64 + s.agg.size() * 48 +
                  s.seen.size() * 24 + s.buffer.size() * 64;
   return bytes;

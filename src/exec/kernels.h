@@ -13,6 +13,17 @@
 
 namespace lsched {
 
+/// Producers whose rows stream INTO `op` as its work-order input (as
+/// opposed to side inputs consumed via operator state: hash-join build
+/// sides, the inner of nested-loop joins, the right of merge joins). A
+/// fused pipeline may only extend into `op` from its unique stream
+/// producer — fusing from a side input (or from one branch of a multi-input
+/// union) would drop the other stream rows.
+std::vector<int> StreamProducers(const QueryPlan& plan, int op);
+
+/// The side-input producer of a binary operator (or -1).
+int SideProducer(const QueryPlan& plan, int op);
+
 /// Materialized intermediate result: fixed-arity rows of doubles, viewed as
 /// chunks of `chunk_rows` rows (the work-order granularity for consumers).
 class RowStore {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/kernels.h"
+
 namespace lsched {
 
 const char* SchedulingEventTypeName(SchedulingEventType t) {
@@ -108,6 +110,13 @@ std::vector<int> QueryState::ValidPipelineFrom(int root) const {
         }
       }
       if (!ok) continue;
+      // A fused work order pushes only `current`'s chunks through the
+      // candidate, so `current` must be its ONE stream input. Fusing from a
+      // side input (hash-build, merge/NLJ inner, intersect side) or from
+      // one branch of a multi-input union would silently drop the rows of
+      // the other stream producers when the pipeline completes.
+      const std::vector<int> stream = StreamProducers(plan_, cand);
+      if (stream.size() != 1 || stream[0] != current) continue;
       const double cost =
           static_cast<double>(plan_.node(cand).num_work_orders) *
           plan_.node(cand).est_cost_per_wo;

@@ -101,6 +101,7 @@ void RealEngine::ApplyDecision(const SchedulingDecision& decision) {
     p.total_fused = executions_[static_cast<size_t>(query_index)]
                         ->NumWorkOrders(valid[0]);
     for (int op : valid) q->set_op_scheduled(op, true);
+    result_.num_work_orders_planned += p.total_fused;
     pipelines_.push_back(std::move(p));
     ++result_.num_actions;
   }
@@ -153,6 +154,13 @@ int RealEngine::AssignThreads() {
     w.info.busy = true;
     w.info.running_query = q->id();
     q->set_assigned_threads(q->assigned_threads() + 1);
+    ++result_.num_work_orders_dispatched;
+    int inflight = 0;
+    for (const auto& other : workers_) {
+      if (other->info.busy) ++inflight;
+    }
+    result_.max_inflight_work_orders =
+        std::max(result_.max_inflight_work_orders, inflight);
     {
       std::lock_guard<std::mutex> lock(w.mu);
       w.task = std::move(task);
@@ -304,6 +312,7 @@ RealRunResult RealEngine::Run(const std::vector<RealQuerySubmission>& workload,
     w.info.last_query = q->id();
     w.info.running_query = kInvalidQuery;
     q->AddAttainedService(c.seconds);
+    ++result_.num_work_orders_completed;
     --p.inflight;
     q->set_assigned_threads(q->assigned_threads() - 1);
 
@@ -329,6 +338,8 @@ RealRunResult RealEngine::Run(const std::vector<RealQuerySubmission>& workload,
     if (q->completed() && q->completion_time() < 0.0) {
       q->set_completion_time(done_now);
       const double latency = done_now - q->arrival_time();
+      result_.query_arrivals.push_back(q->arrival_time());
+      result_.query_completions.push_back(done_now);
       result_.query_latencies.push_back(latency);
       scheduler->OnQueryCompleted(q->id(), latency);
       ++completed_queries;

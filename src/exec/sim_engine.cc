@@ -98,6 +98,7 @@ void SimEngine::ApplyDecision(const SchedulingDecision& decision, double now) {
         cost_model_.PipelineWorkOrderSeconds(q->plan(), valid);
     pipeline.memory = cost_model_.PipelineMemory(q->plan(), valid);
     for (int op : valid) q->set_op_scheduled(op, true);
+    result_.num_work_orders_planned += pipeline.total_fused;
     active_pipelines_.push_back(std::move(pipeline));
     ++result_.num_actions;
     (void)now;
@@ -136,6 +137,13 @@ void SimEngine::DispatchTo(int thread_id, int pipeline_idx, double now) {
   t.pipeline_index = pipeline_idx;
   t.busy_until = now + duration;
   q->set_assigned_threads(q->assigned_threads() + 1);
+  ++result_.num_work_orders_dispatched;
+  int inflight = 0;
+  for (const SimThread& st : threads_) {
+    if (st.info.busy) ++inflight;
+  }
+  result_.max_inflight_work_orders =
+      std::max(result_.max_inflight_work_orders, inflight);
 
   events_.push(SimEvent{now + duration, event_seq_++, SimEvent::kWorkOrderDone,
                         thread_id});
@@ -340,6 +348,7 @@ EpisodeResult SimEngine::Run(const std::vector<QuerySubmission>& workload,
       }
 
       q->AddAttainedService(p.est_seconds_per_fused);
+      ++result_.num_work_orders_completed;
       --p.inflight;
       t.info.busy = false;
       t.info.last_query = p.query;
@@ -360,6 +369,8 @@ EpisodeResult SimEngine::Run(const std::vector<QuerySubmission>& workload,
       if (query_done && q->completion_time() < 0.0) {
         q->set_completion_time(now);
         const double latency = now - q->arrival_time();
+        result_.query_arrivals.push_back(q->arrival_time());
+        result_.query_completions.push_back(now);
         result_.query_latencies.push_back(latency);
         scheduler->OnQueryCompleted(q->id(), latency);
         ++completed_queries_;

@@ -1,0 +1,83 @@
+#ifndef LSCHED_TESTING_DIFFERENTIAL_H_
+#define LSCHED_TESTING_DIFFERENTIAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/scheduler.h"
+#include "testing/fuzzer.h"
+
+namespace lsched {
+
+/// A scheduler construction recipe: the differential checker builds a FRESH
+/// instance per engine run so no policy state leaks between runs.
+struct NamedSchedulerFactory {
+  std::string name;
+  std::function<std::unique_ptr<Scheduler>()> make;
+};
+
+/// All heuristic baselines (FIFO, Fair, SJF, HPF, CriticalPath, Quickstep,
+/// SelfTune). Cheap: safe to run over many fuzzed workloads.
+std::vector<NamedSchedulerFactory> HeuristicSchedulerFactories();
+
+/// The learned policies (LSched with an untrained tiny model, Decima
+/// likewise) in greedy-serving mode. Each returned scheduler owns its model.
+/// Slower per decision (NN forward passes) — use over fewer workloads.
+std::vector<NamedSchedulerFactory> LearnedSchedulerFactories();
+
+struct DifferentialOptions {
+  /// RealEngine is run once per (scheduler, thread count) pair.
+  std::vector<int> real_thread_counts = {1, 2, 8};
+  /// Small chunks force many work orders even on tiny fuzzed tables.
+  size_t chunk_rows = 128;
+  /// Also run SimEngine (twice, for determinism) per scheduler.
+  bool run_sim = true;
+  int sim_threads = 4;
+  FuzzerOptions fuzzer;
+};
+
+/// Outcome of a differential sweep. `mismatches` holds one human-readable
+/// entry per divergence (oracle vs engine, invariant violation, or
+/// nondeterminism); each embeds the per-workload seed so a single failing
+/// workload can be replayed directly.
+struct DifferentialReport {
+  uint64_t seed = 0;
+  int workloads_run = 0;
+  int queries_run = 0;
+  int real_engine_runs = 0;
+  int sim_engine_runs = 0;
+  std::vector<std::string> mismatches;
+
+  bool ok() const { return mismatches.empty(); }
+
+  /// One-paragraph outcome, always ending with the repro recipe
+  /// (LSCHED_FUZZ_SEED=<seed> ctest -R differential_test ...). Designed to
+  /// be embedded in a gtest failure message so a failing run is
+  /// reproducible from the test log alone.
+  std::string Summary() const;
+};
+
+/// Per-workload seed derivation (splitmix64 over base seed + index), exposed
+/// so a failure report's workload seed can be replayed standalone:
+/// `WorkloadFuzzer(WorkloadSeed(base, i)).NextWorkload()`.
+uint64_t WorkloadSeed(uint64_t base_seed, int workload_index);
+
+/// The differential checker (the heart of the harness): generates
+/// `num_workloads` fuzzed workloads from `seed`, executes every query with
+/// the single-threaded oracle, then runs each workload through RealEngine
+/// under every (factory, thread count) combination — asserting identical
+/// sink row counts and checksums — and through SimEngine twice per factory
+/// — asserting byte-identical telemetry. Every engine run is wrapped in a
+/// ValidatingScheduler and its EpisodeResult is checked with
+/// ValidateEpisodeResult.
+DifferentialReport RunDifferential(
+    uint64_t seed, int num_workloads,
+    const std::vector<NamedSchedulerFactory>& factories,
+    const DifferentialOptions& options = {});
+
+}  // namespace lsched
+
+#endif  // LSCHED_TESTING_DIFFERENTIAL_H_

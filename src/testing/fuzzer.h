@@ -1,0 +1,79 @@
+#ifndef LSCHED_TESTING_FUZZER_H_
+#define LSCHED_TESTING_FUZZER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "exec/real_engine.h"
+#include "exec/sim_engine.h"
+#include "plan/query_plan.h"
+#include "storage/catalog.h"
+#include "util/rng.h"
+
+namespace lsched {
+
+struct FuzzerOptions {
+  int min_tables = 2;
+  int max_tables = 4;
+  int64_t min_rows = 80;
+  int64_t max_rows = 700;
+  int min_queries = 1;
+  int max_queries = 3;
+  /// Mean exponential inter-arrival gap for RealEngine submissions (wall
+  /// seconds) and SimEngine submissions (virtual seconds).
+  double real_arrival_mean_seconds = 0.002;
+  double sim_arrival_mean_seconds = 0.05;
+};
+
+/// One fuzzed workload: a catalog plus the same query plans packaged for
+/// both engines (wall-clock arrival offsets for RealEngine, virtual arrival
+/// times for SimEngine).
+struct FuzzedWorkload {
+  uint64_t seed = 0;  ///< the seed this workload was generated from
+  std::unique_ptr<Catalog> catalog;
+  std::vector<RealQuerySubmission> real_queries;
+  std::vector<QuerySubmission> sim_queries;
+};
+
+/// Seeded generator of randomized catalogs, plan DAGs, and arrival
+/// patterns for the differential harness. Every plan it emits satisfies the
+/// OracleExecutor contract (deterministic result sets under any thread
+/// count): integer-valued data, no kLimit/kWindow, TopK only on a unique
+/// column, Distinct only after projecting to the key.
+///
+/// Generated catalogs: 2-4 tables "t0".."tN", each with columns
+/// id (sequential, unique), fk (foreign key into the previous table's id,
+/// or into t0 itself for t0), val (uniform int), grp (skewed small-domain
+/// int). Plan shapes cover pipeline chains, hash/merge/nested-loop/index
+/// joins (fan-in), unions of 2-3 branches, intersects, sorts, top-k, and
+/// aggregation sinks (scalar, grouped, partial+finalize, distinct).
+class WorkloadFuzzer {
+ public:
+  explicit WorkloadFuzzer(uint64_t seed, FuzzerOptions options = {});
+
+  uint64_t seed() const { return seed_; }
+
+  /// Generates a complete workload (fresh catalog + queries + arrivals).
+  FuzzedWorkload NextWorkload();
+
+  /// Pieces, exposed for focused tests.
+  std::unique_ptr<Catalog> FuzzCatalog();
+  QueryPlan FuzzPlan(const Catalog& catalog);
+
+ private:
+  struct Stream;  // node id + tracked schema facts while building a plan
+
+  Stream FuzzSource(class PlanBuilder* b, const Catalog& catalog,
+                    RelationId table);
+  Stream FuzzChain(class PlanBuilder* b, Stream s);
+  void FuzzSink(class PlanBuilder* b, const Stream& s);
+
+  uint64_t seed_;
+  FuzzerOptions options_;
+  Rng rng_;
+};
+
+}  // namespace lsched
+
+#endif  // LSCHED_TESTING_FUZZER_H_

@@ -1,0 +1,58 @@
+#ifndef LSCHED_TESTING_ORACLE_H_
+#define LSCHED_TESTING_ORACLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "plan/query_plan.h"
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace lsched {
+
+/// What the oracle computed for one query: the same sink summary RealEngine
+/// reports in RealRunResult, plus per-node output row counts for debugging
+/// differential mismatches.
+struct OracleQueryResult {
+  int64_t sink_rows = 0;
+  double sink_checksum = 0.0;  ///< sum over sink rows of all column values
+  std::vector<int64_t> node_output_rows;  ///< materialized rows per node
+};
+
+/// Single-threaded reference executor: walks a QueryPlan in topological
+/// order and fully materializes every operator's output with naive,
+/// obviously-correct kernels (no chunking, no work orders, no locks, no
+/// scheduling). It is the ground truth the differential checker compares
+/// RealEngine against, independent of scheduling policy and thread count.
+///
+/// Oracle contract (must hold for a plan to be differentially comparable —
+/// the workload fuzzer only emits plans satisfying it):
+///  - Sink row counts are compared exactly; checksums are order-invariant
+///    sums, so operators may emit rows in any order but must emit the same
+///    multiset of rows regardless of input chunking/interleaving.
+///  - Operators whose output SET depends on consumption order are excluded
+///    or constrained: kLimit and kWindow are excluded from fuzzing; kTopK
+///    requires a tie-free sort column; kDistinct requires rows that are
+///    functionally determined by the distinct key (project to the key
+///    first).
+///  - kMergeJoin requires its right (side) input to be globally sorted on
+///    the join key (the engine binary-searches it; the oracle collects all
+///    key matches).
+///  - Generated data is integer-valued so that checksum sums are exact in
+///    double precision under any summation order.
+class OracleExecutor {
+ public:
+  /// `catalog` may be null only for plans without source/index operators.
+  explicit OracleExecutor(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Executes `plan` and returns its sink summary. Errors mirror the
+  /// preconditions QueryExecution enforces (e.g. probe without build).
+  Result<OracleQueryResult> Execute(const QueryPlan& plan) const;
+
+ private:
+  const Catalog* catalog_;
+};
+
+}  // namespace lsched
+
+#endif  // LSCHED_TESTING_ORACLE_H_

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "exec/sim_engine.h"
+#include "sched/heuristics.h"
+#include "sched/selftune.h"
+#include "testing/fuzzer.h"
+#include "testing/invariants.h"
+#include "util/rng.h"
+
+namespace lsched {
+namespace {
+
+/// Same seed, fresh engine + fresh scheduler => byte-identical telemetry
+/// (every field except wall-clock scheduler time). This is what makes
+/// simulator-trained policies reproducible from a seed alone.
+TEST(DeterminismTest, SimEngineEpisodeIsByteIdentical) {
+  WorkloadFuzzer fuzzer(31337);
+  for (int round = 0; round < 5; ++round) {
+    FuzzedWorkload w = fuzzer.NextWorkload();
+    auto run_once = [&](Scheduler* policy) {
+      SimEngineConfig config;
+      config.num_threads = 4;
+      SimEngine engine(config);
+      return engine.Run(w.sim_queries, policy);
+    };
+    {
+      FairScheduler a, b;
+      EXPECT_EQ(DiffEpisodeResults(run_once(&a), run_once(&b)), "");
+    }
+    {
+      SjfScheduler a, b;
+      EXPECT_EQ(DiffEpisodeResults(run_once(&a), run_once(&b)), "");
+    }
+    {
+      SelfTuneScheduler a, b;
+      EXPECT_EQ(DiffEpisodeResults(run_once(&a), run_once(&b)), "");
+    }
+  }
+}
+
+TEST(DeterminismTest, SimEngineSeedChangesEpisode) {
+  WorkloadFuzzer fuzzer(606);
+  FuzzedWorkload w = fuzzer.NextWorkload();
+  auto run_with_seed = [&](uint64_t seed) {
+    FairScheduler policy;
+    SimEngineConfig config;
+    config.num_threads = 4;
+    config.seed = seed;
+    SimEngine engine(config);
+    return engine.Run(w.sim_queries, &policy);
+  };
+  // Different engine seeds perturb the cost-model noise, so telemetry
+  // should differ (guards against the seed being silently ignored).
+  EXPECT_NE(DiffEpisodeResults(run_with_seed(1), run_with_seed(2)), "");
+}
+
+/// Pins the first values of the PRNG streams. If xoshiro/seeding ever
+/// changes, every recorded fuzz seed and training run stops being
+/// replayable — this test makes that an explicit, visible decision.
+TEST(DeterminismTest, RngSeedStabilityPins) {
+  {
+    Rng rng(42);
+    EXPECT_EQ(rng.Next(), 1546998764402558742ULL);
+    EXPECT_EQ(rng.Next(), 6990951692964543102ULL);
+    EXPECT_EQ(rng.Next(), 12544586762248559009ULL);
+  }
+  {
+    Rng rng(42);
+    EXPECT_EQ(rng.UniformInt(static_cast<uint64_t>(1000)), 742u);
+    EXPECT_EQ(rng.UniformInt(static_cast<int64_t>(10), 20), 17);
+    EXPECT_NEAR(rng.Uniform(), 0.6800434110281394, 1e-12);
+  }
+  {
+    // Different seeds must give different streams.
+    Rng a(1), b(2);
+    EXPECT_NE(a.Next(), b.Next());
+  }
+}
+
+/// The fuzzer's catalog generation is a pure function of its seed: pin the
+/// shape of one workload so accidental RNG-consumption reordering inside
+/// the fuzzer (which would invalidate logged repro seeds) fails loudly.
+TEST(DeterminismTest, FuzzerWorkloadShapePin) {
+  WorkloadFuzzer fuzzer(2026);
+  FuzzedWorkload w = fuzzer.NextWorkload();
+  EXPECT_EQ(w.seed, 2026u);
+  EXPECT_GE(w.catalog->num_relations(), 2u);
+  EXPECT_LE(w.catalog->num_relations(), 4u);
+  ASSERT_FALSE(w.real_queries.empty());
+  ASSERT_EQ(w.real_queries.size(), w.sim_queries.size());
+  for (size_t i = 0; i < w.real_queries.size(); ++i) {
+    EXPECT_EQ(w.real_queries[i].plan.num_nodes(),
+              w.sim_queries[i].plan.num_nodes());
+  }
+}
+
+}  // namespace
+}  // namespace lsched
