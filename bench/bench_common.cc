@@ -159,6 +159,17 @@ SelfTuneParams TunedSelfTune(const BenchConfig& bench, Benchmark benchmark,
   return TuneSelfTune(&engine, training, iterations, &rng).best_params;
 }
 
+void PrintCsvHeader() {
+  std::printf("figure,scheduler,queries,threads,metric,value\n");
+}
+
+void PrintCsvRow(const std::string& figure, const std::string& scheduler,
+                 int queries, int threads, const std::string& metric,
+                 double value) {
+  std::printf("%s,%s,%d,%d,%s,%.9g\n", figure.c_str(), scheduler.c_str(),
+              queries, threads, metric.c_str(), value);
+}
+
 void PrintCdfRow(const std::string& name,
                  const std::vector<double>& latencies) {
   std::printf("%-12s mean=%8.3f |", name.c_str(), Mean(latencies));

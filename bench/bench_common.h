@@ -66,6 +66,14 @@ std::unique_ptr<DecimaModel> TrainedDecima(const BenchConfig& bench,
 SelfTuneParams TunedSelfTune(const BenchConfig& bench, Benchmark benchmark,
                              int iterations = 12);
 
+/// Standard machine-readable output schema shared by the figure benches:
+/// one header line, then one row per (scheduler, metric) measurement.
+/// Columns: figure,scheduler,queries,threads,metric,value
+void PrintCsvHeader();
+void PrintCsvRow(const std::string& figure, const std::string& scheduler,
+                 int queries, int threads, const std::string& metric,
+                 double value);
+
 /// Prints "name: p10 p20 ... p100" of per-query durations (the CDF rows of
 /// Figs. 8-10) plus the mean.
 void PrintCdfRow(const std::string& name,

@@ -1,0 +1,110 @@
+// Measures the runtime cost of the observability layer (src/obs): runs the
+// same SimEngine workload repeatedly with obs runtime-enabled and
+// runtime-disabled (interleaved, so thermal/frequency drift cancels) and
+// reports median wall times plus the enabled/disabled slowdown. The
+// acceptance gate for the obs layer is a median slowdown under 3%.
+//
+// Note this compares the *runtime* gate inside one obs-compiled binary
+// (obs::SetEnabled); a -DLSCHED_OBS=OFF build compiles every
+// instrumentation site down to nothing and can only be cheaper.
+//
+// Env: LSCHED_OBS_BENCH_REPS (default 15 pairs), LSCHED_OBS_BENCH_QUERIES
+// (default 48).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "obs/decision_log.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "sched/heuristics.h"
+#include "util/clock.h"
+
+namespace {
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const size_t n = v.size();
+  return n == 0 ? 0.0
+                : (n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]));
+}
+
+int EnvInt(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  const long v = std::atol(env);
+  return v > 0 ? static_cast<int>(v) : fallback;
+}
+
+}  // namespace
+
+int main() {
+  using namespace lsched;
+  using namespace lsched::bench;
+
+  const int reps = EnvInt("LSCHED_OBS_BENCH_REPS", 15);
+  const int queries = EnvInt("LSCHED_OBS_BENCH_QUERIES", 48);
+
+  const auto workload =
+      TestWorkload(Benchmark::kTpch, queries, /*batch=*/false,
+                   /*mean_interarrival=*/0.05, /*seed=*/4242);
+
+  auto run_once = [&](bool enabled) {
+    obs::SetEnabled(enabled);
+    SimEngine engine = MakeEngine(/*threads=*/60, /*seed=*/7);
+    FairScheduler fair;
+    Stopwatch sw;
+    const EpisodeResult r = engine.Run(workload, &fair);
+    const double secs = sw.ElapsedSeconds();
+    // Keep per-run obs state from accumulating across repetitions.
+    obs::DecisionLog::Global().Clear();
+    obs::Tracer::Global().Clear();
+    obs::MetricsRegistry::Global().ResetAll();
+    if (r.query_latencies.size() != static_cast<size_t>(queries)) {
+      std::fprintf(stderr, "unexpected: %zu/%d queries completed\n",
+                   r.query_latencies.size(), queries);
+      std::exit(1);
+    }
+    return secs;
+  };
+
+  // Warmup (both modes) before measuring.
+  run_once(true);
+  run_once(false);
+
+  // Back-to-back pairs with alternating order; the per-pair ratio cancels
+  // slow machine drift (frequency scaling, noisy neighbors) that a ratio
+  // of independent medians does not.
+  std::vector<double> on_secs, off_secs, ratios;
+  for (int i = 0; i < reps; ++i) {
+    double on, off;
+    if (i % 2 == 0) {
+      on = run_once(true);
+      off = run_once(false);
+    } else {
+      off = run_once(false);
+      on = run_once(true);
+    }
+    on_secs.push_back(on);
+    off_secs.push_back(off);
+    ratios.push_back(on / off);
+  }
+  obs::SetEnabled(true);
+
+  const double on_med = Median(on_secs);
+  const double off_med = Median(off_secs);
+  const double slowdown_pct = 100.0 * (Median(ratios) - 1.0);
+
+  std::printf("micro_obs_overhead: %d queries, %d reps per mode\n", queries,
+              reps);
+  std::printf("  obs compiled in : %s\n", obs::kCompiledIn ? "yes" : "no");
+  std::printf("  median disabled : %9.4f ms\n", 1000.0 * off_med);
+  std::printf("  median enabled  : %9.4f ms\n", 1000.0 * on_med);
+  std::printf("  slowdown        : %+.2f%% (gate: < 3%%)\n", slowdown_pct);
+  std::printf("  verdict         : %s\n",
+              slowdown_pct < 3.0 ? "PASS" : "FAIL");
+  return 0;
+}

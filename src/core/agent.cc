@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/encoder.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace lsched {
@@ -52,8 +53,14 @@ SchedulingDecision LSchedAgent::Schedule(const SchedulingEvent& event,
   }
 
   Tape tape;
-  const EncodedState encoded = EncodeState(model_, features, &tape);
-  const PredictorOutput out = RunPredictor(model_, features, encoded, &tape);
+  EncodedState encoded;
+  PredictorOutput out;
+  {
+    obs::ScopedSpan span("sched.lsched.forward", "sched", "candidates",
+                         static_cast<int64_t>(features.candidates.size()));
+    encoded = EncodeState(model_, features, &tape);
+    out = RunPredictor(model_, features, encoded, &tape);
+  }
 
   SchedulingAction action;
   if (sample_actions_) {
@@ -73,6 +80,11 @@ SchedulingDecision LSchedAgent::Schedule(const SchedulingEvent& event,
         out.par_logprobs[static_cast<size_t>(action.candidate_index)]
             .value());
   }
+
+  // Decision-log hook: the policy's own confidence in the chosen root
+  // (log-probability), compared offline against the realized runtime.
+  obs::AnnotatePredictedScore(
+      out.root_logprobs.value().at(0, action.candidate_index));
 
   const Candidate& cand =
       features.candidates[static_cast<size_t>(action.candidate_index)];

@@ -1,6 +1,8 @@
 #include "core/trainer.h"
 
 #include "core/encoder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/math_util.h"
 
@@ -21,6 +23,8 @@ ReinforceTrainer::ReinforceTrainer(LSchedModel* model, SimEngine* engine,
 
 double ReinforceTrainer::TrainOneEpisode(
     const std::vector<QuerySubmission>& workload) {
+  obs::ScopedSpan episode_span("train.episode", "train", "queries",
+                               static_cast<int64_t>(workload.size()));
   agent_.set_sample_actions(true);
   agent_.set_record_experiences(true);
   const EpisodeResult result = engine_->Run(workload, &agent_);
@@ -45,10 +49,20 @@ double ReinforceTrainer::TrainOneEpisode(
 
   stats_.episode_avg_latency.push_back(result.avg_latency);
   stats_.episode_reward.push_back(total_reward);
+  if (obs::Enabled()) {
+    auto& reg = obs::MetricsRegistry::Global();
+    reg.GetCounter("train.episodes")->Add(1);
+    reg.GetGauge("train.last_reward")->Set(total_reward);
+    reg.GetGauge("train.total_decisions")
+        ->Set(static_cast<double>(stats_.total_decisions));
+    reg.GetHistogram("train.episode_avg_latency_seconds")
+        ->Observe(result.avg_latency);
+  }
   return total_reward;
 }
 
 void ReinforceTrainer::UpdateFromLatestEpisode() {
+  obs::ScopedSpan span("train.update", "train");
   const ExperienceManager::StoredEpisode& ep = experience_.latest();
   const std::vector<double> adv = experience_.LatestAdvantages(true);
 

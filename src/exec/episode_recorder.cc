@@ -1,0 +1,305 @@
+#include "exec/episode_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "exec/query_state.h"
+#include "obs/trace.h"
+#include "util/math_util.h"
+
+namespace lsched {
+
+namespace {
+
+/// "q:op" pairs of every currently-schedulable operator, truncated to
+/// kMaxLoggedCandidates. Also counts the full set.
+std::string CandidateSetString(const SystemState& state, int* count) {
+  std::string out;
+  out.reserve(128);
+  int n = 0;
+  char buf[48];
+  for (const QueryState* q : state.queries) {
+    // Probe IsOpSchedulable directly: SchedulableOps() allocates a vector
+    // per query, too hot for a path run on every scheduler invocation.
+    const int ops = static_cast<int>(q->plan().num_nodes());
+    for (int op = 0; op < ops; ++op) {
+      if (!q->IsOpSchedulable(op)) continue;
+      ++n;
+      if (n <= obs::kMaxLoggedCandidates) {
+        std::snprintf(buf, sizeof(buf), "%s%lld:%d", out.empty() ? "" : ";",
+                      static_cast<long long>(q->id()), op);
+        out += buf;
+      }
+    }
+  }
+  if (n > obs::kMaxLoggedCandidates) {
+    std::snprintf(buf, sizeof(buf), "+%d", n - obs::kMaxLoggedCandidates);
+    out += buf;
+  }
+  *count = n;
+  return out;
+}
+
+/// Static names/categories/arg labels per SimSpanKind, applied when the
+/// compact episode buffer is expanded into TraceEvents (Finalize).
+struct SpanMeta {
+  const char* name;
+  const char* category;
+  const char* arg1_name;
+  const char* arg2_name;
+};
+constexpr SpanMeta kSpanMeta[] = {
+    {"engine.work_order", "engine", "query", "pipeline"},
+    {"sched.queue_wait", "sched", "query", nullptr},
+    {"sched.pipeline_launch", "sched", "query", "root_op"},
+    {"engine.query_completed", "engine", "query", nullptr},
+};
+
+}  // namespace
+
+EpisodeRecorder::EpisodeRecorder() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  invocations_ = reg.GetCounter("sched.invocations");
+  actions_ = reg.GetCounter("sched.pipelines_launched");
+  fallbacks_ = reg.GetCounter("sched.fallback_decisions");
+  work_orders_dispatched_ = reg.GetCounter("engine.work_orders_dispatched");
+  work_orders_completed_ = reg.GetCounter("engine.work_orders_completed");
+  queries_completed_ = reg.GetCounter("engine.queries_completed");
+  inflight_high_water_ = reg.GetGauge("engine.inflight_high_water");
+  decision_seconds_ = reg.GetHistogram("sched.decision_seconds");
+  pipeline_degree_ = reg.GetHistogram("sched.pipeline_degree");
+  queue_wait_seconds_ = reg.GetHistogram("sched.queue_wait_seconds");
+  work_order_seconds_ = reg.GetHistogram("engine.work_order_seconds");
+  query_latency_seconds_ = reg.GetHistogram("engine.query_latency_seconds");
+}
+
+void EpisodeRecorder::Begin(const char* engine_name, Scheduler* scheduler,
+                            bool virtual_time) {
+  result_ = EpisodeResult{};
+  engine_name_ = engine_name;
+  scheduler_ = scheduler;
+  virtual_time_ = virtual_time;
+  realized_base_ = -1;
+  realized_seconds_.clear();
+  vs_next_ = 0;
+  vs_total_ = 0;
+  if (virtual_time && obs::Enabled()) {
+    const size_t cap = obs::Tracer::Global().capacity();
+    if (virtual_spans_.size() != cap) virtual_spans_.resize(cap);
+  } else {
+    virtual_spans_.clear();
+  }
+  local_invocations_ = 0;
+  local_actions_ = 0;
+  local_fallbacks_ = 0;
+  local_dispatched_ = 0;
+  local_completed_ = 0;
+  local_queries_completed_ = 0;
+  lh_decision_seconds_.Reset();
+  lh_pipeline_degree_.Reset();
+  lh_queue_wait_seconds_.Reset();
+  lh_work_order_seconds_.Reset();
+  lh_query_latency_seconds_.Reset();
+}
+
+int64_t EpisodeRecorder::OnSchedulerInvocation(
+    const SchedulingEvent& event, const SystemState& state,
+    const SchedulingDecision& decision, double wall_seconds) {
+  result_.scheduler_wall_seconds += wall_seconds;
+  ++result_.num_scheduler_invocations;
+  result_.decisions.push_back(
+      {state.now, static_cast<int>(state.queries.size())});
+
+  if (!obs::Enabled()) return -1;
+  ++local_invocations_;
+  lh_decision_seconds_.Observe(wall_seconds);
+
+  obs::DecisionRecord rec;
+  rec.time = state.now;
+  rec.engine = engine_name_;
+  rec.event = SchedulingEventTypeName(event.type);
+  rec.policy = scheduler_ != nullptr ? scheduler_->name() : "";
+  rec.candidates = CandidateSetString(state, &rec.num_candidates);
+  rec.running_queries = static_cast<int>(state.queries.size());
+  rec.free_threads = state.num_free_threads();
+  if (!decision.pipelines.empty()) {
+    rec.chosen_query = decision.pipelines.front().query;
+    rec.chosen_root = decision.pipelines.front().root_op;
+    rec.degree = decision.pipelines.front().degree;
+  }
+  if (!decision.parallelism.empty()) {
+    rec.max_threads = decision.parallelism.front().max_threads;
+  }
+  rec.predicted_score = obs::TakePredictedScore();
+  rec.schedule_wall_us = wall_seconds * 1e6;
+  return obs::DecisionLog::Global().Add(std::move(rec));
+}
+
+void EpisodeRecorder::OnPipelineLaunched(int64_t decision_id, QueryId query,
+                                         int root_op, int degree,
+                                         int64_t planned_work_orders,
+                                         double now) {
+  ++result_.num_actions;
+  result_.num_work_orders_planned += planned_work_orders;
+
+  if (!obs::Enabled()) return;
+  ++local_actions_;
+  lh_pipeline_degree_.Observe(static_cast<double>(degree));
+  obs::DecisionLog::Global().AddPipeline(decision_id, planned_work_orders);
+  if (virtual_time_) {
+    RecordVirtualSpan(SimSpanKind::kPipelineLaunch, now * 1e6, -1.0f,
+                      obs::ThreadId(), static_cast<uint32_t>(query), root_op);
+  } else {
+    obs::TraceEvent e;
+    e.name = "sched.pipeline_launch";
+    e.category = "sched";
+    e.ts_us = obs::NowMicros();
+    e.tid = obs::ThreadId();
+    e.arg1_name = "query";
+    e.arg1 = static_cast<int64_t>(query);
+    e.arg2_name = "root_op";
+    e.arg2 = root_op;
+    obs::Tracer::Global().RecordSpan(e);
+  }
+}
+
+void EpisodeRecorder::OnWorkOrderDispatched(int inflight_now,
+                                            double queue_wait_seconds) {
+  ++result_.num_work_orders_dispatched;
+  result_.max_inflight_work_orders =
+      std::max(result_.max_inflight_work_orders, inflight_now);
+
+  if (!obs::Enabled()) return;
+  ++local_dispatched_;
+  lh_queue_wait_seconds_.Observe(std::max(0.0, queue_wait_seconds));
+}
+
+void EpisodeRecorder::OnWorkOrderCompleted(int64_t decision_id,
+                                           double seconds) {
+  ++result_.num_work_orders_completed;
+
+  if (!obs::Enabled()) return;
+  ++local_completed_;
+  lh_work_order_seconds_.Observe(seconds);
+  if (decision_id >= 0) {
+    // Coordinator-local accumulation; flushed to the decision log (one
+    // mutex acquisition per decision, not per work order) in Finalize.
+    if (realized_base_ < 0) realized_base_ = decision_id;
+    if (decision_id < realized_base_) {
+      obs::DecisionLog::Global().AddRealized(decision_id, seconds);
+    } else {
+      const size_t idx = static_cast<size_t>(decision_id - realized_base_);
+      if (idx >= realized_seconds_.size()) {
+        realized_seconds_.resize(idx + 1, 0.0);
+      }
+      realized_seconds_[idx] += seconds;
+    }
+  }
+}
+
+double EpisodeRecorder::OnQueryCompleted(QueryState* query, double now) {
+  query->set_completion_time(now);
+  const double latency = now - query->arrival_time();
+  result_.query_arrivals.push_back(query->arrival_time());
+  result_.query_completions.push_back(now);
+  result_.query_latencies.push_back(latency);
+  if (scheduler_ != nullptr) scheduler_->OnQueryCompleted(query->id(), latency);
+
+  if (obs::Enabled()) {
+    ++local_queries_completed_;
+    lh_query_latency_seconds_.Observe(latency);
+    if (virtual_time_) {
+      RecordVirtualSpan(SimSpanKind::kQueryCompleted, now * 1e6, -1.0f,
+                        obs::ThreadId(),
+                        static_cast<uint32_t>(query->id()));
+    } else {
+      obs::TraceEvent e;
+      e.name = "engine.query_completed";
+      e.category = "engine";
+      e.ts_us = obs::NowMicros();
+      e.tid = obs::ThreadId();
+      e.arg1_name = "query";
+      e.arg1 = static_cast<int64_t>(query->id());
+      obs::Tracer::Global().RecordSpan(e);
+    }
+  }
+  return latency;
+}
+
+int64_t EpisodeRecorder::OnFallback(double now) {
+  ++result_.num_fallback_decisions;
+
+  if (!obs::Enabled()) return -1;
+  ++local_fallbacks_;
+  obs::DecisionRecord rec;
+  rec.time = now;
+  rec.engine = engine_name_;
+  rec.event = "fallback";
+  rec.policy = scheduler_ != nullptr ? scheduler_->name() : "";
+  rec.fallback = true;
+  return obs::DecisionLog::Global().Add(std::move(rec));
+}
+
+void EpisodeRecorder::Finalize(double makespan) {
+  result_.avg_latency = Mean(result_.query_latencies);
+  result_.p90_latency = Percentile(result_.query_latencies, 90.0);
+  result_.makespan = makespan;
+  if (obs::Enabled()) {
+    invocations_->Add(local_invocations_);
+    actions_->Add(local_actions_);
+    fallbacks_->Add(local_fallbacks_);
+    work_orders_dispatched_->Add(local_dispatched_);
+    work_orders_completed_->Add(local_completed_);
+    queries_completed_->Add(local_queries_completed_);
+    inflight_high_water_->Set(
+        static_cast<double>(result_.max_inflight_work_orders));
+    decision_seconds_->MergeSnapshot(lh_decision_seconds_.snap);
+    pipeline_degree_->MergeSnapshot(lh_pipeline_degree_.snap);
+    queue_wait_seconds_->MergeSnapshot(lh_queue_wait_seconds_.snap);
+    work_order_seconds_->MergeSnapshot(lh_work_order_seconds_.snap);
+    query_latency_seconds_->MergeSnapshot(lh_query_latency_seconds_.snap);
+    for (size_t i = 0; i < realized_seconds_.size(); ++i) {
+      if (realized_seconds_[i] != 0.0) {
+        obs::DecisionLog::Global().AddRealized(
+            realized_base_ + static_cast<int64_t>(i), realized_seconds_[i]);
+      }
+    }
+    if (vs_total_ > 0) {
+      // Expand the surviving compact records into full TraceEvents in
+      // chronological order (oldest surviving entry first when the local
+      // ring wrapped) and hand them to the tracer in one batch, charging
+      // the ring's own drops so Tracer::dropped_events() stays truthful.
+      const size_t size = virtual_spans_.size();
+      const size_t n =
+          static_cast<size_t>(std::min<uint64_t>(vs_total_, size));
+      const size_t start = vs_total_ > size ? vs_next_ : 0;
+      flush_scratch_.clear();
+      flush_scratch_.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        size_t idx = start + i;
+        if (idx >= size) idx -= size;
+        const CompactSpan& c = virtual_spans_[idx];
+        const SpanMeta& m = kSpanMeta[static_cast<size_t>(c.kind)];
+        obs::TraceEvent e;
+        e.name = m.name;
+        e.category = m.category;
+        e.ts_us = c.ts_us;
+        e.dur_us = c.dur_us < 0.0f ? -1.0 : static_cast<double>(c.dur_us);
+        e.tid = c.tid;
+        e.arg1_name = m.arg1_name;
+        e.arg1 = c.query;
+        e.arg2_name = m.arg2_name;
+        e.arg2 = c.arg2;
+        flush_scratch_.push_back(e);
+      }
+      obs::Tracer::Global().RecordSpans(flush_scratch_.data(), n, vs_total_);
+    }
+  }
+  realized_base_ = -1;
+  realized_seconds_.clear();
+  vs_next_ = 0;
+  vs_total_ = 0;
+}
+
+}  // namespace lsched

@@ -1,0 +1,176 @@
+#ifndef LSCHED_EXEC_EPISODE_RECORDER_H_
+#define LSCHED_EXEC_EPISODE_RECORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/episode_result.h"
+#include "exec/exec_types.h"
+#include "exec/scheduler.h"
+#include "obs/decision_log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace lsched {
+
+/// Shared telemetry assembly for SimEngine and RealEngine: owns the
+/// per-run EpisodeResult (latency vectors, work-order conservation
+/// counters, decision series) and mirrors every event into the
+/// observability layer (metrics registry, tracer, scheduler decision log).
+/// Engines report raw events; this class is the single place that knows
+/// how EpisodeResult and the `engine.*`/`sched.*` metrics are derived from
+/// them.
+///
+/// Not thread-safe: all methods must be called from the engine's
+/// coordinator thread (both engines already funnel scheduling state
+/// through one thread).
+/// Episode-local histogram accumulation: plain increments on the owning
+/// (coordinator) thread, merged into the shared registry once per episode.
+/// Keeps the per-work-order hot path free of atomics and TLS lookups.
+struct LocalHistogram {
+  obs::HistogramSnapshot snap;
+
+  void Observe(double value) {
+    const size_t b = obs::Histogram::BucketFor(value);
+    if (b >= snap.bucket_counts.size()) snap.bucket_counts.resize(b + 1, 0);
+    ++snap.bucket_counts[b];
+    ++snap.count;
+    snap.sum += value;
+  }
+  void Reset() { snap = obs::HistogramSnapshot{}; }
+};
+
+class EpisodeRecorder {
+ public:
+  EpisodeRecorder();
+
+  /// Starts a fresh episode. `virtual_time` selects the trace timebase:
+  /// true = engine `now` is virtual seconds (SimEngine), false = use the
+  /// process-wide wall clock (RealEngine).
+  void Begin(const char* engine_name, Scheduler* scheduler,
+             bool virtual_time);
+
+  /// One scheduler invocation (after Schedule() returned `decision`).
+  /// Returns the decision-log id for attributing launched pipelines, or
+  /// -1 when observability is off.
+  int64_t OnSchedulerInvocation(const SchedulingEvent& event,
+                                const SystemState& state,
+                                const SchedulingDecision& decision,
+                                double wall_seconds);
+
+  /// A pipeline accepted from decision `decision_id` (-1 if untracked).
+  void OnPipelineLaunched(int64_t decision_id, QueryId query, int root_op,
+                          int degree, int64_t planned_work_orders,
+                          double now);
+
+  /// A work order handed to a thread. `queue_wait_seconds` is the engine
+  /// time between the pipeline's launch and this dispatch; `inflight_now`
+  /// the number of busy threads including this one.
+  void OnWorkOrderDispatched(int inflight_now, double queue_wait_seconds);
+
+  /// A work order finished, taking `seconds` of engine time.
+  void OnWorkOrderCompleted(int64_t decision_id, double seconds);
+
+  /// Query completion bookkeeping; invokes scheduler->OnQueryCompleted and
+  /// returns the latency.
+  double OnQueryCompleted(QueryState* query, double now);
+
+  /// The engine's deadlock guard scheduled work itself. Returns a
+  /// decision-log id for the fallback pipelines.
+  int64_t OnFallback(double now);
+
+  /// Virtual-time trace events the recorder knows how to buffer; expanded
+  /// to full TraceEvents (names, categories, arg labels) only in Finalize.
+  enum class SimSpanKind : uint8_t {
+    kWorkOrder,       ///< engine.work_order; arg2 = pipeline index
+    kQueueWait,       ///< sched.queue_wait
+    kPipelineLaunch,  ///< sched.pipeline_launch; arg2 = root op
+    kQueryCompleted,  ///< engine.query_completed (instant)
+  };
+
+  /// Buffers a virtual-time trace event (coordinator thread only) for a
+  /// single bulk hand-off to the tracer in Finalize — per-event ring
+  /// locking is too expensive for the simulator's dispatch rate. The
+  /// buffer is a local ring of the tracer's capacity (only the newest
+  /// events can survive in the tracer anyway, so older ones are dropped
+  /// here) holding 32-byte compact records instead of full TraceEvents:
+  /// the ring is written ~once per simulated work order and cycles before
+  /// any entry is reused, so its footprint is pure cache traffic.
+  /// `dur_us` < 0 encodes an instant event; float precision (~1e-7
+  /// relative) is ample for durations.
+  void RecordVirtualSpan(SimSpanKind kind, double ts_us, float dur_us,
+                         uint32_t tid, uint32_t query, int32_t arg2 = 0) {
+    if (virtual_spans_.empty()) return;  // Begin() ran with obs disabled
+    virtual_spans_[vs_next_] = {ts_us, dur_us, query, arg2, tid, kind};
+    if (++vs_next_ == virtual_spans_.size()) vs_next_ = 0;
+    ++vs_total_;
+  }
+
+  /// Computes the derived aggregates (avg/p90/makespan).
+  void Finalize(double makespan);
+
+  EpisodeResult& result() { return result_; }
+  const EpisodeResult& result() const { return result_; }
+  EpisodeResult Take() { return std::move(result_); }
+
+ private:
+  EpisodeResult result_;
+  Scheduler* scheduler_ = nullptr;
+  const char* engine_name_ = "";
+  bool virtual_time_ = false;
+
+  // Realized work-order cost per decision, accumulated lock-free on the
+  // coordinator thread and flushed into the global decision log once per
+  // episode (Finalize). Indexed by decision_id - realized_base_.
+  int64_t realized_base_ = -1;
+  std::vector<double> realized_seconds_;
+
+  struct CompactSpan {
+    double ts_us;
+    float dur_us;
+    uint32_t query;
+    int32_t arg2;
+    uint32_t tid;
+    SimSpanKind kind;
+  };
+
+  // Virtual-time trace events buffered until Finalize (see
+  // RecordVirtualSpan): a ring of the tracer's capacity.
+  std::vector<CompactSpan> virtual_spans_;
+  size_t vs_next_ = 0;
+  uint64_t vs_total_ = 0;
+  // Finalize-only scratch for expanding CompactSpans into TraceEvents.
+  std::vector<obs::TraceEvent> flush_scratch_;
+
+  // Episode-local mirrors of the registry metrics; Finalize publishes them
+  // in one batch so the per-event paths never touch shared state.
+  int64_t local_invocations_ = 0;
+  int64_t local_actions_ = 0;
+  int64_t local_fallbacks_ = 0;
+  int64_t local_dispatched_ = 0;
+  int64_t local_completed_ = 0;
+  int64_t local_queries_completed_ = 0;
+  LocalHistogram lh_decision_seconds_;
+  LocalHistogram lh_pipeline_degree_;
+  LocalHistogram lh_queue_wait_seconds_;
+  LocalHistogram lh_work_order_seconds_;
+  LocalHistogram lh_query_latency_seconds_;
+
+  // Cached metric handles (registry lookups once per process).
+  obs::Counter* invocations_;
+  obs::Counter* actions_;
+  obs::Counter* fallbacks_;
+  obs::Counter* work_orders_dispatched_;
+  obs::Counter* work_orders_completed_;
+  obs::Counter* queries_completed_;
+  obs::Gauge* inflight_high_water_;
+  obs::Histogram* decision_seconds_;
+  obs::Histogram* pipeline_degree_;
+  obs::Histogram* queue_wait_seconds_;
+  obs::Histogram* work_order_seconds_;
+  obs::Histogram* query_latency_seconds_;
+};
+
+}  // namespace lsched
+
+#endif  // LSCHED_EXEC_EPISODE_RECORDER_H_

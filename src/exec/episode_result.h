@@ -1,0 +1,50 @@
+#ifndef LSCHED_EXEC_EPISODE_RESULT_H_
+#define LSCHED_EXEC_EPISODE_RESULT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace lsched {
+
+/// Telemetry from one workload execution ("episode" during training).
+/// Assembled identically for both engines by EpisodeRecorder
+/// (exec/episode_recorder.h).
+struct EpisodeResult {
+  std::vector<double> query_latencies;  ///< completion - arrival, per query
+  double avg_latency = 0.0;
+  double p90_latency = 0.0;
+  double makespan = 0.0;  ///< completion of last query (virtual seconds)
+
+  int num_scheduler_invocations = 0;
+  int num_actions = 0;  ///< pipelines launched by the scheduler (Fig. 13b)
+  int num_fallback_decisions = 0;
+  double scheduler_wall_seconds = 0.0;  ///< real time inside Schedule()
+
+  /// --- invariant-check telemetry (consumed by src/testing) --------------
+  /// Per-query arrival/completion times, in query-completion order (the
+  /// same order as `query_latencies`, so latency[i] must equal
+  /// completions[i] - arrivals[i]).
+  std::vector<double> query_arrivals;
+  std::vector<double> query_completions;
+  /// Work-order conservation: every fused work order a launched pipeline
+  /// plans must be dispatched to a thread exactly once and complete exactly
+  /// once (planned == dispatched == completed at end of run).
+  int64_t num_work_orders_planned = 0;
+  int64_t num_work_orders_dispatched = 0;
+  int64_t num_work_orders_completed = 0;
+  /// High-water mark of concurrently in-flight work orders; must never
+  /// exceed the worker-pool size (no thread double-assignment).
+  int max_inflight_work_orders = 0;
+
+  /// (time, #running queries) at each scheduler invocation — the raw series
+  /// from which the reward H_d = (t_d - t_{d-1}) * Q_d is computed (§6).
+  struct DecisionRecord {
+    double time = 0.0;
+    int running_queries = 0;
+  };
+  std::vector<DecisionRecord> decisions;
+};
+
+}  // namespace lsched
+
+#endif  // LSCHED_EXEC_EPISODE_RESULT_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
 #include "util/clock.h"
 #include "util/logging.h"
 #include "util/math_util.h"
@@ -13,6 +14,9 @@ RealEngine::RealEngine(const Catalog* catalog, RealEngineConfig config)
     : catalog_(catalog), config_(std::move(config)) {}
 
 void RealEngine::WorkerLoop(int worker_id) {
+  // Trace tid: workers are 1..N so the coordinator's auto-assigned id (0
+  // on the first run) stays distinct in chrome://tracing.
+  obs::SetThreadId(static_cast<uint32_t>(worker_id) + 1);
   Worker& w = *workers_[static_cast<size_t>(worker_id)];
   while (true) {
     WorkerTask task;
@@ -24,8 +28,13 @@ void RealEngine::WorkerLoop(int worker_id) {
     }
     if (task.shutdown) return;
     Stopwatch sw;
-    Status st = executions_[static_cast<size_t>(task.query_index)]
-                    ->ExecuteWorkOrder(task.chain, task.wo_index);
+    Status st;
+    {
+      obs::ScopedSpan span("engine.work_order", "engine", "query",
+                           task.query_index, "wo", task.wo_index);
+      st = executions_[static_cast<size_t>(task.query_index)]
+               ->ExecuteWorkOrder(task.chain, task.wo_index);
+    }
     Completion c;
     c.thread_id = worker_id;
     c.pipeline_index = task.pipeline_index;
@@ -54,7 +63,8 @@ SystemState RealEngine::SnapshotState(double now) {
   return state;
 }
 
-void RealEngine::ApplyDecision(const SchedulingDecision& decision) {
+void RealEngine::ApplyDecision(const SchedulingDecision& decision,
+                               double now) {
   for (const ParallelismChoice& pc : decision.parallelism) {
     for (auto& q : query_states_) {
       if (q != nullptr && q->id() == pc.query && !q->completed()) {
@@ -100,14 +110,16 @@ void RealEngine::ApplyDecision(const SchedulingDecision& decision) {
     p.chain = valid;
     p.total_fused = executions_[static_cast<size_t>(query_index)]
                         ->NumWorkOrders(valid[0]);
+    p.created_at = now;
+    p.decision_id = current_decision_id_;
     for (int op : valid) q->set_op_scheduled(op, true);
-    result_.num_work_orders_planned += p.total_fused;
+    recorder_.OnPipelineLaunched(current_decision_id_, q->id(), valid[0],
+                                 degree, p.total_fused, now);
     pipelines_.push_back(std::move(p));
-    ++result_.num_actions;
   }
 }
 
-int RealEngine::AssignThreads() {
+int RealEngine::AssignThreads(double now) {
   int dispatched = 0;
   while (true) {
     int pipeline_index = -1;
@@ -154,13 +166,11 @@ int RealEngine::AssignThreads() {
     w.info.busy = true;
     w.info.running_query = q->id();
     q->set_assigned_threads(q->assigned_threads() + 1);
-    ++result_.num_work_orders_dispatched;
     int inflight = 0;
     for (const auto& other : workers_) {
       if (other->info.busy) ++inflight;
     }
-    result_.max_inflight_work_orders =
-        std::max(result_.max_inflight_work_orders, inflight);
+    recorder_.OnWorkOrderDispatched(inflight, now - p.created_at);
     {
       std::lock_guard<std::mutex> lock(w.mu);
       w.task = std::move(task);
@@ -185,19 +195,17 @@ void RealEngine::InvokeScheduler(const SchedulingEvent& event,
     if (!any_schedulable) return;
     Stopwatch sw;
     const SchedulingDecision decision = scheduler->Schedule(event, state);
-    result_.scheduler_wall_seconds += sw.ElapsedSeconds();
-    ++result_.num_scheduler_invocations;
-    result_.decisions.push_back(
-        {now, static_cast<int>(state.queries.size())});
+    current_decision_id_ = recorder_.OnSchedulerInvocation(
+        event, state, decision, sw.ElapsedSeconds());
     if (decision.empty()) return;
     const size_t before = pipelines_.size();
-    ApplyDecision(decision);
-    AssignThreads();
+    ApplyDecision(decision, now);
+    AssignThreads(now);
     if (pipelines_.size() == before) return;
   }
 }
 
-void RealEngine::ForceFallback() {
+void RealEngine::ForceFallback(double now) {
   for (size_t i = 0; i < query_states_.size(); ++i) {
     QueryState* q = query_states_[i].get();
     if (q == nullptr || q->completed()) continue;
@@ -212,9 +220,9 @@ void RealEngine::ForceFallback() {
       if (!producers_done) continue;
       SchedulingDecision d;
       d.pipelines.push_back(PipelineChoice{q->id(), op, 1});
-      ApplyDecision(d);
-      AssignThreads();
-      ++result_.num_fallback_decisions;
+      current_decision_id_ = recorder_.OnFallback(now);
+      ApplyDecision(d, now);
+      AssignThreads(now);
       return;
     }
   }
@@ -226,7 +234,8 @@ RealRunResult RealEngine::Run(const std::vector<RealQuerySubmission>& workload,
   executions_.clear();
   pipelines_.clear();
   completions_.clear();
-  result_ = EpisodeResult{};
+  current_decision_id_ = -1;
+  recorder_.Begin("real", scheduler, /*virtual_time=*/false);
   scheduler->Reset();
 
   query_states_.resize(workload.size());
@@ -272,7 +281,7 @@ RealRunResult RealEngine::Run(const std::vector<RealQuerySubmission>& workload,
       se.time = now;
       se.query = static_cast<QueryId>(idx);
       InvokeScheduler(se, scheduler, now);
-      AssignThreads();
+      AssignThreads(now);
     }
 
     // Deadlock guard: nothing running, nothing pending, queries remain.
@@ -288,7 +297,7 @@ RealRunResult RealEngine::Run(const std::vector<RealQuerySubmission>& workload,
         if (q != nullptr && !q->completed()) all_done = false;
       }
       if (all_done) break;
-      ForceFallback();
+      ForceFallback(now);
     }
 
     // Wait for a completion (with a timeout so arrivals are released).
@@ -312,7 +321,7 @@ RealRunResult RealEngine::Run(const std::vector<RealQuerySubmission>& workload,
     w.info.last_query = q->id();
     w.info.running_query = kInvalidQuery;
     q->AddAttainedService(c.seconds);
-    ++result_.num_work_orders_completed;
+    recorder_.OnWorkOrderCompleted(p.decision_id, c.seconds);
     --p.inflight;
     q->set_assigned_threads(q->assigned_threads() - 1);
 
@@ -336,16 +345,11 @@ RealRunResult RealEngine::Run(const std::vector<RealQuerySubmission>& workload,
     }
 
     if (q->completed() && q->completion_time() < 0.0) {
-      q->set_completion_time(done_now);
-      const double latency = done_now - q->arrival_time();
-      result_.query_arrivals.push_back(q->arrival_time());
-      result_.query_completions.push_back(done_now);
-      result_.query_latencies.push_back(latency);
-      scheduler->OnQueryCompleted(q->id(), latency);
+      recorder_.OnQueryCompleted(q, done_now);
       ++completed_queries;
     }
 
-    AssignThreads();
+    AssignThreads(done_now);
     if (!completed_ops.empty()) {
       SchedulingEvent se;
       se.type = SchedulingEventType::kOperatorCompleted;
@@ -353,14 +357,14 @@ RealRunResult RealEngine::Run(const std::vector<RealQuerySubmission>& workload,
       se.query = q->id();
       se.op = completed_ops.front();
       InvokeScheduler(se, scheduler, done_now);
-      AssignThreads();
+      AssignThreads(done_now);
     } else if (!w.info.busy) {
       SchedulingEvent se;
       se.type = SchedulingEventType::kThreadIdle;
       se.time = done_now;
       se.thread = w.info.id;
       InvokeScheduler(se, scheduler, done_now);
-      AssignThreads();
+      AssignThreads(done_now);
     }
   }
 
@@ -378,12 +382,10 @@ RealRunResult RealEngine::Run(const std::vector<RealQuerySubmission>& workload,
     if (w->thread.joinable()) w->thread.join();
   }
 
-  result_.avg_latency = Mean(result_.query_latencies);
-  result_.p90_latency = Percentile(result_.query_latencies, 90.0);
-  result_.makespan = clock.Now();
+  recorder_.Finalize(clock.Now());
 
   RealRunResult out;
-  out.episode = std::move(result_);
+  out.episode = recorder_.Take();
   for (size_t i = 0; i < workload.size(); ++i) {
     int64_t rows = 0;
     double checksum = 0.0;

@@ -9,10 +9,11 @@
 #include <thread>
 #include <vector>
 
+#include "exec/episode_recorder.h"
+#include "exec/episode_result.h"
 #include "exec/kernels.h"
 #include "exec/query_state.h"
 #include "exec/scheduler.h"
-#include "exec/sim_engine.h"  // for EpisodeResult
 #include "storage/catalog.h"
 
 namespace lsched {
@@ -61,6 +62,8 @@ class RealEngine {
     int total_fused = 0;
     int dispatched = 0;
     int inflight = 0;
+    double created_at = 0.0;   ///< run clock time the pipeline was launched
+    int64_t decision_id = -1;  ///< obs decision-log id that launched it
   };
 
   struct Completion {
@@ -93,11 +96,11 @@ class RealEngine {
   // Coordinator helpers (no locking needed: only the coordinator mutates
   // scheduling state).
   SystemState SnapshotState(double now);
-  void ApplyDecision(const SchedulingDecision& decision);
-  int AssignThreads();
+  void ApplyDecision(const SchedulingDecision& decision, double now);
+  int AssignThreads(double now);
   void InvokeScheduler(const SchedulingEvent& event, Scheduler* scheduler,
                        double now);
-  void ForceFallback();
+  void ForceFallback(double now);
 
   const Catalog* catalog_;
   RealEngineConfig config_;
@@ -107,7 +110,10 @@ class RealEngine {
   std::vector<std::unique_ptr<QueryExecution>> executions_;
   std::vector<ActivePipeline> pipelines_;
   std::vector<std::unique_ptr<Worker>> workers_;
-  EpisodeResult result_;
+  EpisodeRecorder recorder_;
+  /// Decision-log id of the in-flight scheduler/fallback decision; tags
+  /// pipelines created by ApplyDecision.
+  int64_t current_decision_id_ = -1;
 
   std::mutex completion_mu_;
   std::condition_variable completion_cv_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
 #include "util/clock.h"
 #include "util/logging.h"
 #include "util/math_util.h"
@@ -22,7 +23,7 @@ void SimEngine::ResetRunState() {
   active_pipelines_.clear();
   while (!events_.empty()) events_.pop();
   event_seq_ = 0;
-  result_ = EpisodeResult{};
+  current_decision_id_ = -1;
   completed_queries_ = 0;
   pending_thread_removals_ = 0;
   for (size_t i = 0; i < config_.thread_events.size(); ++i) {
@@ -97,11 +98,12 @@ void SimEngine::ApplyDecision(const SchedulingDecision& decision, double now) {
     pipeline.est_seconds_per_fused =
         cost_model_.PipelineWorkOrderSeconds(q->plan(), valid);
     pipeline.memory = cost_model_.PipelineMemory(q->plan(), valid);
+    pipeline.created_at = now;
+    pipeline.decision_id = current_decision_id_;
     for (int op : valid) q->set_op_scheduled(op, true);
-    result_.num_work_orders_planned += pipeline.total_fused;
+    recorder_.OnPipelineLaunched(current_decision_id_, q->id(), valid[0],
+                                 degree, pipeline.total_fused, now);
     active_pipelines_.push_back(std::move(pipeline));
-    ++result_.num_actions;
-    (void)now;
   }
 }
 
@@ -130,20 +132,35 @@ void SimEngine::DispatchTo(int thread_id, int pipeline_idx, double now) {
                         static_cast<double>(q->assigned_threads());
   duration = std::max(duration, 1e-9);
 
+  const bool first_dispatch = p.dispatched == 0;
   ++p.dispatched;
   ++p.inflight;
   t.info.busy = true;
   t.info.running_query = p.query;
   t.pipeline_index = pipeline_idx;
+  t.busy_since = now;
   t.busy_until = now + duration;
   q->set_assigned_threads(q->assigned_threads() + 1);
-  ++result_.num_work_orders_dispatched;
   int inflight = 0;
   for (const SimThread& st : threads_) {
     if (st.info.busy) ++inflight;
   }
-  result_.max_inflight_work_orders =
-      std::max(result_.max_inflight_work_orders, inflight);
+  recorder_.OnWorkOrderDispatched(inflight, now - p.created_at);
+
+  if (obs::Enabled()) {
+    // Virtual-time spans: the work order's full extent is known at
+    // dispatch, so record it immediately against the simulated thread.
+    recorder_.RecordVirtualSpan(
+        EpisodeRecorder::SimSpanKind::kWorkOrder, now * 1e6,
+        static_cast<float>(duration * 1e6), static_cast<uint32_t>(thread_id),
+        static_cast<uint32_t>(p.query), pipeline_idx);
+    if (first_dispatch && now > p.created_at) {
+      recorder_.RecordVirtualSpan(
+          EpisodeRecorder::SimSpanKind::kQueueWait, p.created_at * 1e6,
+          static_cast<float>((now - p.created_at) * 1e6),
+          static_cast<uint32_t>(thread_id), static_cast<uint32_t>(p.query));
+    }
+  }
 
   events_.push(SimEvent{now + duration, event_seq_++, SimEvent::kWorkOrderDone,
                         thread_id});
@@ -227,10 +244,8 @@ void SimEngine::InvokeScheduler(const SchedulingEvent& event,
     SystemState state = SnapshotState(now);
     Stopwatch sw;
     const SchedulingDecision decision = scheduler->Schedule(event, state);
-    result_.scheduler_wall_seconds += sw.ElapsedSeconds();
-    ++result_.num_scheduler_invocations;
-    int running = static_cast<int>(state.queries.size());
-    result_.decisions.push_back({now, running});
+    current_decision_id_ = recorder_.OnSchedulerInvocation(
+        event, state, decision, sw.ElapsedSeconds());
     if (decision.empty()) return;
     const size_t before = active_pipelines_.size();
     ApplyDecision(decision, now);
@@ -248,9 +263,9 @@ void SimEngine::ForceFallbackSchedule(double now) {
     if (ops.empty()) continue;
     SchedulingDecision d;
     d.pipelines.push_back(PipelineChoice{q->id(), ops[0], 1});
+    current_decision_id_ = recorder_.OnFallback(now);
     ApplyDecision(d, now);
     AssignThreads(now);
-    ++result_.num_fallback_decisions;
     return;
   }
 }
@@ -258,6 +273,7 @@ void SimEngine::ForceFallbackSchedule(double now) {
 EpisodeResult SimEngine::Run(const std::vector<QuerySubmission>& workload,
                              Scheduler* scheduler) {
   ResetRunState();
+  recorder_.Begin("sim", scheduler, /*virtual_time=*/true);
   scheduler->Reset();
 
   for (size_t i = 0; i < workload.size(); ++i) {
@@ -348,7 +364,7 @@ EpisodeResult SimEngine::Run(const std::vector<QuerySubmission>& workload,
       }
 
       q->AddAttainedService(p.est_seconds_per_fused);
-      ++result_.num_work_orders_completed;
+      recorder_.OnWorkOrderCompleted(p.decision_id, now - t.busy_since);
       --p.inflight;
       t.info.busy = false;
       t.info.last_query = p.query;
@@ -367,12 +383,7 @@ EpisodeResult SimEngine::Run(const std::vector<QuerySubmission>& workload,
 
       const bool query_done = q->completed();
       if (query_done && q->completion_time() < 0.0) {
-        q->set_completion_time(now);
-        const double latency = now - q->arrival_time();
-        result_.query_arrivals.push_back(q->arrival_time());
-        result_.query_completions.push_back(now);
-        result_.query_latencies.push_back(latency);
-        scheduler->OnQueryCompleted(q->id(), latency);
+        recorder_.OnQueryCompleted(q, now);
         ++completed_queries_;
       }
 
@@ -415,10 +426,8 @@ EpisodeResult SimEngine::Run(const std::vector<QuerySubmission>& workload,
     }
   }
 
-  result_.avg_latency = Mean(result_.query_latencies);
-  result_.p90_latency = Percentile(result_.query_latencies, 90.0);
-  result_.makespan = now;
-  return result_;
+  recorder_.Finalize(now);
+  return recorder_.Take();
 }
 
 }  // namespace lsched

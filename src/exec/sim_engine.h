@@ -5,6 +5,8 @@
 #include <queue>
 #include <vector>
 
+#include "exec/episode_recorder.h"
+#include "exec/episode_result.h"
 #include "exec/exec_types.h"
 #include "exec/query_state.h"
 #include "exec/scheduler.h"
@@ -17,43 +19,6 @@ namespace lsched {
 struct QuerySubmission {
   QueryPlan plan;
   double arrival_time = 0.0;
-};
-
-/// Telemetry from one workload execution ("episode" during training).
-struct EpisodeResult {
-  std::vector<double> query_latencies;  ///< completion - arrival, per query
-  double avg_latency = 0.0;
-  double p90_latency = 0.0;
-  double makespan = 0.0;  ///< completion of last query (virtual seconds)
-
-  int num_scheduler_invocations = 0;
-  int num_actions = 0;  ///< pipelines launched by the scheduler (Fig. 13b)
-  int num_fallback_decisions = 0;
-  double scheduler_wall_seconds = 0.0;  ///< real time inside Schedule()
-
-  /// --- invariant-check telemetry (consumed by src/testing) --------------
-  /// Per-query arrival/completion times, in query-completion order (the
-  /// same order as `query_latencies`, so latency[i] must equal
-  /// completions[i] - arrivals[i]).
-  std::vector<double> query_arrivals;
-  std::vector<double> query_completions;
-  /// Work-order conservation: every fused work order a launched pipeline
-  /// plans must be dispatched to a thread exactly once and complete exactly
-  /// once (planned == dispatched == completed at end of run).
-  int64_t num_work_orders_planned = 0;
-  int64_t num_work_orders_dispatched = 0;
-  int64_t num_work_orders_completed = 0;
-  /// High-water mark of concurrently in-flight work orders; must never
-  /// exceed the worker-pool size (no thread double-assignment).
-  int max_inflight_work_orders = 0;
-
-  /// (time, #running queries) at each scheduler invocation — the raw series
-  /// from which the reward H_d = (t_d - t_{d-1}) * Q_d is computed (§6).
-  struct DecisionRecord {
-    double time = 0.0;
-    int running_queries = 0;
-  };
-  std::vector<DecisionRecord> decisions;
 };
 
 /// A scheduled change to the worker pool size (paper §5.1: "the worker
@@ -104,12 +69,15 @@ class SimEngine {
     int inflight = 0;
     double est_seconds_per_fused = 0.0;
     double memory = 0.0;
+    double created_at = 0.0;      ///< virtual time the pipeline was launched
+    int64_t decision_id = -1;     ///< obs decision-log id that launched it
   };
 
   struct SimThread {
     ThreadInfo info;
     // In-flight work order.
     int pipeline_index = -1;  ///< index into active_pipelines_
+    double busy_since = 0.0;
     double busy_until = 0.0;
     bool retired = false;  ///< removed from the pool (skipped everywhere)
   };
@@ -148,7 +116,10 @@ class SimEngine {
   std::priority_queue<SimEvent, std::vector<SimEvent>, std::greater<SimEvent>>
       events_;
   int64_t event_seq_ = 0;
-  EpisodeResult result_;
+  EpisodeRecorder recorder_;
+  /// Decision-log id of the in-flight scheduler/fallback decision; tags
+  /// pipelines created by ApplyDecision.
+  int64_t current_decision_id_ = -1;
   int completed_queries_ = 0;
   int pending_thread_removals_ = 0;
 };

@@ -1,0 +1,186 @@
+#include "obs/decision_log.h"
+
+#if LSCHED_OBS_ENABLED
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace lsched {
+namespace obs {
+
+namespace {
+
+/// Quotes a field if it contains CSV metacharacters (RFC-4180 style).
+void WriteField(std::ostream& out, const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) {
+    out << s;
+    return;
+  }
+  out << '"';
+  for (char c : s) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+/// Splits one CSV line honoring quoted fields.
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+}  // namespace
+
+DecisionLog& DecisionLog::Global() {
+  static DecisionLog* log = new DecisionLog();
+  return *log;
+}
+
+int64_t DecisionLog::Add(DecisionRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record.id = static_cast<int64_t>(records_.size());
+  records_.push_back(std::move(record));
+  return records_.back().id;
+}
+
+void DecisionLog::AddRealized(int64_t id, double seconds) {
+  if (id < 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= static_cast<int64_t>(records_.size())) return;
+  records_[static_cast<size_t>(id)].realized_seconds += seconds;
+}
+
+void DecisionLog::AddPipeline(int64_t id, int64_t planned_work_orders) {
+  if (id < 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= static_cast<int64_t>(records_.size())) return;
+  DecisionRecord& r = records_[static_cast<size_t>(id)];
+  ++r.num_pipelines;
+  r.planned_work_orders += planned_work_orders;
+}
+
+size_t DecisionLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+std::vector<DecisionRecord> DecisionLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+void DecisionLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+}
+
+const char* DecisionLog::CsvHeader() {
+  return "id,time,engine,event,policy,candidates,num_candidates,"
+         "running_queries,free_threads,chosen_query,chosen_root,degree,"
+         "max_threads,num_pipelines,planned_work_orders,predicted_score,"
+         "schedule_wall_us,realized_seconds,fallback";
+}
+
+void DecisionLog::WriteCsv(std::ostream& out) const {
+  const std::vector<DecisionRecord> records = Snapshot();
+  out << CsvHeader() << "\n";
+  out.precision(17);
+  for (const DecisionRecord& r : records) {
+    out << r.id << ',' << r.time << ',';
+    WriteField(out, r.engine);
+    out << ',';
+    WriteField(out, r.event);
+    out << ',';
+    WriteField(out, r.policy);
+    out << ',';
+    WriteField(out, r.candidates);
+    out << ',' << r.num_candidates << ',' << r.running_queries << ','
+        << r.free_threads << ',' << r.chosen_query << ',' << r.chosen_root
+        << ',' << r.degree << ',' << r.max_threads << ',' << r.num_pipelines
+        << ',' << r.planned_work_orders << ',';
+    if (std::isnan(r.predicted_score)) {
+      out << "nan";
+    } else {
+      out << r.predicted_score;
+    }
+    out << ',' << r.schedule_wall_us << ',' << r.realized_seconds << ','
+        << (r.fallback ? 1 : 0) << "\n";
+  }
+}
+
+bool DecisionLog::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  WriteCsv(out);
+  return out.good();
+}
+
+bool ParseDecisionCsv(std::istream& in, std::vector<DecisionRecord>* out) {
+  out->clear();
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  if (line != DecisionLog::CsvHeader()) return false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> f = SplitCsvLine(line);
+    if (f.size() != 19) return false;
+    DecisionRecord r;
+    try {
+      r.id = std::stoll(f[0]);
+      r.time = std::stod(f[1]);
+      r.engine = f[2];
+      r.event = f[3];
+      r.policy = f[4];
+      r.candidates = f[5];
+      r.num_candidates = std::stoi(f[6]);
+      r.running_queries = std::stoi(f[7]);
+      r.free_threads = std::stoi(f[8]);
+      r.chosen_query = std::stoll(f[9]);
+      r.chosen_root = std::stoi(f[10]);
+      r.degree = std::stoi(f[11]);
+      r.max_threads = std::stoi(f[12]);
+      r.num_pipelines = std::stoi(f[13]);
+      r.planned_work_orders = std::stoll(f[14]);
+      r.predicted_score = std::stod(f[15]);
+      r.schedule_wall_us = std::stod(f[16]);
+      r.realized_seconds = std::stod(f[17]);
+      r.fallback = f[18] == "1";
+    } catch (...) {
+      return false;
+    }
+    out->push_back(std::move(r));
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace lsched
+
+#endif  // LSCHED_OBS_ENABLED

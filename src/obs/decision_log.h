@@ -1,0 +1,118 @@
+#ifndef LSCHED_OBS_DECISION_LOG_H_
+#define LSCHED_OBS_DECISION_LOG_H_
+
+// Scheduler decision log: one record per scheduler invocation, capturing
+// the candidate set the policy chose from, the chosen action, the policy's
+// own predicted score (learned schedulers annotate it via
+// obs::AnnotatePredictedScore), and the *realized* cost of the pipelines
+// the decision launched — back-filled as their work orders complete. The
+// CSV dump is the offline substrate for prediction-error analysis
+// (predicted score vs realized work-order runtimes, cf. Decima &
+// IconqSched tooling).
+
+#include <cstdint>
+#include <istream>
+#include <limits>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace lsched {
+namespace obs {
+
+struct DecisionRecord {
+  int64_t id = -1;          ///< sequence number within this process
+  double time = 0.0;        ///< engine time of the invocation (virtual or wall)
+  std::string engine;       ///< "sim" or "real"
+  std::string event;        ///< SchedulingEventTypeName of the trigger
+  std::string policy;       ///< Scheduler::name()
+  /// Candidate set: "query:op" pairs joined by ';' (truncated to
+  /// kMaxLoggedCandidates with a trailing "+N" marker).
+  std::string candidates;
+  int num_candidates = 0;
+  int running_queries = 0;
+  int free_threads = 0;
+  /// Chosen action (first pipeline of the decision; -1/empty decision if
+  /// the policy returned nothing).
+  int64_t chosen_query = -1;
+  int chosen_root = -1;
+  int degree = 0;
+  int max_threads = 0;         ///< parallelism cap set (0 = unchanged)
+  int num_pipelines = 0;       ///< pipelines accepted from this decision
+  int64_t planned_work_orders = 0;
+  double predicted_score = std::numeric_limits<double>::quiet_NaN();
+  double schedule_wall_us = 0.0;  ///< wall time inside Schedule()
+  double realized_seconds = 0.0;  ///< measured runtime of launched work orders
+  bool fallback = false;
+};
+
+inline constexpr int kMaxLoggedCandidates = 32;
+
+#if LSCHED_OBS_ENABLED
+
+class DecisionLog {
+ public:
+  static DecisionLog& Global();
+
+  /// Appends `record` (id is assigned, the passed value ignored) and
+  /// returns the assigned id for realized-cost attribution.
+  int64_t Add(DecisionRecord record);
+
+  /// Accumulates measured work-order seconds into record `id` (no-op for
+  /// invalid ids — pipelines launched by the fallback path pass -1).
+  void AddRealized(int64_t id, double seconds);
+
+  /// Adds accepted-pipeline bookkeeping to record `id`.
+  void AddPipeline(int64_t id, int64_t planned_work_orders);
+
+  size_t size() const;
+  std::vector<DecisionRecord> Snapshot() const;
+  void Clear();
+
+  void WriteCsv(std::ostream& out) const;
+  bool WriteCsv(const std::string& path) const;
+  static const char* CsvHeader();
+
+ private:
+  DecisionLog() = default;
+  mutable std::mutex mu_;
+  std::vector<DecisionRecord> records_;
+};
+
+/// Parses a CSV produced by WriteCsv back into records (header required).
+/// Returns false on malformed input. Used by tests (round-trip) and
+/// available to offline tooling.
+bool ParseDecisionCsv(std::istream& in, std::vector<DecisionRecord>* out);
+
+#else  // !LSCHED_OBS_ENABLED
+
+class DecisionLog {
+ public:
+  static DecisionLog& Global() {
+    static DecisionLog log;
+    return log;
+  }
+  int64_t Add(const DecisionRecord&) { return -1; }
+  void AddRealized(int64_t, double) {}
+  void AddPipeline(int64_t, int64_t) {}
+  size_t size() const { return 0; }
+  std::vector<DecisionRecord> Snapshot() const { return {}; }
+  void Clear() {}
+  void WriteCsv(std::ostream&) const {}
+  bool WriteCsv(const std::string&) const { return false; }
+  static const char* CsvHeader() { return ""; }
+};
+
+inline bool ParseDecisionCsv(std::istream&, std::vector<DecisionRecord>*) {
+  return false;
+}
+
+#endif  // LSCHED_OBS_ENABLED
+
+}  // namespace obs
+}  // namespace lsched
+
+#endif  // LSCHED_OBS_DECISION_LOG_H_

@@ -1,0 +1,113 @@
+#include "obs/obs.h"
+
+#if LSCHED_OBS_ENABLED
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/decision_log.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace lsched {
+namespace obs {
+
+namespace {
+
+bool EnvDisables(const char* value) {
+  if (value == nullptr) return false;
+  return std::strcmp(value, "0") == 0 || std::strcmp(value, "off") == 0 ||
+         std::strcmp(value, "OFF") == 0 || std::strcmp(value, "false") == 0 ||
+         std::strcmp(value, "FALSE") == 0;
+}
+
+void ExitDump() {
+  if (const char* path = std::getenv("LSCHED_TRACE_EXPORT")) {
+    if (Tracer::Global().WriteChromeTrace(path)) {
+      LSCHED_LOG(Info) << "wrote Chrome trace to " << path << " ("
+                       << Tracer::Global().buffered_events() << " events)";
+    } else {
+      LSCHED_LOG(Error) << "failed to write Chrome trace to " << path;
+    }
+  }
+  if (const char* path = std::getenv("LSCHED_DECISION_LOG")) {
+    if (DecisionLog::Global().WriteCsv(std::string(path))) {
+      LSCHED_LOG(Info) << "wrote decision log to " << path << " ("
+                       << DecisionLog::Global().size() << " rows)";
+    } else {
+      LSCHED_LOG(Error) << "failed to write decision log to " << path;
+    }
+  }
+}
+
+struct Runtime {
+  std::chrono::steady_clock::time_point epoch;
+
+  Runtime() : epoch(std::chrono::steady_clock::now()) {
+    if (EnvDisables(std::getenv("LSCHED_OBS"))) {
+      internal::g_enabled.store(false, std::memory_order_relaxed);
+    }
+    if (std::getenv("LSCHED_TRACE_EXPORT") != nullptr ||
+        std::getenv("LSCHED_DECISION_LOG") != nullptr) {
+      std::atexit(ExitDump);
+    }
+  }
+};
+
+Runtime& GlobalRuntime() {
+  static Runtime rt;
+  return rt;
+}
+
+/// Forces env parsing / atexit registration during this TU's dynamic
+/// initialization, before any engine code can call Enabled().
+[[maybe_unused]] const bool g_runtime_initialized = (GlobalRuntime(), true);
+
+std::atomic<uint32_t> g_next_thread_id{0};
+
+thread_local uint32_t tls_thread_id = UINT32_MAX;
+
+thread_local double tls_predicted_score =
+    std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
+
+namespace internal {
+std::atomic<bool> g_enabled{true};
+}  // namespace internal
+
+void SetEnabled(bool enabled) {
+  GlobalRuntime();  // make sure the exporters are registered
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+uint32_t ThreadId() {
+  if (tls_thread_id == UINT32_MAX) {
+    tls_thread_id = g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  }
+  return tls_thread_id;
+}
+
+void SetThreadId(uint32_t tid) { tls_thread_id = tid; }
+
+double NowMicros() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - GlobalRuntime().epoch)
+      .count();
+}
+
+void AnnotatePredictedScore(double score) { tls_predicted_score = score; }
+
+double TakePredictedScore() {
+  const double score = tls_predicted_score;
+  tls_predicted_score = std::numeric_limits<double>::quiet_NaN();
+  return score;
+}
+
+}  // namespace obs
+}  // namespace lsched
+
+#endif  // LSCHED_OBS_ENABLED

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "nn/autograd.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/math_util.h"
 
@@ -189,8 +191,14 @@ SchedulingDecision DecimaScheduler::Schedule(const SchedulingEvent& event,
   if (features.candidates.empty()) return decision;
 
   Tape tape;
-  const DecimaEncoded enc = Encode(model_, features, &tape);
-  const DecimaForward out = Forward(model_, features, enc, &tape);
+  DecimaEncoded enc;
+  DecimaForward out;
+  {
+    obs::ScopedSpan span("sched.decima.forward", "sched", "candidates",
+                         static_cast<int64_t>(features.candidates.size()));
+    enc = Encode(model_, features, &tape);
+    out = Forward(model_, features, enc, &tape);
+  }
 
   int cand_idx, par_idx;
   if (sample_actions_) {
@@ -202,6 +210,8 @@ SchedulingDecision DecimaScheduler::Schedule(const SchedulingEvent& event,
     par_idx =
         ArgmaxRow(out.par_logprobs[static_cast<size_t>(cand_idx)].value());
   }
+
+  obs::AnnotatePredictedScore(out.node_logprobs.value().at(0, cand_idx));
 
   const auto& [qi, op] = features.candidates[static_cast<size_t>(cand_idx)];
   const QueryId qid = features.queries[static_cast<size_t>(qi)].qid;

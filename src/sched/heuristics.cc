@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/obs.h"
+
 namespace lsched {
 
 namespace {
@@ -88,6 +90,8 @@ SchedulingDecision SjfScheduler::Schedule(const SchedulingEvent& event,
     }
   }
   if (best != nullptr) {
+    // Decision-log score: negated remaining-time estimate (higher = better).
+    obs::AnnotatePredictedScore(-best_remaining);
     ScheduleAllOps(best, &d);
     d.parallelism.push_back(
         ParallelismChoice{best->id(), static_cast<int>(state.threads.size())});
@@ -111,6 +115,7 @@ SchedulingDecision HpfScheduler::Schedule(const SchedulingEvent& event,
     }
   }
   if (best != nullptr) {
+    obs::AnnotatePredictedScore(best_priority);
     ScheduleAllOps(best, &d);
     d.parallelism.push_back(
         ParallelismChoice{best->id(), static_cast<int>(state.threads.size())});
@@ -144,6 +149,7 @@ SchedulingDecision CriticalPathScheduler::Schedule(
     }
   }
   if (best_q != nullptr) {
+    obs::AnnotatePredictedScore(best_work);
     d.pipelines.push_back(PipelineChoice{best_q->id(), best_root, best_degree});
     d.parallelism.push_back(ParallelismChoice{
         best_q->id(), static_cast<int>(state.threads.size())});

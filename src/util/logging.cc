@@ -1,12 +1,47 @@
 #include "util/logging.h"
 
+#include <unistd.h>
+
 #include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
 
 namespace lsched {
 
 namespace {
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+/// Parses LSCHED_LOG_LEVEL: a name (DEBUG/INFO/WARN[ING]/ERROR/FATAL,
+/// case-insensitive) or an integer 0..4. Anything else falls back to
+/// kInfo, so a typo'd env var never silences errors.
+int InitialLevel() {
+  const char* env = std::getenv("LSCHED_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') {
+    return static_cast<int>(LogLevel::kInfo);
+  }
+  if (std::isdigit(static_cast<unsigned char>(env[0]))) {
+    const long v = std::atol(env);
+    if (v >= 0 && v <= static_cast<long>(LogLevel::kFatal)) {
+      return static_cast<int>(v);
+    }
+    return static_cast<int>(LogLevel::kInfo);
+  }
+  char name[16] = {0};
+  for (size_t i = 0; i < sizeof(name) - 1 && env[i] != '\0'; ++i) {
+    name[i] = static_cast<char>(std::toupper(static_cast<unsigned char>(env[i])));
+  }
+  if (std::strcmp(name, "DEBUG") == 0) return static_cast<int>(LogLevel::kDebug);
+  if (std::strcmp(name, "INFO") == 0) return static_cast<int>(LogLevel::kInfo);
+  if (std::strcmp(name, "WARN") == 0 || std::strcmp(name, "WARNING") == 0) {
+    return static_cast<int>(LogLevel::kWarning);
+  }
+  if (std::strcmp(name, "ERROR") == 0) return static_cast<int>(LogLevel::kError);
+  if (std::strcmp(name, "FATAL") == 0) return static_cast<int>(LogLevel::kFatal);
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+std::atomic<int> g_min_level{InitialLevel()};
 std::mutex g_log_mutex;
 
 const char* LevelName(LogLevel level) {
@@ -24,6 +59,7 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_min_level = static_cast<int>(level); }
@@ -45,8 +81,18 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
+    stream_ << "\n";
+    const std::string line = stream_.str();
+    // Single write() per line keeps messages from interleaved threads (or
+    // a forked child sharing the fd) intact even beyond our own mutex.
     std::lock_guard<std::mutex> lock(g_log_mutex);
-    std::cerr << stream_.str() << std::endl;
+    size_t off = 0;
+    while (off < line.size()) {
+      const ssize_t n =
+          ::write(STDERR_FILENO, line.data() + off, line.size() - off);
+      if (n <= 0) break;
+      off += static_cast<size_t>(n);
+    }
   }
   if (level_ == LogLevel::kFatal) std::abort();
 }

@@ -10,7 +10,9 @@ namespace lsched {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
 
-/// Global minimum level; messages below it are dropped. Default kInfo.
+/// Global minimum level; messages below it are dropped. Default kInfo,
+/// overridable at process start via the LSCHED_LOG_LEVEL env var
+/// (DEBUG/INFO/WARN/ERROR/FATAL or an integer 0..4).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
