@@ -17,6 +17,7 @@
 
 #include "bench/bench_common.h"
 #include "obs/decision_log.h"
+#include "obs/drift.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
@@ -52,17 +53,25 @@ int main() {
       TestWorkload(Benchmark::kTpch, queries, /*batch=*/false,
                    /*mean_interarrival=*/0.05, /*seed=*/4242);
 
+  // The drift monitor rides the decision-log back-fill path, so it is part
+  // of the measured enabled-mode cost (the gate covers it too). SJF (not
+  // Fair) annotates a predicted score, which keeps the monitor's quantile
+  // sketches doing real work instead of skipping NaN-scored decisions.
+  obs::DriftMonitor drift;
+  drift.AttachToDecisionLog();
+
   auto run_once = [&](bool enabled) {
     obs::SetEnabled(enabled);
     SimEngine engine = MakeEngine(/*threads=*/60, /*seed=*/7);
-    FairScheduler fair;
+    SjfScheduler sjf;
     Stopwatch sw;
-    const EpisodeResult r = engine.Run(workload, &fair);
+    const EpisodeResult r = engine.Run(workload, &sjf);
     const double secs = sw.ElapsedSeconds();
     // Keep per-run obs state from accumulating across repetitions.
     obs::DecisionLog::Global().Clear();
     obs::Tracer::Global().Clear();
     obs::MetricsRegistry::Global().ResetAll();
+    drift.Reset();
     if (r.query_latencies.size() != static_cast<size_t>(queries)) {
       std::fprintf(stderr, "unexpected: %zu/%d queries completed\n",
                    r.query_latencies.size(), queries);

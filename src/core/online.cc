@@ -1,6 +1,7 @@
 #include "core/online.h"
 
 #include "core/encoder.h"
+#include "obs/scalar_events.h"
 #include "util/math_util.h"
 
 namespace lsched {
@@ -10,16 +11,24 @@ OnlineLSched::OnlineLSched(LSchedModel* model, OnlineConfig config,
     : model_(model),
       config_(config),
       agent_(model, seed),
-      optimizer_(config.learning_rate) {
+      optimizer_(config.learning_rate),
+      effective_update_every_(config.update_every_queries),
+      drift_fired_(std::make_shared<std::atomic<bool>>(false)) {
   agent_.set_sample_actions(config_.sample_actions);
   agent_.set_record_experiences(true);
   agent_.set_exploration_epsilon(config_.exploration_epsilon);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  num_updates_gauge_ = reg.GetGauge("online.num_updates");
+  completions_gauge_ = reg.GetGauge("online.completions_since_update");
+  update_every_gauge_ = reg.GetGauge("online.update_every_queries");
+  drift_escalations_ = reg.GetCounter("online.drift_escalations");
 }
 
 void OnlineLSched::Reset() {
   agent_.Reset();
   completions_since_update_ = 0;
   last_event_time_ = 0.0;
+  PublishProgressGauges();
 }
 
 SchedulingDecision OnlineLSched::Schedule(const SchedulingEvent& event,
@@ -28,13 +37,44 @@ SchedulingDecision OnlineLSched::Schedule(const SchedulingEvent& event,
   return agent_.Schedule(event, state);
 }
 
+void OnlineLSched::AttachDriftMonitor(obs::DriftMonitor* monitor) {
+  // The callback captures only the shared flag, never `this`: monitor and
+  // scheduler lifetimes stay independent.
+  std::shared_ptr<std::atomic<bool>> flag = drift_fired_;
+  monitor->AddAlarmCallback(
+      [flag](const obs::DriftAlarm&) {
+        flag->store(true, std::memory_order_release);
+      });
+}
+
+void OnlineLSched::ResetDriftEscalation() {
+  drift_escalated_ = false;
+  effective_update_every_ = config_.update_every_queries;
+  drift_fired_->store(false, std::memory_order_release);
+  PublishProgressGauges();
+}
+
 void OnlineLSched::OnQueryCompleted(QueryId query, double latency) {
   (void)query;
   (void)latency;
-  if (++completions_since_update_ >= config_.update_every_queries) {
+  if (!drift_escalated_ &&
+      drift_fired_->exchange(false, std::memory_order_acq_rel)) {
+    // Drift alarm: the predictor's error distribution shifted under the
+    // serving workload — escalate from checkpoint-mode to (near)
+    // query-by-query self-correction (paper §3).
+    drift_escalated_ = true;
+    effective_update_every_ =
+        std::max(1, config_.drift_update_every_queries);
+    drift_escalations_->Add(1);
+    obs::ScalarEventWriter::Global().Append(
+        "online.drift_escalation", num_updates_,
+        static_cast<double>(effective_update_every_));
+  }
+  if (++completions_since_update_ >= effective_update_every_) {
     completions_since_update_ = 0;
     ApplyUpdate(last_event_time_);
   }
+  PublishProgressGauges();
 }
 
 void OnlineLSched::ApplyUpdate(double now) {
@@ -64,6 +104,19 @@ void OnlineLSched::ApplyUpdate(double now) {
   model_->params()->ClipGradNorm(config_.grad_clip);
   optimizer_.Step(model_->params());
   ++num_updates_;
+  if (obs::Enabled()) {
+    double total_reward = 0.0;
+    for (double r : rewards) total_reward += r;
+    obs::ScalarEventWriter::Global().Append("online.update_reward",
+                                            num_updates_, total_reward);
+  }
+}
+
+void OnlineLSched::PublishProgressGauges() {
+  if (!obs::Enabled()) return;
+  num_updates_gauge_->Set(static_cast<double>(num_updates_));
+  completions_gauge_->Set(static_cast<double>(completions_since_update_));
+  update_every_gauge_->Set(static_cast<double>(effective_update_every_));
 }
 
 }  // namespace lsched

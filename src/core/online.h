@@ -1,6 +1,7 @@
 #ifndef LSCHED_CORE_ONLINE_H_
 #define LSCHED_CORE_ONLINE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -8,6 +9,8 @@
 #include "core/experience.h"
 #include "core/reward.h"
 #include "nn/optimizer.h"
+#include "obs/drift.h"
+#include "obs/metrics.h"
 
 namespace lsched {
 
@@ -26,6 +29,10 @@ struct OnlineConfig {
   /// greedily between checkpoints.
   bool sample_actions = true;
   double exploration_epsilon = 0.02;
+  /// Update cadence after a prediction-drift alarm fires (see
+  /// AttachDriftMonitor): checkpoint-mode serving escalates to this many
+  /// queries per update (1 = query-by-query self-correction).
+  int drift_update_every_queries = 1;
 };
 
 /// A serving scheduler that self-corrects: wraps an LSchedAgent, records
@@ -41,11 +48,28 @@ class OnlineLSched : public Scheduler {
                               const SystemState& state) override;
   void OnQueryCompleted(QueryId query, double latency) override;
 
+  /// Registers the drift monitor's alarm as a retrain trigger: when the
+  /// prediction-error distribution shifts (obs::DriftMonitor fires), the
+  /// update cadence escalates from `update_every_queries` to
+  /// `drift_update_every_queries` at the next query completion, so stale
+  /// checkpoint-mode policies start correcting query-by-query. Safe to
+  /// call with a monitor that outlives or is outlived by this scheduler
+  /// (the callback holds only a shared flag).
+  void AttachDriftMonitor(obs::DriftMonitor* monitor);
+
+  /// Drops back to the configured checkpoint cadence (e.g. after a
+  /// retrain/redeploy cleared the drift).
+  void ResetDriftEscalation();
+  bool drift_escalated() const { return drift_escalated_; }
+  /// Current effective cadence (configured, or escalated after an alarm).
+  int update_every_queries() const { return effective_update_every_; }
+
   int num_updates() const { return num_updates_; }
   ExperienceManager* experience_manager() { return &experience_; }
 
  private:
   void ApplyUpdate(double now);
+  void PublishProgressGauges();
 
   LSchedModel* model_;
   OnlineConfig config_;
@@ -55,6 +79,18 @@ class OnlineLSched : public Scheduler {
   int completions_since_update_ = 0;
   int num_updates_ = 0;
   double last_event_time_ = 0.0;
+  int effective_update_every_ = 0;
+  bool drift_escalated_ = false;
+  /// Set by the drift-alarm callback (possibly from another thread),
+  /// consumed on the scheduling thread at the next completion. Shared so
+  /// the callback stays valid even if this scheduler is destroyed first.
+  std::shared_ptr<std::atomic<bool>> drift_fired_;
+
+  // Cached registry handles for online-mode progress visibility.
+  obs::Gauge* num_updates_gauge_;
+  obs::Gauge* completions_gauge_;
+  obs::Gauge* update_every_gauge_;
+  obs::Counter* drift_escalations_;
 };
 
 }  // namespace lsched

@@ -2,11 +2,24 @@
 
 #include "core/encoder.h"
 #include "obs/metrics.h"
+#include "obs/scalar_events.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/math_util.h"
 
 namespace lsched {
+
+namespace {
+
+double Variance(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double mean = Mean(v);
+  double sum = 0.0;
+  for (double x : v) sum += (x - mean) * (x - mean);
+  return sum / static_cast<double>(v.size() - 1);
+}
+
+}  // namespace
 
 ReinforceTrainer::ReinforceTrainer(LSchedModel* model, SimEngine* engine,
                                    TrainConfig config)
@@ -30,41 +43,37 @@ double ReinforceTrainer::TrainOneEpisode(
   const EpisodeResult result = engine_->Run(workload, &agent_);
 
   std::vector<Experience>& exps = agent_.experiences();
-  if (exps.empty()) {
-    stats_.episode_avg_latency.push_back(result.avg_latency);
-    stats_.episode_reward.push_back(0.0);
-    return 0.0;
-  }
-
-  const std::vector<double> rewards =
-      ComputeRewards(exps, config_.reward, result.makespan);
-  const std::vector<double> returns = ComputeReturns(rewards);
   double total_reward = 0.0;
-  for (double r : rewards) total_reward += r;
+  double return_variance = 0.0;
+  UpdateTelemetry update;
+  if (!exps.empty()) {
+    const std::vector<double> rewards =
+        ComputeRewards(exps, config_.reward, result.makespan);
+    const std::vector<double> returns = ComputeReturns(rewards);
+    for (double r : rewards) total_reward += r;
+    return_variance = Variance(returns);
 
-  experience_.AddEpisode(std::move(exps), returns);
-  agent_.experiences().clear();
+    experience_.AddEpisode(std::move(exps), returns);
+    agent_.experiences().clear();
 
-  UpdateFromLatestEpisode();
-
-  stats_.episode_avg_latency.push_back(result.avg_latency);
-  stats_.episode_reward.push_back(total_reward);
-  if (obs::Enabled()) {
-    auto& reg = obs::MetricsRegistry::Global();
-    reg.GetCounter("train.episodes")->Add(1);
-    reg.GetGauge("train.last_reward")->Set(total_reward);
-    reg.GetGauge("train.total_decisions")
-        ->Set(static_cast<double>(stats_.total_decisions));
-    reg.GetHistogram("train.episode_avg_latency_seconds")
-        ->Observe(result.avg_latency);
+    update = UpdateFromLatestEpisode();
   }
+
+  RecordEpisodeTelemetry(result, total_reward, return_variance, update);
+  ++episode_index_;
   return total_reward;
 }
 
-void ReinforceTrainer::UpdateFromLatestEpisode() {
+ReinforceTrainer::UpdateTelemetry ReinforceTrainer::UpdateFromLatestEpisode() {
   obs::ScopedSpan span("train.update", "train");
   const ExperienceManager::StoredEpisode& ep = experience_.latest();
   const std::vector<double> adv = experience_.LatestAdvantages(true);
+
+  UpdateTelemetry tel;
+  // Entropy is needed for the loss whenever the coefficient is live, and
+  // for telemetry whenever obs is recording.
+  const bool want_entropy = config_.entropy_coef > 0.0 || obs::Enabled();
+  double entropy_sum = 0.0;
 
   model_->params()->ZeroGrads();
   const double scale = 1.0 / std::max<size_t>(ep.experiences.size(), 1);
@@ -79,15 +88,64 @@ void ReinforceTrainer::UpdateFromLatestEpisode() {
         RunPredictor(model_, exp.state, encoded, &tape);
     Var logprob = ActionLogProb(&tape, out, exp.action);
     Var loss = tape.Scale(logprob, -adv[d]);
-    if (config_.entropy_coef > 0.0) {
+    if (want_entropy) {
       Var entropy = ActionEntropy(&tape, out, exp.action);
-      loss = tape.Add(loss, tape.Scale(entropy, -config_.entropy_coef));
+      entropy_sum += entropy.value().at(0, 0);
+      if (config_.entropy_coef > 0.0) {
+        loss = tape.Add(loss, tape.Scale(entropy, -config_.entropy_coef));
+      }
     }
     tape.Backward(loss, scale);
     ++stats_.total_decisions;
+    ++tel.decisions;
+  }
+  if (obs::Enabled()) {
+    tel.grad_norm_preclip = model_->params()->GradNorm();
   }
   model_->params()->ClipGradNorm(config_.grad_clip);
+  if (obs::Enabled()) {
+    tel.grad_norm_postclip = model_->params()->GradNorm();
+  }
+  tel.mean_entropy =
+      tel.decisions > 0 ? entropy_sum / tel.decisions : 0.0;
   optimizer_.Step(model_->params());
+  return tel;
+}
+
+void ReinforceTrainer::RecordEpisodeTelemetry(const EpisodeResult& result,
+                                              double total_reward,
+                                              double return_variance,
+                                              const UpdateTelemetry& update) {
+  // TrainStats, the scalar event stream, and the registry gauges are all
+  // fed from the same locals here — the one place episode bookkeeping
+  // happens (previously stats_ and train.last_reward were updated in two
+  // places and could drift apart).
+  stats_.episode_avg_latency.push_back(result.avg_latency);
+  stats_.episode_reward.push_back(total_reward);
+  if (!obs::Enabled()) return;
+
+  const int64_t step = episode_index_;
+  const std::string& prefix = config_.telemetry_prefix;
+  auto& events = obs::ScalarEventWriter::Global();
+  events.Append(prefix + ".reward", step, total_reward);
+  events.Append(prefix + ".return_variance", step, return_variance);
+  events.Append(prefix + ".policy_entropy", step, update.mean_entropy);
+  events.Append(prefix + ".grad_norm_preclip", step,
+                update.grad_norm_preclip);
+  events.Append(prefix + ".grad_norm_postclip", step,
+                update.grad_norm_postclip);
+  events.Append(prefix + ".learning_rate", step, optimizer_.lr());
+  events.Append(prefix + ".exploration_epsilon", step,
+                config_.exploration_epsilon);
+  events.Append(prefix + ".avg_latency", step, result.avg_latency);
+
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("train.episodes")->Add(1);
+  reg.GetGauge("train.last_reward")->Set(total_reward);
+  reg.GetGauge("train.total_decisions")
+      ->Set(static_cast<double>(stats_.total_decisions));
+  reg.GetHistogram("train.episode_avg_latency_seconds")
+      ->Observe(result.avg_latency);
 }
 
 TrainStats ReinforceTrainer::Train(const WorkloadFactory& factory) {

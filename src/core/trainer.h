@@ -2,6 +2,7 @@
 #define LSCHED_CORE_TRAINER_H_
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/agent.h"
@@ -24,6 +25,12 @@ struct TrainConfig {
   uint64_t seed = 31;
   /// Emit an INFO log line every this many episodes (0 = silent).
   int log_every = 0;
+  /// Tag prefix for the scalar event stream (obs/scalar_events.h): one
+  /// event per episode under `<prefix>.reward`, `<prefix>.policy_entropy`,
+  /// `<prefix>.grad_norm_preclip`, ... Distinct prefixes keep concurrent
+  /// trainers' learning curves separable (e.g. fig14b's with/without-TL
+  /// pair).
+  std::string telemetry_prefix = "train";
 };
 
 struct TrainStats {
@@ -59,7 +66,22 @@ class ReinforceTrainer {
   ExperienceManager* experience_manager() { return &experience_; }
 
  private:
-  void UpdateFromLatestEpisode();
+  /// Per-update telemetry surfaced by UpdateFromLatestEpisode for the
+  /// scalar event stream.
+  struct UpdateTelemetry {
+    double mean_entropy = 0.0;
+    double grad_norm_preclip = 0.0;
+    double grad_norm_postclip = 0.0;
+    int decisions = 0;
+  };
+
+  UpdateTelemetry UpdateFromLatestEpisode();
+  /// The single instrumentation path for per-episode model-quality data:
+  /// appends to TrainStats, the scalar event stream, and the registry
+  /// gauges from the same values, so the three sinks cannot diverge.
+  void RecordEpisodeTelemetry(const EpisodeResult& result,
+                              double total_reward, double return_variance,
+                              const UpdateTelemetry& update);
 
   LSchedModel* model_;
   SimEngine* engine_;
@@ -69,6 +91,7 @@ class ReinforceTrainer {
   Adam optimizer_;
   Rng rng_;
   TrainStats stats_;
+  int episode_index_ = 0;
 };
 
 }  // namespace lsched

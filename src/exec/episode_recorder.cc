@@ -6,6 +6,7 @@
 
 #include "exec/query_state.h"
 #include "obs/trace.h"
+#include "plan/operator_type.h"
 #include "util/math_util.h"
 
 namespace lsched {
@@ -127,6 +128,14 @@ int64_t EpisodeRecorder::OnSchedulerInvocation(
     rec.chosen_query = decision.pipelines.front().query;
     rec.chosen_root = decision.pipelines.front().root_op;
     rec.degree = decision.pipelines.front().degree;
+    // Operator type of the chosen root: the per-key attribution the drift
+    // monitor groups prediction errors by.
+    if (const QueryState* q = state.FindQuery(rec.chosen_query)) {
+      if (rec.chosen_root >= 0 &&
+          rec.chosen_root < static_cast<int>(q->plan().num_nodes())) {
+        rec.op_type = OperatorTypeName(q->plan().node(rec.chosen_root).type);
+      }
+    }
   }
   if (!decision.parallelism.empty()) {
     rec.max_threads = decision.parallelism.front().max_threads;

@@ -23,6 +23,7 @@ class Sgd : public Optimizer {
       : lr_(lr), momentum_(momentum) {}
   void Step(ParameterStore* store) override;
   void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
 
  private:
   double lr_;
@@ -38,6 +39,7 @@ class Adam : public Optimizer {
       : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
   void Step(ParameterStore* store) override;
   void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
 
  private:
   struct Slot {

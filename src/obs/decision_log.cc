@@ -72,9 +72,29 @@ int64_t DecisionLog::Add(DecisionRecord record) {
 
 void DecisionLog::AddRealized(int64_t id, double seconds) {
   if (id < 0) return;
+  std::shared_ptr<const BackfillObserver> observer;
+  DecisionRecord updated;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id >= static_cast<int64_t>(records_.size())) return;
+    DecisionRecord& r = records_[static_cast<size_t>(id)];
+    r.realized_seconds += seconds;
+    if (backfill_observer_ != nullptr) {
+      observer = backfill_observer_;
+      updated = r;  // copy: the observer runs outside the lock
+    }
+  }
+  if (observer != nullptr) (*observer)(updated);
+}
+
+void DecisionLog::SetBackfillObserver(BackfillObserver observer) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (id >= static_cast<int64_t>(records_.size())) return;
-  records_[static_cast<size_t>(id)].realized_seconds += seconds;
+  if (observer == nullptr) {
+    backfill_observer_.reset();
+  } else {
+    backfill_observer_ =
+        std::make_shared<const BackfillObserver>(std::move(observer));
+  }
 }
 
 void DecisionLog::AddPipeline(int64_t id, int64_t planned_work_orders) {
@@ -103,9 +123,9 @@ void DecisionLog::Clear() {
 
 const char* DecisionLog::CsvHeader() {
   return "id,time,engine,event,policy,candidates,num_candidates,"
-         "running_queries,free_threads,chosen_query,chosen_root,degree,"
-         "max_threads,num_pipelines,planned_work_orders,predicted_score,"
-         "schedule_wall_us,realized_seconds,fallback";
+         "running_queries,free_threads,chosen_query,chosen_root,op_type,"
+         "degree,max_threads,num_pipelines,planned_work_orders,"
+         "predicted_score,schedule_wall_us,realized_seconds,fallback";
 }
 
 void DecisionLog::WriteCsv(std::ostream& out) const {
@@ -123,7 +143,9 @@ void DecisionLog::WriteCsv(std::ostream& out) const {
     WriteField(out, r.candidates);
     out << ',' << r.num_candidates << ',' << r.running_queries << ','
         << r.free_threads << ',' << r.chosen_query << ',' << r.chosen_root
-        << ',' << r.degree << ',' << r.max_threads << ',' << r.num_pipelines
+        << ',';
+    WriteField(out, r.op_type);
+    out << ',' << r.degree << ',' << r.max_threads << ',' << r.num_pipelines
         << ',' << r.planned_work_orders << ',';
     if (std::isnan(r.predicted_score)) {
       out << "nan";
@@ -150,7 +172,7 @@ bool ParseDecisionCsv(std::istream& in, std::vector<DecisionRecord>* out) {
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     const std::vector<std::string> f = SplitCsvLine(line);
-    if (f.size() != 19) return false;
+    if (f.size() != 20) return false;
     DecisionRecord r;
     try {
       r.id = std::stoll(f[0]);
@@ -164,14 +186,15 @@ bool ParseDecisionCsv(std::istream& in, std::vector<DecisionRecord>* out) {
       r.free_threads = std::stoi(f[8]);
       r.chosen_query = std::stoll(f[9]);
       r.chosen_root = std::stoi(f[10]);
-      r.degree = std::stoi(f[11]);
-      r.max_threads = std::stoi(f[12]);
-      r.num_pipelines = std::stoi(f[13]);
-      r.planned_work_orders = std::stoll(f[14]);
-      r.predicted_score = std::stod(f[15]);
-      r.schedule_wall_us = std::stod(f[16]);
-      r.realized_seconds = std::stod(f[17]);
-      r.fallback = f[18] == "1";
+      r.op_type = f[11];
+      r.degree = std::stoi(f[12]);
+      r.max_threads = std::stoi(f[13]);
+      r.num_pipelines = std::stoi(f[14]);
+      r.planned_work_orders = std::stoll(f[15]);
+      r.predicted_score = std::stod(f[16]);
+      r.schedule_wall_us = std::stod(f[17]);
+      r.realized_seconds = std::stod(f[18]);
+      r.fallback = f[19] == "1";
     } catch (...) {
       return false;
     }

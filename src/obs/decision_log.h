@@ -11,8 +11,10 @@
 // IconqSched tooling).
 
 #include <cstdint>
+#include <functional>
 #include <istream>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <string>
@@ -39,6 +41,9 @@ struct DecisionRecord {
   /// the policy returned nothing).
   int64_t chosen_query = -1;
   int chosen_root = -1;
+  /// OperatorTypeName of the chosen root ("" when no pipeline was chosen) —
+  /// the per-operator-type key for prediction-drift analysis.
+  std::string op_type;
   int degree = 0;
   int max_threads = 0;         ///< parallelism cap set (0 = unchanged)
   int num_pipelines = 0;       ///< pipelines accepted from this decision
@@ -63,7 +68,15 @@ class DecisionLog {
 
   /// Accumulates measured work-order seconds into record `id` (no-op for
   /// invalid ids — pipelines launched by the fallback path pass -1).
+  /// Notifies the back-fill observer, if any, with the updated record.
   void AddRealized(int64_t id, double seconds);
+
+  /// Observer invoked (outside the log's lock, with a copy of the record)
+  /// every time realized cost is back-filled into a record — the feed for
+  /// the online DriftMonitor. Pass nullptr to clear. One observer at a
+  /// time; setting replaces the previous one.
+  using BackfillObserver = std::function<void(const DecisionRecord&)>;
+  void SetBackfillObserver(BackfillObserver observer);
 
   /// Adds accepted-pipeline bookkeeping to record `id`.
   void AddPipeline(int64_t id, int64_t planned_work_orders);
@@ -80,6 +93,10 @@ class DecisionLog {
   DecisionLog() = default;
   mutable std::mutex mu_;
   std::vector<DecisionRecord> records_;
+  /// shared_ptr so AddRealized can copy the handle under the lock and
+  /// invoke the observer after releasing it (the observer may re-enter
+  /// metrics or block; never call out under mu_).
+  std::shared_ptr<const BackfillObserver> backfill_observer_;
 };
 
 /// Parses a CSV produced by WriteCsv back into records (header required).
@@ -97,6 +114,8 @@ class DecisionLog {
   }
   int64_t Add(const DecisionRecord&) { return -1; }
   void AddRealized(int64_t, double) {}
+  using BackfillObserver = std::function<void(const DecisionRecord&)>;
+  void SetBackfillObserver(BackfillObserver) {}
   void AddPipeline(int64_t, int64_t) {}
   size_t size() const { return 0; }
   std::vector<DecisionRecord> Snapshot() const { return {}; }

@@ -1,0 +1,103 @@
+#ifndef LSCHED_OBS_EXPORTER_H_
+#define LSCHED_OBS_EXPORTER_H_
+
+// Live metrics exposure: a minimal background HTTP server (plain POSIX
+// sockets, one accept thread) serving the metrics registry in Prometheus
+// text exposition format so a long-running engine process is scrape-able.
+//
+//   GET /metrics  -> text/plain; version=0.0.4 rendering of every
+//                    registered counter, gauge, and histogram
+//   GET /healthz  -> 200 "ok"
+//   anything else -> 404
+//
+// Gated behind the LSCHED_METRICS_PORT environment variable: when set,
+// obs.cc starts the process-global exporter on 127.0.0.1:<port> before
+// main() and stops it at exit. Tests use Start(0) for an ephemeral port.
+//
+// Metric names are sanitized for Prometheus (dots and other invalid
+// characters become underscores: `model.drift_score` is exposed as
+// `model_drift_score`, with the original name in the HELP line).
+
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
+#if LSCHED_OBS_ENABLED
+#include <atomic>
+#include <thread>
+#endif
+
+namespace lsched {
+namespace obs {
+
+/// `name` with every character outside [a-zA-Z0-9_:] replaced by '_'
+/// (Prometheus metric-name charset).
+std::string PrometheusName(const std::string& name);
+
+/// Renders a registry snapshot in Prometheus text exposition format
+/// (version 0.0.4). Deterministic given the snapshot — the golden-test
+/// surface.
+void RenderPrometheusText(const MetricsRegistry::Snapshot& snapshot,
+                          std::ostream& out);
+
+#if LSCHED_OBS_ENABLED
+
+class MetricsExporter {
+ public:
+  MetricsExporter() = default;
+  ~MetricsExporter();
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port) and
+  /// starts the serving thread. Returns false if the bind fails or the
+  /// exporter is already running.
+  bool Start(int port);
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (valid after a successful Start).
+  int port() const { return port_; }
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::thread thread_;
+};
+
+/// The process-global exporter used by the LSCHED_METRICS_PORT env gate.
+MetricsExporter& GlobalExporter();
+/// Starts GlobalExporter() if LSCHED_METRICS_PORT is set; returns whether
+/// it is running afterwards. Called from obs.cc's TU initializer.
+bool StartExporterFromEnv();
+
+#else  // !LSCHED_OBS_ENABLED
+
+class MetricsExporter {
+ public:
+  bool Start(int) { return false; }
+  void Stop() {}
+  bool running() const { return false; }
+  int port() const { return -1; }
+};
+
+inline MetricsExporter& GlobalExporter() {
+  static MetricsExporter e;
+  return e;
+}
+inline bool StartExporterFromEnv() { return false; }
+
+#endif  // LSCHED_OBS_ENABLED
+
+}  // namespace obs
+}  // namespace lsched
+
+#endif  // LSCHED_OBS_EXPORTER_H_

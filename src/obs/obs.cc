@@ -9,6 +9,9 @@
 #include <cstring>
 
 #include "obs/decision_log.h"
+#include "obs/drift.h"
+#include "obs/exporter.h"
+#include "obs/scalar_events.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -41,7 +44,17 @@ void ExitDump() {
       LSCHED_LOG(Error) << "failed to write decision log to " << path;
     }
   }
+  if (const char* path = std::getenv("LSCHED_SCALAR_EVENTS")) {
+    if (ScalarEventWriter::Global().WriteJsonl(std::string(path))) {
+      LSCHED_LOG(Info) << "wrote scalar event log to " << path << " ("
+                       << ScalarEventWriter::Global().size() << " events)";
+    } else {
+      LSCHED_LOG(Error) << "failed to write scalar event log to " << path;
+    }
+  }
 }
+
+void StopExporterAtExit() { GlobalExporter().Stop(); }
 
 struct Runtime {
   std::chrono::steady_clock::time_point epoch;
@@ -51,9 +64,14 @@ struct Runtime {
       internal::g_enabled.store(false, std::memory_order_relaxed);
     }
     if (std::getenv("LSCHED_TRACE_EXPORT") != nullptr ||
-        std::getenv("LSCHED_DECISION_LOG") != nullptr) {
+        std::getenv("LSCHED_DECISION_LOG") != nullptr ||
+        std::getenv("LSCHED_SCALAR_EVENTS") != nullptr) {
       std::atexit(ExitDump);
     }
+    if (StartExporterFromEnv()) {
+      std::atexit(StopExporterAtExit);
+    }
+    StartDriftMonitorFromEnv();
   }
 };
 

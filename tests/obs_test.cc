@@ -426,6 +426,7 @@ TEST(DecisionLogTest, CsvRoundTrip) {
   rec.free_threads = 5;
   rec.chosen_query = 7;
   rec.chosen_root = 0;
+  rec.op_type = "HashJoin";
   rec.degree = 4;
   rec.max_threads = 8;
   rec.predicted_score = -0.5;
@@ -463,6 +464,7 @@ TEST(DecisionLogTest, CsvRoundTrip) {
   EXPECT_EQ(p.free_threads, 5);
   EXPECT_EQ(p.chosen_query, 7);
   EXPECT_EQ(p.chosen_root, 0);
+  EXPECT_EQ(p.op_type, "HashJoin");
   EXPECT_EQ(p.degree, 4);
   EXPECT_EQ(p.max_threads, 8);
   EXPECT_EQ(p.num_pipelines, 1);

@@ -4,6 +4,7 @@
 //   lsched_cli train   --benchmark=tpch --episodes=100 --out=model.bin
 //   lsched_cli eval    --benchmark=tpch --model=model.bin --queries=80
 //   lsched_cli compare --benchmark=ssb  --model=model.bin --batch
+//   lsched_cli report  --events=events.jsonl --decisions=decisions.csv
 //
 // Flags (all optional unless noted):
 //   --benchmark=tpch|ssb|job   workload family            [tpch]
@@ -16,12 +17,24 @@
 //   --model=PATH               model to load (eval/compare)
 //   --out=PATH                 checkpoint to write (train, required)
 //   --transfer-from=PATH       warm start + freeze for transfer training
+//   --events=PATH              scalar event JSONL (report; see
+//                              LSCHED_SCALAR_EVENTS)
+//   --decisions=PATH           decision-log CSV (report; see
+//                              LSCHED_DECISION_LOG)
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "core/agent.h"
 #include "core/trainer.h"
+#include "obs/decision_log.h"
+#include "obs/drift.h"
+#include "obs/scalar_events.h"
 #include "sched/decima.h"
 #include "sched/heuristics.h"
 #include "sched/selftune.h"
@@ -42,6 +55,8 @@ struct Args {
   std::string model_path;
   std::string out_path;
   std::string transfer_from;
+  std::string events_path;
+  std::string decisions_path;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -82,6 +97,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->out_path = v8;
     } else if (const char* v9 = value("--transfer-from=")) {
       args->transfer_from = v9;
+    } else if (const char* v10 = value("--events=")) {
+      args->events_path = v10;
+    } else if (const char* v11 = value("--decisions=")) {
+      args->decisions_path = v11;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -219,6 +238,169 @@ int RunCompare(const Args& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// report: offline rendering of the training telemetry stream and the
+// prediction-drift picture, from the files the env exporters write
+// (LSCHED_SCALAR_EVENTS → JSONL, LSCHED_DECISION_LOG → CSV).
+// ---------------------------------------------------------------------------
+
+// Compresses a series into a fixed-width ASCII strip chart: each column is
+// the mean of its bucket, mapped onto nine density levels.
+std::string Sparkline(const std::vector<double>& values, int width = 48) {
+  static const char kLevels[] = " .:-=+*#%";
+  const int num_levels = static_cast<int>(sizeof(kLevels)) - 2;
+  if (values.empty()) return "";
+  const int cols = std::min<int>(width, static_cast<int>(values.size()));
+  std::vector<double> bucketed(cols, 0.0);
+  std::vector<int> counts(cols, 0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!std::isfinite(values[i])) continue;
+    const int c = static_cast<int>(i * cols / values.size());
+    bucketed[c] += values[i];
+    ++counts[c];
+  }
+  double lo = 0.0, hi = 0.0;
+  bool any = false;
+  for (int c = 0; c < cols; ++c) {
+    if (counts[c] == 0) continue;
+    bucketed[c] /= counts[c];
+    if (!any || bucketed[c] < lo) lo = bucketed[c];
+    if (!any || bucketed[c] > hi) hi = bucketed[c];
+    any = true;
+  }
+  if (!any) return std::string(cols, '?');
+  const double span = hi > lo ? hi - lo : 1.0;
+  std::string out(cols, ' ');
+  for (int c = 0; c < cols; ++c) {
+    if (counts[c] == 0) continue;
+    const int level =
+        static_cast<int>((bucketed[c] - lo) / span * num_levels + 0.5);
+    out[c] = kLevels[std::max(0, std::min(num_levels, level))];
+  }
+  return out;
+}
+
+int ReportEvents(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open events file: %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<obs::ScalarEvent> events;
+  if (!obs::ParseScalarEventsJsonl(in, &events)) {
+    std::fprintf(stderr, "malformed events file: %s\n", path.c_str());
+    return 1;
+  }
+  // Group by tag in file (= append) order; std::map gives a stable listing.
+  std::map<std::string, std::vector<double>> series;
+  for (const obs::ScalarEvent& e : events) series[e.tag].push_back(e.value);
+  std::printf("== learning curves: %s (%zu events, %zu tags) ==\n",
+              path.c_str(), events.size(), series.size());
+  std::printf("%-28s %6s %12s %12s %12s %12s\n", "tag", "n", "first", "last",
+              "min", "max");
+  for (const auto& [tag, values] : series) {
+    double lo = values.front(), hi = values.front();
+    for (double v : values) {
+      if (std::isfinite(v)) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    std::printf("%-28s %6zu %12.4g %12.4g %12.4g %12.4g\n", tag.c_str(),
+                values.size(), values.front(), values.back(), lo, hi);
+    if (values.size() > 1) {
+      std::printf("  [%s]\n", Sparkline(values).c_str());
+    }
+  }
+  return 0;
+}
+
+int ReportDecisions(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open decisions file: %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<obs::DecisionRecord> records;
+  if (!obs::ParseDecisionCsv(in, &records)) {
+    std::fprintf(stderr, "malformed decision CSV: %s\n", path.c_str());
+    return 1;
+  }
+  // Offline we have the whole stream, so quantiles are exact (sorted), and
+  // a DriftMonitor replay reproduces the online Page-Hinkley score the
+  // serving process would have seen for this log.
+  struct OpStats {
+    std::vector<double> errors;
+  };
+  std::map<std::string, OpStats> by_op;
+  obs::DriftConfig dcfg;
+  dcfg.export_gauges = false;
+  obs::DriftMonitor replay(dcfg);
+  int64_t usable = 0;
+  for (const obs::DecisionRecord& r : records) {
+    if (!std::isfinite(r.predicted_score) || r.realized_seconds <= 0.0) {
+      continue;
+    }
+    ++usable;
+    const std::string key = r.op_type.empty() ? "unknown" : r.op_type;
+    by_op[key].errors.push_back(r.predicted_score - r.realized_seconds);
+    replay.ObserveRecord(r);
+  }
+  std::printf("== prediction drift: %s (%zu decisions, %lld scored) ==\n",
+              path.c_str(), records.size(), static_cast<long long>(usable));
+  if (usable == 0) {
+    std::printf("(no decisions carry both a predicted score and realized "
+                "cost; nothing to analyze)\n");
+    return 0;
+  }
+  std::printf("%-16s %8s %12s %12s %12s\n", "op_type", "n", "err_mean",
+              "err_p50", "err_p99");
+  auto quantile = [](std::vector<double>& v, double q) {
+    std::sort(v.begin(), v.end());
+    const double pos = q * static_cast<double>(v.size() - 1);
+    const size_t i = static_cast<size_t>(pos);
+    const double frac = pos - static_cast<double>(i);
+    return i + 1 < v.size() ? v[i] * (1.0 - frac) + v[i + 1] * frac : v[i];
+  };
+  for (auto& [op, stats] : by_op) {
+    double mean = 0.0;
+    for (double e : stats.errors) mean += e;
+    mean /= static_cast<double>(stats.errors.size());
+    std::printf("%-16s %8zu %12.4g %12.4g %12.4g\n", op.c_str(),
+                stats.errors.size(), mean, quantile(stats.errors, 0.5),
+                quantile(stats.errors, 0.99));
+  }
+  std::printf("drift score (Page-Hinkley / lambda): %.3f%s\n",
+              replay.drift_score(),
+              replay.alarmed() ? "  ** drift alarm fired during replay **"
+                               : "");
+  return 0;
+}
+
+int RunReport(const Args& args) {
+  if (!obs::kCompiledIn) {
+    std::fprintf(stderr,
+                 "report requires an observability build "
+                 "(reconfigure with -DLSCHED_OBS=ON)\n");
+    return 2;
+  }
+  if (args.events_path.empty() && args.decisions_path.empty()) {
+    std::fprintf(stderr,
+                 "report requires --events=PATH and/or --decisions=PATH\n");
+    return 2;
+  }
+  int rc = 0;
+  if (!args.events_path.empty()) {
+    rc = ReportEvents(args.events_path);
+  }
+  if (!args.decisions_path.empty()) {
+    if (!args.events_path.empty()) std::printf("\n");
+    const int rc2 = ReportDecisions(args.decisions_path);
+    if (rc == 0) rc = rc2;
+  }
+  return rc;
+}
+
 }  // namespace
 }  // namespace lsched
 
@@ -226,15 +408,18 @@ int main(int argc, char** argv) {
   lsched::Args args;
   if (!lsched::ParseArgs(argc, argv, &args)) {
     std::fprintf(stderr,
-                 "usage: %s train|eval|compare [--benchmark=tpch|ssb|job] "
+                 "usage: %s train|eval|compare|report "
+                 "[--benchmark=tpch|ssb|job] "
                  "[--episodes=N] [--queries=N] [--threads=N] [--batch] "
-                 "[--model=PATH] [--out=PATH] [--transfer-from=PATH]\n",
+                 "[--model=PATH] [--out=PATH] [--transfer-from=PATH] "
+                 "[--events=PATH] [--decisions=PATH]\n",
                  argv[0]);
     return 2;
   }
   if (args.command == "train") return lsched::RunTrain(args);
   if (args.command == "eval") return lsched::RunEval(args);
   if (args.command == "compare") return lsched::RunCompare(args);
+  if (args.command == "report") return lsched::RunReport(args);
   std::fprintf(stderr, "unknown command: %s\n", args.command.c_str());
   return 2;
 }
