@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "exec/scheduling_context.h"
 #include "plan/plan_builder.h"
 #include "sched/heuristics.h"
 #include "util/logging.h"
@@ -47,9 +48,9 @@ class NoPipeliningScheduler : public Scheduler {
  public:
   std::string name() const override { return "NoPipelining"; }
   SchedulingDecision Schedule(const SchedulingEvent&,
-                              const SystemState& state) override {
+                              const SchedulingContext& ctx) override {
     SchedulingDecision d;
-    for (QueryState* q : state.queries) {
+    for (QueryState* q : ctx.queries()) {
       for (int op : q->SchedulableOps()) {
         bool producers_done = true;
         for (int e : q->plan().node(op).in_edges) {

@@ -1,0 +1,170 @@
+// Per-event scheduler decision latency, old API vs new API (Scheduler API
+// v2, DESIGN.md §9), for every shipped policy.
+//
+// "Old path" reproduces what engines did before the incremental
+// SchedulingContext existed: rebuild a full SystemState snapshot at every
+// scheduling round and call the legacy Schedule(event, state) overload —
+// which, for the learned policies, is the autograd-tape forward. "New
+// path" hands the policy the live context, so learned policies serve
+// through cached per-query encodings and batched tape-free GEMMs.
+//
+// Emits the standard bench_common CSV schema
+//   figure,scheduler,queries,threads,metric,value
+// with per-policy metrics {old,new}_{p50,p99,mean}_us, speedup_p50,
+// speedup_p99, and events. The acceptance gate for the fast path is the
+// learned policies' speedup_p50/p99 >= 3.
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "exec/scheduling_context.h"
+#include "sched/decima.h"
+#include "sched/heuristics.h"
+#include "sched/selftune.h"
+#include "util/math_util.h"
+
+namespace lsched {
+namespace {
+
+/// Decorator that times every Schedule() call. On the old path it also
+/// performs the snapshot materialization inside the timed region, because
+/// that rebuild was part of every pre-v2 scheduling round.
+class TimingScheduler : public Scheduler {
+ public:
+  TimingScheduler(Scheduler* inner, bool old_path)
+      : inner_(inner), old_path_(old_path) {}
+
+  std::string name() const override { return inner_->name(); }
+  void Reset() override { inner_->Reset(); }
+  void OnQueryCompleted(QueryId query, double latency) override {
+    inner_->OnQueryCompleted(query, latency);
+  }
+
+  SchedulingDecision Schedule(const SchedulingEvent& event,
+                              const SchedulingContext& ctx) override {
+    const auto t0 = std::chrono::steady_clock::now();
+    SchedulingDecision decision;
+    if (old_path_) {
+      const SystemState snapshot = ctx.MaterializeSnapshot();
+      decision = inner_->Schedule(event, snapshot);
+    } else {
+      decision = inner_->Schedule(event, ctx);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    latencies_us_.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+    return decision;
+  }
+
+  const std::vector<double>& latencies_us() const { return latencies_us_; }
+
+ private:
+  Scheduler* inner_;
+  bool old_path_;
+  std::vector<double> latencies_us_;
+};
+
+struct LatencyStats {
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+  int events = 0;
+};
+
+LatencyStats RunOnce(Scheduler* policy, bool old_path,
+                     const std::vector<QuerySubmission>& workload,
+                     const bench::BenchConfig& cfg) {
+  SimEngine engine = bench::MakeEngine(cfg.threads, cfg.seed + 9);
+  TimingScheduler timing(policy, old_path);
+  engine.Run(workload, &timing);
+  LatencyStats stats;
+  stats.events = static_cast<int>(timing.latencies_us().size());
+  if (stats.events == 0) return stats;
+  stats.p50_us = Percentile(timing.latencies_us(), 50.0);
+  stats.p99_us = Percentile(timing.latencies_us(), 99.0);
+  stats.mean_us = Mean(timing.latencies_us());
+  return stats;
+}
+
+int ReadEnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoi(v);
+}
+
+}  // namespace
+}  // namespace lsched
+
+int main() {
+  using namespace lsched;
+  using namespace lsched::bench;
+  const BenchConfig cfg = BenchConfig::FromEnv();
+  const int num_queries = ReadEnvInt("LSCHED_SCHED_LATENCY_QUERIES", 40);
+
+  // Untrained weights: decision latency does not depend on the values, only
+  // on the network shapes and the serving machinery.
+  LSchedModel lsched_model(DefaultLSchedConfig());
+  DecimaModel decima_model(DecimaConfig{});
+
+  struct NamedFactory {
+    std::string name;
+    std::function<std::unique_ptr<Scheduler>()> make;
+  };
+  const std::vector<NamedFactory> policies = {
+      {"FIFO", [] { return std::make_unique<FifoScheduler>(); }},
+      {"Fair", [] { return std::make_unique<FairScheduler>(); }},
+      {"SJF", [] { return std::make_unique<SjfScheduler>(); }},
+      {"HPF", [] { return std::make_unique<HpfScheduler>(); }},
+      {"CriticalPath",
+       [] { return std::make_unique<CriticalPathScheduler>(); }},
+      {"Quickstep", [] { return std::make_unique<QuickstepScheduler>(); }},
+      {"SelfTune", [] { return std::make_unique<SelfTuneScheduler>(); }},
+      {"LSched",
+       [&] { return std::make_unique<LSchedAgent>(&lsched_model); }},
+      {"Decima",
+       [&] { return std::make_unique<DecimaScheduler>(&decima_model); }},
+  };
+
+  const auto workload = TestWorkload(Benchmark::kTpch, num_queries, false,
+                                     cfg.eval_interarrival, cfg.seed + 77);
+
+  PrintCsvHeader();
+  for (const NamedFactory& policy : policies) {
+    // Fresh scheduler per path so per-policy caches never carry over.
+    std::unique_ptr<Scheduler> old_sched = policy.make();
+    const LatencyStats old_stats =
+        RunOnce(old_sched.get(), /*old_path=*/true, workload, cfg);
+    std::unique_ptr<Scheduler> new_sched = policy.make();
+    const LatencyStats new_stats =
+        RunOnce(new_sched.get(), /*old_path=*/false, workload, cfg);
+
+    PrintCsvRow("micro_sched_latency", policy.name, num_queries, cfg.threads,
+                "old_p50_us", old_stats.p50_us);
+    PrintCsvRow("micro_sched_latency", policy.name, num_queries, cfg.threads,
+                "old_p99_us", old_stats.p99_us);
+    PrintCsvRow("micro_sched_latency", policy.name, num_queries, cfg.threads,
+                "old_mean_us", old_stats.mean_us);
+    PrintCsvRow("micro_sched_latency", policy.name, num_queries, cfg.threads,
+                "new_p50_us", new_stats.p50_us);
+    PrintCsvRow("micro_sched_latency", policy.name, num_queries, cfg.threads,
+                "new_p99_us", new_stats.p99_us);
+    PrintCsvRow("micro_sched_latency", policy.name, num_queries, cfg.threads,
+                "new_mean_us", new_stats.mean_us);
+    PrintCsvRow("micro_sched_latency", policy.name, num_queries, cfg.threads,
+                "speedup_p50",
+                new_stats.p50_us > 0.0 ? old_stats.p50_us / new_stats.p50_us
+                                       : 0.0);
+    PrintCsvRow("micro_sched_latency", policy.name, num_queries, cfg.threads,
+                "speedup_p99",
+                new_stats.p99_us > 0.0 ? old_stats.p99_us / new_stats.p99_us
+                                       : 0.0);
+    PrintCsvRow("micro_sched_latency", policy.name, num_queries, cfg.threads,
+                "events", static_cast<double>(new_stats.events));
+  }
+  return 0;
+}

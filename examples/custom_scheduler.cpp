@@ -5,11 +5,19 @@
 // boosts queries older than an SLA threshold, and validates it against the
 // built-in heuristics.
 //
+// It overrides the API v2 entry point — Schedule(event, SchedulingContext)
+// (DESIGN.md §9): the context is a live, incrementally-maintained view
+// (O(1) FindQuery / free-thread count, per-query change versions), not a
+// per-event snapshot rebuild. Policies that only implement the legacy
+// Schedule(event, SystemState) overload keep working through an automatic
+// bridge.
+//
 //   ./build/examples/custom_scheduler
 #include <algorithm>
 #include <cstdio>
 
 #include "exec/scheduler.h"
+#include "exec/scheduling_context.h"
 #include "sched/heuristics.h"
 #include "workload/workload.h"
 
@@ -26,18 +34,18 @@ class SlaScheduler : public Scheduler {
   std::string name() const override { return "SLA"; }
 
   SchedulingDecision Schedule(const SchedulingEvent& event,
-                              const SystemState& state) override {
+                              const SchedulingContext& ctx) override {
     (void)event;
     SchedulingDecision d;
     // Rank: past-deadline queries first (oldest first), then by estimated
     // remaining work.
     std::vector<QueryState*> order;
-    for (QueryState* q : state.queries) {
+    for (QueryState* q : ctx.queries()) {
       if (!q->SchedulableOps().empty()) order.push_back(q);
     }
     std::sort(order.begin(), order.end(), [&](QueryState* a, QueryState* b) {
-      const double age_a = state.now - a->arrival_time();
-      const double age_b = state.now - b->arrival_time();
+      const double age_a = ctx.now() - a->arrival_time();
+      const double age_b = ctx.now() - b->arrival_time();
       const bool late_a = age_a > sla_;
       const bool late_b = age_b > sla_;
       if (late_a != late_b) return late_a;
@@ -45,8 +53,8 @@ class SlaScheduler : public Scheduler {
       return a->EstimateQueryRemainingSeconds() <
              b->EstimateQueryRemainingSeconds();
     });
-    const int total = static_cast<int>(state.threads.size());
-    int budget = state.num_free_threads();
+    const int total = ctx.total_threads();
+    int budget = ctx.num_free_threads();
     for (QueryState* q : order) {
       if (budget <= 0) break;
       for (int root : q->SchedulableOps()) {

@@ -12,12 +12,15 @@ namespace lsched {
 LSchedAgent::LSchedAgent(LSchedModel* model, uint64_t seed)
     : model_(model), extractor_(model->config().features), rng_(seed) {}
 
-void LSchedAgent::Reset() { experiences_.clear(); }
+void LSchedAgent::Reset() {
+  experiences_.clear();
+  cache_.Clear();
+}
 
-int LSchedAgent::SampleFromLogProbs(const Matrix& logprobs) {
-  std::vector<double> probs(static_cast<size_t>(logprobs.cols()));
-  for (int c = 0; c < logprobs.cols(); ++c) {
-    probs[static_cast<size_t>(c)] = std::exp(logprobs.at(0, c));
+int LSchedAgent::SampleFromLogProbs(const double* logprobs, int n) {
+  std::vector<double> probs(static_cast<size_t>(n));
+  for (int c = 0; c < n; ++c) {
+    probs[static_cast<size_t>(c)] = std::exp(logprobs[c]);
   }
   if (exploration_epsilon_ > 0.0 &&
       rng_.Uniform() < exploration_epsilon_) {
@@ -33,15 +36,54 @@ int LSchedAgent::SampleFromLogProbs(const Matrix& logprobs) {
   return idx >= probs.size() ? 0 : static_cast<int>(idx);
 }
 
+int LSchedAgent::SampleFromLogProbs(const Matrix& logprobs) {
+  return SampleFromLogProbs(logprobs.data(), logprobs.cols());
+}
+
 namespace {
-int ArgmaxRow(const Matrix& m) {
+int ArgmaxSpan(const double* v, int n) {
   int best = 0;
-  for (int c = 1; c < m.cols(); ++c) {
-    if (m.at(0, c) > m.at(0, best)) best = c;
+  for (int c = 1; c < n; ++c) {
+    if (v[c] > v[best]) best = c;
   }
   return best;
 }
+
+int ArgmaxRow(const Matrix& m) { return ArgmaxSpan(m.data(), m.cols()); }
 }  // namespace
+
+SchedulingAction LSchedAgent::SelectAction(const ServingPredictorOutput& out) {
+  const int max_deg = out.degree_logprobs.cols();
+  const int num_par = out.par_logprobs.cols();
+  SchedulingAction action;
+  if (sample_actions_) {
+    action.candidate_index =
+        SampleFromLogProbs(out.root_logprobs.data(), out.root_logprobs.cols());
+    action.degree_index = SampleFromLogProbs(
+        out.degree_logprobs.data() +
+            static_cast<size_t>(action.candidate_index) *
+                static_cast<size_t>(max_deg),
+        max_deg);
+    action.parallelism_index = SampleFromLogProbs(
+        out.par_logprobs.data() + static_cast<size_t>(action.candidate_index) *
+                                      static_cast<size_t>(num_par),
+        num_par);
+  } else {
+    action.candidate_index =
+        ArgmaxSpan(out.root_logprobs.data(), out.root_logprobs.cols());
+    action.degree_index =
+        ArgmaxSpan(out.degree_logprobs.data() +
+                       static_cast<size_t>(action.candidate_index) *
+                           static_cast<size_t>(max_deg),
+                   max_deg);
+    action.parallelism_index =
+        ArgmaxSpan(out.par_logprobs.data() +
+                       static_cast<size_t>(action.candidate_index) *
+                           static_cast<size_t>(num_par),
+                   num_par);
+  }
+  return action;
+}
 
 SchedulingDecision LSchedAgent::Schedule(const SchedulingEvent& event,
                                          const SystemState& state) {
@@ -114,6 +156,114 @@ SchedulingDecision LSchedAgent::Schedule(const SchedulingEvent& event,
     exp.action = action;
     exp.state = std::move(features);
     experiences_.push_back(std::move(exp));
+  }
+  return decision;
+}
+
+SchedulingDecision LSchedAgent::Schedule(const SchedulingEvent& event,
+                                         const SchedulingContext& ctx) {
+  if (!use_fast_path_) {
+    // Bridge to the legacy tape-based forward (old-path benchmarking).
+    return Scheduler::Schedule(event, ctx);
+  }
+  (void)event;
+  SchedulingDecision decision;
+  // Same gate as the legacy path (which checks it after extraction), hoisted
+  // before any cache work: no free thread means no decision and no rng use.
+  if (ctx.num_free_threads() == 0) return decision;
+  arena_.Reset();
+
+  const std::vector<QueryState*>& queries = ctx.queries();
+  ServingStateView view;
+  view.total_threads = ctx.total_threads();
+  view.free_threads = ctx.num_free_threads();
+  view.queries.reserve(queries.size());
+  view.encoded.reserve(queries.size());
+  view.qf.reserve(queries.size());
+  std::vector<EncodingCache::Entry*> entries(queries.size());
+  std::vector<std::vector<double>> qf_rows(queries.size());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const QueryState* q = queries[qi];
+    // Hit unless this query was dirtied (operator scheduled / work order
+    // completed) since the last event — or the model's weights moved.
+    EncodingCache::Entry& entry = cache_.GetStructural(
+        *q, ctx.query_version(q->id()), *model_, extractor_);
+    entries[qi] = &entry;
+    view.queries.push_back(&entry.features);
+    qf_rows[qi] = extractor_.ExtractQf(*q, ctx);
+    view.qf.push_back(&qf_rows[qi]);
+    for (const auto& [op, degree] : entry.candidates) {
+      Candidate c;
+      c.query_index = static_cast<int>(qi);
+      c.op = op;
+      c.max_degree = degree;
+      view.candidates.push_back(c);
+    }
+  }
+  if (view.candidates.empty()) {
+    return decision;
+  }
+  // Only now pay for encodings: events with nothing schedulable never
+  // reach the networks.
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    cache_.EnsureEncoded(entries[qi], *model_, &arena_);
+    view.encoded.push_back(&entries[qi]->enc);
+  }
+
+  {
+    obs::ScopedSpan span("sched.lsched.forward", "sched", "candidates",
+                         static_cast<int64_t>(view.candidates.size()));
+    const Matrix aqe = ComputeAqeServing(*model_, view, &arena_);
+    RunPredictorServing(*model_, view, aqe, &arena_, &serving_out_);
+  }
+
+  const SchedulingAction action = SelectAction(serving_out_);
+  obs::AnnotatePredictedScore(
+      serving_out_.root_logprobs.at(0, action.candidate_index));
+
+  const Candidate& cand =
+      view.candidates[static_cast<size_t>(action.candidate_index)];
+  const QueryFeatures& q =
+      *view.queries[static_cast<size_t>(cand.query_index)];
+
+  PipelineChoice pipeline;
+  pipeline.query = q.qid;
+  pipeline.root_op = cand.op;
+  pipeline.degree = action.degree_index + 1;
+  decision.pipelines.push_back(pipeline);
+
+  const double frac =
+      model_->config()
+          .parallelism_fractions[static_cast<size_t>(action.parallelism_index)];
+  ParallelismChoice par;
+  par.query = q.qid;
+  par.max_threads = std::max(
+      1, static_cast<int>(std::lround(
+             frac * static_cast<double>(view.total_threads))));
+  decision.parallelism.push_back(par);
+
+  if (record_experiences_) {
+    // The trainer replays this state through the tape path; the cached
+    // structural features plus the fresh QF rows reconstruct exactly what
+    // a full extraction would have produced.
+    Experience exp;
+    exp.time = ctx.now();
+    exp.num_running_queries = static_cast<int>(queries.size());
+    exp.action = action;
+    exp.state.time = ctx.now();
+    exp.state.total_threads = view.total_threads;
+    exp.state.free_threads = view.free_threads;
+    exp.state.candidates = view.candidates;
+    exp.state.queries.reserve(queries.size());
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      QueryFeatures f = *view.queries[qi];
+      f.qf = std::move(qf_rows[qi]);
+      exp.state.queries.push_back(std::move(f));
+    }
+    experiences_.push_back(std::move(exp));
+  }
+  if (cache_.size() > queries.size() * 2 + 16) {
+    cache_.Trim(queries);
   }
   return decision;
 }

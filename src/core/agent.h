@@ -4,10 +4,13 @@
 #include <string>
 #include <vector>
 
+#include "core/encoder.h"
 #include "core/features.h"
 #include "core/model.h"
 #include "core/predictor.h"
 #include "exec/scheduler.h"
+#include "exec/scheduling_context.h"
+#include "nn/inference.h"
 #include "util/rng.h"
 
 namespace lsched {
@@ -32,8 +35,22 @@ class LSchedAgent : public Scheduler {
 
   std::string name() const override { return "LSched"; }
   void Reset() override;
+  /// Legacy tape-based forward (kept for the old-path benchmark and as the
+  /// bridge target when the fast path is disabled).
   SchedulingDecision Schedule(const SchedulingEvent& event,
                               const SystemState& state) override;
+  /// Serving fast path (API v2): per-query encodings come from the
+  /// EncodingCache keyed by the context's dirty-flag versions, the decision
+  /// heads run as batched tape-free GEMMs, and no autograd Tape is ever
+  /// constructed. Scores — and therefore decisions and rng consumption —
+  /// are bit-identical to the tape path.
+  SchedulingDecision Schedule(const SchedulingEvent& event,
+                              const SchedulingContext& ctx) override;
+
+  /// Toggles the tape-free fast path (default on). When off, the context
+  /// overload bridges to the legacy tape-based forward.
+  void set_use_fast_path(bool v) { use_fast_path_ = v; }
+  bool use_fast_path() const { return use_fast_path_; }
 
   /// Sampling (training) vs greedy argmax (serving) action selection.
   void set_sample_actions(bool v) { sample_actions_ = v; }
@@ -49,9 +66,12 @@ class LSchedAgent : public Scheduler {
 
   LSchedModel* model() { return model_; }
   const FeatureExtractor& extractor() const { return extractor_; }
+  const EncodingCache& encoding_cache() const { return cache_; }
 
  private:
+  int SampleFromLogProbs(const double* logprobs, int n);
   int SampleFromLogProbs(const Matrix& logprobs);
+  SchedulingAction SelectAction(const ServingPredictorOutput& out);
 
   LSchedModel* model_;
   FeatureExtractor extractor_;
@@ -59,7 +79,11 @@ class LSchedAgent : public Scheduler {
   bool sample_actions_ = false;
   double exploration_epsilon_ = 0.0;
   bool record_experiences_ = false;
+  bool use_fast_path_ = true;
   std::vector<Experience> experiences_;
+  EncodingCache cache_;
+  ScratchArena arena_;
+  ServingPredictorOutput serving_out_;
 };
 
 }  // namespace lsched

@@ -1,6 +1,12 @@
 #include "core/encoder.h"
 
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <iterator>
+
 #include "util/logging.h"
+#include "util/math_util.h"
 
 namespace lsched {
 
@@ -148,6 +154,294 @@ EncodedQuery EncodeQuery(LSchedModel* model, const QueryFeatures& q,
   enc.pqe = model->pqe_out.Forward(tape, tape->ConcatCols({node_sum,
                                                            edge_sum}));
   return enc;
+}
+
+// --- tape-free serving path -------------------------------------------------
+
+namespace {
+
+/// acc[0..d) += b[0..d) — mirrors Tape::Add on (1 x d) rows.
+inline void AddRowInPlace(double* acc, const double* b, int d) {
+  for (int j = 0; j < d; ++j) acc[j] += b[j];
+}
+
+/// GAT score y_k = a . (self_term || term_k): same summation order as
+/// Tape::DotRows over the concatenated row (first the self half, then the
+/// term half). Caller applies LeakyReLU.
+inline double GatScore(const double* att, const double* self_term,
+                       const double* term, int d) {
+  double s = 0.0;
+  for (int j = 0; j < d; ++j) s += att[j] * self_term[j];
+  for (int j = 0; j < d; ++j) s += att[d + j] * term[j];
+  return s;
+}
+
+/// One tape-free edge-aware tree-convolution layer over all nodes: the
+/// per-node triangle filter + GAT math stays scalar (variable term counts),
+/// but the channel-mixing projection is batched into one GEMM across every
+/// node of the query.
+void TreeConvLayerServing(const LSchedModel& model,
+                          const LSchedModel::ConvLayer& layer,
+                          const QueryFeatures& q, Matrix* node_emb,
+                          const Matrix& edge_emb, ScratchArena* arena) {
+  const int d = model.config().hidden_dim;
+  const bool use_gat = model.config().use_gat;
+  const double* w_self = layer.w_self->value.data();
+  const std::array<const double*, 2> child_w = {layer.w_right->value.data(),
+                                                layer.w_left->value.data()};
+  const std::array<const double*, 2> edge_w = {layer.w_eright->value.data(),
+                                               layer.w_eleft->value.data()};
+  const double* att = layer.att->value.data();
+
+  // Up to 5 terms per node: self + 2 x (child, edge).
+  Matrix* terms = arena->Alloc(5, d);
+  Matrix* combined_mat = arena->Alloc(q.num_nodes, d);
+  for (int i = 0; i < q.num_nodes; ++i) {
+    const double* x_i =
+        node_emb->data() + static_cast<size_t>(i) * static_cast<size_t>(d);
+    int num_terms = 0;
+    auto term_row = [&](int k) {
+      return terms->data() + static_cast<size_t>(k) * static_cast<size_t>(d);
+    };
+    double* self_term = term_row(num_terms++);
+    for (int j = 0; j < d; ++j) self_term[j] = x_i[j] * w_self[j];
+    for (int s = 0; s < 2; ++s) {
+      const int child = q.child_node[static_cast<size_t>(i)][s];
+      const int edge = q.child_edge[static_cast<size_t>(i)][s];
+      if (child < 0) continue;
+      const double* xc = node_emb->data() +
+                         static_cast<size_t>(child) * static_cast<size_t>(d);
+      double* t = term_row(num_terms++);
+      for (int j = 0; j < d; ++j) t[j] = xc[j] * child_w[s][j];
+      const double* ec =
+          edge_emb.data() + static_cast<size_t>(edge) * static_cast<size_t>(d);
+      double* te = term_row(num_terms++);
+      for (int j = 0; j < d; ++j) te[j] = ec[j] * edge_w[s][j];
+    }
+
+    double* combined = combined_mat->data() +
+                       static_cast<size_t>(i) * static_cast<size_t>(d);
+    if (use_gat && num_terms > 1) {
+      double logits[5];
+      for (int k = 0; k < num_terms; ++k) {
+        const double y = GatScore(att, self_term, term_row(k), d);
+        logits[k] = y > 0.0 ? y : 0.2 * y;  // LeakyReLU, tape alpha
+      }
+      const double lse = LogSumExp(logits, static_cast<size_t>(num_terms));
+      for (int k = 0; k < num_terms; ++k) {
+        const double zk = std::exp(logits[k] - lse);
+        const double* t = term_row(k);
+        if (k == 0) {
+          for (int j = 0; j < d; ++j) combined[j] = t[j] * zk;
+        } else {
+          for (int j = 0; j < d; ++j) combined[j] += t[j] * zk;
+        }
+      }
+    } else {
+      for (int j = 0; j < d; ++j) combined[j] = self_term[j];
+      for (int k = 1; k < num_terms; ++k) {
+        AddRowInPlace(combined, term_row(k), d);
+      }
+    }
+  }
+  // Batched channel mix: one GEMM for the whole query's nodes.
+  Matrix* mixed = arena->Alloc(q.num_nodes, d);
+  LinearForwardInto(layer.mix, *combined_mat, mixed);
+  ReluInPlace(mixed);
+  *node_emb = *mixed;
+}
+
+/// Tape-free sequential message-passing GCN layer (ablation fallback).
+void GcnLayerServing(const LSchedModel& model, const QueryFeatures& q,
+                     Matrix* node_emb, ScratchArena* arena) {
+  const int d = model.config().hidden_dim;
+  Matrix* row = arena->Alloc(1, d);
+  Matrix* h = arena->Alloc(1, d);
+  Matrix* child_out = arena->Alloc(1, d);
+  for (int i : q.topo_order) {
+    double* x_i =
+        node_emb->data() + static_cast<size_t>(i) * static_cast<size_t>(d);
+    for (int j = 0; j < d; ++j) row->data()[j] = x_i[j];
+    LinearForwardInto(model.gcn_self, *row, h);
+    for (int s = 0; s < 2; ++s) {
+      const int child = q.child_node[static_cast<size_t>(i)][s];
+      if (child < 0) continue;
+      const double* xc = node_emb->data() +
+                         static_cast<size_t>(child) * static_cast<size_t>(d);
+      for (int j = 0; j < d; ++j) row->data()[j] = xc[j];
+      LinearForwardInto(model.gcn_child, *row, child_out);
+      AddRowInPlace(h->data(), child_out->data(), d);
+    }
+    for (int j = 0; j < d; ++j) x_i[j] = h->data()[j] > 0.0 ? h->data()[j] : 0.0;
+  }
+}
+
+}  // namespace
+
+ServingEncodedQuery EncodeQueryServing(const LSchedModel& model,
+                                       const QueryFeatures& q,
+                                       ScratchArena* arena) {
+  const LSchedConfig& cfg = model.config();
+  const int d = cfg.hidden_dim;
+  const int sd = cfg.summary_dim;
+  const int opf_dim = cfg.features.opf_dim();
+  const int edf_dim = cfg.features.edf_dim();
+  const int num_edges = static_cast<int>(q.edf.size());
+  ServingEncodedQuery out;
+
+  // Initial projections, batched over all nodes / edges of the query.
+  Matrix* opf_mat = arena->Alloc(q.num_nodes, opf_dim);
+  for (int i = 0; i < q.num_nodes; ++i) {
+    const std::vector<double>& f = q.opf[static_cast<size_t>(i)];
+    std::copy(f.begin(), f.end(),
+              opf_mat->data() + static_cast<size_t>(i) *
+                                    static_cast<size_t>(opf_dim));
+  }
+  Matrix* ne = arena->Alloc(q.num_nodes, d);
+  LinearForwardInto(model.proj_node, *opf_mat, ne);
+  ReluInPlace(ne);
+
+  Matrix* edf_mat = arena->Alloc(num_edges, edf_dim);
+  for (int e = 0; e < num_edges; ++e) {
+    const std::vector<double>& f = q.edf[static_cast<size_t>(e)];
+    std::copy(f.begin(), f.end(),
+              edf_mat->data() + static_cast<size_t>(e) *
+                                    static_cast<size_t>(edf_dim));
+  }
+  out.edge_emb.Resize(num_edges, d);
+  if (num_edges > 0) {
+    Matrix* ee = arena->Alloc(num_edges, d);
+    LinearForwardInto(model.proj_edge, *edf_mat, ee);
+    ReluInPlace(ee);
+    out.edge_emb = *ee;
+  }
+
+  // Stacked convolution layers.
+  if (cfg.use_tree_conv) {
+    for (const LSchedModel::ConvLayer& layer : model.conv) {
+      TreeConvLayerServing(model, layer, q, ne, out.edge_emb, arena);
+    }
+  } else {
+    for (int l = 0; l < cfg.num_conv_layers; ++l) {
+      GcnLayerServing(model, q, ne, arena);
+    }
+  }
+  out.node_emb = *ne;
+
+  // PQE: batched node / edge messages, then ordered row-summation (same
+  // accumulation order as the tape's sequential Adds).
+  Matrix* node_cat = arena->Alloc(q.num_nodes, d + opf_dim);
+  for (int i = 0; i < q.num_nodes; ++i) {
+    double* row = node_cat->data() +
+                  static_cast<size_t>(i) * static_cast<size_t>(d + opf_dim);
+    const double* nrow = out.node_emb.data() +
+                         static_cast<size_t>(i) * static_cast<size_t>(d);
+    std::copy(nrow, nrow + d, row);
+    const std::vector<double>& f = q.opf[static_cast<size_t>(i)];
+    std::copy(f.begin(), f.end(), row + d);
+  }
+  Matrix* node_msgs = MlpForward(model.pqe_node_in, *node_cat, arena);
+  ReluInPlace(node_msgs);
+  Matrix* node_sum = arena->Alloc(1, sd);
+  for (int i = 0; i < q.num_nodes; ++i) {
+    const double* row =
+        node_msgs->data() + static_cast<size_t>(i) * static_cast<size_t>(sd);
+    if (i == 0) {
+      std::copy(row, row + sd, node_sum->data());
+    } else {
+      AddRowInPlace(node_sum->data(), row, sd);
+    }
+  }
+
+  Matrix* edge_sum = arena->Alloc(1, sd);
+  if (num_edges > 0) {
+    Matrix* edge_cat = arena->Alloc(num_edges, d + edf_dim);
+    for (int e = 0; e < num_edges; ++e) {
+      double* row = edge_cat->data() +
+                    static_cast<size_t>(e) * static_cast<size_t>(d + edf_dim);
+      const double* erow = out.edge_emb.data() +
+                           static_cast<size_t>(e) * static_cast<size_t>(d);
+      std::copy(erow, erow + d, row);
+      const std::vector<double>& f = q.edf[static_cast<size_t>(e)];
+      std::copy(f.begin(), f.end(), row + d);
+    }
+    Matrix* edge_msgs = MlpForward(model.pqe_edge_in, *edge_cat, arena);
+    ReluInPlace(edge_msgs);
+    for (int e = 0; e < num_edges; ++e) {
+      const double* row = edge_msgs->data() +
+                          static_cast<size_t>(e) * static_cast<size_t>(sd);
+      if (e == 0) {
+        std::copy(row, row + sd, edge_sum->data());
+      } else {
+        AddRowInPlace(edge_sum->data(), row, sd);
+      }
+    }
+  }  // else: zeros, matching the tape's zero constant.
+
+  Matrix* pqe_cat = arena->Alloc(1, 2 * sd);
+  std::copy(node_sum->data(), node_sum->data() + sd, pqe_cat->data());
+  std::copy(edge_sum->data(), edge_sum->data() + sd, pqe_cat->data() + sd);
+  out.pqe = *MlpForward(model.pqe_out, *pqe_cat, arena);
+  return out;
+}
+
+EncodingCache::Entry& EncodingCache::GetStructural(
+    const QueryState& q, uint64_t version, const LSchedModel& model,
+    const FeatureExtractor& extractor) {
+  const uint64_t epoch = model.params().value_epoch();
+  if (epoch != params_epoch_) {
+    // Parameter values moved (optimizer step / checkpoint load): every
+    // cached encoding is stale regardless of query versions.
+    entries_.clear();
+    params_epoch_ = epoch;
+  }
+  Entry& e = entries_[q.id()];
+  if (e.version == version && version != 0) {
+    ++hits_;
+    return e;
+  }
+  ++misses_;
+  e.version = version;
+  e.features = extractor.ExtractQueryStructural(q);
+  e.candidates = FeatureExtractor::SchedulableCandidates(q);
+  e.encoded = false;
+  return e;
+}
+
+void EncodingCache::EnsureEncoded(Entry* entry, const LSchedModel& model,
+                                  ScratchArena* arena) {
+  if (entry->encoded) return;
+  entry->enc = EncodeQueryServing(model, entry->features, arena);
+  entry->encoded = true;
+}
+
+const EncodingCache::Entry& EncodingCache::Get(const QueryState& q,
+                                               uint64_t version,
+                                               const LSchedModel& model,
+                                               const FeatureExtractor& extractor,
+                                               ScratchArena* arena) {
+  Entry& e = GetStructural(q, version, model, extractor);
+  EnsureEncoded(&e, model, arena);
+  return e;
+}
+
+void EncodingCache::Clear() {
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+void EncodingCache::Trim(const std::vector<QueryState*>& live) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    bool found = false;
+    for (const QueryState* q : live) {
+      if (q->id() == it->first) {
+        found = true;
+        break;
+      }
+    }
+    it = found ? std::next(it) : entries_.erase(it);
+  }
 }
 
 EncodedState EncodeState(LSchedModel* model, const StateFeatures& state,

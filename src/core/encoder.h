@@ -1,11 +1,15 @@
 #ifndef LSCHED_CORE_ENCODER_H_
 #define LSCHED_CORE_ENCODER_H_
 
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/features.h"
 #include "core/model.h"
 #include "nn/autograd.h"
+#include "nn/inference.h"
 
 namespace lsched {
 
@@ -35,6 +39,77 @@ EncodedState EncodeState(LSchedModel* model, const StateFeatures& state,
 /// Encodes one query (exposed for tests and micro-benchmarks).
 EncodedQuery EncodeQuery(LSchedModel* model, const QueryFeatures& q,
                          Tape* tape);
+
+/// --- tape-free serving path (Scheduler API v2, DESIGN.md §9) -------------
+
+/// Per-query encodings on the serving fast path: plain matrices, no Vars.
+/// Node/edge embeddings are batched row-major — row i of node_emb is
+/// operator i's embedding — so the decision heads can gather candidate rows
+/// straight into GEMM inputs.
+struct ServingEncodedQuery {
+  Matrix node_emb;  ///< (num_nodes x hidden_dim), post conv stack
+  Matrix edge_emb;  ///< (num_edges x hidden_dim)
+  Matrix pqe;       ///< (1 x summary_dim)
+};
+
+/// Tape-free forward of the Single Query Encoder. Bit-identical to
+/// EncodeQuery's values (same loop and accumulation order per row), but
+/// allocates nothing beyond `arena` scratch plus the returned matrices, and
+/// never constructs a Tape. Depends only on the structural features, so the
+/// result is cacheable per (query id, context version).
+ServingEncodedQuery EncodeQueryServing(const LSchedModel& model,
+                                       const QueryFeatures& q,
+                                       ScratchArena* arena);
+
+/// Per-query serving cache keyed by the SchedulingContext's (id, version)
+/// pairs and the model's parameter value-epoch. A hit returns the cached
+/// structural features, candidate list, and encoder outputs without
+/// touching the plan; a miss re-extracts and re-encodes just that query.
+class EncodingCache {
+ public:
+  struct Entry {
+    uint64_t version = 0;
+    QueryFeatures features;  ///< structural only — qf is left empty
+    /// Schedulable (op, valid-pipeline-length) pairs.
+    std::vector<std::pair<int, int>> candidates;
+    /// True once `enc` reflects `features` (encoding is lazy: an event
+    /// whose candidate set turns out empty never pays for the forward).
+    bool encoded = false;
+    ServingEncodedQuery enc;
+  };
+
+  /// Refreshes the structural half of `q`'s entry (features + candidate
+  /// list) if `version` (from SchedulingContext::query_version) or the
+  /// model's parameter epoch moved. Does NOT encode — callers that decide
+  /// to run the forward pass call EnsureEncoded on the returned entry.
+  Entry& GetStructural(const QueryState& q, uint64_t version,
+                       const LSchedModel& model,
+                       const FeatureExtractor& extractor);
+
+  /// Runs the serving encoder for `entry` if its encoding is stale.
+  void EnsureEncoded(Entry* entry, const LSchedModel& model,
+                     ScratchArena* arena);
+
+  /// GetStructural + EnsureEncoded in one call.
+  const Entry& Get(const QueryState& q, uint64_t version,
+                   const LSchedModel& model, const FeatureExtractor& extractor,
+                   ScratchArena* arena);
+
+  void Clear();
+  /// Drops entries for queries no longer in `live` (call occasionally; a
+  /// completed query's entry is otherwise retained until Clear()).
+  void Trim(const std::vector<QueryState*>& live);
+
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<QueryId, Entry> entries_;
+  uint64_t params_epoch_ = 0;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
 
 }  // namespace lsched
 

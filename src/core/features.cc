@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/scheduling_context.h"
 #include "plan/operator_type.h"
 #include "util/math_util.h"
 
@@ -12,6 +13,35 @@ namespace {
 inline double Log1pScaled(double v, double scale = 1.0) {
   return std::log1p(std::max(v, 0.0)) * scale;
 }
+
+/// Shared QF assembly: identical math for the snapshot and context paths
+/// (and therefore for the cached fast path, which recomputes only this
+/// row per event).
+std::vector<double> MakeQf(const FeatureConfig& config, const QueryState& q,
+                           const std::vector<ThreadInfo>& threads) {
+  std::vector<double> qf;
+  const double total_threads = std::max<size_t>(threads.size(), 1);
+  qf.reserve(static_cast<size_t>(config.qf_dim()));
+  qf.push_back(static_cast<double>(q.assigned_threads()) /
+               static_cast<double>(total_threads));  // Q-ATH
+  int free_threads = 0;
+  for (const ThreadInfo& t : threads) {
+    if (!t.busy) ++free_threads;
+  }
+  qf.push_back(static_cast<double>(free_threads) /
+               static_cast<double>(total_threads));  // Q-FTH
+  // Q-LOC: per-thread locality bit.
+  for (int t = 0; t < config.max_threads; ++t) {
+    if (t < static_cast<int>(threads.size())) {
+      qf.push_back(threads[static_cast<size_t>(t)].last_query == q.id()
+                       ? 1.0
+                       : 0.0);
+    } else {
+      qf.push_back(0.0);
+    }
+  }
+  return qf;
+}
 }  // namespace
 
 int FeatureConfig::opf_dim() const {
@@ -19,8 +49,8 @@ int FeatureConfig::opf_dim() const {
          6;
 }
 
-QueryFeatures FeatureExtractor::ExtractQuery(const QueryState& q,
-                                             const SystemState& state) const {
+QueryFeatures FeatureExtractor::ExtractQueryStructural(
+    const QueryState& q) const {
   const QueryPlan& plan = q.plan();
   QueryFeatures out;
   out.qid = q.id();
@@ -107,28 +137,26 @@ QueryFeatures FeatureExtractor::ExtractQuery(const QueryState& q,
     }
   }
 
-  // --- QF --------------------------------------------------------------------
-  const double total_threads =
-      std::max<size_t>(state.threads.size(), 1);
-  out.qf.reserve(static_cast<size_t>(config_.qf_dim()));
-  out.qf.push_back(static_cast<double>(q.assigned_threads()) /
-                   static_cast<double>(total_threads));  // Q-ATH
-  int free_threads = 0;
-  for (const ThreadInfo& t : state.threads) {
-    if (!t.busy) ++free_threads;
-  }
-  out.qf.push_back(static_cast<double>(free_threads) /
-                   static_cast<double>(total_threads));  // Q-FTH
-  // Q-LOC: per-thread locality bit.
-  for (int t = 0; t < config_.max_threads; ++t) {
-    if (t < static_cast<int>(state.threads.size())) {
-      out.qf.push_back(state.threads[static_cast<size_t>(t)].last_query ==
-                               q.id()
-                           ? 1.0
-                           : 0.0);
-    } else {
-      out.qf.push_back(0.0);
-    }
+  return out;
+}
+
+QueryFeatures FeatureExtractor::ExtractQuery(const QueryState& q,
+                                             const SystemState& state) const {
+  QueryFeatures out = ExtractQueryStructural(q);
+  out.qf = MakeQf(config_, q, state.threads);
+  return out;
+}
+
+std::vector<double> FeatureExtractor::ExtractQf(
+    const QueryState& q, const SchedulingContext& ctx) const {
+  return MakeQf(config_, q, ctx.threads());
+}
+
+std::vector<std::pair<int, int>> FeatureExtractor::SchedulableCandidates(
+    const QueryState& q) {
+  std::vector<std::pair<int, int>> out;
+  for (int op : q.SchedulableOps()) {
+    out.push_back({op, static_cast<int>(q.ValidPipelineFrom(op).size())});
   }
   return out;
 }
@@ -142,11 +170,33 @@ StateFeatures FeatureExtractor::Extract(const SystemState& state) const {
   for (size_t qi = 0; qi < state.queries.size(); ++qi) {
     const QueryState* q = state.queries[qi];
     out.queries.push_back(ExtractQuery(*q, state));
-    for (int op : q->SchedulableOps()) {
+    for (const auto& [op, degree] : SchedulableCandidates(*q)) {
       Candidate c;
       c.query_index = static_cast<int>(qi);
       c.op = op;
-      c.max_degree = static_cast<int>(q->ValidPipelineFrom(op).size());
+      c.max_degree = degree;
+      out.candidates.push_back(c);
+    }
+  }
+  return out;
+}
+
+StateFeatures FeatureExtractor::Extract(const SchedulingContext& ctx) const {
+  StateFeatures out;
+  out.time = ctx.now();
+  out.total_threads = ctx.total_threads();
+  out.free_threads = ctx.num_free_threads();
+  out.queries.reserve(ctx.queries().size());
+  for (size_t qi = 0; qi < ctx.queries().size(); ++qi) {
+    const QueryState* q = ctx.queries()[qi];
+    QueryFeatures f = ExtractQueryStructural(*q);
+    f.qf = ExtractQf(*q, ctx);
+    out.queries.push_back(std::move(f));
+    for (const auto& [op, degree] : SchedulableCandidates(*q)) {
+      Candidate c;
+      c.query_index = static_cast<int>(qi);
+      c.op = op;
+      c.max_degree = degree;
       out.candidates.push_back(c);
     }
   }

@@ -2,11 +2,14 @@
 #define LSCHED_CORE_FEATURES_H_
 
 #include <array>
+#include <utility>
 #include <vector>
 
 #include "exec/scheduler.h"
 
 namespace lsched {
+
+class SchedulingContext;
 
 /// Sizes of the feature vocabularies (paper §4.1). One-hot vocabularies are
 /// hashed/clamped so the network dimensions stay fixed across benchmarks.
@@ -68,7 +71,14 @@ struct StateFeatures {
   std::vector<Candidate> candidates;
 };
 
-/// Extracts the paper's feature set from a SystemState snapshot.
+/// Extracts the paper's feature set from a SystemState snapshot or a
+/// SchedulingContext.
+///
+/// The extraction is split along the cache boundary the serving fast path
+/// exploits (DESIGN.md §9): everything in ExtractQueryStructural depends
+/// only on query-local state and is invalidated exactly by the context's
+/// dirty flags (MarkQueryDirty), while the QF row additionally reads
+/// thread-pool occupancy and must be recomputed fresh at every event.
 class FeatureExtractor {
  public:
   explicit FeatureExtractor(FeatureConfig config) : config_(config) {}
@@ -76,10 +86,27 @@ class FeatureExtractor {
   const FeatureConfig& config() const { return config_; }
 
   StateFeatures Extract(const SystemState& state) const;
+  /// Full (uncached) extraction from an incremental context; identical
+  /// output to the snapshot overload for the same underlying state.
+  StateFeatures Extract(const SchedulingContext& ctx) const;
 
   /// Features of a single query (exposed for tests).
   QueryFeatures ExtractQuery(const QueryState& q,
                              const SystemState& state) const;
+
+  /// The version-cacheable part of one query's features: OPF, EDF, plan
+  /// structure, and topological order — everything except the QF row.
+  QueryFeatures ExtractQueryStructural(const QueryState& q) const;
+
+  /// The per-event QF row ([Q-ATH, Q-FTH] + Q-LOC locality bits). Depends
+  /// on thread occupancy, so never cached.
+  std::vector<double> ExtractQf(const QueryState& q,
+                                const SchedulingContext& ctx) const;
+
+  /// Schedulable (op, valid-pipeline-length) pairs of one query — the
+  /// per-query slice of StateFeatures::candidates. Cacheable per version.
+  static std::vector<std::pair<int, int>> SchedulableCandidates(
+      const QueryState& q);
 
  private:
   FeatureConfig config_;

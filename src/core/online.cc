@@ -37,6 +37,12 @@ SchedulingDecision OnlineLSched::Schedule(const SchedulingEvent& event,
   return agent_.Schedule(event, state);
 }
 
+SchedulingDecision OnlineLSched::Schedule(const SchedulingEvent& event,
+                                          const SchedulingContext& ctx) {
+  last_event_time_ = ctx.now();
+  return agent_.Schedule(event, ctx);
+}
+
 void OnlineLSched::AttachDriftMonitor(obs::DriftMonitor* monitor) {
   // The callback captures only the shared flag, never `this`: monitor and
   // scheduler lifetimes stay independent.

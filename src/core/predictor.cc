@@ -100,6 +100,149 @@ PredictorOutput RunPredictor(LSchedModel* model, const StateFeatures& state,
   return out;
 }
 
+Matrix ComputeAqeServing(const LSchedModel& model, const ServingStateView& view,
+                         ScratchArena* arena) {
+  const LSchedConfig& cfg = model.config();
+  const int sd = cfg.summary_dim;
+  const int qf_dim = cfg.features.qf_dim();
+  const int nq = static_cast<int>(view.queries.size());
+  Matrix* sum = arena->Alloc(1, sd);  // zero-filled: the empty-state constant
+  if (nq > 0) {
+    Matrix* cat = arena->Alloc(nq, sd + qf_dim);
+    for (int qi = 0; qi < nq; ++qi) {
+      double* row = cat->data() +
+                    static_cast<size_t>(qi) * static_cast<size_t>(sd + qf_dim);
+      const Matrix& pqe = view.encoded[static_cast<size_t>(qi)]->pqe;
+      std::copy(pqe.data(), pqe.data() + sd, row);
+      const std::vector<double>& qf = *view.qf[static_cast<size_t>(qi)];
+      std::copy(qf.begin(), qf.end(), row + sd);
+    }
+    Matrix* msgs = MlpForward(model.aqe_in, *cat, arena);
+    ReluInPlace(msgs);
+    for (int qi = 0; qi < nq; ++qi) {
+      const double* row =
+          msgs->data() + static_cast<size_t>(qi) * static_cast<size_t>(sd);
+      if (qi == 0) {
+        std::copy(row, row + sd, sum->data());
+      } else {
+        for (int j = 0; j < sd; ++j) sum->data()[j] += row[j];
+      }
+    }
+  }
+  return *MlpForward(model.aqe_out, *sum, arena);
+}
+
+void RunPredictorServing(const LSchedModel& model, const ServingStateView& view,
+                         const Matrix& aqe, ScratchArena* arena,
+                         ServingPredictorOutput* out) {
+  LSCHED_CHECK(!view.candidates.empty());
+  const LSchedConfig& cfg = model.config();
+  const int d = cfg.hidden_dim;
+  const int sd = cfg.summary_dim;
+  const int edf_dim = cfg.features.edf_dim();
+  const int qf_dim = cfg.features.qf_dim();
+  const int max_deg = cfg.max_pipeline_degree;
+  const int num_par = static_cast<int>(cfg.parallelism_fractions.size());
+  const int num_cands = static_cast<int>(view.candidates.size());
+
+  // Assemble one row per candidate for each head, then run each head as a
+  // single batched GEMM stack over all candidates.
+  Matrix* root_in = arena->Alloc(num_cands, 2 * d + sd);
+  Matrix* deg_in = arena->Alloc(num_cands, 2 * d + sd + edf_dim);
+  Matrix* par_in = arena->Alloc(num_cands, 2 * sd + qf_dim);
+  Matrix* ee = arena->Alloc(1, d);
+  for (int c = 0; c < num_cands; ++c) {
+    const Candidate& cand = view.candidates[static_cast<size_t>(c)];
+    const QueryFeatures& q = *view.queries[static_cast<size_t>(cand.query_index)];
+    const ServingEncodedQuery& eq =
+        *view.encoded[static_cast<size_t>(cand.query_index)];
+    const double* ne = eq.node_emb.data() +
+                       static_cast<size_t>(cand.op) * static_cast<size_t>(d);
+
+    // Mean in-edge embedding — same ordered sum + scale as the tape path.
+    const std::vector<int>& edges = q.in_edges[static_cast<size_t>(cand.op)];
+    if (edges.empty()) {
+      for (int j = 0; j < d; ++j) ee->data()[j] = 0.0;
+    } else {
+      for (size_t k = 0; k < edges.size(); ++k) {
+        const double* erow =
+            eq.edge_emb.data() +
+            static_cast<size_t>(edges[k]) * static_cast<size_t>(d);
+        if (k == 0) {
+          std::copy(erow, erow + d, ee->data());
+        } else {
+          for (int j = 0; j < d; ++j) ee->data()[j] += erow[j];
+        }
+      }
+      const double inv = 1.0 / static_cast<double>(edges.size());
+      for (int j = 0; j < d; ++j) ee->data()[j] *= inv;
+    }
+
+    double* rrow = root_in->data() +
+                   static_cast<size_t>(c) * static_cast<size_t>(2 * d + sd);
+    std::copy(ne, ne + d, rrow);
+    std::copy(ee->data(), ee->data() + d, rrow + d);
+    std::copy(eq.pqe.data(), eq.pqe.data() + sd, rrow + 2 * d);
+
+    double* drow =
+        deg_in->data() +
+        static_cast<size_t>(c) * static_cast<size_t>(2 * d + sd + edf_dim);
+    std::copy(rrow, rrow + 2 * d + sd, drow);
+    const Matrix edf_agg = EdfAggregate(q, cand.op, edf_dim);
+    std::copy(edf_agg.data(), edf_agg.data() + edf_dim, drow + 2 * d + sd);
+
+    double* prow = par_in->data() +
+                   static_cast<size_t>(c) * static_cast<size_t>(2 * sd + qf_dim);
+    std::copy(aqe.data(), aqe.data() + sd, prow);
+    std::copy(eq.pqe.data(), eq.pqe.data() + sd, prow + sd);
+    const std::vector<double>& qf = *view.qf[static_cast<size_t>(cand.query_index)];
+    std::copy(qf.begin(), qf.end(), prow + 2 * sd);
+  }
+
+  Matrix* root_scores = MlpForward(model.root_head, *root_in, arena);
+  out->root_logprobs.Resize(1, num_cands);
+  for (int c = 0; c < num_cands; ++c) {
+    out->root_logprobs.data()[c] = root_scores->at(c, 0);
+  }
+  LogSoftmaxRowsInPlace(&out->root_logprobs);
+
+  Matrix* deg_logits = MlpForward(model.degree_head, *deg_in, arena);
+  out->degree_logprobs = *deg_logits;
+  for (int c = 0; c < num_cands; ++c) {
+    const Candidate& cand = view.candidates[static_cast<size_t>(c)];
+    const int valid =
+        cfg.predict_pipeline ? std::min(cand.max_degree, max_deg) : 1;
+    double* row = out->degree_logprobs.data() +
+                  static_cast<size_t>(c) * static_cast<size_t>(max_deg);
+    // Tape adds an explicit mask matrix (0 or -1e9) to every entry; mirror
+    // the additions exactly.
+    for (int k = 0; k < max_deg; ++k) row[k] += k >= valid ? -1e9 : 0.0;
+  }
+  LogSoftmaxRowsInPlace(&out->degree_logprobs);
+
+  Matrix* par_logits = MlpForward(model.par_head, *par_in, arena);
+  out->par_logprobs = *par_logits;
+  if (!cfg.predict_parallelism) {
+    for (int c = 0; c < num_cands; ++c) {
+      double* row = out->par_logprobs.data() +
+                    static_cast<size_t>(c) * static_cast<size_t>(num_par);
+      for (int k = 0; k < num_par; ++k) {
+        row[k] += k == num_par - 1 ? 0.0 : -1e9;
+      }
+    }
+  }
+  LogSoftmaxRowsInPlace(&out->par_logprobs);
+}
+
+double ServingActionLogProb(const ServingPredictorOutput& output,
+                            const SchedulingAction& action) {
+  return output.root_logprobs.at(0, action.candidate_index) +
+         output.degree_logprobs.at(action.candidate_index,
+                                   action.degree_index) +
+         output.par_logprobs.at(action.candidate_index,
+                                action.parallelism_index);
+}
+
 Var ActionLogProb(Tape* tape, const PredictorOutput& output,
                   const SchedulingAction& action) {
   Var lp = tape->PickCol(output.root_logprobs, action.candidate_index);

@@ -42,6 +42,45 @@ Var ActionLogProb(Tape* tape, const PredictorOutput& output,
 Var ActionEntropy(Tape* tape, const PredictorOutput& output,
                   const SchedulingAction& action);
 
+/// --- tape-free serving path (Scheduler API v2, DESIGN.md §9) -------------
+
+/// Borrowed view of everything the serving heads need at one event: cached
+/// structural features + encodings per query, plus the fresh QF rows. All
+/// pointers are parallel (queries[i], qf[i], encoded[i] describe the same
+/// query); candidates index into them via Candidate::query_index.
+struct ServingStateView {
+  int total_threads = 0;
+  int free_threads = 0;
+  std::vector<const QueryFeatures*> queries;  ///< structural (qf unused)
+  std::vector<const std::vector<double>*> qf; ///< fresh per-event QF rows
+  std::vector<const ServingEncodedQuery*> encoded;
+  std::vector<Candidate> candidates;
+};
+
+/// Plain-matrix outputs of the serving heads. Row c of degree_logprobs /
+/// par_logprobs is candidate c's distribution; root_logprobs is (1 x C).
+/// Values are bit-identical to PredictorOutput's.
+struct ServingPredictorOutput {
+  Matrix root_logprobs;
+  Matrix degree_logprobs;
+  Matrix par_logprobs;
+};
+
+/// AQE for the serving path (per event — QF-dependent, never cached).
+Matrix ComputeAqeServing(const LSchedModel& model, const ServingStateView& view,
+                         ScratchArena* arena);
+
+/// Runs the three decision heads over all candidates as three batched GEMM
+/// stacks (one row per candidate). Requires view.candidates non-empty.
+void RunPredictorServing(const LSchedModel& model, const ServingStateView& view,
+                         const Matrix& aqe, ScratchArena* arena,
+                         ServingPredictorOutput* out);
+
+/// Joint log-probability of `action` under serving outputs (matches
+/// ActionLogProb's value).
+double ServingActionLogProb(const ServingPredictorOutput& output,
+                            const SchedulingAction& action);
+
 }  // namespace lsched
 
 #endif  // LSCHED_CORE_PREDICTOR_H_

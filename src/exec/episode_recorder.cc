@@ -15,12 +15,12 @@ namespace {
 
 /// "q:op" pairs of every currently-schedulable operator, truncated to
 /// kMaxLoggedCandidates. Also counts the full set.
-std::string CandidateSetString(const SystemState& state, int* count) {
+std::string CandidateSetString(const SchedulingContext& ctx, int* count) {
   std::string out;
   out.reserve(128);
   int n = 0;
   char buf[48];
-  for (const QueryState* q : state.queries) {
+  for (const QueryState* q : ctx.queries()) {
     // Probe IsOpSchedulable directly: SchedulableOps() allocates a vector
     // per query, too hot for a path run on every scheduler invocation.
     const int ops = static_cast<int>(q->plan().num_nodes());
@@ -105,32 +105,32 @@ void EpisodeRecorder::Begin(const char* engine_name, Scheduler* scheduler,
 }
 
 int64_t EpisodeRecorder::OnSchedulerInvocation(
-    const SchedulingEvent& event, const SystemState& state,
+    const SchedulingEvent& event, const SchedulingContext& ctx,
     const SchedulingDecision& decision, double wall_seconds) {
   result_.scheduler_wall_seconds += wall_seconds;
   ++result_.num_scheduler_invocations;
   result_.decisions.push_back(
-      {state.now, static_cast<int>(state.queries.size())});
+      {ctx.now(), static_cast<int>(ctx.queries().size())});
 
   if (!obs::Enabled()) return -1;
   ++local_invocations_;
   lh_decision_seconds_.Observe(wall_seconds);
 
   obs::DecisionRecord rec;
-  rec.time = state.now;
+  rec.time = ctx.now();
   rec.engine = engine_name_;
   rec.event = SchedulingEventTypeName(event.type);
   rec.policy = scheduler_ != nullptr ? scheduler_->name() : "";
-  rec.candidates = CandidateSetString(state, &rec.num_candidates);
-  rec.running_queries = static_cast<int>(state.queries.size());
-  rec.free_threads = state.num_free_threads();
+  rec.candidates = CandidateSetString(ctx, &rec.num_candidates);
+  rec.running_queries = static_cast<int>(ctx.queries().size());
+  rec.free_threads = ctx.num_free_threads();
   if (!decision.pipelines.empty()) {
     rec.chosen_query = decision.pipelines.front().query;
     rec.chosen_root = decision.pipelines.front().root_op;
     rec.degree = decision.pipelines.front().degree;
     // Operator type of the chosen root: the per-key attribution the drift
     // monitor groups prediction errors by.
-    if (const QueryState* q = state.FindQuery(rec.chosen_query)) {
+    if (const QueryState* q = ctx.FindQuery(rec.chosen_query)) {
       if (rec.chosen_root >= 0 &&
           rec.chosen_root < static_cast<int>(q->plan().num_nodes())) {
         rec.op_type = OperatorTypeName(q->plan().node(rec.chosen_root).type);

@@ -7,6 +7,7 @@
 #include "exec/episode_result.h"
 #include "exec/exec_types.h"
 #include "exec/scheduler.h"
+#include "exec/scheduling_context.h"
 #include "obs/decision_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -54,7 +55,7 @@ class EpisodeRecorder {
   /// Returns the decision-log id for attributing launched pipelines, or
   /// -1 when observability is off.
   int64_t OnSchedulerInvocation(const SchedulingEvent& event,
-                                const SystemState& state,
+                                const SchedulingContext& ctx,
                                 const SchedulingDecision& decision,
                                 double wall_seconds);
 

@@ -53,37 +53,18 @@ void RealEngine::PushCompletion(Completion c) {
   completion_cv_.notify_one();
 }
 
-SystemState RealEngine::SnapshotState(double now) {
-  SystemState state;
-  state.now = now;
-  for (auto& q : query_states_) {
-    if (q != nullptr && !q->completed()) state.queries.push_back(q.get());
-  }
-  for (const auto& w : workers_) state.threads.push_back(w->info);
-  return state;
-}
-
 void RealEngine::ApplyDecision(const SchedulingDecision& decision,
                                double now) {
   for (const ParallelismChoice& pc : decision.parallelism) {
-    for (auto& q : query_states_) {
-      if (q != nullptr && q->id() == pc.query && !q->completed()) {
-        q->set_max_threads(std::max(0, pc.max_threads));
-      }
+    if (QueryState* q = ctx_.FindQuery(pc.query)) {
+      q->set_max_threads(std::max(0, pc.max_threads));
     }
   }
   for (const PipelineChoice& choice : decision.pipelines) {
-    QueryState* q = nullptr;
-    int query_index = -1;
-    for (size_t i = 0; i < query_states_.size(); ++i) {
-      if (query_states_[i] != nullptr && query_states_[i]->id() == choice.query &&
-          !query_states_[i]->completed()) {
-        q = query_states_[i].get();
-        query_index = static_cast<int>(i);
-        break;
-      }
-    }
+    QueryState* q = ctx_.FindQuery(choice.query);
     if (q == nullptr) continue;
+    // Query ids are assigned from the workload index at arrival.
+    const int query_index = static_cast<int>(q->id());
     if (choice.root_op < 0 ||
         choice.root_op >= static_cast<int>(q->plan().num_nodes())) {
       continue;
@@ -113,6 +94,9 @@ void RealEngine::ApplyDecision(const SchedulingDecision& decision,
     p.created_at = now;
     p.decision_id = current_decision_id_;
     for (int op : valid) q->set_op_scheduled(op, true);
+    // Scheduling flags entered the query's feature inputs: invalidate
+    // cached encodings.
+    ctx_.MarkQueryDirty(q->id());
     recorder_.OnPipelineLaunched(current_decision_id_, q->id(), valid[0],
                                  degree, p.total_fused, now);
     pipelines_.push_back(std::move(p));
@@ -139,16 +123,16 @@ int RealEngine::AssignThreads(double now) {
 
     // Find a free worker, preferring locality.
     int worker_id = -1;
-    for (const auto& w : workers_) {
-      if (!w->info.busy && w->info.last_query == q->id()) {
-        worker_id = w->info.id;
+    for (const ThreadInfo& t : ctx_.threads()) {
+      if (!t.busy && t.last_query == q->id()) {
+        worker_id = t.id;
         break;
       }
     }
     if (worker_id < 0) {
-      for (const auto& w : workers_) {
-        if (!w->info.busy) {
-          worker_id = w->info.id;
+      for (const ThreadInfo& t : ctx_.threads()) {
+        if (!t.busy) {
+          worker_id = t.id;
           break;
         }
       }
@@ -163,13 +147,9 @@ int RealEngine::AssignThreads(double now) {
     task.wo_index = p.dispatched;
     ++p.dispatched;
     ++p.inflight;
-    w.info.busy = true;
-    w.info.running_query = q->id();
+    ctx_.SetThreadBusy(worker_id, q->id());
     q->set_assigned_threads(q->assigned_threads() + 1);
-    int inflight = 0;
-    for (const auto& other : workers_) {
-      if (other->info.busy) ++inflight;
-    }
+    const int inflight = ctx_.total_threads() - ctx_.num_free_threads();
     recorder_.OnWorkOrderDispatched(inflight, now - p.created_at);
     {
       std::lock_guard<std::mutex> lock(w.mu);
@@ -182,21 +162,14 @@ int RealEngine::AssignThreads(double now) {
 
 void RealEngine::InvokeScheduler(const SchedulingEvent& event,
                                  Scheduler* scheduler, double now) {
+  ctx_.set_now(now);
   for (int round = 0; round < config_.max_rounds_per_event; ++round) {
-    SystemState state = SnapshotState(now);
-    if (state.num_free_threads() == 0) return;
-    bool any_schedulable = false;
-    for (QueryState* q : state.queries) {
-      if (!q->SchedulableOps().empty()) {
-        any_schedulable = true;
-        break;
-      }
-    }
-    if (!any_schedulable) return;
+    if (ctx_.num_free_threads() == 0) return;
+    if (!ctx_.AnySchedulableOp()) return;
     Stopwatch sw;
-    const SchedulingDecision decision = scheduler->Schedule(event, state);
+    const SchedulingDecision decision = scheduler->Schedule(event, ctx_);
     current_decision_id_ = recorder_.OnSchedulerInvocation(
-        event, state, decision, sw.ElapsedSeconds());
+        event, ctx_, decision, sw.ElapsedSeconds());
     if (decision.empty()) return;
     const size_t before = pipelines_.size();
     ApplyDecision(decision, now);
@@ -206,9 +179,7 @@ void RealEngine::InvokeScheduler(const SchedulingEvent& event,
 }
 
 void RealEngine::ForceFallback(double now) {
-  for (size_t i = 0; i < query_states_.size(); ++i) {
-    QueryState* q = query_states_[i].get();
-    if (q == nullptr || q->completed()) continue;
+  for (QueryState* q : ctx_.queries()) {
     for (int op : q->SchedulableOps()) {
       bool producers_done = true;
       for (int e : q->plan().node(op).in_edges) {
@@ -235,6 +206,7 @@ RealRunResult RealEngine::Run(const std::vector<RealQuerySubmission>& workload,
   pipelines_.clear();
   completions_.clear();
   current_decision_id_ = -1;
+  ctx_.Reset();
   recorder_.Begin("real", scheduler, /*virtual_time=*/false);
   scheduler->Reset();
 
@@ -244,8 +216,11 @@ RealRunResult RealEngine::Run(const std::vector<RealQuerySubmission>& workload,
   workers_.clear();
   for (int i = 0; i < config_.num_threads; ++i) {
     auto w = std::make_unique<Worker>();
-    w->info.id = i;
+    w->id = i;
     workers_.push_back(std::move(w));
+    ThreadInfo info;
+    info.id = i;
+    ctx_.AddThread(info);
   }
   for (int i = 0; i < config_.num_threads; ++i) {
     workers_[static_cast<size_t>(i)]->thread =
@@ -275,6 +250,8 @@ RealRunResult RealEngine::Run(const std::vector<RealQuerySubmission>& workload,
           static_cast<QueryId>(idx), workload[idx].plan, now);
       executions_[idx] = std::make_unique<QueryExecution>(
           catalog_, &query_states_[idx]->plan(), config_.chunk_rows);
+      ctx_.set_now(now);
+      ctx_.AddQuery(query_states_[idx].get());
       ++next_arrival;
       SchedulingEvent se;
       se.type = SchedulingEventType::kQueryArrival;
@@ -285,8 +262,7 @@ RealRunResult RealEngine::Run(const std::vector<RealQuerySubmission>& workload,
     }
 
     // Deadlock guard: nothing running, nothing pending, queries remain.
-    bool any_busy = false;
-    for (const auto& w : workers_) any_busy |= w->info.busy;
+    const bool any_busy = ctx_.num_free_threads() != ctx_.total_threads();
     bool any_pending = false;
     for (const ActivePipeline& p : pipelines_) {
       any_pending |= p.dispatched < p.total_fused;
@@ -317,9 +293,8 @@ RealRunResult RealEngine::Run(const std::vector<RealQuerySubmission>& workload,
     ActivePipeline& p = pipelines_[static_cast<size_t>(c.pipeline_index)];
     QueryState* q = query_states_[static_cast<size_t>(p.query_index)].get();
     Worker& w = *workers_[static_cast<size_t>(c.thread_id)];
-    w.info.busy = false;
-    w.info.last_query = q->id();
-    w.info.running_query = kInvalidQuery;
+    ctx_.set_now(done_now);
+    ctx_.SetThreadIdle(c.thread_id, q->id());
     q->AddAttainedService(c.seconds);
     recorder_.OnWorkOrderCompleted(p.decision_id, c.seconds);
     --p.inflight;
@@ -343,13 +318,18 @@ RealRunResult RealEngine::Run(const std::vector<RealQuerySubmission>& workload,
         completed_ops.push_back(op);
       }
     }
+    // Operator progress changed (O-WO/O-DUR/O-MEM, possibly completion
+    // flags): invalidate cached encodings for this query.
+    ctx_.MarkQueryDirty(q->id());
 
     if (q->completed() && q->completion_time() < 0.0) {
       recorder_.OnQueryCompleted(q, done_now);
       ++completed_queries;
+      ctx_.RemoveQuery(q->id());
     }
 
     AssignThreads(done_now);
+    const ThreadInfo* winfo = ctx_.thread(w.id);
     if (!completed_ops.empty()) {
       SchedulingEvent se;
       se.type = SchedulingEventType::kOperatorCompleted;
@@ -358,11 +338,11 @@ RealRunResult RealEngine::Run(const std::vector<RealQuerySubmission>& workload,
       se.op = completed_ops.front();
       InvokeScheduler(se, scheduler, done_now);
       AssignThreads(done_now);
-    } else if (!w.info.busy) {
+    } else if (winfo != nullptr && !winfo->busy) {
       SchedulingEvent se;
       se.type = SchedulingEventType::kThreadIdle;
       se.time = done_now;
-      se.thread = w.info.id;
+      se.thread = w.id;
       InvokeScheduler(se, scheduler, done_now);
       AssignThreads(done_now);
     }

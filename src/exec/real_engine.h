@@ -14,6 +14,7 @@
 #include "exec/kernels.h"
 #include "exec/query_state.h"
 #include "exec/scheduler.h"
+#include "exec/scheduling_context.h"
 #include "storage/catalog.h"
 
 namespace lsched {
@@ -82,12 +83,14 @@ class RealEngine {
     int wo_index = 0;
   };
 
+  /// Occupancy/locality state lives in the coordinator-owned
+  /// SchedulingContext's ThreadInfo, keyed by `id`.
   struct Worker {
     std::thread thread;
     std::mutex mu;
     std::condition_variable cv;
     std::optional<WorkerTask> task;
-    ThreadInfo info;
+    int id = -1;
   };
 
   void WorkerLoop(int worker_id);
@@ -95,7 +98,6 @@ class RealEngine {
 
   // Coordinator helpers (no locking needed: only the coordinator mutates
   // scheduling state).
-  SystemState SnapshotState(double now);
   void ApplyDecision(const SchedulingDecision& decision, double now);
   int AssignThreads(double now);
   void InvokeScheduler(const SchedulingEvent& event, Scheduler* scheduler,
@@ -110,6 +112,7 @@ class RealEngine {
   std::vector<std::unique_ptr<QueryExecution>> executions_;
   std::vector<ActivePipeline> pipelines_;
   std::vector<std::unique_ptr<Worker>> workers_;
+  SchedulingContext ctx_;
   EpisodeRecorder recorder_;
   /// Decision-log id of the in-flight scheduler/fallback decision; tags
   /// pipelines created by ApplyDecision.

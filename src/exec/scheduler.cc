@@ -1,0 +1,36 @@
+#include "exec/scheduler.h"
+
+#include "exec/scheduling_context.h"
+#include "util/logging.h"
+
+namespace lsched {
+
+// Each default bridges to the other overload, so a policy only has to
+// override one. The depth counter catches subclasses that override
+// neither (the bridges would otherwise recurse forever).
+
+SchedulingDecision Scheduler::Schedule(const SchedulingEvent& event,
+                                       const SchedulingContext& ctx) {
+  LSCHED_CHECK(bridge_depth_ < 2)
+      << "Scheduler subclass '" << name()
+      << "' overrides neither Schedule() overload";
+  ++bridge_depth_;
+  const SystemState state = ctx.MaterializeSnapshot();
+  SchedulingDecision decision = Schedule(event, state);
+  --bridge_depth_;
+  return decision;
+}
+
+SchedulingDecision Scheduler::Schedule(const SchedulingEvent& event,
+                                       const SystemState& state) {
+  LSCHED_CHECK(bridge_depth_ < 2)
+      << "Scheduler subclass '" << name()
+      << "' overrides neither Schedule() overload";
+  ++bridge_depth_;
+  SchedulingDecision decision =
+      Schedule(event, SchedulingContext::FromSnapshot(state));
+  --bridge_depth_;
+  return decision;
+}
+
+}  // namespace lsched

@@ -9,8 +9,12 @@
 
 namespace lsched {
 
-/// Read-only snapshot of the execution environment handed to schedulers at
-/// each scheduling event.
+class SchedulingContext;
+
+/// Legacy (API v1) snapshot of the execution environment. Engines now
+/// maintain an incremental SchedulingContext instead (DESIGN.md §9);
+/// SystemState survives as a bridge type for policies that have not been
+/// migrated yet and for tests that construct ad-hoc states.
 struct SystemState {
   double now = 0.0;
   /// Queries that have arrived and not yet completed. Pointers remain valid
@@ -26,6 +30,9 @@ struct SystemState {
     return n;
   }
 
+  [[deprecated(
+      "O(n) linear scan; migrate to SchedulingContext::FindQuery (O(1) "
+      "hash-indexed, see DESIGN.md §9)")]]
   QueryState* FindQuery(QueryId id) const {
     for (QueryState* q : queries) {
       if (q->id() == id) return q;
@@ -38,6 +45,13 @@ struct SystemState {
 /// baselines (FIFO, Fair, SJF, HPF, critical path), the learned baselines
 /// (Decima), and LSched itself. Engines invoke Schedule() at every
 /// scheduling event (paper §5.2) and apply the returned decision.
+///
+/// API v2: engines call the SchedulingContext overload. A policy overrides
+/// exactly one of the two Schedule() overloads — the other's default
+/// implementation bridges to it (context → materialized snapshot, or
+/// snapshot → bridge context), so v1 policies keep working unchanged and
+/// v2 policies still answer legacy callers. Overriding neither is a
+/// programming error caught at runtime (the bridges would recurse).
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
@@ -47,16 +61,26 @@ class Scheduler {
   /// Called at the start of each workload/episode.
   virtual void Reset() {}
 
-  /// Produces scheduling decisions for `event` given `state`. An empty
-  /// decision means "keep running what is already scheduled".
+  /// API v2 entry point: produces scheduling decisions for `event` given
+  /// the engine's incremental context. An empty decision means "keep
+  /// running what is already scheduled". Default bridges to the legacy
+  /// overload via a materialized snapshot.
   virtual SchedulingDecision Schedule(const SchedulingEvent& event,
-                                      const SystemState& state) = 0;
+                                      const SchedulingContext& ctx);
+
+  /// Legacy (API v1) entry point. Default bridges to the context overload.
+  virtual SchedulingDecision Schedule(const SchedulingEvent& event,
+                                      const SystemState& state);
 
   /// Feedback when a query finishes (latency = completion - arrival).
   virtual void OnQueryCompleted(QueryId query, double latency) {
     (void)query;
     (void)latency;
   }
+
+ private:
+  /// Guards against a subclass overriding neither Schedule overload.
+  int bridge_depth_ = 0;
 };
 
 }  // namespace lsched

@@ -17,8 +17,12 @@ void SimEngine::ResetRunState() {
   rng_ = Rng(config_.seed);
   queries_.clear();
   threads_.assign(static_cast<size_t>(config_.num_threads), SimThread{});
+  ctx_.Reset();
   for (size_t i = 0; i < threads_.size(); ++i) {
-    threads_[i].info.id = static_cast<int>(i);
+    threads_[i].id = static_cast<int>(i);
+    ThreadInfo info;
+    info.id = threads_[i].id;
+    ctx_.AddThread(info);
   }
   active_pipelines_.clear();
   while (!events_.empty()) events_.pop();
@@ -32,28 +36,6 @@ void SimEngine::ResetRunState() {
   }
 }
 
-SystemState SimEngine::SnapshotState(double now) {
-  SystemState state;
-  state.now = now;
-  for (auto& q : queries_) {
-    if (q != nullptr && !q->completed()) state.queries.push_back(q.get());
-  }
-  state.threads.reserve(threads_.size());
-  for (const SimThread& t : threads_) {
-    if (!t.retired) state.threads.push_back(t.info);
-  }
-  return state;
-}
-
-bool SimEngine::AnySchedulableOp() const {
-  for (const auto& q : queries_) {
-    if (q != nullptr && !q->completed() && !q->SchedulableOps().empty()) {
-      return true;
-    }
-  }
-  return false;
-}
-
 bool SimEngine::AnyPendingFusedWork() const {
   for (const ActivePipeline& p : active_pipelines_) {
     if (p.dispatched < p.total_fused) return true;
@@ -62,22 +44,14 @@ bool SimEngine::AnyPendingFusedWork() const {
 }
 
 void SimEngine::ApplyDecision(const SchedulingDecision& decision, double now) {
+  (void)now;
   for (const ParallelismChoice& pc : decision.parallelism) {
-    for (auto& q : queries_) {
-      if (q != nullptr && q->id() == pc.query && !q->completed()) {
-        q->set_max_threads(std::max(0, pc.max_threads));
-      }
+    if (QueryState* q = ctx_.FindQuery(pc.query)) {
+      q->set_max_threads(std::max(0, pc.max_threads));
     }
   }
   for (const PipelineChoice& choice : decision.pipelines) {
-    QueryState* q = nullptr;
-    for (auto& cand : queries_) {
-      if (cand != nullptr && cand->id() == choice.query &&
-          !cand->completed()) {
-        q = cand.get();
-        break;
-      }
-    }
+    QueryState* q = ctx_.FindQuery(choice.query);
     if (q == nullptr) continue;
     if (choice.root_op < 0 ||
         choice.root_op >= static_cast<int>(q->plan().num_nodes())) {
@@ -101,6 +75,9 @@ void SimEngine::ApplyDecision(const SchedulingDecision& decision, double now) {
     pipeline.created_at = now;
     pipeline.decision_id = current_decision_id_;
     for (int op : valid) q->set_op_scheduled(op, true);
+    // Scheduling flags entered the query's feature inputs: invalidate
+    // cached encodings.
+    ctx_.MarkQueryDirty(q->id());
     recorder_.OnPipelineLaunched(current_decision_id_, q->id(), valid[0],
                                  degree, pipeline.total_fused, now);
     active_pipelines_.push_back(std::move(pipeline));
@@ -111,20 +88,16 @@ void SimEngine::DispatchTo(int thread_id, int pipeline_idx, double now) {
   ActivePipeline& p = active_pipelines_[static_cast<size_t>(pipeline_idx)];
   SimThread& t = threads_[static_cast<size_t>(thread_id)];
 
-  QueryState* q = nullptr;
-  for (auto& cand : queries_) {
-    if (cand != nullptr && cand->id() == p.query) {
-      q = cand.get();
-      break;
-    }
-  }
+  QueryState* q = ctx_.FindQuery(p.query);
   LSCHED_CHECK(q != nullptr);
 
   double duration = p.est_seconds_per_fused;
   const double noise =
       std::max(0.05, rng_.Normal(1.0, config_.cost_params.noise_cv));
   duration *= noise;
-  if (t.info.last_query == p.query) {
+  const ThreadInfo* info = ctx_.thread(thread_id);
+  LSCHED_CHECK(info != nullptr);
+  if (info->last_query == p.query) {
     duration *= (1.0 - config_.cost_params.locality_gain);
   }
   // Intra-query contention: k threads (incl. this one) on the same query.
@@ -135,16 +108,12 @@ void SimEngine::DispatchTo(int thread_id, int pipeline_idx, double now) {
   const bool first_dispatch = p.dispatched == 0;
   ++p.dispatched;
   ++p.inflight;
-  t.info.busy = true;
-  t.info.running_query = p.query;
+  ctx_.SetThreadBusy(thread_id, p.query);
   t.pipeline_index = pipeline_idx;
   t.busy_since = now;
   t.busy_until = now + duration;
   q->set_assigned_threads(q->assigned_threads() + 1);
-  int inflight = 0;
-  for (const SimThread& st : threads_) {
-    if (st.info.busy) ++inflight;
-  }
+  const int inflight = ctx_.total_threads() - ctx_.num_free_threads();
   recorder_.OnWorkOrderDispatched(inflight, now - p.created_at);
 
   if (obs::Enabled()) {
@@ -175,14 +144,8 @@ int SimEngine::AssignThreads(double now) {
     for (size_t i = 0; i < active_pipelines_.size(); ++i) {
       const ActivePipeline& p = active_pipelines_[i];
       if (p.dispatched >= p.total_fused) continue;
-      QueryState* q = nullptr;
-      for (auto& cand : queries_) {
-        if (cand != nullptr && cand->id() == p.query) {
-          q = cand.get();
-          break;
-        }
-      }
-      if (q == nullptr || q->completed()) continue;
+      QueryState* q = ctx_.FindQuery(p.query);
+      if (q == nullptr) continue;
       const int cap =
           q->max_threads() > 0 ? q->max_threads() : config_.num_threads;
       if (q->assigned_threads() >= cap) continue;
@@ -193,12 +156,11 @@ int SimEngine::AssignThreads(double now) {
     // Pick a free thread, preferring one with locality to some candidate.
     int thread_id = -1;
     int chosen_pipeline = -1;
-    for (const SimThread& t : threads_) {
-      if (t.info.busy || t.retired) continue;
+    for (const ThreadInfo& t : ctx_.threads()) {
+      if (t.busy) continue;
       for (int ci : candidates) {
-        if (active_pipelines_[static_cast<size_t>(ci)].query ==
-            t.info.last_query) {
-          thread_id = t.info.id;
+        if (active_pipelines_[static_cast<size_t>(ci)].query == t.last_query) {
+          thread_id = t.id;
           chosen_pipeline = ci;
           break;
         }
@@ -206,9 +168,9 @@ int SimEngine::AssignThreads(double now) {
       if (thread_id >= 0) break;
     }
     if (thread_id < 0) {
-      for (const SimThread& t : threads_) {
-        if (!t.info.busy && !t.retired) {
-          thread_id = t.info.id;
+      for (const ThreadInfo& t : ctx_.threads()) {
+        if (!t.busy) {
+          thread_id = t.id;
           break;
         }
       }
@@ -217,14 +179,11 @@ int SimEngine::AssignThreads(double now) {
       double best_load = 1e300;
       for (int ci : candidates) {
         const ActivePipeline& p = active_pipelines_[static_cast<size_t>(ci)];
-        for (auto& cand : queries_) {
-          if (cand != nullptr && cand->id() == p.query) {
-            const double load = static_cast<double>(cand->assigned_threads());
-            if (load < best_load) {
-              best_load = load;
-              chosen_pipeline = ci;
-            }
-            break;
+        if (const QueryState* q = ctx_.FindQuery(p.query)) {
+          const double load = static_cast<double>(q->assigned_threads());
+          if (load < best_load) {
+            best_load = load;
+            chosen_pipeline = ci;
           }
         }
       }
@@ -238,14 +197,14 @@ int SimEngine::AssignThreads(double now) {
 void SimEngine::InvokeScheduler(const SchedulingEvent& event,
                                 Scheduler* scheduler, double now) {
   // Per §5.2: no decisions if all threads are busy or nothing to schedule.
+  ctx_.set_now(now);
   for (int round = 0; round < config_.max_rounds_per_event; ++round) {
-    if (SnapshotState(now).num_free_threads() == 0) return;
-    if (!AnySchedulableOp()) return;
-    SystemState state = SnapshotState(now);
+    if (ctx_.num_free_threads() == 0) return;
+    if (!ctx_.AnySchedulableOp()) return;
     Stopwatch sw;
-    const SchedulingDecision decision = scheduler->Schedule(event, state);
+    const SchedulingDecision decision = scheduler->Schedule(event, ctx_);
     current_decision_id_ = recorder_.OnSchedulerInvocation(
-        event, state, decision, sw.ElapsedSeconds());
+        event, ctx_, decision, sw.ElapsedSeconds());
     if (decision.empty()) return;
     const size_t before = active_pipelines_.size();
     ApplyDecision(decision, now);
@@ -257,8 +216,7 @@ void SimEngine::InvokeScheduler(const SchedulingEvent& event,
 void SimEngine::ForceFallbackSchedule(double now) {
   // Deadlock guard: the policy scheduled nothing although work exists.
   // Launch the first schedulable operator of the oldest query, degree 1.
-  for (auto& q : queries_) {
-    if (q == nullptr || q->completed()) continue;
+  for (QueryState* q : ctx_.queries()) {
     const std::vector<int> ops = q->SchedulableOps();
     if (ops.empty()) continue;
     SchedulingDecision d;
@@ -287,6 +245,7 @@ EpisodeResult SimEngine::Run(const std::vector<QuerySubmission>& workload,
     const SimEvent ev = events_.top();
     events_.pop();
     now = ev.time;
+    ctx_.set_now(now);
     if (now > config_.max_virtual_seconds) {
       LSCHED_LOG(Warning) << "simulation exceeded max virtual time";
       break;
@@ -297,6 +256,7 @@ EpisodeResult SimEngine::Run(const std::vector<QuerySubmission>& workload,
       queries_[idx] = std::make_unique<QueryState>(
           static_cast<QueryId>(idx), workload[idx].plan, now,
           config_.regression_window);
+      ctx_.AddQuery(queries_[idx].get());
       SchedulingEvent se;
       se.type = SchedulingEventType::kQueryArrival;
       se.time = now;
@@ -311,16 +271,21 @@ EpisodeResult SimEngine::Run(const std::vector<QuerySubmission>& workload,
       if (change.delta > 0) {
         for (int k = 0; k < change.delta; ++k) {
           SimThread t;
-          t.info.id = static_cast<int>(threads_.size());
+          t.id = static_cast<int>(threads_.size());
           threads_.push_back(t);
+          ThreadInfo info;
+          info.id = t.id;
+          ctx_.AddThread(info);
         }
         se.type = SchedulingEventType::kThreadAdded;
       } else if (change.delta < 0) {
         int to_remove = -change.delta;
         for (SimThread& t : threads_) {
           if (to_remove == 0) break;
-          if (!t.retired && !t.info.busy) {
+          const ThreadInfo* info = ctx_.thread(t.id);
+          if (!t.retired && info != nullptr && !info->busy) {
             t.retired = true;
+            ctx_.RetireThread(t.id);
             --to_remove;
           }
         }
@@ -332,17 +297,11 @@ EpisodeResult SimEngine::Run(const std::vector<QuerySubmission>& workload,
       AssignThreads(now);
     } else {  // kWorkOrderDone
       SimThread& t = threads_[static_cast<size_t>(ev.payload)];
-      LSCHED_CHECK(t.info.busy);
       const int pipeline_idx = t.pipeline_index;
+      LSCHED_CHECK(pipeline_idx >= 0);
       ActivePipeline& p =
           active_pipelines_[static_cast<size_t>(pipeline_idx)];
-      QueryState* q = nullptr;
-      for (auto& cand : queries_) {
-        if (cand != nullptr && cand->id() == p.query) {
-          q = cand.get();
-          break;
-        }
-      }
+      QueryState* q = ctx_.FindQuery(p.query);
       LSCHED_CHECK(q != nullptr);
 
       // Advance every pipeline member proportionally and detect
@@ -362,17 +321,19 @@ EpisodeResult SimEngine::Run(const std::vector<QuerySubmission>& workload,
           completed_ops.push_back(op);
         }
       }
+      // Operator progress changed (O-WO/O-DUR/O-MEM, possibly completion
+      // flags): invalidate cached encodings for this query.
+      ctx_.MarkQueryDirty(q->id());
 
       q->AddAttainedService(p.est_seconds_per_fused);
       recorder_.OnWorkOrderCompleted(p.decision_id, now - t.busy_since);
       --p.inflight;
-      t.info.busy = false;
-      t.info.last_query = p.query;
-      t.info.running_query = kInvalidQuery;
+      ctx_.SetThreadIdle(t.id, p.query);
       t.pipeline_index = -1;
       q->set_assigned_threads(q->assigned_threads() - 1);
       if (pending_thread_removals_ > 0 && !t.retired) {
         t.retired = true;
+        ctx_.RetireThread(t.id);
         --pending_thread_removals_;
       }
 
@@ -385,6 +346,7 @@ EpisodeResult SimEngine::Run(const std::vector<QuerySubmission>& workload,
       if (query_done && q->completion_time() < 0.0) {
         recorder_.OnQueryCompleted(q, now);
         ++completed_queries_;
+        ctx_.RemoveQuery(q->id());
       }
 
       // Re-dispatch pending work first; the scheduler is only consulted on
@@ -399,10 +361,14 @@ EpisodeResult SimEngine::Run(const std::vector<QuerySubmission>& workload,
         se.query = p.query;
         se.op = completed_ops.front();
         should_invoke = true;
-      } else if (!threads_[static_cast<size_t>(ev.payload)].info.busy) {
-        se.type = SchedulingEventType::kThreadIdle;
-        se.thread = t.info.id;
-        should_invoke = true;
+      } else {
+        // A retired thread (nullptr) still surfaces its final idle event.
+        const ThreadInfo* info = ctx_.thread(t.id);
+        if (info == nullptr || !info->busy) {
+          se.type = SchedulingEventType::kThreadIdle;
+          se.thread = t.id;
+          should_invoke = true;
+        }
       }
       if (should_invoke) {
         InvokeScheduler(se, scheduler, now);
@@ -411,16 +377,11 @@ EpisodeResult SimEngine::Run(const std::vector<QuerySubmission>& workload,
     }
 
     // Deadlock guard: incomplete queries but no running or pending work.
-    bool any_busy = false;
-    for (const SimThread& t : threads_) any_busy |= t.info.busy;
+    const bool any_busy = ctx_.num_free_threads() != ctx_.total_threads();
     if (!any_busy && !AnyPendingFusedWork() &&
         completed_queries_ < static_cast<int>(queries_.size()) &&
         events_.empty()) {
-      bool all_created_done = true;
-      for (const auto& q : queries_) {
-        if (q != nullptr && !q->completed()) all_created_done = false;
-      }
-      if (!all_created_done) {
+      if (!ctx_.queries().empty()) {
         ForceFallbackSchedule(now);
       }
     }

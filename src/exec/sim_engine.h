@@ -10,6 +10,7 @@
 #include "exec/exec_types.h"
 #include "exec/query_state.h"
 #include "exec/scheduler.h"
+#include "exec/scheduling_context.h"
 #include "plan/cost_model.h"
 #include "util/rng.h"
 
@@ -48,6 +49,10 @@ struct SimEngineConfig {
 /// noise, locality gain, and memory-thrashing penalties). It triggers the
 /// Scheduler exactly on the events of §5.2 and applies its decisions.
 ///
+/// Scheduling state (live queries, thread occupancy, free-thread count,
+/// per-query change versions) lives in an incremental SchedulingContext
+/// mutated as events happen — no per-round snapshot rebuilds.
+///
 /// This is the substrate used for RL training and all large benchmark
 /// sweeps; RealEngine executes the same decisions on real blocks.
 class SimEngine {
@@ -73,8 +78,10 @@ class SimEngine {
     int64_t decision_id = -1;     ///< obs decision-log id that launched it
   };
 
+  /// Sim-local per-thread state; occupancy/locality (busy, running_query,
+  /// last_query) lives in the SchedulingContext's ThreadInfo.
   struct SimThread {
-    ThreadInfo info;
+    int id = 0;
     // In-flight work order.
     int pipeline_index = -1;  ///< index into active_pipelines_
     double busy_since = 0.0;
@@ -95,8 +102,6 @@ class SimEngine {
 
   // --- helpers used by Run ------------------------------------------------
   void ResetRunState();
-  SystemState SnapshotState(double now);
-  bool AnySchedulableOp() const;
   bool AnyPendingFusedWork() const;
   void ApplyDecision(const SchedulingDecision& decision, double now);
   int AssignThreads(double now);  ///< returns #dispatches made
@@ -112,6 +117,7 @@ class SimEngine {
   Rng rng_{0};
   std::vector<std::unique_ptr<QueryState>> queries_;
   std::vector<SimThread> threads_;
+  SchedulingContext ctx_;
   std::vector<ActivePipeline> active_pipelines_;
   std::priority_queue<SimEvent, std::vector<SimEvent>, std::greater<SimEvent>>
       events_;

@@ -1,11 +1,32 @@
 #include "nn/autograd.h"
 
+#include <atomic>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/math_util.h"
 
 namespace lsched {
+
+namespace {
+std::atomic<int64_t> g_tapes_constructed{0};
+}  // namespace
+
+Tape::Tape() {
+  const int64_t n =
+      g_tapes_constructed.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (obs::Enabled()) {
+    // Cached once: registry lookups are mutex-guarded.
+    static obs::Gauge* gauge =
+        obs::MetricsRegistry::Global().GetGauge("nn.tape_constructions");
+    gauge->Set(static_cast<double>(n));
+  }
+}
+
+int64_t Tape::num_constructed() {
+  return g_tapes_constructed.load(std::memory_order_relaxed);
+}
 
 const Matrix& Var::value() const { return tape_->value(id_); }
 

@@ -1,6 +1,7 @@
 #ifndef LSCHED_NN_AUTOGRAD_H_
 #define LSCHED_NN_AUTOGRAD_H_
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -41,9 +42,15 @@ class Var {
 /// gradient is sum-reduced accordingly.
 class Tape {
  public:
-  Tape() = default;
+  Tape();
   Tape(const Tape&) = delete;
   Tape& operator=(const Tape&) = delete;
+
+  /// Process-wide count of Tape constructions. The serving fast path must
+  /// never build a tape; tests assert this stays flat across an
+  /// inference-only episode (also exported as the "nn.tape_constructions"
+  /// gauge when observability is on).
+  static int64_t num_constructed();
 
   /// --- graph inputs -----------------------------------------------------
   Var Constant(Matrix value);                 ///< no gradient tracked

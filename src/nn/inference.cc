@@ -1,0 +1,96 @@
+#include "nn/inference.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace lsched {
+
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  LSCHED_CHECK(a.cols() == b.rows())
+      << "matmul shape mismatch: " << a.rows() << "x" << a.cols() << " * "
+      << b.rows() << "x" << b.cols();
+  out->Resize(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int k = 0; k < a.cols(); ++k) {
+      const double av = a.at(i, k);
+      if (av == 0.0) continue;
+      const double* brow = b.data() + static_cast<size_t>(k) * b.cols();
+      double* crow = out->data() + static_cast<size_t>(i) * out->cols();
+      for (int j = 0; j < b.cols(); ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void AddRowBroadcastInPlace(Matrix* m, const Matrix& row) {
+  LSCHED_CHECK(row.rows() == 1 && row.cols() == m->cols());
+  for (int r = 0; r < m->rows(); ++r) {
+    double* mrow = m->data() + static_cast<size_t>(r) * m->cols();
+    const double* b = row.data();
+    for (int c = 0; c < m->cols(); ++c) mrow[c] += b[c];
+  }
+}
+
+void ReluInPlace(Matrix* m) {
+  for (double& v : m->raw()) v = v > 0.0 ? v : 0.0;
+}
+
+void LeakyReluInPlace(Matrix* m, double alpha) {
+  for (double& v : m->raw()) v = v > 0.0 ? v : alpha * v;
+}
+
+void TanhInPlace(Matrix* m) {
+  for (double& v : m->raw()) v = std::tanh(v);
+}
+
+void ExpInPlace(Matrix* m) {
+  for (double& v : m->raw()) v = std::exp(v);
+}
+
+void ActivateInPlace(Matrix* m, Activation act) {
+  switch (act) {
+    case Activation::kRelu:
+      ReluInPlace(m);
+      return;
+    case Activation::kLeakyRelu:
+      LeakyReluInPlace(m);
+      return;
+    case Activation::kTanh:
+      TanhInPlace(m);
+      return;
+    case Activation::kNone:
+      return;
+  }
+}
+
+void LinearForwardInto(const Linear& layer, const Matrix& x, Matrix* out) {
+  MatMulInto(x, layer.weight()->value, out);
+  AddRowBroadcastInPlace(out, layer.bias()->value);
+}
+
+Matrix* MlpForward(const Mlp& mlp, const Matrix& x, ScratchArena* arena) {
+  const std::vector<Linear>& layers = mlp.layers();
+  LSCHED_CHECK(!layers.empty());
+  const Matrix* h = &x;
+  Matrix* out = nullptr;
+  for (size_t i = 0; i < layers.size(); ++i) {
+    out = arena->Alloc(h->rows(), layers[i].out_dim());
+    LinearForwardInto(layers[i], *h, out);
+    if (i + 1 < layers.size()) {
+      ActivateInPlace(out, mlp.hidden_activation());
+    }
+    h = out;
+  }
+  return out;
+}
+
+void LogSoftmaxRowsInPlace(Matrix* m) {
+  for (int r = 0; r < m->rows(); ++r) {
+    double* row = m->data() + static_cast<size_t>(r) * m->cols();
+    const double lse = LogSumExp(row, static_cast<size_t>(m->cols()));
+    for (int c = 0; c < m->cols(); ++c) row[c] -= lse;
+  }
+}
+
+}  // namespace lsched

@@ -1,0 +1,73 @@
+#ifndef LSCHED_NN_INFERENCE_H_
+#define LSCHED_NN_INFERENCE_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/tensor.h"
+
+namespace lsched {
+
+/// Reusable pool of Matrix buffers for the tape-free serving path: one
+/// arena per agent, Reset() per decision, Alloc() per intermediate. Alloc
+/// reuses the i-th buffer of the previous decision (same network, same
+/// shapes → allocation-free steady state). Pointers stay valid until the
+/// arena is destroyed.
+class ScratchArena {
+ public:
+  /// Zero-initialized (rows x cols) buffer owned by the arena.
+  Matrix* Alloc(int rows, int cols) {
+    if (next_ == pool_.size()) {
+      pool_.push_back(std::make_unique<Matrix>());
+    }
+    Matrix* m = pool_[next_++].get();
+    m->Resize(rows, cols);
+    return m;
+  }
+
+  /// Makes every buffer reusable again (values are NOT cleared until the
+  /// buffer is re-Alloc'd).
+  void Reset() { next_ = 0; }
+
+  size_t capacity() const { return pool_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Matrix>> pool_;
+  size_t next_ = 0;
+};
+
+/// Inference-only kernels mirroring the Tape ops bit-for-bit (identical
+/// loop order and accumulation order), so serving scores match training
+/// forward passes exactly. None of these construct Tape nodes or closures.
+
+/// out = a @ b (out is resized; same skip-zero loop order as
+/// Matrix::MatMul, so batching rows into one call is bit-identical to
+/// per-row calls).
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// m[r, :] += row[0, :] for every row (the Linear bias broadcast).
+void AddRowBroadcastInPlace(Matrix* m, const Matrix& row);
+
+void ReluInPlace(Matrix* m);
+void LeakyReluInPlace(Matrix* m, double alpha = 0.2);
+void TanhInPlace(Matrix* m);
+void ExpInPlace(Matrix* m);
+
+/// Applies `act` in place (mirrors Activate()).
+void ActivateInPlace(Matrix* m, Activation act);
+
+/// out = x @ W + b for a Linear layer (batched over x's rows).
+void LinearForwardInto(const Linear& layer, const Matrix& x, Matrix* out);
+
+/// Full Mlp forward (batched over x's rows); intermediates come from
+/// `arena`. Returns the arena buffer holding the output.
+Matrix* MlpForward(const Mlp& mlp, const Matrix& x, ScratchArena* arena);
+
+/// Row-wise log-softmax in place (each row shifted by its own
+/// LogSumExp — identical math to Tape::LogSoftmaxRow per row).
+void LogSoftmaxRowsInPlace(Matrix* m);
+
+}  // namespace lsched
+
+#endif  // LSCHED_NN_INFERENCE_H_

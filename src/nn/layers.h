@@ -21,6 +21,10 @@ class Linear {
   int in_dim() const { return in_; }
   int out_dim() const { return out_; }
 
+  /// Parameter access for the tape-free serving path (read-only use).
+  const Param* weight() const { return w_; }
+  const Param* bias() const { return b_; }
+
  private:
   Param* w_ = nullptr;
   Param* b_ = nullptr;
@@ -46,6 +50,10 @@ class Mlp {
   int out_dim() const {
     return layers_.empty() ? 0 : layers_.back().out_dim();
   }
+
+  /// Layer access for the tape-free serving path (read-only use).
+  const std::vector<Linear>& layers() const { return layers_; }
+  Activation hidden_activation() const { return hidden_act_; }
 
  private:
   std::vector<Linear> layers_;

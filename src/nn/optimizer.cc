@@ -5,6 +5,7 @@
 namespace lsched {
 
 void Sgd::Step(ParameterStore* store) {
+  store->BumpValueEpoch();
   for (Param* p : store->All()) {
     if (!p->trainable) continue;
     if (momentum_ > 0.0) {
@@ -25,6 +26,7 @@ void Sgd::Step(ParameterStore* store) {
 }
 
 void Adam::Step(ParameterStore* store) {
+  store->BumpValueEpoch();
   ++t_;
   const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
   const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));

@@ -90,6 +90,7 @@ void ParameterStore::Serialize(BinaryWriter* writer) const {
 }
 
 Status ParameterStore::Deserialize(BinaryReader* reader) {
+  BumpValueEpoch();
   LSCHED_ASSIGN_OR_RETURN(uint64_t n, reader->ReadU64());
   for (uint64_t i = 0; i < n; ++i) {
     LSCHED_ASSIGN_OR_RETURN(std::string name, reader->ReadString());
@@ -112,6 +113,7 @@ Status ParameterStore::Deserialize(BinaryReader* reader) {
 }
 
 int ParameterStore::CopyValuesFrom(const ParameterStore& other) {
+  BumpValueEpoch();
   int copied = 0;
   for (const auto& src : other.params_) {
     Param* dst = Find(src->name);

@@ -63,9 +63,17 @@ class ParameterStore {
   /// Total number of scalar weights.
   size_t NumWeights() const;
 
+  /// Monotonic counter of bulk value mutations (optimizer steps, checkpoint
+  /// loads, value copies). Serving-side encoding caches key on this: a
+  /// changed epoch means every cached forward-pass result is stale.
+  uint64_t value_epoch() const { return value_epoch_; }
+  /// Called by every code path that rewrites parameter *values*.
+  void BumpValueEpoch() { ++value_epoch_; }
+
  private:
   std::vector<std::unique_ptr<Param>> params_;
   std::map<std::string, Param*> by_name_;
+  uint64_t value_epoch_ = 0;
 };
 
 }  // namespace lsched

@@ -38,6 +38,14 @@ class Matrix {
   void Fill(double v);
   void Zero() { Fill(0.0); }
 
+  /// Reshapes to (rows x cols) and zero-fills, reusing the allocation when
+  /// capacity suffices (scratch-arena reuse on the inference fast path).
+  void Resize(int rows, int cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0);
+  }
+
   /// this += other (same shape required).
   void AddInPlace(const Matrix& other);
   /// this += scale * other.

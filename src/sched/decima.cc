@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
+#include <utility>
 
 #include "nn/autograd.h"
+#include "nn/inference.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -29,6 +32,50 @@ DecimaModel::DecimaModel(DecimaConfig config) : config_(std::move(config)) {
           &rng);
 }
 
+namespace {
+
+/// Version-cacheable slice of one query: everything except query_features
+/// (thread occupancy, which changes every event). All inputs here only move
+/// when the query is dirtied — an operator gets scheduled or a work order
+/// completes — so the SchedulingContext's per-query version keys a cache.
+void ExtractQueryStructuralDecima(const QueryState& q, DecimaQueryFeatures* f,
+                                  std::vector<int>* runnable_ops) {
+  const QueryPlan& plan = q.plan();
+  f->qid = q.id();
+  f->num_nodes = static_cast<int>(plan.num_nodes());
+  f->topo_order = plan.TopologicalOrder();
+  f->child_node.assign(plan.num_nodes(), {-1, -1});
+  f->node_features.clear();
+  runnable_ops->clear();
+  for (size_t i = 0; i < plan.num_nodes(); ++i) {
+    const int op = static_cast<int>(i);
+    const PlanNode& node = plan.node(op);
+    // Black-box task features only: counts, durations, progress. No
+    // operator types, columns, or pipelining annotations.
+    const double remaining = q.RemainingWorkOrders(op);
+    const double planned =
+        std::max(1.0, static_cast<double>(node.num_work_orders));
+    // Decima's no-pipelining runnability: all producers fully done.
+    bool runnable = !q.op_completed(op) && !q.op_scheduled(op);
+    for (int e : node.in_edges) {
+      if (!q.op_completed(plan.edge(e).producer)) runnable = false;
+    }
+    f->node_features.push_back(
+        {std::log1p(remaining) * 0.2, 1.0 - remaining / planned,
+         std::log1p(q.EstimateRemainingSeconds(op)),
+         q.op_scheduled(op) ? 1.0 : 0.0, runnable ? 1.0 : 0.0});
+    int slot = 0;
+    for (int e : node.in_edges) {
+      if (slot < 2) {
+        f->child_node[i][slot++] = plan.edge(e).producer;
+      }
+    }
+    if (runnable) runnable_ops->push_back(op);
+  }
+}
+
+}  // namespace
+
 DecimaStateFeatures DecimaScheduler::ExtractFeatures(
     const SystemState& state) {
   DecimaStateFeatures out;
@@ -40,40 +87,13 @@ DecimaStateFeatures DecimaScheduler::ExtractFeatures(
     if (!t.busy) ++free_threads;
   }
 
+  std::vector<int> runnable;
   for (size_t qi = 0; qi < state.queries.size(); ++qi) {
     const QueryState* q = state.queries[qi];
-    const QueryPlan& plan = q->plan();
     DecimaQueryFeatures f;
-    f.qid = q->id();
-    f.num_nodes = static_cast<int>(plan.num_nodes());
-    f.topo_order = plan.TopologicalOrder();
-    f.child_node.assign(plan.num_nodes(), {-1, -1});
-    for (size_t i = 0; i < plan.num_nodes(); ++i) {
-      const int op = static_cast<int>(i);
-      const PlanNode& node = plan.node(op);
-      // Black-box task features only: counts, durations, progress. No
-      // operator types, columns, or pipelining annotations.
-      const double remaining = q->RemainingWorkOrders(op);
-      const double planned =
-          std::max(1.0, static_cast<double>(node.num_work_orders));
-      // Decima's no-pipelining runnability: all producers fully done.
-      bool runnable = !q->op_completed(op) && !q->op_scheduled(op);
-      for (int e : node.in_edges) {
-        if (!q->op_completed(plan.edge(e).producer)) runnable = false;
-      }
-      f.node_features.push_back(
-          {std::log1p(remaining) * 0.2, 1.0 - remaining / planned,
-           std::log1p(q->EstimateRemainingSeconds(op)),
-           q->op_scheduled(op) ? 1.0 : 0.0, runnable ? 1.0 : 0.0});
-      int slot = 0;
-      for (int e : node.in_edges) {
-        if (slot < 2) {
-          f.child_node[i][slot++] = plan.edge(e).producer;
-        }
-      }
-      if (runnable) {
-        out.candidates.push_back({static_cast<int>(qi), op});
-      }
+    ExtractQueryStructuralDecima(*q, &f, &runnable);
+    for (int op : runnable) {
+      out.candidates.push_back({static_cast<int>(qi), op});
     }
     f.query_features = {static_cast<double>(q->assigned_threads()) / total,
                         static_cast<double>(free_threads) / total};
@@ -159,21 +179,82 @@ DecimaForward Forward(DecimaModel* model, const DecimaStateFeatures& state,
   return out;
 }
 
-int SampleRow(const Matrix& logprobs, Rng* rng) {
-  std::vector<double> p(static_cast<size_t>(logprobs.cols()));
-  for (int c = 0; c < logprobs.cols(); ++c) {
-    p[static_cast<size_t>(c)] = std::exp(logprobs.at(0, c));
+int SampleSpan(const double* logprobs, int n, Rng* rng) {
+  std::vector<double> p(static_cast<size_t>(n));
+  for (int c = 0; c < n; ++c) {
+    p[static_cast<size_t>(c)] = std::exp(logprobs[c]);
   }
   const size_t idx = rng->WeightedIndex(p);
   return idx >= p.size() ? 0 : static_cast<int>(idx);
 }
 
-int ArgmaxRow(const Matrix& m) {
+int SampleRow(const Matrix& logprobs, Rng* rng) {
+  return SampleSpan(logprobs.data(), logprobs.cols(), rng);
+}
+
+int ArgmaxSpan(const double* v, int n) {
   int best = 0;
-  for (int c = 1; c < m.cols(); ++c) {
-    if (m.at(0, c) > m.at(0, best)) best = c;
+  for (int c = 1; c < n; ++c) {
+    if (v[c] > v[best]) best = c;
   }
   return best;
+}
+
+int ArgmaxRow(const Matrix& m) { return ArgmaxSpan(m.data(), m.cols()); }
+
+void AddRowInPlace(double* dst, const double* src, int n) {
+  for (int c = 0; c < n; ++c) dst[c] += src[c];
+}
+
+/// Tape-free per-query GCN encode, bit-identical to Encode()'s per-query
+/// block: batched projection, row-wise sequential message passing (later
+/// topo nodes read already-updated child rows, exactly like the tape
+/// sweep), ordered node sum, query summary. The outputs are owned copies —
+/// they outlive the per-decision arena and live in the scheduler's cache.
+void EncodeQueryServingDecima(DecimaModel* model,
+                              const DecimaQueryFeatures& q,
+                              ScratchArena* arena, Matrix* node_emb,
+                              Matrix* query_emb) {
+  const int d = model->config().hidden_dim;
+  const int n = q.num_nodes;
+  Matrix* feats = arena->Alloc(n, DecimaModel::kNodeFeatureDim);
+  for (int i = 0; i < n; ++i) {
+    const std::vector<double>& f = q.node_features[static_cast<size_t>(i)];
+    std::copy(f.begin(), f.end(),
+              feats->data() + static_cast<size_t>(i) * feats->cols());
+  }
+  Matrix* x = arena->Alloc(n, d);
+  LinearForwardInto(model->proj, *feats, x);
+  ReluInPlace(x);
+
+  Matrix* xrow = arena->Alloc(1, d);
+  Matrix* h = arena->Alloc(1, d);
+  Matrix* tmp = arena->Alloc(1, d);
+  for (int it = 0; it < model->config().num_mp_iterations; ++it) {
+    for (int i : q.topo_order) {
+      double* row = x->data() + static_cast<size_t>(i) * d;
+      std::copy(row, row + d, xrow->data());
+      LinearForwardInto(model->mp_self, *xrow, h);
+      for (int s = 0; s < 2; ++s) {
+        const int child = q.child_node[static_cast<size_t>(i)][s];
+        if (child < 0) continue;
+        const double* crow = x->data() + static_cast<size_t>(child) * d;
+        std::copy(crow, crow + d, xrow->data());
+        LinearForwardInto(model->mp_child, *xrow, tmp);
+        AddRowInPlace(h->data(), tmp->data(), d);
+      }
+      ReluInPlace(h);
+      std::copy(h->data(), h->data() + d, row);
+    }
+  }
+
+  Matrix* sum = arena->Alloc(1, d);
+  std::copy(x->data(), x->data() + d, sum->data());
+  for (int i = 1; i < n; ++i) {
+    AddRowInPlace(sum->data(), x->data() + static_cast<size_t>(i) * d, d);
+  }
+  *query_emb = *MlpForward(model->query_summary, *sum, arena);
+  *node_emb = *x;
 }
 
 }  // namespace
@@ -181,7 +262,29 @@ int ArgmaxRow(const Matrix& m) {
 DecimaScheduler::DecimaScheduler(DecimaModel* model, uint64_t seed)
     : model_(model), rng_(seed) {}
 
-void DecimaScheduler::Reset() { experiences_.clear(); }
+void DecimaScheduler::Reset() {
+  experiences_.clear();
+  cache_.clear();
+}
+
+DecimaScheduler::CacheEntry& DecimaScheduler::GetCacheEntry(
+    const QueryState& q, uint64_t version) {
+  CacheEntry& e = cache_[q.id()];
+  // Version 0 means "untracked" (e.g. a context materialized from a bare
+  // snapshot): never trust the cache for it.
+  if (e.version == version && version != 0) return e;
+  e.version = version;
+  ExtractQueryStructuralDecima(q, &e.features, &e.runnable_ops);
+  e.encoded = false;
+  return e;
+}
+
+void DecimaScheduler::EnsureEncoded(CacheEntry* entry) {
+  if (entry->encoded) return;
+  EncodeQueryServingDecima(model_, entry->features, &arena_,
+                           &entry->node_emb, &entry->query_emb);
+  entry->encoded = true;
+}
 
 SchedulingDecision DecimaScheduler::Schedule(const SchedulingEvent& event,
                                              const SystemState& state) {
@@ -232,6 +335,159 @@ SchedulingDecision DecimaScheduler::Schedule(const SchedulingEvent& event,
     exp.chosen_parallelism = par_idx;
     exp.state = std::move(features);
     experiences_.push_back(std::move(exp));
+  }
+  return decision;
+}
+
+SchedulingDecision DecimaScheduler::Schedule(const SchedulingEvent& event,
+                                             const SchedulingContext& ctx) {
+  if (!use_fast_path_) {
+    // Bridge to the legacy tape-based forward (old-path benchmarking).
+    return Scheduler::Schedule(event, ctx);
+  }
+  (void)event;
+  SchedulingDecision decision;
+  arena_.Reset();
+
+  // Online weight updates invalidate every cached embedding.
+  const uint64_t epoch = model_->params()->value_epoch();
+  if (epoch != params_epoch_) {
+    cache_.clear();
+    params_epoch_ = epoch;
+  }
+
+  const std::vector<QueryState*>& queries = ctx.queries();
+  const int total_threads = ctx.total_threads();
+  const double total = std::max<double>(1.0, total_threads);
+  const int free_threads = ctx.num_free_threads();
+
+  std::vector<CacheEntry*> entries;
+  entries.reserve(queries.size());
+  std::vector<std::vector<double>> qf(queries.size());
+  std::vector<std::pair<int, int>> candidates;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const QueryState* q = queries[qi];
+    CacheEntry& e = GetCacheEntry(*q, ctx.query_version(q->id()));
+    entries.push_back(&e);
+    qf[qi] = {static_cast<double>(q->assigned_threads()) / total,
+              static_cast<double>(free_threads) / total};
+    for (int op : e.runnable_ops) {
+      candidates.push_back({static_cast<int>(qi), op});
+    }
+  }
+  if (candidates.empty()) return decision;
+  // Only now pay for the GCN: the median Decima event has nothing runnable
+  // (strict all-producers-complete runnability) and must stay cheap.
+  for (CacheEntry* e : entries) EnsureEncoded(e);
+
+  Matrix* node_logprobs = nullptr;
+  Matrix* par_logprobs = nullptr;
+  {
+    obs::ScopedSpan span("sched.decima.forward", "sched", "candidates",
+                         static_cast<int64_t>(candidates.size()));
+    const int d = model_->config().hidden_dim;
+    const int sd = model_->config().summary_dim;
+
+    // Global summary over the (cached) per-query summaries, accumulated in
+    // query order like the tape's sequential Adds.
+    Matrix* gsum = arena_.Alloc(1, sd);
+    for (size_t qi = 0; qi < entries.size(); ++qi) {
+      const Matrix& qe = entries[qi]->query_emb;
+      if (qi == 0) {
+        std::copy(qe.data(), qe.data() + sd, gsum->data());
+      } else {
+        AddRowInPlace(gsum->data(), qe.data(), sd);
+      }
+    }
+    Matrix* global_emb = MlpForward(model_->global_summary, *gsum, &arena_);
+
+    const int num_cands = static_cast<int>(candidates.size());
+    Matrix* node_in = arena_.Alloc(num_cands, d + sd);
+    Matrix* par_in =
+        arena_.Alloc(num_cands, sd + sd + DecimaModel::kQueryFeatureDim);
+    for (int ci = 0; ci < num_cands; ++ci) {
+      const auto& [qi, op] = candidates[static_cast<size_t>(ci)];
+      const CacheEntry& e = *entries[static_cast<size_t>(qi)];
+      double* nrow = node_in->data() + static_cast<size_t>(ci) * (d + sd);
+      const double* emb =
+          e.node_emb.data() + static_cast<size_t>(op) * d;
+      std::copy(emb, emb + d, nrow);
+      std::copy(e.query_emb.data(), e.query_emb.data() + sd, nrow + d);
+      double* prow = par_in->data() +
+                     static_cast<size_t>(ci) * par_in->cols();
+      std::copy(global_emb->data(), global_emb->data() + sd, prow);
+      std::copy(e.query_emb.data(), e.query_emb.data() + sd, prow + sd);
+      const std::vector<double>& qfr = qf[static_cast<size_t>(qi)];
+      std::copy(qfr.begin(), qfr.end(), prow + 2 * sd);
+    }
+
+    Matrix* scores = MlpForward(model_->node_head, *node_in, &arena_);
+    node_logprobs = arena_.Alloc(1, num_cands);
+    for (int ci = 0; ci < num_cands; ++ci) {
+      node_logprobs->at(0, ci) = scores->at(ci, 0);
+    }
+    LogSoftmaxRowsInPlace(node_logprobs);
+    par_logprobs = MlpForward(model_->par_head, *par_in, &arena_);
+    LogSoftmaxRowsInPlace(par_logprobs);
+  }
+
+  const int num_par = par_logprobs->cols();
+  int cand_idx, par_idx;
+  if (sample_actions_) {
+    cand_idx = SampleSpan(node_logprobs->data(), node_logprobs->cols(), &rng_);
+    par_idx = SampleSpan(par_logprobs->data() +
+                             static_cast<size_t>(cand_idx) * num_par,
+                         num_par, &rng_);
+  } else {
+    cand_idx = ArgmaxSpan(node_logprobs->data(), node_logprobs->cols());
+    par_idx = ArgmaxSpan(par_logprobs->data() +
+                             static_cast<size_t>(cand_idx) * num_par,
+                         num_par);
+  }
+
+  obs::AnnotatePredictedScore(node_logprobs->at(0, cand_idx));
+
+  const auto& [qi, op] = candidates[static_cast<size_t>(cand_idx)];
+  const QueryId qid = entries[static_cast<size_t>(qi)]->features.qid;
+  // Degree is always 1: Decima cannot co-schedule pipelined operators.
+  decision.pipelines.push_back(PipelineChoice{qid, op, 1});
+  const double frac =
+      model_->config().parallelism_fractions[static_cast<size_t>(par_idx)];
+  decision.parallelism.push_back(ParallelismChoice{
+      qid, std::max(1, static_cast<int>(std::lround(
+                        frac * static_cast<double>(total_threads))))});
+
+  if (record_experiences_) {
+    // The trainer replays through the tape path; cached structural
+    // features plus fresh query_features reconstruct a full extraction.
+    DecimaExperience exp;
+    exp.time = ctx.now();
+    exp.num_running_queries = static_cast<int>(queries.size());
+    exp.chosen_candidate = cand_idx;
+    exp.chosen_parallelism = par_idx;
+    exp.state.time = ctx.now();
+    exp.state.total_threads = total_threads;
+    exp.state.candidates = candidates;
+    exp.state.queries.reserve(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      DecimaQueryFeatures f = entries[i]->features;
+      f.query_features = std::move(qf[i]);
+      exp.state.queries.push_back(std::move(f));
+    }
+    experiences_.push_back(std::move(exp));
+  }
+
+  if (cache_.size() > queries.size() * 2 + 16) {
+    for (auto it = cache_.begin(); it != cache_.end();) {
+      bool live = false;
+      for (const QueryState* q : queries) {
+        if (q->id() == it->first) {
+          live = true;
+          break;
+        }
+      }
+      it = live ? std::next(it) : cache_.erase(it);
+    }
   }
   return decision;
 }

@@ -2,12 +2,17 @@
 #define LSCHED_SCHED_DECIMA_H_
 
 #include <array>
+#include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "exec/scheduler.h"
+#include "exec/scheduling_context.h"
 #include "exec/sim_engine.h"
+#include "nn/inference.h"
 #include "nn/layers.h"
 #include "nn/optimizer.h"
 #include "nn/params.h"
@@ -91,8 +96,17 @@ class DecimaScheduler : public Scheduler {
 
   std::string name() const override { return "Decima"; }
   void Reset() override;
+  /// Legacy tape-based forward (old-path benchmark / fast-path-off bridge).
   SchedulingDecision Schedule(const SchedulingEvent& event,
                               const SystemState& state) override;
+  /// Serving fast path (API v2): per-query GCN embeddings and summaries are
+  /// cached by the context's dirty-flag versions; heads run as batched
+  /// tape-free GEMMs. Bit-identical scores and rng consumption.
+  SchedulingDecision Schedule(const SchedulingEvent& event,
+                              const SchedulingContext& ctx) override;
+
+  void set_use_fast_path(bool v) { use_fast_path_ = v; }
+  bool use_fast_path() const { return use_fast_path_; }
 
   void set_sample_actions(bool v) { sample_actions_ = v; }
   void set_record_experiences(bool v) { record_experiences_ = v; }
@@ -102,11 +116,33 @@ class DecimaScheduler : public Scheduler {
   static DecimaStateFeatures ExtractFeatures(const SystemState& state);
 
  private:
+  /// Version-cacheable slice of one query: black-box features, runnable
+  /// ops, and the encoder outputs that depend only on them.
+  struct CacheEntry {
+    uint64_t version = 0;
+    DecimaQueryFeatures features;  ///< query_features left empty
+    std::vector<int> runnable_ops;
+    /// True once the embeddings reflect `features` (encoding is lazy: an
+    /// event whose candidate set turns out empty never runs the GCN).
+    bool encoded = false;
+    Matrix node_emb;   ///< (num_nodes x hidden_dim), post message passing
+    Matrix query_emb;  ///< (1 x summary_dim)
+  };
+
+  /// Refreshes features + runnable ops if `version` moved; does not encode.
+  CacheEntry& GetCacheEntry(const QueryState& q, uint64_t version);
+  /// Runs the serving GCN for `entry` if its embeddings are stale.
+  void EnsureEncoded(CacheEntry* entry);
+
   DecimaModel* model_;
   Rng rng_;
   bool sample_actions_ = false;
   bool record_experiences_ = false;
+  bool use_fast_path_ = true;
   std::vector<DecimaExperience> experiences_;
+  std::unordered_map<QueryId, CacheEntry> cache_;
+  uint64_t params_epoch_ = 0;
+  ScratchArena arena_;
 };
 
 struct DecimaTrainStats {

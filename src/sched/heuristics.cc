@@ -2,31 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 
 #include "obs/obs.h"
 
 namespace lsched {
 
-namespace {
-
-/// Launches every currently-schedulable operator of `q` as a full pipeline.
-void ScheduleAllOps(QueryState* q, SchedulingDecision* d) {
-  for (int root : q->SchedulableOps()) {
-    const int degree = static_cast<int>(q->ValidPipelineFrom(root).size());
-    d->pipelines.push_back(PipelineChoice{q->id(), root, degree});
-  }
-}
-
-}  // namespace
-
 SchedulingDecision FifoScheduler::Schedule(const SchedulingEvent& event,
-                                           const SystemState& state) {
+                                           const SchedulingContext& ctx) {
   (void)event;
   SchedulingDecision d;
   // Strict arrival order: find the oldest query that still has schedulable
   // work; grant it everything. Later queries wait.
-  std::vector<QueryState*> order = state.queries;
+  std::vector<QueryState*> order = ctx.queries();
   std::sort(order.begin(), order.end(),
             [](const QueryState* a, const QueryState* b) {
               return a->arrival_time() < b->arrival_time();
@@ -34,8 +21,7 @@ SchedulingDecision FifoScheduler::Schedule(const SchedulingEvent& event,
   for (QueryState* q : order) {
     if (!q->SchedulableOps().empty()) {
       ScheduleAllOps(q, &d);
-      d.parallelism.push_back(
-          ParallelismChoice{q->id(), static_cast<int>(state.threads.size())});
+      GrantFullPool(ctx, q->id(), &d);
       return d;
     }
     if (!q->completed()) {
@@ -47,84 +33,63 @@ SchedulingDecision FifoScheduler::Schedule(const SchedulingEvent& event,
 }
 
 SchedulingDecision FairScheduler::Schedule(const SchedulingEvent& event,
-                                           const SystemState& state) {
+                                           const SchedulingContext& ctx) {
   (void)event;
   SchedulingDecision d;
-  if (state.queries.empty()) return d;
-  const int total = static_cast<int>(state.threads.size());
+  if (ctx.queries().empty()) return d;
 
-  double total_weight = 0.0;
-  std::vector<double> weights(state.queries.size(), 1.0);
-  for (size_t i = 0; i < state.queries.size(); ++i) {
-    if (weight_by_cost_ > 0.0) {
+  std::vector<double> weights(ctx.queries().size(), 1.0);
+  if (weight_by_cost_ > 0.0) {
+    for (size_t i = 0; i < weights.size(); ++i) {
       weights[i] = 1.0 + weight_by_cost_ *
-                             state.queries[i]->EstimateQueryRemainingSeconds();
+                             ctx.queries()[i]->EstimateQueryRemainingSeconds();
     }
-    total_weight += weights[i];
   }
-  for (size_t i = 0; i < state.queries.size(); ++i) {
-    QueryState* q = state.queries[i];
-    // Ceil keeps fair sharing work-conserving: with more threads than
-    // queries the spare capacity is still handed out.
-    const int cap = std::max(
-        1, static_cast<int>(std::ceil(static_cast<double>(total) *
-                                      weights[i] / total_weight)));
-    d.parallelism.push_back(ParallelismChoice{q->id(), cap});
-    ScheduleAllOps(q, &d);
-  }
+  // Ceil keeps fair sharing work-conserving: with more threads than
+  // queries the spare capacity is still handed out.
+  AllocateProportionalShares(ctx, weights, ShareRounding::kCeil,
+                             /*schedule_all_ops=*/true, &d);
   return d;
 }
 
 SchedulingDecision SjfScheduler::Schedule(const SchedulingEvent& event,
-                                          const SystemState& state) {
+                                          const SchedulingContext& ctx) {
   (void)event;
   SchedulingDecision d;
-  QueryState* best = nullptr;
-  double best_remaining = std::numeric_limits<double>::infinity();
-  for (QueryState* q : state.queries) {
-    if (q->SchedulableOps().empty()) continue;
-    const double rem = q->EstimateQueryRemainingSeconds();
-    if (rem < best_remaining) {
-      best_remaining = rem;
-      best = q;
-    }
-  }
+  double best_score = 0.0;
+  QueryState* best =
+      BestSchedulableQuery(ctx, &best_score, [](const QueryState& q) {
+        return -q.EstimateQueryRemainingSeconds();
+      });
   if (best != nullptr) {
     // Decision-log score: negated remaining-time estimate (higher = better).
-    obs::AnnotatePredictedScore(-best_remaining);
+    obs::AnnotatePredictedScore(best_score);
     ScheduleAllOps(best, &d);
-    d.parallelism.push_back(
-        ParallelismChoice{best->id(), static_cast<int>(state.threads.size())});
+    GrantFullPool(ctx, best->id(), &d);
   }
   return d;
 }
 
 SchedulingDecision HpfScheduler::Schedule(const SchedulingEvent& event,
-                                          const SystemState& state) {
+                                          const SchedulingContext& ctx) {
   (void)event;
   SchedulingDecision d;
-  QueryState* best = nullptr;
-  double best_priority = -1.0;
-  for (QueryState* q : state.queries) {
-    if (q->SchedulableOps().empty()) continue;
-    // Static priority fixed by the optimizer's plan cost at arrival.
-    const double priority = 1.0 / (1.0 + q->plan().TotalEstimatedCost());
-    if (priority > best_priority) {
-      best_priority = priority;
-      best = q;
-    }
-  }
+  double best_score = 0.0;
+  QueryState* best =
+      BestSchedulableQuery(ctx, &best_score, [](const QueryState& q) {
+        // Static priority fixed by the optimizer's plan cost at arrival.
+        return 1.0 / (1.0 + q.plan().TotalEstimatedCost());
+      });
   if (best != nullptr) {
-    obs::AnnotatePredictedScore(best_priority);
+    obs::AnnotatePredictedScore(best_score);
     ScheduleAllOps(best, &d);
-    d.parallelism.push_back(
-        ParallelismChoice{best->id(), static_cast<int>(state.threads.size())});
+    GrantFullPool(ctx, best->id(), &d);
   }
   return d;
 }
 
 SchedulingDecision CriticalPathScheduler::Schedule(
-    const SchedulingEvent& event, const SystemState& state) {
+    const SchedulingEvent& event, const SchedulingContext& ctx) {
   (void)event;
   SchedulingDecision d;
   // Pick the schedulable pipeline with the most aggregate remaining work,
@@ -133,7 +98,7 @@ SchedulingDecision CriticalPathScheduler::Schedule(
   int best_root = -1;
   int best_degree = 1;
   double best_work = -1.0;
-  for (QueryState* q : state.queries) {
+  for (QueryState* q : ctx.queries()) {
     for (int root : q->SchedulableOps()) {
       const std::vector<int> chain = q->ValidPipelineFrom(root);
       double work = 0.0;
@@ -151,43 +116,30 @@ SchedulingDecision CriticalPathScheduler::Schedule(
   if (best_q != nullptr) {
     obs::AnnotatePredictedScore(best_work);
     d.pipelines.push_back(PipelineChoice{best_q->id(), best_root, best_degree});
-    d.parallelism.push_back(ParallelismChoice{
-        best_q->id(), static_cast<int>(state.threads.size())});
+    GrantFullPool(ctx, best_q->id(), &d);
   }
   return d;
 }
 
 SchedulingDecision QuickstepScheduler::Schedule(const SchedulingEvent& event,
-                                                const SystemState& state) {
+                                                const SchedulingContext& ctx) {
   (void)event;
   SchedulingDecision d;
-  if (state.queries.empty()) return d;
-  const int total = static_cast<int>(state.threads.size());
+  if (ctx.queries().empty()) return d;
 
   // Proportional-priority allocation by remaining work orders (largest
   // remainder method), then keep all active nodes scheduled.
-  double total_remaining = 0.0;
-  std::vector<double> remaining(state.queries.size(), 0.0);
-  for (size_t i = 0; i < state.queries.size(); ++i) {
-    const QueryState* q = state.queries[i];
+  std::vector<double> remaining(ctx.queries().size(), 0.0);
+  for (size_t i = 0; i < ctx.queries().size(); ++i) {
+    const QueryState* q = ctx.queries()[i];
     double r = 0.0;
     for (size_t op = 0; op < q->plan().num_nodes(); ++op) {
       r += q->RemainingWorkOrders(static_cast<int>(op));
     }
     remaining[i] = r;
-    total_remaining += r;
   }
-  for (size_t i = 0; i < state.queries.size(); ++i) {
-    QueryState* q = state.queries[i];
-    int cap = total;
-    if (total_remaining > 0.0) {
-      cap = std::max(1, static_cast<int>(std::lround(
-                            static_cast<double>(total) * remaining[i] /
-                            total_remaining)));
-    }
-    d.parallelism.push_back(ParallelismChoice{q->id(), cap});
-    ScheduleAllOps(q, &d);
-  }
+  AllocateProportionalShares(ctx, remaining, ShareRounding::kNearest,
+                             /*schedule_all_ops=*/true, &d);
   return d;
 }
 

@@ -1,0 +1,42 @@
+#include "sched/policy_base.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lsched {
+
+void HeuristicPolicy::ScheduleAllOps(const QueryState* q,
+                                     SchedulingDecision* d) {
+  for (int root : q->SchedulableOps()) {
+    const int degree = static_cast<int>(q->ValidPipelineFrom(root).size());
+    d->pipelines.push_back(PipelineChoice{q->id(), root, degree});
+  }
+}
+
+void HeuristicPolicy::GrantFullPool(const SchedulingContext& ctx,
+                                    QueryId query, SchedulingDecision* d) {
+  d->parallelism.push_back(ParallelismChoice{query, ctx.total_threads()});
+}
+
+void HeuristicPolicy::AllocateProportionalShares(
+    const SchedulingContext& ctx, const std::vector<double>& weights,
+    ShareRounding rounding, bool schedule_all_ops, SchedulingDecision* d) {
+  const std::vector<QueryState*>& queries = ctx.queries();
+  const int total = ctx.total_threads();
+  double weight_sum = 0.0;
+  for (double w : weights) weight_sum += w;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    int cap = total;
+    if (weight_sum > 0.0) {
+      const double share =
+          static_cast<double>(total) * weights[i] / weight_sum;
+      cap = std::max(1, static_cast<int>(rounding == ShareRounding::kCeil
+                                             ? std::ceil(share)
+                                             : std::lround(share)));
+    }
+    d->parallelism.push_back(ParallelismChoice{queries[i]->id(), cap});
+    if (schedule_all_ops) ScheduleAllOps(queries[i], d);
+  }
+}
+
+}  // namespace lsched

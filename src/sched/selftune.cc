@@ -6,30 +6,20 @@
 namespace lsched {
 
 SchedulingDecision SelfTuneScheduler::Schedule(const SchedulingEvent& event,
-                                               const SystemState& state) {
+                                               const SchedulingContext& ctx) {
   (void)event;
   SchedulingDecision d;
-  if (state.queries.empty()) return d;
+  if (ctx.queries().empty()) return d;
 
   // Thread shares proportional to (1 / attained service)^exponent: stride
   // scheduling's decaying priorities (no cost estimates involved).
-  const int total = static_cast<int>(state.threads.size());
-  double share_sum = 0.0;
-  std::vector<double> shares(state.queries.size(), 0.0);
-  for (size_t i = 0; i < state.queries.size(); ++i) {
-    const double attained = state.queries[i]->attained_service();
+  std::vector<double> shares(ctx.queries().size(), 0.0);
+  for (size_t i = 0; i < ctx.queries().size(); ++i) {
+    const double attained = ctx.queries()[i]->attained_service();
     shares[i] = std::pow(1.0 / (1.0 + attained), params_.share_exponent);
-    share_sum += shares[i];
   }
-  for (size_t i = 0; i < state.queries.size(); ++i) {
-    const int cap =
-        share_sum > 0.0
-            ? std::max(1, static_cast<int>(std::lround(
-                              static_cast<double>(total) * shares[i] /
-                              share_sum)))
-            : total;
-    d.parallelism.push_back(ParallelismChoice{state.queries[i]->id(), cap});
-  }
+  AllocateProportionalShares(ctx, shares, ShareRounding::kNearest,
+                             /*schedule_all_ops=*/false, &d);
 
   // Score all candidate execution roots; schedule the best ones, one per
   // free thread (the fixed priority policy).
@@ -40,8 +30,8 @@ SchedulingDecision SelfTuneScheduler::Schedule(const SchedulingEvent& event,
     double score;
   };
   std::vector<Candidate> candidates;
-  for (QueryState* q : state.queries) {
-    const double age = state.now - q->arrival_time();
+  for (QueryState* q : ctx.queries()) {
+    const double age = ctx.now() - q->arrival_time();
     const double attained = q->attained_service();
     for (int root : q->SchedulableOps()) {
       const std::vector<int> chain = q->ValidPipelineFrom(root);
@@ -59,7 +49,7 @@ SchedulingDecision SelfTuneScheduler::Schedule(const SchedulingEvent& event,
             [](const Candidate& a, const Candidate& b) {
               return a.score > b.score;
             });
-  const int budget = std::max(1, state.num_free_threads());
+  const int budget = std::max(1, ctx.num_free_threads());
   for (size_t i = 0;
        i < candidates.size() && static_cast<int>(i) < budget; ++i) {
     d.pipelines.push_back(PipelineChoice{candidates[i].q->id(),

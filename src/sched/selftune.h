@@ -4,8 +4,8 @@
 #include <string>
 #include <vector>
 
-#include "exec/scheduler.h"
 #include "exec/sim_engine.h"
+#include "sched/policy_base.h"
 #include "util/rng.h"
 
 namespace lsched {
@@ -27,13 +27,14 @@ struct SelfTuneParams {
 };
 
 /// Priority-based scheduler with tunable hyper-parameters.
-class SelfTuneScheduler : public Scheduler {
+class SelfTuneScheduler : public HeuristicPolicy {
  public:
   explicit SelfTuneScheduler(SelfTuneParams params = {}) : params_(params) {}
 
   std::string name() const override { return "SelfTune"; }
   SchedulingDecision Schedule(const SchedulingEvent& event,
-                              const SystemState& state) override;
+                              const SchedulingContext& ctx) override;
+  using HeuristicPolicy::Schedule;
 
   const SelfTuneParams& params() const { return params_; }
   void set_params(SelfTuneParams p) { params_ = p; }

@@ -31,6 +31,10 @@ class OwningLSchedScheduler : public Scheduler {
                               const SystemState& state) override {
     return agent_.Schedule(event, state);
   }
+  SchedulingDecision Schedule(const SchedulingEvent& event,
+                              const SchedulingContext& ctx) override {
+    return agent_.Schedule(event, ctx);
+  }
   void OnQueryCompleted(QueryId query, double latency) override {
     agent_.OnQueryCompleted(query, latency);
   }
@@ -57,6 +61,10 @@ class OwningDecimaScheduler : public Scheduler {
   SchedulingDecision Schedule(const SchedulingEvent& event,
                               const SystemState& state) override {
     return agent_.Schedule(event, state);
+  }
+  SchedulingDecision Schedule(const SchedulingEvent& event,
+                              const SchedulingContext& ctx) override {
+    return agent_.Schedule(event, ctx);
   }
   void OnQueryCompleted(QueryId query, double latency) override {
     agent_.OnQueryCompleted(query, latency);

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <utility>
 
+#include "exec/scheduling_context.h"
 #include "util/logging.h"
 #include "util/math_util.h"
 
@@ -183,6 +184,41 @@ SchedulingDecision ValidatingScheduler::Schedule(const SchedulingEvent& event,
                                                  const SystemState& state) {
   CheckState(event, state);
   SchedulingDecision decision = inner_->Schedule(event, state);
+  CheckDecision(decision, state);
+  return decision;
+}
+
+void ValidatingScheduler::CheckContext(const SchedulingContext& ctx) {
+  int free_recount = 0;
+  for (const ThreadInfo& t : ctx.threads()) {
+    if (!t.busy) ++free_recount;
+  }
+  if (free_recount != ctx.num_free_threads()) {
+    AddViolation("context free-thread counter " +
+                 std::to_string(ctx.num_free_threads()) + " != recount " +
+                 std::to_string(free_recount));
+  }
+  for (const QueryState* q : ctx.queries()) {
+    if (q == nullptr) continue;
+    if (ctx.FindQuery(q->id()) != q) {
+      AddViolation("context query index stale for query " +
+                   std::to_string(q->id()));
+    }
+    if (ctx.query_version(q->id()) == 0) {
+      AddViolation("live query " + std::to_string(q->id()) +
+                   " has version 0 (reserved for unknown queries)");
+    }
+  }
+}
+
+SchedulingDecision ValidatingScheduler::Schedule(const SchedulingEvent& event,
+                                                 const SchedulingContext& ctx) {
+  // Validation wants the full legacy view; the inner policy still receives
+  // the incremental context, so its fast path stays under test.
+  const SystemState state = ctx.MaterializeSnapshot();
+  CheckContext(ctx);
+  CheckState(event, state);
+  SchedulingDecision decision = inner_->Schedule(event, ctx);
   CheckDecision(decision, state);
   return decision;
 }

@@ -41,6 +41,12 @@ class ValidatingScheduler : public Scheduler {
   void Reset() override;
   SchedulingDecision Schedule(const SchedulingEvent& event,
                               const SystemState& state) override;
+  /// API v2 entry point: validates a materialized snapshot plus the
+  /// context's own incremental bookkeeping (free-thread counter, query
+  /// index, nonzero versions), then hands the *context* to the inner
+  /// policy so its fast path stays under test.
+  SchedulingDecision Schedule(const SchedulingEvent& event,
+                              const SchedulingContext& ctx) override;
   void OnQueryCompleted(QueryId query, double latency) override {
     inner_->OnQueryCompleted(query, latency);
   }
@@ -48,6 +54,7 @@ class ValidatingScheduler : public Scheduler {
   const std::vector<std::string>& violations() const { return violations_; }
 
  private:
+  void CheckContext(const SchedulingContext& ctx);
   void CheckState(const SchedulingEvent& event, const SystemState& state);
   void CheckDecision(const SchedulingDecision& decision,
                      const SystemState& state);

@@ -23,10 +23,14 @@ std::vector<double> Softmax(const std::vector<double>& v) {
 }
 
 double LogSumExp(const std::vector<double>& v) {
-  if (v.empty()) return -INFINITY;
-  const double mx = *std::max_element(v.begin(), v.end());
+  return LogSumExp(v.data(), v.size());
+}
+
+double LogSumExp(const double* v, size_t n) {
+  if (n == 0) return -INFINITY;
+  const double mx = *std::max_element(v, v + n);
   double sum = 0.0;
-  for (double x : v) sum += std::exp(x - mx);
+  for (size_t i = 0; i < n; ++i) sum += std::exp(v[i] - mx);
   return mx + std::log(sum);
 }
 

@@ -16,6 +16,10 @@ std::vector<double> Softmax(const std::vector<double>& v);
 /// log(sum(exp(v))) computed stably.
 double LogSumExp(const std::vector<double>& v);
 
+/// Pointer/size overload (same max-shift-then-sum order, so results are
+/// bit-identical to the vector version on the same data).
+double LogSumExp(const double* v, size_t n);
+
 /// The p-th percentile (p in [0,100]) of `values` using linear
 /// interpolation between closest ranks. Returns 0 for empty input.
 double Percentile(std::vector<double> values, double p);

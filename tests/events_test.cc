@@ -120,13 +120,13 @@ TEST(EventsTest, PoolShrinkReducesVisibleThreads) {
   class PoolSizeProbe : public QuickstepScheduler {
    public:
     SchedulingDecision Schedule(const SchedulingEvent& event,
-                                const SystemState& state) override {
-      if (state.now < 0.1) {
-        before = std::max(before, state.threads.size());
+                                const SchedulingContext& ctx) override {
+      if (ctx.now() < 0.1) {
+        before = std::max(before, ctx.threads().size());
       } else {
-        after_min = std::min(after_min, state.threads.size());
+        after_min = std::min(after_min, ctx.threads().size());
       }
-      return QuickstepScheduler::Schedule(event, state);
+      return QuickstepScheduler::Schedule(event, ctx);
     }
     size_t before = 0;
     size_t after_min = 1000;
@@ -147,12 +147,12 @@ TEST(EventsTest, ArrivalEventCarriesQueryId) {
   class ArrivalChecker : public FairScheduler {
    public:
     SchedulingDecision Schedule(const SchedulingEvent& event,
-                                const SystemState& state) override {
+                                const SchedulingContext& ctx) override {
       if (event.type == SchedulingEventType::kQueryArrival) {
         ids.push_back(event.query);
-        EXPECT_NE(state.FindQuery(event.query), nullptr);
+        EXPECT_NE(ctx.FindQuery(event.query), nullptr);
       }
-      return FairScheduler::Schedule(event, state);
+      return FairScheduler::Schedule(event, ctx);
     }
     std::vector<QueryId> ids;
   };

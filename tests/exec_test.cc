@@ -209,8 +209,8 @@ TEST(SimEngineTest, ParallelismCapLimitsConcurrency) {
   class CappedFair : public FairScheduler {
    public:
     SchedulingDecision Schedule(const SchedulingEvent& e,
-                                const SystemState& s) override {
-      SchedulingDecision d = FairScheduler::Schedule(e, s);
+                                const SchedulingContext& ctx) override {
+      SchedulingDecision d = FairScheduler::Schedule(e, ctx);
       for (auto& p : d.parallelism) p.max_threads = 1;
       return d;
     }
