@@ -55,6 +55,7 @@ constexpr SpanMeta kSpanMeta[] = {
     {"sched.queue_wait", "sched", "query", nullptr},
     {"sched.pipeline_launch", "sched", "query", "root_op"},
     {"engine.query_completed", "engine", "query", nullptr},
+    {"engine.query_terminated", "engine", "query", "status"},
 };
 
 }  // namespace
@@ -67,6 +68,9 @@ EpisodeRecorder::EpisodeRecorder() {
   work_orders_dispatched_ = reg.GetCounter("engine.work_orders_dispatched");
   work_orders_completed_ = reg.GetCounter("engine.work_orders_completed");
   queries_completed_ = reg.GetCounter("engine.queries_completed");
+  cancel_total_ = reg.GetCounter("exec.cancel_total");
+  retry_total_ = reg.GetCounter("exec.retry_total");
+  fail_total_ = reg.GetCounter("exec.fail_total");
   inflight_high_water_ = reg.GetGauge("engine.inflight_high_water");
   decision_seconds_ = reg.GetHistogram("sched.decision_seconds");
   pipeline_degree_ = reg.GetHistogram("sched.pipeline_degree");
@@ -76,8 +80,9 @@ EpisodeRecorder::EpisodeRecorder() {
 }
 
 void EpisodeRecorder::Begin(const char* engine_name, Scheduler* scheduler,
-                            bool virtual_time) {
+                            bool virtual_time, size_t num_queries) {
   result_ = EpisodeResult{};
+  result_.final_statuses.assign(num_queries, QueryStatus::kAdmitted);
   engine_name_ = engine_name;
   scheduler_ = scheduler;
   virtual_time_ = virtual_time;
@@ -97,6 +102,9 @@ void EpisodeRecorder::Begin(const char* engine_name, Scheduler* scheduler,
   local_dispatched_ = 0;
   local_completed_ = 0;
   local_queries_completed_ = 0;
+  local_cancels_ = 0;
+  local_retries_ = 0;
+  local_query_failures_ = 0;
   lh_decision_seconds_.Reset();
   lh_pipeline_degree_.Reset();
   lh_queue_wait_seconds_.Reset();
@@ -207,7 +215,28 @@ void EpisodeRecorder::OnWorkOrderCompleted(int64_t decision_id,
   }
 }
 
+void EpisodeRecorder::OnWorkOrderFailed() { ++result_.num_work_orders_failed; }
+
+void EpisodeRecorder::OnWorkOrderRetried() {
+  ++result_.num_retries;
+  if (obs::Enabled()) ++local_retries_;
+}
+
+void EpisodeRecorder::OnWorkOrderDiscarded() {
+  ++result_.num_work_orders_discarded;
+}
+
+void EpisodeRecorder::OnWorkOrderExpired() {
+  ++result_.num_work_orders_expired;
+}
+
 double EpisodeRecorder::OnQueryCompleted(QueryState* query, double now) {
+  query->TransitionTo(QueryStatus::kDone);
+  const QueryId qid = query->id();
+  if (qid >= 0 &&
+      static_cast<size_t>(qid) < result_.final_statuses.size()) {
+    result_.final_statuses[static_cast<size_t>(qid)] = QueryStatus::kDone;
+  }
   query->set_completion_time(now);
   const double latency = now - query->arrival_time();
   result_.query_arrivals.push_back(query->arrival_time());
@@ -236,6 +265,39 @@ double EpisodeRecorder::OnQueryCompleted(QueryState* query, double now) {
   return latency;
 }
 
+void EpisodeRecorder::OnQueryTerminated(const QueryState* query, double now,
+                                        int64_t dropped_work_orders) {
+  const QueryStatus status = query->status();
+  const QueryId qid = query->id();
+  if (qid >= 0 &&
+      static_cast<size_t>(qid) < result_.final_statuses.size()) {
+    result_.final_statuses[static_cast<size_t>(qid)] = status;
+  }
+  result_.num_work_orders_dropped += dropped_work_orders;
+  if (status == QueryStatus::kCancelled) ++result_.num_queries_cancelled;
+  if (status == QueryStatus::kFailed) ++result_.num_queries_failed;
+
+  if (!obs::Enabled()) return;
+  if (status == QueryStatus::kCancelled) ++local_cancels_;
+  if (status == QueryStatus::kFailed) ++local_query_failures_;
+  if (virtual_time_) {
+    RecordVirtualSpan(SimSpanKind::kQueryTerminated, now * 1e6, -1.0f,
+                      obs::ThreadId(), static_cast<uint32_t>(qid),
+                      static_cast<int32_t>(status));
+  } else {
+    obs::TraceEvent e;
+    e.name = "engine.query_terminated";
+    e.category = "engine";
+    e.ts_us = obs::NowMicros();
+    e.tid = obs::ThreadId();
+    e.arg1_name = "query";
+    e.arg1 = static_cast<int64_t>(qid);
+    e.arg2_name = "status";
+    e.arg2 = static_cast<int64_t>(status);
+    obs::Tracer::Global().RecordSpan(e);
+  }
+}
+
 int64_t EpisodeRecorder::OnFallback(double now) {
   ++result_.num_fallback_decisions;
 
@@ -261,6 +323,9 @@ void EpisodeRecorder::Finalize(double makespan) {
     work_orders_dispatched_->Add(local_dispatched_);
     work_orders_completed_->Add(local_completed_);
     queries_completed_->Add(local_queries_completed_);
+    cancel_total_->Add(local_cancels_);
+    retry_total_->Add(local_retries_);
+    fail_total_->Add(local_query_failures_);
     inflight_high_water_->Set(
         static_cast<double>(result_.max_inflight_work_orders));
     decision_seconds_->MergeSnapshot(lh_decision_seconds_.snap);

@@ -47,9 +47,10 @@ class EpisodeRecorder {
 
   /// Starts a fresh episode. `virtual_time` selects the trace timebase:
   /// true = engine `now` is virtual seconds (SimEngine), false = use the
-  /// process-wide wall clock (RealEngine).
-  void Begin(const char* engine_name, Scheduler* scheduler,
-             bool virtual_time);
+  /// process-wide wall clock (RealEngine). `num_queries` sizes the
+  /// per-query final-status vector (0 = lifecycle tracking unused).
+  void Begin(const char* engine_name, Scheduler* scheduler, bool virtual_time,
+             size_t num_queries = 0);
 
   /// One scheduler invocation (after Schedule() returned `decision`).
   /// Returns the decision-log id for attributing launched pipelines, or
@@ -72,9 +73,31 @@ class EpisodeRecorder {
   /// A work order finished, taking `seconds` of engine time.
   void OnWorkOrderCompleted(int64_t decision_id, double seconds);
 
+  /// A dispatched work-order attempt errored or exceeded its deadline.
+  void OnWorkOrderFailed();
+
+  /// A failed attempt was queued for re-dispatch (bumps exec.retry_total).
+  void OnWorkOrderRetried();
+
+  /// A dispatched attempt came back after its query reached a terminal
+  /// state; the result was thrown away.
+  void OnWorkOrderDiscarded();
+
+  /// An attempt was observed past its per-work-order deadline (counted even
+  /// when the result is still accepted, e.g. post-execution overruns in the
+  /// real engine).
+  void OnWorkOrderExpired();
+
   /// Query completion bookkeeping; invokes scheduler->OnQueryCompleted and
   /// returns the latency.
   double OnQueryCompleted(QueryState* query, double now);
+
+  /// A query left the system without completing. `query->status()` must
+  /// already be terminal (kCancelled or kFailed); `dropped_work_orders` is
+  /// the number of planned-but-never-completed work orders it abandoned.
+  /// Bumps exec.cancel_total / exec.fail_total.
+  void OnQueryTerminated(const QueryState* query, double now,
+                         int64_t dropped_work_orders);
 
   /// The engine's deadlock guard scheduled work itself. Returns a
   /// decision-log id for the fallback pipelines.
@@ -83,10 +106,11 @@ class EpisodeRecorder {
   /// Virtual-time trace events the recorder knows how to buffer; expanded
   /// to full TraceEvents (names, categories, arg labels) only in Finalize.
   enum class SimSpanKind : uint8_t {
-    kWorkOrder,       ///< engine.work_order; arg2 = pipeline index
-    kQueueWait,       ///< sched.queue_wait
-    kPipelineLaunch,  ///< sched.pipeline_launch; arg2 = root op
-    kQueryCompleted,  ///< engine.query_completed (instant)
+    kWorkOrder,        ///< engine.work_order; arg2 = pipeline index
+    kQueueWait,        ///< sched.queue_wait
+    kPipelineLaunch,   ///< sched.pipeline_launch; arg2 = root op
+    kQueryCompleted,   ///< engine.query_completed (instant)
+    kQueryTerminated,  ///< engine.query_terminated (instant); arg2 = status
   };
 
   /// Buffers a virtual-time trace event (coordinator thread only) for a
@@ -151,6 +175,9 @@ class EpisodeRecorder {
   int64_t local_dispatched_ = 0;
   int64_t local_completed_ = 0;
   int64_t local_queries_completed_ = 0;
+  int64_t local_cancels_ = 0;
+  int64_t local_retries_ = 0;
+  int64_t local_query_failures_ = 0;
   LocalHistogram lh_decision_seconds_;
   LocalHistogram lh_pipeline_degree_;
   LocalHistogram lh_queue_wait_seconds_;
@@ -164,6 +191,9 @@ class EpisodeRecorder {
   obs::Counter* work_orders_dispatched_;
   obs::Counter* work_orders_completed_;
   obs::Counter* queries_completed_;
+  obs::Counter* cancel_total_;
+  obs::Counter* retry_total_;
+  obs::Counter* fail_total_;
   obs::Gauge* inflight_high_water_;
   obs::Histogram* decision_seconds_;
   obs::Histogram* pipeline_degree_;

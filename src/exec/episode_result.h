@@ -4,16 +4,25 @@
 #include <cstdint>
 #include <vector>
 
+#include "exec/exec_types.h"
+
 namespace lsched {
 
 /// Telemetry from one workload execution ("episode" during training).
 /// Assembled identically for both engines by EpisodeRecorder
 /// (exec/episode_recorder.h).
 struct EpisodeResult {
-  std::vector<double> query_latencies;  ///< completion - arrival, per query
+  std::vector<double> query_latencies;  ///< completion - arrival, per DONE query
   double avg_latency = 0.0;
   double p90_latency = 0.0;
   double makespan = 0.0;  ///< completion of last query (virtual seconds)
+
+  /// Terminal lifecycle state per query, indexed by QueryId (empty for
+  /// engines/episodes predating lifecycle tracking). After a run every
+  /// entry must be terminal (DONE, CANCELLED, or FAILED).
+  std::vector<QueryStatus> final_statuses;
+  int num_queries_cancelled = 0;
+  int num_queries_failed = 0;
 
   int num_scheduler_invocations = 0;
   int num_actions = 0;  ///< pipelines launched by the scheduler (Fig. 13b)
@@ -26,12 +35,25 @@ struct EpisodeResult {
   /// completions[i] - arrivals[i]).
   std::vector<double> query_arrivals;
   std::vector<double> query_completions;
-  /// Work-order conservation: every fused work order a launched pipeline
-  /// plans must be dispatched to a thread exactly once and complete exactly
-  /// once (planned == dispatched == completed at end of run).
+  /// Work-order conservation. Without cancellations/faults every planned
+  /// fused work order is dispatched exactly once and completes exactly once
+  /// (planned == dispatched == completed). Under the fault model
+  /// (DESIGN.md §10) the general equations are:
+  ///   planned    == completed + dropped
+  ///   dispatched == completed + failed + discarded
+  ///   retries    <= failed
+  /// `failed` counts attempts that errored or exceeded the deadline,
+  /// `discarded` attempts whose query was already terminal when they came
+  /// back, `dropped` planned work orders never (re)dispatched because the
+  /// query left the system, `expired` attempts observed past their deadline.
   int64_t num_work_orders_planned = 0;
   int64_t num_work_orders_dispatched = 0;
   int64_t num_work_orders_completed = 0;
+  int64_t num_work_orders_failed = 0;
+  int64_t num_work_orders_discarded = 0;
+  int64_t num_work_orders_dropped = 0;
+  int64_t num_work_orders_expired = 0;
+  int64_t num_retries = 0;
   /// High-water mark of concurrently in-flight work orders; must never
   /// exceed the worker-pool size (no thread double-assignment).
   int max_inflight_work_orders = 0;

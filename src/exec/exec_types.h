@@ -18,9 +18,55 @@ enum class SchedulingEventType : uint8_t {
   kThreadIdle,            ///< a worker thread has no more assigned work
   kThreadAdded,           ///< the worker pool grew
   kThreadRemoved,         ///< the worker pool shrank
+  kQueryCancelled,        ///< a query left the system without completing
+                          ///< (cancellation or failure) and freed its threads
 };
 
 const char* SchedulingEventTypeName(SchedulingEventType t);
+
+/// Query lifecycle (DESIGN.md §10): ADMITTED -> RUNNING -> {DONE, CANCELLED,
+/// FAILED}. Cancellation/failure is legal from either live state; terminal
+/// states are absorbing, which makes double-cancel and cancel-after-done
+/// structural no-ops.
+enum class QueryStatus : uint8_t {
+  kAdmitted = 0,  ///< arrived, no pipeline launched yet
+  kRunning,       ///< at least one pipeline launched
+  kDone,          ///< all operators completed
+  kCancelled,     ///< torn down by CancelQuery / a scripted cancellation
+  kFailed,        ///< a work order exhausted its retry budget (or admission
+                  ///< was rejected)
+};
+
+const char* QueryStatusName(QueryStatus s);
+
+inline bool IsTerminalStatus(QueryStatus s) {
+  return s == QueryStatus::kDone || s == QueryStatus::kCancelled ||
+         s == QueryStatus::kFailed;
+}
+
+/// Retry/backoff policy for failed or deadline-expired work-order attempts:
+/// a work order may be retried `max_retries` times; one more failure marks
+/// the whole query FAILED. Backoff delays the pipeline's next dispatch.
+struct RetryPolicy {
+  int max_retries = 2;
+  double backoff_seconds = 0.0;       ///< delay before the first retry
+  double backoff_multiplier = 2.0;    ///< exponential growth per retry
+  /// Backoff before retry number `attempt` (1-based: the delay after the
+  /// attempt-th failure of a work order).
+  double BackoffFor(int attempt) const {
+    double b = backoff_seconds;
+    for (int i = 1; i < attempt; ++i) b *= backoff_multiplier;
+    return b;
+  }
+};
+
+/// A scripted cancellation: cancel `query` at engine time `time` (virtual
+/// seconds in SimEngine, run-clock seconds in RealEngine). A cancel at or
+/// before the query's arrival cancels it on admission, before any work runs.
+struct CancelRequest {
+  QueryId query = kInvalidQuery;
+  double time = 0.0;
+};
 
 struct SchedulingEvent {
   SchedulingEventType type = SchedulingEventType::kQueryArrival;

@@ -19,8 +19,48 @@ const char* SchedulingEventTypeName(SchedulingEventType t) {
       return "ThreadAdded";
     case SchedulingEventType::kThreadRemoved:
       return "ThreadRemoved";
+    case SchedulingEventType::kQueryCancelled:
+      return "QueryCancelled";
   }
   return "?";
+}
+
+const char* QueryStatusName(QueryStatus s) {
+  switch (s) {
+    case QueryStatus::kAdmitted:
+      return "ADMITTED";
+    case QueryStatus::kRunning:
+      return "RUNNING";
+    case QueryStatus::kDone:
+      return "DONE";
+    case QueryStatus::kCancelled:
+      return "CANCELLED";
+    case QueryStatus::kFailed:
+      return "FAILED";
+  }
+  return "?";
+}
+
+bool QueryState::TransitionTo(QueryStatus to) {
+  if (to == status_) return true;  // idempotent
+  bool legal = false;
+  switch (status_) {
+    case QueryStatus::kAdmitted:
+      // RUNNING on first pipeline launch, or straight to any terminal state
+      // (cancel-before-start, admission failure, zero-work completion).
+      legal = true;
+      break;
+    case QueryStatus::kRunning:
+      legal = IsTerminalStatus(to);
+      break;
+    case QueryStatus::kDone:
+    case QueryStatus::kCancelled:
+    case QueryStatus::kFailed:
+      legal = false;  // terminal states absorb
+      break;
+  }
+  if (legal) status_ = to;
+  return legal;
 }
 
 QueryState::QueryState(QueryId id, QueryPlan plan, double arrival_time,

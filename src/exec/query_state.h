@@ -27,6 +27,17 @@ class QueryState {
   double completion_time() const { return completion_time_; }
   void set_completion_time(double t) { completion_time_ = t; }
 
+  /// --- lifecycle state machine (DESIGN.md §10) --------------------------
+
+  QueryStatus status() const { return status_; }
+
+  /// Attempts the lifecycle transition to `to`. Returns true when the query
+  /// is in state `to` after the call (including the idempotent same-state
+  /// case); returns false — leaving the state unchanged — for illegal
+  /// transitions, so terminal states absorb all later requests
+  /// (double-cancel, cancel-after-done, fail-after-cancel are no-ops).
+  bool TransitionTo(QueryStatus to);
+
   /// --- per-operator progress -------------------------------------------
 
   bool op_completed(int op) const { return ops_[op].completed; }
@@ -105,6 +116,7 @@ class QueryState {
   QueryPlan plan_;
   double arrival_time_;
   double completion_time_ = -1.0;
+  QueryStatus status_ = QueryStatus::kAdmitted;
   std::vector<OpRuntime> ops_;
   size_t completed_ops_ = 0;
   double attained_service_ = 0.0;

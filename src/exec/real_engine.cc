@@ -1,9 +1,11 @@
 #include "exec/real_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "obs/trace.h"
+#include "testing/faultpoint.h"
 #include "util/clock.h"
 #include "util/logging.h"
 #include "util/math_util.h"
@@ -29,7 +31,25 @@ void RealEngine::WorkerLoop(int worker_id) {
     if (task.shutdown) return;
     Stopwatch sw;
     Status st;
-    {
+    // Fault injection + deadline check run BEFORE kernel execution so a
+    // failed attempt has no side effects and is safe to retry verbatim.
+    const FaultAction fault = LSCHED_FAULT(
+        "work_order_exec", task.query_index,
+        run_clock_ != nullptr ? run_clock_->Now() : 0.0);
+    if (fault &&
+        (fault.type == FaultType::kDelay || fault.type == FaultType::kStall)) {
+      // Injected worker stall: hold the thread (and its pipeline slot).
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(std::max(0.0, fault.param)));
+    }
+    bool expired = false;
+    if (fault && fault.type == FaultType::kError) {
+      st = Status::Internal("injected fault at work_order_exec");
+    } else if (task.deadline_seconds > 0.0 && run_clock_ != nullptr &&
+               run_clock_->Now() - task.issued_at > task.deadline_seconds) {
+      st = Status::Internal("work-order deadline exceeded before execution");
+      expired = true;
+    } else {
       obs::ScopedSpan span("engine.work_order", "engine", "query",
                            task.query_index, "wo", task.wo_index);
       st = executions_[static_cast<size_t>(task.query_index)]
@@ -40,6 +60,7 @@ void RealEngine::WorkerLoop(int worker_id) {
     c.pipeline_index = task.pipeline_index;
     c.wo_index = task.wo_index;
     c.seconds = sw.ElapsedSeconds();
+    c.expired = expired;
     c.status = std::move(st);
     PushCompletion(std::move(c));
   }
@@ -51,6 +72,61 @@ void RealEngine::PushCompletion(Completion c) {
     completions_.push_back(std::move(c));
   }
   completion_cv_.notify_one();
+}
+
+void RealEngine::CancelQuery(QueryId query) {
+  {
+    std::lock_guard<std::mutex> lock(completion_mu_);
+    external_cancels_.push_back(CancelRequest{query, 0.0});
+  }
+  // Wake the coordinator so the cancel is applied promptly even when no
+  // completion is pending.
+  completion_cv_.notify_one();
+}
+
+int RealEngine::InflightFor(int query_index) const {
+  int inflight = 0;
+  for (const ActivePipeline& p : pipelines_) {
+    if (p.query_index == query_index) inflight += p.inflight;
+  }
+  return inflight;
+}
+
+void RealEngine::MaybeReleaseExecution(int query_index) {
+  const QueryState* q = query_states_[static_cast<size_t>(query_index)].get();
+  if (q == nullptr || !IsTerminalStatus(q->status()) ||
+      q->status() == QueryStatus::kDone) {
+    return;  // DONE queries keep their execution for sink extraction
+  }
+  if (executions_[static_cast<size_t>(query_index)] == nullptr) return;
+  if (InflightFor(query_index) > 0) return;  // workers may still touch it
+  executions_[static_cast<size_t>(query_index)].reset();
+}
+
+bool RealEngine::TerminateQuery(QueryId query, QueryStatus status,
+                                double now) {
+  if (query < 0 || static_cast<size_t>(query) >= query_states_.size()) {
+    return false;
+  }
+  QueryState* q = query_states_[static_cast<size_t>(query)].get();
+  if (q == nullptr || IsTerminalStatus(q->status())) return false;
+  LSCHED_CHECK(q->TransitionTo(status));
+  // Kill the query's pipelines: pending fused work is dropped, in-flight
+  // attempts are discarded when they come back, retries are abandoned.
+  int64_t dropped = 0;
+  for (ActivePipeline& p : pipelines_) {
+    if (p.query_index != static_cast<int>(query) || p.dead) continue;
+    p.dead = true;
+    p.retry_ready.clear();
+    dropped += static_cast<int64_t>(p.total_fused - p.succeeded);
+  }
+  recorder_.OnQueryTerminated(q, now, dropped);
+  if (ctx_.FindQuery(query) != nullptr) ctx_.RemoveQuery(query);
+  ++terminal_queries_;
+  // Reclaim the execution's blocks/state now if nothing is in flight;
+  // otherwise the last draining completion releases it.
+  MaybeReleaseExecution(static_cast<int>(query));
+  return true;
 }
 
 void RealEngine::ApplyDecision(const SchedulingDecision& decision,
@@ -109,7 +185,9 @@ int RealEngine::AssignThreads(double now) {
     int pipeline_index = -1;
     for (size_t i = 0; i < pipelines_.size(); ++i) {
       ActivePipeline& p = pipelines_[i];
-      if (p.dispatched >= p.total_fused) continue;
+      if (p.dead) continue;
+      if (p.retry_ready.empty() && p.next_wo >= p.total_fused) continue;
+      if (p.not_before > now) continue;  // retry backoff pending
       QueryState* q = query_states_[static_cast<size_t>(p.query_index)].get();
       const int cap =
           q->max_threads() > 0 ? q->max_threads() : config_.num_threads;
@@ -144,7 +222,15 @@ int RealEngine::AssignThreads(double now) {
     task.query_index = p.query_index;
     task.pipeline_index = pipeline_index;
     task.chain = p.chain;
-    task.wo_index = p.dispatched;
+    // Retries first (FIFO), then the next fresh work-order index.
+    if (!p.retry_ready.empty()) {
+      task.wo_index = p.retry_ready.front();
+      p.retry_ready.erase(p.retry_ready.begin());
+    } else {
+      task.wo_index = p.next_wo++;
+    }
+    task.issued_at = now;
+    task.deadline_seconds = config_.work_order_deadline_seconds;
     ++p.dispatched;
     ++p.inflight;
     ctx_.SetThreadBusy(worker_id, q->id());
@@ -162,10 +248,15 @@ int RealEngine::AssignThreads(double now) {
 
 void RealEngine::InvokeScheduler(const SchedulingEvent& event,
                                  Scheduler* scheduler, double now) {
+  // A query-cancelled event is a lifecycle notification the policy must
+  // always see, even when no decision is currently possible (pool
+  // saturated or nothing schedulable).
   ctx_.set_now(now);
+  const bool lifecycle = event.type == SchedulingEventType::kQueryCancelled;
   for (int round = 0; round < config_.max_rounds_per_event; ++round) {
-    if (ctx_.num_free_threads() == 0) return;
-    if (!ctx_.AnySchedulableOp()) return;
+    const bool can_schedule =
+        ctx_.num_free_threads() > 0 && ctx_.AnySchedulableOp();
+    if (!can_schedule && !(lifecycle && round == 0)) return;
     Stopwatch sw;
     const SchedulingDecision decision = scheduler->Schedule(event, ctx_);
     current_decision_id_ = recorder_.OnSchedulerInvocation(
@@ -204,14 +295,25 @@ RealRunResult RealEngine::Run(const std::vector<RealQuerySubmission>& workload,
   query_states_.clear();
   executions_.clear();
   pipelines_.clear();
-  completions_.clear();
+  {
+    // CancelQuery may already be racing with run startup.
+    std::lock_guard<std::mutex> lock(completion_mu_);
+    completions_.clear();
+    external_cancels_.clear();
+  }
   current_decision_id_ = -1;
+  terminal_queries_ = 0;
   ctx_.Reset();
-  recorder_.Begin("real", scheduler, /*virtual_time=*/false);
+  recorder_.Begin("real", scheduler, /*virtual_time=*/false, workload.size());
   scheduler->Reset();
 
   query_states_.resize(workload.size());
   executions_.resize(workload.size());
+
+  // The run clock must exist before workers spawn: they read it (read-only)
+  // for work-order deadline checks.
+  WallClock clock;
+  run_clock_ = &clock;
 
   workers_.clear();
   for (int i = 0; i < config_.num_threads; ++i) {
@@ -227,7 +329,40 @@ RealRunResult RealEngine::Run(const std::vector<RealQuerySubmission>& workload,
         std::thread([this, i] { WorkerLoop(i); });
   }
 
-  WallClock clock;
+  // Scripted cancels, applied in time order ahead of arrivals so a cancel
+  // at t <= arrival deterministically cancels the query on admission.
+  std::vector<CancelRequest> scripted_cancels = config_.cancels;
+  std::stable_sort(scripted_cancels.begin(), scripted_cancels.end(),
+                   [](const CancelRequest& a, const CancelRequest& b) {
+                     return a.time < b.time;
+                   });
+  size_t next_cancel = 0;
+
+  // Applies a cancel request at time `t`. Un-arrived queries are
+  // admitted-and-cancelled so their terminal status is deterministic
+  // regardless of arrival/cancel interleaving.
+  const auto handle_cancel = [&](QueryId qid, double t) {
+    if (qid < 0 || static_cast<size_t>(qid) >= workload.size()) return;
+    const size_t idx = static_cast<size_t>(qid);
+    if (query_states_[idx] == nullptr) {
+      query_states_[idx] =
+          std::make_unique<QueryState>(qid, workload[idx].plan, t);
+      QueryState* q = query_states_[idx].get();
+      LSCHED_CHECK(q->TransitionTo(QueryStatus::kCancelled));
+      recorder_.OnQueryTerminated(q, t, 0);
+      ++terminal_queries_;
+    } else if (TerminateQuery(qid, QueryStatus::kCancelled, t)) {
+      // The cancel freed this query's claim on threads/memory: tell the
+      // scheduler so it can re-plan, then backfill the pool.
+      SchedulingEvent se;
+      se.type = SchedulingEventType::kQueryCancelled;
+      se.time = t;
+      se.query = qid;
+      InvokeScheduler(se, scheduler, t);
+      AssignThreads(t);
+    }
+  };
+
   size_t next_arrival = 0;
   std::vector<size_t> arrival_order(workload.size());
   for (size_t i = 0; i < workload.size(); ++i) arrival_order[i] = i;
@@ -237,22 +372,54 @@ RealRunResult RealEngine::Run(const std::vector<RealQuerySubmission>& workload,
                      workload[b].arrival_offset_seconds;
             });
 
-  int completed_queries = 0;
-  while (completed_queries < static_cast<int>(workload.size())) {
+  while (terminal_queries_ < static_cast<int>(workload.size())) {
     const double now = clock.Now();
+
+    // Apply due cancels BEFORE releasing arrivals: a cancel scripted at or
+    // before a query's arrival wins deterministically.
+    while (next_cancel < scripted_cancels.size() &&
+           scripted_cancels[next_cancel].time <= now) {
+      ctx_.set_now(now);
+      handle_cancel(scripted_cancels[next_cancel].query, now);
+      ++next_cancel;
+    }
+    {
+      std::vector<CancelRequest> external;
+      {
+        std::lock_guard<std::mutex> lock(completion_mu_);
+        external.swap(external_cancels_);
+      }
+      for (const CancelRequest& cr : external) {
+        ctx_.set_now(now);
+        handle_cancel(cr.query, now);
+      }
+    }
 
     // Release due arrivals.
     while (next_arrival < arrival_order.size() &&
            workload[arrival_order[next_arrival]].arrival_offset_seconds <=
                now) {
       const size_t idx = arrival_order[next_arrival];
+      ++next_arrival;
+      // Already admitted-and-cancelled by an earlier cancel request.
+      if (query_states_[idx] != nullptr) continue;
       query_states_[idx] = std::make_unique<QueryState>(
           static_cast<QueryId>(idx), workload[idx].plan, now);
+      QueryState* arrived = query_states_[idx].get();
+      // Admission fault point: a kError here rejects the query (terminal
+      // FAILED) before any execution state is allocated.
+      const FaultAction admit =
+          LSCHED_FAULT("query_admit", static_cast<QueryId>(idx), now);
+      if (admit && admit.type == FaultType::kError) {
+        LSCHED_CHECK(arrived->TransitionTo(QueryStatus::kFailed));
+        recorder_.OnQueryTerminated(arrived, now, 0);
+        ++terminal_queries_;
+        continue;
+      }
       executions_[idx] = std::make_unique<QueryExecution>(
           catalog_, &query_states_[idx]->plan(), config_.chunk_rows);
       ctx_.set_now(now);
-      ctx_.AddQuery(query_states_[idx].get());
-      ++next_arrival;
+      ctx_.AddQuery(arrived);
       SchedulingEvent se;
       se.type = SchedulingEventType::kQueryArrival;
       se.time = now;
@@ -265,72 +432,126 @@ RealRunResult RealEngine::Run(const std::vector<RealQuerySubmission>& workload,
     const bool any_busy = ctx_.num_free_threads() != ctx_.total_threads();
     bool any_pending = false;
     for (const ActivePipeline& p : pipelines_) {
-      any_pending |= p.dispatched < p.total_fused;
+      any_pending |= !p.dead && (p.next_wo < p.total_fused ||
+                                 !p.retry_ready.empty());
     }
     if (!any_busy && !any_pending && next_arrival >= arrival_order.size()) {
-      bool all_done = true;
+      bool all_terminal = true;
       for (const auto& q : query_states_) {
-        if (q != nullptr && !q->completed()) all_done = false;
+        if (q == nullptr || !IsTerminalStatus(q->status())) {
+          all_terminal = false;
+        }
       }
-      if (all_done) break;
-      ForceFallback(now);
+      if (all_terminal) break;
+      if (!ctx_.queries().empty()) ForceFallback(now);
     }
 
-    // Wait for a completion (with a timeout so arrivals are released).
+    // Wait for a completion (with a timeout so arrivals, cancels, and
+    // elapsed retry backoffs are serviced).
     Completion c;
     {
       std::unique_lock<std::mutex> lock(completion_mu_);
       if (!completion_cv_.wait_for(lock, std::chrono::milliseconds(2),
-                                   [&] { return !completions_.empty(); })) {
+                                   [&] {
+                                     return !completions_.empty() ||
+                                            !external_cancels_.empty();
+                                   })) {
+        AssignThreads(clock.Now());  // a retry backoff may have elapsed
         continue;
       }
+      if (completions_.empty()) continue;  // woken for an external cancel
       c = std::move(completions_.front());
       completions_.pop_front();
     }
     const double done_now = clock.Now();
-    LSCHED_CHECK(c.status.ok()) << c.status.ToString();
 
     ActivePipeline& p = pipelines_[static_cast<size_t>(c.pipeline_index)];
     QueryState* q = query_states_[static_cast<size_t>(p.query_index)].get();
     Worker& w = *workers_[static_cast<size_t>(c.thread_id)];
     ctx_.set_now(done_now);
+    // Free the worker first — identical bookkeeping for every outcome.
     ctx_.SetThreadIdle(c.thread_id, q->id());
-    q->AddAttainedService(c.seconds);
-    recorder_.OnWorkOrderCompleted(p.decision_id, c.seconds);
     --p.inflight;
     q->set_assigned_threads(q->assigned_threads() - 1);
 
     std::vector<int> completed_ops;
-    const double fused_total = static_cast<double>(p.total_fused);
-    for (size_t s = 0; s < p.chain.size(); ++s) {
-      const int op = p.chain[s];
-      const double amount =
-          static_cast<double>(q->plan().node(op).num_work_orders) /
-          fused_total;
-      const double mem = static_cast<double>(
-          executions_[static_cast<size_t>(p.query_index)]->StateBytes(op));
-      if (q->AdvanceOperator(
-              op, amount, c.seconds / static_cast<double>(p.chain.size()),
-              mem / fused_total)) {
-        const Status fin = executions_[static_cast<size_t>(p.query_index)]
-                               ->FinalizeOperator(op);
-        LSCHED_CHECK(fin.ok()) << fin.ToString();
-        completed_ops.push_back(op);
+    bool emit_cancel_event = false;
+    if (p.dead) {
+      // The query reached a terminal state while this attempt was in
+      // flight: throw the result away and free the execution once the last
+      // straggler drains.
+      recorder_.OnWorkOrderDiscarded();
+      MaybeReleaseExecution(p.query_index);
+    } else if (!c.status.ok()) {
+      recorder_.OnWorkOrderFailed();
+      if (c.expired) recorder_.OnWorkOrderExpired();
+      const int attempt = ++p.attempts[c.wo_index];
+      if (attempt > config_.retry.max_retries) {
+        // Retry budget exhausted: the whole query fails. The worker pool
+        // stays healthy — only this query's work is torn down.
+        LSCHED_LOG(Warning) << "query " << p.query_index << " work order "
+                            << c.wo_index << " failed after " << attempt
+                            << " attempts: " << c.status.ToString();
+        TerminateQuery(q->id(), QueryStatus::kFailed, done_now);
+        emit_cancel_event = true;
+      } else {
+        recorder_.OnWorkOrderRetried();
+        p.retry_ready.push_back(c.wo_index);
+        const double backoff = config_.retry.BackoffFor(attempt);
+        if (backoff > 0.0) {
+          p.not_before = std::max(p.not_before, done_now + backoff);
+        }
       }
-    }
-    // Operator progress changed (O-WO/O-DUR/O-MEM, possibly completion
-    // flags): invalidate cached encodings for this query.
-    ctx_.MarkQueryDirty(q->id());
+    } else {
+      q->AddAttainedService(c.seconds);
+      recorder_.OnWorkOrderCompleted(p.decision_id, c.seconds);
+      ++p.succeeded;
+      if (config_.work_order_deadline_seconds > 0.0 &&
+          c.seconds > config_.work_order_deadline_seconds) {
+        // Post-execution overrun: the kernel's side effects are already
+        // applied, so a retry would double-apply them. Accept the result
+        // and count the overrun.
+        recorder_.OnWorkOrderExpired();
+      }
 
-    if (q->completed() && q->completion_time() < 0.0) {
-      recorder_.OnQueryCompleted(q, done_now);
-      ++completed_queries;
-      ctx_.RemoveQuery(q->id());
+      const double fused_total = static_cast<double>(p.total_fused);
+      for (size_t s = 0; s < p.chain.size(); ++s) {
+        const int op = p.chain[s];
+        const double amount =
+            static_cast<double>(q->plan().node(op).num_work_orders) /
+            fused_total;
+        const double mem = static_cast<double>(
+            executions_[static_cast<size_t>(p.query_index)]->StateBytes(op));
+        if (q->AdvanceOperator(
+                op, amount, c.seconds / static_cast<double>(p.chain.size()),
+                mem / fused_total)) {
+          const Status fin = executions_[static_cast<size_t>(p.query_index)]
+                                 ->FinalizeOperator(op);
+          LSCHED_CHECK(fin.ok()) << fin.ToString();
+          completed_ops.push_back(op);
+        }
+      }
+      // Operator progress changed (O-WO/O-DUR/O-MEM, possibly completion
+      // flags): invalidate cached encodings for this query.
+      ctx_.MarkQueryDirty(q->id());
+
+      if (q->completed() && q->completion_time() < 0.0) {
+        recorder_.OnQueryCompleted(q, done_now);
+        ++terminal_queries_;
+        ctx_.RemoveQuery(q->id());
+      }
     }
 
     AssignThreads(done_now);
     const ThreadInfo* winfo = ctx_.thread(w.id);
-    if (!completed_ops.empty()) {
+    if (emit_cancel_event) {
+      SchedulingEvent se;
+      se.type = SchedulingEventType::kQueryCancelled;
+      se.time = done_now;
+      se.query = q->id();
+      InvokeScheduler(se, scheduler, done_now);
+      AssignThreads(done_now);
+    } else if (!completed_ops.empty()) {
       SchedulingEvent se;
       se.type = SchedulingEventType::kOperatorCompleted;
       se.time = done_now;
@@ -348,6 +569,40 @@ RealRunResult RealEngine::Run(const std::vector<RealQuerySubmission>& workload,
     }
   }
 
+  // Drain attempts still in flight for terminal queries so work-order
+  // conservation closes out, then release any zombie executions.
+  int outstanding = 0;
+  for (const ActivePipeline& p : pipelines_) outstanding += p.inflight;
+  while (outstanding > 0) {
+    Completion c;
+    {
+      std::unique_lock<std::mutex> lock(completion_mu_);
+      completion_cv_.wait(lock, [&] { return !completions_.empty(); });
+      c = std::move(completions_.front());
+      completions_.pop_front();
+    }
+    ActivePipeline& p = pipelines_[static_cast<size_t>(c.pipeline_index)];
+    QueryState* q = query_states_[static_cast<size_t>(p.query_index)].get();
+    ctx_.SetThreadIdle(c.thread_id, q->id());
+    --p.inflight;
+    q->set_assigned_threads(q->assigned_threads() - 1);
+    recorder_.OnWorkOrderDiscarded();
+    MaybeReleaseExecution(p.query_index);
+    --outstanding;
+  }
+
+  // Invariant: every terminal non-DONE query has released its execution
+  // state (no leaked blocks/hash tables after cancellation or failure).
+  for (size_t i = 0; i < query_states_.size(); ++i) {
+    const QueryState* q = query_states_[i].get();
+    if (q != nullptr && q->status() != QueryStatus::kDone) {
+      LSCHED_CHECK(executions_[i] == nullptr)
+          << "terminal query " << i << " ("
+          << QueryStatusName(q->status())
+          << ") leaked its execution state";
+    }
+  }
+
   // Shut the pool down.
   for (auto& w : workers_) {
     {
@@ -361,6 +616,7 @@ RealRunResult RealEngine::Run(const std::vector<RealQuerySubmission>& workload,
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
   }
+  run_clock_ = nullptr;
 
   recorder_.Finalize(clock.Now());
 
@@ -369,7 +625,10 @@ RealRunResult RealEngine::Run(const std::vector<RealQuerySubmission>& workload,
   for (size_t i = 0; i < workload.size(); ++i) {
     int64_t rows = 0;
     double checksum = 0.0;
-    if (executions_[i] != nullptr) {
+    // Only DONE queries have sink output (cancelled/failed ones released
+    // their execution state mid-run).
+    if (executions_[i] != nullptr && query_states_[i] != nullptr &&
+        query_states_[i]->status() == QueryStatus::kDone) {
       for (int sink : query_states_[i]->plan().SinkNodes()) {
         const RowStore& store = executions_[i]->output(sink);
         rows += static_cast<int64_t>(store.num_rows());

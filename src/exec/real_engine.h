@@ -7,6 +7,7 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "exec/episode_recorder.h"
@@ -16,6 +17,7 @@
 #include "exec/scheduler.h"
 #include "exec/scheduling_context.h"
 #include "storage/catalog.h"
+#include "util/clock.h"
 
 namespace lsched {
 
@@ -23,6 +25,17 @@ struct RealEngineConfig {
   int num_threads = 8;
   size_t chunk_rows = 4096;
   int max_rounds_per_event = 64;
+  /// Retry/backoff policy for failed work-order attempts (DESIGN.md §10).
+  RetryPolicy retry;
+  /// Per-work-order deadline in run-clock seconds. Attempts observed past
+  /// it before execution starts fail (and retry); attempts that overrun it
+  /// during execution are accepted — the kernel's side effects are already
+  /// applied, so a re-execution would double-apply them — and counted in
+  /// num_work_orders_expired. 0 = no deadline.
+  double work_order_deadline_seconds = 0.0;
+  /// Scripted cancellations, applied at their run-clock times. A cancel at
+  /// or before the query's arrival cancels it on admission.
+  std::vector<CancelRequest> cancels;
 };
 
 struct RealQuerySubmission {
@@ -56,13 +69,28 @@ class RealEngine {
   RealRunResult Run(const std::vector<RealQuerySubmission>& workload,
                     Scheduler* scheduler);
 
+  /// Requests cancellation of a live query. Thread-safe; may be called from
+  /// any thread while Run() is active. The coordinator applies it promptly:
+  /// the query is marked CANCELLED, its pending work orders are dropped,
+  /// in-flight attempts are discarded when they come back, and its
+  /// execution state (blocks, hash tables, intermediate stores) is freed as
+  /// soon as the last in-flight attempt drains. Unknown or already-terminal
+  /// queries are no-ops.
+  void CancelQuery(QueryId query);
+
  private:
   struct ActivePipeline {
     int query_index = -1;
     std::vector<int> chain;
     int total_fused = 0;
-    int dispatched = 0;
+    int dispatched = 0;  ///< attempts handed to workers (incl. retries)
     int inflight = 0;
+    int next_wo = 0;     ///< next fresh work-order index to dispatch
+    int succeeded = 0;   ///< work orders that completed successfully
+    bool dead = false;   ///< query reached a terminal state; stop dispatching
+    std::vector<int> retry_ready;  ///< failed work orders awaiting re-dispatch
+    std::unordered_map<int, int> attempts;  ///< failed attempts per work order
+    double not_before = 0.0;  ///< retry backoff: no dispatch before this time
     double created_at = 0.0;   ///< run clock time the pipeline was launched
     int64_t decision_id = -1;  ///< obs decision-log id that launched it
   };
@@ -72,6 +100,7 @@ class RealEngine {
     int pipeline_index = -1;
     int wo_index = -1;
     double seconds = 0.0;
+    bool expired = false;  ///< attempt failed its deadline before executing
     Status status;
   };
 
@@ -81,6 +110,8 @@ class RealEngine {
     int pipeline_index = -1;
     std::vector<int> chain;
     int wo_index = 0;
+    double issued_at = 0.0;         ///< run-clock time of dispatch
+    double deadline_seconds = 0.0;  ///< per-work-order deadline (0 = none)
   };
 
   /// Occupancy/locality state lives in the coordinator-owned
@@ -103,6 +134,16 @@ class RealEngine {
   void InvokeScheduler(const SchedulingEvent& event, Scheduler* scheduler,
                        double now);
   void ForceFallback(double now);
+  /// Moves a live query to terminal `status` (kCancelled/kFailed): flips
+  /// the state machine, kills its pipelines (accounting dropped work
+  /// orders), removes it from the scheduling context, and frees its
+  /// execution once no attempt is in flight. Returns false for
+  /// unknown/already-terminal queries. Coordinator thread only.
+  bool TerminateQuery(QueryId query, QueryStatus status, double now);
+  /// Frees a terminal (non-DONE) query's execution state once its last
+  /// in-flight attempt has drained. Coordinator thread only.
+  void MaybeReleaseExecution(int query_index);
+  int InflightFor(int query_index) const;
 
   const Catalog* catalog_;
   RealEngineConfig config_;
@@ -117,10 +158,17 @@ class RealEngine {
   /// Decision-log id of the in-flight scheduler/fallback decision; tags
   /// pipelines created by ApplyDecision.
   int64_t current_decision_id_ = -1;
+  /// Queries that reached a terminal state (DONE + CANCELLED + FAILED).
+  int terminal_queries_ = 0;
+  /// Run clock, published (before workers spawn) for worker-side deadline
+  /// checks; read-only while workers are alive.
+  const Clock* run_clock_ = nullptr;
 
   std::mutex completion_mu_;
   std::condition_variable completion_cv_;
   std::deque<Completion> completions_;
+  /// CancelQuery() requests awaiting the coordinator (completion_mu_).
+  std::vector<CancelRequest> external_cancels_;
 };
 
 }  // namespace lsched

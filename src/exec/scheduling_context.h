@@ -84,6 +84,16 @@ class SchedulingContext {
   /// O(1) hash-indexed lookup (replaces SystemState::FindQuery).
   QueryState* FindQuery(QueryId id) const;
 
+  /// True when `id` is present in this context AND not in a terminal
+  /// lifecycle state. Engines remove queries on termination, so presence
+  /// normally implies liveness; the status check additionally guards
+  /// against stale pointers in hand-built contexts (tests, bridges).
+  /// Policies must not score or pick dead queries (DESIGN.md §10).
+  bool IsQueryLive(QueryId id) const {
+    const QueryState* q = FindQuery(id);
+    return q != nullptr && !IsTerminalStatus(q->status());
+  }
+
   /// Monotonic per-query change version; 0 if the query is unknown.
   /// Two reads returning the same version guarantee that no dirtying event
   /// happened in between, so any state derived from the query may be

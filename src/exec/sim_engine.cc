@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/trace.h"
+#include "testing/faultpoint.h"
 #include "util/clock.h"
 #include "util/logging.h"
 #include "util/math_util.h"
@@ -28,8 +29,15 @@ void SimEngine::ResetRunState() {
   while (!events_.empty()) events_.pop();
   event_seq_ = 0;
   current_decision_id_ = -1;
-  completed_queries_ = 0;
+  terminal_queries_ = 0;
   pending_thread_removals_ = 0;
+  // Scripted cancels are queued before arrivals (Run) so that at equal
+  // times the lower sequence number wins the tie and a cancel at t <=
+  // arrival deterministically cancels the query on admission.
+  for (size_t i = 0; i < config_.cancels.size(); ++i) {
+    events_.push(SimEvent{config_.cancels[i].time, event_seq_++,
+                          SimEvent::kCancel, static_cast<int>(i)});
+  }
   for (size_t i = 0; i < config_.thread_events.size(); ++i) {
     events_.push(SimEvent{config_.thread_events[i].time, event_seq_++,
                           SimEvent::kPoolChange, static_cast<int>(i)});
@@ -38,9 +46,34 @@ void SimEngine::ResetRunState() {
 
 bool SimEngine::AnyPendingFusedWork() const {
   for (const ActivePipeline& p : active_pipelines_) {
-    if (p.dispatched < p.total_fused) return true;
+    if (p.dead) continue;
+    if (p.next_wo < p.total_fused || !p.retry_ready.empty()) return true;
   }
   return false;
+}
+
+bool SimEngine::TerminateQuery(QueryId query, QueryStatus status, double now) {
+  if (query < 0 || static_cast<size_t>(query) >= queries_.size()) return false;
+  QueryState* q = queries_[static_cast<size_t>(query)].get();
+  if (q == nullptr || IsTerminalStatus(q->status())) return false;
+  LSCHED_CHECK(q->TransitionTo(status));
+  // Kill the query's pipelines: pending fused work is dropped, in-flight
+  // attempts are discarded when they come back, retries are abandoned.
+  int64_t dropped = 0;
+  for (ActivePipeline& p : active_pipelines_) {
+    if (p.query != query || p.dead) continue;
+    p.dead = true;
+    p.retry_ready.clear();
+    dropped += static_cast<int64_t>(p.total_fused - p.succeeded);
+  }
+  recorder_.OnQueryTerminated(q, now, dropped);
+  if (ctx_.FindQuery(query) != nullptr) ctx_.RemoveQuery(query);
+  ++terminal_queries_;
+  return true;
+}
+
+bool SimEngine::CancelQuery(QueryId query) {
+  return TerminateQuery(query, QueryStatus::kCancelled, ctx_.now());
 }
 
 void SimEngine::ApplyDecision(const SchedulingDecision& decision, double now) {
@@ -91,6 +124,15 @@ void SimEngine::DispatchTo(int thread_id, int pipeline_idx, double now) {
   QueryState* q = ctx_.FindQuery(p.query);
   LSCHED_CHECK(q != nullptr);
 
+  // Pick the work order: retries first (FIFO), then the next fresh index.
+  int wo_index;
+  if (!p.retry_ready.empty()) {
+    wo_index = p.retry_ready.front();
+    p.retry_ready.erase(p.retry_ready.begin());
+  } else {
+    wo_index = p.next_wo++;
+  }
+
   double duration = p.est_seconds_per_fused;
   const double noise =
       std::max(0.05, rng_.Normal(1.0, config_.cost_params.noise_cv));
@@ -105,11 +147,33 @@ void SimEngine::DispatchTo(int thread_id, int pipeline_idx, double now) {
                         static_cast<double>(q->assigned_threads());
   duration = std::max(duration, 1e-9);
 
+  // Fault injection at the canonical execution point. Probed AFTER the
+  // noise draw so the RNG sequence — and therefore every duration — of a
+  // run with faults compiled out (or disarmed) is bit-identical to a
+  // no-fault run.
+  bool attempt_failed = false;
+  if (const FaultAction fault = LSCHED_FAULT("work_order_exec", p.query, now)) {
+    if (fault.type == FaultType::kError) {
+      attempt_failed = true;  // the attempt consumes its full duration
+    } else {
+      duration += std::max(0.0, fault.param);  // kDelay / kStall
+    }
+  }
+  // Per-work-order deadline: the attempt is aborted at the deadline.
+  if (config_.work_order_deadline_seconds > 0.0 &&
+      duration > config_.work_order_deadline_seconds) {
+    attempt_failed = true;
+    duration = config_.work_order_deadline_seconds;
+    recorder_.OnWorkOrderExpired();
+  }
+
   const bool first_dispatch = p.dispatched == 0;
   ++p.dispatched;
   ++p.inflight;
   ctx_.SetThreadBusy(thread_id, p.query);
   t.pipeline_index = pipeline_idx;
+  t.wo_index = wo_index;
+  t.attempt_failed = attempt_failed;
   t.busy_since = now;
   t.busy_until = now + duration;
   q->set_assigned_threads(q->assigned_threads() + 1);
@@ -143,7 +207,9 @@ int SimEngine::AssignThreads(double now) {
     std::vector<int> candidates;
     for (size_t i = 0; i < active_pipelines_.size(); ++i) {
       const ActivePipeline& p = active_pipelines_[i];
-      if (p.dispatched >= p.total_fused) continue;
+      if (p.dead) continue;
+      if (p.retry_ready.empty() && p.next_wo >= p.total_fused) continue;
+      if (p.not_before > now + 1e-12) continue;  // retry backoff pending
       QueryState* q = ctx_.FindQuery(p.query);
       if (q == nullptr) continue;
       const int cap =
@@ -197,10 +263,15 @@ int SimEngine::AssignThreads(double now) {
 void SimEngine::InvokeScheduler(const SchedulingEvent& event,
                                 Scheduler* scheduler, double now) {
   // Per §5.2: no decisions if all threads are busy or nothing to schedule.
+  // Exception: a query-cancelled event is a lifecycle notification the
+  // policy must always see (it may be tracking the query), even when no
+  // decision is currently possible.
   ctx_.set_now(now);
+  const bool lifecycle = event.type == SchedulingEventType::kQueryCancelled;
   for (int round = 0; round < config_.max_rounds_per_event; ++round) {
-    if (ctx_.num_free_threads() == 0) return;
-    if (!ctx_.AnySchedulableOp()) return;
+    const bool can_schedule =
+        ctx_.num_free_threads() > 0 && ctx_.AnySchedulableOp();
+    if (!can_schedule && !(lifecycle && round == 0)) return;
     Stopwatch sw;
     const SchedulingDecision decision = scheduler->Schedule(event, ctx_);
     current_decision_id_ = recorder_.OnSchedulerInvocation(
@@ -231,7 +302,7 @@ void SimEngine::ForceFallbackSchedule(double now) {
 EpisodeResult SimEngine::Run(const std::vector<QuerySubmission>& workload,
                              Scheduler* scheduler) {
   ResetRunState();
-  recorder_.Begin("sim", scheduler, /*virtual_time=*/true);
+  recorder_.Begin("sim", scheduler, /*virtual_time=*/true, workload.size());
   scheduler->Reset();
 
   for (size_t i = 0; i < workload.size(); ++i) {
@@ -253,15 +324,57 @@ EpisodeResult SimEngine::Run(const std::vector<QuerySubmission>& workload,
 
     if (ev.kind == SimEvent::kArrival) {
       const size_t idx = static_cast<size_t>(ev.payload);
-      queries_[idx] = std::make_unique<QueryState>(
-          static_cast<QueryId>(idx), workload[idx].plan, now,
-          config_.regression_window);
-      ctx_.AddQuery(queries_[idx].get());
-      SchedulingEvent se;
-      se.type = SchedulingEventType::kQueryArrival;
-      se.time = now;
-      se.query = static_cast<QueryId>(idx);
-      InvokeScheduler(se, scheduler, now);
+      // queries_[idx] already set means the query was cancelled before it
+      // arrived (admit-and-cancel): nothing to admit.
+      if (queries_[idx] == nullptr) {
+        queries_[idx] = std::make_unique<QueryState>(
+            static_cast<QueryId>(idx), workload[idx].plan, now,
+            config_.regression_window);
+        QueryState* q = queries_[idx].get();
+        // Admission fault point: a kError here rejects the query (terminal
+        // FAILED) before it ever reaches the scheduler.
+        const FaultAction admit =
+            LSCHED_FAULT("query_admit", static_cast<QueryId>(idx), now);
+        if (admit && admit.type == FaultType::kError) {
+          LSCHED_CHECK(q->TransitionTo(QueryStatus::kFailed));
+          recorder_.OnQueryTerminated(q, now, 0);
+          ++terminal_queries_;
+        } else {
+          ctx_.AddQuery(q);
+          SchedulingEvent se;
+          se.type = SchedulingEventType::kQueryArrival;
+          se.time = now;
+          se.query = static_cast<QueryId>(idx);
+          InvokeScheduler(se, scheduler, now);
+          AssignThreads(now);
+        }
+      }
+    } else if (ev.kind == SimEvent::kCancel) {
+      const CancelRequest& cr = config_.cancels[static_cast<size_t>(ev.payload)];
+      if (cr.query >= 0 && static_cast<size_t>(cr.query) < queries_.size()) {
+        const size_t idx = static_cast<size_t>(cr.query);
+        if (queries_[idx] == nullptr) {
+          // Not yet arrived: admit-and-cancel so the terminal status is
+          // deterministic regardless of arrival/cancel ordering.
+          queries_[idx] = std::make_unique<QueryState>(
+              cr.query, workload[idx].plan, now, config_.regression_window);
+          QueryState* q = queries_[idx].get();
+          LSCHED_CHECK(q->TransitionTo(QueryStatus::kCancelled));
+          recorder_.OnQueryTerminated(q, now, 0);
+          ++terminal_queries_;
+        } else if (TerminateQuery(cr.query, QueryStatus::kCancelled, now)) {
+          // The cancel freed this query's claim on threads/memory: tell the
+          // scheduler so it can re-plan, then backfill the pool.
+          SchedulingEvent se;
+          se.type = SchedulingEventType::kQueryCancelled;
+          se.time = now;
+          se.query = cr.query;
+          InvokeScheduler(se, scheduler, now);
+          AssignThreads(now);
+        }
+      }
+    } else if (ev.kind == SimEvent::kRetryReady) {
+      // A retry backoff elapsed; backfill idle threads.
       AssignThreads(now);
     } else if (ev.kind == SimEvent::kPoolChange) {
       const ThreadPoolEvent& change =
@@ -301,35 +414,21 @@ EpisodeResult SimEngine::Run(const std::vector<QuerySubmission>& workload,
       LSCHED_CHECK(pipeline_idx >= 0);
       ActivePipeline& p =
           active_pipelines_[static_cast<size_t>(pipeline_idx)];
-      QueryState* q = ctx_.FindQuery(p.query);
+      // The owning query may already be terminal (cancelled/failed while
+      // this attempt was in flight), in which case it has left the
+      // scheduling context — resolve it through the owning store instead.
+      QueryState* q = queries_[static_cast<size_t>(p.query)].get();
       LSCHED_CHECK(q != nullptr);
+      const int wo_index = t.wo_index;
+      const bool attempt_failed = t.attempt_failed;
+      const double busy_since = t.busy_since;
 
-      // Advance every pipeline member proportionally and detect
-      // operator completions.
-      std::vector<int> completed_ops;
-      const double fused_total = static_cast<double>(p.total_fused);
-      for (size_t s = 0; s < p.chain.size(); ++s) {
-        const int op = p.chain[s];
-        const double amount =
-            static_cast<double>(q->plan().node(op).num_work_orders) /
-            fused_total;
-        const double op_share =
-            p.est_seconds_per_fused / static_cast<double>(p.chain.size());
-        const double mem_share =
-            q->plan().node(op).est_mem_per_wo * amount;
-        if (q->AdvanceOperator(op, amount, op_share, mem_share)) {
-          completed_ops.push_back(op);
-        }
-      }
-      // Operator progress changed (O-WO/O-DUR/O-MEM, possibly completion
-      // flags): invalidate cached encodings for this query.
-      ctx_.MarkQueryDirty(q->id());
-
-      q->AddAttainedService(p.est_seconds_per_fused);
-      recorder_.OnWorkOrderCompleted(p.decision_id, now - t.busy_since);
+      // Free the thread first — identical bookkeeping for every outcome.
       --p.inflight;
       ctx_.SetThreadIdle(t.id, p.query);
       t.pipeline_index = -1;
+      t.wo_index = -1;
+      t.attempt_failed = false;
       q->set_assigned_threads(q->assigned_threads() - 1);
       if (pending_thread_removals_ > 0 && !t.retired) {
         t.retired = true;
@@ -337,26 +436,79 @@ EpisodeResult SimEngine::Run(const std::vector<QuerySubmission>& workload,
         --pending_thread_removals_;
       }
 
-      // Retire fully-executed pipelines (swap-erase keeps indices of other
-      // pipelines stable only if we fix thread references, so mark instead).
-      // We leave exhausted pipelines in place; they are skipped by
-      // AssignThreads and cleared when the run ends.
+      std::vector<int> completed_ops;
+      bool emit_cancel_event = false;
+      if (p.dead) {
+        // The query reached a terminal state while this attempt was in
+        // flight: throw the result away.
+        recorder_.OnWorkOrderDiscarded();
+      } else if (attempt_failed) {
+        recorder_.OnWorkOrderFailed();
+        const int attempt = ++p.attempts[wo_index];
+        if (attempt > config_.retry.max_retries) {
+          // Retry budget exhausted: the whole query fails.
+          TerminateQuery(p.query, QueryStatus::kFailed, now);
+          emit_cancel_event = true;
+        } else {
+          recorder_.OnWorkOrderRetried();
+          p.retry_ready.push_back(wo_index);
+          const double backoff = config_.retry.BackoffFor(attempt);
+          if (backoff > 0.0) {
+            p.not_before = std::max(p.not_before, now + backoff);
+            events_.push(SimEvent{now + backoff, event_seq_++,
+                                  SimEvent::kRetryReady, pipeline_idx});
+          }
+        }
+      } else {
+        // Success: advance every pipeline member proportionally and detect
+        // operator completions.
+        const double fused_total = static_cast<double>(p.total_fused);
+        for (size_t s = 0; s < p.chain.size(); ++s) {
+          const int op = p.chain[s];
+          const double amount =
+              static_cast<double>(q->plan().node(op).num_work_orders) /
+              fused_total;
+          const double op_share =
+              p.est_seconds_per_fused / static_cast<double>(p.chain.size());
+          const double mem_share =
+              q->plan().node(op).est_mem_per_wo * amount;
+          if (q->AdvanceOperator(op, amount, op_share, mem_share)) {
+            completed_ops.push_back(op);
+          }
+        }
+        // Operator progress changed (O-WO/O-DUR/O-MEM, possibly completion
+        // flags): invalidate cached encodings for this query.
+        ctx_.MarkQueryDirty(q->id());
+        q->AddAttainedService(p.est_seconds_per_fused);
+        recorder_.OnWorkOrderCompleted(p.decision_id, now - busy_since);
+        ++p.succeeded;
 
-      const bool query_done = q->completed();
-      if (query_done && q->completion_time() < 0.0) {
-        recorder_.OnQueryCompleted(q, now);
-        ++completed_queries_;
-        ctx_.RemoveQuery(q->id());
+        // Retire fully-executed pipelines (swap-erase keeps indices of
+        // other pipelines stable only if we fix thread references, so mark
+        // instead). We leave exhausted pipelines in place; they are
+        // skipped by AssignThreads and cleared when the run ends.
+
+        const bool query_done = q->completed();
+        if (query_done && q->completion_time() < 0.0) {
+          recorder_.OnQueryCompleted(q, now);
+          ++terminal_queries_;
+          ctx_.RemoveQuery(q->id());
+        }
       }
 
       // Re-dispatch pending work first; the scheduler is only consulted on
-      // the major events of §5.2 — an operator completing, or a thread left
-      // with nothing to do — not on every work-order completion.
+      // the major events of §5.2 — an operator completing, a thread left
+      // with nothing to do, or a query leaving the system — not on every
+      // work-order completion.
       AssignThreads(now);
       SchedulingEvent se;
       se.time = now;
       bool should_invoke = false;
-      if (!completed_ops.empty()) {
+      if (emit_cancel_event) {
+        se.type = SchedulingEventType::kQueryCancelled;
+        se.query = p.query;
+        should_invoke = true;
+      } else if (!completed_ops.empty()) {
         se.type = SchedulingEventType::kOperatorCompleted;
         se.query = p.query;
         se.op = completed_ops.front();
@@ -376,10 +528,10 @@ EpisodeResult SimEngine::Run(const std::vector<QuerySubmission>& workload,
       }
     }
 
-    // Deadlock guard: incomplete queries but no running or pending work.
+    // Deadlock guard: live queries but no running or pending work.
     const bool any_busy = ctx_.num_free_threads() != ctx_.total_threads();
     if (!any_busy && !AnyPendingFusedWork() &&
-        completed_queries_ < static_cast<int>(queries_.size()) &&
+        terminal_queries_ < static_cast<int>(queries_.size()) &&
         events_.empty()) {
       if (!ctx_.queries().empty()) {
         ForceFallbackSchedule(now);

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "exec/episode_recorder.h"
@@ -41,6 +42,14 @@ struct SimEngineConfig {
   double max_virtual_seconds = 1e9;
   /// Max scheduler re-invocations per event while it keeps scheduling.
   int max_rounds_per_event = 128;
+  /// Retry/backoff policy for failed work-order attempts (DESIGN.md §10).
+  RetryPolicy retry;
+  /// Per-work-order deadline in virtual seconds; attempts that would run
+  /// longer fail at the deadline instead. 0 = no deadline.
+  double work_order_deadline_seconds = 0.0;
+  /// Scripted cancellations, applied at their virtual times. A cancel at or
+  /// before the query's arrival cancels it on admission.
+  std::vector<CancelRequest> cancels;
 };
 
 /// Discrete-event simulator of the work-order execution model (paper §5.1):
@@ -63,6 +72,14 @@ class SimEngine {
   EpisodeResult Run(const std::vector<QuerySubmission>& workload,
                     Scheduler* scheduler);
 
+  /// Cancels a live query at the current virtual time: marks it CANCELLED,
+  /// kills its pipelines (in-flight attempts are discarded when they come
+  /// back), and removes it from the scheduling context so policies stop
+  /// scoring it. Callable from scheduler callbacks mid-run. Returns false
+  /// if the query is unknown or already terminal (double-cancel and
+  /// cancel-after-done are no-ops).
+  bool CancelQuery(QueryId query);
+
   const SimEngineConfig& config() const { return config_; }
 
  private:
@@ -70,8 +87,14 @@ class SimEngine {
     QueryId query = kInvalidQuery;
     std::vector<int> chain;
     int total_fused = 0;
-    int dispatched = 0;
+    int dispatched = 0;  ///< attempts handed to threads (incl. retries)
     int inflight = 0;
+    int next_wo = 0;     ///< next fresh work-order index to dispatch
+    int succeeded = 0;   ///< work orders that completed successfully
+    bool dead = false;   ///< query reached a terminal state; stop dispatching
+    std::vector<int> retry_ready;  ///< failed work orders awaiting re-dispatch
+    std::unordered_map<int, int> attempts;  ///< failed attempts per work order
+    double not_before = 0.0;  ///< retry backoff: no dispatch before this time
     double est_seconds_per_fused = 0.0;
     double memory = 0.0;
     double created_at = 0.0;      ///< virtual time the pipeline was launched
@@ -84,6 +107,8 @@ class SimEngine {
     int id = 0;
     // In-flight work order.
     int pipeline_index = -1;  ///< index into active_pipelines_
+    int wo_index = -1;        ///< fused work-order index within the pipeline
+    bool attempt_failed = false;  ///< injected fault / deadline overrun
     double busy_since = 0.0;
     double busy_until = 0.0;
     bool retired = false;  ///< removed from the pool (skipped everywhere)
@@ -92,7 +117,13 @@ class SimEngine {
   struct SimEvent {
     double time = 0.0;
     int64_t seq = 0;  ///< FIFO tiebreak
-    enum Kind { kArrival, kWorkOrderDone, kPoolChange } kind = kArrival;
+    enum Kind {
+      kArrival,
+      kWorkOrderDone,
+      kPoolChange,
+      kCancel,      ///< scripted cancellation (payload: config cancel index)
+      kRetryReady,  ///< a retry backoff elapsed (payload: pipeline index)
+    } kind = kArrival;
     int payload = 0;  ///< arrival: workload index; done: thread id
     bool operator>(const SimEvent& other) const {
       if (time != other.time) return time > other.time;
@@ -109,6 +140,11 @@ class SimEngine {
   void InvokeScheduler(const SchedulingEvent& event, Scheduler* scheduler,
                        double now);
   void ForceFallbackSchedule(double now);
+  /// Moves a live query to terminal `status` (kCancelled/kFailed): flips
+  /// the state machine, kills its pipelines (accounting dropped work
+  /// orders), removes it from the scheduling context. Returns false for
+  /// unknown/already-terminal queries.
+  bool TerminateQuery(QueryId query, QueryStatus status, double now);
 
   SimEngineConfig config_;
   CostModel cost_model_;
@@ -126,7 +162,8 @@ class SimEngine {
   /// Decision-log id of the in-flight scheduler/fallback decision; tags
   /// pipelines created by ApplyDecision.
   int64_t current_decision_id_ = -1;
-  int completed_queries_ = 0;
+  /// Queries that reached a terminal state (DONE + CANCELLED + FAILED).
+  int terminal_queries_ = 0;
   int pending_thread_removals_ = 0;
 };
 

@@ -11,6 +11,7 @@
 #include "sched/decima.h"
 #include "sched/heuristics.h"
 #include "sched/selftune.h"
+#include "testing/faultpoint.h"
 #include "testing/invariants.h"
 #include "testing/oracle.h"
 #include "util/logging.h"
@@ -88,6 +89,28 @@ bool ChecksumsMatch(double oracle, double engine) {
   return std::abs(oracle - engine) <= tol;
 }
 
+/// Compares an engine run's terminal statuses against the chaos script's
+/// expectations. Returns mismatch descriptions (empty = all as scripted).
+std::vector<std::string> DiffTerminalStatuses(
+    const std::vector<QueryStatus>& expected,
+    const std::vector<QueryStatus>& actual) {
+  std::vector<std::string> out;
+  if (actual.size() != expected.size()) {
+    out.push_back("final_statuses has " + std::to_string(actual.size()) +
+                  " entries, chaos script expects " +
+                  std::to_string(expected.size()));
+    return out;
+  }
+  for (size_t i = 0; i < expected.size(); ++i) {
+    if (actual[i] != expected[i]) {
+      out.push_back("query " + std::to_string(i) + " terminated " +
+                    QueryStatusName(actual[i]) + ", chaos script expects " +
+                    QueryStatusName(expected[i]));
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::vector<NamedSchedulerFactory> HeuristicSchedulerFactories() {
@@ -155,7 +178,18 @@ DifferentialReport RunDifferential(
       report.mismatches.push_back(msg.str());
     };
 
-    // Ground truth: oracle result per query.
+    // Chaos workloads carry a fault/cancel script plus the terminal status
+    // every query must reach; engines run with the script installed and
+    // oracle comparisons are restricted to queries expected to finish.
+    const bool chaos = !workload.expected_statuses.empty();
+    auto expect_done = [&](size_t qi) {
+      return !chaos ||
+             workload.expected_statuses[qi] == QueryStatus::kDone;
+    };
+
+    // Ground truth: oracle result per query. The oracle always runs
+    // fault-free (it defines WHAT a query computes, not how it fares).
+    FaultInjector::Global().Clear();
     OracleExecutor oracle(workload.catalog.get());
     std::vector<OracleQueryResult> expected;
     bool oracle_ok = true;
@@ -181,8 +215,11 @@ DifferentialReport RunDifferential(
         RealEngineConfig config;
         config.num_threads = threads;
         config.chunk_rows = options.chunk_rows;
+        config.cancels = workload.cancels;
         RealEngine engine(workload.catalog.get(), config);
+        if (chaos) FaultInjector::Global().Install(workload.faults);
         RealRunResult run = engine.Run(workload.real_queries, &validating);
+        FaultInjector::Global().Clear();
         ++report.real_engine_runs;
 
         const std::string where =
@@ -194,6 +231,7 @@ DifferentialReport RunDifferential(
           continue;
         }
         for (size_t qi = 0; qi < expected.size(); ++qi) {
+          if (!expect_done(qi)) continue;  // no sink for a dead query
           if (run.sink_row_counts[qi] != expected[qi].sink_rows) {
             add_mismatch(where + " query " + std::to_string(qi) +
                          ": sink rows " +
@@ -208,6 +246,12 @@ DifferentialReport RunDifferential(
                 << run.sink_checksums[qi] << " != oracle "
                 << expected[qi].sink_checksum;
             add_mismatch(msg.str());
+          }
+        }
+        if (chaos) {
+          for (const std::string& d : DiffTerminalStatuses(
+                   workload.expected_statuses, run.episode.final_statuses)) {
+            add_mismatch(where + ": " + d);
           }
         }
         for (const std::string& v : validating.violations()) {
@@ -231,9 +275,22 @@ DifferentialReport RunDifferential(
           ValidatingScheduler validating(policy.get());
           SimEngineConfig config;
           config.num_threads = options.sim_threads;
+          config.cancels = workload.cancels;
           SimEngine engine(config);
+          // Install before EACH rep: rule-local RNG/counter state resets,
+          // so both reps see an identical firing sequence.
+          if (chaos) FaultInjector::Global().Install(workload.faults);
           episodes[rep] = engine.Run(workload.sim_queries, &validating);
+          FaultInjector::Global().Clear();
           ++report.sim_engine_runs;
+          if (chaos) {
+            for (const std::string& d : DiffTerminalStatuses(
+                     workload.expected_statuses,
+                     episodes[rep].final_statuses)) {
+              add_mismatch(factory.name + " [sim]: " + d);
+              sim_ok = false;
+            }
+          }
           for (const std::string& v : validating.violations()) {
             add_mismatch(factory.name + " [sim]: " + v);
             sim_ok = false;

@@ -1,0 +1,138 @@
+#include "testing/faultpoint.h"
+
+#include <cstdio>
+
+namespace lsched {
+
+const char* FaultTypeName(FaultType t) {
+  switch (t) {
+    case FaultType::kNone:
+      return "none";
+    case FaultType::kError:
+      return "error";
+    case FaultType::kDelay:
+      return "delay";
+    case FaultType::kStall:
+      return "stall";
+  }
+  return "?";
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Install(FaultSchedule schedule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.clear();
+  rules_.reserve(schedule.rules.size());
+  // Rule-local RNG streams derived from (schedule.seed, rule index):
+  // splitmix-style mixing so rules never share a stream and the whole run
+  // replays from the schedule alone.
+  for (size_t i = 0; i < schedule.rules.size(); ++i) {
+    RuleState rs;
+    rs.rule = std::move(schedule.rules[i]);
+    uint64_t z = schedule.seed + 0x9E3779B97F4A7C15ULL * (i + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    rs.rng = Rng(z ^ (z >> 31));
+    rules_.push_back(std::move(rs));
+  }
+  point_hits_.clear();
+  point_fires_.clear();
+  log_.clear();
+  log_dropped_ = 0;
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_release);
+  rules_.clear();
+  point_hits_.clear();
+  point_fires_.clear();
+  log_.clear();
+  log_dropped_ = 0;
+}
+
+FaultAction FaultInjector::Check(const char* point, int64_t query,
+                                 double now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_.load(std::memory_order_relaxed)) return FaultAction{};
+  ++point_hits_[point];
+  FaultAction fired{};
+  for (RuleState& rs : rules_) {
+    const FaultRule& r = rs.rule;
+    if (r.point != point) continue;
+    if (r.query >= 0 && r.query != query) continue;
+    if (now < r.window_start || now > r.window_end) continue;
+    ++rs.hits;
+    if (rs.fires >= r.max_fires) continue;
+    bool fire = false;
+    if (r.nth_hit > 0) {
+      fire = rs.hits == r.nth_hit;
+    } else if (r.every > 0) {
+      fire = rs.hits % r.every == 0;
+    } else if (r.probability > 0.0) {
+      fire = rs.rng.Uniform() < r.probability;
+    }
+    if (!fire) continue;
+    ++rs.fires;
+    if (!fired) fired = r.action;  // first firing rule wins; later rules
+                                   // still advance their own state
+  }
+  if (fired) {
+    ++point_fires_[point];
+    if (log_.size() < kMaxLogEntries) {
+      log_.push_back(FaultEvent{point, query, now, fired.type, fired.param});
+    } else {
+      ++log_dropped_;
+    }
+  }
+  return fired;
+}
+
+int64_t FaultInjector::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = point_hits_.find(point);
+  return it == point_hits_.end() ? 0 : it->second;
+}
+
+int64_t FaultInjector::fires(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = point_fires_.find(point);
+  return it == point_fires_.end() ? 0 : it->second;
+}
+
+int64_t FaultInjector::total_fires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [point, fires] : point_fires_) total += fires;
+  return total;
+}
+
+std::vector<FaultEvent> FaultInjector::Log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_;
+}
+
+int64_t FaultInjector::dropped_log_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_dropped_;
+}
+
+bool FaultInjector::WriteLog(const std::string& path) const {
+  std::vector<FaultEvent> events = Log();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  for (const FaultEvent& e : events) {
+    std::fprintf(f, "%.9f %s %lld %s %.9f\n", e.time, e.point.c_str(),
+                 static_cast<long long>(e.query), FaultTypeName(e.type),
+                 e.param);
+  }
+  const bool ok = std::fclose(f) == 0;
+  return ok;
+}
+
+}  // namespace lsched

@@ -358,7 +358,48 @@ FuzzedWorkload WorkloadFuzzer::NextWorkload() {
     real_at += rng_.Exponential(options_.real_arrival_mean_seconds);
     sim_at += rng_.Exponential(options_.sim_arrival_mean_seconds);
   }
+  if (options_.chaos) FuzzChaos(&w);
   return w;
+}
+
+void WorkloadFuzzer::FuzzChaos(FuzzedWorkload* w) {
+  const size_t n = w->sim_queries.size();
+  w->expected_statuses.assign(n, QueryStatus::kDone);
+  for (size_t i = 0; i < n; ++i) {
+    const double r = rng_.Uniform();
+    if (r < options_.chaos_cancel_fraction) {
+      // A t=0 cancel is processed before any arrival in both engines
+      // (admit-and-cancel), so the query deterministically never runs.
+      CancelRequest cancel;
+      cancel.query = static_cast<QueryId>(i);
+      cancel.time = 0.0;
+      w->cancels.push_back(cancel);
+      w->expected_statuses[i] = QueryStatus::kCancelled;
+    } else if (r < options_.chaos_cancel_fraction +
+                       options_.chaos_fail_fraction) {
+      // Query-scoped always-fail rule: every work-order attempt errors, so
+      // the query FAILs after max_retries in either engine regardless of
+      // thread interleaving. Placed before the global delay rule below
+      // (Check returns the FIRST firing rule's action).
+      FaultRule rule;
+      rule.point = "work_order_exec";
+      rule.query = static_cast<int64_t>(i);
+      rule.probability = 1.0;
+      rule.action = {FaultType::kError, 0.0};
+      w->faults.rules.push_back(rule);
+      w->expected_statuses[i] = QueryStatus::kFailed;
+    }
+  }
+  if (options_.chaos_stall_probability > 0.0) {
+    // Timing noise only: delays perturb completion order and retry timing
+    // but never change which terminal status a query reaches.
+    FaultRule stall;
+    stall.point = "work_order_exec";
+    stall.probability = options_.chaos_stall_probability;
+    stall.action = {FaultType::kDelay, options_.chaos_stall_seconds};
+    w->faults.rules.push_back(stall);
+  }
+  w->faults.seed = rng_.Next();
 }
 
 }  // namespace lsched

@@ -9,6 +9,7 @@
 #include "exec/sim_engine.h"
 #include "plan/query_plan.h"
 #include "storage/catalog.h"
+#include "testing/faultpoint.h"
 #include "util/rng.h"
 
 namespace lsched {
@@ -24,6 +25,22 @@ struct FuzzerOptions {
   /// seconds) and SimEngine submissions (virtual seconds).
   double real_arrival_mean_seconds = 0.002;
   double sim_arrival_mean_seconds = 0.05;
+
+  /// --- chaos mode (DESIGN.md §10) ---------------------------------------
+  /// When true, NextWorkload() also fuzzes a FaultSchedule + cancellation
+  /// script and records the exact terminal status every query must reach.
+  bool chaos = false;
+  /// Fraction of queries cancelled before they can run (t=0 cancels, which
+  /// deterministically beat every arrival in both engines).
+  double chaos_cancel_fraction = 0.25;
+  /// Fraction of queries given a query-scoped always-fail work_order_exec
+  /// rule (fails every attempt, so the query deterministically FAILs after
+  /// exhausting its retries in either engine).
+  double chaos_fail_fraction = 0.2;
+  /// Per-hit probability of a global work-order delay fault (does not
+  /// change any terminal status, just perturbs timing).
+  double chaos_stall_probability = 0.08;
+  double chaos_stall_seconds = 0.001;
 };
 
 /// One fuzzed workload: a catalog plus the same query plans packaged for
@@ -34,6 +51,14 @@ struct FuzzedWorkload {
   std::unique_ptr<Catalog> catalog;
   std::vector<RealQuerySubmission> real_queries;
   std::vector<QuerySubmission> sim_queries;
+
+  /// Chaos script (empty unless FuzzerOptions::chaos). Install `faults`
+  /// into FaultInjector::Global() and pass `cancels` to the engine config;
+  /// every query must then terminate in `expected_statuses[id]` regardless
+  /// of engine, scheduler, or thread count.
+  FaultSchedule faults;
+  std::vector<CancelRequest> cancels;
+  std::vector<QueryStatus> expected_statuses;
 };
 
 /// Seeded generator of randomized catalogs, plan DAGs, and arrival
@@ -68,6 +93,8 @@ class WorkloadFuzzer {
                     RelationId table);
   Stream FuzzChain(class PlanBuilder* b, Stream s);
   void FuzzSink(class PlanBuilder* b, const Stream& s);
+  /// Fuzzes the chaos script (faults/cancels/expected_statuses) for `w`.
+  void FuzzChaos(FuzzedWorkload* w);
 
   uint64_t seed_;
   FuzzerOptions options_;

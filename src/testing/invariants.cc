@@ -49,6 +49,7 @@ bool SchedulableWithPending(const QueryState& q, int op,
 
 void ValidatingScheduler::Reset() {
   inner_->Reset();
+  terminated_.clear();
   last_event_time_ = 0.0;
   seen_event_ = false;
 }
@@ -66,6 +67,9 @@ void ValidatingScheduler::CheckState(const SchedulingEvent& event,
   }
   seen_event_ = true;
   last_event_time_ = std::max(last_event_time_, event.time);
+  if (event.type == SchedulingEventType::kQueryCancelled) {
+    terminated_.insert(event.query);
+  }
 
   std::set<QueryId> live;
   for (const QueryState* q : state.queries) {
@@ -86,6 +90,10 @@ void ValidatingScheduler::CheckState(const SchedulingEvent& event,
       AddViolation("completed query " + std::to_string(q->id()) +
                    " still in snapshot");
     }
+    if (IsTerminalStatus(q->status())) {
+      AddViolation("terminal query " + std::to_string(q->id()) + " (" +
+                   QueryStatusName(q->status()) + ") still in snapshot");
+    }
   }
 
   std::set<int> thread_ids;
@@ -101,7 +109,8 @@ void ValidatingScheduler::CheckState(const SchedulingEvent& event,
       AddViolation("idle thread " + std::to_string(t.id) +
                    " still claims query " + std::to_string(t.running_query));
     }
-    if (t.busy && live.count(t.running_query) == 0) {
+    if (t.busy && live.count(t.running_query) == 0 &&
+        terminated_.count(t.running_query) == 0) {
       AddViolation("thread " + std::to_string(t.id) + " runs query " +
                    std::to_string(t.running_query) +
                    " that is not in the snapshot");
@@ -140,6 +149,12 @@ void ValidatingScheduler::CheckDecision(const SchedulingDecision& decision,
                    std::to_string(choice.query));
       continue;
     }
+    if (IsTerminalStatus(q->status())) {
+      AddViolation("pipeline choice for dead query " +
+                   std::to_string(choice.query) + " (" +
+                   QueryStatusName(q->status()) + ")");
+      continue;
+    }
     if (choice.root_op < 0 ||
         choice.root_op >= static_cast<int>(q->plan().num_nodes())) {
       AddViolation("pipeline root " + std::to_string(choice.root_op) +
@@ -169,9 +184,14 @@ void ValidatingScheduler::CheckDecision(const SchedulingDecision& decision,
     for (size_t i = 0; i < fused; ++i) mine.insert(chain[i]);
   }
   for (const ParallelismChoice& choice : decision.parallelism) {
-    if (state.FindQuery(choice.query) == nullptr) {
+    const QueryState* q = state.FindQuery(choice.query);
+    if (q == nullptr) {
       AddViolation("parallelism choice for unknown/unarrived query " +
                    std::to_string(choice.query));
+    } else if (IsTerminalStatus(q->status())) {
+      AddViolation("parallelism choice for dead query " +
+                   std::to_string(choice.query) + " (" +
+                   QueryStatusName(q->status()) + ")");
     }
     if (choice.max_threads < 0) {
       AddViolation("negative thread cap for query " +
@@ -228,15 +248,50 @@ Status ValidateEpisodeResult(const EpisodeResult& result, size_t num_queries,
   auto fail = [](const std::string& msg) {
     return Status(StatusCode::kInternal, "episode invariant violated: " + msg);
   };
-  if (result.query_latencies.size() != num_queries) {
-    return fail("expected " + std::to_string(num_queries) + " latencies, got " +
+  // With lifecycle tracking, latencies exist only for DONE queries; the
+  // status vector must cover every query and hold only terminal states.
+  size_t expected_done = num_queries;
+  if (!result.final_statuses.empty()) {
+    if (result.final_statuses.size() != num_queries) {
+      return fail("final_statuses has " +
+                  std::to_string(result.final_statuses.size()) +
+                  " entries for " + std::to_string(num_queries) + " queries");
+    }
+    int done = 0, cancelled = 0, failed = 0;
+    for (size_t i = 0; i < result.final_statuses.size(); ++i) {
+      const QueryStatus s = result.final_statuses[i];
+      if (!IsTerminalStatus(s)) {
+        return fail("query " + std::to_string(i) +
+                    " ended the episode non-terminal (" + QueryStatusName(s) +
+                    ")");
+      }
+      if (s == QueryStatus::kDone) ++done;
+      if (s == QueryStatus::kCancelled) ++cancelled;
+      if (s == QueryStatus::kFailed) ++failed;
+    }
+    if (cancelled != result.num_queries_cancelled ||
+        failed != result.num_queries_failed) {
+      return fail("terminal-status counts disagree: statuses say " +
+                  std::to_string(cancelled) + " cancelled / " +
+                  std::to_string(failed) + " failed, counters say " +
+                  std::to_string(result.num_queries_cancelled) + " / " +
+                  std::to_string(result.num_queries_failed));
+    }
+    expected_done = static_cast<size_t>(done);
+  } else if (result.num_queries_cancelled != 0 ||
+             result.num_queries_failed != 0) {
+    return fail("cancelled/failed queries reported without final_statuses");
+  }
+  if (result.query_latencies.size() != expected_done) {
+    return fail("expected " + std::to_string(expected_done) +
+                " latencies, got " +
                 std::to_string(result.query_latencies.size()));
   }
-  if (result.query_arrivals.size() != num_queries ||
-      result.query_completions.size() != num_queries) {
+  if (result.query_arrivals.size() != expected_done ||
+      result.query_completions.size() != expected_done) {
     return fail("arrival/completion telemetry size mismatch");
   }
-  for (size_t i = 0; i < num_queries; ++i) {
+  for (size_t i = 0; i < expected_done; ++i) {
     const double arrival = result.query_arrivals[i];
     const double completion = result.query_completions[i];
     const double latency = result.query_latencies[i];
@@ -255,14 +310,38 @@ Status ValidateEpisodeResult(const EpisodeResult& result, size_t num_queries,
                   std::to_string(i));
     }
   }
-  if (result.num_work_orders_planned != result.num_work_orders_dispatched ||
-      result.num_work_orders_dispatched != result.num_work_orders_completed) {
+  // Work-order conservation under the fault model (DESIGN.md §10). With no
+  // faults/cancellations every chaos counter is zero and these degenerate
+  // to the legacy planned == dispatched == completed.
+  if (result.num_work_orders_failed < 0 || result.num_work_orders_discarded < 0 ||
+      result.num_work_orders_dropped < 0 || result.num_work_orders_expired < 0 ||
+      result.num_retries < 0) {
+    return fail("negative chaos work-order counter");
+  }
+  if (result.num_work_orders_planned !=
+      result.num_work_orders_completed + result.num_work_orders_dropped) {
     return fail("work-order conservation broken: planned=" +
                 std::to_string(result.num_work_orders_planned) +
-                " dispatched=" +
+                " != completed=" +
+                std::to_string(result.num_work_orders_completed) +
+                " + dropped=" +
+                std::to_string(result.num_work_orders_dropped));
+  }
+  if (result.num_work_orders_dispatched !=
+      result.num_work_orders_completed + result.num_work_orders_failed +
+          result.num_work_orders_discarded) {
+    return fail("work-order conservation broken: dispatched=" +
                 std::to_string(result.num_work_orders_dispatched) +
-                " completed=" +
-                std::to_string(result.num_work_orders_completed));
+                " != completed=" +
+                std::to_string(result.num_work_orders_completed) +
+                " + failed=" + std::to_string(result.num_work_orders_failed) +
+                " + discarded=" +
+                std::to_string(result.num_work_orders_discarded));
+  }
+  if (result.num_retries > result.num_work_orders_failed) {
+    return fail("more retries (" + std::to_string(result.num_retries) +
+                ") than failed attempts (" +
+                std::to_string(result.num_work_orders_failed) + ")");
   }
   if (result.max_inflight_work_orders > max_pool_size) {
     return fail("max inflight work orders " +
@@ -349,8 +428,33 @@ std::string DiffEpisodeResults(const EpisodeResult& a, const EpisodeResult& b) {
            b.num_work_orders_dispatched);
   diff_int("num_work_orders_completed", a.num_work_orders_completed,
            b.num_work_orders_completed);
+  diff_int("num_work_orders_failed", a.num_work_orders_failed,
+           b.num_work_orders_failed);
+  diff_int("num_work_orders_discarded", a.num_work_orders_discarded,
+           b.num_work_orders_discarded);
+  diff_int("num_work_orders_dropped", a.num_work_orders_dropped,
+           b.num_work_orders_dropped);
+  diff_int("num_work_orders_expired", a.num_work_orders_expired,
+           b.num_work_orders_expired);
+  diff_int("num_retries", a.num_retries, b.num_retries);
+  diff_int("num_queries_cancelled", a.num_queries_cancelled,
+           b.num_queries_cancelled);
+  diff_int("num_queries_failed", a.num_queries_failed, b.num_queries_failed);
   diff_int("max_inflight_work_orders", a.max_inflight_work_orders,
            b.max_inflight_work_orders);
+  if (a.final_statuses.size() != b.final_statuses.size()) {
+    out << "final_statuses.size: " << a.final_statuses.size() << " vs "
+        << b.final_statuses.size() << "; ";
+  } else {
+    for (size_t i = 0; i < a.final_statuses.size(); ++i) {
+      if (a.final_statuses[i] != b.final_statuses[i]) {
+        out << "final_statuses[" << i
+            << "]: " << QueryStatusName(a.final_statuses[i]) << " vs "
+            << QueryStatusName(b.final_statuses[i]) << "; ";
+        break;
+      }
+    }
+  }
   if (a.decisions.size() != b.decisions.size()) {
     out << "decisions.size: " << a.decisions.size() << " vs "
         << b.decisions.size() << "; ";

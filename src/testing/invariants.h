@@ -1,6 +1,7 @@
 #ifndef LSCHED_TESTING_INVARIANTS_H_
 #define LSCHED_TESTING_INVARIANTS_H_
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -17,11 +18,15 @@ namespace lsched {
 ///
 /// State invariants checked:
 ///  - thread ids are unique; a busy thread names a live query and an idle
-///    thread names none (no thread double-assignment);
+///    thread names none (no thread double-assignment). Exception: after a
+///    kQueryCancelled event for a query, busy threads may keep naming it —
+///    in-flight attempts drain (and are discarded) rather than being
+///    preempted mid-kernel;
 ///  - each query's assigned_threads equals the number of threads currently
 ///    running it;
-///  - queries in the snapshot are unique, arrived (arrival <= now), and not
-///    completed;
+///  - queries in the snapshot are unique, arrived (arrival <= now), not
+///    completed, and not in a terminal lifecycle state (a cancelled/failed
+///    query must leave the snapshot immediately);
 ///  - event times are nondecreasing across invocations and an arrival event
 ///    references a query present in the snapshot (no scheduling of
 ///    unarrived queries).
@@ -29,8 +34,8 @@ namespace lsched {
 /// Decision invariants checked (against the pre-decision state, tracking
 /// ops scheduled earlier in the same decision so producer+consumer launched
 /// together is not a false positive):
-///  - every pipeline choice names a live query, an in-range root operator,
-///    a schedulable root, and a degree >= 1;
+///  - every pipeline choice names a live (present AND non-terminal) query,
+///    an in-range root operator, a schedulable root, and a degree >= 1;
 ///  - every parallelism choice names a live query and a cap >= 0.
 class ValidatingScheduler : public Scheduler {
  public:
@@ -62,16 +67,25 @@ class ValidatingScheduler : public Scheduler {
 
   Scheduler* inner_;
   std::vector<std::string> violations_;
+  /// Queries announced dead via kQueryCancelled events: their in-flight
+  /// attempts may still hold threads while they drain.
+  std::set<QueryId> terminated_;
   double last_event_time_ = 0.0;
   bool seen_event_ = false;
 };
 
 /// Post-hoc validation of one episode's telemetry:
-///  - arrivals/completions/latencies have `num_queries` entries each and
+///  - when final_statuses is populated it covers every query, every entry
+///    is terminal, and the cancelled/failed counters match it;
+///  - arrivals/completions/latencies have one entry per DONE query (all
+///    `num_queries` of them absent lifecycle tracking) and
 ///    latency[i] == completion[i] - arrival[i];
 ///  - completions are nondecreasing (they are recorded in completion order)
 ///    and no query completes before it arrives;
-///  - work-order conservation: planned == dispatched == completed;
+///  - work-order conservation (DESIGN.md §10):
+///    planned == completed + dropped,
+///    dispatched == completed + failed + discarded, retries <= failed
+///    (degenerating to planned == dispatched == completed without chaos);
 ///  - max in-flight work orders never exceeded `max_pool_size`;
 ///  - decision records are time-ordered with running-query counts in range,
 ///    one record per scheduler invocation;

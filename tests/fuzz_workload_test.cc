@@ -6,6 +6,8 @@
 
 #include "plan/plan_builder.h"
 #include "storage/table_generator.h"
+#include "testing/differential.h"
+#include "testing/faultpoint.h"
 #include "testing/fuzzer.h"
 #include "testing/oracle.h"
 
@@ -104,6 +106,62 @@ TEST(WorkloadFuzzerTest, PlansAreValidAndOracleExecutable) {
       EXPECT_GE(r->sink_rows, 0);
     }
   }
+}
+
+TEST(WorkloadFuzzerTest, ChaosScriptsAreDeterministicAndConsistent) {
+  FuzzerOptions opts;
+  opts.chaos = true;
+  opts.min_queries = 3;
+  opts.max_queries = 6;
+  for (uint64_t seed : {11ULL, 77ULL}) {
+    WorkloadFuzzer a(seed, opts);
+    WorkloadFuzzer b(seed, opts);
+    const FuzzedWorkload wa = a.NextWorkload();
+    const FuzzedWorkload wb = b.NextWorkload();
+    // Same seed => same chaos script.
+    ASSERT_EQ(wa.expected_statuses.size(), wa.sim_queries.size());
+    ASSERT_EQ(wa.expected_statuses, wb.expected_statuses);
+    ASSERT_EQ(wa.cancels.size(), wb.cancels.size());
+    ASSERT_EQ(wa.faults.rules.size(), wb.faults.rules.size());
+    EXPECT_EQ(wa.faults.seed, wb.faults.seed);
+    // Script consistency: every cancelled query has a cancel request, every
+    // failing query a query-scoped always-fail rule.
+    for (size_t qi = 0; qi < wa.expected_statuses.size(); ++qi) {
+      const QueryStatus expect = wa.expected_statuses[qi];
+      bool has_cancel = false, has_fail_rule = false;
+      for (const CancelRequest& c : wa.cancels) {
+        if (c.query == static_cast<QueryId>(qi)) has_cancel = true;
+      }
+      for (const FaultRule& r : wa.faults.rules) {
+        if (r.query == static_cast<int64_t>(qi) &&
+            r.point == "work_order_exec" &&
+            r.action.type == FaultType::kError) {
+          has_fail_rule = true;
+        }
+      }
+      EXPECT_EQ(has_cancel, expect == QueryStatus::kCancelled) << qi;
+      EXPECT_EQ(has_fail_rule, expect == QueryStatus::kFailed) << qi;
+    }
+  }
+}
+
+/// Differential chaos sweep (satellite 3): under a fuzzed fault/cancel
+/// script, Sim and Real must drive every query to the SAME scripted
+/// terminal status, and completed queries must still match the oracle.
+TEST(WorkloadFuzzerTest, DifferentialChaosTerminalStatusesAgree) {
+  if (!kFaultsCompiledIn) GTEST_SKIP() << "built with -DLSCHED_FAULTS=OFF";
+  DifferentialOptions options;
+  options.fuzzer.chaos = true;
+  options.real_thread_counts = {2};
+  options.sim_threads = 4;
+  std::vector<NamedSchedulerFactory> factories;
+  for (auto& f : HeuristicSchedulerFactories()) {
+    if (f.name == "FIFO" || f.name == "SJF") factories.push_back(f);
+  }
+  const DifferentialReport report =
+      RunDifferential(20250806, 4, factories, options);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_GT(report.queries_run, 0);
 }
 
 TEST(WorkloadFuzzerTest, ArrivalsAreNondecreasing) {

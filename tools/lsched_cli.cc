@@ -5,6 +5,7 @@
 //   lsched_cli eval    --benchmark=tpch --model=model.bin --queries=80
 //   lsched_cli compare --benchmark=ssb  --model=model.bin --batch
 //   lsched_cli report  --events=events.jsonl --decisions=decisions.csv
+//   lsched_cli chaos   --seed=1 --duration-seconds=120 --threads=4
 //
 // Flags (all optional unless noted):
 //   --benchmark=tpch|ssb|job   workload family            [tpch]
@@ -21,6 +22,11 @@
 //                              LSCHED_SCALAR_EVENTS)
 //   --decisions=PATH           decision-log CSV (report; see
 //                              LSCHED_DECISION_LOG)
+//   --duration-seconds=S       soak budget (chaos)        [30]
+//   --workloads=N              max fuzzed workloads, 0 = until the
+//                              duration budget runs out (chaos)
+//   --fault-log=PATH           where to dump the fault log when a chaos
+//                              iteration fails             [fault_log.txt]
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -36,8 +42,13 @@
 #include "obs/drift.h"
 #include "obs/scalar_events.h"
 #include "sched/decima.h"
+#include "sched/guarded_policy.h"
 #include "sched/heuristics.h"
 #include "sched/selftune.h"
+#include "testing/faultpoint.h"
+#include "testing/fuzzer.h"
+#include "testing/invariants.h"
+#include "util/clock.h"
 #include "workload/workload.h"
 
 namespace lsched {
@@ -57,6 +68,9 @@ struct Args {
   std::string transfer_from;
   std::string events_path;
   std::string decisions_path;
+  double duration_seconds = 30.0;
+  int workloads = 0;  // 0 = run until the duration budget is spent
+  std::string fault_log_path = "fault_log.txt";
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -101,6 +115,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->events_path = v10;
     } else if (const char* v11 = value("--decisions=")) {
       args->decisions_path = v11;
+    } else if (const char* v12 = value("--duration-seconds=")) {
+      args->duration_seconds = std::atof(v12);
+    } else if (const char* v13 = value("--workloads=")) {
+      args->workloads = std::atoi(v13);
+    } else if (const char* v14 = value("--fault-log=")) {
+      args->fault_log_path = v14;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -401,6 +421,148 @@ int RunReport(const Args& args) {
   return rc;
 }
 
+// ---------------------------------------------------------------------------
+// chaos: a seeded soak over fuzzed workloads with fuzzed fault/cancellation
+// scripts (DESIGN.md §10). Each iteration runs the script through the
+// SimEngine twice (byte-identical replay check), then through the RealEngine
+// (real threads, real kernels), with a ValidatingScheduler wrapped around a
+// GuardedPolicy so every snapshot, decision, and episode invariant is
+// checked while the guard's fallback path stays hot. On the first violation
+// the decision log and fault log are dumped for offline triage; exit 1.
+// ---------------------------------------------------------------------------
+
+int ChaosFail(const Args& args, uint64_t seed, const std::string& what) {
+  std::fprintf(stderr, "chaos: workload seed %llu FAILED: %s\n",
+               static_cast<unsigned long long>(seed), what.c_str());
+  const std::string decisions_path =
+      args.decisions_path.empty() ? "chaos_decisions.csv" : args.decisions_path;
+  if (obs::DecisionLog::Global().WriteCsv(decisions_path)) {
+    std::fprintf(stderr, "chaos: decision log dumped to %s\n",
+                 decisions_path.c_str());
+  }
+  if (FaultInjector::Global().WriteLog(args.fault_log_path)) {
+    std::fprintf(stderr, "chaos: fault log dumped to %s\n",
+                 args.fault_log_path.c_str());
+  }
+  FaultInjector::Global().Clear();
+  return 1;
+}
+
+int RunChaos(const Args& args) {
+  if (!kFaultsCompiledIn) {
+    std::fprintf(stderr,
+                 "chaos requires a fault-injection build "
+                 "(reconfigure with -DLSCHED_FAULTS=ON)\n");
+    return 2;
+  }
+  FuzzerOptions fopts;
+  fopts.chaos = true;
+  fopts.min_queries = 6;
+  fopts.max_queries = 16;
+  const int sim_threads = std::max(1, args.threads);
+  const int real_threads = std::max(1, std::min(args.threads, 8));
+
+  Stopwatch clock;
+  int iterations = 0;
+  int64_t fallbacks = 0;
+  int64_t fires = 0;
+  while ((args.workloads == 0 || iterations < args.workloads) &&
+         clock.ElapsedSeconds() < args.duration_seconds) {
+    const uint64_t seed =
+        args.seed + static_cast<uint64_t>(iterations) * 0x9e3779b97f4a7c15ULL;
+    WorkloadFuzzer fuzzer(seed, fopts);
+    FuzzedWorkload w = fuzzer.NextWorkload();
+    // Sporadic scheduler failures on top of the fuzzed script keep the
+    // guard's fallback/recovery machinery exercised every iteration.
+    FaultRule decide;
+    decide.point = "policy_decide";
+    decide.probability = 0.05;
+    decide.action = {FaultType::kError, 0.0};
+    w.faults.rules.push_back(decide);
+    const size_t num_queries = w.sim_queries.size();
+
+    auto check = [&](const EpisodeResult& r, const ValidatingScheduler& v,
+                     int pool_size, const char* engine) -> std::string {
+      if (!v.violations().empty()) {
+        return std::string(engine) + ": " + v.violations().front();
+      }
+      const Status st = ValidateEpisodeResult(r, num_queries, pool_size);
+      if (!st.ok()) return std::string(engine) + ": " + st.ToString();
+      if (r.final_statuses.size() != num_queries) {
+        return std::string(engine) + ": missing final statuses";
+      }
+      for (size_t qi = 0; qi < num_queries; ++qi) {
+        if (r.final_statuses[qi] != w.expected_statuses[qi]) {
+          return std::string(engine) + ": query " + std::to_string(qi) +
+                 " ended " + QueryStatusName(r.final_statuses[qi]) +
+                 ", script demands " +
+                 QueryStatusName(w.expected_statuses[qi]);
+        }
+      }
+      return "";
+    };
+
+    // Two identically seeded simulator runs: the fault schedule is
+    // reinstalled before each (resetting rule RNGs and counters), so the
+    // episodes must replay byte-for-byte.
+    SimEngineConfig scfg;
+    scfg.num_threads = sim_threads;
+    scfg.seed = seed;
+    scfg.cancels = w.cancels;
+    EpisodeResult sim[2];
+    for (int rep = 0; rep < 2; ++rep) {
+      FaultInjector::Global().Install(w.faults);
+      SjfScheduler sjf;
+      GuardedPolicy guarded(&sjf);
+      ValidatingScheduler validating(&guarded);
+      SimEngine engine(scfg);
+      sim[rep] = engine.Run(w.sim_queries, &validating);
+      fallbacks += guarded.fallback_count();
+      fires += FaultInjector::Global().total_fires();
+      const std::string err = check(sim[rep], validating, sim_threads, "sim");
+      if (!err.empty()) return ChaosFail(args, seed, err);
+    }
+    const std::string diff = DiffEpisodeResults(sim[0], sim[1]);
+    if (!diff.empty()) {
+      return ChaosFail(args, seed, "sim replay diverged: " + diff);
+    }
+
+    // Same script against real threads and real kernels: terminal statuses
+    // are scripted, so they must agree with the simulator's.
+    {
+      FaultInjector::Global().Install(w.faults);
+      RealEngineConfig rcfg;
+      rcfg.num_threads = real_threads;
+      rcfg.cancels = w.cancels;
+      SjfScheduler sjf;
+      GuardedPolicy guarded(&sjf);
+      ValidatingScheduler validating(&guarded);
+      RealEngine engine(w.catalog.get(), rcfg);
+      const RealRunResult rr = engine.Run(w.real_queries, &validating);
+      fallbacks += guarded.fallback_count();
+      fires += FaultInjector::Global().total_fires();
+      const std::string err =
+          check(rr.episode, validating, real_threads, "real");
+      if (!err.empty()) return ChaosFail(args, seed, err);
+    }
+    FaultInjector::Global().Clear();
+    ++iterations;
+  }
+
+  std::printf("chaos: %d workloads clean in %.1fs (%lld faults fired, "
+              "%lld guard fallbacks)\n",
+              iterations, clock.ElapsedSeconds(),
+              static_cast<long long>(fires),
+              static_cast<long long>(fallbacks));
+  if (iterations > 0 && fallbacks == 0) {
+    std::fprintf(stderr,
+                 "chaos: guard fallback path never exercised — the soak "
+                 "did not test what it claims to\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace lsched
 
@@ -408,11 +570,12 @@ int main(int argc, char** argv) {
   lsched::Args args;
   if (!lsched::ParseArgs(argc, argv, &args)) {
     std::fprintf(stderr,
-                 "usage: %s train|eval|compare|report "
+                 "usage: %s train|eval|compare|report|chaos "
                  "[--benchmark=tpch|ssb|job] "
                  "[--episodes=N] [--queries=N] [--threads=N] [--batch] "
                  "[--model=PATH] [--out=PATH] [--transfer-from=PATH] "
-                 "[--events=PATH] [--decisions=PATH]\n",
+                 "[--events=PATH] [--decisions=PATH] [--duration-seconds=S] "
+                 "[--workloads=N] [--fault-log=PATH]\n",
                  argv[0]);
     return 2;
   }
@@ -420,6 +583,7 @@ int main(int argc, char** argv) {
   if (args.command == "eval") return lsched::RunEval(args);
   if (args.command == "compare") return lsched::RunCompare(args);
   if (args.command == "report") return lsched::RunReport(args);
+  if (args.command == "chaos") return lsched::RunChaos(args);
   std::fprintf(stderr, "unknown command: %s\n", args.command.c_str());
   return 2;
 }
