@@ -1,0 +1,171 @@
+// Serving-mode comparison: every policy drives the ServingDaemon's
+// deterministic SimEngine mode over the same multi-tenant online-arrival
+// script (tenant weights 1/2/3, mixed priority classes, bounded admission),
+// and we report mean and p99 completed-query latency per policy. The run
+// also emits BENCH_serving.json so the serving-path perf trajectory has a
+// machine-readable baseline snapshot.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "sched/guarded_policy.h"
+#include "sched/heuristics.h"
+#include "serve/serving_daemon.h"
+
+namespace lsched {
+namespace bench {
+namespace {
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const size_t idx = static_cast<size_t>(p * (xs.size() - 1) + 0.5);
+  return xs[std::min(idx, xs.size() - 1)];
+}
+
+struct PolicyRow {
+  std::string name;
+  double mean = 0.0;
+  double p99 = 0.0;
+  int64_t completed = 0;
+  int64_t shed = 0;
+};
+
+ScriptedIngress ServingScript(const BenchConfig& bench) {
+  // The TPCH streaming test split, re-tagged for serving: three tenants in
+  // round-robin with weights 1/2/3 and a deterministic priority mix (every
+  // 7th query high, every 3rd low).
+  const auto workload =
+      TestWorkload(Benchmark::kTpch, bench.eval_queries, /*batch=*/false,
+                   bench.eval_interarrival, bench.seed + 99);
+  std::vector<QueryPlan> plans;
+  std::vector<IngressEvent> events;
+  for (size_t i = 0; i < workload.size(); ++i) {
+    QueryTag tag;
+    tag.tenant = static_cast<TenantId>(i % 3);
+    if (i % 7 == 3) {
+      tag.priority = QueryPriority::kHigh;
+    } else if (i % 3 == 1) {
+      tag.priority = QueryPriority::kLow;
+    }
+    plans.push_back(workload[i].plan);
+    events.push_back(
+        IngressEvent::Submit(workload[i].arrival_time, static_cast<int>(i),
+                             tag));
+  }
+  return ScriptedIngress(std::move(events), std::move(plans));
+}
+
+PolicyRow RunPolicy(const BenchConfig& bench, const ScriptedIngress& script,
+                    const std::string& name, Scheduler* scheduler) {
+  ServingDaemonConfig cfg;
+  cfg.policy.max_live_queries = 32;  // bounded admission: overload sheds
+  cfg.policy.tenant_weights = {{0, 1.0}, {1, 2.0}, {2, 3.0}};
+  cfg.sim.num_threads = bench.threads;
+  cfg.sim.seed = bench.seed + 7;
+  ServingDaemon daemon(cfg);
+  const EpisodeResult r = daemon.RunScript(script, scheduler);
+
+  PolicyRow row;
+  row.name = name;
+  row.mean = r.avg_latency;
+  row.p99 = Percentile(r.query_latencies, 0.99);
+  row.completed = static_cast<int64_t>(r.query_latencies.size());
+  row.shed = r.num_queries_shed;
+  std::printf("%-10s mean %8.4fs  p99 %8.4fs  completed %3lld  shed %3lld\n",
+              name.c_str(), row.mean, row.p99,
+              static_cast<long long>(row.completed),
+              static_cast<long long>(row.shed));
+  return row;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lsched
+
+int main() {
+  using namespace lsched;
+  using namespace lsched::bench;
+  const BenchConfig cfg = BenchConfig::FromEnv();
+  std::printf("Serving — online multi-tenant comparison (%d queries, "
+              "%d threads, admission bound 32)\n",
+              cfg.eval_queries, cfg.threads);
+
+  auto lsched_model =
+      TrainedLSched(cfg, Benchmark::kTpch, "full", DefaultLSchedConfig());
+  auto decima_model = TrainedDecima(cfg, Benchmark::kTpch);
+  const SelfTuneParams st_params = TunedSelfTune(cfg, Benchmark::kTpch);
+
+  const ScriptedIngress script = ServingScript(cfg);
+
+  LSchedAgent lsched_agent(lsched_model.get());
+  GuardedPolicy lsched_sched(&lsched_agent);  // as deployed: guarded
+  DecimaScheduler decima(decima_model.get());
+  QuickstepScheduler quickstep;
+  SelfTuneScheduler selftune(st_params);
+  FairScheduler fair;
+  FifoScheduler fifo;
+  SjfScheduler sjf;
+
+  std::vector<std::pair<std::string, Scheduler*>> schedulers = {
+      {"LSched", &lsched_sched}, {"Decima", &decima},
+      {"Quickstep", &quickstep}, {"SelfTune", &selftune},
+      {"Fair", &fair},           {"SJF", &sjf},
+      {"FIFO", &fifo}};
+
+  std::vector<PolicyRow> rows;
+  for (auto& [name, sched] : schedulers) {
+    rows.push_back(RunPolicy(cfg, script, name, sched));
+  }
+
+  double best_heuristic = 1e300;
+  std::string best_name;
+  for (const PolicyRow& r : rows) {
+    // Workload-tuned baselines (Decima is trained, SelfTune tunes its
+    // hyper-parameters on the training split) are reported in the table
+    // but the headline delta is against the untuned heuristics, matching
+    // how the figure benches frame the paper's claims.
+    if (r.name == "LSched" || r.name == "Decima" || r.name == "SelfTune") {
+      continue;
+    }
+    if (r.mean < best_heuristic) {
+      best_heuristic = r.mean;
+      best_name = r.name;
+    }
+  }
+  const double lsched_mean = rows.front().mean;
+  std::printf("LSched vs best untuned heuristic (%s): %+.1f%%\n",
+              best_name.c_str(),
+              100.0 * (best_heuristic - lsched_mean) / best_heuristic);
+
+  const char* out_env = std::getenv("LSCHED_BENCH_OUT");
+  const std::string out = out_env != nullptr ? out_env : "BENCH_serving.json";
+  FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"figure\": \"serving\",\n  \"queries\": %d,\n"
+               "  \"threads\": %d,\n  \"tenants\": 3,\n"
+               "  \"admission_bound\": 32,\n  \"policies\": [\n",
+               cfg.eval_queries, cfg.threads);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const PolicyRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"mean_latency\": %.6f, "
+                 "\"p99_latency\": %.6f, \"completed\": %lld, "
+                 "\"shed\": %lld}%s\n",
+                 r.name.c_str(), r.mean, r.p99,
+                 static_cast<long long>(r.completed),
+                 static_cast<long long>(r.shed),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

@@ -71,6 +71,7 @@ EpisodeRecorder::EpisodeRecorder() {
   cancel_total_ = reg.GetCounter("exec.cancel_total");
   retry_total_ = reg.GetCounter("exec.retry_total");
   fail_total_ = reg.GetCounter("exec.fail_total");
+  shed_total_ = reg.GetCounter("exec.shed_total");
   inflight_high_water_ = reg.GetGauge("engine.inflight_high_water");
   decision_seconds_ = reg.GetHistogram("sched.decision_seconds");
   pipeline_degree_ = reg.GetHistogram("sched.pipeline_degree");
@@ -105,11 +106,21 @@ void EpisodeRecorder::Begin(const char* engine_name, Scheduler* scheduler,
   local_cancels_ = 0;
   local_retries_ = 0;
   local_query_failures_ = 0;
+  local_sheds_ = 0;
+  flushed_inflight_high_water_ = 0;
   lh_decision_seconds_.Reset();
   lh_pipeline_degree_.Reset();
   lh_queue_wait_seconds_.Reset();
   lh_work_order_seconds_.Reset();
   lh_query_latency_seconds_.Reset();
+}
+
+void EpisodeRecorder::TrackQuery(QueryId qid) {
+  if (qid < 0) return;
+  const size_t n = static_cast<size_t>(qid) + 1;
+  if (result_.final_statuses.size() < n) {
+    result_.final_statuses.resize(n, QueryStatus::kAdmitted);
+  }
 }
 
 int64_t EpisodeRecorder::OnSchedulerInvocation(
@@ -276,10 +287,12 @@ void EpisodeRecorder::OnQueryTerminated(const QueryState* query, double now,
   result_.num_work_orders_dropped += dropped_work_orders;
   if (status == QueryStatus::kCancelled) ++result_.num_queries_cancelled;
   if (status == QueryStatus::kFailed) ++result_.num_queries_failed;
+  if (status == QueryStatus::kShed) ++result_.num_queries_shed;
 
   if (!obs::Enabled()) return;
   if (status == QueryStatus::kCancelled) ++local_cancels_;
   if (status == QueryStatus::kFailed) ++local_query_failures_;
+  if (status == QueryStatus::kShed) ++local_sheds_;
   if (virtual_time_) {
     RecordVirtualSpan(SimSpanKind::kQueryTerminated, now * 1e6, -1.0f,
                       obs::ThreadId(), static_cast<uint32_t>(qid),
@@ -312,10 +325,7 @@ int64_t EpisodeRecorder::OnFallback(double now) {
   return obs::DecisionLog::Global().Add(std::move(rec));
 }
 
-void EpisodeRecorder::Finalize(double makespan) {
-  result_.avg_latency = Mean(result_.query_latencies);
-  result_.p90_latency = Percentile(result_.query_latencies, 90.0);
-  result_.makespan = makespan;
+void EpisodeRecorder::FlushWindow() {
   if (obs::Enabled()) {
     invocations_->Add(local_invocations_);
     actions_->Add(local_actions_);
@@ -326,13 +336,20 @@ void EpisodeRecorder::Finalize(double makespan) {
     cancel_total_->Add(local_cancels_);
     retry_total_->Add(local_retries_);
     fail_total_->Add(local_query_failures_);
-    inflight_high_water_->Set(
-        static_cast<double>(result_.max_inflight_work_orders));
+    shed_total_->Add(local_sheds_);
+    if (result_.max_inflight_work_orders > flushed_inflight_high_water_) {
+      inflight_high_water_->Set(
+          static_cast<double>(result_.max_inflight_work_orders));
+      flushed_inflight_high_water_ = result_.max_inflight_work_orders;
+    }
     decision_seconds_->MergeSnapshot(lh_decision_seconds_.snap);
     pipeline_degree_->MergeSnapshot(lh_pipeline_degree_.snap);
     queue_wait_seconds_->MergeSnapshot(lh_queue_wait_seconds_.snap);
     work_order_seconds_->MergeSnapshot(lh_work_order_seconds_.snap);
     query_latency_seconds_->MergeSnapshot(lh_query_latency_seconds_.snap);
+    // Realized per-decision costs flow into the decision log here, which
+    // notifies its back-fill observer — so an attached DriftMonitor keeps
+    // scoring mid-stream without waiting for an episode end.
     for (size_t i = 0; i < realized_seconds_.size(); ++i) {
       if (realized_seconds_[i] != 0.0) {
         obs::DecisionLog::Global().AddRealized(
@@ -370,10 +387,40 @@ void EpisodeRecorder::Finalize(double makespan) {
       obs::Tracer::Global().RecordSpans(flush_scratch_.data(), n, vs_total_);
     }
   }
+  local_invocations_ = 0;
+  local_actions_ = 0;
+  local_fallbacks_ = 0;
+  local_dispatched_ = 0;
+  local_completed_ = 0;
+  local_queries_completed_ = 0;
+  local_cancels_ = 0;
+  local_retries_ = 0;
+  local_query_failures_ = 0;
+  local_sheds_ = 0;
+  lh_decision_seconds_.Reset();
+  lh_pipeline_degree_.Reset();
+  lh_queue_wait_seconds_.Reset();
+  lh_work_order_seconds_.Reset();
+  lh_query_latency_seconds_.Reset();
   realized_base_ = -1;
   realized_seconds_.clear();
   vs_next_ = 0;
   vs_total_ = 0;
+}
+
+EpisodeResult EpisodeRecorder::SnapshotResult(double now) const {
+  EpisodeResult snap = result_;
+  snap.avg_latency = Mean(snap.query_latencies);
+  snap.p90_latency = Percentile(snap.query_latencies, 90.0);
+  snap.makespan = now;
+  return snap;
+}
+
+void EpisodeRecorder::Finalize(double makespan) {
+  result_.avg_latency = Mean(result_.query_latencies);
+  result_.p90_latency = Percentile(result_.query_latencies, 90.0);
+  result_.makespan = makespan;
+  FlushWindow();
 }
 
 }  // namespace lsched

@@ -52,6 +52,12 @@ class EpisodeRecorder {
   void Begin(const char* engine_name, Scheduler* scheduler, bool virtual_time,
              size_t num_queries = 0);
 
+  /// Extends per-query lifecycle tracking to cover `qid`, for serving mode
+  /// where the query table grows as submissions arrive instead of being
+  /// sized at Begin. Newly covered ids default to ADMITTED. No-op when the
+  /// final-status vector already covers `qid`.
+  void TrackQuery(QueryId qid);
+
   /// One scheduler invocation (after Schedule() returned `decision`).
   /// Returns the decision-log id for attributing launched pipelines, or
   /// -1 when observability is off.
@@ -131,7 +137,23 @@ class EpisodeRecorder {
     ++vs_total_;
   }
 
-  /// Computes the derived aggregates (avg/p90/makespan).
+  /// Publishes everything accumulated since the last flush to the shared
+  /// observability layer — registry counters/histograms, per-decision
+  /// realized costs into the decision log (which feeds the drift monitor's
+  /// back-fill observer), and buffered virtual-time spans — WITHOUT ending
+  /// the episode. A long-running serving stream calls this on a rolling
+  /// window so /metrics and the drift score stay fresh with no episode-end
+  /// flush; Finalize reuses it for the terminal flush, so episode-mode
+  /// callers see identical totals. Idempotent when nothing accumulated.
+  void FlushWindow();
+
+  /// A copy of the running result with the derived aggregates (avg/p90,
+  /// makespan = `now`) computed — an exact mid-stream snapshot. Does not
+  /// mutate recorder state.
+  EpisodeResult SnapshotResult(double now) const;
+
+  /// Computes the derived aggregates (avg/p90/makespan) and flushes the
+  /// final window.
   void Finalize(double makespan);
 
   EpisodeResult& result() { return result_; }
@@ -178,6 +200,10 @@ class EpisodeRecorder {
   int64_t local_cancels_ = 0;
   int64_t local_retries_ = 0;
   int64_t local_query_failures_ = 0;
+  int64_t local_sheds_ = 0;
+  /// High-water already published by an earlier FlushWindow (gauge Set is
+  /// monotone within an episode, so re-publishing is harmless but skipped).
+  int flushed_inflight_high_water_ = 0;
   LocalHistogram lh_decision_seconds_;
   LocalHistogram lh_pipeline_degree_;
   LocalHistogram lh_queue_wait_seconds_;
@@ -194,6 +220,7 @@ class EpisodeRecorder {
   obs::Counter* cancel_total_;
   obs::Counter* retry_total_;
   obs::Counter* fail_total_;
+  obs::Counter* shed_total_;
   obs::Gauge* inflight_high_water_;
   obs::Histogram* decision_seconds_;
   obs::Histogram* pipeline_degree_;

@@ -19,10 +19,14 @@ struct EpisodeResult {
 
   /// Terminal lifecycle state per query, indexed by QueryId (empty for
   /// engines/episodes predating lifecycle tracking). After a run every
-  /// entry must be terminal (DONE, CANCELLED, or FAILED).
+  /// entry must be terminal (DONE, CANCELLED, FAILED, or SHED).
   std::vector<QueryStatus> final_statuses;
   int num_queries_cancelled = 0;
   int num_queries_failed = 0;
+  /// Queries refused (or displaced) by admission control before any work
+  /// ran (DESIGN.md §11). Serving conservation:
+  ///   admitted == completed + cancelled + failed + shed.
+  int num_queries_shed = 0;
 
   int num_scheduler_invocations = 0;
   int num_actions = 0;  ///< pipelines launched by the scheduler (Fig. 13b)

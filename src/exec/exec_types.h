@@ -10,6 +10,31 @@ namespace lsched {
 using QueryId = int64_t;
 inline constexpr QueryId kInvalidQuery = -1;
 
+/// --- multi-tenant serving (DESIGN.md §11) ---------------------------------
+
+using TenantId = int32_t;
+inline constexpr TenantId kDefaultTenant = 0;
+
+/// Priority class of a query. Strict ordering: the serving layer never
+/// schedules a lower class while a higher class has schedulable work and
+/// free capacity (enforced at decision post-processing, not inside
+/// policies).
+enum class QueryPriority : uint8_t {
+  kLow = 0,
+  kNormal = 1,
+  kHigh = 2,
+};
+
+const char* QueryPriorityName(QueryPriority p);
+
+/// Serving metadata attached to a query at submission. Engines thread it
+/// through QueryState untouched; only the serving layer (admission,
+/// fairness, per-tenant metrics) interprets it.
+struct QueryTag {
+  TenantId tenant = kDefaultTenant;
+  QueryPriority priority = QueryPriority::kNormal;
+};
+
 /// The major events that trigger the scheduler (paper §5.2). The scheduler
 /// is NOT invoked per work order — only on these events.
 enum class SchedulingEventType : uint8_t {
@@ -35,13 +60,16 @@ enum class QueryStatus : uint8_t {
   kCancelled,     ///< torn down by CancelQuery / a scripted cancellation
   kFailed,        ///< a work order exhausted its retry budget (or admission
                   ///< was rejected)
+  kShed,          ///< load-shed by admission control before any work ran
+                  ///< (DESIGN.md §11): the system refused the query under
+                  ///< overload, or displaced it for a higher-priority arrival
 };
 
 const char* QueryStatusName(QueryStatus s);
 
 inline bool IsTerminalStatus(QueryStatus s) {
   return s == QueryStatus::kDone || s == QueryStatus::kCancelled ||
-         s == QueryStatus::kFailed;
+         s == QueryStatus::kFailed || s == QueryStatus::kShed;
 }
 
 /// Retry/backoff policy for failed or deadline-expired work-order attempts:

@@ -37,6 +37,20 @@ const char* QueryStatusName(QueryStatus s) {
       return "CANCELLED";
     case QueryStatus::kFailed:
       return "FAILED";
+    case QueryStatus::kShed:
+      return "SHED";
+  }
+  return "?";
+}
+
+const char* QueryPriorityName(QueryPriority p) {
+  switch (p) {
+    case QueryPriority::kLow:
+      return "low";
+    case QueryPriority::kNormal:
+      return "normal";
+    case QueryPriority::kHigh:
+      return "high";
   }
   return "?";
 }
@@ -51,11 +65,14 @@ bool QueryState::TransitionTo(QueryStatus to) {
       legal = true;
       break;
     case QueryStatus::kRunning:
-      legal = IsTerminalStatus(to);
+      // SHED is an admission-time decision only: once work has run the
+      // query can complete, be cancelled, or fail, but never be shed.
+      legal = IsTerminalStatus(to) && to != QueryStatus::kShed;
       break;
     case QueryStatus::kDone:
     case QueryStatus::kCancelled:
     case QueryStatus::kFailed:
+    case QueryStatus::kShed:
       legal = false;  // terminal states absorb
       break;
   }

@@ -23,6 +23,11 @@ class QueryState {
   const QueryPlan& plan() const { return plan_; }
   double arrival_time() const { return arrival_time_; }
 
+  /// Serving metadata (tenant + priority class); defaulted for episode-mode
+  /// workloads that predate multi-tenancy.
+  const QueryTag& tag() const { return tag_; }
+  void set_tag(const QueryTag& tag) { tag_ = tag; }
+
   bool completed() const { return completed_ops_ == plan_.num_nodes(); }
   double completion_time() const { return completion_time_; }
   void set_completion_time(double t) { completion_time_ = t; }
@@ -115,6 +120,7 @@ class QueryState {
   QueryId id_;
   QueryPlan plan_;
   double arrival_time_;
+  QueryTag tag_;
   double completion_time_ = -1.0;
   QueryStatus status_ = QueryStatus::kAdmitted;
   std::vector<OpRuntime> ops_;

@@ -15,6 +15,11 @@ namespace lsched {
 RealEngine::RealEngine(const Catalog* catalog, RealEngineConfig config)
     : catalog_(catalog), config_(std::move(config)) {}
 
+RealEngine::~RealEngine() {
+  // A serving session abandoned without Drain() still tears down cleanly.
+  if (serving_.load(std::memory_order_acquire)) Drain();
+}
+
 void RealEngine::WorkerLoop(int worker_id) {
   // Trace tid: workers are 1..N so the coordinator's auto-assigned id (0
   // on the first run) stays distinct in chrome://tracing.
@@ -52,8 +57,7 @@ void RealEngine::WorkerLoop(int worker_id) {
     } else {
       obs::ScopedSpan span("engine.work_order", "engine", "query",
                            task.query_index, "wo", task.wo_index);
-      st = executions_[static_cast<size_t>(task.query_index)]
-               ->ExecuteWorkOrder(task.chain, task.wo_index);
+      st = task.execution->ExecuteWorkOrder(task.chain, task.wo_index);
     }
     Completion c;
     c.thread_id = worker_id;
@@ -96,11 +100,38 @@ void RealEngine::MaybeReleaseExecution(int query_index) {
   const QueryState* q = query_states_[static_cast<size_t>(query_index)].get();
   if (q == nullptr || !IsTerminalStatus(q->status()) ||
       q->status() == QueryStatus::kDone) {
-    return;  // DONE queries keep their execution for sink extraction
+    return;  // DONE queries release in ExtractSink
   }
   if (executions_[static_cast<size_t>(query_index)] == nullptr) return;
   if (InflightFor(query_index) > 0) return;  // workers may still touch it
   executions_[static_cast<size_t>(query_index)].reset();
+}
+
+void RealEngine::ExtractSink(int query_index) {
+  const size_t idx = static_cast<size_t>(query_index);
+  if (sink_rows_.size() < query_states_.size()) {
+    sink_rows_.resize(query_states_.size(), 0);
+    sink_checksums_.resize(query_states_.size(), 0.0);
+  }
+  QueryExecution* exec = executions_[idx].get();
+  if (exec == nullptr) return;
+  int64_t rows = 0;
+  double checksum = 0.0;
+  for (int sink : query_states_[idx]->plan().SinkNodes()) {
+    const RowStore& store = exec->output(sink);
+    rows += static_cast<int64_t>(store.num_rows());
+    for (size_t r = 0; r < store.num_rows(); ++r) {
+      for (int col = 0; col < store.num_cols(); ++col) {
+        checksum += store.at(r, col);
+      }
+    }
+  }
+  sink_rows_[idx] = rows;
+  sink_checksums_[idx] = checksum;
+  // Every operator completed, so no attempt of this query is in flight:
+  // reclaim the execution's blocks/hash tables now — a serving stream must
+  // not accumulate per-query state for the lifetime of the daemon.
+  if (InflightFor(query_index) == 0) executions_[idx].reset();
 }
 
 bool RealEngine::TerminateQuery(QueryId query, QueryStatus status,
@@ -126,6 +157,7 @@ bool RealEngine::TerminateQuery(QueryId query, QueryStatus status,
   // Reclaim the execution's blocks/state now if nothing is in flight;
   // otherwise the last draining completion releases it.
   MaybeReleaseExecution(static_cast<int>(query));
+  if (config_.hooks != nullptr) config_.hooks->OnQueryTerminal(*q, now);
   return true;
 }
 
@@ -139,7 +171,7 @@ void RealEngine::ApplyDecision(const SchedulingDecision& decision,
   for (const PipelineChoice& choice : decision.pipelines) {
     QueryState* q = ctx_.FindQuery(choice.query);
     if (q == nullptr) continue;
-    // Query ids are assigned from the workload index at arrival.
+    // Query ids index the engine's query table directly.
     const int query_index = static_cast<int>(q->id());
     if (choice.root_op < 0 ||
         choice.root_op >= static_cast<int>(q->plan().num_nodes())) {
@@ -221,6 +253,7 @@ int RealEngine::AssignThreads(double now) {
     WorkerTask task;
     task.query_index = p.query_index;
     task.pipeline_index = pipeline_index;
+    task.execution = executions_[static_cast<size_t>(p.query_index)].get();
     task.chain = p.chain;
     // Retries first (FIFO), then the next fresh work-order index.
     if (!p.retry_ready.empty()) {
@@ -258,7 +291,13 @@ void RealEngine::InvokeScheduler(const SchedulingEvent& event,
         ctx_.num_free_threads() > 0 && ctx_.AnySchedulableOp();
     if (!can_schedule && !(lifecycle && round == 0)) return;
     Stopwatch sw;
-    const SchedulingDecision decision = scheduler->Schedule(event, ctx_);
+    SchedulingDecision decision = scheduler->Schedule(event, ctx_);
+    // Serving layer post-processing (priority classes, weighted fairness)
+    // sits between the policy and the engine; ApplyDecision re-validates
+    // every choice, so injected launches can never corrupt run state.
+    if (config_.hooks != nullptr) {
+      config_.hooks->FilterDecision(&decision, ctx_);
+    }
     current_decision_id_ = recorder_.OnSchedulerInvocation(
         event, ctx_, decision, sw.ElapsedSeconds());
     if (decision.empty()) return;
@@ -290,31 +329,34 @@ void RealEngine::ForceFallback(double now) {
   }
 }
 
-RealRunResult RealEngine::Run(const std::vector<RealQuerySubmission>& workload,
-                              Scheduler* scheduler) {
+void RealEngine::SetupRun(Scheduler* scheduler, size_t num_queries) {
   query_states_.clear();
   executions_.clear();
   pipelines_.clear();
+  sink_rows_.assign(num_queries, 0);
+  sink_checksums_.assign(num_queries, 0.0);
   {
-    // CancelQuery may already be racing with run startup.
+    // CancelQuery/Submit may already be racing with run startup.
     std::lock_guard<std::mutex> lock(completion_mu_);
     completions_.clear();
     external_cancels_.clear();
+    pending_submissions_.clear();
   }
   current_decision_id_ = -1;
   terminal_queries_ = 0;
+  last_flush_terminals_ = 0;
   ctx_.Reset();
-  recorder_.Begin("real", scheduler, /*virtual_time=*/false, workload.size());
+  recorder_.Begin("real", scheduler, /*virtual_time=*/false, num_queries);
   scheduler->Reset();
+  query_states_.resize(num_queries);
+  executions_.resize(num_queries);
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_ = EpisodeResult{};
+  }
+}
 
-  query_states_.resize(workload.size());
-  executions_.resize(workload.size());
-
-  // The run clock must exist before workers spawn: they read it (read-only)
-  // for work-order deadline checks.
-  WallClock clock;
-  run_clock_ = &clock;
-
+void RealEngine::SpawnWorkers() {
   workers_.clear();
   for (int i = 0; i < config_.num_threads; ++i) {
     auto w = std::make_unique<Worker>();
@@ -328,6 +370,276 @@ RealRunResult RealEngine::Run(const std::vector<RealQuerySubmission>& workload,
     workers_[static_cast<size_t>(i)]->thread =
         std::thread([this, i] { WorkerLoop(i); });
   }
+}
+
+void RealEngine::AdmitArrival(QueryId qid, QueryPlan plan,
+                              const QueryTag& tag, double now,
+                              Scheduler* scheduler) {
+  const size_t idx = static_cast<size_t>(qid);
+  query_states_[idx] =
+      std::make_unique<QueryState>(qid, std::move(plan), now);
+  QueryState* arrived = query_states_[idx].get();
+  arrived->set_tag(tag);
+  recorder_.TrackQuery(qid);
+  // Admission fault point: a kError here rejects the query (terminal
+  // FAILED) before any execution state is allocated.
+  const FaultAction admit = LSCHED_FAULT("query_admit", qid, now);
+  if (admit && admit.type == FaultType::kError) {
+    LSCHED_CHECK(arrived->TransitionTo(QueryStatus::kFailed));
+    recorder_.OnQueryTerminated(arrived, now, 0);
+    ++terminal_queries_;
+    if (config_.hooks != nullptr) {
+      config_.hooks->OnEngineRefused(*arrived, now);
+      config_.hooks->OnQueryTerminal(*arrived, now);
+    }
+    return;
+  }
+  if (config_.hooks != nullptr) {
+    const AdmissionVerdict verdict =
+        config_.hooks->OnAdmission(*arrived, ctx_, now);
+    if (!verdict.admit) {
+      // Load shed: terminal before the scheduler ever sees the query.
+      LSCHED_CHECK(arrived->TransitionTo(QueryStatus::kShed));
+      recorder_.OnQueryTerminated(arrived, now, 0);
+      ++terminal_queries_;
+      config_.hooks->OnQueryTerminal(*arrived, now);
+      return;
+    }
+    if (verdict.displace != kInvalidQuery) {
+      // A higher-priority arrival displaces a pending lower-priority query.
+      // Only ADMITTED (never-launched) queries are eligible — a
+      // stale/illegal victim id is ignored rather than fatal.
+      const size_t vi = static_cast<size_t>(verdict.displace);
+      if (vi < query_states_.size() && query_states_[vi] != nullptr &&
+          query_states_[vi]->status() == QueryStatus::kAdmitted &&
+          TerminateQuery(verdict.displace, QueryStatus::kShed, now)) {
+        SchedulingEvent shed_ev;
+        shed_ev.type = SchedulingEventType::kQueryCancelled;
+        shed_ev.time = now;
+        shed_ev.query = verdict.displace;
+        InvokeScheduler(shed_ev, scheduler, now);
+      }
+    }
+  }
+  executions_[idx] = std::make_unique<QueryExecution>(
+      catalog_, &query_states_[idx]->plan(), config_.chunk_rows);
+  ctx_.set_now(now);
+  ctx_.AddQuery(arrived);
+  SchedulingEvent se;
+  se.type = SchedulingEventType::kQueryArrival;
+  se.time = now;
+  se.query = qid;
+  InvokeScheduler(se, scheduler, now);
+  AssignThreads(now);
+}
+
+bool RealEngine::CancelLive(QueryId qid, double t, Scheduler* scheduler) {
+  if (!TerminateQuery(qid, QueryStatus::kCancelled, t)) return false;
+  // The cancel freed this query's claim on threads/memory: tell the
+  // scheduler so it can re-plan, then backfill the pool.
+  SchedulingEvent se;
+  se.type = SchedulingEventType::kQueryCancelled;
+  se.time = t;
+  se.query = qid;
+  InvokeScheduler(se, scheduler, t);
+  AssignThreads(t);
+  return true;
+}
+
+void RealEngine::ProcessCompletion(const Completion& c, double now,
+                                   Scheduler* scheduler) {
+  ActivePipeline& p = pipelines_[static_cast<size_t>(c.pipeline_index)];
+  QueryState* q = query_states_[static_cast<size_t>(p.query_index)].get();
+  ctx_.set_now(now);
+  // Free the worker first — identical bookkeeping for every outcome.
+  ctx_.SetThreadIdle(c.thread_id, q->id());
+  --p.inflight;
+  q->set_assigned_threads(q->assigned_threads() - 1);
+
+  std::vector<int> completed_ops;
+  bool emit_cancel_event = false;
+  if (p.dead) {
+    // The query reached a terminal state while this attempt was in
+    // flight: throw the result away and free the execution once the last
+    // straggler drains.
+    recorder_.OnWorkOrderDiscarded();
+    MaybeReleaseExecution(p.query_index);
+  } else if (!c.status.ok()) {
+    recorder_.OnWorkOrderFailed();
+    if (c.expired) recorder_.OnWorkOrderExpired();
+    const int attempt = ++p.attempts[c.wo_index];
+    if (attempt > config_.retry.max_retries) {
+      // Retry budget exhausted: the whole query fails. The worker pool
+      // stays healthy — only this query's work is torn down.
+      LSCHED_LOG(Warning) << "query " << p.query_index << " work order "
+                          << c.wo_index << " failed after " << attempt
+                          << " attempts: " << c.status.ToString();
+      TerminateQuery(q->id(), QueryStatus::kFailed, now);
+      emit_cancel_event = true;
+    } else {
+      recorder_.OnWorkOrderRetried();
+      p.retry_ready.push_back(c.wo_index);
+      const double backoff = config_.retry.BackoffFor(attempt);
+      if (backoff > 0.0) {
+        p.not_before = std::max(p.not_before, now + backoff);
+      }
+    }
+  } else {
+    q->AddAttainedService(c.seconds);
+    recorder_.OnWorkOrderCompleted(p.decision_id, c.seconds);
+    ++p.succeeded;
+    if (config_.work_order_deadline_seconds > 0.0 &&
+        c.seconds > config_.work_order_deadline_seconds) {
+      // Post-execution overrun: the kernel's side effects are already
+      // applied, so a retry would double-apply them. Accept the result
+      // and count the overrun.
+      recorder_.OnWorkOrderExpired();
+    }
+
+    const double fused_total = static_cast<double>(p.total_fused);
+    for (size_t s = 0; s < p.chain.size(); ++s) {
+      const int op = p.chain[s];
+      const double amount =
+          static_cast<double>(q->plan().node(op).num_work_orders) /
+          fused_total;
+      const double mem = static_cast<double>(
+          executions_[static_cast<size_t>(p.query_index)]->StateBytes(op));
+      if (q->AdvanceOperator(
+              op, amount, c.seconds / static_cast<double>(p.chain.size()),
+              mem / fused_total)) {
+        const Status fin = executions_[static_cast<size_t>(p.query_index)]
+                               ->FinalizeOperator(op);
+        LSCHED_CHECK(fin.ok()) << fin.ToString();
+        completed_ops.push_back(op);
+      }
+    }
+    // Operator progress changed (O-WO/O-DUR/O-MEM, possibly completion
+    // flags): invalidate cached encodings for this query.
+    ctx_.MarkQueryDirty(q->id());
+
+    if (q->completed() && q->completion_time() < 0.0) {
+      recorder_.OnQueryCompleted(q, now);
+      ++terminal_queries_;
+      ctx_.RemoveQuery(q->id());
+      ExtractSink(p.query_index);
+      if (config_.hooks != nullptr) config_.hooks->OnQueryTerminal(*q, now);
+    }
+  }
+
+  AssignThreads(now);
+  const ThreadInfo* winfo = ctx_.thread(c.thread_id);
+  if (emit_cancel_event) {
+    SchedulingEvent se;
+    se.type = SchedulingEventType::kQueryCancelled;
+    se.time = now;
+    se.query = q->id();
+    InvokeScheduler(se, scheduler, now);
+    AssignThreads(now);
+  } else if (!completed_ops.empty()) {
+    SchedulingEvent se;
+    se.type = SchedulingEventType::kOperatorCompleted;
+    se.time = now;
+    se.query = q->id();
+    se.op = completed_ops.front();
+    InvokeScheduler(se, scheduler, now);
+    AssignThreads(now);
+  } else if (winfo != nullptr && !winfo->busy) {
+    SchedulingEvent se;
+    se.type = SchedulingEventType::kThreadIdle;
+    se.time = now;
+    se.thread = c.thread_id;
+    InvokeScheduler(se, scheduler, now);
+    AssignThreads(now);
+  }
+}
+
+void RealEngine::DrainOutstanding() {
+  // Drain attempts still in flight for terminal queries so work-order
+  // conservation closes out, then release any zombie executions.
+  int outstanding = 0;
+  for (const ActivePipeline& p : pipelines_) outstanding += p.inflight;
+  while (outstanding > 0) {
+    Completion c;
+    {
+      std::unique_lock<std::mutex> lock(completion_mu_);
+      completion_cv_.wait(lock, [&] { return !completions_.empty(); });
+      c = std::move(completions_.front());
+      completions_.pop_front();
+    }
+    ActivePipeline& p = pipelines_[static_cast<size_t>(c.pipeline_index)];
+    QueryState* q = query_states_[static_cast<size_t>(p.query_index)].get();
+    ctx_.SetThreadIdle(c.thread_id, q->id());
+    --p.inflight;
+    q->set_assigned_threads(q->assigned_threads() - 1);
+    recorder_.OnWorkOrderDiscarded();
+    MaybeReleaseExecution(p.query_index);
+    --outstanding;
+  }
+
+  // Invariant: every terminal non-DONE query has released its execution
+  // state (no leaked blocks/hash tables after cancellation, failure, or
+  // shedding; DONE queries released theirs in ExtractSink).
+  for (size_t i = 0; i < query_states_.size(); ++i) {
+    const QueryState* q = query_states_[i].get();
+    if (q != nullptr && q->status() != QueryStatus::kDone) {
+      LSCHED_CHECK(executions_[i] == nullptr)
+          << "terminal query " << i << " ("
+          << QueryStatusName(q->status())
+          << ") leaked its execution state";
+    }
+  }
+}
+
+void RealEngine::ShutdownPool() {
+  for (auto& w : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(w->mu);
+      WorkerTask t;
+      t.shutdown = true;
+      w->task = t;
+    }
+    w->cv.notify_one();
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void RealEngine::MaybeFlushWindow(double now) {
+  if (config_.flush_window_queries <= 0) return;
+  if (terminal_queries_ - last_flush_terminals_ <
+      config_.flush_window_queries) {
+    return;
+  }
+  last_flush_terminals_ = terminal_queries_;
+  recorder_.FlushWindow();
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot_ = recorder_.SnapshotResult(now);
+}
+
+RealRunResult RealEngine::BuildResult() {
+  RealRunResult out;
+  out.episode = recorder_.Take();
+  sink_rows_.resize(query_states_.size(), 0);
+  sink_checksums_.resize(query_states_.size(), 0.0);
+  out.sink_row_counts = std::move(sink_rows_);
+  out.sink_checksums = std::move(sink_checksums_);
+  sink_rows_.clear();
+  sink_checksums_.clear();
+  return out;
+}
+
+RealRunResult RealEngine::Run(const std::vector<RealQuerySubmission>& workload,
+                              Scheduler* scheduler) {
+  LSCHED_CHECK(!serving_.load(std::memory_order_acquire))
+      << "Run() is unavailable while a serving session is active";
+  SetupRun(scheduler, workload.size());
+
+  // The run clock must exist before workers spawn: they read it (read-only)
+  // for work-order deadline checks.
+  WallClock clock;
+  run_clock_ = &clock;
+  SpawnWorkers();
 
   // Scripted cancels, applied in time order ahead of arrivals so a cancel
   // at t <= arrival deterministically cancels the query on admission.
@@ -348,18 +660,13 @@ RealRunResult RealEngine::Run(const std::vector<RealQuerySubmission>& workload,
       query_states_[idx] =
           std::make_unique<QueryState>(qid, workload[idx].plan, t);
       QueryState* q = query_states_[idx].get();
+      q->set_tag(workload[idx].tag);
       LSCHED_CHECK(q->TransitionTo(QueryStatus::kCancelled));
       recorder_.OnQueryTerminated(q, t, 0);
       ++terminal_queries_;
-    } else if (TerminateQuery(qid, QueryStatus::kCancelled, t)) {
-      // The cancel freed this query's claim on threads/memory: tell the
-      // scheduler so it can re-plan, then backfill the pool.
-      SchedulingEvent se;
-      se.type = SchedulingEventType::kQueryCancelled;
-      se.time = t;
-      se.query = qid;
-      InvokeScheduler(se, scheduler, t);
-      AssignThreads(t);
+      if (config_.hooks != nullptr) config_.hooks->OnQueryTerminal(*q, t);
+    } else {
+      CancelLive(qid, t, scheduler);
     }
   };
 
@@ -403,29 +710,9 @@ RealRunResult RealEngine::Run(const std::vector<RealQuerySubmission>& workload,
       ++next_arrival;
       // Already admitted-and-cancelled by an earlier cancel request.
       if (query_states_[idx] != nullptr) continue;
-      query_states_[idx] = std::make_unique<QueryState>(
-          static_cast<QueryId>(idx), workload[idx].plan, now);
-      QueryState* arrived = query_states_[idx].get();
-      // Admission fault point: a kError here rejects the query (terminal
-      // FAILED) before any execution state is allocated.
-      const FaultAction admit =
-          LSCHED_FAULT("query_admit", static_cast<QueryId>(idx), now);
-      if (admit && admit.type == FaultType::kError) {
-        LSCHED_CHECK(arrived->TransitionTo(QueryStatus::kFailed));
-        recorder_.OnQueryTerminated(arrived, now, 0);
-        ++terminal_queries_;
-        continue;
-      }
-      executions_[idx] = std::make_unique<QueryExecution>(
-          catalog_, &query_states_[idx]->plan(), config_.chunk_rows);
       ctx_.set_now(now);
-      ctx_.AddQuery(arrived);
-      SchedulingEvent se;
-      se.type = SchedulingEventType::kQueryArrival;
-      se.time = now;
-      se.query = static_cast<QueryId>(idx);
-      InvokeScheduler(se, scheduler, now);
-      AssignThreads(now);
+      AdmitArrival(static_cast<QueryId>(idx), workload[idx].plan,
+                   workload[idx].tag, now, scheduler);
     }
 
     // Deadlock guard: nothing running, nothing pending, queries remain.
@@ -463,186 +750,179 @@ RealRunResult RealEngine::Run(const std::vector<RealQuerySubmission>& workload,
       c = std::move(completions_.front());
       completions_.pop_front();
     }
-    const double done_now = clock.Now();
-
-    ActivePipeline& p = pipelines_[static_cast<size_t>(c.pipeline_index)];
-    QueryState* q = query_states_[static_cast<size_t>(p.query_index)].get();
-    Worker& w = *workers_[static_cast<size_t>(c.thread_id)];
-    ctx_.set_now(done_now);
-    // Free the worker first — identical bookkeeping for every outcome.
-    ctx_.SetThreadIdle(c.thread_id, q->id());
-    --p.inflight;
-    q->set_assigned_threads(q->assigned_threads() - 1);
-
-    std::vector<int> completed_ops;
-    bool emit_cancel_event = false;
-    if (p.dead) {
-      // The query reached a terminal state while this attempt was in
-      // flight: throw the result away and free the execution once the last
-      // straggler drains.
-      recorder_.OnWorkOrderDiscarded();
-      MaybeReleaseExecution(p.query_index);
-    } else if (!c.status.ok()) {
-      recorder_.OnWorkOrderFailed();
-      if (c.expired) recorder_.OnWorkOrderExpired();
-      const int attempt = ++p.attempts[c.wo_index];
-      if (attempt > config_.retry.max_retries) {
-        // Retry budget exhausted: the whole query fails. The worker pool
-        // stays healthy — only this query's work is torn down.
-        LSCHED_LOG(Warning) << "query " << p.query_index << " work order "
-                            << c.wo_index << " failed after " << attempt
-                            << " attempts: " << c.status.ToString();
-        TerminateQuery(q->id(), QueryStatus::kFailed, done_now);
-        emit_cancel_event = true;
-      } else {
-        recorder_.OnWorkOrderRetried();
-        p.retry_ready.push_back(c.wo_index);
-        const double backoff = config_.retry.BackoffFor(attempt);
-        if (backoff > 0.0) {
-          p.not_before = std::max(p.not_before, done_now + backoff);
-        }
-      }
-    } else {
-      q->AddAttainedService(c.seconds);
-      recorder_.OnWorkOrderCompleted(p.decision_id, c.seconds);
-      ++p.succeeded;
-      if (config_.work_order_deadline_seconds > 0.0 &&
-          c.seconds > config_.work_order_deadline_seconds) {
-        // Post-execution overrun: the kernel's side effects are already
-        // applied, so a retry would double-apply them. Accept the result
-        // and count the overrun.
-        recorder_.OnWorkOrderExpired();
-      }
-
-      const double fused_total = static_cast<double>(p.total_fused);
-      for (size_t s = 0; s < p.chain.size(); ++s) {
-        const int op = p.chain[s];
-        const double amount =
-            static_cast<double>(q->plan().node(op).num_work_orders) /
-            fused_total;
-        const double mem = static_cast<double>(
-            executions_[static_cast<size_t>(p.query_index)]->StateBytes(op));
-        if (q->AdvanceOperator(
-                op, amount, c.seconds / static_cast<double>(p.chain.size()),
-                mem / fused_total)) {
-          const Status fin = executions_[static_cast<size_t>(p.query_index)]
-                                 ->FinalizeOperator(op);
-          LSCHED_CHECK(fin.ok()) << fin.ToString();
-          completed_ops.push_back(op);
-        }
-      }
-      // Operator progress changed (O-WO/O-DUR/O-MEM, possibly completion
-      // flags): invalidate cached encodings for this query.
-      ctx_.MarkQueryDirty(q->id());
-
-      if (q->completed() && q->completion_time() < 0.0) {
-        recorder_.OnQueryCompleted(q, done_now);
-        ++terminal_queries_;
-        ctx_.RemoveQuery(q->id());
-      }
-    }
-
-    AssignThreads(done_now);
-    const ThreadInfo* winfo = ctx_.thread(w.id);
-    if (emit_cancel_event) {
-      SchedulingEvent se;
-      se.type = SchedulingEventType::kQueryCancelled;
-      se.time = done_now;
-      se.query = q->id();
-      InvokeScheduler(se, scheduler, done_now);
-      AssignThreads(done_now);
-    } else if (!completed_ops.empty()) {
-      SchedulingEvent se;
-      se.type = SchedulingEventType::kOperatorCompleted;
-      se.time = done_now;
-      se.query = q->id();
-      se.op = completed_ops.front();
-      InvokeScheduler(se, scheduler, done_now);
-      AssignThreads(done_now);
-    } else if (winfo != nullptr && !winfo->busy) {
-      SchedulingEvent se;
-      se.type = SchedulingEventType::kThreadIdle;
-      se.time = done_now;
-      se.thread = w.id;
-      InvokeScheduler(se, scheduler, done_now);
-      AssignThreads(done_now);
-    }
+    ProcessCompletion(c, clock.Now(), scheduler);
+    MaybeFlushWindow(clock.Now());
   }
 
-  // Drain attempts still in flight for terminal queries so work-order
-  // conservation closes out, then release any zombie executions.
-  int outstanding = 0;
-  for (const ActivePipeline& p : pipelines_) outstanding += p.inflight;
-  while (outstanding > 0) {
-    Completion c;
-    {
-      std::unique_lock<std::mutex> lock(completion_mu_);
-      completion_cv_.wait(lock, [&] { return !completions_.empty(); });
-      c = std::move(completions_.front());
-      completions_.pop_front();
-    }
-    ActivePipeline& p = pipelines_[static_cast<size_t>(c.pipeline_index)];
-    QueryState* q = query_states_[static_cast<size_t>(p.query_index)].get();
-    ctx_.SetThreadIdle(c.thread_id, q->id());
-    --p.inflight;
-    q->set_assigned_threads(q->assigned_threads() - 1);
-    recorder_.OnWorkOrderDiscarded();
-    MaybeReleaseExecution(p.query_index);
-    --outstanding;
-  }
-
-  // Invariant: every terminal non-DONE query has released its execution
-  // state (no leaked blocks/hash tables after cancellation or failure).
-  for (size_t i = 0; i < query_states_.size(); ++i) {
-    const QueryState* q = query_states_[i].get();
-    if (q != nullptr && q->status() != QueryStatus::kDone) {
-      LSCHED_CHECK(executions_[i] == nullptr)
-          << "terminal query " << i << " ("
-          << QueryStatusName(q->status())
-          << ") leaked its execution state";
-    }
-  }
-
-  // Shut the pool down.
-  for (auto& w : workers_) {
-    {
-      std::lock_guard<std::mutex> lock(w->mu);
-      WorkerTask t;
-      t.shutdown = true;
-      w->task = t;
-    }
-    w->cv.notify_one();
-  }
-  for (auto& w : workers_) {
-    if (w->thread.joinable()) w->thread.join();
-  }
+  DrainOutstanding();
+  ShutdownPool();
   run_clock_ = nullptr;
 
   recorder_.Finalize(clock.Now());
+  return BuildResult();
+}
 
-  RealRunResult out;
-  out.episode = recorder_.Take();
-  for (size_t i = 0; i < workload.size(); ++i) {
-    int64_t rows = 0;
-    double checksum = 0.0;
-    // Only DONE queries have sink output (cancelled/failed ones released
-    // their execution state mid-run).
-    if (executions_[i] != nullptr && query_states_[i] != nullptr &&
-        query_states_[i]->status() == QueryStatus::kDone) {
-      for (int sink : query_states_[i]->plan().SinkNodes()) {
-        const RowStore& store = executions_[i]->output(sink);
-        rows += static_cast<int64_t>(store.num_rows());
-        for (size_t r = 0; r < store.num_rows(); ++r) {
-          for (int col = 0; col < store.num_cols(); ++col) {
-            checksum += store.at(r, col);
-          }
+void RealEngine::StartServing(Scheduler* scheduler) {
+  LSCHED_CHECK(!serving_.load(std::memory_order_acquire))
+      << "StartServing while a serving session is already active";
+  SetupRun(scheduler, 0);
+  serving_scheduler_ = scheduler;
+  {
+    std::lock_guard<std::mutex> lock(completion_mu_);
+    next_query_id_ = 0;
+  }
+  serving_clock_.emplace();
+  run_clock_ = &*serving_clock_;
+  SpawnWorkers();
+  draining_.store(false, std::memory_order_release);
+  serving_.store(true, std::memory_order_release);
+  coordinator_ = std::thread([this] { ServeLoop(); });
+}
+
+QueryId RealEngine::Submit(QueryPlan plan, QueryTag tag) {
+  QueryId id = kInvalidQuery;
+  {
+    std::lock_guard<std::mutex> lock(completion_mu_);
+    if (!serving_.load(std::memory_order_acquire) ||
+        draining_.load(std::memory_order_acquire)) {
+      return kInvalidQuery;
+    }
+    id = next_query_id_++;
+    pending_submissions_.push_back(
+        PendingSubmission{id, std::move(plan), tag});
+  }
+  completion_cv_.notify_one();
+  return id;
+}
+
+EpisodeResult RealEngine::Snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+RealRunResult RealEngine::Drain() {
+  LSCHED_CHECK(serving_.load(std::memory_order_acquire))
+      << "Drain without an active serving session";
+  {
+    // Under completion_mu_ so the drain flag orders against Submit(): once
+    // the coordinator observes it, no further submissions can exist.
+    std::lock_guard<std::mutex> lock(completion_mu_);
+    draining_.store(true, std::memory_order_release);
+  }
+  completion_cv_.notify_one();
+  if (coordinator_.joinable()) coordinator_.join();
+  serving_.store(false, std::memory_order_release);
+  draining_.store(false, std::memory_order_release);
+  serving_clock_.reset();
+  serving_scheduler_ = nullptr;
+  return std::move(serving_result_);
+}
+
+void RealEngine::ServeLoop() {
+  Scheduler* scheduler = serving_scheduler_;
+  const Clock& clock = *serving_clock_;
+  while (true) {
+    const double now = clock.Now();
+    // Read the drain flag BEFORE swapping the ingress queues: Submit()
+    // refuses once draining_ is set (under completion_mu_), so a true read
+    // here guarantees this iteration's swap sees every submission ever
+    // accepted — none can be lost or double-counted.
+    const bool drain_now = draining_.load(std::memory_order_acquire);
+    std::vector<PendingSubmission> subs;
+    std::vector<CancelRequest> cancels;
+    {
+      std::lock_guard<std::mutex> lock(completion_mu_);
+      subs.swap(pending_submissions_);
+      cancels.swap(external_cancels_);
+    }
+    ctx_.set_now(now);
+    // Intake before cancels: a cancel's id was returned by an earlier
+    // Submit, so its submission is either in this batch or already
+    // admitted — processing submissions first makes every cancel
+    // resolvable against an existing query.
+    for (PendingSubmission& s : subs) {
+      const size_t n = static_cast<size_t>(s.id) + 1;
+      if (query_states_.size() < n) {
+        query_states_.resize(n);
+        executions_.resize(n);
+      }
+      if (drain_now) {
+        // Queued-but-unadmitted at drain time: shed, never silently
+        // dropped — every Submit-returned id reaches a terminal status.
+        query_states_[static_cast<size_t>(s.id)] =
+            std::make_unique<QueryState>(s.id, std::move(s.plan), now);
+        QueryState* q = query_states_[static_cast<size_t>(s.id)].get();
+        q->set_tag(s.tag);
+        recorder_.TrackQuery(s.id);
+        LSCHED_CHECK(q->TransitionTo(QueryStatus::kShed));
+        recorder_.OnQueryTerminated(q, now, 0);
+        ++terminal_queries_;
+        if (config_.hooks != nullptr) {
+          config_.hooks->OnEngineRefused(*q, now);
+          config_.hooks->OnQueryTerminal(*q, now);
         }
+      } else {
+        AdmitArrival(s.id, std::move(s.plan), s.tag, now, scheduler);
       }
     }
-    out.sink_row_counts.push_back(rows);
-    out.sink_checksums.push_back(checksum);
+    for (const CancelRequest& cr : cancels) {
+      if (cr.query >= 0 &&
+          static_cast<size_t>(cr.query) < query_states_.size() &&
+          query_states_[static_cast<size_t>(cr.query)] != nullptr) {
+        CancelLive(cr.query, now, scheduler);
+      }
+    }
+
+    // Drain completes once every submitted query is terminal
+    // (drain-don't-preempt: running queries were allowed to finish).
+    if (drain_now &&
+        terminal_queries_ == static_cast<int>(query_states_.size())) {
+      break;
+    }
+
+    // Deadlock guard: live queries but nothing running or pending.
+    const bool any_busy = ctx_.num_free_threads() != ctx_.total_threads();
+    bool any_pending = false;
+    for (const ActivePipeline& p : pipelines_) {
+      any_pending |= !p.dead && (p.next_wo < p.total_fused ||
+                                 !p.retry_ready.empty());
+    }
+    if (!any_busy && !any_pending && !ctx_.queries().empty()) {
+      ForceFallback(now);
+    }
+
+    // Wait for a completion (with a timeout so ingress, cancels, drain,
+    // and elapsed retry backoffs are serviced).
+    Completion c;
+    {
+      std::unique_lock<std::mutex> lock(completion_mu_);
+      if (!completion_cv_.wait_for(lock, std::chrono::milliseconds(2),
+                                   [&] {
+                                     return !completions_.empty() ||
+                                            !external_cancels_.empty() ||
+                                            !pending_submissions_.empty();
+                                   })) {
+        AssignThreads(clock.Now());  // a retry backoff may have elapsed
+        MaybeFlushWindow(clock.Now());
+        continue;
+      }
+      if (completions_.empty()) continue;  // woken for ingress or a cancel
+      c = std::move(completions_.front());
+      completions_.pop_front();
+    }
+    ProcessCompletion(c, clock.Now(), scheduler);
+    MaybeFlushWindow(clock.Now());
   }
-  return out;
+
+  DrainOutstanding();
+  ShutdownPool();
+  run_clock_ = nullptr;
+  recorder_.Finalize(clock.Now());
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_ = recorder_.SnapshotResult(clock.Now());
+  }
+  serving_result_ = BuildResult();
 }
 
 }  // namespace lsched

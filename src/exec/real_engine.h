@@ -1,6 +1,7 @@
 #ifndef LSCHED_EXEC_REAL_ENGINE_H_
 #define LSCHED_EXEC_REAL_ENGINE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <memory>
@@ -16,6 +17,7 @@
 #include "exec/query_state.h"
 #include "exec/scheduler.h"
 #include "exec/scheduling_context.h"
+#include "exec/serving_hooks.h"
 #include "storage/catalog.h"
 #include "util/clock.h"
 
@@ -34,13 +36,23 @@ struct RealEngineConfig {
   /// num_work_orders_expired. 0 = no deadline.
   double work_order_deadline_seconds = 0.0;
   /// Scripted cancellations, applied at their run-clock times. A cancel at
-  /// or before the query's arrival cancels it on admission.
+  /// or before the query's arrival cancels it on admission. Episode mode
+  /// only; serving mode cancels via CancelQuery().
   std::vector<CancelRequest> cancels;
+  /// Serving-layer callbacks (admission control, fairness/priority decision
+  /// post-processing, tenant accounting; DESIGN.md §11). Not owned; null =
+  /// every arrival admitted, decisions applied verbatim.
+  ServingHooks* hooks = nullptr;
+  /// Rolling telemetry window: after this many additional terminal queries
+  /// the recorder flushes to the shared observability layer and refreshes
+  /// the thread-safe Snapshot(). 0 = flush only when the run/drain ends.
+  int flush_window_queries = 0;
 };
 
 struct RealQuerySubmission {
   QueryPlan plan;
   double arrival_offset_seconds = 0.0;  ///< wall-clock offset from run start
+  QueryTag tag;  ///< tenant/priority (defaulted for single-tenant runs)
 };
 
 /// Result of a real execution run: scheduling telemetry plus per-query sink
@@ -59,24 +71,65 @@ struct RealRunResult {
 /// uses, so any policy (heuristic or learned) drives real execution
 /// unchanged.
 ///
+/// Two modes share the same coordinator logic (admission, dispatch,
+/// completion processing, termination):
+///
+///  - Episode mode (`Run`): a fixed workload with scripted arrival offsets
+///    runs to completion on the calling thread; the pool tears down at the
+///    end. This is the historical one-shot path used by training/eval.
+///
+///  - Serving mode (`StartServing`/`Submit`/`Drain`, DESIGN.md §11): a
+///    long-running service. A dedicated coordinator thread owns all
+///    scheduling state; the worker pool never tears down between queries;
+///    scheduler/policy state and the incremental SchedulingContext (with
+///    its encoding caches) persist across the whole stream. Submit() is
+///    thread-safe ingress; Drain() stops intake (queued-but-unadmitted
+///    submissions are shed), lets running queries finish
+///    (drain-don't-preempt), then tears down and returns the telemetry.
+///
 /// Simplification vs. the simulator: an execution root must have all its
 /// producers completed (cross-thread producer/consumer streaming is not
 /// supported; in-chain pipelining is). DESIGN.md documents this.
 class RealEngine {
  public:
   RealEngine(const Catalog* catalog, RealEngineConfig config);
+  ~RealEngine();
 
   RealRunResult Run(const std::vector<RealQuerySubmission>& workload,
                     Scheduler* scheduler);
 
   /// Requests cancellation of a live query. Thread-safe; may be called from
-  /// any thread while Run() is active. The coordinator applies it promptly:
-  /// the query is marked CANCELLED, its pending work orders are dropped,
-  /// in-flight attempts are discarded when they come back, and its
-  /// execution state (blocks, hash tables, intermediate stores) is freed as
-  /// soon as the last in-flight attempt drains. Unknown or already-terminal
-  /// queries are no-ops.
+  /// any thread while Run() or serving is active. The coordinator applies
+  /// it promptly: the query is marked CANCELLED, its pending work orders
+  /// are dropped, in-flight attempts are discarded when they come back, and
+  /// its execution state (blocks, hash tables, intermediate stores) is
+  /// freed as soon as the last in-flight attempt drains. Unknown or
+  /// already-terminal queries are no-ops.
   void CancelQuery(QueryId query);
+
+  /// --- long-running serving mode (DESIGN.md §11) ------------------------
+
+  /// Starts the serving coordinator thread and the standing worker pool.
+  /// `scheduler` must outlive the serving session; its state persists
+  /// across every query of the stream (never Reset between queries).
+  void StartServing(Scheduler* scheduler);
+
+  /// Thread-safe ingress: enqueues a query for admission and returns its
+  /// QueryId, or kInvalidQuery when not serving / draining. Every id ever
+  /// returned reaches exactly one terminal status (DONE, CANCELLED,
+  /// FAILED, or SHED) by the time Drain() returns — zero-loss accounting.
+  QueryId Submit(QueryPlan plan, QueryTag tag = QueryTag{});
+
+  /// Graceful drain: refuses new submissions, sheds queued-but-unadmitted
+  /// ones, lets running queries finish, then joins the coordinator and
+  /// worker pool and returns the full-stream telemetry.
+  RealRunResult Drain();
+
+  /// Latest rolling-window snapshot of the stream telemetry (refreshed
+  /// every `flush_window_queries` terminal queries). Thread-safe.
+  EpisodeResult Snapshot() const;
+
+  bool serving() const { return serving_.load(std::memory_order_acquire); }
 
  private:
   struct ActivePipeline {
@@ -108,6 +161,12 @@ class RealEngine {
     bool shutdown = false;
     int query_index = -1;
     int pipeline_index = -1;
+    /// Stable pointer to the query's execution. Workers must NOT index
+    /// executions_: the serving coordinator grows that vector while workers
+    /// run, and a reallocation would race the read. The pointee is safe —
+    /// the coordinator only releases an execution once no attempt of its
+    /// query is in flight.
+    QueryExecution* execution = nullptr;
     std::vector<int> chain;
     int wo_index = 0;
     double issued_at = 0.0;         ///< run-clock time of dispatch
@@ -124,26 +183,63 @@ class RealEngine {
     int id = -1;
   };
 
+  /// A Submit() awaiting the coordinator (guarded by completion_mu_).
+  struct PendingSubmission {
+    QueryId id = kInvalidQuery;
+    QueryPlan plan;
+    QueryTag tag;
+  };
+
   void WorkerLoop(int worker_id);
   void PushCompletion(Completion c);
 
   // Coordinator helpers (no locking needed: only the coordinator mutates
-  // scheduling state).
+  // scheduling state). Shared verbatim between episode and serving mode.
+  void SetupRun(Scheduler* scheduler, size_t num_queries);
+  void SpawnWorkers();
+  /// Admits query `qid` (tables must already cover the id and hold null):
+  /// creates its state, probes the query_admit fault point, consults the
+  /// serving hooks (shed / displace), allocates its execution, and fires
+  /// the arrival event at the scheduler.
+  void AdmitArrival(QueryId qid, QueryPlan plan, const QueryTag& tag,
+                    double now, Scheduler* scheduler);
+  /// Terminates `qid` as CANCELLED and notifies the scheduler. Returns
+  /// false for unknown/terminal queries.
+  bool CancelLive(QueryId qid, double t, Scheduler* scheduler);
+  /// Applies one worker completion: frees the worker, advances or retries
+  /// or discards, detects query completion, fires follow-up scheduler
+  /// events.
+  void ProcessCompletion(const Completion& c, double now,
+                         Scheduler* scheduler);
   void ApplyDecision(const SchedulingDecision& decision, double now);
   int AssignThreads(double now);
   void InvokeScheduler(const SchedulingEvent& event, Scheduler* scheduler,
                        double now);
   void ForceFallback(double now);
-  /// Moves a live query to terminal `status` (kCancelled/kFailed): flips
-  /// the state machine, kills its pipelines (accounting dropped work
-  /// orders), removes it from the scheduling context, and frees its
-  /// execution once no attempt is in flight. Returns false for
-  /// unknown/already-terminal queries. Coordinator thread only.
+  /// Moves a live query to terminal `status` (kCancelled/kFailed, or kShed
+  /// for admission-time displacement of a still-ADMITTED query): flips the
+  /// state machine, kills its pipelines (accounting dropped work orders),
+  /// removes it from the scheduling context, and frees its execution once
+  /// no attempt is in flight. Returns false for unknown/already-terminal
+  /// queries. Coordinator thread only.
   bool TerminateQuery(QueryId query, QueryStatus status, double now);
   /// Frees a terminal (non-DONE) query's execution state once its last
   /// in-flight attempt has drained. Coordinator thread only.
   void MaybeReleaseExecution(int query_index);
+  /// Captures a DONE query's sink rows/checksum and releases its execution
+  /// immediately — serving streams must not accumulate per-query state.
+  void ExtractSink(int query_index);
   int InflightFor(int query_index) const;
+  /// Waits out attempts still in flight for terminal queries (work-order
+  /// conservation), then checks no terminal query leaked execution state.
+  void DrainOutstanding();
+  void ShutdownPool();
+  /// Publishes a rolling telemetry window + refreshes Snapshot() when
+  /// flush_window_queries terminal queries accumulated since the last one.
+  void MaybeFlushWindow(double now);
+  RealRunResult BuildResult();
+  /// Serving coordinator body: intake → cancels → completions until drained.
+  void ServeLoop();
 
   const Catalog* catalog_;
   RealEngineConfig config_;
@@ -155,11 +251,17 @@ class RealEngine {
   std::vector<std::unique_ptr<Worker>> workers_;
   SchedulingContext ctx_;
   EpisodeRecorder recorder_;
+  /// Sink output captured at query completion (indexed by QueryId; grows
+  /// with the query table in serving mode).
+  std::vector<int64_t> sink_rows_;
+  std::vector<double> sink_checksums_;
   /// Decision-log id of the in-flight scheduler/fallback decision; tags
   /// pipelines created by ApplyDecision.
   int64_t current_decision_id_ = -1;
-  /// Queries that reached a terminal state (DONE + CANCELLED + FAILED).
+  /// Queries that reached a terminal state (DONE+CANCELLED+FAILED+SHED).
   int terminal_queries_ = 0;
+  /// terminal_queries_ at the last rolling-window flush.
+  int last_flush_terminals_ = 0;
   /// Run clock, published (before workers spawn) for worker-side deadline
   /// checks; read-only while workers are alive.
   const Clock* run_clock_ = nullptr;
@@ -169,6 +271,23 @@ class RealEngine {
   std::deque<Completion> completions_;
   /// CancelQuery() requests awaiting the coordinator (completion_mu_).
   std::vector<CancelRequest> external_cancels_;
+
+  // --- serving mode -------------------------------------------------------
+  std::thread coordinator_;
+  Scheduler* serving_scheduler_ = nullptr;
+  std::atomic<bool> serving_{false};
+  std::atomic<bool> draining_{false};
+  /// Owns the run clock for the serving session (episode mode uses a
+  /// stack-local clock inside Run).
+  std::optional<WallClock> serving_clock_;
+  /// Next QueryId to hand out from Submit() (completion_mu_).
+  QueryId next_query_id_ = 0;
+  /// Submissions awaiting coordinator intake (completion_mu_).
+  std::vector<PendingSubmission> pending_submissions_;
+  /// Filled by the coordinator as it exits; consumed by Drain().
+  RealRunResult serving_result_;
+  mutable std::mutex snapshot_mu_;
+  EpisodeResult snapshot_;
 };
 
 }  // namespace lsched

@@ -69,6 +69,7 @@ bool SimEngine::TerminateQuery(QueryId query, QueryStatus status, double now) {
   recorder_.OnQueryTerminated(q, now, dropped);
   if (ctx_.FindQuery(query) != nullptr) ctx_.RemoveQuery(query);
   ++terminal_queries_;
+  if (config_.hooks != nullptr) config_.hooks->OnQueryTerminal(*q, now);
   return true;
 }
 
@@ -273,7 +274,13 @@ void SimEngine::InvokeScheduler(const SchedulingEvent& event,
         ctx_.num_free_threads() > 0 && ctx_.AnySchedulableOp();
     if (!can_schedule && !(lifecycle && round == 0)) return;
     Stopwatch sw;
-    const SchedulingDecision decision = scheduler->Schedule(event, ctx_);
+    SchedulingDecision decision = scheduler->Schedule(event, ctx_);
+    // Serving layer post-processing (priority classes, weighted fairness)
+    // sits between the policy and the engine; ApplyDecision re-validates
+    // every choice, so injected launches can never corrupt run state.
+    if (config_.hooks != nullptr) {
+      config_.hooks->FilterDecision(&decision, ctx_);
+    }
     current_decision_id_ = recorder_.OnSchedulerInvocation(
         event, ctx_, decision, sw.ElapsedSeconds());
     if (decision.empty()) return;
@@ -331,6 +338,7 @@ EpisodeResult SimEngine::Run(const std::vector<QuerySubmission>& workload,
             static_cast<QueryId>(idx), workload[idx].plan, now,
             config_.regression_window);
         QueryState* q = queries_[idx].get();
+        q->set_tag(workload[idx].tag);
         // Admission fault point: a kError here rejects the query (terminal
         // FAILED) before it ever reaches the scheduler.
         const FaultAction admit =
@@ -339,7 +347,36 @@ EpisodeResult SimEngine::Run(const std::vector<QuerySubmission>& workload,
           LSCHED_CHECK(q->TransitionTo(QueryStatus::kFailed));
           recorder_.OnQueryTerminated(q, now, 0);
           ++terminal_queries_;
+          if (config_.hooks != nullptr) {
+            config_.hooks->OnEngineRefused(*q, now);
+            config_.hooks->OnQueryTerminal(*q, now);
+          }
+        } else if (AdmissionVerdict verdict =
+                       config_.hooks != nullptr
+                           ? config_.hooks->OnAdmission(*q, ctx_, now)
+                           : AdmissionVerdict{};
+                   !verdict.admit) {
+          // Load shed: terminal before the scheduler ever sees the query.
+          LSCHED_CHECK(q->TransitionTo(QueryStatus::kShed));
+          recorder_.OnQueryTerminated(q, now, 0);
+          ++terminal_queries_;
+          config_.hooks->OnQueryTerminal(*q, now);
         } else {
+          if (verdict.displace != kInvalidQuery) {
+            // A higher-priority arrival displaces a pending lower-priority
+            // query. Only ADMITTED (never-launched) queries are eligible —
+            // a stale/illegal victim id is ignored rather than fatal.
+            const size_t vi = static_cast<size_t>(verdict.displace);
+            if (vi < queries_.size() && queries_[vi] != nullptr &&
+                queries_[vi]->status() == QueryStatus::kAdmitted &&
+                TerminateQuery(verdict.displace, QueryStatus::kShed, now)) {
+              SchedulingEvent shed_ev;
+              shed_ev.type = SchedulingEventType::kQueryCancelled;
+              shed_ev.time = now;
+              shed_ev.query = verdict.displace;
+              InvokeScheduler(shed_ev, scheduler, now);
+            }
+          }
           ctx_.AddQuery(q);
           SchedulingEvent se;
           se.type = SchedulingEventType::kQueryArrival;
@@ -359,9 +396,14 @@ EpisodeResult SimEngine::Run(const std::vector<QuerySubmission>& workload,
           queries_[idx] = std::make_unique<QueryState>(
               cr.query, workload[idx].plan, now, config_.regression_window);
           QueryState* q = queries_[idx].get();
+          q->set_tag(workload[idx].tag);
           LSCHED_CHECK(q->TransitionTo(QueryStatus::kCancelled));
           recorder_.OnQueryTerminated(q, now, 0);
           ++terminal_queries_;
+          if (config_.hooks != nullptr) {
+            config_.hooks->OnEngineRefused(*q, now);
+            config_.hooks->OnQueryTerminal(*q, now);
+          }
         } else if (TerminateQuery(cr.query, QueryStatus::kCancelled, now)) {
           // The cancel freed this query's claim on threads/memory: tell the
           // scheduler so it can re-plan, then backfill the pool.
@@ -493,6 +535,7 @@ EpisodeResult SimEngine::Run(const std::vector<QuerySubmission>& workload,
           recorder_.OnQueryCompleted(q, now);
           ++terminal_queries_;
           ctx_.RemoveQuery(q->id());
+          if (config_.hooks != nullptr) config_.hooks->OnQueryTerminal(*q, now);
         }
       }
 

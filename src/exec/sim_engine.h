@@ -12,15 +12,18 @@
 #include "exec/query_state.h"
 #include "exec/scheduler.h"
 #include "exec/scheduling_context.h"
+#include "exec/serving_hooks.h"
 #include "plan/cost_model.h"
 #include "util/rng.h"
 
 namespace lsched {
 
-/// One query to run: its physical plan and its (virtual-time) arrival.
+/// One query to run: its physical plan, its (virtual-time) arrival, and its
+/// serving metadata (tenant/priority; defaulted for single-tenant runs).
 struct QuerySubmission {
   QueryPlan plan;
   double arrival_time = 0.0;
+  QueryTag tag;
 };
 
 /// A scheduled change to the worker pool size (paper §5.1: "the worker
@@ -50,6 +53,10 @@ struct SimEngineConfig {
   /// Scripted cancellations, applied at their virtual times. A cancel at or
   /// before the query's arrival cancels it on admission.
   std::vector<CancelRequest> cancels;
+  /// Serving-layer callbacks (admission control, fairness/priority decision
+  /// post-processing, tenant accounting; DESIGN.md §11). Not owned; null =
+  /// episode mode, every arrival admitted, decisions applied verbatim.
+  ServingHooks* hooks = nullptr;
 };
 
 /// Discrete-event simulator of the work-order execution model (paper §5.1):
@@ -140,9 +147,10 @@ class SimEngine {
   void InvokeScheduler(const SchedulingEvent& event, Scheduler* scheduler,
                        double now);
   void ForceFallbackSchedule(double now);
-  /// Moves a live query to terminal `status` (kCancelled/kFailed): flips
-  /// the state machine, kills its pipelines (accounting dropped work
-  /// orders), removes it from the scheduling context. Returns false for
+  /// Moves a live query to terminal `status` (kCancelled/kFailed, or kShed
+  /// for admission-time displacement of a still-ADMITTED query): flips the
+  /// state machine, kills its pipelines (accounting dropped work orders),
+  /// removes it from the scheduling context. Returns false for
   /// unknown/already-terminal queries.
   bool TerminateQuery(QueryId query, QueryStatus status, double now);
 

@@ -1,5 +1,6 @@
 #include "obs/exporter.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 
@@ -7,6 +8,8 @@ namespace lsched {
 namespace obs {
 
 namespace {
+
+std::atomic<bool> g_draining{false};
 
 void AppendDouble(std::string* out, double v) {
   char buf[32];
@@ -27,6 +30,12 @@ std::string PrometheusName(const std::string& name) {
   if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, "_");
   return out;
 }
+
+void SetDraining(bool draining) {
+  g_draining.store(draining, std::memory_order_release);
+}
+
+bool Draining() { return g_draining.load(std::memory_order_acquire); }
 
 void RenderPrometheusText(const MetricsRegistry::Snapshot& snapshot,
                           std::ostream& out) {
@@ -218,7 +227,12 @@ void MetricsExporter::HandleConnection(int fd) {
     SendAll(fd, HttpResponse(200, "OK", "text/plain; version=0.0.4",
                              body.str()));
   } else if (target == "/healthz") {
-    SendAll(fd, HttpResponse(200, "OK", "text/plain", "ok\n"));
+    if (Draining()) {
+      SendAll(fd, HttpResponse(503, "Service Unavailable", "text/plain",
+                               "draining\n"));
+    } else {
+      SendAll(fd, HttpResponse(200, "OK", "text/plain", "ok\n"));
+    }
   } else {
     SendAll(fd, HttpResponse(404, "Not Found", "text/plain", "not found\n"));
   }

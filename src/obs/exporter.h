@@ -7,7 +7,8 @@
 //
 //   GET /metrics  -> text/plain; version=0.0.4 rendering of every
 //                    registered counter, gauge, and histogram
-//   GET /healthz  -> 200 "ok"
+//   GET /healthz  -> 200 "ok", or 503 "draining" while the serving daemon
+//                    is in its graceful-drain window (SetDraining)
 //   anything else -> 404
 //
 // Gated behind the LSCHED_METRICS_PORT environment variable: when set,
@@ -35,6 +36,13 @@ namespace obs {
 /// `name` with every character outside [a-zA-Z0-9_:] replaced by '_'
 /// (Prometheus metric-name charset).
 std::string PrometheusName(const std::string& name);
+
+/// Process-wide health state surfaced by /healthz: while draining, the
+/// endpoint answers 503 "draining" so load balancers stop routing new work
+/// here during a graceful shutdown (DESIGN.md §11). The serving daemon
+/// flips this around its drain sequence.
+void SetDraining(bool draining);
+bool Draining();
 
 /// Renders a registry snapshot in Prometheus text exposition format
 /// (version 0.0.4). Deterministic given the snapshot — the golden-test

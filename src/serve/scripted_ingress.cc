@@ -1,0 +1,73 @@
+#include "serve/scripted_ingress.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace lsched {
+
+ScriptedIngress::ScriptedIngress(std::vector<IngressEvent> events,
+                                 std::vector<QueryPlan> plans)
+    : events_(std::move(events)), plans_(std::move(plans)) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const IngressEvent& a, const IngressEvent& b) {
+                     return a.time < b.time;
+                   });
+  for (const IngressEvent& e : events_) {
+    if (e.kind == IngressEvent::Kind::kSubmit) {
+      LSCHED_CHECK(e.plan_index >= 0 &&
+                   e.plan_index < static_cast<int>(plans_.size()));
+      ++num_submissions_;
+    }
+  }
+  for (const IngressEvent& e : events_) {
+    if (e.kind == IngressEvent::Kind::kCancel) {
+      LSCHED_CHECK(e.target >= 0 && e.target < num_submissions_);
+    }
+  }
+}
+
+std::vector<QuerySubmission> ScriptedIngress::SimWorkload() const {
+  std::vector<QuerySubmission> workload;
+  workload.reserve(num_submissions_);
+  for (const IngressEvent& e : events_) {
+    if (e.kind != IngressEvent::Kind::kSubmit) continue;
+    workload.push_back(QuerySubmission{plans_[e.plan_index], e.time, e.tag});
+  }
+  return workload;
+}
+
+std::vector<CancelRequest> ScriptedIngress::SimCancels() const {
+  std::vector<CancelRequest> cancels;
+  for (const IngressEvent& e : events_) {
+    if (e.kind != IngressEvent::Kind::kCancel) continue;
+    cancels.push_back(CancelRequest{static_cast<QueryId>(e.target), e.time});
+  }
+  return cancels;
+}
+
+std::vector<RealQuerySubmission> ScriptedIngress::RealWorkload(
+    double time_scale) const {
+  std::vector<RealQuerySubmission> workload;
+  workload.reserve(num_submissions_);
+  for (const IngressEvent& e : events_) {
+    if (e.kind != IngressEvent::Kind::kSubmit) continue;
+    workload.push_back(RealQuerySubmission{plans_[e.plan_index],
+                                           e.time * time_scale, e.tag});
+  }
+  return workload;
+}
+
+std::vector<CancelRequest> ScriptedIngress::RealCancels(
+    double time_scale) const {
+  std::vector<CancelRequest> cancels;
+  for (const IngressEvent& e : events_) {
+    if (e.kind != IngressEvent::Kind::kCancel) continue;
+    cancels.push_back(CancelRequest{static_cast<QueryId>(e.target),
+                                    e.time * time_scale});
+  }
+  return cancels;
+}
+
+}  // namespace lsched

@@ -1,0 +1,102 @@
+#ifndef LSCHED_SERVE_SCRIPTED_INGRESS_H_
+#define LSCHED_SERVE_SCRIPTED_INGRESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/exec_types.h"
+#include "exec/real_engine.h"
+#include "exec/sim_engine.h"
+#include "plan/query_plan.h"
+
+namespace lsched {
+
+/// One event of a deterministic ingress script (DESIGN.md §11): either a
+/// query submission (with tenant/priority tag) or the cancellation of an
+/// earlier submission, at a scripted time.
+struct IngressEvent {
+  enum class Kind : uint8_t {
+    kSubmit = 0,
+    kCancel,
+  };
+
+  Kind kind = Kind::kSubmit;
+  /// Script time in seconds (virtual seconds when replayed through the
+  /// simulator; scaled run-clock seconds against a live daemon).
+  double time = 0.0;
+
+  /// kSubmit: index into the plan library.
+  int plan_index = -1;
+  /// kSubmit: serving metadata.
+  QueryTag tag;
+
+  /// kCancel: ordinal (0-based, submission order) of the submission to
+  /// cancel. May name a later submission — the cancel then lands at or
+  /// before the query's arrival and cancels it on admission.
+  int target = -1;
+
+  static IngressEvent Submit(double time, int plan_index,
+                             QueryTag tag = QueryTag{}) {
+    IngressEvent e;
+    e.kind = Kind::kSubmit;
+    e.time = time;
+    e.plan_index = plan_index;
+    e.tag = tag;
+    return e;
+  }
+  static IngressEvent Cancel(double time, int target) {
+    IngressEvent e;
+    e.kind = Kind::kCancel;
+    e.time = time;
+    e.target = target;
+    return e;
+  }
+};
+
+/// A deterministic multi-tenant arrival script plus the plan library it
+/// indexes into: the single source of truth a serving stream can be driven
+/// from in three interchangeable ways —
+///
+///  * SimWorkload()/SimCancels(): one SimEngine episode on the virtual
+///    clock (submission ordinal i becomes QueryId i), for byte-identical
+///    replays,
+///  * RealWorkload()/RealCancels(): one RealEngine episode with scripted
+///    arrival offsets,
+///  * ServingDaemon::Replay(): live Submit()/Cancel() calls against a
+///    running daemon, paced on the wall clock.
+///
+/// Events are kept sorted by time (stable, preserving the authored order of
+/// ties), so identical scripts produce identical event sequences.
+class ScriptedIngress {
+ public:
+  /// Validates and adopts the script: every submit's plan_index must be in
+  /// range, every cancel's target must name one of the script's
+  /// submissions.
+  ScriptedIngress(std::vector<IngressEvent> events,
+                  std::vector<QueryPlan> plans);
+
+  const std::vector<IngressEvent>& events() const { return events_; }
+  const std::vector<QueryPlan>& plans() const { return plans_; }
+  int num_submissions() const { return num_submissions_; }
+
+  /// The script as a SimEngine workload: submission ordinal i is workload
+  /// index (= QueryId) i, arriving at its scripted time.
+  std::vector<QuerySubmission> SimWorkload() const;
+  /// The script's cancels against those QueryIds, at their scripted times.
+  std::vector<CancelRequest> SimCancels() const;
+
+  /// The script as a RealEngine episode workload; times are multiplied by
+  /// `time_scale` (scripts are usually authored in abstract seconds much
+  /// longer than real kernels need).
+  std::vector<RealQuerySubmission> RealWorkload(double time_scale) const;
+  std::vector<CancelRequest> RealCancels(double time_scale) const;
+
+ private:
+  std::vector<IngressEvent> events_;
+  std::vector<QueryPlan> plans_;
+  int num_submissions_ = 0;
+};
+
+}  // namespace lsched
+
+#endif  // LSCHED_SERVE_SCRIPTED_INGRESS_H_

@@ -1,0 +1,88 @@
+#include "serve/serving_daemon.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "obs/exporter.h"
+#include "util/clock.h"
+#include "util/logging.h"
+
+namespace lsched {
+
+ServingDaemon::ServingDaemon(ServingDaemonConfig config)
+    : config_(std::move(config)), policy_(config_.policy) {}
+
+ServingDaemon::~ServingDaemon() {
+  if (serving()) Stop();
+}
+
+EpisodeResult ServingDaemon::RunScript(const ScriptedIngress& ingress,
+                                       Scheduler* scheduler) {
+  LSCHED_CHECK(real_ == nullptr);  // not while live serving
+  policy_.Reset();
+  SimEngineConfig cfg = config_.sim;
+  cfg.hooks = &policy_;
+  cfg.cancels = ingress.SimCancels();
+  SimEngine engine(cfg);
+  return engine.Run(ingress.SimWorkload(), scheduler);
+}
+
+void ServingDaemon::Start(const Catalog* catalog, Scheduler* scheduler) {
+  LSCHED_CHECK(real_ == nullptr);
+  policy_.Reset();
+  RealEngineConfig cfg = config_.real;
+  cfg.hooks = &policy_;
+  cfg.cancels.clear();  // serving mode cancels via Cancel(), not scripts
+  real_ = std::make_unique<RealEngine>(catalog, cfg);
+  obs::SetDraining(false);
+  real_->StartServing(scheduler);
+}
+
+QueryId ServingDaemon::Submit(QueryPlan plan, QueryTag tag) {
+  if (real_ == nullptr) return kInvalidQuery;
+  return real_->Submit(std::move(plan), tag);
+}
+
+void ServingDaemon::Cancel(QueryId query) {
+  if (real_ != nullptr) real_->CancelQuery(query);
+}
+
+std::vector<QueryId> ServingDaemon::Replay(const ScriptedIngress& ingress,
+                                           double time_scale) {
+  LSCHED_CHECK(serving());
+  std::vector<QueryId> ids(ingress.num_submissions(), kInvalidQuery);
+  WallClock clock;
+  int ordinal = 0;
+  for (const IngressEvent& e : ingress.events()) {
+    const double target = e.time * time_scale;
+    while (clock.Now() < target) {
+      const double remaining = target - clock.Now();
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          std::min(remaining, 0.01)));
+    }
+    if (e.kind == IngressEvent::Kind::kSubmit) {
+      ids[ordinal++] = Submit(ingress.plans()[e.plan_index], e.tag);
+    } else if (ids[e.target] != kInvalidQuery) {
+      Cancel(ids[e.target]);
+    }
+  }
+  return ids;
+}
+
+RealRunResult ServingDaemon::Stop() {
+  LSCHED_CHECK(real_ != nullptr);
+  obs::SetDraining(true);
+  RealRunResult result = real_->Drain();
+  real_.reset();
+  obs::SetDraining(false);
+  return result;
+}
+
+EpisodeResult ServingDaemon::Snapshot() const {
+  if (real_ == nullptr) return EpisodeResult{};
+  return real_->Snapshot();
+}
+
+}  // namespace lsched

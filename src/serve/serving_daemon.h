@@ -1,0 +1,105 @@
+#ifndef LSCHED_SERVE_SERVING_DAEMON_H_
+#define LSCHED_SERVE_SERVING_DAEMON_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/episode_result.h"
+#include "exec/real_engine.h"
+#include "exec/scheduler.h"
+#include "exec/sim_engine.h"
+#include "serve/scripted_ingress.h"
+#include "serve/serving_policy.h"
+#include "storage/catalog.h"
+
+namespace lsched {
+
+struct ServingDaemonConfig {
+  /// Admission/fairness/priority behaviour (shared by both modes).
+  ServingPolicyConfig policy;
+  /// Simulated-serving engine parameters (RunScript). `hooks` and `cancels`
+  /// are overwritten by the daemon.
+  SimEngineConfig sim;
+  /// Live-serving engine parameters (Start/Submit/Stop). `hooks` and
+  /// `cancels` are overwritten by the daemon.
+  RealEngineConfig real;
+};
+
+/// The long-running multi-tenant serving front end (DESIGN.md §11): owns the
+/// ServingPolicy (admission control, weighted fairness, priority classes,
+/// per-tenant metrics) and installs it into either engine —
+///
+///  * RunScript() replays a deterministic ingress script through a
+///    SimEngine on the virtual clock: the full serving stack with zero
+///    timing nondeterminism, so two runs of the same (config, script,
+///    scheduler seed) are byte-identical. This is the testing/training
+///    surface.
+///
+///  * Start()/Submit()/Cancel()/Stop() run the same stack live: a
+///    RealEngine in serving mode (standing worker pool, persistent
+///    scheduler state, thread-safe ingress), with /healthz flipped to
+///    "draining" for the graceful-drain window of Stop(). This is what
+///    `lsched_cli serve` exposes.
+///
+/// One daemon serves one stream at a time; RunScript and live serving may
+/// be used sequentially but not concurrently.
+class ServingDaemon {
+ public:
+  explicit ServingDaemon(ServingDaemonConfig config);
+  ~ServingDaemon();
+
+  ServingDaemon(const ServingDaemon&) = delete;
+  ServingDaemon& operator=(const ServingDaemon&) = delete;
+
+  /// --- deterministic simulated serving -----------------------------------
+
+  /// Runs `ingress` to completion under `scheduler` on a fresh SimEngine
+  /// with the serving policy installed. Resets tenant accounting first.
+  EpisodeResult RunScript(const ScriptedIngress& ingress,
+                          Scheduler* scheduler);
+
+  /// --- live serving -------------------------------------------------------
+
+  /// Starts live serving over `catalog` under `scheduler` (which must
+  /// outlive the session; its state persists across the whole stream).
+  void Start(const Catalog* catalog, Scheduler* scheduler);
+
+  /// Thread-safe ingress; returns the query's id, or kInvalidQuery when the
+  /// daemon is not serving or is draining.
+  QueryId Submit(QueryPlan plan, QueryTag tag = QueryTag{});
+
+  /// Requests cancellation of a live query (thread-safe, idempotent).
+  void Cancel(QueryId query);
+
+  /// Replays `ingress` against the live daemon: submissions and cancels in
+  /// script order, paced at `time_scale * event.time` on the wall clock
+  /// (0 = as fast as possible). Returns the QueryId of each submission
+  /// ordinal (kInvalidQuery for refused ones). Requires serving().
+  std::vector<QueryId> Replay(const ScriptedIngress& ingress,
+                              double time_scale = 1.0);
+
+  /// Graceful drain: flips /healthz to 503 "draining", refuses new
+  /// submissions, sheds the queued backlog, waits for running queries
+  /// (drain-don't-preempt), tears down the pool, and returns the
+  /// full-stream telemetry.
+  RealRunResult Stop();
+
+  /// Latest rolling-window telemetry of the live stream (thread-safe;
+  /// empty when not serving).
+  EpisodeResult Snapshot() const;
+
+  bool serving() const { return real_ != nullptr && real_->serving(); }
+
+  ServingPolicy& policy() { return policy_; }
+  const ServingPolicy& policy() const { return policy_; }
+  const TenantTable& tenants() const { return policy_.tenants(); }
+
+ private:
+  ServingDaemonConfig config_;
+  ServingPolicy policy_;
+  std::unique_ptr<RealEngine> real_;
+};
+
+}  // namespace lsched
+
+#endif  // LSCHED_SERVE_SERVING_DAEMON_H_

@@ -1,0 +1,117 @@
+#include "serve/tenant_table.h"
+
+#include <string>
+
+#include "exec/query_state.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace lsched {
+
+namespace {
+
+std::string MetricName(TenantId tenant, const char* field) {
+  return "serve.tenant" + std::to_string(tenant) + "." + field;
+}
+
+obs::Counter* TenantCounter(TenantId tenant, const char* field) {
+  return obs::MetricsRegistry::Global().GetCounter(MetricName(tenant, field));
+}
+
+obs::Gauge* TenantGauge(TenantId tenant, const char* field) {
+  return obs::MetricsRegistry::Global().GetGauge(MetricName(tenant, field));
+}
+
+}  // namespace
+
+void TenantTable::Reset() {
+  tenants_.clear();
+  last_inflight_.clear();
+}
+
+void TenantTable::SetWeight(TenantId tenant, double weight) {
+  LSCHED_CHECK(weight > 0.0);
+  weights_[tenant] = weight;
+  Entry(tenant).weight = weight;
+}
+
+double TenantTable::weight(TenantId tenant) const {
+  const auto it = weights_.find(tenant);
+  return it == weights_.end() ? 1.0 : it->second;
+}
+
+void TenantTable::OnArrival(const QueryTag& tag, bool admitted) {
+  TenantStats& s = Entry(tag.tenant);
+  ++s.arrived;
+  TenantCounter(tag.tenant, "arrived")->Add(1);
+  if (admitted) {
+    ++s.admitted;
+    TenantCounter(tag.tenant, "admitted")->Add(1);
+  }
+}
+
+void TenantTable::OnTerminal(const QueryState& q, double now) {
+  const TenantId tenant = q.tag().tenant;
+  TenantStats& s = Entry(tenant);
+  switch (q.status()) {
+    case QueryStatus::kDone: {
+      ++s.completed;
+      TenantCounter(tenant, "completed")->Add(1);
+      const double latency = now - q.arrival_time();
+      s.latency_p50.Observe(latency);
+      s.latency_p99.Observe(latency);
+      TenantGauge(tenant, "latency_p50")->Set(s.latency_p50.Value());
+      TenantGauge(tenant, "latency_p99")->Set(s.latency_p99.Value());
+      break;
+    }
+    case QueryStatus::kCancelled:
+      ++s.cancelled;
+      TenantCounter(tenant, "cancelled")->Add(1);
+      break;
+    case QueryStatus::kFailed:
+      ++s.failed;
+      TenantCounter(tenant, "failed")->Add(1);
+      break;
+    case QueryStatus::kShed:
+      ++s.shed;
+      TenantCounter(tenant, "shed")->Add(1);
+      break;
+    default:
+      LSCHED_CHECK(false);  // OnTerminal requires a terminal status
+  }
+  s.service_seconds += q.attained_service();
+  TenantGauge(tenant, "service_seconds")->Set(s.service_seconds);
+}
+
+void TenantTable::PublishInflight(const std::map<TenantId, int>& live) {
+  for (const auto& [tenant, count] : live) {
+    TenantGauge(tenant, "inflight")->Set(count);
+  }
+  // Zero gauges of tenants that went idle since the last publication.
+  for (const auto& [tenant, prev] : last_inflight_) {
+    if (prev != 0 && live.find(tenant) == live.end()) {
+      TenantGauge(tenant, "inflight")->Set(0.0);
+    }
+  }
+  last_inflight_ = live;
+}
+
+const TenantStats* TenantTable::stats(TenantId tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? nullptr : &it->second;
+}
+
+std::vector<TenantId> TenantTable::ids() const {
+  std::vector<TenantId> out;
+  out.reserve(tenants_.size());
+  for (const auto& [tenant, stats] : tenants_) out.push_back(tenant);
+  return out;
+}
+
+TenantStats& TenantTable::Entry(TenantId tenant) {
+  auto [it, inserted] = tenants_.try_emplace(tenant);
+  if (inserted) it->second.weight = weight(tenant);
+  return it->second;
+}
+
+}  // namespace lsched

@@ -1,0 +1,102 @@
+#ifndef LSCHED_SERVE_TENANT_TABLE_H_
+#define LSCHED_SERVE_TENANT_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "exec/exec_types.h"
+#include "obs/drift.h"
+
+namespace lsched {
+
+class QueryState;
+
+/// Per-tenant serving statistics (DESIGN.md §11).
+struct TenantStats {
+  /// Weighted-fair-share weight (relative; the share of threads and service
+  /// a tenant is entitled to is weight / sum-of-active-weights).
+  double weight = 1.0;
+
+  /// Admission-control consultations for this tenant (every arrival that
+  /// reached the serving hooks; drain-time sheds bypass admission and are
+  /// only visible in the terminal counters below).
+  int64_t arrived = 0;
+  /// Arrivals the admission controller let in (including ones that later
+  /// get displaced by a higher-priority arrival).
+  int64_t admitted = 0;
+
+  // Terminal outcomes (exactly one per query that reached a terminal
+  // state; admitted + at-door sheds == sum of these once the stream ends).
+  int64_t completed = 0;
+  int64_t cancelled = 0;
+  int64_t failed = 0;
+  int64_t shed = 0;
+
+  /// Attained service (thread-seconds of completed work orders) summed over
+  /// *terminal* queries. The fairness deficit adds live queries' attained
+  /// service from the scheduling context on top of this.
+  double service_seconds = 0.0;
+
+  /// Streaming latency quantiles over DONE queries (completion - arrival).
+  obs::P2Quantile latency_p50{0.5};
+  obs::P2Quantile latency_p99{0.99};
+
+  int64_t Terminal() const { return completed + cancelled + failed + shed; }
+};
+
+/// Tenant accounting for the serving layer: counters, latency quantiles,
+/// and fair-share weights, mirrored into the process-global metrics
+/// registry as `serve.tenant<id>.*` so the Prometheus exporter surfaces
+/// per-tenant health of a long-running daemon.
+///
+/// Threading: mutated only from the engine coordinator thread (the
+/// ServingHooks contract); the registry metrics it publishes are themselves
+/// thread-safe, so scrapes never race the mutations.
+class TenantTable {
+ public:
+  TenantTable() = default;
+
+  /// Clears all statistics but keeps configured weights. (The registry
+  /// metrics are process-global and monotonic; they are NOT reset.)
+  void Reset();
+
+  /// Sets the fair-share weight of `tenant` (must be > 0).
+  void SetWeight(TenantId tenant, double weight);
+  /// The configured weight, or 1.0 for tenants never configured.
+  double weight(TenantId tenant) const;
+
+  /// Records an admission consultation for `tag`'s tenant; `admitted` says
+  /// whether the verdict let the query in.
+  void OnArrival(const QueryTag& tag, bool admitted);
+
+  /// Records a terminal transition: bumps the outcome counter, accumulates
+  /// attained service, observes completion latency (DONE only), and
+  /// publishes the tenant's registry metrics.
+  void OnTerminal(const QueryState& q, double now);
+
+  /// Publishes per-tenant live-query gauges (`serve.tenant<id>.inflight`).
+  /// Tenants previously live but absent from `live` are zeroed.
+  void PublishInflight(const std::map<TenantId, int>& live);
+
+  /// Stats for `tenant`, or nullptr if it never appeared.
+  const TenantStats* stats(TenantId tenant) const;
+
+  /// All tenant ids ever seen (sorted).
+  std::vector<TenantId> ids() const;
+
+ private:
+  TenantStats& Entry(TenantId tenant);
+  void PublishTenant(TenantId tenant, const TenantStats& s) const;
+
+  // std::map: deterministic iteration order for metric publication.
+  std::map<TenantId, TenantStats> tenants_;
+  std::map<TenantId, double> weights_;
+  /// Tenants with a nonzero inflight gauge (so PublishInflight can zero
+  /// gauges of tenants that went idle).
+  std::map<TenantId, int> last_inflight_;
+};
+
+}  // namespace lsched
+
+#endif  // LSCHED_SERVE_TENANT_TABLE_H_

@@ -351,15 +351,63 @@ FuzzedWorkload WorkloadFuzzer::NextWorkload() {
                       static_cast<int64_t>(options_.max_queries)));
   double real_at = 0.0;
   double sim_at = 0.0;
+  const bool tagged = options_.num_tenants > 1 ||
+                      options_.high_priority_fraction > 0.0 ||
+                      options_.low_priority_fraction > 0.0;
   for (int i = 0; i < num_queries; ++i) {
     QueryPlan plan = FuzzPlan(*w.catalog);
-    w.real_queries.push_back({plan, real_at});
-    w.sim_queries.push_back({std::move(plan), sim_at});
+    const QueryTag tag = tagged ? FuzzTag() : QueryTag{};
+    w.real_queries.push_back({plan, real_at, tag});
+    w.sim_queries.push_back({std::move(plan), sim_at, tag});
     real_at += rng_.Exponential(options_.real_arrival_mean_seconds);
     sim_at += rng_.Exponential(options_.sim_arrival_mean_seconds);
   }
   if (options_.chaos) FuzzChaos(&w);
   return w;
+}
+
+QueryTag WorkloadFuzzer::FuzzTag() {
+  QueryTag tag;
+  if (options_.num_tenants > 1) {
+    tag.tenant = static_cast<TenantId>(
+        rng_.UniformInt(0, static_cast<int64_t>(options_.num_tenants) - 1));
+  }
+  const double r = rng_.Uniform();
+  if (r < options_.high_priority_fraction) {
+    tag.priority = QueryPriority::kHigh;
+  } else if (r <
+             options_.high_priority_fraction + options_.low_priority_fraction) {
+    tag.priority = QueryPriority::kLow;
+  }
+  return tag;
+}
+
+ScriptedIngress WorkloadFuzzer::FuzzIngress(const Catalog& catalog) {
+  // Small plan library reused across the stream: serving workloads repeat
+  // query shapes, and sharing plans keeps 1000-query scripts cheap.
+  const int num_plans = static_cast<int>(rng_.UniformInt(
+      2, static_cast<int64_t>(std::max(2, options_.script_queries / 8))));
+  std::vector<QueryPlan> plans;
+  plans.reserve(num_plans);
+  for (int i = 0; i < num_plans; ++i) plans.push_back(FuzzPlan(catalog));
+
+  std::vector<IngressEvent> events;
+  events.reserve(options_.script_queries);
+  double at = 0.0;
+  for (int i = 0; i < options_.script_queries; ++i) {
+    at += rng_.Exponential(options_.script_arrival_mean_seconds);
+    const int plan_index = static_cast<int>(
+        rng_.UniformInt(0, static_cast<int64_t>(num_plans) - 1));
+    events.push_back(IngressEvent::Submit(at, plan_index, FuzzTag()));
+    if (rng_.Uniform() < options_.script_cancel_fraction) {
+      // Cancel the submission somewhere later in the stream (possibly
+      // while it runs, possibly long after it finished — a no-op then).
+      const double cancel_at =
+          at + rng_.Exponential(4.0 * options_.script_arrival_mean_seconds);
+      events.push_back(IngressEvent::Cancel(cancel_at, i));
+    }
+  }
+  return ScriptedIngress(std::move(events), std::move(plans));
 }
 
 void WorkloadFuzzer::FuzzChaos(FuzzedWorkload* w) {

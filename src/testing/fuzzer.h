@@ -8,6 +8,7 @@
 #include "exec/real_engine.h"
 #include "exec/sim_engine.h"
 #include "plan/query_plan.h"
+#include "serve/scripted_ingress.h"
 #include "storage/catalog.h"
 #include "testing/faultpoint.h"
 #include "util/rng.h"
@@ -41,6 +42,22 @@ struct FuzzerOptions {
   /// change any terminal status, just perturbs timing).
   double chaos_stall_probability = 0.08;
   double chaos_stall_seconds = 0.001;
+
+  /// --- multi-tenant serving scripts (DESIGN.md §11) ---------------------
+  /// Tenants to spread fuzzed queries across: tags are drawn per query and
+  /// attached identically to both engines' submissions. 1 = single-tenant
+  /// (all-default tags, the pre-serving behaviour).
+  int num_tenants = 1;
+  /// Priority mix of fuzzed tags: probability of kHigh and kLow (the
+  /// remainder is kNormal).
+  double high_priority_fraction = 0.0;
+  double low_priority_fraction = 0.0;
+  /// FuzzIngress(): submissions per script, mean exponential inter-arrival
+  /// gap (script seconds), and the fraction of submissions that also get a
+  /// scripted cancellation later in the stream.
+  int script_queries = 32;
+  double script_arrival_mean_seconds = 0.05;
+  double script_cancel_fraction = 0.1;
 };
 
 /// One fuzzed workload: a catalog plus the same query plans packaged for
@@ -85,6 +102,17 @@ class WorkloadFuzzer {
   /// Pieces, exposed for focused tests.
   std::unique_ptr<Catalog> FuzzCatalog();
   QueryPlan FuzzPlan(const Catalog& catalog);
+
+  /// A fuzzed tenant/priority tag under the configured mix.
+  QueryTag FuzzTag();
+
+  /// A deterministic multi-tenant arrival script over `catalog`
+  /// (DESIGN.md §11): `script_queries` tagged submissions with exponential
+  /// inter-arrival gaps drawn from a small fuzzed plan library, plus
+  /// scripted cancellations for a fraction of them. The same script drives
+  /// SimEngine episodes, RealEngine episodes, and live daemon replays (see
+  /// serve/scripted_ingress.h).
+  ScriptedIngress FuzzIngress(const Catalog& catalog);
 
  private:
   struct Stream;  // node id + tracked schema facts while building a plan

@@ -257,7 +257,7 @@ Status ValidateEpisodeResult(const EpisodeResult& result, size_t num_queries,
                   std::to_string(result.final_statuses.size()) +
                   " entries for " + std::to_string(num_queries) + " queries");
     }
-    int done = 0, cancelled = 0, failed = 0;
+    int done = 0, cancelled = 0, failed = 0, shed = 0;
     for (size_t i = 0; i < result.final_statuses.size(); ++i) {
       const QueryStatus s = result.final_statuses[i];
       if (!IsTerminalStatus(s)) {
@@ -268,19 +268,32 @@ Status ValidateEpisodeResult(const EpisodeResult& result, size_t num_queries,
       if (s == QueryStatus::kDone) ++done;
       if (s == QueryStatus::kCancelled) ++cancelled;
       if (s == QueryStatus::kFailed) ++failed;
+      if (s == QueryStatus::kShed) ++shed;
     }
     if (cancelled != result.num_queries_cancelled ||
-        failed != result.num_queries_failed) {
+        failed != result.num_queries_failed ||
+        shed != result.num_queries_shed) {
       return fail("terminal-status counts disagree: statuses say " +
                   std::to_string(cancelled) + " cancelled / " +
-                  std::to_string(failed) + " failed, counters say " +
+                  std::to_string(failed) + " failed / " +
+                  std::to_string(shed) + " shed, counters say " +
                   std::to_string(result.num_queries_cancelled) + " / " +
-                  std::to_string(result.num_queries_failed));
+                  std::to_string(result.num_queries_failed) + " / " +
+                  std::to_string(result.num_queries_shed));
+    }
+    // Serving conservation (DESIGN.md §11): every query that arrived is
+    // accounted for by exactly one terminal state.
+    if (done + cancelled + failed + shed !=
+        static_cast<int>(num_queries)) {
+      return fail("admission conservation broken: done + cancelled + failed "
+                  "+ shed != admitted");
     }
     expected_done = static_cast<size_t>(done);
   } else if (result.num_queries_cancelled != 0 ||
-             result.num_queries_failed != 0) {
-    return fail("cancelled/failed queries reported without final_statuses");
+             result.num_queries_failed != 0 ||
+             result.num_queries_shed != 0) {
+    return fail("cancelled/failed/shed queries reported without "
+                "final_statuses");
   }
   if (result.query_latencies.size() != expected_done) {
     return fail("expected " + std::to_string(expected_done) +
@@ -440,6 +453,7 @@ std::string DiffEpisodeResults(const EpisodeResult& a, const EpisodeResult& b) {
   diff_int("num_queries_cancelled", a.num_queries_cancelled,
            b.num_queries_cancelled);
   diff_int("num_queries_failed", a.num_queries_failed, b.num_queries_failed);
+  diff_int("num_queries_shed", a.num_queries_shed, b.num_queries_shed);
   diff_int("max_inflight_work_orders", a.max_inflight_work_orders,
            b.max_inflight_work_orders);
   if (a.final_statuses.size() != b.final_statuses.size()) {

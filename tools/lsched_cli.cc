@@ -6,6 +6,7 @@
 //   lsched_cli compare --benchmark=ssb  --model=model.bin --batch
 //   lsched_cli report  --events=events.jsonl --decisions=decisions.csv
 //   lsched_cli chaos   --seed=1 --duration-seconds=120 --threads=4
+//   lsched_cli serve   --seed=1 --duration-seconds=60 --threads=4 --tenants=3
 //
 // Flags (all optional unless noted):
 //   --benchmark=tpch|ssb|job   workload family            [tpch]
@@ -27,20 +28,28 @@
 //                              duration budget runs out (chaos)
 //   --fault-log=PATH           where to dump the fault log when a chaos
 //                              iteration fails             [fault_log.txt]
+//   --tenants=N                serving tenants (serve)     [3]
+//   --max-live=N               admission bound (serve)     [32]
+//   --metrics-port=P           Prometheus exporter port, 0 = ephemeral,
+//                              < 0 = off (serve)           [-1]
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/agent.h"
 #include "core/trainer.h"
 #include "obs/decision_log.h"
 #include "obs/drift.h"
+#include "obs/exporter.h"
 #include "obs/scalar_events.h"
+#include "serve/serving_daemon.h"
 #include "sched/decima.h"
 #include "sched/guarded_policy.h"
 #include "sched/heuristics.h"
@@ -71,6 +80,9 @@ struct Args {
   double duration_seconds = 30.0;
   int workloads = 0;  // 0 = run until the duration budget is spent
   std::string fault_log_path = "fault_log.txt";
+  int tenants = 3;
+  int max_live = 32;
+  int metrics_port = -1;  // < 0 = exporter off
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -121,6 +133,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->workloads = std::atoi(v13);
     } else if (const char* v14 = value("--fault-log=")) {
       args->fault_log_path = v14;
+    } else if (const char* v15 = value("--tenants=")) {
+      args->tenants = std::atoi(v15);
+    } else if (const char* v16 = value("--max-live=")) {
+      args->max_live = std::atoi(v16);
+    } else if (const char* v17 = value("--metrics-port=")) {
+      args->metrics_port = std::atoi(v17);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -563,6 +581,142 @@ int RunChaos(const Args& args) {
   return 0;
 }
 
+int RunServe(const Args& args) {
+  // A live multi-tenant serving soak: start the daemon against real worker
+  // threads, feed it a seeded Poisson arrival stream with fuzzed tenant and
+  // priority tags (plus sporadic cancels) for the duration budget, then
+  // drain gracefully and audit conservation — every accepted submission
+  // must reach exactly one terminal state and the per-tenant ledgers must
+  // sum back to the stream totals.
+  FuzzerOptions fopts;
+  fopts.num_tenants = std::max(1, args.tenants);
+  fopts.high_priority_fraction = 0.15;
+  fopts.low_priority_fraction = 0.25;
+  WorkloadFuzzer fuzzer(args.seed, fopts);
+  const auto catalog = fuzzer.FuzzCatalog();
+  std::vector<QueryPlan> plans;
+  for (int i = 0; i < 8; ++i) plans.push_back(fuzzer.FuzzPlan(*catalog));
+
+  ServingDaemonConfig cfg;
+  cfg.policy.max_live_queries = args.max_live;
+  for (int t = 0; t < fopts.num_tenants; ++t) {
+    cfg.policy.tenant_weights.push_back({t, 1.0 + t});
+  }
+  cfg.real.num_threads = std::max(1, std::min(args.threads, 8));
+  cfg.real.flush_window_queries = 8;
+
+  obs::MetricsExporter exporter;
+  if (args.metrics_port >= 0) {
+    if (exporter.Start(args.metrics_port)) {
+      std::fprintf(stderr, "serve: metrics on 127.0.0.1:%d/metrics\n",
+                   exporter.port());
+    } else {
+      std::fprintf(stderr, "serve: metrics exporter unavailable "
+                   "(build with -DLSCHED_OBS=ON)\n");
+    }
+  }
+
+  SjfScheduler sjf;
+  GuardedPolicy guarded(&sjf);
+  ValidatingScheduler validating(&guarded);
+  ServingDaemon daemon(cfg);
+  daemon.Start(catalog.get(), &validating);
+
+  Rng rng(args.seed ^ 0x5eedf00dULL);
+  Stopwatch clock;
+  int64_t submitted = 0;
+  int64_t cancels_sent = 0;
+  QueryId last_id = kInvalidQuery;
+  while (clock.ElapsedSeconds() < args.duration_seconds) {
+    const double gap = rng.Exponential(args.interarrival);
+    const double remaining = args.duration_seconds - clock.ElapsedSeconds();
+    if (remaining <= 0.0) break;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(std::min(gap, remaining)));
+    const QueryPlan& plan =
+        plans[rng.UniformInt(static_cast<uint64_t>(plans.size()))];
+    const QueryId id = daemon.Submit(plan, fuzzer.FuzzTag());
+    if (id == kInvalidQuery) break;  // ingress closed (should not happen)
+    last_id = id;
+    ++submitted;
+    if (rng.Uniform() < 0.05) {
+      daemon.Cancel(static_cast<QueryId>(
+          rng.UniformInt(static_cast<int64_t>(0), last_id)));
+      ++cancels_sent;
+    }
+  }
+
+  const RealRunResult result = daemon.Stop();
+  exporter.Stop();
+  const EpisodeResult& e = result.episode;
+
+  auto fail = [&](const std::string& why) {
+    std::fprintf(stderr, "serve: FAILED after %lld submissions: %s\n",
+                 static_cast<long long>(submitted), why.c_str());
+    return 1;
+  };
+  if (!validating.violations().empty()) {
+    return fail("scheduler contract: " + validating.violations().front());
+  }
+  const Status st =
+      ValidateEpisodeResult(e, static_cast<size_t>(submitted),
+                            cfg.real.num_threads);
+  if (!st.ok()) return fail(st.ToString());
+  if (e.final_statuses.size() != static_cast<size_t>(submitted)) {
+    return fail("missing final statuses");
+  }
+  for (QueryStatus s : e.final_statuses) {
+    if (!IsTerminalStatus(s)) return fail("non-terminal final status");
+  }
+  const int64_t terminal = static_cast<int64_t>(e.query_latencies.size()) +
+                           e.num_queries_cancelled + e.num_queries_failed +
+                           e.num_queries_shed;
+  if (terminal != submitted) {
+    return fail("terminal conservation: " + std::to_string(terminal) +
+                " != " + std::to_string(submitted));
+  }
+  int64_t arrived = 0, tenant_terminal = 0;
+  std::printf(
+      "tenant  weight  arrived admitted complete cancel fail shed "
+      "service_s    p50_s    p99_s\n");
+  for (TenantId t : daemon.tenants().ids()) {
+    const TenantStats* s = daemon.tenants().stats(t);
+    arrived += s->arrived;
+    tenant_terminal += s->Terminal();
+    std::printf("%6d %7.1f %8lld %8lld %8lld %6lld %4lld %4lld %9.3f %8.4f "
+                "%8.4f\n",
+                t, daemon.tenants().weight(t),
+                static_cast<long long>(s->arrived),
+                static_cast<long long>(s->admitted),
+                static_cast<long long>(s->completed),
+                static_cast<long long>(s->cancelled),
+                static_cast<long long>(s->failed),
+                static_cast<long long>(s->shed), s->service_seconds,
+                s->latency_p50.Value(), s->latency_p99.Value());
+  }
+  if (arrived != submitted) {
+    return fail("per-tenant arrivals: " + std::to_string(arrived) + " != " +
+                std::to_string(submitted));
+  }
+  if (tenant_terminal != submitted) {
+    return fail("per-tenant terminals: " + std::to_string(tenant_terminal) +
+                " != " + std::to_string(submitted));
+  }
+  std::printf(
+      "serve: %lld queries in %.1fs clean drain (%lld completed, %lld "
+      "cancelled, %lld failed, %lld shed; %lld cancel requests, %lld door "
+      "sheds, %lld displacements)\n",
+      static_cast<long long>(submitted), clock.ElapsedSeconds(),
+      static_cast<long long>(e.query_latencies.size()),
+      static_cast<long long>(e.num_queries_cancelled),
+      static_cast<long long>(e.num_queries_failed),
+      static_cast<long long>(e.num_queries_shed),
+      static_cast<long long>(cancels_sent),
+      static_cast<long long>(daemon.policy().num_shed()),
+      static_cast<long long>(daemon.policy().num_displacements()));
+  return 0;
+}
+
 }  // namespace
 }  // namespace lsched
 
@@ -570,12 +724,13 @@ int main(int argc, char** argv) {
   lsched::Args args;
   if (!lsched::ParseArgs(argc, argv, &args)) {
     std::fprintf(stderr,
-                 "usage: %s train|eval|compare|report|chaos "
+                 "usage: %s train|eval|compare|report|chaos|serve "
                  "[--benchmark=tpch|ssb|job] "
                  "[--episodes=N] [--queries=N] [--threads=N] [--batch] "
                  "[--model=PATH] [--out=PATH] [--transfer-from=PATH] "
                  "[--events=PATH] [--decisions=PATH] [--duration-seconds=S] "
-                 "[--workloads=N] [--fault-log=PATH]\n",
+                 "[--workloads=N] [--fault-log=PATH] [--tenants=N] "
+                 "[--max-live=N] [--metrics-port=P]\n",
                  argv[0]);
     return 2;
   }
@@ -584,6 +739,7 @@ int main(int argc, char** argv) {
   if (args.command == "compare") return lsched::RunCompare(args);
   if (args.command == "report") return lsched::RunReport(args);
   if (args.command == "chaos") return lsched::RunChaos(args);
+  if (args.command == "serve") return lsched::RunServe(args);
   std::fprintf(stderr, "unknown command: %s\n", args.command.c_str());
   return 2;
 }
