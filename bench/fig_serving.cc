@@ -1,7 +1,11 @@
 // Serving-mode comparison: every policy drives the ServingDaemon's
 // deterministic SimEngine mode over the same multi-tenant online-arrival
 // script (tenant weights 1/2/3, mixed priority classes, bounded admission),
-// and we report mean and p99 completed-query latency per policy. The run
+// and we report mean and p99 completed-query latency per policy, plus the
+// canonical four-bucket latency decomposition (admission wait / queue wait /
+// service time / stall time, DESIGN.md §8.2) averaged over terminal
+// queries, so the figure shows not just how much each policy waits but
+// *where* the waiting happens. The run
 // also emits BENCH_serving.json so the serving-path perf trajectory has a
 // machine-readable baseline snapshot.
 #include <algorithm>
@@ -32,6 +36,13 @@ struct PolicyRow {
   double p99 = 0.0;
   int64_t completed = 0;
   int64_t shed = 0;
+  // Mean per-query latency decomposition (seconds) over terminal queries
+  // with a valid breakdown — where each completed query's wall time went
+  // under this policy (segments sum to the mean decomposed latency).
+  double mean_admission_wait = 0.0;
+  double mean_queue_wait = 0.0;
+  double mean_service_time = 0.0;
+  double mean_stall_time = 0.0;
 };
 
 ScriptedIngress ServingScript(const BenchConfig& bench) {
@@ -75,10 +86,20 @@ PolicyRow RunPolicy(const BenchConfig& bench, const ScriptedIngress& script,
   row.p99 = Percentile(r.query_latencies, 0.99);
   row.completed = static_cast<int64_t>(r.query_latencies.size());
   row.shed = r.num_queries_shed;
-  std::printf("%-10s mean %8.4fs  p99 %8.4fs  completed %3lld  shed %3lld\n",
+  if (r.num_queries_decomposed > 0) {
+    const double n = static_cast<double>(r.num_queries_decomposed);
+    row.mean_admission_wait = 1e-9 * r.sum_admission_wait_ns / n;
+    row.mean_queue_wait = 1e-9 * r.sum_queue_wait_ns / n;
+    row.mean_service_time = 1e-9 * r.sum_service_time_ns / n;
+    row.mean_stall_time = 1e-9 * r.sum_stall_time_ns / n;
+  }
+  std::printf("%-10s mean %8.4fs  p99 %8.4fs  completed %3lld  shed %3lld  "
+              "[adm %6.4fs  queue %6.4fs  svc %6.4fs  stall %6.4fs]\n",
               name.c_str(), row.mean, row.p99,
               static_cast<long long>(row.completed),
-              static_cast<long long>(row.shed));
+              static_cast<long long>(row.shed), row.mean_admission_wait,
+              row.mean_queue_wait, row.mean_service_time,
+              row.mean_stall_time);
   return row;
 }
 
@@ -158,10 +179,15 @@ int main() {
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"mean_latency\": %.6f, "
                  "\"p99_latency\": %.6f, \"completed\": %lld, "
-                 "\"shed\": %lld}%s\n",
+                 "\"shed\": %lld,\n"
+                 "     \"mean_admission_wait\": %.6f, "
+                 "\"mean_queue_wait\": %.6f, "
+                 "\"mean_service_time\": %.6f, "
+                 "\"mean_stall_time\": %.6f}%s\n",
                  r.name.c_str(), r.mean, r.p99,
                  static_cast<long long>(r.completed),
-                 static_cast<long long>(r.shed),
+                 static_cast<long long>(r.shed), r.mean_admission_wait,
+                 r.mean_queue_wait, r.mean_service_time, r.mean_stall_time,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

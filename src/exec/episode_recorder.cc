@@ -14,8 +14,12 @@ namespace lsched {
 namespace {
 
 /// "q:op" pairs of every currently-schedulable operator, truncated to
-/// kMaxLoggedCandidates. Also counts the full set.
-std::string CandidateSetString(const SchedulingContext& ctx, int* count) {
+/// kMaxLoggedCandidates. Also counts the full set, and (when `schedulable`
+/// is non-null) collects the id of every query with at least one
+/// schedulable operator — the trace layer's considered-but-skipped set —
+/// so the per-invocation plan walk happens exactly once.
+std::string CandidateSetString(const SchedulingContext& ctx, int* count,
+                               std::vector<QueryId>* schedulable) {
   std::string out;
   out.reserve(128);
   int n = 0;
@@ -24,8 +28,11 @@ std::string CandidateSetString(const SchedulingContext& ctx, int* count) {
     // Probe IsOpSchedulable directly: SchedulableOps() allocates a vector
     // per query, too hot for a path run on every scheduler invocation.
     const int ops = static_cast<int>(q->plan().num_nodes());
+    bool any = false;
     for (int op = 0; op < ops; ++op) {
       if (!q->IsOpSchedulable(op)) continue;
+      if (!any && schedulable != nullptr) schedulable->push_back(q->id());
+      any = true;
       ++n;
       if (n <= obs::kMaxLoggedCandidates) {
         std::snprintf(buf, sizeof(buf), "%s%lld:%d", out.empty() ? "" : ";",
@@ -84,6 +91,14 @@ void EpisodeRecorder::Begin(const char* engine_name, Scheduler* scheduler,
                             bool virtual_time, size_t num_queries) {
   result_ = EpisodeResult{};
   result_.final_statuses.assign(num_queries, QueryStatus::kAdmitted);
+  result_.query_breakdowns.assign(num_queries, LatencyBreakdown{});
+  timelines_.clear();
+  timelines_.resize(num_queries);
+#if LSCHED_OBS_ENABLED
+  query_edges_.clear();
+  trace_on_ =
+      obs::Enabled() && obs::QueryTraceLog::Global().capture_enabled();
+#endif
   engine_name_ = engine_name;
   scheduler_ = scheduler;
   virtual_time_ = virtual_time;
@@ -123,6 +138,159 @@ void EpisodeRecorder::TrackQuery(QueryId qid) {
   }
 }
 
+EpisodeRecorder::QueryTimeline* EpisodeRecorder::TimelineFor(
+    QueryId qid, double arrival_time) {
+  if (qid < 0) return nullptr;
+  const size_t idx = static_cast<size_t>(qid);
+  if (timelines_.size() <= idx) timelines_.resize(idx + 1);
+  QueryTimeline& t = timelines_[idx];
+  if (!t.started) {
+    t.started = true;
+    t.arrival_ns = LatencyNs(arrival_time);
+    t.last_ns = t.arrival_ns;
+  }
+  return &t;
+}
+
+void EpisodeRecorder::AdvanceTimeline(QueryTimeline& t, double now) {
+  // Charge the elapsed nanoseconds to the *current* mode, then let the
+  // caller apply the state change. Deltas telescope from arrival to
+  // terminal, which is what makes the decomposition sum exact.
+  const int64_t now_ns = LatencyNs(now);
+  const int64_t delta = now_ns - t.last_ns;
+  if (t.inflight > 0) {
+    t.breakdown.service_ns += delta;
+  } else if (t.retries_pending > 0) {
+    t.breakdown.stall_ns += delta;
+  } else if (t.launched) {
+    t.breakdown.queue_ns += delta;
+  } else {
+    t.breakdown.admission_ns += delta;
+  }
+  t.last_ns = now_ns;
+}
+
+void EpisodeRecorder::FinishTimeline(QueryState* query, double now) {
+  QueryTimeline* t = TimelineFor(query->id(), query->arrival_time());
+  if (t == nullptr || t->finished) return;
+  AdvanceTimeline(*t, now);
+  t->finished = true;
+  t->breakdown.total_ns = LatencyNs(now) - t->arrival_ns;
+  t->breakdown.valid = true;
+  query->set_breakdown(t->breakdown);
+
+  const size_t idx = static_cast<size_t>(query->id());
+  if (result_.query_breakdowns.size() <= idx) {
+    result_.query_breakdowns.resize(idx + 1);
+  }
+  result_.query_breakdowns[idx] = t->breakdown;
+  result_.sum_admission_wait_ns += t->breakdown.admission_ns;
+  result_.sum_queue_wait_ns += t->breakdown.queue_ns;
+  result_.sum_service_time_ns += t->breakdown.service_ns;
+  result_.sum_stall_time_ns += t->breakdown.stall_ns;
+  result_.sum_latency_ns += t->breakdown.total_ns;
+  ++result_.num_queries_decomposed;
+
+#if LSCHED_OBS_ENABLED
+  if (trace_on_) {
+    obs::QueryTraceRecord rec;
+    rec.query = query->id();
+    rec.tenant = query->tag().tenant;
+    rec.priority = static_cast<int32_t>(query->tag().priority);
+    rec.engine = engine_name_;
+    rec.final_status = static_cast<int32_t>(query->status());
+    rec.arrival_time = query->arrival_time();
+    rec.terminal_time = now;
+    rec.breakdown = t->breakdown;
+    if (query_edges_.size() <= idx) query_edges_.resize(idx + 1);
+    QueryEdges& qe = query_edges_[idx];
+    obs::TraceEdge term;
+    term.time = now;
+    term.kind = obs::TraceEdgeKind::kTerminal;
+    term.a = static_cast<int64_t>(query->status());
+    term.value = t->breakdown.total_seconds();
+    qe.edges.push_back(term);  // always kept, even past the cap
+    rec.edges = std::move(qe.edges);
+    rec.dropped_edges = qe.dropped;
+    qe = QueryEdges{};  // release the slot's memory in serving mode
+    obs::QueryTraceLog::Global().Record(std::move(rec));
+  }
+#endif
+}
+
+#if LSCHED_OBS_ENABLED
+void EpisodeRecorder::AddTraceEdge(QueryId qid, const obs::TraceEdge& e) {
+  if (qid < 0) return;
+  const size_t idx = static_cast<size_t>(qid);
+  if (query_edges_.size() <= idx) query_edges_.resize(idx + 1);
+  QueryEdges& qe = query_edges_[idx];
+  if (qe.edges.size() >= static_cast<size_t>(obs::kMaxTraceEdgesPerQuery)) {
+    ++qe.dropped;
+    return;
+  }
+  qe.edges.push_back(e);
+}
+#endif
+
+void EpisodeRecorder::OnQueryArrival(const QueryState& query, double /*now*/) {
+  TimelineFor(query.id(), query.arrival_time());
+#if LSCHED_OBS_ENABLED
+  if (trace_on_) {
+    obs::TraceEdge e;
+    e.time = query.arrival_time();
+    e.kind = obs::TraceEdgeKind::kArrival;
+    e.a = query.tag().tenant;
+    e.b = static_cast<int64_t>(query.tag().priority);
+    AddTraceEdge(query.id(), e);
+  }
+#endif
+}
+
+void EpisodeRecorder::OnAdmissionVerdict(QueryId qid, double now,
+                                         bool admitted, QueryId displaced) {
+#if LSCHED_OBS_ENABLED
+  if (!trace_on_) return;
+  obs::TraceEdge e;
+  e.time = now;
+  if (admitted) {
+    e.kind = obs::TraceEdgeKind::kAdmit;
+    e.a = displaced != kInvalidQuery ? 1 : 0;
+    AddTraceEdge(qid, e);
+    if (displaced != kInvalidQuery) {
+      obs::TraceEdge d;
+      d.time = now;
+      d.kind = obs::TraceEdgeKind::kDisplace;
+      d.a = displaced;
+      AddTraceEdge(qid, d);
+    }
+  } else {
+    e.kind = obs::TraceEdgeKind::kShed;
+    AddTraceEdge(qid, e);
+  }
+#else
+  (void)qid;
+  (void)now;
+  (void)admitted;
+  (void)displaced;
+#endif
+}
+
+void EpisodeRecorder::OnQueryDisplaced(QueryId victim, QueryId newcomer,
+                                       double now) {
+#if LSCHED_OBS_ENABLED
+  if (!trace_on_) return;
+  obs::TraceEdge e;
+  e.time = now;
+  e.kind = obs::TraceEdgeKind::kDisplacedBy;
+  e.a = newcomer;
+  AddTraceEdge(victim, e);
+#else
+  (void)victim;
+  (void)newcomer;
+  (void)now;
+#endif
+}
+
 int64_t EpisodeRecorder::OnSchedulerInvocation(
     const SchedulingEvent& event, const SchedulingContext& ctx,
     const SchedulingDecision& decision, double wall_seconds) {
@@ -140,7 +308,14 @@ int64_t EpisodeRecorder::OnSchedulerInvocation(
   rec.engine = engine_name_;
   rec.event = SchedulingEventTypeName(event.type);
   rec.policy = scheduler_ != nullptr ? scheduler_->name() : "";
-  rec.candidates = CandidateSetString(ctx, &rec.num_candidates);
+#if LSCHED_OBS_ENABLED
+  considered_scratch_.clear();
+  rec.candidates = CandidateSetString(ctx, &rec.num_candidates,
+                                      trace_on_ ? &considered_scratch_
+                                                : nullptr);
+#else
+  rec.candidates = CandidateSetString(ctx, &rec.num_candidates, nullptr);
+#endif
   rec.running_queries = static_cast<int>(ctx.queries().size());
   rec.free_threads = ctx.num_free_threads();
   if (!decision.pipelines.empty()) {
@@ -161,7 +336,64 @@ int64_t EpisodeRecorder::OnSchedulerInvocation(
   }
   rec.predicted_score = obs::TakePredictedScore();
   rec.schedule_wall_us = wall_seconds * 1e6;
-  return obs::DecisionLog::Global().Add(std::move(rec));
+  // Tenant of the chosen query: keys the per-tenant drift shards.
+  if (rec.chosen_query >= 0) {
+    if (const QueryState* q = ctx.FindQuery(rec.chosen_query)) {
+      rec.tenant = q->tag().tenant;
+    }
+  }
+  const int64_t chosen_query = rec.chosen_query;
+  const double predicted_score = rec.predicted_score;
+  const int64_t decision_id = obs::DecisionLog::Global().Add(std::move(rec));
+
+  // Drain the serving-action channel even when tracing is off, so stale
+  // annotations from one invocation can never leak into a later one.
+  obs::ServingAction actions[32];
+  const size_t num_actions =
+      obs::TakeServingActions(actions, sizeof(actions) / sizeof(actions[0]));
+#if LSCHED_OBS_ENABLED
+  if (trace_on_) {
+    // "Considered but skipped": every query with at least one schedulable
+    // operator that this decision did not launch gets a causal edge tying
+    // its wait to the decision (and the policy's predicted score for what
+    // it chose instead). The set was collected by the CandidateSetString
+    // walk above — no second plan scan.
+    obs::TraceEdge e;
+    e.time = ctx.now();
+    e.kind = obs::TraceEdgeKind::kConsideredSkipped;
+    e.a = decision_id;
+    e.b = chosen_query;
+    e.value = predicted_score;
+    for (const QueryId qid : considered_scratch_) {
+      if (qid == chosen_query) continue;
+      AddTraceEdge(qid, e);
+    }
+    // Fairness redirections / injections announced by the serving policy's
+    // FilterDecision, which ran immediately before on this same thread.
+    for (size_t i = 0; i < num_actions; ++i) {
+      const obs::ServingAction& a = actions[i];
+      obs::TraceEdge e;
+      e.time = ctx.now();
+      if (a.kind == obs::ServingAction::kRedirect) {
+        e.kind = obs::TraceEdgeKind::kRedirected;
+        e.a = a.other;
+        AddTraceEdge(a.query, e);
+        obs::TraceEdge w;
+        w.time = ctx.now();
+        w.kind = obs::TraceEdgeKind::kInjected;
+        w.a = a.query;
+        w.value = 2.0;
+        AddTraceEdge(a.other, w);
+      } else {
+        e.kind = obs::TraceEdgeKind::kInjected;
+        e.a = a.other;
+        e.value = a.kind == obs::ServingAction::kInjectPriority ? 1.0 : 2.0;
+        AddTraceEdge(a.query, e);
+      }
+    }
+  }
+#endif
+  return decision_id;
 }
 
 void EpisodeRecorder::OnPipelineLaunched(int64_t decision_id, QueryId query,
@@ -170,6 +402,23 @@ void EpisodeRecorder::OnPipelineLaunched(int64_t decision_id, QueryId query,
                                          double now) {
   ++result_.num_actions;
   result_.num_work_orders_planned += planned_work_orders;
+  if (QueryTimeline* t = TimelineFor(query, now)) {
+    if (!t->finished) {
+      AdvanceTimeline(*t, now);
+      t->launched = true;  // admission wait ends at the first launch
+    }
+  }
+#if LSCHED_OBS_ENABLED
+  if (trace_on_) {
+    obs::TraceEdge e;
+    e.time = now;
+    e.kind = obs::TraceEdgeKind::kScheduled;
+    e.a = decision_id;
+    e.b = root_op;
+    e.value = static_cast<double>(degree);
+    AddTraceEdge(query, e);
+  }
+#endif
 
   if (!obs::Enabled()) return;
   ++local_actions_;
@@ -192,20 +441,54 @@ void EpisodeRecorder::OnPipelineLaunched(int64_t decision_id, QueryId query,
   }
 }
 
-void EpisodeRecorder::OnWorkOrderDispatched(int inflight_now,
-                                            double queue_wait_seconds) {
+void EpisodeRecorder::OnWorkOrderDispatched(QueryId query, bool retry,
+                                            int inflight_now,
+                                            double queue_wait_seconds,
+                                            double now) {
   ++result_.num_work_orders_dispatched;
   result_.max_inflight_work_orders =
       std::max(result_.max_inflight_work_orders, inflight_now);
+  if (QueryTimeline* t = TimelineFor(query, now)) {
+    if (!t->finished) {
+      AdvanceTimeline(*t, now);
+      ++t->inflight;
+      ++t->breakdown.dispatches;
+      if (retry && t->retries_pending > 0) --t->retries_pending;
+    }
+  }
 
   if (!obs::Enabled()) return;
   ++local_dispatched_;
   lh_queue_wait_seconds_.Observe(std::max(0.0, queue_wait_seconds));
+#if LSCHED_OBS_ENABLED
+  if (trace_on_) {
+    obs::TraceEdge e;
+    e.time = now;
+    e.kind = obs::TraceEdgeKind::kDispatch;
+    e.value = retry ? 1.0 : 0.0;
+    AddTraceEdge(query, e);
+  }
+#endif
 }
 
-void EpisodeRecorder::OnWorkOrderCompleted(int64_t decision_id,
-                                           double seconds) {
+void EpisodeRecorder::OnWorkOrderCompleted(QueryId query, int64_t decision_id,
+                                           double seconds, double now) {
   ++result_.num_work_orders_completed;
+  if (QueryTimeline* t = TimelineFor(query, now)) {
+    if (!t->finished) {
+      AdvanceTimeline(*t, now);
+      if (t->inflight > 0) --t->inflight;
+    }
+  }
+#if LSCHED_OBS_ENABLED
+  if (trace_on_) {
+    obs::TraceEdge e;
+    e.time = now;
+    e.kind = obs::TraceEdgeKind::kComplete;
+    e.value = seconds;
+    AddTraceEdge(query, e);
+  }
+#endif
 
   if (!obs::Enabled()) return;
   ++local_completed_;
@@ -226,10 +509,41 @@ void EpisodeRecorder::OnWorkOrderCompleted(int64_t decision_id,
   }
 }
 
-void EpisodeRecorder::OnWorkOrderFailed() { ++result_.num_work_orders_failed; }
+void EpisodeRecorder::OnWorkOrderFailed(QueryId query, double now) {
+  ++result_.num_work_orders_failed;
+  if (QueryTimeline* t = TimelineFor(query, now)) {
+    if (!t->finished) {
+      AdvanceTimeline(*t, now);
+      if (t->inflight > 0) --t->inflight;
+    }
+  }
+#if LSCHED_OBS_ENABLED
+  if (trace_on_) {
+    obs::TraceEdge e;
+    e.time = now;
+    e.kind = obs::TraceEdgeKind::kFailed;
+    AddTraceEdge(query, e);
+  }
+#endif
+}
 
-void EpisodeRecorder::OnWorkOrderRetried() {
+void EpisodeRecorder::OnWorkOrderRetried(QueryId query, double now) {
   ++result_.num_retries;
+  if (QueryTimeline* t = TimelineFor(query, now)) {
+    if (!t->finished) {
+      AdvanceTimeline(*t, now);
+      ++t->retries_pending;
+      ++t->breakdown.retries;
+    }
+  }
+#if LSCHED_OBS_ENABLED
+  if (trace_on_) {
+    obs::TraceEdge e;
+    e.time = now;
+    e.kind = obs::TraceEdgeKind::kRetry;
+    AddTraceEdge(query, e);
+  }
+#endif
   if (obs::Enabled()) ++local_retries_;
 }
 
@@ -243,6 +557,7 @@ void EpisodeRecorder::OnWorkOrderExpired() {
 
 double EpisodeRecorder::OnQueryCompleted(QueryState* query, double now) {
   query->TransitionTo(QueryStatus::kDone);
+  FinishTimeline(query, now);
   const QueryId qid = query->id();
   if (qid >= 0 &&
       static_cast<size_t>(qid) < result_.final_statuses.size()) {
@@ -276,8 +591,9 @@ double EpisodeRecorder::OnQueryCompleted(QueryState* query, double now) {
   return latency;
 }
 
-void EpisodeRecorder::OnQueryTerminated(const QueryState* query, double now,
+void EpisodeRecorder::OnQueryTerminated(QueryState* query, double now,
                                         int64_t dropped_work_orders) {
+  FinishTimeline(query, now);
   const QueryStatus status = query->status();
   const QueryId qid = query->id();
   if (qid >= 0 &&
@@ -311,7 +627,8 @@ void EpisodeRecorder::OnQueryTerminated(const QueryState* query, double now,
   }
 }
 
-int64_t EpisodeRecorder::OnFallback(double now) {
+int64_t EpisodeRecorder::OnFallback(double now, const SchedulingContext& ctx,
+                                    QueryId chosen) {
   ++result_.num_fallback_decisions;
 
   if (!obs::Enabled()) return -1;
@@ -322,7 +639,36 @@ int64_t EpisodeRecorder::OnFallback(double now) {
   rec.event = "fallback";
   rec.policy = scheduler_ != nullptr ? scheduler_->name() : "";
   rec.fallback = true;
-  return obs::DecisionLog::Global().Add(std::move(rec));
+  if (chosen >= 0) {
+    rec.chosen_query = chosen;
+    if (const QueryState* q = ctx.FindQuery(chosen)) {
+      rec.tenant = q->tag().tenant;
+    }
+  }
+  const int64_t decision_id = obs::DecisionLog::Global().Add(std::move(rec));
+#if LSCHED_OBS_ENABLED
+  if (trace_on_) {
+    for (const QueryState* q : ctx.queries()) {
+      if (q->id() == chosen) continue;
+      const int ops = static_cast<int>(q->plan().num_nodes());
+      bool schedulable = false;
+      for (int op = 0; op < ops; ++op) {
+        if (q->IsOpSchedulable(op)) {
+          schedulable = true;
+          break;
+        }
+      }
+      if (!schedulable) continue;
+      obs::TraceEdge e;
+      e.time = now;
+      e.kind = obs::TraceEdgeKind::kFallback;
+      e.a = decision_id;
+      e.b = chosen;
+      AddTraceEdge(q->id(), e);
+    }
+  }
+#endif
+  return decision_id;
 }
 
 void EpisodeRecorder::FlushWindow() {

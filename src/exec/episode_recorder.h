@@ -10,6 +10,7 @@
 #include "exec/scheduling_context.h"
 #include "obs/decision_log.h"
 #include "obs/metrics.h"
+#include "obs/query_trace.h"
 #include "obs/trace.h"
 
 namespace lsched {
@@ -58,6 +59,24 @@ class EpisodeRecorder {
   /// final-status vector already covers `qid`.
   void TrackQuery(QueryId qid);
 
+  /// A query entered the system (QueryState just created, tag applied).
+  /// Starts the latency-decomposition timeline at `query.arrival_time()`
+  /// and, when tracing is on, opens the lifetime trace with its kArrival
+  /// edge. Safe to skip: any later event (or the terminal call) starts the
+  /// timeline lazily from the query's arrival time.
+  void OnQueryArrival(const QueryState& query, double now);
+
+  /// The ServingHooks admission verdict for `qid` (trace edge only; the
+  /// decomposition does not change until work happens). `displaced` is the
+  /// victim the verdict evicted, kInvalidQuery when none.
+  void OnAdmissionVerdict(QueryId qid, double now, bool admitted,
+                          QueryId displaced);
+
+  /// `victim` is about to be terminated kShed to make room for `newcomer`
+  /// (priority displacement). Must be called BEFORE the victim's
+  /// OnQueryTerminated so the edge lands in its trace.
+  void OnQueryDisplaced(QueryId victim, QueryId newcomer, double now);
+
   /// One scheduler invocation (after Schedule() returned `decision`).
   /// Returns the decision-log id for attributing launched pipelines, or
   /// -1 when observability is off.
@@ -71,19 +90,26 @@ class EpisodeRecorder {
                           int degree, int64_t planned_work_orders,
                           double now);
 
-  /// A work order handed to a thread. `queue_wait_seconds` is the engine
-  /// time between the pipeline's launch and this dispatch; `inflight_now`
-  /// the number of busy threads including this one.
-  void OnWorkOrderDispatched(int inflight_now, double queue_wait_seconds);
+  /// A work order of `query` handed to a thread at engine time `now`.
+  /// `retry` marks the re-dispatch of a previously failed attempt;
+  /// `queue_wait_seconds` is the engine time between the pipeline's launch
+  /// and this dispatch; `inflight_now` the number of busy threads
+  /// including this one.
+  void OnWorkOrderDispatched(QueryId query, bool retry, int inflight_now,
+                             double queue_wait_seconds, double now);
 
-  /// A work order finished, taking `seconds` of engine time.
-  void OnWorkOrderCompleted(int64_t decision_id, double seconds);
+  /// A work order of `query` finished at `now`, taking `seconds` of engine
+  /// time.
+  void OnWorkOrderCompleted(QueryId query, int64_t decision_id,
+                            double seconds, double now);
 
-  /// A dispatched work-order attempt errored or exceeded its deadline.
-  void OnWorkOrderFailed();
+  /// A dispatched work-order attempt of `query` errored or exceeded its
+  /// deadline at `now`.
+  void OnWorkOrderFailed(QueryId query, double now);
 
-  /// A failed attempt was queued for re-dispatch (bumps exec.retry_total).
-  void OnWorkOrderRetried();
+  /// A failed attempt of `query` was queued for re-dispatch at `now`
+  /// (bumps exec.retry_total).
+  void OnWorkOrderRetried(QueryId query, double now);
 
   /// A dispatched attempt came back after its query reached a terminal
   /// state; the result was thrown away.
@@ -99,15 +125,20 @@ class EpisodeRecorder {
   double OnQueryCompleted(QueryState* query, double now);
 
   /// A query left the system without completing. `query->status()` must
-  /// already be terminal (kCancelled or kFailed); `dropped_work_orders` is
-  /// the number of planned-but-never-completed work orders it abandoned.
-  /// Bumps exec.cancel_total / exec.fail_total.
-  void OnQueryTerminated(const QueryState* query, double now,
+  /// already be terminal (kCancelled, kFailed, or kShed);
+  /// `dropped_work_orders` is the number of planned-but-never-completed
+  /// work orders it abandoned. Bumps exec.cancel_total / exec.fail_total.
+  /// Like OnQueryCompleted, writes the finished LatencyBreakdown onto
+  /// `query` (which is why it takes a mutable pointer) *before* the
+  /// engines run ServingHooks::OnQueryTerminal.
+  void OnQueryTerminated(QueryState* query, double now,
                          int64_t dropped_work_orders);
 
-  /// The engine's deadlock guard scheduled work itself. Returns a
-  /// decision-log id for the fallback pipelines.
-  int64_t OnFallback(double now);
+  /// The engine's deadlock guard scheduled work itself, launching `chosen`.
+  /// Returns a decision-log id for the fallback pipelines. Queries in `ctx`
+  /// with schedulable work that the guard passed over get kFallback trace
+  /// edges (the fallback analogue of kConsideredSkipped).
+  int64_t OnFallback(double now, const SchedulingContext& ctx, QueryId chosen);
 
   /// Virtual-time trace events the recorder knows how to buffer; expanded
   /// to full TraceEvents (names, categories, arg labels) only in Finalize.
@@ -161,10 +192,53 @@ class EpisodeRecorder {
   EpisodeResult Take() { return std::move(result_); }
 
  private:
+  /// Latency-decomposition tracker for one query (DESIGN.md §8.2): a
+  /// four-mode state machine over integer nanoseconds. AdvanceTimeline
+  /// charges `now - last` to the *current* mode, then the caller applies
+  /// the state change — so segment sums telescope exactly from arrival to
+  /// terminal. Always compiled (it is plain integer arithmetic, like the
+  /// conservation counters); only the causal edge capture is OBS-gated.
+  struct QueryTimeline {
+    int64_t arrival_ns = 0;
+    int64_t last_ns = 0;
+    int32_t inflight = 0;         ///< this query's attempts on threads
+    int32_t retries_pending = 0;  ///< failed attempts awaiting re-dispatch
+    bool launched = false;        ///< first pipeline launch seen
+    bool started = false;
+    bool finished = false;
+    LatencyBreakdown breakdown;
+  };
+
+  /// Grows/looks up the timeline for `qid`, starting it at `arrival_time`
+  /// on first touch. nullptr for invalid ids.
+  QueryTimeline* TimelineFor(QueryId qid, double arrival_time);
+  void AdvanceTimeline(QueryTimeline& t, double now);
+  /// Final advance + exact-total stamp; writes the breakdown onto `query`
+  /// and into the EpisodeResult aggregates; publishes the lifetime trace.
+  void FinishTimeline(QueryState* query, double now);
+
+#if LSCHED_OBS_ENABLED
+  /// Lifetime-trace edge buffers, indexed by QueryId (serving mode reuses
+  /// the slot of a published query for nothing — ids are monotone).
+  struct QueryEdges {
+    std::vector<obs::TraceEdge> edges;
+    int64_t dropped = 0;
+  };
+  void AddTraceEdge(QueryId qid, const obs::TraceEdge& e);
+#endif
+
   EpisodeResult result_;
   Scheduler* scheduler_ = nullptr;
   const char* engine_name_ = "";
   bool virtual_time_ = false;
+  std::vector<QueryTimeline> timelines_;
+#if LSCHED_OBS_ENABLED
+  bool trace_on_ = false;  ///< edge capture active (set at Begin)
+  std::vector<QueryEdges> query_edges_;
+  /// Per-invocation scratch: queries with a schedulable op (the
+  /// considered-but-skipped set), reused to avoid per-decision allocation.
+  std::vector<QueryId> considered_scratch_;
+#endif
 
   // Realized work-order cost per decision, accumulated lock-free on the
   // coordinator thread and flushed into the global decision log once per

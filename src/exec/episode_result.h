@@ -62,6 +62,20 @@ struct EpisodeResult {
   /// exceed the worker-pool size (no thread double-assignment).
   int max_inflight_work_orders = 0;
 
+  /// --- latency decomposition (DESIGN.md §8.2) ---------------------------
+  /// Per-query four-bucket latency decomposition, indexed by QueryId like
+  /// `final_statuses` (entry.valid is true for every terminal query), plus
+  /// the exact integer-nanosecond aggregates over all terminal queries.
+  /// Invariant, checked by the differential harness: for every valid entry
+  ///   admission_ns + queue_ns + service_ns + stall_ns == total_ns.
+  std::vector<LatencyBreakdown> query_breakdowns;
+  int64_t sum_admission_wait_ns = 0;
+  int64_t sum_queue_wait_ns = 0;
+  int64_t sum_service_time_ns = 0;
+  int64_t sum_stall_time_ns = 0;
+  int64_t sum_latency_ns = 0;
+  int num_queries_decomposed = 0;
+
   /// (time, #running queries) at each scheduler invocation — the raw series
   /// from which the reward H_d = (t_d - t_{d-1}) * Q_d is computed (§6).
   struct DecisionRecord {

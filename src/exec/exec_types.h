@@ -35,6 +35,51 @@ struct QueryTag {
   QueryPriority priority = QueryPriority::kNormal;
 };
 
+/// Converts an engine timestamp (virtual or wall seconds) to the integer
+/// nanosecond timebase of LatencyBreakdown. One shared rounding rule for
+/// both engines, so identical event sequences derive bit-identical
+/// decompositions.
+inline int64_t LatencyNs(double seconds) {
+  return static_cast<int64_t>(seconds * 1e9 + (seconds >= 0.0 ? 0.5 : -0.5));
+}
+
+/// Canonical latency decomposition of one query's lifetime (DESIGN.md
+/// §8.2): where every nanosecond between arrival and the terminal
+/// transition went. Segments are integer nanoseconds accumulated by
+/// telescoping the engine's event stream, so the invariant
+///
+///   admission_ns + queue_ns + service_ns + stall_ns == total_ns
+///
+/// holds EXACTLY (integer equality, no floating-point slop) for every
+/// terminal query, in both engines, in every build mode.
+///
+///  * admission_ns — arrival until the first pipeline launch (the query sat
+///    in the admitted set; for refused/shed queries the whole lifetime).
+///  * queue_ns    — launched, but no work-order attempt in flight and no
+///    retry pending (waiting for a thread).
+///  * service_ns  — at least one work-order attempt of the query in flight.
+///  * stall_ns    — no attempt in flight but a failed attempt awaits
+///    re-dispatch (retry backoff / fault recovery).
+struct LatencyBreakdown {
+  int64_t admission_ns = 0;
+  int64_t queue_ns = 0;
+  int64_t service_ns = 0;
+  int64_t stall_ns = 0;
+  int64_t total_ns = 0;  ///< terminal time - arrival time
+  int32_t dispatches = 0;  ///< work-order attempts handed to threads
+  int32_t retries = 0;     ///< failed attempts queued for re-dispatch
+  bool valid = false;      ///< set when the query reached a terminal state
+
+  int64_t SumNs() const {
+    return admission_ns + queue_ns + service_ns + stall_ns;
+  }
+  double admission_seconds() const { return admission_ns * 1e-9; }
+  double queue_seconds() const { return queue_ns * 1e-9; }
+  double service_seconds() const { return service_ns * 1e-9; }
+  double stall_seconds() const { return stall_ns * 1e-9; }
+  double total_seconds() const { return total_ns * 1e-9; }
+};
+
 /// The major events that trigger the scheduler (paper §5.2). The scheduler
 /// is NOT invoked per work order — only on these events.
 enum class SchedulingEventType : uint8_t {

@@ -107,6 +107,15 @@ class QueryState {
   int max_threads() const { return max_threads_; }
   void set_max_threads(int n) { max_threads_ = n; }
 
+  /// --- latency decomposition (DESIGN.md §8.2) ---------------------------
+
+  /// Where this query's lifetime went (admission/queue/service/stall).
+  /// Filled by EpisodeRecorder at the terminal transition, *before*
+  /// ServingHooks::OnQueryTerminal fires, so serving-layer ledgers
+  /// (TenantTable) can read it. `breakdown().valid` is false until then.
+  const LatencyBreakdown& breakdown() const { return breakdown_; }
+  void set_breakdown(const LatencyBreakdown& b) { breakdown_ = b; }
+
  private:
   struct OpRuntime {
     double remaining = 0.0;  ///< remaining work orders (fractional)
@@ -128,6 +137,7 @@ class QueryState {
   double attained_service_ = 0.0;
   int assigned_threads_ = 0;
   int max_threads_ = 0;  ///< 0 = unlimited
+  LatencyBreakdown breakdown_;
 };
 
 }  // namespace lsched

@@ -256,7 +256,8 @@ int RealEngine::AssignThreads(double now) {
     task.execution = executions_[static_cast<size_t>(p.query_index)].get();
     task.chain = p.chain;
     // Retries first (FIFO), then the next fresh work-order index.
-    if (!p.retry_ready.empty()) {
+    const bool is_retry = !p.retry_ready.empty();
+    if (is_retry) {
       task.wo_index = p.retry_ready.front();
       p.retry_ready.erase(p.retry_ready.begin());
     } else {
@@ -269,7 +270,8 @@ int RealEngine::AssignThreads(double now) {
     ctx_.SetThreadBusy(worker_id, q->id());
     q->set_assigned_threads(q->assigned_threads() + 1);
     const int inflight = ctx_.total_threads() - ctx_.num_free_threads();
-    recorder_.OnWorkOrderDispatched(inflight, now - p.created_at);
+    recorder_.OnWorkOrderDispatched(q->id(), is_retry, inflight,
+                                    now - p.created_at, now);
     {
       std::lock_guard<std::mutex> lock(w.mu);
       w.task = std::move(task);
@@ -321,7 +323,7 @@ void RealEngine::ForceFallback(double now) {
       if (!producers_done) continue;
       SchedulingDecision d;
       d.pipelines.push_back(PipelineChoice{q->id(), op, 1});
-      current_decision_id_ = recorder_.OnFallback(now);
+      current_decision_id_ = recorder_.OnFallback(now, ctx_, q->id());
       ApplyDecision(d, now);
       AssignThreads(now);
       return;
@@ -381,6 +383,7 @@ void RealEngine::AdmitArrival(QueryId qid, QueryPlan plan,
   QueryState* arrived = query_states_[idx].get();
   arrived->set_tag(tag);
   recorder_.TrackQuery(qid);
+  recorder_.OnQueryArrival(*arrived, now);
   // Admission fault point: a kError here rejects the query (terminal
   // FAILED) before any execution state is allocated.
   const FaultAction admit = LSCHED_FAULT("query_admit", qid, now);
@@ -394,31 +397,39 @@ void RealEngine::AdmitArrival(QueryId qid, QueryPlan plan,
     }
     return;
   }
-  if (config_.hooks != nullptr) {
-    const AdmissionVerdict verdict =
-        config_.hooks->OnAdmission(*arrived, ctx_, now);
-    if (!verdict.admit) {
-      // Load shed: terminal before the scheduler ever sees the query.
-      LSCHED_CHECK(arrived->TransitionTo(QueryStatus::kShed));
-      recorder_.OnQueryTerminated(arrived, now, 0);
-      ++terminal_queries_;
-      config_.hooks->OnQueryTerminal(*arrived, now);
-      return;
+  const AdmissionVerdict verdict = config_.hooks != nullptr
+                                       ? config_.hooks->OnAdmission(
+                                             *arrived, ctx_, now)
+                                       : AdmissionVerdict{};
+  if (!verdict.admit) {
+    // Load shed: terminal before the scheduler ever sees the query.
+    recorder_.OnAdmissionVerdict(qid, now, /*admitted=*/false, kInvalidQuery);
+    LSCHED_CHECK(arrived->TransitionTo(QueryStatus::kShed));
+    recorder_.OnQueryTerminated(arrived, now, 0);
+    ++terminal_queries_;
+    if (config_.hooks != nullptr) config_.hooks->OnQueryTerminal(*arrived, now);
+    return;
+  }
+  // A higher-priority arrival may displace a pending lower-priority query.
+  // Only ADMITTED (never-launched) queries are eligible — a stale/illegal
+  // victim id is ignored rather than fatal.
+  QueryId displaced = kInvalidQuery;
+  if (verdict.displace != kInvalidQuery) {
+    const size_t vi = static_cast<size_t>(verdict.displace);
+    if (vi < query_states_.size() && query_states_[vi] != nullptr &&
+        query_states_[vi]->status() == QueryStatus::kAdmitted) {
+      displaced = verdict.displace;
     }
-    if (verdict.displace != kInvalidQuery) {
-      // A higher-priority arrival displaces a pending lower-priority query.
-      // Only ADMITTED (never-launched) queries are eligible — a
-      // stale/illegal victim id is ignored rather than fatal.
-      const size_t vi = static_cast<size_t>(verdict.displace);
-      if (vi < query_states_.size() && query_states_[vi] != nullptr &&
-          query_states_[vi]->status() == QueryStatus::kAdmitted &&
-          TerminateQuery(verdict.displace, QueryStatus::kShed, now)) {
-        SchedulingEvent shed_ev;
-        shed_ev.type = SchedulingEventType::kQueryCancelled;
-        shed_ev.time = now;
-        shed_ev.query = verdict.displace;
-        InvokeScheduler(shed_ev, scheduler, now);
-      }
+  }
+  recorder_.OnAdmissionVerdict(qid, now, /*admitted=*/true, displaced);
+  if (displaced != kInvalidQuery) {
+    recorder_.OnQueryDisplaced(displaced, qid, now);
+    if (TerminateQuery(displaced, QueryStatus::kShed, now)) {
+      SchedulingEvent shed_ev;
+      shed_ev.type = SchedulingEventType::kQueryCancelled;
+      shed_ev.time = now;
+      shed_ev.query = displaced;
+      InvokeScheduler(shed_ev, scheduler, now);
     }
   }
   executions_[idx] = std::make_unique<QueryExecution>(
@@ -465,7 +476,7 @@ void RealEngine::ProcessCompletion(const Completion& c, double now,
     recorder_.OnWorkOrderDiscarded();
     MaybeReleaseExecution(p.query_index);
   } else if (!c.status.ok()) {
-    recorder_.OnWorkOrderFailed();
+    recorder_.OnWorkOrderFailed(q->id(), now);
     if (c.expired) recorder_.OnWorkOrderExpired();
     const int attempt = ++p.attempts[c.wo_index];
     if (attempt > config_.retry.max_retries) {
@@ -477,7 +488,7 @@ void RealEngine::ProcessCompletion(const Completion& c, double now,
       TerminateQuery(q->id(), QueryStatus::kFailed, now);
       emit_cancel_event = true;
     } else {
-      recorder_.OnWorkOrderRetried();
+      recorder_.OnWorkOrderRetried(q->id(), now);
       p.retry_ready.push_back(c.wo_index);
       const double backoff = config_.retry.BackoffFor(attempt);
       if (backoff > 0.0) {
@@ -486,7 +497,7 @@ void RealEngine::ProcessCompletion(const Completion& c, double now,
     }
   } else {
     q->AddAttainedService(c.seconds);
-    recorder_.OnWorkOrderCompleted(p.decision_id, c.seconds);
+    recorder_.OnWorkOrderCompleted(q->id(), p.decision_id, c.seconds, now);
     ++p.succeeded;
     if (config_.work_order_deadline_seconds > 0.0 &&
         c.seconds > config_.work_order_deadline_seconds) {
@@ -661,6 +672,7 @@ RealRunResult RealEngine::Run(const std::vector<RealQuerySubmission>& workload,
           std::make_unique<QueryState>(qid, workload[idx].plan, t);
       QueryState* q = query_states_[idx].get();
       q->set_tag(workload[idx].tag);
+      recorder_.OnQueryArrival(*q, t);
       LSCHED_CHECK(q->TransitionTo(QueryStatus::kCancelled));
       recorder_.OnQueryTerminated(q, t, 0);
       ++terminal_queries_;
@@ -854,6 +866,7 @@ void RealEngine::ServeLoop() {
         QueryState* q = query_states_[static_cast<size_t>(s.id)].get();
         q->set_tag(s.tag);
         recorder_.TrackQuery(s.id);
+        recorder_.OnQueryArrival(*q, now);
         LSCHED_CHECK(q->TransitionTo(QueryStatus::kShed));
         recorder_.OnQueryTerminated(q, now, 0);
         ++terminal_queries_;

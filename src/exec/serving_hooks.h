@@ -40,7 +40,10 @@ class ServingHooks {
   /// Consulted when `q` arrives, after the query_admit fault point and
   /// before the query enters the scheduling context. `ctx` holds the
   /// currently live queries (the pending/running set the admission bound
-  /// applies to).
+  /// applies to). The verdict is recorded into the per-query lifetime
+  /// trace (kAdmit/kShed/kDisplace edges, obs/query_trace.h) so `lsched_cli
+  /// explain` can attribute admission waits to the decision that caused
+  /// them.
   virtual AdmissionVerdict OnAdmission(const QueryState& q,
                                        const SchedulingContext& ctx,
                                        double now) = 0;
@@ -51,7 +54,11 @@ class ServingHooks {
   /// and amend parallelism caps (per-tenant thread shares). May inject
   /// launches for starved high-priority queries; engines re-validate every
   /// choice in ApplyDecision, so an invalid injection is skipped, not
-  /// fatal.
+  /// fatal. Implementations should announce redirections/injections via
+  /// obs::AnnotateServingAction — the EpisodeRecorder drains the
+  /// annotations in the OnSchedulerInvocation that immediately follows on
+  /// this same thread and turns them into causal trace edges
+  /// (kRedirected/kInjected).
   virtual void FilterDecision(SchedulingDecision* decision,
                               const SchedulingContext& ctx) = 0;
 

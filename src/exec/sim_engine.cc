@@ -126,8 +126,9 @@ void SimEngine::DispatchTo(int thread_id, int pipeline_idx, double now) {
   LSCHED_CHECK(q != nullptr);
 
   // Pick the work order: retries first (FIFO), then the next fresh index.
+  const bool is_retry = !p.retry_ready.empty();
   int wo_index;
-  if (!p.retry_ready.empty()) {
+  if (is_retry) {
     wo_index = p.retry_ready.front();
     p.retry_ready.erase(p.retry_ready.begin());
   } else {
@@ -179,7 +180,8 @@ void SimEngine::DispatchTo(int thread_id, int pipeline_idx, double now) {
   t.busy_until = now + duration;
   q->set_assigned_threads(q->assigned_threads() + 1);
   const int inflight = ctx_.total_threads() - ctx_.num_free_threads();
-  recorder_.OnWorkOrderDispatched(inflight, now - p.created_at);
+  recorder_.OnWorkOrderDispatched(p.query, is_retry, inflight,
+                                  now - p.created_at, now);
 
   if (obs::Enabled()) {
     // Virtual-time spans: the work order's full extent is known at
@@ -299,7 +301,7 @@ void SimEngine::ForceFallbackSchedule(double now) {
     if (ops.empty()) continue;
     SchedulingDecision d;
     d.pipelines.push_back(PipelineChoice{q->id(), ops[0], 1});
-    current_decision_id_ = recorder_.OnFallback(now);
+    current_decision_id_ = recorder_.OnFallback(now, ctx_, q->id());
     ApplyDecision(d, now);
     AssignThreads(now);
     return;
@@ -339,6 +341,7 @@ EpisodeResult SimEngine::Run(const std::vector<QuerySubmission>& workload,
             config_.regression_window);
         QueryState* q = queries_[idx].get();
         q->set_tag(workload[idx].tag);
+        recorder_.OnQueryArrival(*q, now);
         // Admission fault point: a kError here rejects the query (terminal
         // FAILED) before it ever reaches the scheduler.
         const FaultAction admit =
@@ -357,23 +360,33 @@ EpisodeResult SimEngine::Run(const std::vector<QuerySubmission>& workload,
                            : AdmissionVerdict{};
                    !verdict.admit) {
           // Load shed: terminal before the scheduler ever sees the query.
+          recorder_.OnAdmissionVerdict(q->id(), now, /*admitted=*/false,
+                                       kInvalidQuery);
           LSCHED_CHECK(q->TransitionTo(QueryStatus::kShed));
           recorder_.OnQueryTerminated(q, now, 0);
           ++terminal_queries_;
           config_.hooks->OnQueryTerminal(*q, now);
         } else {
+          // A higher-priority arrival may displace a pending lower-priority
+          // query. Only ADMITTED (never-launched) queries are eligible — a
+          // stale/illegal victim id is ignored rather than fatal.
+          QueryId displaced = kInvalidQuery;
           if (verdict.displace != kInvalidQuery) {
-            // A higher-priority arrival displaces a pending lower-priority
-            // query. Only ADMITTED (never-launched) queries are eligible —
-            // a stale/illegal victim id is ignored rather than fatal.
             const size_t vi = static_cast<size_t>(verdict.displace);
             if (vi < queries_.size() && queries_[vi] != nullptr &&
-                queries_[vi]->status() == QueryStatus::kAdmitted &&
-                TerminateQuery(verdict.displace, QueryStatus::kShed, now)) {
+                queries_[vi]->status() == QueryStatus::kAdmitted) {
+              displaced = verdict.displace;
+            }
+          }
+          recorder_.OnAdmissionVerdict(q->id(), now, /*admitted=*/true,
+                                       displaced);
+          if (displaced != kInvalidQuery) {
+            recorder_.OnQueryDisplaced(displaced, q->id(), now);
+            if (TerminateQuery(displaced, QueryStatus::kShed, now)) {
               SchedulingEvent shed_ev;
               shed_ev.type = SchedulingEventType::kQueryCancelled;
               shed_ev.time = now;
-              shed_ev.query = verdict.displace;
+              shed_ev.query = displaced;
               InvokeScheduler(shed_ev, scheduler, now);
             }
           }
@@ -397,6 +410,7 @@ EpisodeResult SimEngine::Run(const std::vector<QuerySubmission>& workload,
               cr.query, workload[idx].plan, now, config_.regression_window);
           QueryState* q = queries_[idx].get();
           q->set_tag(workload[idx].tag);
+          recorder_.OnQueryArrival(*q, now);
           LSCHED_CHECK(q->TransitionTo(QueryStatus::kCancelled));
           recorder_.OnQueryTerminated(q, now, 0);
           ++terminal_queries_;
@@ -485,14 +499,14 @@ EpisodeResult SimEngine::Run(const std::vector<QuerySubmission>& workload,
         // flight: throw the result away.
         recorder_.OnWorkOrderDiscarded();
       } else if (attempt_failed) {
-        recorder_.OnWorkOrderFailed();
+        recorder_.OnWorkOrderFailed(p.query, now);
         const int attempt = ++p.attempts[wo_index];
         if (attempt > config_.retry.max_retries) {
           // Retry budget exhausted: the whole query fails.
           TerminateQuery(p.query, QueryStatus::kFailed, now);
           emit_cancel_event = true;
         } else {
-          recorder_.OnWorkOrderRetried();
+          recorder_.OnWorkOrderRetried(p.query, now);
           p.retry_ready.push_back(wo_index);
           const double backoff = config_.retry.BackoffFor(attempt);
           if (backoff > 0.0) {
@@ -522,7 +536,8 @@ EpisodeResult SimEngine::Run(const std::vector<QuerySubmission>& workload,
         // flags): invalidate cached encodings for this query.
         ctx_.MarkQueryDirty(q->id());
         q->AddAttainedService(p.est_seconds_per_fused);
-        recorder_.OnWorkOrderCompleted(p.decision_id, now - busy_since);
+        recorder_.OnWorkOrderCompleted(p.query, p.decision_id,
+                                       now - busy_since, now);
         ++p.succeeded;
 
         // Retire fully-executed pipelines (swap-erase keeps indices of

@@ -125,7 +125,8 @@ const char* DecisionLog::CsvHeader() {
   return "id,time,engine,event,policy,candidates,num_candidates,"
          "running_queries,free_threads,chosen_query,chosen_root,op_type,"
          "degree,max_threads,num_pipelines,planned_work_orders,"
-         "predicted_score,schedule_wall_us,realized_seconds,fallback";
+         "predicted_score,schedule_wall_us,realized_seconds,fallback,"
+         "tenant";
 }
 
 void DecisionLog::WriteCsv(std::ostream& out) const {
@@ -153,7 +154,7 @@ void DecisionLog::WriteCsv(std::ostream& out) const {
       out << r.predicted_score;
     }
     out << ',' << r.schedule_wall_us << ',' << r.realized_seconds << ','
-        << (r.fallback ? 1 : 0) << "\n";
+        << (r.fallback ? 1 : 0) << ',' << r.tenant << "\n";
   }
 }
 
@@ -172,7 +173,7 @@ bool ParseDecisionCsv(std::istream& in, std::vector<DecisionRecord>* out) {
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     const std::vector<std::string> f = SplitCsvLine(line);
-    if (f.size() != 20) return false;
+    if (f.size() != 21) return false;
     DecisionRecord r;
     try {
       r.id = std::stoll(f[0]);
@@ -195,6 +196,7 @@ bool ParseDecisionCsv(std::istream& in, std::vector<DecisionRecord>* out) {
       r.schedule_wall_us = std::stod(f[17]);
       r.realized_seconds = std::stod(f[18]);
       r.fallback = f[19] == "1";
+      r.tenant = std::stoi(f[20]);
     } catch (...) {
       return false;
     }

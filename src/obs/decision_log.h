@@ -52,6 +52,10 @@ struct DecisionRecord {
   double schedule_wall_us = 0.0;  ///< wall time inside Schedule()
   double realized_seconds = 0.0;  ///< measured runtime of launched work orders
   bool fallback = false;
+  /// Tenant of the chosen query (serving mode; -1 when no pipeline was
+  /// chosen or the run predates multi-tenancy). Keys the per-tenant drift
+  /// shards (DriftMonitor) without making src/obs depend on src/exec.
+  int32_t tenant = -1;
 };
 
 inline constexpr int kMaxLoggedCandidates = 32;

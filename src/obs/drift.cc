@@ -122,12 +122,16 @@ DriftMonitor::~DriftMonitor() {
 
 void DriftMonitor::Observe(const std::string& key, double predicted,
                            double realized) {
+  Observe(key, /*tenant=*/-1, predicted, realized);
+}
+
+void DriftMonitor::Observe(const std::string& key, int32_t tenant,
+                           double predicted, double realized) {
   if (!Enabled()) return;
   if (!std::isfinite(predicted) || !std::isfinite(realized)) return;
   const double err = predicted - realized;
 
-  DriftAlarm alarm;
-  bool fire = false;
+  std::vector<DriftAlarm> fired;
   std::vector<std::function<void(const DriftAlarm&)>> callbacks;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -183,13 +187,53 @@ void DriftMonitor::Observe(const std::string& key, double predicted,
           std::max(ph_up_, ph_down_) / std::max(config_.ph_lambda, 1e-12);
       if (score >= 1.0 && !alarmed_) {
         alarmed_ = true;
-        fire = true;
+        DriftAlarm alarm;
         alarm.drift_score = score;
         alarm.sample_count = count_;
         alarm.error_mean = mean_;
         alarm.error_std = std;
         alarm.upward = ph_up_ >= ph_down_;
-        callbacks = callbacks_;
+        alarm.tenant = -1;
+        fired.push_back(alarm);
+      }
+    }
+
+    // Per-tenant drift shard: the same machinery, keyed by the tenant of
+    // the decision, so one tenant's template mix can trigger a retrain
+    // while the blended global stream still looks stationary.
+    if (TenantShard* shard = tenant >= 0 ? ShardFor(tenant) : nullptr) {
+      ++shard->count;
+      const double d = err - shard->mean;
+      shard->mean += d / static_cast<double>(shard->count);
+      shard->m2 += d * (err - shard->mean);
+      shard->error_sum += err;
+      shard->p50.Observe(err);
+      shard->p99.Observe(err);
+      if (shard->count > config_.min_samples) {
+        const double var = shard->m2 / static_cast<double>(shard->count - 1);
+        const double std = std::sqrt(std::max(var, 1e-24));
+        const double z = (err - shard->mean) / std;
+        shard->ph_up = std::max(0.0, shard->ph_up + z - config_.ph_delta);
+        shard->ph_down = std::max(0.0, shard->ph_down - z - config_.ph_delta);
+        const double score = std::max(shard->ph_up, shard->ph_down) /
+                             std::max(config_.ph_lambda, 1e-12);
+        if (score >= 1.0 && !shard->alarmed) {
+          shard->alarmed = true;
+          DriftAlarm alarm;
+          alarm.drift_score = score;
+          alarm.sample_count = shard->count;
+          alarm.error_mean = shard->mean;
+          alarm.error_std = std;
+          alarm.upward = shard->ph_up >= shard->ph_down;
+          alarm.tenant = tenant;
+          fired.push_back(alarm);
+        }
+      }
+      if (config_.export_gauges) {
+        shard->drift_score_gauge->Set(std::max(shard->ph_up, shard->ph_down) /
+                                      std::max(config_.ph_lambda, 1e-12));
+        shard->pred_error_p50_gauge->Set(shard->p50.Value());
+        shard->pred_error_p99_gauge->Set(shard->p99.Value());
       }
     }
 
@@ -201,16 +245,38 @@ void DriftMonitor::Observe(const std::string& key, double predicted,
       pred_error_p99_gauge_->Set(global_p99_.Value());
       pred_error_mean_gauge_->Set(mean_);
     }
+    if (!fired.empty()) callbacks = callbacks_;
   }
-  if (fire) {
-    if (drift_alarms_counter_ != nullptr) drift_alarms_counter_->Add(1);
-    for (const auto& cb : callbacks) cb(alarm);
+  if (!fired.empty()) {
+    if (drift_alarms_counter_ != nullptr) {
+      drift_alarms_counter_->Add(static_cast<int64_t>(fired.size()));
+    }
+    for (const DriftAlarm& alarm : fired) {
+      for (const auto& cb : callbacks) cb(alarm);
+    }
   }
+}
+
+DriftMonitor::TenantShard* DriftMonitor::ShardFor(int32_t tenant) {
+  for (auto& [id, shard] : tenants_) {
+    if (id == tenant) return &shard;
+  }
+  if (tenants_.size() >= config_.max_tenants) return nullptr;
+  tenants_.emplace_back(tenant, TenantShard{});
+  TenantShard& shard = tenants_.back().second;
+  if (config_.export_gauges) {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    const std::string prefix = "model.tenant" + std::to_string(tenant) + ".";
+    shard.drift_score_gauge = reg.GetGauge(prefix + "drift_score");
+    shard.pred_error_p50_gauge = reg.GetGauge(prefix + "pred_error_p50");
+    shard.pred_error_p99_gauge = reg.GetGauge(prefix + "pred_error_p99");
+  }
+  return &shard;
 }
 
 void DriftMonitor::ObserveRecord(const DecisionRecord& record) {
   Observe(record.op_type.empty() ? std::string("unknown") : record.op_type,
-          record.predicted_score, record.realized_seconds);
+          record.tenant, record.predicted_score, record.realized_seconds);
 }
 
 void DriftMonitor::AttachToDecisionLog() {
@@ -245,6 +311,30 @@ int64_t DriftMonitor::sample_count() const {
   return count_;
 }
 
+std::vector<std::pair<int32_t, DriftMonitor::TenantStats>>
+DriftMonitor::SnapshotTenants() const {
+  std::vector<std::pair<int32_t, TenantStats>> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(tenants_.size());
+    for (const auto& [id, s] : tenants_) {
+      TenantStats stats;
+      stats.count = s.count;
+      stats.mean_error =
+          s.count == 0 ? 0.0 : s.error_sum / static_cast<double>(s.count);
+      stats.drift_score = std::max(s.ph_up, s.ph_down) /
+                          std::max(config_.ph_lambda, 1e-12);
+      stats.alarmed = s.alarmed;
+      stats.p50 = s.p50.Value();
+      stats.p99 = s.p99.Value();
+      out.emplace_back(id, stats);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
 std::vector<std::pair<std::string, DriftMonitor::KeyStats>>
 DriftMonitor::SnapshotKeys() const {
   std::vector<std::pair<std::string, KeyStats>> out;
@@ -277,6 +367,7 @@ void DriftMonitor::Reset() {
   global_p50_ = P2Quantile(0.5);
   global_p99_ = P2Quantile(0.99);
   keys_.clear();
+  tenants_.clear();
 }
 
 DriftMonitor& DriftMonitor::Global() {

@@ -75,6 +75,12 @@ struct DriftConfig {
   /// Per-key (operator type) sketch cap; overflow keys collapse into
   /// "other".
   size_t max_keys = 64;
+  /// Per-tenant drift-shard cap (serving mode): each tenant gets its own
+  /// Page-Hinkley accumulators + error quantile sketches so a retrain
+  /// trigger can fire for one tenant's mix while the global stream looks
+  /// stationary. Samples from tenants past the cap only feed the global
+  /// monitor.
+  size_t max_tenants = 16;
   /// Publish the model.* gauges on every Observe.
   bool export_gauges = true;
 };
@@ -85,6 +91,8 @@ struct DriftAlarm {
   double error_mean = 0.0;    ///< running mean of the signed error
   double error_std = 0.0;     ///< running std of the signed error
   bool upward = false;        ///< direction of the detected shift
+  /// Tenant whose shard fired, or -1 for the process-global stream.
+  int32_t tenant = -1;
 };
 
 #if LSCHED_OBS_ENABLED
@@ -102,8 +110,13 @@ class DriftMonitor {
   /// predicted score log NaN). Thread-safe.
   void Observe(const std::string& key, double predicted, double realized);
 
+  /// Same, additionally routing the sample into `tenant`'s drift shard
+  /// (tenant < 0 feeds only the global stream).
+  void Observe(const std::string& key, int32_t tenant, double predicted,
+               double realized);
+
   /// Convenience: Observe() with the fields of a back-filled decision
-  /// record (key = op_type, "unknown" when empty).
+  /// record (key = op_type, "unknown" when empty; tenant = record.tenant).
   void ObserveRecord(const DecisionRecord& record);
 
   /// Registers this monitor as the decision log's back-fill observer so
@@ -132,6 +145,17 @@ class DriftMonitor {
   /// Per-operator-type error stats, sorted by key.
   std::vector<std::pair<std::string, KeyStats>> SnapshotKeys() const;
 
+  struct TenantStats {
+    int64_t count = 0;
+    double mean_error = 0.0;
+    double drift_score = 0.0;  ///< shard Page-Hinkley statistic / ph_lambda
+    bool alarmed = false;
+    double p50 = 0.0;
+    double p99 = 0.0;
+  };
+  /// Per-tenant drift-shard stats, sorted by tenant id.
+  std::vector<std::pair<int32_t, TenantStats>> SnapshotTenants() const;
+
   /// Clears all state (sketches, Page-Hinkley accumulators, the alarm
   /// latch) but keeps callbacks and attachment.
   void Reset();
@@ -150,6 +174,28 @@ class DriftMonitor {
     P2Quantile p99{0.99};
   };
 
+  /// One tenant's drift shard: the same Welford + one-sided Page-Hinkley
+  /// machinery as the global stream, plus its own error quantiles and
+  /// model.tenant<id>.* gauges.
+  struct TenantShard {
+    int64_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double ph_up = 0.0;
+    double ph_down = 0.0;
+    bool alarmed = false;
+    double error_sum = 0.0;
+    P2Quantile p50{0.5};
+    P2Quantile p99{0.99};
+    Gauge* drift_score_gauge = nullptr;
+    Gauge* pred_error_p50_gauge = nullptr;
+    Gauge* pred_error_p99_gauge = nullptr;
+  };
+
+  /// Finds/creates the shard for `tenant` (nullptr past max_tenants).
+  /// Caller holds mu_.
+  TenantShard* ShardFor(int32_t tenant);
+
   DriftConfig config_;
   mutable std::mutex mu_;
   // Running moments of the signed error (Welford).
@@ -163,6 +209,7 @@ class DriftMonitor {
   P2Quantile global_p50_{0.5};
   P2Quantile global_p99_{0.99};
   std::vector<std::pair<std::string, KeySketch>> keys_;  // small; linear scan
+  std::vector<std::pair<int32_t, TenantShard>> tenants_;  // small; linear scan
   std::vector<std::function<void(const DriftAlarm&)>> callbacks_;
   bool attached_ = false;
 
@@ -181,6 +228,7 @@ class DriftMonitor {
   explicit DriftMonitor(DriftConfig config = DriftConfig())
       : config_(config) {}
   void Observe(const std::string&, double, double) {}
+  void Observe(const std::string&, int32_t, double, double) {}
   void ObserveRecord(const DecisionRecord&) {}
   void AttachToDecisionLog() {}
   void DetachFromDecisionLog() {}
@@ -195,6 +243,17 @@ class DriftMonitor {
     double p99 = 0.0;
   };
   std::vector<std::pair<std::string, KeyStats>> SnapshotKeys() const {
+    return {};
+  }
+  struct TenantStats {
+    int64_t count = 0;
+    double mean_error = 0.0;
+    double drift_score = 0.0;
+    bool alarmed = false;
+    double p50 = 0.0;
+    double p99 = 0.0;
+  };
+  std::vector<std::pair<int32_t, TenantStats>> SnapshotTenants() const {
     return {};
   }
   void Reset() {}

@@ -11,6 +11,7 @@
 #include "obs/decision_log.h"
 #include "obs/drift.h"
 #include "obs/exporter.h"
+#include "obs/query_trace.h"
 #include "obs/scalar_events.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -52,6 +53,14 @@ void ExitDump() {
       LSCHED_LOG(Error) << "failed to write scalar event log to " << path;
     }
   }
+  if (const char* path = std::getenv("LSCHED_QUERY_TRACE")) {
+    if (QueryTraceLog::Global().WriteCsv(std::string(path))) {
+      LSCHED_LOG(Info) << "wrote query trace log to " << path << " ("
+                       << QueryTraceLog::Global().size() << " queries)";
+    } else {
+      LSCHED_LOG(Error) << "failed to write query trace log to " << path;
+    }
+  }
 }
 
 void StopExporterAtExit() { GlobalExporter().Stop(); }
@@ -65,7 +74,8 @@ struct Runtime {
     }
     if (std::getenv("LSCHED_TRACE_EXPORT") != nullptr ||
         std::getenv("LSCHED_DECISION_LOG") != nullptr ||
-        std::getenv("LSCHED_SCALAR_EVENTS") != nullptr) {
+        std::getenv("LSCHED_SCALAR_EVENTS") != nullptr ||
+        std::getenv("LSCHED_QUERY_TRACE") != nullptr) {
       std::atexit(ExitDump);
     }
     if (StartExporterFromEnv()) {
@@ -90,6 +100,13 @@ thread_local uint32_t tls_thread_id = UINT32_MAX;
 
 thread_local double tls_predicted_score =
     std::numeric_limits<double>::quiet_NaN();
+
+/// Bounded thread-local buffer for the serving-action channel. One
+/// FilterDecision call produces at most a handful of actions; 64 bounds
+/// pathological policies without heap traffic.
+constexpr size_t kMaxPendingServingActions = 64;
+thread_local ServingAction tls_serving_actions[kMaxPendingServingActions];
+thread_local size_t tls_num_serving_actions = 0;
 
 }  // namespace
 
@@ -123,6 +140,23 @@ double TakePredictedScore() {
   const double score = tls_predicted_score;
   tls_predicted_score = std::numeric_limits<double>::quiet_NaN();
   return score;
+}
+
+void AnnotateServingAction(int32_t kind, int64_t query, int64_t other) {
+  if (!Enabled()) return;
+  if (tls_num_serving_actions >= kMaxPendingServingActions) return;
+  ServingAction& a = tls_serving_actions[tls_num_serving_actions++];
+  a.kind = kind;
+  a.query = query;
+  a.other = other;
+}
+
+size_t TakeServingActions(ServingAction* out, size_t max) {
+  const size_t n =
+      tls_num_serving_actions < max ? tls_num_serving_actions : max;
+  for (size_t i = 0; i < n; ++i) out[i] = tls_serving_actions[i];
+  tls_num_serving_actions = 0;
+  return n;
 }
 
 }  // namespace obs

@@ -17,6 +17,7 @@
 // as CSV at process exit.
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 
@@ -63,6 +64,28 @@ double NowMicros();
 void AnnotatePredictedScore(double score);
 double TakePredictedScore();
 
+/// Annotation channel between serving-layer decision post-processing and
+/// the query-trace recorder: ServingPolicy::FilterDecision announces each
+/// fairness redirection / injection it applies; EpisodeRecorder — which
+/// runs immediately afterwards on the same (coordinator) thread — drains
+/// the pending actions into lifetime-trace edges. Thread-local, bounded,
+/// cleared on TakeServingActions().
+struct ServingAction {
+  enum Kind : int32_t {
+    kRedirect = 0,         ///< `query`'s launch rewritten to `other`
+    kInjectPriority = 1,   ///< launch injected for starved class `query`
+    kInjectShare = 2,      ///< launch injected for under-share `query`
+  };
+  int32_t kind = kRedirect;
+  int64_t query = -1;
+  int64_t other = -1;
+};
+
+void AnnotateServingAction(int32_t kind, int64_t query, int64_t other);
+/// Drains pending actions (oldest first, at most `max`) into `out`;
+/// returns the number written. The channel is emptied either way.
+size_t TakeServingActions(ServingAction* out, size_t max);
+
 #else  // !LSCHED_OBS_ENABLED
 
 inline bool Enabled() { return false; }
@@ -74,6 +97,20 @@ inline void AnnotatePredictedScore(double) {}
 inline double TakePredictedScore() {
   return std::numeric_limits<double>::quiet_NaN();
 }
+
+struct ServingAction {
+  enum Kind : int32_t {
+    kRedirect = 0,
+    kInjectPriority = 1,
+    kInjectShare = 2,
+  };
+  int32_t kind = kRedirect;
+  int64_t query = -1;
+  int64_t other = -1;
+};
+
+inline void AnnotateServingAction(int32_t, int64_t, int64_t) {}
+inline size_t TakeServingActions(ServingAction*, size_t) { return 0; }
 
 #endif  // LSCHED_OBS_ENABLED
 

@@ -1,0 +1,180 @@
+#ifndef LSCHED_OBS_QUERY_TRACE_H_
+#define LSCHED_OBS_QUERY_TRACE_H_
+
+// Per-query lifetime traces (DESIGN.md §8.2): every query accumulates a
+// causally ordered record of lifecycle edges — arrival, the admission
+// verdict from the ServingHooks seam (admit / shed / displace), every
+// scheduler decision that considered but skipped it (with the policy's
+// predicted score), fairness redirections and injections applied by
+// decision post-processing, each work-order dispatch / completion /
+// failure / retry, and the terminal transition. The edge stream is the
+// ground truth the canonical latency decomposition (LatencyBreakdown) is
+// derived from: DeriveBreakdown() below is the single pure derivation both
+// engines' decompositions must agree with bit-for-bit.
+//
+// Capture is assembled episode-locally by EpisodeRecorder (coordinator
+// thread only) and published per terminal query into the process-global
+// QueryTraceLog — a mutex-guarded ring of the most recent traces, dumped
+// to CSV via LSCHED_QUERY_TRACE=<path> or `lsched_cli serve --trace-out=`.
+// `lsched_cli explain <query-id>` replays a dumped trace into a
+// human-readable timeline (RenderExplain).
+//
+// The plain-data types and pure functions (parse / derive / render) are
+// compiled in every build mode so offline tooling keeps working; the
+// QueryTraceLog itself compiles to a no-op stub under -DLSCHED_OBS=OFF
+// like the rest of src/obs.
+
+#include <cstdint>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "exec/exec_types.h"
+#include "obs/obs.h"
+
+namespace lsched {
+namespace obs {
+
+/// One lifecycle edge. `a`/`b`/`value` are kind-specific (see each kind).
+enum class TraceEdgeKind : uint8_t {
+  kArrival = 0,    ///< query entered the system (a=tenant, b=priority)
+  kAdmit,          ///< admission verdict: admitted (a=1 when it displaced
+                   ///< another query, see kDisplace)
+  kShed,           ///< admission verdict: refused / load-shed at the door
+  kDisplace,       ///< this (admitted) query displaced victim a
+  kDisplacedBy,    ///< this query was displaced by newcomer a
+  kConsideredSkipped,  ///< a scheduler decision considered this query but
+                       ///< chose another (a=decision id, b=chosen query,
+                       ///< value=policy's predicted score for its choice)
+  kFallback,       ///< like kConsideredSkipped, but the decision came from
+                   ///< a guard fallback (GuardedPolicy FIFO path)
+  kScheduled,      ///< a pipeline of this query launched (a=decision id,
+                   ///< b=root op, value=pipeline degree)
+  kRedirected,     ///< fairness post-processing redirected this query's
+                   ///< launch to query a (the wait continues)
+  kInjected,       ///< fairness post-processing injected a launch for this
+                   ///< query (a=query it was taken from or -1;
+                   ///< value: 1=priority injection, 2=share injection)
+  kDispatch,       ///< a work-order attempt was handed to a thread
+                   ///< (value!=0 marks a retry dispatch)
+  kComplete,       ///< a work-order attempt completed (value=seconds)
+  kFailed,         ///< a work-order attempt failed / expired
+  kRetry,          ///< a failed attempt was queued for re-dispatch
+  kTerminal,       ///< terminal transition (a=QueryStatus as int,
+                   ///< value=end-to-end latency seconds)
+};
+
+const char* TraceEdgeKindName(TraceEdgeKind k);
+
+struct TraceEdge {
+  double time = 0.0;  ///< engine time (virtual or wall seconds)
+  TraceEdgeKind kind = TraceEdgeKind::kArrival;
+  int64_t a = -1;
+  int64_t b = -1;
+  double value = 0.0;
+};
+
+/// The published lifetime record of one terminal query.
+struct QueryTraceRecord {
+  int64_t query = -1;
+  int32_t tenant = 0;
+  int32_t priority = 1;       ///< QueryPriority as int
+  std::string engine;         ///< "sim" or "real"
+  int32_t final_status = 0;   ///< QueryStatus as int
+  double arrival_time = 0.0;
+  double terminal_time = 0.0;
+  LatencyBreakdown breakdown;  ///< the engine-computed decomposition
+  std::vector<TraceEdge> edges;
+  int64_t dropped_edges = 0;  ///< edges not recorded (per-query cap hit)
+};
+
+/// Per-query edge cap: beyond this, edges are counted in `dropped_edges`
+/// instead of stored (the terminal edge is always kept).
+inline constexpr int kMaxTraceEdgesPerQuery = 128;
+
+/// Replays a record's edge stream through the same integer-nanosecond
+/// four-bucket state machine the engines run online (EpisodeRecorder), so
+/// for any record with dropped_edges == 0 the result is bit-identical to
+/// `record.breakdown` regardless of which engine produced it. This is the
+/// canonical definition of the decomposition.
+LatencyBreakdown DeriveBreakdown(const QueryTraceRecord& record);
+
+/// Renders a record as a human-readable timeline plus a per-segment
+/// attribution naming the redirection / displacement / guard fallback
+/// responsible for each wait segment (`lsched_cli explain`).
+std::string RenderExplain(const QueryTraceRecord& record);
+
+/// CSV: one row per edge, per-query columns repeated; header below.
+std::string QueryTraceCsvHeader();
+void WriteQueryTraceCsv(const std::vector<QueryTraceRecord>& records,
+                        std::ostream& os);
+/// Parses a CSV produced by WriteQueryTraceCsv. Returns false (leaving
+/// `out` in an unspecified state) on a malformed header or row.
+bool ParseQueryTraceCsv(std::istream& is, std::vector<QueryTraceRecord>* out);
+
+#if LSCHED_OBS_ENABLED
+
+/// Process-global bounded log of the most recently finished query traces.
+/// Thread-safe; Record() is one mutex acquisition per *terminal query*
+/// (not per edge), so it stays off the per-work-order hot path.
+class QueryTraceLog {
+ public:
+  explicit QueryTraceLog(size_t capacity = 4096);
+
+  /// Capture master switch (default on). When off, EpisodeRecorder skips
+  /// edge assembly entirely; flipping it takes effect at the next
+  /// EpisodeRecorder::Begin().
+  void SetCapture(bool on);
+  bool capture_enabled() const;
+
+  void Record(QueryTraceRecord record);
+
+  /// All retained records, oldest first.
+  std::vector<QueryTraceRecord> Snapshot() const;
+  /// Most recent record for `query`; false if none retained.
+  bool Find(int64_t query, QueryTraceRecord* out) const;
+  size_t size() const;
+  void Clear();
+
+  /// Dumps Snapshot() as CSV. Returns false when the file can't be opened.
+  bool WriteCsv(const std::string& path) const;
+
+  /// The process-global instance (leaked singleton, like DecisionLog).
+  static QueryTraceLog& Global();
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  size_t next_ = 0;        ///< ring insert position
+  bool wrapped_ = false;
+  bool capture_ = true;
+  std::vector<QueryTraceRecord> ring_;
+};
+
+#else  // !LSCHED_OBS_ENABLED
+
+class QueryTraceLog {
+ public:
+  explicit QueryTraceLog(size_t = 4096) {}
+  void SetCapture(bool) {}
+  bool capture_enabled() const { return false; }
+  void Record(QueryTraceRecord) {}
+  std::vector<QueryTraceRecord> Snapshot() const { return {}; }
+  bool Find(int64_t, QueryTraceRecord*) const { return false; }
+  size_t size() const { return 0; }
+  void Clear() {}
+  bool WriteCsv(const std::string&) const { return false; }
+  static QueryTraceLog& Global() {
+    static QueryTraceLog log;
+    return log;
+  }
+};
+
+#endif  // LSCHED_OBS_ENABLED
+
+}  // namespace obs
+}  // namespace lsched
+
+#endif  // LSCHED_OBS_QUERY_TRACE_H_

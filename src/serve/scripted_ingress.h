@@ -2,12 +2,14 @@
 #define LSCHED_SERVE_SCRIPTED_INGRESS_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "exec/exec_types.h"
 #include "exec/real_engine.h"
 #include "exec/sim_engine.h"
 #include "plan/query_plan.h"
+#include "serve/tenant_table.h"
 
 namespace lsched {
 
@@ -79,6 +81,22 @@ class ScriptedIngress {
   const std::vector<QueryPlan>& plans() const { return plans_; }
   int num_submissions() const { return num_submissions_; }
 
+  /// Declares `tenant`'s latency SLO as part of the script, so a replay —
+  /// simulated or live — carries its objectives with it
+  /// (ServingDaemon::RunScript/Replay apply them to the tenant table).
+  void SetTenantSlo(TenantId tenant, const TenantSlo& slo) {
+    for (auto& [t, s] : tenant_slos_) {
+      if (t == tenant) {
+        s = slo;
+        return;
+      }
+    }
+    tenant_slos_.emplace_back(tenant, slo);
+  }
+  const std::vector<std::pair<TenantId, TenantSlo>>& tenant_slos() const {
+    return tenant_slos_;
+  }
+
   /// The script as a SimEngine workload: submission ordinal i is workload
   /// index (= QueryId) i, arriving at its scripted time.
   std::vector<QuerySubmission> SimWorkload() const;
@@ -94,6 +112,7 @@ class ScriptedIngress {
  private:
   std::vector<IngressEvent> events_;
   std::vector<QueryPlan> plans_;
+  std::vector<std::pair<TenantId, TenantSlo>> tenant_slos_;
   int num_submissions_ = 0;
 };
 

@@ -22,6 +22,9 @@ EpisodeResult ServingDaemon::RunScript(const ScriptedIngress& ingress,
                                        Scheduler* scheduler) {
   LSCHED_CHECK(real_ == nullptr);  // not while live serving
   policy_.Reset();
+  for (const auto& [tenant, slo] : ingress.tenant_slos()) {
+    policy_.tenants().SetSlo(tenant, slo);
+  }
   SimEngineConfig cfg = config_.sim;
   cfg.hooks = &policy_;
   cfg.cancels = ingress.SimCancels();
@@ -52,6 +55,9 @@ void ServingDaemon::Cancel(QueryId query) {
 std::vector<QueryId> ServingDaemon::Replay(const ScriptedIngress& ingress,
                                            double time_scale) {
   LSCHED_CHECK(serving());
+  for (const auto& [tenant, slo] : ingress.tenant_slos()) {
+    policy_.tenants().SetSlo(tenant, slo);
+  }
   std::vector<QueryId> ids(ingress.num_submissions(), kInvalidQuery);
   WallClock clock;
   int ordinal = 0;

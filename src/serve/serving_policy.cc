@@ -9,6 +9,7 @@
 
 #include "exec/query_state.h"
 #include "exec/scheduling_context.h"
+#include "obs/obs.h"
 
 namespace lsched {
 
@@ -17,12 +18,18 @@ ServingPolicy::ServingPolicy(ServingPolicyConfig config)
   for (const auto& [tenant, weight] : config_.tenant_weights) {
     table_.SetWeight(tenant, weight);
   }
+  for (const auto& [tenant, slo] : config_.tenant_slos) {
+    table_.SetSlo(tenant, slo);
+  }
 }
 
 void ServingPolicy::Reset() {
   table_.Reset();
   for (const auto& [tenant, weight] : config_.tenant_weights) {
     table_.SetWeight(tenant, weight);
+  }
+  for (const auto& [tenant, slo] : config_.tenant_slos) {
+    table_.SetSlo(tenant, slo);
   }
   num_shed_ = 0;
   num_displacements_ = 0;
@@ -112,6 +119,8 @@ void ServingPolicy::FilterDecision(SchedulingDecision* decision,
         // engine re-validates the choice in ApplyDecision, so if the
         // operator became unschedulable meanwhile it is skipped, not fatal.
         ++num_injections_;
+        obs::AnnotateServingAction(obs::ServingAction::kInjectPriority,
+                                   starved->id(), kInvalidQuery);
         decision->pipelines.insert(
             decision->pipelines.begin(),
             PipelineChoice{starved->id(), starved->SchedulableOps().front(),
@@ -194,6 +203,10 @@ void ServingPolicy::FilterDecision(SchedulingDecision* decision,
       }
       if (best != nullptr) {
         ++num_redirects_;
+        // Causal annotation for the query trace: `choice.query` lost this
+        // launch to `best` (fairness redirection).
+        obs::AnnotateServingAction(obs::ServingAction::kRedirect,
+                                   choice.query, best->id());
         claimed.insert({best->id(), best_op});
         ++planned[best->tag().tenant];
         choice = PipelineChoice{best->id(), best_op, 1};
@@ -239,6 +252,8 @@ void ServingPolicy::FilterDecision(SchedulingDecision* decision,
       }
       if (best == nullptr) break;
       ++num_redirects_;
+      obs::AnnotateServingAction(obs::ServingAction::kInjectShare, best->id(),
+                                 kInvalidQuery);
       claimed.insert({best->id(), best_op});
       ++planned[best->tag().tenant];
       ++planned_total;

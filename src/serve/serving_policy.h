@@ -37,6 +37,11 @@ struct ServingPolicyConfig {
 
   /// Fair-share weights per tenant; tenants not listed get weight 1.
   std::vector<std::pair<TenantId, double>> tenant_weights;
+
+  /// Latency SLOs per tenant; tenants not listed have no SLO. Applied to
+  /// the TenantTable at construction and on every Reset, and published as
+  /// `serve.tenant<id>.slo_burn_rate` gauges.
+  std::vector<std::pair<TenantId, TenantSlo>> tenant_slos;
 };
 
 /// The serving layer's decision post-processor: one ServingHooks

@@ -24,6 +24,15 @@ obs::Gauge* TenantGauge(TenantId tenant, const char* field) {
 
 }  // namespace
 
+double TenantStats::BurnRate() const {
+  if (!has_slo || slo_total <= 0) return 0.0;
+  const double budget = 1.0 - slo.percentile;
+  if (budget <= 0.0) return 0.0;
+  return (static_cast<double>(slo_violations) /
+          static_cast<double>(slo_total)) /
+         budget;
+}
+
 void TenantTable::Reset() {
   tenants_.clear();
   last_inflight_.clear();
@@ -40,6 +49,22 @@ double TenantTable::weight(TenantId tenant) const {
   return it == weights_.end() ? 1.0 : it->second;
 }
 
+void TenantTable::SetSlo(TenantId tenant, const TenantSlo& slo) {
+  LSCHED_CHECK(slo.target_seconds > 0.0);
+  LSCHED_CHECK(slo.percentile > 0.0 && slo.percentile < 1.0);
+  slos_[tenant] = slo;
+  TenantStats& s = Entry(tenant);
+  s.has_slo = true;
+  s.slo = slo;
+  TenantGauge(tenant, "slo_target_seconds")->Set(slo.target_seconds);
+  TenantGauge(tenant, "slo_burn_rate")->Set(s.BurnRate());
+}
+
+const TenantSlo* TenantTable::slo(TenantId tenant) const {
+  const auto it = slos_.find(tenant);
+  return it == slos_.end() ? nullptr : &it->second;
+}
+
 void TenantTable::OnArrival(const QueryTag& tag, bool admitted) {
   TenantStats& s = Entry(tag.tenant);
   ++s.arrived;
@@ -53,15 +78,19 @@ void TenantTable::OnArrival(const QueryTag& tag, bool admitted) {
 void TenantTable::OnTerminal(const QueryState& q, double now) {
   const TenantId tenant = q.tag().tenant;
   TenantStats& s = Entry(tenant);
+  const double latency = now - q.arrival_time();
+  bool slo_eligible = false;   // counts toward the SLO denominator
+  bool slo_violation = false;  // ... and against the error budget
   switch (q.status()) {
     case QueryStatus::kDone: {
       ++s.completed;
       TenantCounter(tenant, "completed")->Add(1);
-      const double latency = now - q.arrival_time();
       s.latency_p50.Observe(latency);
       s.latency_p99.Observe(latency);
       TenantGauge(tenant, "latency_p50")->Set(s.latency_p50.Value());
       TenantGauge(tenant, "latency_p99")->Set(s.latency_p99.Value());
+      slo_eligible = true;
+      slo_violation = s.has_slo && latency > s.slo.target_seconds;
       break;
     }
     case QueryStatus::kCancelled:
@@ -71,16 +100,54 @@ void TenantTable::OnTerminal(const QueryState& q, double now) {
     case QueryStatus::kFailed:
       ++s.failed;
       TenantCounter(tenant, "failed")->Add(1);
+      slo_eligible = true;
+      slo_violation = true;
       break;
     case QueryStatus::kShed:
       ++s.shed;
       TenantCounter(tenant, "shed")->Add(1);
+      slo_eligible = true;
+      slo_violation = true;
       break;
     default:
       LSCHED_CHECK(false);  // OnTerminal requires a terminal status
   }
+  if (q.status() != QueryStatus::kDone) {
+    // Refused-latency ledger: how long refused queries were strung along
+    // before the system gave up on them.
+    ++s.refused;
+    s.refused_latency_p50.Observe(latency);
+    s.refused_latency_p99.Observe(latency);
+    TenantGauge(tenant, "refused_latency_p50")
+        ->Set(s.refused_latency_p50.Value());
+    TenantGauge(tenant, "refused_latency_p99")
+        ->Set(s.refused_latency_p99.Value());
+  }
+  if (s.has_slo && slo_eligible) {
+    ++s.slo_total;
+    if (slo_violation) {
+      ++s.slo_violations;
+      TenantCounter(tenant, "slo_violations")->Add(1);
+    }
+    TenantGauge(tenant, "slo_burn_rate")->Set(s.BurnRate());
+  }
   s.service_seconds += q.attained_service();
   TenantGauge(tenant, "service_seconds")->Set(s.service_seconds);
+  // Latency decomposition (filled by the EpisodeRecorder before the hooks
+  // ran; DESIGN.md §8.2). Published as cumulative per-tenant sums so a
+  // scrape can tell queue-bound tenants from service-bound ones.
+  const LatencyBreakdown& b = q.breakdown();
+  if (b.valid) {
+    s.admission_wait_seconds += b.admission_seconds();
+    s.queue_wait_seconds += b.queue_seconds();
+    s.service_time_seconds += b.service_seconds();
+    s.stall_time_seconds += b.stall_seconds();
+    TenantGauge(tenant, "admission_wait_seconds")
+        ->Set(s.admission_wait_seconds);
+    TenantGauge(tenant, "queue_wait_seconds")->Set(s.queue_wait_seconds);
+    TenantGauge(tenant, "service_time_seconds")->Set(s.service_time_seconds);
+    TenantGauge(tenant, "stall_time_seconds")->Set(s.stall_time_seconds);
+  }
 }
 
 void TenantTable::PublishInflight(const std::map<TenantId, int>& live) {
@@ -110,7 +177,13 @@ std::vector<TenantId> TenantTable::ids() const {
 
 TenantStats& TenantTable::Entry(TenantId tenant) {
   auto [it, inserted] = tenants_.try_emplace(tenant);
-  if (inserted) it->second.weight = weight(tenant);
+  if (inserted) {
+    it->second.weight = weight(tenant);
+    if (const TenantSlo* s = slo(tenant)) {
+      it->second.has_slo = true;
+      it->second.slo = *s;
+    }
+  }
   return it->second;
 }
 

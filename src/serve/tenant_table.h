@@ -12,6 +12,19 @@ namespace lsched {
 
 class QueryState;
 
+/// Per-tenant latency objective: "`percentile` of this tenant's queries
+/// finish within `target_seconds`". The error budget is 1 - percentile;
+/// the burn rate is the observed bad-query fraction divided by that budget
+/// (burn rate 1.0 = spending the budget exactly as fast as allowed, > 1 =
+/// on track to violate the SLO). Queries the system refused (shed at
+/// admission, displaced, failed) count against the budget — a query the
+/// user never got an answer for is worse than a slow one. Cancels are the
+/// client's own doing and are excluded from the objective.
+struct TenantSlo {
+  double target_seconds = 0.0;
+  double percentile = 0.99;
+};
+
 /// Per-tenant serving statistics (DESIGN.md §11).
 struct TenantStats {
   /// Weighted-fair-share weight (relative; the share of threads and service
@@ -42,7 +55,37 @@ struct TenantStats {
   obs::P2Quantile latency_p50{0.5};
   obs::P2Quantile latency_p99{0.99};
 
+  /// Refused-latency ledger: time-in-system of queries that reached a
+  /// terminal state WITHOUT completing (shed, displaced, failed,
+  /// cancelled). The DONE-only quantiles above systematically undercount a
+  /// tenant's pain under load shedding — a tenant whose queries are all
+  /// refused instantly shows a perfect latency_p99 — so refused queries
+  /// get their own ledger and count against the SLO below.
+  int64_t refused = 0;
+  obs::P2Quantile refused_latency_p50{0.5};
+  obs::P2Quantile refused_latency_p99{0.99};
+
+  /// SLO accounting (only meaningful when has_slo). slo_total counts DONE +
+  /// SHED + FAILED terminals; slo_violations the subset that blew the
+  /// objective (over-target DONE, plus every SHED/FAILED).
+  bool has_slo = false;
+  TenantSlo slo;
+  int64_t slo_total = 0;
+  int64_t slo_violations = 0;
+
+  /// Cumulative latency decomposition over terminal queries
+  /// (QueryState::breakdown(), filled by the EpisodeRecorder before the
+  /// serving hooks run; DESIGN.md §8.2).
+  double admission_wait_seconds = 0.0;
+  double queue_wait_seconds = 0.0;
+  double service_time_seconds = 0.0;
+  double stall_time_seconds = 0.0;
+
   int64_t Terminal() const { return completed + cancelled + failed + shed; }
+
+  /// Burn rate of the SLO error budget; 0 when no SLO is set or nothing
+  /// has terminated yet.
+  double BurnRate() const;
 };
 
 /// Tenant accounting for the serving layer: counters, latency quantiles,
@@ -65,6 +108,12 @@ class TenantTable {
   void SetWeight(TenantId tenant, double weight);
   /// The configured weight, or 1.0 for tenants never configured.
   double weight(TenantId tenant) const;
+
+  /// Sets `tenant`'s latency SLO (target_seconds > 0, percentile in
+  /// (0, 1)). Publishes `serve.tenant<id>.slo_burn_rate` from then on.
+  void SetSlo(TenantId tenant, const TenantSlo& slo);
+  /// The configured SLO, or nullptr when the tenant has none.
+  const TenantSlo* slo(TenantId tenant) const;
 
   /// Records an admission consultation for `tag`'s tenant; `admitted` says
   /// whether the verdict let the query in.
@@ -92,6 +141,7 @@ class TenantTable {
   // std::map: deterministic iteration order for metric publication.
   std::map<TenantId, TenantStats> tenants_;
   std::map<TenantId, double> weights_;
+  std::map<TenantId, TenantSlo> slos_;  // survives Reset, like weights_
   /// Tenants with a nonzero inflight gauge (so PublishInflight can zero
   /// gauges of tenants that went idle).
   std::map<TenantId, int> last_inflight_;

@@ -101,6 +101,8 @@ TEST(PrometheusTest, GoldenCounterAndGauge) {
   obs::MetricsRegistry::Snapshot snap;
   snap.counters.push_back({"train.episodes", 7});
   snap.gauges.push_back({"model.drift_score", 2.5});
+  snap.gauges.push_back({"serve.tenant0.slo_burn_rate", 1.25});
+  snap.gauges.push_back({"model.tenant0.drift_score", 0.5});
   std::ostringstream out;
   obs::RenderPrometheusText(snap, out);
   EXPECT_EQ(out.str(),
@@ -109,7 +111,13 @@ TEST(PrometheusTest, GoldenCounterAndGauge) {
             "train_episodes 7\n"
             "# HELP model_drift_score model.drift_score\n"
             "# TYPE model_drift_score gauge\n"
-            "model_drift_score 2.5\n");
+            "model_drift_score 2.5\n"
+            "# HELP serve_tenant0_slo_burn_rate serve.tenant0.slo_burn_rate\n"
+            "# TYPE serve_tenant0_slo_burn_rate gauge\n"
+            "serve_tenant0_slo_burn_rate 1.25\n"
+            "# HELP model_tenant0_drift_score model.tenant0.drift_score\n"
+            "# TYPE model_tenant0_drift_score gauge\n"
+            "model_tenant0_drift_score 0.5\n");
 }
 
 TEST(PrometheusTest, HistogramBucketsAreCumulativeWithInf) {
@@ -270,6 +278,79 @@ TEST(DriftMonitorTest, PerKeyQuantilesAndOverflowKey) {
   EXPECT_EQ(keys[2].first, "other");
   EXPECT_EQ(keys[2].second.count, 100);
   EXPECT_NEAR(keys[2].second.mean_error, 0.0, 1e-9);
+}
+
+TEST(DriftMonitorTest, PerTenantShardsIsolateOneDriftingTenant) {
+  obs::SetEnabled(true);
+  obs::DriftConfig cfg = FastDriftConfig();
+  obs::DriftMonitor monitor(cfg);
+  Rng rng(11);
+  // Tenant 0 stays stationary throughout; tenant 1 is stationary for the
+  // first half, then its realized cost doubles while predictions stand
+  // still. Tenant 1's shard must alarm and name the tenant while tenant
+  // 0's shard stays quiet. (The blended global stream also sees half its
+  // traffic drift and may alarm on its own schedule — that is the
+  // coarse-grained signal the shards exist to sharpen, so it is not
+  // asserted either way here.)
+  obs::DriftAlarm shard_alarm;
+  int shard_fired = 0;
+  monitor.AddAlarmCallback([&](const obs::DriftAlarm& a) {
+    if (a.tenant >= 0) {
+      ++shard_fired;
+      shard_alarm = a;
+    }
+  });
+  for (int i = 0; i < 600; ++i) {
+    const double realized = 1.0 + 0.2 * rng.Normal();
+    monitor.Observe("scan", /*tenant=*/0, realized + 0.1 * rng.Normal(),
+                    realized);
+    monitor.Observe("scan", /*tenant=*/1, realized + 0.1 * rng.Normal(),
+                    realized);
+  }
+  ASSERT_FALSE(monitor.alarmed());
+  for (int i = 0; i < 600 && shard_fired == 0; ++i) {
+    const double stat = 1.0 + 0.2 * rng.Normal();
+    monitor.Observe("scan", /*tenant=*/0, stat + 0.1 * rng.Normal(), stat);
+    const double drifted = 2.0 + 0.2 * rng.Normal();
+    monitor.Observe("scan", /*tenant=*/1, (drifted - 1.0) + 0.1 * rng.Normal(),
+                    drifted);
+  }
+  ASSERT_EQ(shard_fired, 1) << "tenant shard must alarm";
+  EXPECT_EQ(shard_alarm.tenant, 1);
+
+  const auto tenants = monitor.SnapshotTenants();
+  ASSERT_EQ(tenants.size(), 2u);
+  EXPECT_EQ(tenants[0].first, 0);
+  EXPECT_FALSE(tenants[0].second.alarmed);
+  EXPECT_LT(tenants[0].second.drift_score, 1.0);
+  EXPECT_EQ(tenants[1].first, 1);
+  EXPECT_TRUE(tenants[1].second.alarmed);
+  EXPECT_GE(tenants[1].second.drift_score, 1.0);
+
+  // Per-tenant gauges exported under model.tenant<id>.*.
+  auto& reg = obs::MetricsRegistry::Global();
+  EXPECT_GE(reg.GetGauge("model.tenant1.drift_score")->Value(), 1.0);
+  EXPECT_LT(reg.GetGauge("model.tenant0.drift_score")->Value(), 1.0);
+
+  monitor.Reset();
+  EXPECT_TRUE(monitor.SnapshotTenants().empty());
+}
+
+TEST(DriftMonitorTest, TenantShardCapFeedsOnlyGlobalStream) {
+  obs::SetEnabled(true);
+  obs::DriftConfig cfg = FastDriftConfig();
+  cfg.max_tenants = 2;
+  obs::DriftMonitor monitor(cfg);
+  for (int i = 0; i < 10; ++i) {
+    monitor.Observe("scan", /*tenant=*/0, 1.0, 1.0);
+    monitor.Observe("scan", /*tenant=*/1, 1.0, 1.0);
+    monitor.Observe("scan", /*tenant=*/2, 1.0, 1.0);  // past the cap
+  }
+  EXPECT_EQ(monitor.sample_count(), 30);  // global stream sees everything
+  const auto tenants = monitor.SnapshotTenants();
+  ASSERT_EQ(tenants.size(), 2u);  // shard cap holds
+  EXPECT_EQ(tenants[0].first, 0);
+  EXPECT_EQ(tenants[1].first, 1);
 }
 
 TEST(DriftMonitorTest, IgnoresNonFiniteObservations) {

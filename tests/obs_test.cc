@@ -431,6 +431,7 @@ TEST(DecisionLogTest, CsvRoundTrip) {
   rec.max_threads = 8;
   rec.predicted_score = -0.5;
   rec.schedule_wall_us = 17.5;
+  rec.tenant = 3;
   const int64_t id = log.Add(rec);
   ASSERT_GE(id, 0);
   log.AddPipeline(id, 12);
@@ -472,8 +473,10 @@ TEST(DecisionLogTest, CsvRoundTrip) {
   EXPECT_DOUBLE_EQ(p.predicted_score, -0.5);
   EXPECT_DOUBLE_EQ(p.schedule_wall_us, 17.5);
   EXPECT_DOUBLE_EQ(p.realized_seconds, 1.0);
+  EXPECT_EQ(p.tenant, 3);
   EXPECT_FALSE(p.fallback);
   EXPECT_TRUE(parsed[1].fallback);
+  EXPECT_EQ(parsed[1].tenant, -1);
   EXPECT_TRUE(std::isnan(parsed[1].predicted_score));
   log.Clear();
   EXPECT_EQ(log.size(), 0u);

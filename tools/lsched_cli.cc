@@ -7,6 +7,7 @@
 //   lsched_cli report  --events=events.jsonl --decisions=decisions.csv
 //   lsched_cli chaos   --seed=1 --duration-seconds=120 --threads=4
 //   lsched_cli serve   --seed=1 --duration-seconds=60 --threads=4 --tenants=3
+//   lsched_cli explain 17 --trace=trace.csv
 //
 // Flags (all optional unless noted):
 //   --benchmark=tpch|ssb|job   workload family            [tpch]
@@ -32,6 +33,12 @@
 //   --max-live=N               admission bound (serve)     [32]
 //   --metrics-port=P           Prometheus exporter port, 0 = ephemeral,
 //                              < 0 = off (serve)           [-1]
+//   --slo-ms=N                 per-tenant latency SLO target, <= 0 = no SLO
+//                              (serve)                     [0]
+//   --slo-percentile=F         SLO percentile in (0,1) (serve) [0.99]
+//   --trace-out=PATH           dump the per-query lifetime trace CSV on
+//                              drain (serve; the input of `explain`)
+//   --trace=PATH               lifetime-trace CSV to read (explain)
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -46,6 +53,7 @@
 #include "core/agent.h"
 #include "core/trainer.h"
 #include "obs/decision_log.h"
+#include "obs/query_trace.h"
 #include "obs/drift.h"
 #include "obs/exporter.h"
 #include "obs/scalar_events.h"
@@ -83,6 +91,11 @@ struct Args {
   int tenants = 3;
   int max_live = 32;
   int metrics_port = -1;  // < 0 = exporter off
+  double slo_ms = 0.0;    // <= 0 = no SLO
+  double slo_percentile = 0.99;
+  std::string trace_out_path;
+  std::string trace_path;
+  int64_t explain_query = -1;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -139,6 +152,21 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->max_live = std::atoi(v16);
     } else if (const char* v17 = value("--metrics-port=")) {
       args->metrics_port = std::atoi(v17);
+    } else if (const char* v18 = value("--slo-ms=")) {
+      args->slo_ms = std::atof(v18);
+    } else if (const char* v19 = value("--slo-percentile=")) {
+      args->slo_percentile = std::atof(v19);
+    } else if (const char* v20 = value("--trace-out=")) {
+      args->trace_out_path = v20;
+    } else if (const char* v21 = value("--trace=")) {
+      args->trace_path = v21;
+    } else if (args->command == "explain" && !arg.empty() && arg[0] != '-') {
+      char* end = nullptr;
+      args->explain_query = std::strtoll(arg.c_str(), &end, 10);
+      if (end == arg.c_str() || *end != '\0' || args->explain_query < 0) {
+        std::fprintf(stderr, "explain: bad query id '%s'\n", arg.c_str());
+        return false;
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -581,6 +609,60 @@ int RunChaos(const Args& args) {
   return 0;
 }
 
+int RunExplain(const Args& args) {
+  // Replay a dumped lifetime trace (serve --trace-out= / LSCHED_QUERY_TRACE)
+  // into a human-readable timeline attributing each wait segment to the
+  // serving decision that caused it. Pure offline tooling: works in every
+  // build mode, on traces produced by any engine.
+  if (args.trace_path.empty()) {
+    std::fprintf(stderr, "explain: --trace=PATH is required\n");
+    return 2;
+  }
+  std::ifstream in(args.trace_path);
+  if (!in) {
+    std::fprintf(stderr, "explain: cannot open %s\n",
+                 args.trace_path.c_str());
+    return 1;
+  }
+  std::vector<obs::QueryTraceRecord> records;
+  if (!obs::ParseQueryTraceCsv(in, &records)) {
+    std::fprintf(stderr, "explain: malformed trace CSV %s\n",
+                 args.trace_path.c_str());
+    return 1;
+  }
+  if (args.explain_query < 0) {
+    // No query named: list what the trace holds so the user can pick one.
+    std::printf("%s: %zu query traces\n", args.trace_path.c_str(),
+                records.size());
+    std::printf("%8s %6s %8s %10s %8s %6s\n", "query", "tenant", "status",
+                "latency_s", "edges", "drops");
+    for (const obs::QueryTraceRecord& r : records) {
+      std::printf("%8lld %6d %8s %10.4f %8zu %6lld\n",
+                  static_cast<long long>(r.query), r.tenant,
+                  QueryStatusName(static_cast<QueryStatus>(r.final_status)),
+                  r.terminal_time - r.arrival_time, r.edges.size(),
+                  static_cast<long long>(r.dropped_edges));
+    }
+    return 0;
+  }
+  // Most recent record wins when the ring saw the id more than once.
+  const obs::QueryTraceRecord* found = nullptr;
+  for (const obs::QueryTraceRecord& r : records) {
+    if (r.query == args.explain_query) found = &r;
+  }
+  if (found == nullptr) {
+    std::fprintf(stderr,
+                 "explain: query %lld not in %s (%zu traces retained; the "
+                 "log is a bounded ring — rerun with a larger capture or "
+                 "explain a later query)\n",
+                 static_cast<long long>(args.explain_query),
+                 args.trace_path.c_str(), records.size());
+    return 1;
+  }
+  std::fputs(obs::RenderExplain(*found).c_str(), stdout);
+  return 0;
+}
+
 int RunServe(const Args& args) {
   // A live multi-tenant serving soak: start the daemon against real worker
   // threads, feed it a seeded Poisson arrival stream with fuzzed tenant and
@@ -604,6 +686,22 @@ int RunServe(const Args& args) {
   }
   cfg.real.num_threads = std::max(1, std::min(args.threads, 8));
   cfg.real.flush_window_queries = 8;
+  if (args.slo_ms > 0.0) {
+    TenantSlo slo;
+    slo.target_seconds = args.slo_ms / 1000.0;
+    slo.percentile = args.slo_percentile;
+    for (int t = 0; t < fopts.num_tenants; ++t) {
+      cfg.policy.tenant_slos.push_back({t, slo});
+    }
+  }
+  if (!args.trace_out_path.empty()) {
+    if (obs::kCompiledIn) {
+      obs::SetEnabled(true);  // trace capture needs the obs runtime on
+    } else {
+      std::fprintf(stderr, "serve: --trace-out needs -DLSCHED_OBS=ON; no "
+                   "trace will be written\n");
+    }
+  }
 
   obs::MetricsExporter exporter;
   if (args.metrics_port >= 0) {
@@ -648,6 +746,16 @@ int RunServe(const Args& args) {
 
   const RealRunResult result = daemon.Stop();
   exporter.Stop();
+  if (!args.trace_out_path.empty() && obs::kCompiledIn) {
+    if (obs::QueryTraceLog::Global().WriteCsv(args.trace_out_path)) {
+      std::fprintf(stderr, "serve: %zu query traces -> %s\n",
+                   obs::QueryTraceLog::Global().size(),
+                   args.trace_out_path.c_str());
+    } else {
+      std::fprintf(stderr, "serve: cannot write trace CSV %s\n",
+                   args.trace_out_path.c_str());
+    }
+  }
   const EpisodeResult& e = result.episode;
 
   auto fail = [&](const std::string& why) {
@@ -678,13 +786,13 @@ int RunServe(const Args& args) {
   int64_t arrived = 0, tenant_terminal = 0;
   std::printf(
       "tenant  weight  arrived admitted complete cancel fail shed "
-      "service_s    p50_s    p99_s\n");
+      "service_s    p50_s    p99_s     burn\n");
   for (TenantId t : daemon.tenants().ids()) {
     const TenantStats* s = daemon.tenants().stats(t);
     arrived += s->arrived;
     tenant_terminal += s->Terminal();
     std::printf("%6d %7.1f %8lld %8lld %8lld %6lld %4lld %4lld %9.3f %8.4f "
-                "%8.4f\n",
+                "%8.4f %8.3f\n",
                 t, daemon.tenants().weight(t),
                 static_cast<long long>(s->arrived),
                 static_cast<long long>(s->admitted),
@@ -692,7 +800,8 @@ int RunServe(const Args& args) {
                 static_cast<long long>(s->cancelled),
                 static_cast<long long>(s->failed),
                 static_cast<long long>(s->shed), s->service_seconds,
-                s->latency_p50.Value(), s->latency_p99.Value());
+                s->latency_p50.Value(), s->latency_p99.Value(),
+                s->BurnRate());
   }
   if (arrived != submitted) {
     return fail("per-tenant arrivals: " + std::to_string(arrived) + " != " +
@@ -724,13 +833,15 @@ int main(int argc, char** argv) {
   lsched::Args args;
   if (!lsched::ParseArgs(argc, argv, &args)) {
     std::fprintf(stderr,
-                 "usage: %s train|eval|compare|report|chaos|serve "
+                 "usage: %s train|eval|compare|report|chaos|serve|explain "
                  "[--benchmark=tpch|ssb|job] "
                  "[--episodes=N] [--queries=N] [--threads=N] [--batch] "
                  "[--model=PATH] [--out=PATH] [--transfer-from=PATH] "
                  "[--events=PATH] [--decisions=PATH] [--duration-seconds=S] "
                  "[--workloads=N] [--fault-log=PATH] [--tenants=N] "
-                 "[--max-live=N] [--metrics-port=P]\n",
+                 "[--max-live=N] [--metrics-port=P] [--slo-ms=N] "
+                 "[--slo-percentile=F] [--trace-out=PATH] "
+                 "[--trace=PATH] [query-id]\n",
                  argv[0]);
     return 2;
   }
@@ -740,6 +851,7 @@ int main(int argc, char** argv) {
   if (args.command == "report") return lsched::RunReport(args);
   if (args.command == "chaos") return lsched::RunChaos(args);
   if (args.command == "serve") return lsched::RunServe(args);
+  if (args.command == "explain") return lsched::RunExplain(args);
   std::fprintf(stderr, "unknown command: %s\n", args.command.c_str());
   return 2;
 }
