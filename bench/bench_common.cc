@@ -186,6 +186,19 @@ double PrintAvgRow(const std::string& name, const EpisodeResult& result) {
   return result.avg_latency;
 }
 
+bool WriteBenchSnapshot(const PerfSnapshot& snap) {
+  const char* env = std::getenv("LSCHED_BENCH_OUT");
+  const std::string path =
+      env != nullptr && *env != '\0' ? env : "BENCH_" + snap.name + ".json";
+  if (!WritePerfSnapshot(snap, path)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %s (%zu metrics, sha %s)\n", path.c_str(),
+              snap.metrics.size(), snap.git_sha.c_str());
+  return true;
+}
+
 void RunHeadlineComparison(const BenchConfig& bench, Benchmark benchmark,
                            bool include_fifo) {
   auto lsched_model =

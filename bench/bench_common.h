@@ -10,6 +10,7 @@
 #include "exec/sim_engine.h"
 #include "sched/decima.h"
 #include "sched/selftune.h"
+#include "util/perf_snapshot.h"
 #include "workload/workload.h"
 
 namespace lsched {
@@ -81,6 +82,12 @@ void PrintCdfRow(const std::string& name,
 
 /// Prints a one-line summary and returns the mean.
 double PrintAvgRow(const std::string& name, const EpisodeResult& result);
+
+/// Writes `snap` (provenance pre-filled by MakePerfSnapshot) to
+/// $LSCHED_BENCH_OUT if set, else BENCH_<name>.json in the working
+/// directory — the uniform perf-trajectory emission every bench shares so
+/// tools/bench_compare can diff any two runs. Prints the path written.
+bool WriteBenchSnapshot(const PerfSnapshot& snap);
 
 /// The full Figs. 8/9/10 experiment: trains LSched and Decima on the
 /// training split of `benchmark`, tunes SelfTune, then prints the CDF of

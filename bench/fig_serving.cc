@@ -162,36 +162,23 @@ int main() {
               best_name.c_str(),
               100.0 * (best_heuristic - lsched_mean) / best_heuristic);
 
-  const char* out_env = std::getenv("LSCHED_BENCH_OUT");
-  const std::string out = out_env != nullptr ? out_env : "BENCH_serving.json";
-  FILE* f = std::fopen(out.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", out.c_str());
-    return 1;
+  // Perf-trajectory snapshot in the uniform bench_common schema (flat
+  // metric keys, build/machine provenance embedded) so bench_compare can
+  // diff serving-path baselines across PRs.
+  PerfSnapshot snap = MakePerfSnapshot("serving");
+  snap.Add("queries", cfg.eval_queries);
+  snap.Add("threads", cfg.threads);
+  snap.Add("tenants", 3);
+  snap.Add("admission_bound", 32);
+  for (const PolicyRow& r : rows) {
+    snap.Add(r.name + ".mean_latency", r.mean);
+    snap.Add(r.name + ".p99_latency", r.p99);
+    snap.Add(r.name + ".completed", static_cast<double>(r.completed));
+    snap.Add(r.name + ".shed", static_cast<double>(r.shed));
+    snap.Add(r.name + ".mean_admission_wait", r.mean_admission_wait);
+    snap.Add(r.name + ".mean_queue_wait", r.mean_queue_wait);
+    snap.Add(r.name + ".mean_service_time", r.mean_service_time);
+    snap.Add(r.name + ".mean_stall_time", r.mean_stall_time);
   }
-  std::fprintf(f,
-               "{\n  \"figure\": \"serving\",\n  \"queries\": %d,\n"
-               "  \"threads\": %d,\n  \"tenants\": 3,\n"
-               "  \"admission_bound\": 32,\n  \"policies\": [\n",
-               cfg.eval_queries, cfg.threads);
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const PolicyRow& r = rows[i];
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"mean_latency\": %.6f, "
-                 "\"p99_latency\": %.6f, \"completed\": %lld, "
-                 "\"shed\": %lld,\n"
-                 "     \"mean_admission_wait\": %.6f, "
-                 "\"mean_queue_wait\": %.6f, "
-                 "\"mean_service_time\": %.6f, "
-                 "\"mean_stall_time\": %.6f}%s\n",
-                 r.name.c_str(), r.mean, r.p99,
-                 static_cast<long long>(r.completed),
-                 static_cast<long long>(r.shed), r.mean_admission_wait,
-                 r.mean_queue_wait, r.mean_service_time, r.mean_stall_time,
-                 i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("wrote %s\n", out.c_str());
-  return 0;
+  return WriteBenchSnapshot(snap) ? 0 : 1;
 }

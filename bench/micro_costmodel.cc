@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.h"
 #include "exec/kernels.h"
 #include "plan/cost_model.h"
 #include "plan/plan_builder.h"
@@ -127,7 +128,8 @@ void BM_HashAggregateKernel(benchmark::State& s) {
 BENCHMARK(BM_HashAggregateKernel);
 
 /// Not a google-benchmark: prints the calibration table comparing measured
-/// relative kernel costs against the cost model's assumed ratios.
+/// relative kernel costs against the cost model's assumed ratios, and
+/// emits the perf-trajectory snapshot.
 void PrintCalibrationTable() {
   auto catalog = MakeCatalog();
   const double select_s =
@@ -144,6 +146,15 @@ void PrintCalibrationTable() {
               select_s * 1e6,
               BaseCostPerRow(OperatorType::kSelect) * 4096 *
                   CostModelParams{}.seconds_per_cost_unit * 1e6);
+
+  PerfSnapshot snap = MakePerfSnapshot("costmodel");
+  snap.Add("select.us_per_work_order", select_s * 1e6);
+  snap.Add("tablescan.us_per_work_order", scan_s * 1e6);
+  snap.Add("tablescan.measured_ratio", scan_s / select_s);
+  snap.Add("tablescan.model_ratio",
+           BaseCostPerRow(OperatorType::kTableScan) /
+               BaseCostPerRow(OperatorType::kSelect));
+  bench::WriteBenchSnapshot(snap);
 }
 
 }  // namespace

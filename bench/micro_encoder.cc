@@ -3,6 +3,13 @@
 // predictor forward pass — the ingredients of the Fig. 13a overhead.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <vector>
+
+#include "bench/bench_common.h"
 #include "core/agent.h"
 #include "core/encoder.h"
 #include "core/predictor.h"
@@ -92,7 +99,60 @@ void BM_AgentScheduleDecision(benchmark::State& s) {
 }
 BENCHMARK(BM_AgentScheduleDecision)->Arg(4)->Arg(16)->Arg(64);
 
+/// Median microseconds per call over `reps` timed invocations (after one
+/// warmup). Manual timing rather than google-benchmark state so the same
+/// numbers land in the perf-trajectory snapshot.
+double MedianUsPerCall(const std::function<void()>& fn, int reps) {
+  fn();
+  std::vector<double> us;
+  us.reserve(static_cast<size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    us.push_back(std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  std::sort(us.begin(), us.end());
+  return us[us.size() / 2];
+}
+
+void WriteEncoderSnapshot() {
+  const char* env = std::getenv("LSCHED_ENCODER_REPS");
+  const int reps = env != nullptr && std::atoi(env) > 0 ? std::atoi(env) : 30;
+  Fixture tcn(16, /*use_tcn=*/true);
+  Fixture gcn(16, /*use_tcn=*/false);
+  PerfSnapshot snap = MakePerfSnapshot("encoder");
+  snap.Add("queries", 16);
+  snap.Add("reps", reps);
+  snap.Add("extract.p50_us", MedianUsPerCall([&] {
+             benchmark::DoNotOptimize(tcn.extractor->Extract(tcn.state));
+           }, reps));
+  snap.Add("encode_tcn.p50_us", MedianUsPerCall([&] {
+             Tape tape;
+             benchmark::DoNotOptimize(
+                 EncodeState(tcn.model.get(), tcn.features, &tape));
+           }, reps));
+  snap.Add("encode_gcn.p50_us", MedianUsPerCall([&] {
+             Tape tape;
+             benchmark::DoNotOptimize(
+                 EncodeState(gcn.model.get(), gcn.features, &tape));
+           }, reps));
+  snap.Add("forward.p50_us", MedianUsPerCall([&] {
+             Tape tape;
+             const EncodedState enc =
+                 EncodeState(tcn.model.get(), tcn.features, &tape);
+             benchmark::DoNotOptimize(
+                 RunPredictor(tcn.model.get(), tcn.features, enc, &tape));
+           }, reps));
+  bench::WriteBenchSnapshot(snap);
+}
+
 }  // namespace
 }  // namespace lsched
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  lsched::WriteEncoderSnapshot();
+  return 0;
+}

@@ -113,10 +113,14 @@ int main() {
   std::printf("micro_obs_overhead: %d queries, %d reps per mode\n", queries,
               reps);
   std::printf("  obs compiled in : %s\n", obs::kCompiledIn ? "yes" : "no");
+  PerfSnapshot snap = MakePerfSnapshot("obs_overhead");
+  snap.Add("queries", queries);
+  snap.Add("reps", reps);
   if (!obs::kCompiledIn) {
     // Every instrumentation site compiled to nothing; there is no runtime
     // switch to measure and the overhead is zero by construction.
     std::printf("  verdict         : PASS (compiled-out stub)\n");
+    WriteBenchSnapshot(snap);
     return 0;
   }
 
@@ -211,6 +215,14 @@ int main() {
              "tracing", serving);
   obs::SetEnabled(true);
   obs::QueryTraceLog::Global().SetCapture(true);
+
+  snap.Add("episode.obs_on_med_ms", 1000.0 * episode.on_med);
+  snap.Add("episode.obs_off_med_ms", 1000.0 * episode.off_med);
+  snap.Add("episode.slowdown_pct", episode.slowdown_pct);
+  snap.Add("serving.trace_on_med_ms", 1000.0 * serving.on_med);
+  snap.Add("serving.trace_off_med_ms", 1000.0 * serving.off_med);
+  snap.Add("serving.slowdown_pct", serving.slowdown_pct);
+  WriteBenchSnapshot(snap);
 
   const bool pass = serving.slowdown_pct < 3.0;
   std::printf("  verdict         : %s\n", pass ? "PASS" : "FAIL");

@@ -133,6 +133,9 @@ int main() {
   const auto workload = TestWorkload(Benchmark::kTpch, num_queries, false,
                                      cfg.eval_interarrival, cfg.seed + 77);
 
+  PerfSnapshot snap = MakePerfSnapshot("sched_latency");
+  snap.Add("queries", num_queries);
+  snap.Add("threads", cfg.threads);
   PrintCsvHeader();
   for (const NamedFactory& policy : policies) {
     // Fresh scheduler per path so per-policy caches never carry over.
@@ -165,6 +168,15 @@ int main() {
                                        : 0.0);
     PrintCsvRow("micro_sched_latency", policy.name, num_queries, cfg.threads,
                 "events", static_cast<double>(new_stats.events));
+
+    snap.Add(policy.name + ".old_p50_us", old_stats.p50_us);
+    snap.Add(policy.name + ".old_p99_us", old_stats.p99_us);
+    snap.Add(policy.name + ".new_p50_us", new_stats.p50_us);
+    snap.Add(policy.name + ".new_p99_us", new_stats.p99_us);
+    snap.Add(policy.name + ".new_mean_us", new_stats.mean_us);
+    snap.Add(policy.name + ".speedup_p50",
+             new_stats.p50_us > 0.0 ? old_stats.p50_us / new_stats.p50_us
+                                    : 0.0);
   }
-  return 0;
+  return WriteBenchSnapshot(snap) ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/encoder.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -213,6 +214,14 @@ SchedulingDecision LSchedAgent::Schedule(const SchedulingEvent& event,
   {
     obs::ScopedSpan span("sched.lsched.forward", "sched", "candidates",
                          static_cast<int64_t>(view.candidates.size()));
+    // NN batch occupancy (rows per forward call) for the "nn" counter
+    // table: every serving forward scores the whole candidate batch.
+    static obs::Counter* batch_calls =
+        obs::MetricsRegistry::Global().GetCounter("nn.batch_calls");
+    static obs::Counter* batch_rows =
+        obs::MetricsRegistry::Global().GetCounter("nn.batch_rows");
+    batch_calls->Add(1);
+    batch_rows->Add(static_cast<double>(view.candidates.size()));
     const Matrix aqe = ComputeAqeServing(*model_, view, &arena_);
     RunPredictorServing(*model_, view, aqe, &arena_, &serving_out_);
   }

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <iterator>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/math_util.h"
 
@@ -395,12 +396,20 @@ EncodingCache::Entry& EncodingCache::GetStructural(
     entries_.clear();
     params_epoch_ = epoch;
   }
+  // Process-wide mirrors of the per-instance counters feed the "encoder"
+  // counter table (obs/profiler.h); sharded counters keep this cheap.
+  static obs::Counter* hit_counter =
+      obs::MetricsRegistry::Global().GetCounter("sched.encoder_cache_hits");
+  static obs::Counter* miss_counter =
+      obs::MetricsRegistry::Global().GetCounter("sched.encoder_cache_misses");
   Entry& e = entries_[q.id()];
   if (e.version == version && version != 0) {
     ++hits_;
+    hit_counter->Add(1);
     return e;
   }
   ++misses_;
+  miss_counter->Add(1);
   e.version = version;
   e.features = extractor.ExtractQueryStructural(q);
   e.candidates = FeatureExtractor::SchedulableCandidates(q);

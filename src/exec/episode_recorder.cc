@@ -80,6 +80,7 @@ EpisodeRecorder::EpisodeRecorder() {
   fail_total_ = reg.GetCounter("exec.fail_total");
   shed_total_ = reg.GetCounter("exec.shed_total");
   inflight_high_water_ = reg.GetGauge("engine.inflight_high_water");
+  sched_overhead_fraction_ = reg.GetGauge("exec.sched_overhead_fraction");
   decision_seconds_ = reg.GetHistogram("sched.decision_seconds");
   pipeline_degree_ = reg.GetHistogram("sched.pipeline_degree");
   queue_wait_seconds_ = reg.GetHistogram("sched.queue_wait_seconds");
@@ -669,6 +670,44 @@ int64_t EpisodeRecorder::OnFallback(double now, const SchedulingContext& ctx,
   }
 #endif
   return decision_id;
+}
+
+void EpisodeRecorder::OnWorkerStates(
+    std::vector<prof::WorkerStateBuckets> buckets) {
+  result_.worker_states = std::move(buckets);
+  int64_t dispatch_ns = 0;
+  int64_t wall_ns = 0;
+  for (const prof::WorkerStateBuckets& b : result_.worker_states) {
+    dispatch_ns += b.ns[static_cast<int>(prof::WorkerState::kDispatch)];
+    wall_ns += b.wall_ns;
+  }
+  const double sched_seconds = result_.scheduler_wall_seconds;
+  const double denom = sched_seconds + static_cast<double>(wall_ns) * 1e-9;
+  result_.sched_overhead_fraction =
+      denom > 0.0
+          ? (sched_seconds + static_cast<double>(dispatch_ns) * 1e-9) / denom
+          : 0.0;
+  if (!obs::Enabled()) return;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  while (worker_gauges_.size() < result_.worker_states.size()) {
+    const size_t i = worker_gauges_.size();
+    std::array<obs::Gauge*, prof::kNumWorkerStates> gauges{};
+    for (int s = 0; s < prof::kNumWorkerStates; ++s) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "exec.worker%zu.%s_seconds", i,
+                    prof::WorkerStateName(static_cast<prof::WorkerState>(s)));
+      gauges[static_cast<size_t>(s)] = reg.GetGauge(name);
+    }
+    worker_gauges_.push_back(gauges);
+  }
+  for (size_t i = 0; i < result_.worker_states.size(); ++i) {
+    const prof::WorkerStateBuckets& b = result_.worker_states[i];
+    for (int s = 0; s < prof::kNumWorkerStates; ++s) {
+      worker_gauges_[i][static_cast<size_t>(s)]->Set(
+          static_cast<double>(b.ns[s]) * 1e-9);
+    }
+  }
+  sched_overhead_fraction_->Set(result_.sched_overhead_fraction);
 }
 
 void EpisodeRecorder::FlushWindow() {

@@ -1,6 +1,7 @@
 #ifndef LSCHED_EXEC_EPISODE_RECORDER_H_
 #define LSCHED_EXEC_EPISODE_RECORDER_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -168,6 +169,15 @@ class EpisodeRecorder {
     ++vs_total_;
   }
 
+  /// Per-worker state buckets from the engine's accountants (DESIGN.md
+  /// §8.3). Stores them into the result, recomputes the episode's
+  /// scheduler-overhead fraction, and publishes the
+  /// exec.worker<i>.*_seconds + exec.sched_overhead_fraction gauges.
+  /// Engines call this with exact buckets once the pool has stopped, and
+  /// may also call it with live (racy) reads on window flushes so a
+  /// serving daemon's /metrics stays fresh.
+  void OnWorkerStates(std::vector<prof::WorkerStateBuckets> buckets);
+
   /// Publishes everything accumulated since the last flush to the shared
   /// observability layer — registry counters/histograms, per-decision
   /// realized costs into the decision log (which feeds the drift monitor's
@@ -296,6 +306,10 @@ class EpisodeRecorder {
   obs::Counter* fail_total_;
   obs::Counter* shed_total_;
   obs::Gauge* inflight_high_water_;
+  obs::Gauge* sched_overhead_fraction_;
+  /// Lazily grown per-worker gauge handles, one per accounting state, so
+  /// rolling OnWorkerStates calls never rebuild metric-name strings.
+  std::vector<std::array<obs::Gauge*, prof::kNumWorkerStates>> worker_gauges_;
   obs::Histogram* decision_seconds_;
   obs::Histogram* pipeline_degree_;
   obs::Histogram* queue_wait_seconds_;

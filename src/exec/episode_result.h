@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "exec/exec_types.h"
+#include "obs/profiler.h"
 
 namespace lsched {
 
@@ -75,6 +76,18 @@ struct EpisodeResult {
   int64_t sum_stall_time_ns = 0;
   int64_t sum_latency_ns = 0;
   int num_queries_decomposed = 0;
+
+  /// --- worker-state accounting (DESIGN.md §8.3) -------------------------
+  /// Per-worker exact integer-ns state buckets (dispatch-overhead,
+  /// executing, idle, stalled, draining), indexed by worker id. For every
+  /// worker the buckets telescope to its wall time:
+  ///   sum(ns[*]) == wall_ns  (bit-exact, both engines).
+  std::vector<prof::WorkerStateBuckets> worker_states;
+  /// The paper's headline metric: fraction of total engine time spent on
+  /// scheduling machinery rather than query work —
+  ///   (scheduler_wall_seconds + Σ dispatch_ns) /
+  ///   (scheduler_wall_seconds + Σ wall_ns), 0 when no workers reported.
+  double sched_overhead_fraction = 0.0;
 
   /// (time, #running queries) at each scheduler invocation — the raw series
   /// from which the reward H_d = (t_d - t_{d-1}) * Q_d is computed (§6).

@@ -25,6 +25,11 @@ void RealEngine::WorkerLoop(int worker_id) {
   // on the first run) stays distinct in chrome://tracing.
   obs::SetThreadId(static_cast<uint32_t>(worker_id) + 1);
   Worker& w = *workers_[static_cast<size_t>(worker_id)];
+  // Integer-ns run-clock read for the state accountant. The clock is
+  // published before workers spawn and cleared only after the pool joins,
+  // so it is non-null for the whole loop.
+  const auto now_ns = [this] { return LatencyNs(run_clock_->Now()); };
+  w.acct.Start(now_ns(), prof::WorkerState::kIdle);
   while (true) {
     WorkerTask task;
     {
@@ -33,7 +38,19 @@ void RealEngine::WorkerLoop(int worker_id) {
       task = std::move(*w.task);
       w.task.reset();
     }
-    if (task.shutdown) return;
+    if (task.shutdown) {
+      w.acct.Transition(prof::WorkerState::kDraining,
+                        LatencyNs(task.issued_at));
+      w.acct.Stop(now_ns());
+      return;
+    }
+    // Split the elapsed wait at the dispatch timestamp: [wait-start,
+    // issued_at) stays in the wait state the worker was parked in,
+    // [issued_at, here) — the coordinator→worker handoff — is
+    // dispatch-overhead. Transition clamps, so a slightly stale issued_at
+    // cannot break the telescoping sum.
+    w.acct.Transition(prof::WorkerState::kDispatch, LatencyNs(task.issued_at));
+    w.acct.Transition(prof::WorkerState::kExecuting, now_ns());
     Stopwatch sw;
     Status st;
     // Fault injection + deadline check run BEFORE kernel execution so a
@@ -66,7 +83,18 @@ void RealEngine::WorkerLoop(int worker_id) {
     c.seconds = sw.ElapsedSeconds();
     c.expired = expired;
     c.status = std::move(st);
+    // Completion-queue plumbing is dispatch-overhead; after the push the
+    // worker parks in whichever wait state the engine hints at.
+    w.acct.Transition(prof::WorkerState::kDispatch, now_ns());
     PushCompletion(std::move(c));
+    const prof::WorkerState wait_state =
+        (pool_draining_.load(std::memory_order_relaxed) ||
+         draining_.load(std::memory_order_relaxed))
+            ? prof::WorkerState::kDraining
+            : (stall_hint_.load(std::memory_order_relaxed)
+                   ? prof::WorkerState::kStalled
+                   : prof::WorkerState::kIdle);
+    w.acct.Transition(wait_state, now_ns());
   }
 }
 
@@ -227,7 +255,13 @@ int RealEngine::AssignThreads(double now) {
       pipeline_index = static_cast<int>(i);
       break;
     }
-    if (pipeline_index < 0) return dispatched;
+    if (pipeline_index < 0) {
+      // Nothing dispatchable. If live queries remain, their work is
+      // blocked (dependencies, retry backoff, parallelism caps) — free
+      // workers should account the coming wait as stalled, not idle.
+      stall_hint_.store(!ctx_.queries().empty(), std::memory_order_relaxed);
+      return dispatched;
+    }
     ActivePipeline& p = pipelines_[static_cast<size_t>(pipeline_index)];
     QueryState* q = query_states_[static_cast<size_t>(p.query_index)].get();
 
@@ -247,7 +281,12 @@ int RealEngine::AssignThreads(double now) {
         }
       }
     }
-    if (worker_id < 0) return dispatched;
+    if (worker_id < 0) {
+      // Dispatchable work exists but every worker is busy: the next
+      // worker to free up has work waiting, so a wait here is a stall.
+      stall_hint_.store(true, std::memory_order_relaxed);
+      return dispatched;
+    }
 
     Worker& w = *workers_[static_cast<size_t>(worker_id)];
     WorkerTask task;
@@ -368,10 +407,18 @@ void RealEngine::SpawnWorkers() {
     info.id = i;
     ctx_.AddThread(info);
   }
+  stall_hint_.store(false, std::memory_order_relaxed);
+  pool_draining_.store(false, std::memory_order_relaxed);
   for (int i = 0; i < config_.num_threads; ++i) {
     workers_[static_cast<size_t>(i)]->thread =
         std::thread([this, i] { WorkerLoop(i); });
   }
+  std::vector<const prof::WorkerAccount*> accounts;
+  accounts.reserve(workers_.size());
+  for (const auto& w : workers_) accounts.push_back(&w->acct);
+  profiler_handle_ =
+      prof::SamplingProfiler::Global().RegisterWorkers("real",
+                                                       std::move(accounts));
 }
 
 void RealEngine::AdmitArrival(QueryId qid, QueryPlan plan,
@@ -565,6 +612,8 @@ void RealEngine::ProcessCompletion(const Completion& c, double now,
 }
 
 void RealEngine::DrainOutstanding() {
+  // From here to pool teardown, waiting workers are draining.
+  pool_draining_.store(true, std::memory_order_relaxed);
   // Drain attempts still in flight for terminal queries so work-order
   // conservation closes out, then release any zombie executions.
   int outstanding = 0;
@@ -602,11 +651,15 @@ void RealEngine::DrainOutstanding() {
 }
 
 void RealEngine::ShutdownPool() {
+  pool_draining_.store(true, std::memory_order_relaxed);
   for (auto& w : workers_) {
     {
       std::lock_guard<std::mutex> lock(w->mu);
       WorkerTask t;
       t.shutdown = true;
+      // Stamp the shutdown like a dispatch so the worker's accountant can
+      // split its final wait from the teardown window.
+      t.issued_at = run_clock_ != nullptr ? run_clock_->Now() : 0.0;
       w->task = t;
     }
     w->cv.notify_one();
@@ -614,6 +667,17 @@ void RealEngine::ShutdownPool() {
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
   }
+  if (profiler_handle_ != 0) {
+    prof::SamplingProfiler::Global().UnregisterWorkers(profiler_handle_);
+    profiler_handle_ = 0;
+  }
+}
+
+std::vector<prof::WorkerStateBuckets> RealEngine::CollectWorkerStates() const {
+  std::vector<prof::WorkerStateBuckets> out;
+  out.reserve(workers_.size());
+  for (const auto& w : workers_) out.push_back(w->acct.Read());
+  return out;
 }
 
 void RealEngine::MaybeFlushWindow(double now) {
@@ -623,6 +687,7 @@ void RealEngine::MaybeFlushWindow(double now) {
     return;
   }
   last_flush_terminals_ = terminal_queries_;
+  recorder_.OnWorkerStates(CollectWorkerStates());
   recorder_.FlushWindow();
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   snapshot_ = recorder_.SnapshotResult(now);
@@ -770,6 +835,9 @@ RealRunResult RealEngine::Run(const std::vector<RealQuerySubmission>& workload,
   ShutdownPool();
   run_clock_ = nullptr;
 
+  // Pool joined: the accountants are final — hand the exact buckets over
+  // before the episode closes.
+  recorder_.OnWorkerStates(CollectWorkerStates());
   recorder_.Finalize(clock.Now());
   return BuildResult();
 }
@@ -930,6 +998,7 @@ void RealEngine::ServeLoop() {
   DrainOutstanding();
   ShutdownPool();
   run_clock_ = nullptr;
+  recorder_.OnWorkerStates(CollectWorkerStates());
   recorder_.Finalize(clock.Now());
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);

@@ -181,6 +181,9 @@ class RealEngine {
     std::condition_variable cv;
     std::optional<WorkerTask> task;
     int id = -1;
+    /// Worker-state accountant (DESIGN.md §8.3): written only by the
+    /// worker thread itself; the coordinator/sampler read it racily.
+    prof::WorkerAccount acct;
   };
 
   /// A Submit() awaiting the coordinator (guarded by completion_mu_).
@@ -237,6 +240,10 @@ class RealEngine {
   /// Publishes a rolling telemetry window + refreshes Snapshot() when
   /// flush_window_queries terminal queries accumulated since the last one.
   void MaybeFlushWindow(double now);
+  /// Per-worker accountant buckets, in worker-id order. Exact once the
+  /// pool has shut down; a racy-but-safe live approximation while workers
+  /// run (used for rolling /metrics refreshes).
+  std::vector<prof::WorkerStateBuckets> CollectWorkerStates() const;
   RealRunResult BuildResult();
   /// Serving coordinator body: intake → cancels → completions until drained.
   void ServeLoop();
@@ -265,6 +272,18 @@ class RealEngine {
   /// Run clock, published (before workers spawn) for worker-side deadline
   /// checks; read-only while workers are alive.
   const Clock* run_clock_ = nullptr;
+
+  /// Worker-state classification hints, read by workers when they go back
+  /// to waiting (heuristic — only the bucket sums are exact):
+  /// stall_hint_ true = live query work exists that a free worker cannot
+  /// run right now (dependency/backoff/parallelism-cap blocked), so a
+  /// waiting worker is "stalled", not "idle". Maintained by AssignThreads.
+  std::atomic<bool> stall_hint_{false};
+  /// Set for the DrainOutstanding/ShutdownPool teardown window so workers
+  /// account their final wait as "draining".
+  std::atomic<bool> pool_draining_{false};
+  /// SamplingProfiler registration for the live pool (0 = none).
+  int profiler_handle_ = 0;
 
   std::mutex completion_mu_;
   std::condition_variable completion_cv_;

@@ -19,11 +19,14 @@ void SimEngine::ResetRunState() {
   queries_.clear();
   threads_.assign(static_cast<size_t>(config_.num_threads), SimThread{});
   ctx_.Reset();
+  accounts_.clear();
   for (size_t i = 0; i < threads_.size(); ++i) {
     threads_[i].id = static_cast<int>(i);
     ThreadInfo info;
     info.id = threads_[i].id;
     ctx_.AddThread(info);
+    accounts_.emplace_back();
+    accounts_.back().Start(0, prof::WorkerState::kIdle);
   }
   active_pipelines_.clear();
   while (!events_.empty()) events_.pop();
@@ -197,6 +200,9 @@ void SimEngine::DispatchTo(int thread_id, int pipeline_idx, double now) {
           static_cast<uint32_t>(thread_id), static_cast<uint32_t>(p.query));
     }
   }
+
+  accounts_[static_cast<size_t>(thread_id)].Transition(
+      prof::WorkerState::kExecuting, LatencyNs(now));
 
   events_.push(SimEvent{now + duration, event_seq_++, SimEvent::kWorkOrderDone,
                         thread_id});
@@ -445,6 +451,8 @@ EpisodeResult SimEngine::Run(const std::vector<QuerySubmission>& workload,
           ThreadInfo info;
           info.id = t.id;
           ctx_.AddThread(info);
+          accounts_.emplace_back();
+          accounts_.back().Start(LatencyNs(now), prof::WorkerState::kIdle);
         }
         se.type = SchedulingEventType::kThreadAdded;
       } else if (change.delta < 0) {
@@ -455,6 +463,7 @@ EpisodeResult SimEngine::Run(const std::vector<QuerySubmission>& workload,
           if (!t.retired && info != nullptr && !info->busy) {
             t.retired = true;
             ctx_.RetireThread(t.id);
+            accounts_[static_cast<size_t>(t.id)].Stop(LatencyNs(now));
             --to_remove;
           }
         }
@@ -490,6 +499,20 @@ EpisodeResult SimEngine::Run(const std::vector<QuerySubmission>& workload,
         t.retired = true;
         ctx_.RetireThread(t.id);
         --pending_thread_removals_;
+      }
+      {
+        prof::WorkerAccount& acct = accounts_[static_cast<size_t>(t.id)];
+        if (t.retired) {
+          acct.Stop(LatencyNs(now));
+        } else {
+          // Work outstanding anywhere in the system means this free thread
+          // is stalled on a dependency, not idle.
+          const bool work_exists =
+              AnyPendingFusedWork() || !ctx_.queries().empty();
+          acct.Transition(work_exists ? prof::WorkerState::kStalled
+                                      : prof::WorkerState::kIdle,
+                          LatencyNs(now));
+        }
       }
 
       std::vector<int> completed_ops;
@@ -596,6 +619,17 @@ EpisodeResult SimEngine::Run(const std::vector<QuerySubmission>& workload,
       }
     }
   }
+
+  // Close every still-live account at the final virtual time and hand the
+  // exact buckets to the recorder (Stop on an already-stopped/retired
+  // account re-charges a zero-length interval, so this is safe for all).
+  std::vector<prof::WorkerStateBuckets> worker_states;
+  worker_states.reserve(accounts_.size());
+  for (size_t i = 0; i < accounts_.size(); ++i) {
+    if (!threads_[i].retired) accounts_[i].Stop(LatencyNs(now));
+    worker_states.push_back(accounts_[i].Read());
+  }
+  recorder_.OnWorkerStates(std::move(worker_states));
 
   recorder_.Finalize(now);
   return recorder_.Take();

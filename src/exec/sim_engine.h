@@ -1,6 +1,7 @@
 #ifndef LSCHED_EXEC_SIM_ENGINE_H_
 #define LSCHED_EXEC_SIM_ENGINE_H_
 
+#include <deque>
 #include <memory>
 #include <queue>
 #include <unordered_map>
@@ -162,6 +163,11 @@ class SimEngine {
   std::vector<std::unique_ptr<QueryState>> queries_;
   std::vector<SimThread> threads_;
   SchedulingContext ctx_;
+  /// Per-thread state accountants (DESIGN.md §8.3), indexed by thread id
+  /// like `threads_`. Virtual-clock integer-ns charges, so buckets are
+  /// bit-identical across replays. A deque because WorkerAccount holds
+  /// atomics (non-movable) and the pool can grow mid-run.
+  std::deque<prof::WorkerAccount> accounts_;
   std::vector<ActivePipeline> active_pipelines_;
   std::priority_queue<SimEvent, std::vector<SimEvent>, std::greater<SimEvent>>
       events_;

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "util/build_info.h"
+
 namespace lsched {
 namespace obs {
 
@@ -17,7 +19,34 @@ void AppendDouble(std::string* out, double v) {
   *out += buf;
 }
 
+// Prometheus label-value escaping: backslash, double quote, newline.
+std::string EscapeLabelValue(const char* v) {
+  std::string out;
+  for (const char* p = v; *p != '\0'; ++p) {
+    switch (*p) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += *p;
+    }
+  }
+  return out;
+}
+
 }  // namespace
+
+std::string BuildInfoPrometheusText() {
+  std::string buf;
+  buf += "# HELP lsched_build_info build provenance (constant 1)\n";
+  buf += "# TYPE lsched_build_info gauge\n";
+  buf += "lsched_build_info{git_sha=\"" +
+         EscapeLabelValue(buildinfo::kGitSha) + "\",compiler=\"" +
+         EscapeLabelValue(buildinfo::kCompiler) + "\",build_type=\"" +
+         EscapeLabelValue(buildinfo::kBuildType) + "\",obs=\"" +
+         EscapeLabelValue(buildinfo::kObs) + "\",faults=\"" +
+         EscapeLabelValue(buildinfo::kFaults) + "\"} 1\n";
+  return buf;
+}
 
 std::string PrometheusName(const std::string& name) {
   std::string out;
@@ -41,6 +70,7 @@ void RenderPrometheusText(const MetricsRegistry::Snapshot& snapshot,
                           std::ostream& out) {
   std::string buf;
   buf.reserve(4096);
+  buf += BuildInfoPrometheusText();
   for (const auto& [name, value] : snapshot.counters) {
     const std::string prom = PrometheusName(name);
     buf += "# HELP " + prom + " " + name + "\n";
@@ -92,6 +122,7 @@ void RenderPrometheusText(const MetricsRegistry::Snapshot& snapshot,
 #include <cstdlib>
 #include <sstream>
 
+#include "obs/profiler.h"
 #include "util/logging.h"
 
 namespace lsched {
@@ -162,11 +193,33 @@ void MetricsExporter::Stop() {
   if (!running_.load(std::memory_order_acquire)) return;
   stop_.store(true, std::memory_order_release);
   if (thread_.joinable()) thread_.join();
+  // The accept loop has exited, so no new connections arrive. Join every
+  // in-flight handler before closing the listen fd: a scrape that raced
+  // Stop() still gets its complete response (socket timeouts in
+  // HandleConnection bound how long a stuck client can delay shutdown).
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto& conn : connections_) {
+      if (conn->thread.joinable()) conn->thread.join();
+    }
+    connections_.clear();
+  }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
   running_.store(false, std::memory_order_release);
+}
+
+void MetricsExporter::ReapFinishedLocked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void MetricsExporter::Serve() {
@@ -181,8 +234,19 @@ void MetricsExporter::Serve() {
     if (r <= 0 || (pfd.revents & POLLIN) == 0) continue;
     const int client = ::accept(listen_fd_, nullptr, nullptr);
     if (client < 0) continue;
-    HandleConnection(client);
-    ::close(client);
+    // One thread per connection: concurrent scrapes do not serialize
+    // behind a slow reader. The Connection's thread member is assigned
+    // under the lock so the reaper never observes a half-constructed
+    // std::thread.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    ReapFinishedLocked();
+    connections_.push_back(std::make_unique<Connection>());
+    Connection* conn = connections_.back().get();
+    conn->thread = std::thread([this, conn, client] {
+      HandleConnection(client);
+      ::close(client);
+      conn->done.store(true, std::memory_order_release);
+    });
   }
 }
 
@@ -226,6 +290,10 @@ void MetricsExporter::HandleConnection(int fd) {
     RenderPrometheusText(MetricsRegistry::Global().TakeSnapshot(), body);
     SendAll(fd, HttpResponse(200, "OK", "text/plain; version=0.0.4",
                              body.str()));
+  } else if (target == "/tables") {
+    prof::RegisterDefaultCounterTables();
+    SendAll(fd, HttpResponse(200, "OK", "text/plain",
+                             prof::CounterTables::Global().Render()));
   } else if (target == "/healthz") {
     if (Draining()) {
       SendAll(fd, HttpResponse(503, "Service Unavailable", "text/plain",

@@ -6,10 +6,18 @@
 // text exposition format so a long-running engine process is scrape-able.
 //
 //   GET /metrics  -> text/plain; version=0.0.4 rendering of every
-//                    registered counter, gauge, and histogram
+//                    registered counter, gauge, and histogram, prefixed
+//                    with a `lsched_build_info{...} 1` provenance gauge
+//   GET /tables   -> aligned-text per-subsystem counter tables
+//                    (prof::CounterTables), human-oriented
 //   GET /healthz  -> 200 "ok", or 503 "draining" while the serving daemon
 //                    is in its graceful-drain window (SetDraining)
 //   anything else -> 404
+//
+// Each accepted connection is handled on its own thread so overlapping
+// scrapes never serialize behind a slow client, and Stop() joins all
+// in-flight handlers before closing the listen socket — a scrape racing
+// a shutdown always receives its complete response.
 //
 // Gated behind the LSCHED_METRICS_PORT environment variable: when set,
 // obs.cc starts the process-global exporter on 127.0.0.1:<port> before
@@ -27,6 +35,9 @@
 
 #if LSCHED_OBS_ENABLED
 #include <atomic>
+#include <list>
+#include <memory>
+#include <mutex>
 #include <thread>
 #endif
 
@@ -44,9 +55,16 @@ std::string PrometheusName(const std::string& name);
 void SetDraining(bool draining);
 bool Draining();
 
+/// The three-line `lsched_build_info` block (HELP/TYPE/sample) stamped at
+/// the top of every /metrics response: a constant-1 gauge whose labels
+/// carry the git sha, compiler, build type, and obs/faults compile gates
+/// from util/build_info.h. The standard Prometheus idiom for joining
+/// provenance onto every other series.
+std::string BuildInfoPrometheusText();
+
 /// Renders a registry snapshot in Prometheus text exposition format
-/// (version 0.0.4). Deterministic given the snapshot — the golden-test
-/// surface.
+/// (version 0.0.4), build-info block first. Deterministic given the
+/// snapshot — the golden-test surface.
 void RenderPrometheusText(const MetricsRegistry::Snapshot& snapshot,
                           std::ostream& out);
 
@@ -71,14 +89,28 @@ class MetricsExporter {
   int port() const { return port_; }
 
  private:
+  // One handler thread per accepted connection, tracked so Stop() can
+  // join every in-flight scrape before tearing the listener down. The
+  // accept loop reaps finished entries so a long-lived daemon stays
+  // bounded regardless of scrape count.
+  struct Connection {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
   void Serve();
   void HandleConnection(int fd);
+  /// Joins and erases connections whose handler has finished. Caller
+  /// must hold conn_mu_.
+  void ReapFinishedLocked();
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
   int listen_fd_ = -1;
   int port_ = -1;
   std::thread thread_;
+  std::mutex conn_mu_;
+  std::list<std::unique_ptr<Connection>> connections_;
 };
 
 /// The process-global exporter used by the LSCHED_METRICS_PORT env gate.

@@ -7,6 +7,7 @@
 
 #include "nn/autograd.h"
 #include "nn/inference.h"
+#include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -385,6 +386,12 @@ SchedulingDecision DecimaScheduler::Schedule(const SchedulingEvent& event,
   {
     obs::ScopedSpan span("sched.decima.forward", "sched", "candidates",
                          static_cast<int64_t>(candidates.size()));
+    static obs::Counter* batch_calls =
+        obs::MetricsRegistry::Global().GetCounter("nn.batch_calls");
+    static obs::Counter* batch_rows =
+        obs::MetricsRegistry::Global().GetCounter("nn.batch_rows");
+    batch_calls->Add(1);
+    batch_rows->Add(static_cast<double>(candidates.size()));
     const int d = model_->config().hidden_dim;
     const int sd = model_->config().summary_dim;
 

@@ -9,6 +9,7 @@
 
 #include "exec/query_state.h"
 #include "exec/scheduling_context.h"
+#include "obs/metrics.h"
 #include "obs/obs.h"
 
 namespace lsched {
@@ -40,6 +41,14 @@ void ServingPolicy::Reset() {
 AdmissionVerdict ServingPolicy::OnAdmission(const QueryState& q,
                                             const SchedulingContext& ctx,
                                             double /*now*/) {
+  // Process-wide admission-verdict counters for the "serve" counter table
+  // (obs/profiler.h) — the per-instance num_* members reset per session.
+  static obs::Counter* admitted_counter =
+      obs::MetricsRegistry::Global().GetCounter("serve.admitted_total");
+  static obs::Counter* shed_counter =
+      obs::MetricsRegistry::Global().GetCounter("serve.shed_total");
+  static obs::Counter* displaced_counter =
+      obs::MetricsRegistry::Global().GetCounter("serve.displaced_total");
   AdmissionVerdict verdict;
   const int live = static_cast<int>(ctx.queries().size());
   if (config_.max_live_queries > 0 && live >= config_.max_live_queries) {
@@ -62,12 +71,15 @@ AdmissionVerdict ServingPolicy::OnAdmission(const QueryState& q,
     }
     if (victim != nullptr) {
       ++num_displacements_;
+      displaced_counter->Add(1);
       verdict.displace = victim->id();
     } else {
       ++num_shed_;
+      shed_counter->Add(1);
       verdict.admit = false;
     }
   }
+  if (verdict.admit) admitted_counter->Add(1);
   table_.OnArrival(q.tag(), verdict.admit);
   return verdict;
 }

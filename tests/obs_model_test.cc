@@ -29,6 +29,12 @@
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
 #endif
 
 namespace lsched {
@@ -105,7 +111,17 @@ TEST(PrometheusTest, GoldenCounterAndGauge) {
   snap.gauges.push_back({"model.tenant0.drift_score", 0.5});
   std::ostringstream out;
   obs::RenderPrometheusText(snap, out);
+  // The render leads with the build-info block; its labels carry the git
+  // sha so the golden covers structure, not the (build-varying) values.
+  const std::string info = obs::BuildInfoPrometheusText();
+  EXPECT_NE(info.find("# TYPE lsched_build_info gauge\n"), std::string::npos);
+  EXPECT_NE(info.find("lsched_build_info{git_sha=\""), std::string::npos);
+  EXPECT_NE(info.find("compiler=\""), std::string::npos);
+  EXPECT_NE(info.find("obs=\""), std::string::npos);
+  EXPECT_NE(info.find("faults=\""), std::string::npos);
+  EXPECT_NE(info.find("\"} 1\n"), std::string::npos);
   EXPECT_EQ(out.str(),
+            info +
             "# HELP train_episodes train.episodes\n"
             "# TYPE train_episodes counter\n"
             "train_episodes 7\n"
@@ -438,6 +454,74 @@ TEST(ExporterTest, ServesMetricsHealthzAnd404) {
 
   exporter.Stop();
   EXPECT_FALSE(exporter.running());
+}
+
+// Regression: concurrent scrapes racing Stop() used to serialize through a
+// single accept-loop handler; a scrape in flight when Stop() ran could be
+// cut off mid-response. Four threads hammer /metrics while the exporter
+// shuts down — every response that arrives must be complete (status line,
+// exposition-format Content-Type, Content-Length honored to the byte).
+TEST(ExporterTest, ConcurrentScrapesSurviveStop) {
+  obs::SetEnabled(true);
+  obs::MetricsRegistry::Global().GetGauge("model.drift_score")->Set(0.5);
+
+  obs::MetricsExporter exporter;
+  ASSERT_TRUE(exporter.Start(0));
+  const int port = exporter.port();
+
+  constexpr int kScrapers = 4;
+  std::atomic<bool> keep_going{true};
+  std::array<std::atomic<int>, kScrapers> complete{};
+  std::vector<std::thread> scrapers;
+  for (int t = 0; t < kScrapers; ++t) {
+    scrapers.emplace_back([&, t] {
+      while (keep_going.load(std::memory_order_acquire)) {
+        const std::string resp = HttpGet(port, "/metrics");
+        // An empty response means the connection was refused — the
+        // listener is already gone, which is a legal race outcome. A
+        // non-empty response must be whole.
+        if (resp.empty()) continue;
+        EXPECT_NE(resp.find("200 OK"), std::string::npos);
+        EXPECT_NE(resp.find("Content-Type: text/plain; version=0.0.4"),
+                  std::string::npos);
+        EXPECT_NE(resp.find("lsched_build_info{"), std::string::npos);
+        const size_t hdr_end = resp.find("\r\n\r\n");
+        const size_t cl = resp.find("Content-Length: ");
+        if (hdr_end == std::string::npos || cl == std::string::npos) {
+          ADD_FAILURE() << "truncated response header";
+          continue;
+        }
+        const size_t want =
+            std::strtoull(resp.c_str() + cl + 16, nullptr, 10);
+        EXPECT_EQ(resp.size() - (hdr_end + 4), want)
+            << "body truncated mid-scrape";
+        complete[static_cast<size_t>(t)].fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Wait until every scraper has landed at least one scrape, then stop
+  // with traffic still in flight.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  auto all_scraped = [&] {
+    for (const auto& c : complete) {
+      if (c.load(std::memory_order_relaxed) == 0) return false;
+    }
+    return true;
+  };
+  while (!all_scraped() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  exporter.Stop();
+  EXPECT_FALSE(exporter.running());
+  keep_going.store(false, std::memory_order_release);
+  for (std::thread& th : scrapers) th.join();
+  for (int t = 0; t < kScrapers; ++t) {
+    EXPECT_GE(complete[static_cast<size_t>(t)].load(), 1)
+        << "scraper " << t << " never completed a scrape";
+  }
 }
 
 // ---------------------------------------------------------------------------

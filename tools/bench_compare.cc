@@ -1,0 +1,78 @@
+// Diffs two perf-trajectory snapshots (BENCH_<name>.json, written by the
+// bench_common harness) and exits nonzero when the new run regressed past
+// the fail threshold. The CI perf-trajectory job runs this against the
+// baselines committed at the repo root.
+//
+//   bench_compare [flags] OLD.json NEW.json
+//
+// Flags:
+//   --warn-threshold=F   relative regression that warns        [0.10]
+//   --fail-threshold=F   relative regression that fails        [0.25]
+//   --threshold=F        shorthand: sets the fail threshold
+//   --fail-filter=SUB    only metrics whose key contains SUB can hard-fail
+//                        (others at most warn); CI passes "p50" so noisy
+//                        tail metrics on shared runners do not gate
+//   --strict             keep hard-fails even when the machine
+//                        fingerprints of the two snapshots differ
+//   --warn-only          render everything but always exit 0
+//
+// Exit codes: 0 within thresholds, 1 regression, 2 usage or I/O error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/perf_snapshot.h"
+
+int main(int argc, char** argv) {
+  lsched::CompareOptions opts;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--warn-threshold=")) {
+      opts.warn_threshold = std::atof(v);
+    } else if (const char* v2 = value("--fail-threshold=")) {
+      opts.fail_threshold = std::atof(v2);
+    } else if (const char* v3 = value("--threshold=")) {
+      opts.fail_threshold = std::atof(v3);
+    } else if (const char* v4 = value("--fail-filter=")) {
+      opts.fail_filter = v4;
+    } else if (arg == "--strict") {
+      opts.strict = true;
+    } else if (arg == "--warn-only") {
+      opts.warn_only = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "bench_compare: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_compare [--warn-threshold=F] "
+                 "[--fail-threshold=F] [--fail-filter=SUB] [--strict] "
+                 "[--warn-only] OLD.json NEW.json\n");
+    return 2;
+  }
+
+  lsched::PerfSnapshot baseline, fresh;
+  if (!lsched::ReadPerfSnapshot(paths[0], &baseline)) {
+    std::fprintf(stderr, "bench_compare: cannot parse %s\n", paths[0].c_str());
+    return 2;
+  }
+  if (!lsched::ReadPerfSnapshot(paths[1], &fresh)) {
+    std::fprintf(stderr, "bench_compare: cannot parse %s\n", paths[1].c_str());
+    return 2;
+  }
+
+  const lsched::CompareResult result =
+      lsched::ComparePerfSnapshots(baseline, fresh, opts);
+  std::fputs(lsched::RenderCompare(baseline, fresh, result).c_str(), stdout);
+  return lsched::CompareExitCode(result, opts);
+}

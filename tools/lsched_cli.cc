@@ -8,6 +8,9 @@
 //   lsched_cli chaos   --seed=1 --duration-seconds=120 --threads=4
 //   lsched_cli serve   --seed=1 --duration-seconds=60 --threads=4 --tenants=3
 //   lsched_cli explain 17 --trace=trace.csv
+//   lsched_cli top     --metrics-port=9100 [--watch] [--interval-ms=1000]
+//   lsched_cli top     --profile=profile.csv
+//   lsched_cli --version
 //
 // Flags (all optional unless noted):
 //   --benchmark=tpch|ssb|job   workload family            [tpch]
@@ -39,16 +42,30 @@
 //   --trace-out=PATH           dump the per-query lifetime trace CSV on
 //                              drain (serve; the input of `explain`)
 //   --trace=PATH               lifetime-trace CSV to read (explain)
+//   --profile-hz=F             sampling-profiler rate, 0 = off (serve) [0]
+//   --profile-out=PATH         profiler CSV to write on drain (serve)
+//                              [profile.csv]
+//   --profile=PATH             profiler CSV to summarize offline (top)
+//   --watch                    live refresh instead of one-shot (top)
+//   --interval-ms=N            watch refresh interval (top)       [1000]
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "core/agent.h"
 #include "core/trainer.h"
@@ -56,6 +73,7 @@
 #include "obs/query_trace.h"
 #include "obs/drift.h"
 #include "obs/exporter.h"
+#include "obs/profiler.h"
 #include "obs/scalar_events.h"
 #include "serve/serving_daemon.h"
 #include "sched/decima.h"
@@ -65,6 +83,7 @@
 #include "testing/faultpoint.h"
 #include "testing/fuzzer.h"
 #include "testing/invariants.h"
+#include "util/build_info.h"
 #include "util/clock.h"
 #include "workload/workload.h"
 
@@ -96,6 +115,11 @@ struct Args {
   std::string trace_out_path;
   std::string trace_path;
   int64_t explain_query = -1;
+  double profile_hz = 0.0;  // <= 0 = sampling profiler off
+  std::string profile_out_path = "profile.csv";
+  std::string profile_path;  // top: offline CSV to summarize
+  bool watch = false;
+  int interval_ms = 1000;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -160,6 +184,16 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->trace_out_path = v20;
     } else if (const char* v21 = value("--trace=")) {
       args->trace_path = v21;
+    } else if (const char* v22 = value("--profile-hz=")) {
+      args->profile_hz = std::atof(v22);
+    } else if (const char* v23 = value("--profile-out=")) {
+      args->profile_out_path = v23;
+    } else if (const char* v24 = value("--profile=")) {
+      args->profile_path = v24;
+    } else if (arg == "--watch") {
+      args->watch = true;
+    } else if (const char* v25 = value("--interval-ms=")) {
+      args->interval_ms = std::max(50, std::atoi(v25));
     } else if (args->command == "explain" && !arg.empty() && arg[0] != '-') {
       char* end = nullptr;
       args->explain_query = std::strtoll(arg.c_str(), &end, 10);
@@ -663,6 +697,194 @@ int RunExplain(const Args& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// top: live worker-state utilization against a running daemon's /metrics
+// (one-shot or --watch refresh), or an offline summary of a sampling-
+// profiler CSV (--profile=). Plain POSIX sockets, so it works regardless
+// of this binary's own obs gate — only the *daemon* needs -DLSCHED_OBS=ON.
+// ---------------------------------------------------------------------------
+
+std::string TopHttpGet(int port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req = "GET " + target + " HTTP/1.0\r\n\r\n";
+  (void)::send(fd, req.data(), req.size(), 0);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t hdr = response.find("\r\n\r\n");
+  return hdr == std::string::npos ? "" : response.substr(hdr + 4);
+}
+
+struct TopSnapshot {
+  bool ok = false;
+  // worker id -> cumulative seconds per state (accountant gauge order).
+  std::map<int, std::array<double, prof::kNumWorkerStates>> workers;
+  double overhead_fraction = -1.0;
+};
+
+TopSnapshot ScrapeTop(int port) {
+  TopSnapshot snap;
+  const std::string body = TopHttpGet(port, "/metrics");
+  if (body.empty()) return snap;
+  snap.ok = true;
+  std::istringstream is(body);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t sp = line.find(' ');
+    if (sp == std::string::npos) continue;
+    const std::string name = line.substr(0, sp);
+    const double value = std::atof(line.c_str() + sp + 1);
+    if (name == "exec_sched_overhead_fraction") {
+      snap.overhead_fraction = value;
+      continue;
+    }
+    // exec_worker<i>_<state>_seconds (obs::PrometheusName of the
+    // EpisodeRecorder's exec.worker<i>.<state>_seconds gauges).
+    if (name.rfind("exec_worker", 0) != 0) continue;
+    const char* p = name.c_str() + std::strlen("exec_worker");
+    char* end = nullptr;
+    const long worker = std::strtol(p, &end, 10);
+    if (end == p || *end != '_') continue;
+    const std::string rest(end + 1);
+    for (int s = 0; s < prof::kNumWorkerStates; ++s) {
+      const std::string want =
+          std::string(
+              prof::WorkerStateName(static_cast<prof::WorkerState>(s))) +
+          "_seconds";
+      if (rest == want) {
+        snap.workers[static_cast<int>(worker)][static_cast<size_t>(s)] =
+            value;
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+/// Renders one top frame. With a previous snapshot, percentages are over
+/// the interval delta (live utilization); without one, over the cumulative
+/// buckets since the episode started.
+std::string RenderTop(const TopSnapshot& cur, const TopSnapshot* prev) {
+  std::ostringstream os;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "%-6s %9s %9s %6s %8s %9s %9s\n", "worker",
+                "dispatch%", "execute%", "idle%", "stalled%", "draining%",
+                "wall_s");
+  os << buf;
+  double busy = 0.0, wall = 0.0;
+  for (const auto& [worker, seconds] : cur.workers) {
+    std::array<double, prof::kNumWorkerStates> delta = seconds;
+    if (prev != nullptr) {
+      const auto it = prev->workers.find(worker);
+      if (it != prev->workers.end()) {
+        for (int s = 0; s < prof::kNumWorkerStates; ++s) {
+          delta[static_cast<size_t>(s)] -= it->second[static_cast<size_t>(s)];
+        }
+      }
+    }
+    double total = 0.0;
+    for (double d : delta) total += d;
+    if (total <= 0.0) continue;
+    const double inv = 100.0 / total;
+    std::snprintf(buf, sizeof(buf),
+                  "%-6d %9.1f %9.1f %6.1f %8.1f %9.1f %9.3f\n", worker,
+                  delta[0] * inv, delta[1] * inv, delta[2] * inv,
+                  delta[3] * inv, delta[4] * inv, total);
+    os << buf;
+    busy += delta[1];
+    wall += total;
+  }
+  if (wall > 0.0) {
+    std::snprintf(buf, sizeof(buf), "pool executing: %.1f%% of %.3fs %s\n",
+                  100.0 * busy / wall, wall,
+                  prev != nullptr ? "(interval)" : "(cumulative)");
+    os << buf;
+  }
+  if (cur.overhead_fraction >= 0.0) {
+    std::snprintf(buf, sizeof(buf), "scheduler overhead fraction: %.4f%%\n",
+                  100.0 * cur.overhead_fraction);
+    os << buf;
+  }
+  return os.str();
+}
+
+int RunTop(const Args& args) {
+  if (!args.profile_path.empty()) {
+    // Offline mode: summarize a sampling-profiler CSV.
+    std::ifstream in(args.profile_path);
+    if (!in) {
+      std::fprintf(stderr, "top: cannot open %s\n", args.profile_path.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::vector<prof::ProfileSample> samples;
+    if (!prof::ParseProfileCsv(text.str(), &samples)) {
+      std::fprintf(stderr, "top: malformed profile CSV %s\n",
+                   args.profile_path.c_str());
+      return 1;
+    }
+    std::fputs(prof::RenderProfileSummary(samples).c_str(), stdout);
+    return 0;
+  }
+  if (args.metrics_port < 0) {
+    std::fprintf(stderr,
+                 "top: --metrics-port=P (a running daemon's exporter port) "
+                 "or --profile=CSV is required\n");
+    return 2;
+  }
+  TopSnapshot cur = ScrapeTop(args.metrics_port);
+  if (!cur.ok) {
+    std::fprintf(stderr, "top: no /metrics at 127.0.0.1:%d\n",
+                 args.metrics_port);
+    return 1;
+  }
+  if (!args.watch) {
+    std::fputs(RenderTop(cur, nullptr).c_str(), stdout);
+    return 0;
+  }
+  // Live refresh: interval deltas, until the daemon goes away or ^C.
+  TopSnapshot prev = cur;
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(args.interval_ms));
+    cur = ScrapeTop(args.metrics_port);
+    if (!cur.ok) {
+      std::fprintf(stderr, "top: daemon went away\n");
+      return 0;
+    }
+    // ANSI clear-screen + home keeps the frame in place like top(1).
+    std::fputs("\x1b[2J\x1b[H", stdout);
+    std::printf("lsched top — 127.0.0.1:%d (refresh %dms)\n",
+                args.metrics_port, args.interval_ms);
+    std::fputs(RenderTop(cur, &prev).c_str(), stdout);
+    std::fflush(stdout);
+    prev = cur;
+  }
+}
+
+int RunVersion() {
+  std::printf("lsched_cli %s\n", buildinfo::kGitSha);
+  std::printf("  compiler   : %s\n", buildinfo::kCompiler);
+  std::printf("  build type : %s\n", buildinfo::kBuildType);
+  std::printf("  obs        : %s\n", buildinfo::kObs);
+  std::printf("  faults     : %s\n", buildinfo::kFaults);
+  return 0;
+}
+
 int RunServe(const Args& args) {
   // A live multi-tenant serving soak: start the daemon against real worker
   // threads, feed it a seeded Poisson arrival stream with fuzzed tenant and
@@ -714,6 +936,24 @@ int RunServe(const Args& args) {
     }
   }
 
+  // Sampling profiler: the RealEngine registers its worker accountants on
+  // Start(), and the profiler snapshots their states at --profile-hz into
+  // a bounded ring dumped as CSV on drain (the input of `top --profile=`).
+  bool profiling = false;
+  if (args.profile_hz > 0.0) {
+    if (obs::kCompiledIn) {
+      obs::SetEnabled(true);
+      profiling = prof::SamplingProfiler::Global().Start(args.profile_hz);
+      if (!profiling) {
+        std::fprintf(stderr, "serve: sampling profiler failed to start\n");
+      }
+    } else {
+      std::fprintf(stderr,
+                   "serve: --profile-hz needs -DLSCHED_OBS=ON; no profile "
+                   "will be written\n");
+    }
+  }
+
   SjfScheduler sjf;
   GuardedPolicy guarded(&sjf);
   ValidatingScheduler validating(&guarded);
@@ -746,6 +986,23 @@ int RunServe(const Args& args) {
 
   const RealRunResult result = daemon.Stop();
   exporter.Stop();
+  if (profiling) {
+    auto& profiler = prof::SamplingProfiler::Global();
+    profiler.Stop();
+    const auto samples = profiler.Snapshot();
+    if (profiler.WriteCsv(args.profile_out_path)) {
+      std::fprintf(stderr, "serve: %zu profile samples (%lld dropped) -> %s\n",
+                   samples.size(),
+                   static_cast<long long>(profiler.dropped()),
+                   args.profile_out_path.c_str());
+    } else {
+      std::fprintf(stderr, "serve: cannot write profile CSV %s\n",
+                   args.profile_out_path.c_str());
+    }
+    std::fputs(prof::RenderProfileSummary(samples).c_str(), stdout);
+    prof::RegisterDefaultCounterTables();
+    std::fputs(prof::CounterTables::Global().Render().c_str(), stdout);
+  }
   if (!args.trace_out_path.empty() && obs::kCompiledIn) {
     if (obs::QueryTraceLog::Global().WriteCsv(args.trace_out_path)) {
       std::fprintf(stderr, "serve: %zu query traces -> %s\n",
@@ -833,7 +1090,8 @@ int main(int argc, char** argv) {
   lsched::Args args;
   if (!lsched::ParseArgs(argc, argv, &args)) {
     std::fprintf(stderr,
-                 "usage: %s train|eval|compare|report|chaos|serve|explain "
+                 "usage: %s train|eval|compare|report|chaos|serve|explain|"
+                 "top|--version "
                  "[--benchmark=tpch|ssb|job] "
                  "[--episodes=N] [--queries=N] [--threads=N] [--batch] "
                  "[--model=PATH] [--out=PATH] [--transfer-from=PATH] "
@@ -841,9 +1099,13 @@ int main(int argc, char** argv) {
                  "[--workloads=N] [--fault-log=PATH] [--tenants=N] "
                  "[--max-live=N] [--metrics-port=P] [--slo-ms=N] "
                  "[--slo-percentile=F] [--trace-out=PATH] "
-                 "[--trace=PATH] [query-id]\n",
+                 "[--trace=PATH] [--profile-hz=F] [--profile-out=PATH] "
+                 "[--profile=PATH] [--watch] [--interval-ms=N] [query-id]\n",
                  argv[0]);
     return 2;
+  }
+  if (args.command == "--version" || args.command == "version") {
+    return lsched::RunVersion();
   }
   if (args.command == "train") return lsched::RunTrain(args);
   if (args.command == "eval") return lsched::RunEval(args);
@@ -852,6 +1114,7 @@ int main(int argc, char** argv) {
   if (args.command == "chaos") return lsched::RunChaos(args);
   if (args.command == "serve") return lsched::RunServe(args);
   if (args.command == "explain") return lsched::RunExplain(args);
+  if (args.command == "top") return lsched::RunTop(args);
   std::fprintf(stderr, "unknown command: %s\n", args.command.c_str());
   return 2;
 }
