@@ -193,12 +193,16 @@ SchedulingDecision LSchedAgent::Schedule(const SchedulingEvent& event,
     view.queries.push_back(&entry.features);
     qf_rows[qi] = extractor_.ExtractQf(*q, ctx);
     view.qf.push_back(&qf_rows[qi]);
+    int head_row = 0;
     for (const auto& [op, degree] : entry.candidates) {
       Candidate c;
       c.query_index = static_cast<int>(qi);
       c.op = op;
       c.max_degree = degree;
       view.candidates.push_back(c);
+      // Candidate c's pre-assembled head input is row `head_row` of the
+      // entry's head_in matrix (filled by EnsureEncoded below).
+      view.head_row.push_back(head_row++);
     }
   }
   if (view.candidates.empty()) {
@@ -209,6 +213,7 @@ SchedulingDecision LSchedAgent::Schedule(const SchedulingEvent& event,
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     cache_.EnsureEncoded(entries[qi], *model_, &arena_);
     view.encoded.push_back(&entries[qi]->enc);
+    view.head_in.push_back(&entries[qi]->head_in);
   }
 
   {

@@ -417,10 +417,72 @@ EncodingCache::Entry& EncodingCache::GetStructural(
   return e;
 }
 
+Matrix EdfAggregate(const QueryFeatures& q, int op, int edf_dim) {
+  Matrix agg(1, edf_dim, 0.0);
+  int count = 0;
+  auto add = [&](int e) {
+    for (int c = 0; c < edf_dim; ++c) {
+      agg.at(0, c) += q.edf[static_cast<size_t>(e)][static_cast<size_t>(c)];
+    }
+    ++count;
+  };
+  for (int e : q.in_edges[static_cast<size_t>(op)]) add(e);
+  for (int e : q.out_edges[static_cast<size_t>(op)]) add(e);
+  if (count > 0) {
+    for (int c = 0; c < edf_dim; ++c) {
+      agg.at(0, c) /= static_cast<double>(count);
+    }
+  }
+  return agg;
+}
+
 void EncodingCache::EnsureEncoded(Entry* entry, const LSchedModel& model,
                                   ScratchArena* arena) {
   if (entry->encoded) return;
   entry->enc = EncodeQueryServing(model, entry->features, arena);
+  // Pre-assemble the head-input row of every candidate while the encodings
+  // are hot. Same ordered arithmetic (copy, +=, scale) as the predictor's
+  // per-event fallback assembly, so the cached rows are bit-identical to
+  // recomputing them at each event.
+  const LSchedConfig& cfg = model.config();
+  const int d = cfg.hidden_dim;
+  const int sd = cfg.summary_dim;
+  const int edf_dim = cfg.features.edf_dim();
+  const int width = 2 * d + sd + edf_dim;
+  const QueryFeatures& q = entry->features;
+  const ServingEncodedQuery& enc = entry->enc;
+  const int nc = static_cast<int>(entry->candidates.size());
+  entry->head_in.Resize(nc, width);
+  for (int c = 0; c < nc; ++c) {
+    const int op = entry->candidates[static_cast<size_t>(c)].first;
+    double* row = entry->head_in.data() +
+                  static_cast<size_t>(c) * static_cast<size_t>(width);
+    const double* ne = enc.node_emb.data() +
+                       static_cast<size_t>(op) * static_cast<size_t>(d);
+    std::copy(ne, ne + d, row);
+    // Mean in-edge embedding — same ordered sum + scale as the tape path.
+    double* ee = row + d;
+    const std::vector<int>& edges = q.in_edges[static_cast<size_t>(op)];
+    if (edges.empty()) {
+      std::fill(ee, ee + d, 0.0);
+    } else {
+      for (size_t k = 0; k < edges.size(); ++k) {
+        const double* erow =
+            enc.edge_emb.data() +
+            static_cast<size_t>(edges[k]) * static_cast<size_t>(d);
+        if (k == 0) {
+          std::copy(erow, erow + d, ee);
+        } else {
+          for (int j = 0; j < d; ++j) ee[j] += erow[j];
+        }
+      }
+      const double inv = 1.0 / static_cast<double>(edges.size());
+      for (int j = 0; j < d; ++j) ee[j] *= inv;
+    }
+    std::copy(enc.pqe.data(), enc.pqe.data() + sd, row + 2 * d);
+    const Matrix edf_agg = EdfAggregate(q, op, edf_dim);
+    std::copy(edf_agg.data(), edf_agg.data() + edf_dim, row + 2 * d + sd);
+  }
   entry->encoded = true;
 }
 

@@ -52,6 +52,11 @@ struct ServingEncodedQuery {
   Matrix pqe;       ///< (1 x summary_dim)
 };
 
+/// Mean raw EDF over all edges touching `op` (input of the pipeline-degree
+/// head, Fig. 7 middle). Purely structural — shared by the tape predictor,
+/// the serving fallback path, and the cached head-input rows below.
+Matrix EdfAggregate(const QueryFeatures& q, int op, int edf_dim);
+
 /// Tape-free forward of the Single Query Encoder. Bit-identical to
 /// EncodeQuery's values (same loop and accumulation order per row), but
 /// allocates nothing beyond `arena` scratch plus the returned matrices, and
@@ -76,6 +81,14 @@ class EncodingCache {
     /// whose candidate set turns out empty never pays for the forward).
     bool encoded = false;
     ServingEncodedQuery enc;
+    /// Pre-assembled decision-head input rows, one per candidate (same
+    /// order as `candidates`): [NE | mean-in-EE | PQE | EDF-aggregate],
+    /// width 2*hidden_dim + summary_dim + edf_dim. Everything in a row is
+    /// structural, so consecutive serving events that hit this entry skip
+    /// the per-candidate gather/aggregate work entirely — the per-event
+    /// cost shrinks to QF assembly, row copies, and the head GEMMs. Valid
+    /// iff `encoded`.
+    Matrix head_in;
   };
 
   /// Refreshes the structural half of `q`'s entry (features + candidate

@@ -21,26 +21,6 @@ Var InEdgeEmbedding(const EncodedQuery& eq, const QueryFeatures& q, int op,
   return tape->Scale(sum, 1.0 / static_cast<double>(edges.size()));
 }
 
-/// Mean raw EDF over all edges touching `op` (input of the degree head).
-Matrix EdfAggregate(const QueryFeatures& q, int op, int edf_dim) {
-  Matrix agg(1, edf_dim, 0.0);
-  int count = 0;
-  auto add = [&](int e) {
-    for (int c = 0; c < edf_dim; ++c) {
-      agg.at(0, c) += q.edf[static_cast<size_t>(e)][static_cast<size_t>(c)];
-    }
-    ++count;
-  };
-  for (int e : q.in_edges[static_cast<size_t>(op)]) add(e);
-  for (int e : q.out_edges[static_cast<size_t>(op)]) add(e);
-  if (count > 0) {
-    for (int c = 0; c < edf_dim; ++c) {
-      agg.at(0, c) /= static_cast<double>(count);
-    }
-  }
-  return agg;
-}
-
 }  // namespace
 
 PredictorOutput RunPredictor(LSchedModel* model, const StateFeatures& state,
@@ -146,7 +126,13 @@ void RunPredictorServing(const LSchedModel& model, const ServingStateView& view,
   const int num_cands = static_cast<int>(view.candidates.size());
 
   // Assemble one row per candidate for each head, then run each head as a
-  // single batched GEMM stack over all candidates.
+  // single batched GEMM stack over all candidates. When the caller supplies
+  // cached head rows (the agent's fast path), the root/degree inputs are
+  // straight row copies; the per-candidate gather + EDF aggregation below
+  // only runs as the fallback.
+  const bool cached_rows =
+      view.head_in.size() == view.queries.size() &&
+      view.head_row.size() == view.candidates.size();
   Matrix* root_in = arena->Alloc(num_cands, 2 * d + sd);
   Matrix* deg_in = arena->Alloc(num_cands, 2 * d + sd + edf_dim);
   Matrix* par_in = arena->Alloc(num_cands, 2 * sd + qf_dim);
@@ -156,40 +142,50 @@ void RunPredictorServing(const LSchedModel& model, const ServingStateView& view,
     const QueryFeatures& q = *view.queries[static_cast<size_t>(cand.query_index)];
     const ServingEncodedQuery& eq =
         *view.encoded[static_cast<size_t>(cand.query_index)];
-    const double* ne = eq.node_emb.data() +
-                       static_cast<size_t>(cand.op) * static_cast<size_t>(d);
-
-    // Mean in-edge embedding — same ordered sum + scale as the tape path.
-    const std::vector<int>& edges = q.in_edges[static_cast<size_t>(cand.op)];
-    if (edges.empty()) {
-      for (int j = 0; j < d; ++j) ee->data()[j] = 0.0;
-    } else {
-      for (size_t k = 0; k < edges.size(); ++k) {
-        const double* erow =
-            eq.edge_emb.data() +
-            static_cast<size_t>(edges[k]) * static_cast<size_t>(d);
-        if (k == 0) {
-          std::copy(erow, erow + d, ee->data());
-        } else {
-          for (int j = 0; j < d; ++j) ee->data()[j] += erow[j];
-        }
-      }
-      const double inv = 1.0 / static_cast<double>(edges.size());
-      for (int j = 0; j < d; ++j) ee->data()[j] *= inv;
-    }
 
     double* rrow = root_in->data() +
                    static_cast<size_t>(c) * static_cast<size_t>(2 * d + sd);
-    std::copy(ne, ne + d, rrow);
-    std::copy(ee->data(), ee->data() + d, rrow + d);
-    std::copy(eq.pqe.data(), eq.pqe.data() + sd, rrow + 2 * d);
-
     double* drow =
         deg_in->data() +
         static_cast<size_t>(c) * static_cast<size_t>(2 * d + sd + edf_dim);
-    std::copy(rrow, rrow + 2 * d + sd, drow);
-    const Matrix edf_agg = EdfAggregate(q, cand.op, edf_dim);
-    std::copy(edf_agg.data(), edf_agg.data() + edf_dim, drow + 2 * d + sd);
+    if (cached_rows) {
+      const Matrix& hin = *view.head_in[static_cast<size_t>(cand.query_index)];
+      const double* hrow =
+          hin.data() + static_cast<size_t>(view.head_row[static_cast<size_t>(c)]) *
+                           static_cast<size_t>(2 * d + sd + edf_dim);
+      std::copy(hrow, hrow + 2 * d + sd + edf_dim, drow);
+      std::copy(hrow, hrow + 2 * d + sd, rrow);
+    } else {
+      const double* ne = eq.node_emb.data() +
+                         static_cast<size_t>(cand.op) * static_cast<size_t>(d);
+
+      // Mean in-edge embedding — same ordered sum + scale as the tape path.
+      const std::vector<int>& edges = q.in_edges[static_cast<size_t>(cand.op)];
+      if (edges.empty()) {
+        for (int j = 0; j < d; ++j) ee->data()[j] = 0.0;
+      } else {
+        for (size_t k = 0; k < edges.size(); ++k) {
+          const double* erow =
+              eq.edge_emb.data() +
+              static_cast<size_t>(edges[k]) * static_cast<size_t>(d);
+          if (k == 0) {
+            std::copy(erow, erow + d, ee->data());
+          } else {
+            for (int j = 0; j < d; ++j) ee->data()[j] += erow[j];
+          }
+        }
+        const double inv = 1.0 / static_cast<double>(edges.size());
+        for (int j = 0; j < d; ++j) ee->data()[j] *= inv;
+      }
+
+      std::copy(ne, ne + d, rrow);
+      std::copy(ee->data(), ee->data() + d, rrow + d);
+      std::copy(eq.pqe.data(), eq.pqe.data() + sd, rrow + 2 * d);
+
+      std::copy(rrow, rrow + 2 * d + sd, drow);
+      const Matrix edf_agg = EdfAggregate(q, cand.op, edf_dim);
+      std::copy(edf_agg.data(), edf_agg.data() + edf_dim, drow + 2 * d + sd);
+    }
 
     double* prow = par_in->data() +
                    static_cast<size_t>(c) * static_cast<size_t>(2 * sd + qf_dim);

@@ -55,6 +55,14 @@ struct ServingStateView {
   std::vector<const std::vector<double>*> qf; ///< fresh per-event QF rows
   std::vector<const ServingEncodedQuery*> encoded;
   std::vector<Candidate> candidates;
+  /// Optional cached head-input rows (EncodingCache::Entry::head_in): one
+  /// matrix per query, parallel to `queries`, each row a pre-assembled
+  /// [NE | EE | PQE | EDF-agg]. When populated (together with `head_row`),
+  /// RunPredictorServing copies row head_row[c] instead of re-gathering and
+  /// re-aggregating embeddings per event. Leave empty to recompute.
+  std::vector<const Matrix*> head_in;
+  /// Per-candidate row index into head_in[candidates[c].query_index].
+  std::vector<int> head_row;
 };
 
 /// Plain-matrix outputs of the serving heads. Row c of degree_logprobs /

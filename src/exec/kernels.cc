@@ -18,13 +18,16 @@ void RowStore::AppendRow(const double* row, int n) {
 
 void RowStore::ChunkRows(size_t idx,
                          std::vector<std::vector<double>>* out) const {
-  out->clear();
   const size_t begin = idx * chunk_rows_;
   const size_t end = std::min(begin + chunk_rows_, num_rows());
-  for (size_t r = begin; r < end; ++r) {
-    std::vector<double> row(static_cast<size_t>(num_cols_));
-    for (int c = 0; c < num_cols_; ++c) row[static_cast<size_t>(c)] = at(r, c);
-    out->push_back(std::move(row));
+  const size_t n = end > begin ? end - begin : 0;
+  out->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double>& row = (*out)[i];
+    row.resize(static_cast<size_t>(num_cols_));
+    for (int c = 0; c < num_cols_; ++c) {
+      row[static_cast<size_t>(c)] = at(begin + i, c);
+    }
   }
 }
 
@@ -175,23 +178,27 @@ int QueryExecution::NumWorkOrders(int op) const {
 
 Status QueryExecution::InputChunk(
     int op, int index, std::vector<std::vector<double>>* rows) const {
-  rows->clear();
   const PlanNode& node = plan_->node(op);
   if (node.in_edges.empty()) {
     if (node.base_inputs.empty() || catalog_ == nullptr) {
+      rows->clear();
       return Status::FailedPrecondition("source op without base relation");
     }
     const Relation& rel = catalog_->relation(node.base_inputs[0]);
     if (index < 0 || index >= static_cast<int>(rel.num_blocks())) {
+      rows->clear();
       return Status::OK();  // past the end: empty chunk
     }
     const Block& block = rel.block(static_cast<size_t>(index));
+    // Overwrite-in-place like RowStore::ChunkRows: the caller's inner rows
+    // keep their heap capacity across work orders (worker scratch path).
+    rows->resize(block.num_rows());
     for (size_t r = 0; r < block.num_rows(); ++r) {
-      std::vector<double> row(block.num_columns());
+      std::vector<double>& row = (*rows)[r];
+      row.resize(block.num_columns());
       for (size_t c = 0; c < block.num_columns(); ++c) {
         row[c] = block.ValueAsDouble(c, r);
       }
-      rows->push_back(std::move(row));
     }
     return Status::OK();
   }
@@ -205,6 +212,7 @@ Status QueryExecution::InputChunk(
     }
     remaining -= chunks;
   }
+  rows->clear();
   return Status::OK();  // empty chunk
 }
 
@@ -491,23 +499,26 @@ Status QueryExecution::ProcessRows(int op,
 }
 
 Status QueryExecution::ExecuteWorkOrder(const std::vector<int>& chain,
-                                        int index) {
+                                        int index,
+                                        WorkOrderScratch* scratch) {
   if (chain.empty()) return Status::InvalidArgument("empty chain");
-  std::vector<std::vector<double>> rows;
-  LSCHED_RETURN_IF_ERROR(InputChunk(chain[0], index, &rows));
-  for (size_t s = 0; s < chain.size(); ++s) {
-    std::vector<std::vector<double>> next;
-    LSCHED_RETURN_IF_ERROR(ProcessRows(chain[s], std::move(rows), &next));
+  WorkOrderScratch local;
+  WorkOrderScratch& s = scratch != nullptr ? *scratch : local;
+  LSCHED_RETURN_IF_ERROR(InputChunk(chain[0], index, &s.rows));
+  for (size_t i = 0; i < chain.size(); ++i) {
+    LSCHED_RETURN_IF_ERROR(ProcessRows(chain[i], std::move(s.rows), &s.next));
     // Persist this stage's emissions so out-of-chain consumers can read
-    // them later, then stream them into the next stage.
-    if (!next.empty()) {
-      std::lock_guard<std::mutex> lock(states_[chain[s]]->mu);
-      for (const std::vector<double>& row : next) {
-        outputs_[chain[s]]->AppendRow(row);
+    // them later, then stream them into the next stage. The two scratch
+    // buffers swap roles each stage, so their heap capacity survives both
+    // the stage loop and (via caller-owned scratch) later work orders.
+    if (!s.next.empty()) {
+      std::lock_guard<std::mutex> lock(states_[chain[i]]->mu);
+      for (const std::vector<double>& row : s.next) {
+        outputs_[chain[i]]->AppendRow(row);
       }
     }
-    rows = std::move(next);
-    if (rows.empty() && s + 1 < chain.size()) break;
+    s.rows.swap(s.next);
+    if (s.rows.empty() && i + 1 < chain.size()) break;
   }
   return Status::OK();
 }

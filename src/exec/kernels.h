@@ -49,7 +49,9 @@ class RowStore {
                  static_cast<size_t>(col)];
   }
 
-  /// Copies chunk `idx` (bounded) into `out` as row vectors.
+  /// Copies chunk `idx` (bounded) into `out` as row vectors, reusing the
+  /// caller's outer vector and its inner rows' capacity (the worker
+  /// scratch path); every surviving element is fully overwritten.
   void ChunkRows(size_t idx, std::vector<std::vector<double>>* out) const;
 
   size_t ByteSize() const { return data_.size() * sizeof(double); }
@@ -58,6 +60,17 @@ class RowStore {
   int num_cols_ = 0;
   size_t chunk_rows_ = 4096;
   std::vector<double> data_;
+};
+
+/// Per-worker arena for ExecuteWorkOrder's row buffers. The two
+/// vector-of-rows ping-pong between pipeline stages (swap, never
+/// reallocate) and persist across work orders, so a worker's steady state
+/// reuses both the outer vectors and the inner rows' heap capacity instead
+/// of allocating ~chunk_rows fresh row vectors per work order. Owned by
+/// exactly one worker thread; never shared.
+struct WorkOrderScratch {
+  std::vector<std::vector<double>> rows;
+  std::vector<std::vector<double>> next;
 };
 
 /// Runtime execution state of one query in RealEngine: per-operator shared
@@ -79,8 +92,11 @@ class QueryExecution {
 
   /// Executes fused work order `index` of `chain`: one root input block
   /// pushed through every (streaming) stage; stateful tails consume into
-  /// their operator state. Thread-safe.
-  Status ExecuteWorkOrder(const std::vector<int>& chain, int index);
+  /// their operator state. Thread-safe. `scratch` (optional) supplies
+  /// caller-owned row buffers reused across calls; results are identical
+  /// with or without it.
+  Status ExecuteWorkOrder(const std::vector<int>& chain, int index,
+                          WorkOrderScratch* scratch = nullptr);
 
   /// Called once when `op` finished all work orders: blocking operators
   /// (aggregates, sorts, top-k, ...) emit their buffered results.

@@ -30,13 +30,21 @@ void RealEngine::WorkerLoop(int worker_id) {
   // so it is non-null for the whole loop.
   const auto now_ns = [this] { return LatencyNs(run_clock_->Now()); };
   w.acct.Start(now_ns(), prof::WorkerState::kIdle);
+  prof::WorkerState wait_state = prof::WorkerState::kIdle;
   while (true) {
     WorkerTask task;
-    {
-      std::unique_lock<std::mutex> lock(w.mu);
-      w.cv.wait(lock, [&] { return w.task.has_value(); });
-      task = std::move(*w.task);
-      w.task.reset();
+    if (!worklist_->PopClaimWait(&task, std::chrono::milliseconds(2))) {
+      // Timed out empty-handed: re-classify the parked state from the
+      // engine hints. Only record a transition when the state actually
+      // changed — Transition charges [last, now) to the outgoing state,
+      // so the buckets telescope bit-exactly to wall time regardless of
+      // how often the worker re-parks.
+      const prof::WorkerState ws = CurrentWaitState();
+      if (ws != wait_state) {
+        w.acct.Transition(ws, now_ns());
+        wait_state = ws;
+      }
+      continue;
     }
     if (task.shutdown) {
       w.acct.Transition(prof::WorkerState::kDraining,
@@ -74,10 +82,11 @@ void RealEngine::WorkerLoop(int worker_id) {
     } else {
       obs::ScopedSpan span("engine.work_order", "engine", "query",
                            task.query_index, "wo", task.wo_index);
-      st = task.execution->ExecuteWorkOrder(task.chain, task.wo_index);
+      st = task.execution->ExecuteWorkOrder(task.chain, task.wo_index,
+                                            &w.scratch);
     }
     Completion c;
-    c.thread_id = worker_id;
+    c.thread_id = task.slot_id;
     c.pipeline_index = task.pipeline_index;
     c.wo_index = task.wo_index;
     c.seconds = sw.ElapsedSeconds();
@@ -87,13 +96,7 @@ void RealEngine::WorkerLoop(int worker_id) {
     // worker parks in whichever wait state the engine hints at.
     w.acct.Transition(prof::WorkerState::kDispatch, now_ns());
     PushCompletion(std::move(c));
-    const prof::WorkerState wait_state =
-        (pool_draining_.load(std::memory_order_relaxed) ||
-         draining_.load(std::memory_order_relaxed))
-            ? prof::WorkerState::kDraining
-            : (stall_hint_.load(std::memory_order_relaxed)
-                   ? prof::WorkerState::kStalled
-                   : prof::WorkerState::kIdle);
+    wait_state = CurrentWaitState();
     w.acct.Transition(wait_state, now_ns());
   }
 }
@@ -265,33 +268,35 @@ int RealEngine::AssignThreads(double now) {
     ActivePipeline& p = pipelines_[static_cast<size_t>(pipeline_index)];
     QueryState* q = query_states_[static_cast<size_t>(p.query_index)].get();
 
-    // Find a free worker, preferring locality.
-    int worker_id = -1;
+    // Reserve a free logical slot, preferring locality. The slot keeps all
+    // occupancy/locality bookkeeping identical to the per-worker-mailbox
+    // era; which physical thread claims the task is irrelevant to it.
+    int slot_id = -1;
     for (const ThreadInfo& t : ctx_.threads()) {
       if (!t.busy && t.last_query == q->id()) {
-        worker_id = t.id;
+        slot_id = t.id;
         break;
       }
     }
-    if (worker_id < 0) {
+    if (slot_id < 0) {
       for (const ThreadInfo& t : ctx_.threads()) {
         if (!t.busy) {
-          worker_id = t.id;
+          slot_id = t.id;
           break;
         }
       }
     }
-    if (worker_id < 0) {
+    if (slot_id < 0) {
       // Dispatchable work exists but every worker is busy: the next
       // worker to free up has work waiting, so a wait here is a stall.
       stall_hint_.store(true, std::memory_order_relaxed);
       return dispatched;
     }
 
-    Worker& w = *workers_[static_cast<size_t>(worker_id)];
     WorkerTask task;
     task.query_index = p.query_index;
     task.pipeline_index = pipeline_index;
+    task.slot_id = slot_id;
     task.execution = executions_[static_cast<size_t>(p.query_index)].get();
     task.chain = p.chain;
     // Retries first (FIFO), then the next fresh work-order index.
@@ -306,16 +311,12 @@ int RealEngine::AssignThreads(double now) {
     task.deadline_seconds = config_.work_order_deadline_seconds;
     ++p.dispatched;
     ++p.inflight;
-    ctx_.SetThreadBusy(worker_id, q->id());
+    ctx_.SetThreadBusy(slot_id, q->id());
     q->set_assigned_threads(q->assigned_threads() + 1);
     const int inflight = ctx_.total_threads() - ctx_.num_free_threads();
     recorder_.OnWorkOrderDispatched(q->id(), is_retry, inflight,
                                     now - p.created_at, now);
-    {
-      std::lock_guard<std::mutex> lock(w.mu);
-      w.task = std::move(task);
-    }
-    w.cv.notify_one();
+    worklist_->Push(std::move(task));
     ++dispatched;
   }
 }
@@ -399,6 +400,12 @@ void RealEngine::SetupRun(Scheduler* scheduler, size_t num_queries) {
 
 void RealEngine::SpawnWorkers() {
   workers_.clear();
+  // The coordinator pushes at most one task per reserved slot plus one
+  // shutdown task per worker at teardown, so 4x threads can never fill the
+  // lock-free ring.
+  worklist_ = MakeWorklist<WorkerTask>(
+      config_.worklist,
+      std::max<size_t>(64, 4 * static_cast<size_t>(config_.num_threads)));
   for (int i = 0; i < config_.num_threads; ++i) {
     auto w = std::make_unique<Worker>();
     w->id = i;
@@ -652,17 +659,16 @@ void RealEngine::DrainOutstanding() {
 
 void RealEngine::ShutdownPool() {
   pool_draining_.store(true, std::memory_order_relaxed);
-  for (auto& w : workers_) {
-    {
-      std::lock_guard<std::mutex> lock(w->mu);
-      WorkerTask t;
-      t.shutdown = true;
-      // Stamp the shutdown like a dispatch so the worker's accountant can
-      // split its final wait from the teardown window.
-      t.issued_at = run_clock_ != nullptr ? run_clock_->Now() : 0.0;
-      w->task = t;
-    }
-    w->cv.notify_one();
+  // The worklist is empty by now (DrainOutstanding waited out every pushed
+  // task), so one shutdown task per worker stops the whole pool: each
+  // worker claims exactly one and exits.
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    WorkerTask t;
+    t.shutdown = true;
+    // Stamp the shutdown like a dispatch so the worker's accountant can
+    // split its final wait from the teardown window.
+    t.issued_at = run_clock_ != nullptr ? run_clock_->Now() : 0.0;
+    worklist_->Push(std::move(t));
   }
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();

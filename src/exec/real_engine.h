@@ -18,6 +18,7 @@
 #include "exec/scheduler.h"
 #include "exec/scheduling_context.h"
 #include "exec/serving_hooks.h"
+#include "exec/worklist.h"
 #include "storage/catalog.h"
 #include "util/clock.h"
 
@@ -47,6 +48,13 @@ struct RealEngineConfig {
   /// the recorder flushes to the shared observability layer and refreshes
   /// the thread-safe Snapshot(). 0 = flush only when the run/drain ends.
   int flush_window_queries = 0;
+  /// Dispatch handoff implementation (DESIGN.md §12). The coordinator still
+  /// reserves a logical worker slot per work order (identical locality and
+  /// occupancy bookkeeping under either kind); the worklist only changes
+  /// how the task reaches a physical worker thread. Default: the lock-free
+  /// worklist, overridable at process level via LSCHED_WORKLIST
+  /// (locking|atomic); explicit assignment beats the env var.
+  WorklistKind worklist = WorklistKindFromEnv(WorklistKind::kAtomic);
 };
 
 struct RealQuerySubmission {
@@ -149,6 +157,9 @@ class RealEngine {
   };
 
   struct Completion {
+    /// Logical worker slot (ThreadInfo id) the coordinator reserved for the
+    /// attempt — NOT the physical worker thread that ran it. All occupancy
+    /// and locality bookkeeping is keyed by slot.
     int thread_id = -1;
     int pipeline_index = -1;
     int wo_index = -1;
@@ -161,11 +172,16 @@ class RealEngine {
     bool shutdown = false;
     int query_index = -1;
     int pipeline_index = -1;
+    /// Logical worker slot reserved by the coordinator (ctx_ ThreadInfo
+    /// id); echoed back in Completion::thread_id by whichever physical
+    /// worker claims the task.
+    int slot_id = -1;
     /// Stable pointer to the query's execution. Workers must NOT index
     /// executions_: the serving coordinator grows that vector while workers
     /// run, and a reallocation would race the read. The pointee is safe —
     /// the coordinator only releases an execution once no attempt of its
-    /// query is in flight.
+    /// query is in flight (tasks parked in the worklist count as in
+    /// flight from the moment they are pushed).
     QueryExecution* execution = nullptr;
     std::vector<int> chain;
     int wo_index = 0;
@@ -173,17 +189,19 @@ class RealEngine {
     double deadline_seconds = 0.0;  ///< per-work-order deadline (0 = none)
   };
 
-  /// Occupancy/locality state lives in the coordinator-owned
-  /// SchedulingContext's ThreadInfo, keyed by `id`.
+  /// Physical worker thread. Tasks arrive through the shared worklist_
+  /// (DESIGN.md §12), not per-worker mailboxes; occupancy/locality state
+  /// lives in the coordinator-owned SchedulingContext's ThreadInfo, keyed
+  /// by the task's slot_id.
   struct Worker {
     std::thread thread;
-    std::mutex mu;
-    std::condition_variable cv;
-    std::optional<WorkerTask> task;
     int id = -1;
     /// Worker-state accountant (DESIGN.md §8.3): written only by the
     /// worker thread itself; the coordinator/sampler read it racily.
     prof::WorkerAccount acct;
+    /// Per-worker arena: row buffers reused across every work order this
+    /// thread executes (allocation-free steady state).
+    WorkOrderScratch scratch;
   };
 
   /// A Submit() awaiting the coordinator (guarded by completion_mu_).
@@ -195,6 +213,18 @@ class RealEngine {
 
   void WorkerLoop(int worker_id);
   void PushCompletion(Completion c);
+  /// The wait-state bucket a parked worker should charge right now,
+  /// derived from the drain/stall hints (heuristic — only the bucket sums
+  /// are exact).
+  prof::WorkerState CurrentWaitState() const {
+    if (pool_draining_.load(std::memory_order_relaxed) ||
+        draining_.load(std::memory_order_relaxed)) {
+      return prof::WorkerState::kDraining;
+    }
+    return stall_hint_.load(std::memory_order_relaxed)
+               ? prof::WorkerState::kStalled
+               : prof::WorkerState::kIdle;
+  }
 
   // Coordinator helpers (no locking needed: only the coordinator mutates
   // scheduling state). Shared verbatim between episode and serving mode.
@@ -256,6 +286,10 @@ class RealEngine {
   std::vector<std::unique_ptr<QueryExecution>> executions_;
   std::vector<ActivePipeline> pipelines_;
   std::vector<std::unique_ptr<Worker>> workers_;
+  /// Shared dispatch queue (coordinator pushes, workers claim). Created by
+  /// SpawnWorkers before any worker thread starts; workers only read the
+  /// pointer, so no synchronization is needed on the pointer itself.
+  std::unique_ptr<Worklist<WorkerTask>> worklist_;
   SchedulingContext ctx_;
   EpisodeRecorder recorder_;
   /// Sink output captured at query completion (indexed by QueryId; grows

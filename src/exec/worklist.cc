@@ -1,0 +1,43 @@
+#include "exec/worklist.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace lsched {
+
+const char* WorklistKindName(WorklistKind kind) {
+  switch (kind) {
+    case WorklistKind::kLocking:
+      return "locking";
+    case WorklistKind::kAtomic:
+      return "atomic";
+  }
+  return "unknown";
+}
+
+bool ParseWorklistKind(const std::string& name, WorklistKind* out) {
+  if (name == "locking") {
+    *out = WorklistKind::kLocking;
+    return true;
+  }
+  if (name == "atomic") {
+    *out = WorklistKind::kAtomic;
+    return true;
+  }
+  return false;
+}
+
+WorklistKind WorklistKindFromEnv(WorklistKind fallback) {
+  const char* env = std::getenv("LSCHED_WORKLIST");
+  if (env == nullptr) return fallback;
+  WorklistKind kind;
+  if (!ParseWorklistKind(env, &kind)) {
+    LSCHED_LOG(Warning) << "unrecognized LSCHED_WORKLIST=" << env
+                        << ", using " << WorklistKindName(fallback);
+    return fallback;
+  }
+  return kind;
+}
+
+}  // namespace lsched

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cmath>
 
+#include "nn/gemm.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/math_util.h"
@@ -90,14 +91,19 @@ Var Tape::Leaf(Param* param) {
 }
 
 Var Tape::MatMul(Var a, Var b) {
-  const int id = NewNode(Matrix::MatMul(a.value(), b.value()));
+  // Forward and both backward products go through the process-wide
+  // GemmBackend, same as the tape-free serving path, so serving scores
+  // match training bit-for-bit under any backend.
+  GemmBackend& gemm = GemmBackend::Global();
+  const int id = NewNode(gemm.MatMul(a.value(), b.value()));
   const int ia = a.id(), ib = b.id();
   nodes_[id].backward = [id, ia, ib](Tape* t) {
+    GemmBackend& g_gemm = GemmBackend::Global();
     const Matrix& g = t->nodes_[id].grad;
     const Matrix& av = t->nodes_[ia].value;
     const Matrix& bv = t->nodes_[ib].value;
-    t->nodes_[ia].grad.AddInPlace(Matrix::MatMul(g, bv.Transposed()));
-    t->nodes_[ib].grad.AddInPlace(Matrix::MatMul(av.Transposed(), g));
+    t->nodes_[ia].grad.AddInPlace(g_gemm.MatMul(g, bv.Transposed()));
+    t->nodes_[ib].grad.AddInPlace(g_gemm.MatMul(av.Transposed(), g));
   };
   return Var(this, id);
 }
@@ -386,7 +392,7 @@ Var Tape::MeanRows(Var a) {
 Var Tape::LogSoftmaxRow(Var a) {
   const Matrix& av = a.value();
   LSCHED_CHECK(av.rows() == 1) << "LogSoftmaxRow expects a row vector";
-  const double lse = LogSumExp(av.raw());
+  const double lse = LogSumExp(av.data(), av.size());
   Matrix out = av;
   for (double& v : out.raw()) v -= lse;
   const int id = NewNode(std::move(out));

@@ -2,25 +2,14 @@
 
 #include <cmath>
 
+#include "nn/gemm.h"
 #include "util/logging.h"
 #include "util/math_util.h"
 
 namespace lsched {
 
 void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out) {
-  LSCHED_CHECK(a.cols() == b.rows())
-      << "matmul shape mismatch: " << a.rows() << "x" << a.cols() << " * "
-      << b.rows() << "x" << b.cols();
-  out->Resize(a.rows(), b.cols());
-  for (int i = 0; i < a.rows(); ++i) {
-    for (int k = 0; k < a.cols(); ++k) {
-      const double av = a.at(i, k);
-      if (av == 0.0) continue;
-      const double* brow = b.data() + static_cast<size_t>(k) * b.cols();
-      double* crow = out->data() + static_cast<size_t>(i) * out->cols();
-      for (int j = 0; j < b.cols(); ++j) crow[j] += av * brow[j];
-    }
-  }
+  GemmBackend::Global().MatMulInto(a, b, out);
 }
 
 void AddRowBroadcastInPlace(Matrix* m, const Matrix& row) {

@@ -41,9 +41,11 @@ class ScratchArena {
 /// loop order and accumulation order), so serving scores match training
 /// forward passes exactly. None of these construct Tape nodes or closures.
 
-/// out = a @ b (out is resized; same skip-zero loop order as
-/// Matrix::MatMul, so batching rows into one call is bit-identical to
-/// per-row calls).
+/// out = a @ b via the process-wide GemmBackend — the same backend the
+/// Tape routes through, so serving stays bit-identical to the training
+/// forward pass under any backend. Per output element the accumulation
+/// order over k is ascending in every backend, so batching rows into one
+/// call is bit-identical to per-row calls.
 void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out);
 
 /// m[r, :] += row[0, :] for every row (the Linear bias broadcast).

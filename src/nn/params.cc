@@ -85,7 +85,7 @@ void ParameterStore::Serialize(BinaryWriter* writer) const {
     writer->WriteString(p->name);
     writer->WriteU32(static_cast<uint32_t>(p->value.rows()));
     writer->WriteU32(static_cast<uint32_t>(p->value.cols()));
-    writer->WriteDoubleVector(p->value.raw());
+    writer->WriteDoubles(p->value.data(), p->value.size());
   }
 }
 
@@ -107,7 +107,7 @@ Status ParameterStore::Deserialize(BinaryReader* reader) {
         data.size() != p->value.size()) {
       return Status::InvalidArgument("shape mismatch for param: " + name);
     }
-    p->value.raw() = std::move(data);
+    p->value.raw().assign(data.begin(), data.end());
   }
   return Status::OK();
 }

@@ -8,7 +8,7 @@ namespace lsched {
 
 Matrix Matrix::FromRow(const std::vector<double>& row) {
   Matrix m(1, static_cast<int>(row.size()));
-  m.data_ = row;
+  m.data_.assign(row.begin(), row.end());
   return m;
 }
 

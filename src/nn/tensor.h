@@ -1,11 +1,62 @@
 #ifndef LSCHED_NN_TENSOR_H_
 #define LSCHED_NN_TENSOR_H_
 
+#include <cstddef>
+#include <cstdint>
+#include <new>
 #include <vector>
 
 #include "util/rng.h"
 
 namespace lsched {
+
+/// STL allocator that hands out 64-byte-aligned storage (one cache line;
+/// also the widest SIMD vector the toolchain may emit). Matrix keeps its
+/// dense row-major layout — only the base pointer alignment changes — so
+/// indexing, raw() iteration order, and the checkpoint byte format are
+/// unchanged.
+///
+/// Alignment is done by over-allocating through plain `operator new` and
+/// stashing the raw pointer just below the returned block, NOT via the
+/// align_val_t overload: glibc's aligned path bypasses the thread-local
+/// fastbin cache and costs ~3x per call, which the encoder's thousands of
+/// small per-node matrices turn into a double-digit encode regression.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+  static constexpr std::size_t kAlignment = 64;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) {}
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    void* raw = ::operator new(n * sizeof(T) + kAlignment + sizeof(void*));
+    auto addr = reinterpret_cast<std::uintptr_t>(raw) + sizeof(void*);
+    addr = (addr + kAlignment - 1) & ~(kAlignment - 1);
+    void* aligned = reinterpret_cast<void*>(addr);
+    static_cast<void**>(aligned)[-1] = raw;
+    return static_cast<T*>(aligned);
+  }
+  void deallocate(T* p, std::size_t) {
+    ::operator delete(static_cast<void**>(static_cast<void*>(p))[-1]);
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U>;
+  };
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+/// 64-byte-aligned double storage backing Matrix.
+using AlignedVector = std::vector<double, AlignedAllocator<double>>;
 
 /// Dense row-major matrix of doubles. The only tensor rank the LSched
 /// networks need: node/edge embeddings are row vectors (1 x d), batched
@@ -32,8 +83,8 @@ class Matrix {
 
   double* data() { return data_.data(); }
   const double* data() const { return data_.data(); }
-  std::vector<double>& raw() { return data_; }
-  const std::vector<double>& raw() const { return data_; }
+  AlignedVector& raw() { return data_; }
+  const AlignedVector& raw() const { return data_; }
 
   void Fill(double v);
   void Zero() { Fill(0.0); }
@@ -53,7 +104,9 @@ class Matrix {
 
   Matrix Transposed() const;
 
-  /// Matrix product (rows x k) * (k x cols).
+  /// Matrix product (rows x k) * (k x cols). Reference naive kernel kept
+  /// for tests; hot paths (Tape + serving) route through nn/gemm.h's
+  /// GemmBackend instead.
   static Matrix MatMul(const Matrix& a, const Matrix& b);
 
   bool SameShape(const Matrix& o) const {
@@ -68,7 +121,7 @@ class Matrix {
 
   int rows_ = 0;
   int cols_ = 0;
-  std::vector<double> data_;
+  AlignedVector data_;
 };
 
 }  // namespace lsched

@@ -25,8 +25,12 @@ void BinaryWriter::WriteString(const std::string& s) {
 }
 
 void BinaryWriter::WriteDoubleVector(const std::vector<double>& v) {
-  WriteU64(v.size());
-  for (double d : v) WriteDouble(d);
+  WriteDoubles(v.data(), v.size());
+}
+
+void BinaryWriter::WriteDoubles(const double* v, size_t n) {
+  WriteU64(n);
+  for (size_t i = 0; i < n; ++i) WriteDouble(v[i]);
 }
 
 Status BinaryWriter::SaveToFile(const std::string& path) const {

@@ -18,6 +18,10 @@ class BinaryWriter {
   void WriteDouble(double v);
   void WriteString(const std::string& s);
   void WriteDoubleVector(const std::vector<double>& v);
+  /// Same wire format as WriteDoubleVector (u64 count + raw doubles) for
+  /// callers whose storage is not a plain std::vector<double> (e.g. the
+  /// 64-byte-aligned nn::Matrix backing store).
+  void WriteDoubles(const double* v, size_t n);
 
   const std::string& buffer() const { return buffer_; }
 

@@ -361,14 +361,14 @@ TEST(TrainerTest, EpisodesRunAndParametersMove) {
   tcfg.learning_rate = 1e-2;
   ReinforceTrainer trainer(&model, &engine, tcfg);
 
-  const std::vector<double> before =
+  const AlignedVector before =
       model.params()->Find("head/root/l1/w")->value.raw();
   auto factory = MakeEpisodeFactory(Benchmark::kSsb, 4, 6, 0.05, 0.1, {2});
   const TrainStats stats = trainer.Train(factory);
   EXPECT_EQ(stats.episode_avg_latency.size(), 3u);
   EXPECT_GT(stats.total_decisions, 0);
   for (double r : stats.episode_reward) EXPECT_TRUE(std::isfinite(r));
-  const std::vector<double> after =
+  const AlignedVector after =
       model.params()->Find("head/root/l1/w")->value.raw();
   EXPECT_NE(before, after);
 }

@@ -104,7 +104,7 @@ TEST(IntegrationTest, TransferLearningWorkflow) {
   const int frozen = target.FreezeForTransfer();
   EXPECT_GT(frozen, 0);
 
-  const std::vector<double> frozen_before =
+  const AlignedVector frozen_before =
       target.params()->Find("encoder/conv0/w_self")->value.raw();
   ReinforceTrainer tgt_trainer(&target, &engine, tcfg);
   tgt_trainer.Train(

@@ -217,7 +217,7 @@ TEST(OnlineProperties, OnlineAgentUpdatesWhileServing) {
   mcfg.summary_dim = 8;
   mcfg.head_hidden = 8;
   LSchedModel model(mcfg);
-  const std::vector<double> before =
+  const AlignedVector before =
       model.params()->Find("head/root/l1/w")->value.raw();
 
   OnlineConfig ocfg;

@@ -168,7 +168,7 @@ TEST(DecimaTest, TrainerRunsAndUpdatesParams) {
   ecfg.num_threads = 4;
   SimEngine engine(ecfg);
   DecimaTrainer trainer(&model, &engine, 2, 1e-2);
-  const std::vector<double> before =
+  const AlignedVector before =
       model.params()->Find("decima/node_head/l1/w")->value.raw();
   auto factory = MakeEpisodeFactory(Benchmark::kSsb, 4, 6, 0.05, 0.1, {2});
   const DecimaTrainStats stats = trainer.Train(factory);

@@ -27,9 +27,11 @@
 #include "exec/scheduling_context.h"
 #include "exec/sim_engine.h"
 #include "nn/autograd.h"
+#include "nn/gemm.h"
 #include "nn/inference.h"
 #include "nn/optimizer.h"
 #include "sched/decima.h"
+#include "sched/heuristics.h"
 #include "testing/fuzzer.h"
 
 namespace lsched {
@@ -90,6 +92,7 @@ class LSchedForwardProbe : public Scheduler {
   int events_compared() const { return events_compared_; }
   int shape_mismatches() const { return shape_mismatches_; }
   int reencode_mismatches() const { return reencode_mismatches_; }
+  int head_path_mismatches() const { return head_path_mismatches_; }
   double max_abs_diff() const { return max_abs_diff_; }
   const EncodingCache& cache() const { return cache_; }
 
@@ -109,6 +112,8 @@ class LSchedForwardProbe : public Scheduler {
     view.total_threads = ctx.total_threads();
     view.free_threads = ctx.num_free_threads();
     std::vector<std::vector<double>> qf_rows(queries.size());
+    std::vector<const Matrix*> head_in;
+    std::vector<int> head_rows;
     for (size_t qi = 0; qi < queries.size(); ++qi) {
       const QueryState* q = queries[qi];
       const EncodingCache::Entry& entry = cache_.Get(
@@ -123,22 +128,39 @@ class LSchedForwardProbe : public Scheduler {
       }
       view.queries.push_back(&entry.features);
       view.encoded.push_back(&entry.enc);
+      head_in.push_back(&entry.head_in);
       qf_rows[qi] = extractor_.ExtractQf(*q, ctx);
       view.qf.push_back(&qf_rows[qi]);
+      int head_row = 0;
       for (const auto& [op, degree] : entry.candidates) {
         Candidate c;
         c.query_index = static_cast<int>(qi);
         c.op = op;
         c.max_degree = degree;
         view.candidates.push_back(c);
+        head_rows.push_back(head_row++);
       }
     }
     if (view.candidates.size() != features.candidates.size()) {
       ++shape_mismatches_;
       return;
     }
+    // This view has no head_in/head_row: RunPredictorServing takes the
+    // fallback (per-event gather + aggregate) assembly path.
     const Matrix aqe = ComputeAqeServing(model_, view, &arena_);
     RunPredictorServing(model_, view, aqe, &arena_, &serving_out_);
+
+    // Claim 4: the cached-head-row fast path (what LSchedAgent serves
+    // with) is bit-identical to the fallback assembly.
+    view.head_in = std::move(head_in);
+    view.head_row = std::move(head_rows);
+    RunPredictorServing(model_, view, aqe, &arena_, &head_out_);
+    if (!MatricesBitEqual(serving_out_.root_logprobs, head_out_.root_logprobs) ||
+        !MatricesBitEqual(serving_out_.degree_logprobs,
+                          head_out_.degree_logprobs) ||
+        !MatricesBitEqual(serving_out_.par_logprobs, head_out_.par_logprobs)) {
+      ++head_path_mismatches_;
+    }
 
     // Claim 1: log-probabilities match within 1e-9.
     const Matrix& root_ref = out.root_logprobs.value();
@@ -173,9 +195,11 @@ class LSchedForwardProbe : public Scheduler {
   ScratchArena arena_;
   ScratchArena reencode_arena_;
   ServingPredictorOutput serving_out_;
+  ServingPredictorOutput head_out_;
   int events_compared_ = 0;
   int shape_mismatches_ = 0;
   int reencode_mismatches_ = 0;
+  int head_path_mismatches_ = 0;
   double max_abs_diff_ = 0.0;
 };
 
@@ -303,6 +327,7 @@ TEST(ServingEquivalenceTest, LSchedForwardMatchesTapeOnSimEngine) {
   EXPECT_EQ(probe.shape_mismatches(), 0);
   EXPECT_EQ(probe.reencode_mismatches(), 0);
   EXPECT_LE(probe.max_abs_diff(), 1e-9);
+  EXPECT_EQ(probe.head_path_mismatches(), 0);
   // The cache must actually be doing something: most events re-touch
   // queries that were not dirtied since the previous event.
   EXPECT_GT(probe.cache().hits(), 0);
@@ -320,7 +345,112 @@ TEST(ServingEquivalenceTest, LSchedForwardMatchesTapeOnRealEngine) {
   ASSERT_GT(probe.events_compared(), 0);
   EXPECT_EQ(probe.shape_mismatches(), 0);
   EXPECT_EQ(probe.reencode_mismatches(), 0);
+  EXPECT_EQ(probe.head_path_mismatches(), 0);
   EXPECT_LE(probe.max_abs_diff(), 1e-9);
+}
+
+/// The GemmBackend equivalence gate: the full tape ≡ serving comparison
+/// must hold under BOTH GEMM kernels (the backend is process-global, so
+/// each pass runs every GEMM in the forward through the selected kernel).
+TEST(ServingEquivalenceTest, ForwardMatchesTapeUnderEveryGemmBackend) {
+  for (GemmKind kind : {GemmKind::kNaive, GemmKind::kBlocked}) {
+    ScopedGemmKind scoped(kind);
+    FuzzerOptions options;
+    options.min_queries = 3;
+    options.max_queries = 3;
+    options.sim_arrival_mean_seconds = 0.001;
+    WorkloadFuzzer fuzzer(6006, options);
+    LSchedForwardProbe probe(41);
+    for (int round = 0; round < 3; ++round) {
+      FuzzedWorkload w = fuzzer.NextWorkload();
+      SimEngineConfig config;
+      config.num_threads = 4;
+      SimEngine engine(config);
+      engine.Run(w.sim_queries, &probe);
+    }
+    ASSERT_GT(probe.events_compared(), 0) << GemmKindName(kind);
+    EXPECT_EQ(probe.shape_mismatches(), 0) << GemmKindName(kind);
+    EXPECT_EQ(probe.reencode_mismatches(), 0) << GemmKindName(kind);
+    EXPECT_EQ(probe.head_path_mismatches(), 0) << GemmKindName(kind);
+    EXPECT_LE(probe.max_abs_diff(), 1e-9) << GemmKindName(kind);
+  }
+}
+
+/// Captures live scheduling states off a FIFO-driven episode (for
+/// cross-backend forward comparisons below).
+class StateCaptureScheduler : public Scheduler {
+ public:
+  StateCaptureScheduler() : extractor_(TinyLSchedConfig().features) {}
+
+  std::string name() const override { return "state-capture"; }
+
+  SchedulingDecision Schedule(const SchedulingEvent& event,
+                              const SchedulingContext& ctx) override {
+    if (states_.size() < 8) {
+      StateFeatures f = extractor_.Extract(ctx);
+      if (!f.candidates.empty() && f.free_threads > 0) {
+        states_.push_back(std::move(f));
+      }
+    }
+    return inner_.Schedule(event, ctx);
+  }
+
+  const std::vector<StateFeatures>& states() const { return states_; }
+
+ private:
+  FifoScheduler inner_;
+  FeatureExtractor extractor_;
+  std::vector<StateFeatures> states_;
+};
+
+/// Direct naive-vs-blocked gate on whole forward passes: the same state
+/// through the same model under each backend must agree within 1e-9 on all
+/// three heads' log-probabilities.
+TEST(ServingEquivalenceTest, BlockedBackendMatchesNaiveOnFullForward) {
+  WorkloadFuzzer fuzzer(909);
+  StateCaptureScheduler capture;
+  FuzzedWorkload w = fuzzer.NextWorkload();
+  SimEngineConfig config;
+  config.num_threads = 4;
+  SimEngine engine(config);
+  engine.Run(w.sim_queries, &capture);
+  ASSERT_FALSE(capture.states().empty());
+
+  LSchedModel model(TinyLSchedConfig());
+  for (const StateFeatures& state : capture.states()) {
+    PredictorOutput naive_out, blocked_out;
+    Tape naive_tape, blocked_tape;
+    {
+      ScopedGemmKind scoped(GemmKind::kNaive);
+      const EncodedState enc = EncodeState(&model, state, &naive_tape);
+      naive_out = RunPredictor(&model, state, enc, &naive_tape);
+    }
+    {
+      ScopedGemmKind scoped(GemmKind::kBlocked);
+      const EncodedState enc = EncodeState(&model, state, &blocked_tape);
+      blocked_out = RunPredictor(&model, state, enc, &blocked_tape);
+    }
+    const Matrix& root_n = naive_out.root_logprobs.value();
+    const Matrix& root_b = blocked_out.root_logprobs.value();
+    ASSERT_EQ(root_n.cols(), root_b.cols());
+    for (int c = 0; c < root_n.cols(); ++c) {
+      EXPECT_NEAR(root_n.at(0, c), root_b.at(0, c), 1e-9);
+      const Matrix& deg_n =
+          naive_out.degree_logprobs[static_cast<size_t>(c)].value();
+      const Matrix& deg_b =
+          blocked_out.degree_logprobs[static_cast<size_t>(c)].value();
+      for (int k = 0; k < deg_n.cols(); ++k) {
+        EXPECT_NEAR(deg_n.at(0, k), deg_b.at(0, k), 1e-9);
+      }
+      const Matrix& par_n =
+          naive_out.par_logprobs[static_cast<size_t>(c)].value();
+      const Matrix& par_b =
+          blocked_out.par_logprobs[static_cast<size_t>(c)].value();
+      for (int k = 0; k < par_n.cols(); ++k) {
+        EXPECT_NEAR(par_n.at(0, k), par_b.at(0, k), 1e-9);
+      }
+    }
+  }
 }
 
 TEST(ServingEquivalenceTest, LSchedFastAndSlowDecisionsIdenticalOnSim) {
