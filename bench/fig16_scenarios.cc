@@ -1,0 +1,200 @@
+// Policy x scenario grid: every scheduling policy drives the
+// ServingDaemon's deterministic SimEngine mode over every scenario preset
+// (steady / diurnal / flash_crowd / drift_ramp / elastic / adversarial,
+// workload/scenario.h), so one table answers "which policy degrades, and
+// under which traffic shape". The adversarial preset is sharpened at bench
+// time with the ResQ-style FindAdversarialMix search against the guarded
+// LSched policy (LSCHED_ADV_ITERS hill-climb steps; 0 keeps the static
+// preset). Emits BENCH_scenarios.json for the perf trajectory.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "sched/guarded_policy.h"
+#include "sched/heuristics.h"
+#include "serve/serving_daemon.h"
+#include "workload/scenario.h"
+
+namespace lsched {
+namespace bench {
+namespace {
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const size_t idx = static_cast<size_t>(p * (xs.size() - 1) + 0.5);
+  return xs[std::min(idx, xs.size() - 1)];
+}
+
+struct CellRow {
+  std::string scenario;
+  std::string policy;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  int64_t completed = 0;
+  int64_t shed = 0;
+};
+
+/// Rescales a preset's time axis by `ts` (rates shrink, times stretch) so
+/// its base rate matches the bench's configured arrival rate
+/// (1 / eval_interarrival) while keeping the burst/diurnal/drift shape.
+/// At the default config ts == 1 and this is the identity.
+ScenarioSpec RescaleSpecTime(ScenarioSpec spec, double ts) {
+  spec.rate.base_rate /= ts;
+  for (RatePhase& p : spec.rate.phases) {
+    p.until *= ts;
+    p.rate /= ts;
+  }
+  spec.rate.diurnal_period_seconds *= ts;
+  for (RateBurst& b : spec.rate.bursts) {
+    b.start *= ts;
+    b.duration *= ts;
+  }
+  spec.drift.start_time *= ts;
+  spec.drift.end_time *= ts;
+  spec.thread_events = ScaleThreadEvents(spec.thread_events, ts);
+  return spec;
+}
+
+CellRow RunCell(const BenchConfig& bench, const ScenarioSpec& spec,
+                const ScriptedIngress& script, const std::string& policy_name,
+                Scheduler* scheduler) {
+  ServingDaemonConfig cfg;
+  cfg.policy.max_live_queries = 32;  // bounded admission: overload sheds
+  cfg.policy.tenant_weights = {{0, 1.0}, {1, 2.0}, {2, 3.0}};
+  cfg.sim.num_threads = bench.threads;
+  cfg.sim.seed = bench.seed + 7;
+  cfg.sim.thread_events = spec.thread_events;  // elasticity rides along
+  ServingDaemon daemon(cfg);
+  const EpisodeResult r = daemon.RunScript(script, scheduler);
+
+  CellRow row;
+  row.scenario = spec.name;
+  row.policy = policy_name;
+  row.mean = r.avg_latency;
+  row.p50 = Percentile(r.query_latencies, 0.50);
+  row.p99 = Percentile(r.query_latencies, 0.99);
+  row.completed = static_cast<int64_t>(r.query_latencies.size());
+  row.shed = r.num_queries_shed;
+  std::printf("  %-11s %-10s mean %8.4fs  p50 %8.4fs  p99 %8.4fs  "
+              "completed %3lld  shed %3lld\n",
+              spec.name.c_str(), policy_name.c_str(), row.mean, row.p50,
+              row.p99, static_cast<long long>(row.completed),
+              static_cast<long long>(row.shed));
+  return row;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lsched
+
+int main() {
+  using namespace lsched;
+  using namespace lsched::bench;
+  const BenchConfig cfg = BenchConfig::FromEnv();
+  std::printf("Scenario grid — every policy x every preset (%d queries, "
+              "%d threads, admission bound 32)\n",
+              cfg.eval_queries, cfg.threads);
+
+  auto lsched_model =
+      TrainedLSched(cfg, Benchmark::kTpch, "full", DefaultLSchedConfig());
+  auto decima_model = TrainedDecima(cfg, Benchmark::kTpch);
+  const SelfTuneParams st_params = TunedSelfTune(cfg, Benchmark::kTpch);
+
+  LSchedAgent lsched_agent(lsched_model.get());
+  GuardedPolicy lsched_sched(&lsched_agent);  // as deployed: guarded
+  DecimaScheduler decima(decima_model.get());
+  QuickstepScheduler quickstep;
+  SelfTuneScheduler selftune(st_params);
+  FairScheduler fair;
+  FifoScheduler fifo;
+  SjfScheduler sjf;
+
+  std::vector<std::pair<std::string, Scheduler*>> schedulers = {
+      {"LSched", &lsched_sched}, {"Decima", &decima},
+      {"Quickstep", &quickstep}, {"SelfTune", &selftune},
+      {"Fair", &fair},           {"SJF", &sjf},
+      {"FIFO", &fifo}};
+
+  // Hill-climb budget for sharpening the adversarial preset against the
+  // learned policy at bench time. 0 keeps the static preset (still a hard
+  // skewed-mix + burst workload, just not policy-targeted).
+  int adv_iters = 4;
+  if (const char* env = std::getenv("LSCHED_ADV_ITERS")) {
+    adv_iters = std::atoi(env);
+  }
+
+  std::vector<CellRow> rows;
+  PerfSnapshot snap = MakePerfSnapshot("scenarios");
+  snap.Add("queries", cfg.eval_queries);
+  snap.Add("threads", cfg.threads);
+  snap.Add("admission_bound", 32);
+
+  const std::vector<std::string>& names = ScenarioNames();
+  for (size_t si = 0; si < names.size(); ++si) {
+    ScenarioSpec spec = *ScenarioByName(names[si]);
+    spec.num_queries = cfg.eval_queries;
+    // Presets are authored at a 20 q/s base rate; map that onto the bench's
+    // configured arrival rate while preserving the traffic shape.
+    spec = RescaleSpecTime(spec, cfg.eval_interarrival * spec.rate.base_rate);
+
+    if (spec.name == "adversarial" && adv_iters > 0) {
+      AdversarialSearchOptions opts;
+      opts.iterations = adv_iters;
+      opts.num_threads = cfg.threads;
+      opts.seed = cfg.seed + 17;
+      opts.eval_queries = cfg.eval_queries;
+      const AdversarialMixResult adv =
+          FindAdversarialMix(spec, &lsched_sched, opts);
+      std::printf("adversarial search: regret %+.4fs vs %s after %d "
+                  "episodes\n",
+                  adv.regret, adv.best_heuristic.c_str(), adv.evaluations);
+      spec.drift.kind = MixDriftKind::kNone;
+      spec.drift.from.weights = adv.weights;
+      snap.Add("adversarial.search_regret", adv.regret);
+    }
+
+    // One deterministic script per scenario, shared by every policy so the
+    // grid compares schedulers, not sampling noise.
+    Rng rng(cfg.seed + 31 * static_cast<uint64_t>(si));
+    const ScriptedIngress script = CompileIngress(spec, &rng);
+
+    for (auto& [policy_name, sched] : schedulers) {
+      const CellRow row = RunCell(cfg, spec, script, policy_name, sched);
+      rows.push_back(row);
+      const std::string key = row.scenario + "." + row.policy;
+      snap.Add(key + ".mean_latency", row.mean);
+      snap.Add(key + ".p50_latency", row.p50);
+      snap.Add(key + ".p99_latency", row.p99);
+      snap.Add(key + ".completed", static_cast<double>(row.completed));
+      snap.Add(key + ".shed", static_cast<double>(row.shed));
+    }
+  }
+
+  // Headline: per scenario, LSched's mean-latency delta vs the best untuned
+  // heuristic on that same scenario (negative = LSched ahead).
+  for (const std::string& name : names) {
+    double lsched_mean = 0.0;
+    double best_heuristic = 1e300;
+    std::string best_name;
+    for (const CellRow& r : rows) {
+      if (r.scenario != name) continue;
+      if (r.policy == "LSched") lsched_mean = r.mean;
+      if (r.policy == "Fair" || r.policy == "SJF" || r.policy == "FIFO") {
+        if (r.mean < best_heuristic) {
+          best_heuristic = r.mean;
+          best_name = r.policy;
+        }
+      }
+    }
+    std::printf("%-11s LSched vs best heuristic (%s): %+.1f%%\n",
+                name.c_str(), best_name.c_str(),
+                100.0 * (lsched_mean - best_heuristic) / best_heuristic);
+  }
+
+  return WriteBenchSnapshot(snap) ? 0 : 1;
+}

@@ -94,6 +94,16 @@ enum class SchedulingEventType : uint8_t {
 
 const char* SchedulingEventTypeName(SchedulingEventType t);
 
+/// A scheduled change to the worker pool size (paper §5.1: "the worker
+/// threads pool can shrink or grow dynamically during execution"; §5.2
+/// events (1)). Positive delta adds threads; negative removes idle threads
+/// (busy ones retire when their current work order completes). Times are
+/// virtual seconds in SimEngine and run-clock seconds in RealEngine.
+struct ThreadPoolEvent {
+  double time = 0.0;
+  int delta = 0;
+};
+
 /// Query lifecycle (DESIGN.md §10): ADMITTED -> RUNNING -> {DONE, CANCELLED,
 /// FAILED}. Cancellation/failure is legal from either live state; terminal
 /// states are absorbing, which makes double-cancel and cancel-after-done

@@ -398,25 +398,56 @@ void RealEngine::SetupRun(Scheduler* scheduler, size_t num_queries) {
   }
 }
 
+int RealEngine::PeakPoolSize() const {
+  // Events are applied in time order; the physical pool must cover the
+  // high-water mark of the logical slot count they script.
+  std::vector<ThreadPoolEvent> events = config_.thread_events;
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ThreadPoolEvent& a, const ThreadPoolEvent& b) {
+                     return a.time < b.time;
+                   });
+  int running = config_.num_threads;
+  int peak = running;
+  for (const ThreadPoolEvent& e : events) {
+    running += e.delta;
+    peak = std::max(peak, running);
+  }
+  return std::max(peak, config_.num_threads);
+}
+
 void RealEngine::SpawnWorkers() {
   workers_.clear();
+  sorted_thread_events_ = config_.thread_events;
+  std::stable_sort(sorted_thread_events_.begin(), sorted_thread_events_.end(),
+                   [](const ThreadPoolEvent& a, const ThreadPoolEvent& b) {
+                     return a.time < b.time;
+                   });
+  next_thread_event_ = 0;
+  pending_slot_removals_ = 0;
+  const int physical = PeakPoolSize();
   // The coordinator pushes at most one task per reserved slot plus one
-  // shutdown task per worker at teardown, so 4x threads can never fill the
-  // lock-free ring.
+  // shutdown task per worker at teardown, so 4x the peak pool can never
+  // fill the lock-free ring.
   worklist_ = MakeWorklist<WorkerTask>(
       config_.worklist,
-      std::max<size_t>(64, 4 * static_cast<size_t>(config_.num_threads)));
-  for (int i = 0; i < config_.num_threads; ++i) {
+      std::max<size_t>(64, 4 * static_cast<size_t>(physical)));
+  for (int i = 0; i < physical; ++i) {
     auto w = std::make_unique<Worker>();
     w->id = i;
     workers_.push_back(std::move(w));
+  }
+  // Logical slots start at the configured size; thread_events grow/shrink
+  // them mid-run. A physical worker beyond the current slot count simply
+  // parks on the (empty-for-it) worklist.
+  for (int i = 0; i < config_.num_threads; ++i) {
     ThreadInfo info;
     info.id = i;
     ctx_.AddThread(info);
   }
+  next_slot_id_ = config_.num_threads;
   stall_hint_.store(false, std::memory_order_relaxed);
   pool_draining_.store(false, std::memory_order_relaxed);
-  for (int i = 0; i < config_.num_threads; ++i) {
+  for (int i = 0; i < physical; ++i) {
     workers_[static_cast<size_t>(i)]->thread =
         std::thread([this, i] { WorkerLoop(i); });
   }
@@ -426,6 +457,44 @@ void RealEngine::SpawnWorkers() {
   profiler_handle_ =
       prof::SamplingProfiler::Global().RegisterWorkers("real",
                                                        std::move(accounts));
+}
+
+void RealEngine::ApplyDueThreadEvents(double now, Scheduler* scheduler) {
+  while (next_thread_event_ < sorted_thread_events_.size() &&
+         sorted_thread_events_[next_thread_event_].time <= now) {
+    const ThreadPoolEvent& change =
+        sorted_thread_events_[next_thread_event_];
+    ++next_thread_event_;
+    if (change.delta == 0) continue;
+    ctx_.set_now(now);
+    SchedulingEvent se;
+    se.time = now;
+    if (change.delta > 0) {
+      for (int k = 0; k < change.delta; ++k) {
+        ThreadInfo info;
+        info.id = next_slot_id_++;
+        ctx_.AddThread(info);
+      }
+      se.type = SchedulingEventType::kThreadAdded;
+    } else {
+      // Retire idle slots immediately; busy slots retire as their current
+      // work order completes (ProcessCompletion) — SimEngine's semantics.
+      int to_remove = -change.delta;
+      std::vector<int> idle_slots;
+      for (const ThreadInfo& t : ctx_.threads()) {
+        if (!t.busy) idle_slots.push_back(t.id);
+      }
+      for (int slot : idle_slots) {
+        if (to_remove == 0) break;
+        ctx_.RetireThread(slot);
+        --to_remove;
+      }
+      pending_slot_removals_ += to_remove;
+      se.type = SchedulingEventType::kThreadRemoved;
+    }
+    InvokeScheduler(se, scheduler, now);
+    AssignThreads(now);
+  }
 }
 
 void RealEngine::AdmitArrival(QueryId qid, QueryPlan plan,
@@ -520,6 +589,14 @@ void RealEngine::ProcessCompletion(const Completion& c, double now,
   ctx_.SetThreadIdle(c.thread_id, q->id());
   --p.inflight;
   q->set_assigned_threads(q->assigned_threads() - 1);
+  if (pending_slot_removals_ > 0) {
+    // A pool shrink found this slot busy; retire it now that its in-flight
+    // work order has drained (mirrors SimEngine's deferred removal). The
+    // retired slot disappears from ctx_, so the kThreadIdle branch below
+    // naturally skips it.
+    ctx_.RetireThread(c.thread_id);
+    --pending_slot_removals_;
+  }
 
   std::vector<int> completed_ops;
   bool emit_cancel_event = false;
@@ -764,6 +841,7 @@ RealRunResult RealEngine::Run(const std::vector<RealQuerySubmission>& workload,
 
   while (terminal_queries_ < static_cast<int>(workload.size())) {
     const double now = clock.Now();
+    ApplyDueThreadEvents(now, scheduler);
 
     // Apply due cancels BEFORE releasing arrivals: a cancel scripted at or
     // before a query's arrival wins deterministically.
@@ -909,6 +987,7 @@ void RealEngine::ServeLoop() {
   const Clock& clock = *serving_clock_;
   while (true) {
     const double now = clock.Now();
+    ApplyDueThreadEvents(now, scheduler);
     // Read the drain flag BEFORE swapping the ingress queues: Submit()
     // refuses once draining_ is set (under completion_mu_), so a true read
     // here guarantees this iteration's swap sees every submission ever

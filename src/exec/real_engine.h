@@ -26,6 +26,16 @@ namespace lsched {
 
 struct RealEngineConfig {
   int num_threads = 8;
+  /// Scheduled worker-pool elasticity (paper §5.1 / Decima's scenario), at
+  /// run-clock seconds from run/serving start. Elasticity operates on the
+  /// LOGICAL worker slots the coordinator reserves work against: a grow
+  /// adds fresh slots (kThreadAdded), a shrink retires idle slots
+  /// immediately and busy slots as their in-flight work order completes
+  /// (kThreadRemoved) — identical semantics to SimEngine's thread_events.
+  /// Physical worker threads are sized once at spawn for the PEAK slot
+  /// count (workers are interchangeable behind the shared worklist, so a
+  /// surplus physical worker simply parks when fewer slots exist).
+  std::vector<ThreadPoolEvent> thread_events;
   size_t chunk_rows = 4096;
   int max_rounds_per_event = 64;
   /// Retry/backoff policy for failed work-order attempts (DESIGN.md §10).
@@ -230,6 +240,13 @@ class RealEngine {
   // scheduling state). Shared verbatim between episode and serving mode.
   void SetupRun(Scheduler* scheduler, size_t num_queries);
   void SpawnWorkers();
+  /// The physical pool size: the peak logical-slot count over the scripted
+  /// thread_events (workers are spawned once, slots come and go).
+  int PeakPoolSize() const;
+  /// Applies every thread_events entry due at `now`: grows/retires logical
+  /// slots and fires kThreadAdded/kThreadRemoved at the scheduler. Called
+  /// from the top of both coordinator loops.
+  void ApplyDueThreadEvents(double now, Scheduler* scheduler);
   /// Admits query `qid` (tables must already cover the id and hold null):
   /// creates its state, probes the query_admit fault point, consults the
   /// serving hooks (shed / displace), allocates its execution, and fires
@@ -301,6 +318,14 @@ class RealEngine {
   int64_t current_decision_id_ = -1;
   /// Queries that reached a terminal state (DONE+CANCELLED+FAILED+SHED).
   int terminal_queries_ = 0;
+  /// Pool elasticity (coordinator-only): scripted events sorted by time,
+  /// the next one due, a fresh id source for grown slots, and the count of
+  /// busy slots awaiting retirement (they retire in ProcessCompletion as
+  /// their in-flight work order drains — SimEngine's exact semantics).
+  std::vector<ThreadPoolEvent> sorted_thread_events_;
+  size_t next_thread_event_ = 0;
+  int next_slot_id_ = 0;
+  int pending_slot_removals_ = 0;
   /// terminal_queries_ at the last rolling-window flush.
   int last_flush_terminals_ = 0;
   /// Run clock, published (before workers spawn) for worker-side deadline

@@ -27,15 +27,6 @@ struct QuerySubmission {
   QueryTag tag;
 };
 
-/// A scheduled change to the worker pool size (paper §5.1: "the worker
-/// threads pool can shrink or grow dynamically during execution"; §5.2
-/// events (1)). Positive delta adds threads; negative removes idle threads
-/// (busy ones retire when their current work order completes).
-struct ThreadPoolEvent {
-  double time = 0.0;
-  int delta = 0;
-};
-
 struct SimEngineConfig {
   int num_threads = 60;
   std::vector<ThreadPoolEvent> thread_events;

@@ -1,11 +1,13 @@
 #include "testing/fuzzer.h"
 
 #include <algorithm>
+#include <optional>
 #include <string>
 
 #include "plan/plan_builder.h"
 #include "storage/table_generator.h"
 #include "util/logging.h"
+#include "workload/scenario.h"
 
 namespace lsched {
 
@@ -349,18 +351,53 @@ FuzzedWorkload WorkloadFuzzer::NextWorkload() {
   const int num_queries = static_cast<int>(
       rng_.UniformInt(static_cast<int64_t>(options_.min_queries),
                       static_cast<int64_t>(options_.max_queries)));
-  double real_at = 0.0;
-  double sim_at = 0.0;
   const bool tagged = options_.num_tenants > 1 ||
                       options_.high_priority_fraction > 0.0 ||
                       options_.low_priority_fraction > 0.0;
+
+  // Arrival pattern: homogeneous Poisson by default; a scenario preset's
+  // time-varying rate curve when one is named. Scenario time is rescaled so
+  // one unit of "expected inter-arrival at the base rate" maps onto each
+  // engine's configured mean gap — the preset's burst/diurnal shape carries
+  // over while the fuzz run keeps its usual duration.
+  std::vector<double> real_times(static_cast<size_t>(num_queries));
+  std::vector<double> sim_times(static_cast<size_t>(num_queries));
+  if (!options_.scenario.empty()) {
+    const std::optional<ScenarioSpec> spec = ScenarioByName(options_.scenario);
+    LSCHED_CHECK(spec.has_value())
+        << "unknown scenario preset: " << options_.scenario;
+    const std::vector<double> at =
+        SampleArrivalTimes(spec->rate, num_queries, &rng_);
+    const double real_scale =
+        options_.real_arrival_mean_seconds * spec->rate.base_rate;
+    const double sim_scale =
+        options_.sim_arrival_mean_seconds * spec->rate.base_rate;
+    for (int i = 0; i < num_queries; ++i) {
+      real_times[static_cast<size_t>(i)] = at[static_cast<size_t>(i)] *
+                                           real_scale;
+      sim_times[static_cast<size_t>(i)] = at[static_cast<size_t>(i)] *
+                                          sim_scale;
+    }
+    w.real_thread_events = ScaleThreadEvents(spec->thread_events, real_scale);
+    w.sim_thread_events = ScaleThreadEvents(spec->thread_events, sim_scale);
+  } else {
+    double real_at = 0.0;
+    double sim_at = 0.0;
+    for (int i = 0; i < num_queries; ++i) {
+      real_times[static_cast<size_t>(i)] = real_at;
+      sim_times[static_cast<size_t>(i)] = sim_at;
+      real_at += rng_.Exponential(options_.real_arrival_mean_seconds);
+      sim_at += rng_.Exponential(options_.sim_arrival_mean_seconds);
+    }
+  }
+
   for (int i = 0; i < num_queries; ++i) {
     QueryPlan plan = FuzzPlan(*w.catalog);
     const QueryTag tag = tagged ? FuzzTag() : QueryTag{};
-    w.real_queries.push_back({plan, real_at, tag});
-    w.sim_queries.push_back({std::move(plan), sim_at, tag});
-    real_at += rng_.Exponential(options_.real_arrival_mean_seconds);
-    sim_at += rng_.Exponential(options_.sim_arrival_mean_seconds);
+    w.real_queries.push_back(
+        {plan, real_times[static_cast<size_t>(i)], tag});
+    w.sim_queries.push_back(
+        {std::move(plan), sim_times[static_cast<size_t>(i)], tag});
   }
   if (options_.chaos) FuzzChaos(&w);
   return w;

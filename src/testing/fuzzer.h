@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "exec/real_engine.h"
@@ -26,6 +27,13 @@ struct FuzzerOptions {
   /// seconds) and SimEngine submissions (virtual seconds).
   double real_arrival_mean_seconds = 0.002;
   double sim_arrival_mean_seconds = 0.05;
+  /// Scenario preset name (workload/scenario.h). When set, NextWorkload()
+  /// draws arrivals from the preset's time-varying rate curve instead of a
+  /// homogeneous Poisson process, rescaled so the preset's base rate maps
+  /// onto the mean gaps above, and exports the preset's pool-elasticity
+  /// events (FuzzedWorkload::{sim,real}_thread_events) in each engine's
+  /// timebase. Unknown names are a hard error.
+  std::string scenario;
 
   /// --- chaos mode (DESIGN.md §10) ---------------------------------------
   /// When true, NextWorkload() also fuzzes a FaultSchedule + cancellation
@@ -68,6 +76,11 @@ struct FuzzedWorkload {
   std::unique_ptr<Catalog> catalog;
   std::vector<RealQuerySubmission> real_queries;
   std::vector<QuerySubmission> sim_queries;
+  /// Pool-elasticity events from the scenario preset (empty without
+  /// FuzzerOptions::scenario), pre-scaled to each engine's timebase. Pass
+  /// to SimEngineConfig/RealEngineConfig::thread_events.
+  std::vector<ThreadPoolEvent> sim_thread_events;
+  std::vector<ThreadPoolEvent> real_thread_events;
 
   /// Chaos script (empty unless FuzzerOptions::chaos). Install `faults`
   /// into FaultInjector::Global() and pass `cancels` to the engine config;

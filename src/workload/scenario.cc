@@ -1,0 +1,383 @@
+#include "workload/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "exec/sim_engine.h"
+#include "sched/heuristics.h"
+#include "util/logging.h"
+#include "workload/templates.h"
+
+namespace lsched {
+
+double RateCurve::RateAt(double t) const {
+  double rate = base_rate;
+  for (const RatePhase& p : phases) {
+    if (t < p.until) {
+      rate = p.rate;
+      break;
+    }
+  }
+  if (diurnal_period_seconds > 0.0) {
+    const double mod =
+        1.0 + diurnal_amplitude *
+                  std::sin(2.0 * M_PI * t / diurnal_period_seconds +
+                           diurnal_phase_radians);
+    rate *= std::max(0.0, mod);
+  }
+  for (const RateBurst& b : bursts) {
+    if (t >= b.start && t < b.start + b.duration) rate *= b.multiplier;
+  }
+  return std::max(0.0, rate);
+}
+
+double RateCurve::MaxRate() const {
+  double rate = base_rate;
+  for (const RatePhase& p : phases) rate = std::max(rate, p.rate);
+  rate *= 1.0 + std::max(0.0, diurnal_amplitude);
+  for (const RateBurst& b : bursts) rate *= std::max(1.0, b.multiplier);
+  return rate;
+}
+
+std::vector<double> SampleArrivalTimes(const RateCurve& curve, int n,
+                                       Rng* rng) {
+  const double lambda_max = curve.MaxRate();
+  LSCHED_CHECK(lambda_max > 0.0) << "scenario rate curve is identically zero";
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(std::max(0, n)));
+  double t = 0.0;
+  while (static_cast<int>(out.size()) < n) {
+    // Candidate from the homogeneous envelope process; thin by the ratio of
+    // the true intensity to the envelope. The accepted points are exactly
+    // the inhomogeneous Poisson process with intensity RateAt (Lewis &
+    // Shedler 1979) — DESIGN.md §13 has the argument.
+    t += rng->Exponential(1.0 / lambda_max);
+    if (rng->Uniform() * lambda_max <= curve.RateAt(t)) out.push_back(t);
+  }
+  return out;
+}
+
+namespace {
+
+/// The per-template (not per-pool-entry) weights of `profile` over
+/// `num_templates` split positions.
+void ProfileWeights(const MixProfile& profile, int num_templates,
+                    std::vector<double>* out) {
+  out->resize(static_cast<size_t>(num_templates));
+  if (!profile.weights.empty()) {
+    for (int j = 0; j < num_templates; ++j) {
+      (*out)[static_cast<size_t>(j)] = std::max(
+          0.0, profile.weights[static_cast<size_t>(j) %
+                               profile.weights.size()]);
+    }
+    return;
+  }
+  for (int j = 0; j < num_templates; ++j) {
+    const double u =
+        num_templates > 1
+            ? static_cast<double>(j) / static_cast<double>(num_templates - 1)
+            : 0.0;
+    (*out)[static_cast<size_t>(j)] = std::exp(profile.tilt * u);
+  }
+}
+
+/// Ramp/switch interpolation factor alpha(t) in [0, 1]: weight of the `to`
+/// profile at script time t.
+double DriftAlpha(const MixDrift& drift, double t) {
+  switch (drift.kind) {
+    case MixDriftKind::kNone:
+      return 0.0;
+    case MixDriftKind::kAbruptSwitch:
+      return t >= drift.start_time ? 1.0 : 0.0;
+    case MixDriftKind::kLinearRamp: {
+      if (drift.end_time <= drift.start_time) {
+        return t >= drift.start_time ? 1.0 : 0.0;
+      }
+      const double a = (t - drift.start_time) /
+                       (drift.end_time - drift.start_time);
+      return std::clamp(a, 0.0, 1.0);
+    }
+  }
+  return 0.0;
+}
+
+WorkloadConfig PoolConfig(const ScenarioSpec& spec) {
+  WorkloadConfig cfg;
+  cfg.benchmark = spec.benchmark;
+  cfg.split = spec.split;
+  cfg.scale_factors = spec.scale_factors;
+  cfg.split_seed = spec.split_seed;
+  return cfg;
+}
+
+std::vector<int> ScenarioScaleFactors(const ScenarioSpec& spec) {
+  return spec.scale_factors.empty() ? ScaleFactorsOf(spec.benchmark)
+                                    : spec.scale_factors;
+}
+
+/// Pool-entry weights at time t given the pool geometry (sf-major order:
+/// entry i = scale-factor block i / num_templates, template position
+/// i % num_templates).
+std::vector<double> PoolWeightsAt(const ScenarioSpec& spec, int num_templates,
+                                  int num_sfs, double t) {
+  std::vector<double> from_w, to_w;
+  ProfileWeights(spec.drift.from, num_templates, &from_w);
+  const double alpha = DriftAlpha(spec.drift, t);
+  if (alpha > 0.0) ProfileWeights(spec.drift.to, num_templates, &to_w);
+
+  std::vector<double> weights(
+      static_cast<size_t>(num_templates * num_sfs));
+  for (int b = 0; b < num_sfs; ++b) {
+    // Scale-factor heterogeneity: rank-based bias toward the front of the
+    // scale-factor list (skew 0 = uniform).
+    const double sf_w =
+        spec.scale_factor_skew > 0.0
+            ? std::pow(static_cast<double>(b + 1),
+                       -6.0 * spec.scale_factor_skew)
+            : 1.0;
+    for (int j = 0; j < num_templates; ++j) {
+      double w = from_w[static_cast<size_t>(j)];
+      if (alpha > 0.0) {
+        w = (1.0 - alpha) * w + alpha * to_w[static_cast<size_t>(j)];
+      }
+      weights[static_cast<size_t>(b * num_templates + j)] = w * sf_w;
+    }
+  }
+  return weights;
+}
+
+}  // namespace
+
+std::vector<double> MixWeightsAt(const ScenarioSpec& spec, double t) {
+  const std::vector<std::pair<int, int>> pool =
+      TemplatePool(PoolConfig(spec));
+  const int num_sfs = static_cast<int>(ScenarioScaleFactors(spec).size());
+  LSCHED_CHECK(num_sfs > 0 && !pool.empty());
+  const int num_templates = static_cast<int>(pool.size()) / num_sfs;
+  return PoolWeightsAt(spec, num_templates, num_sfs, t);
+}
+
+CompiledScenario CompileScenario(const ScenarioSpec& spec, Rng* rng) {
+  const std::vector<std::pair<int, int>> pool =
+      TemplatePool(PoolConfig(spec));
+  LSCHED_CHECK(!pool.empty());
+  const int num_sfs = static_cast<int>(ScenarioScaleFactors(spec).size());
+  const int num_templates = static_cast<int>(pool.size()) / num_sfs;
+  const std::vector<TemplateSpec> specs = TemplatesOf(spec.benchmark);
+
+  CompiledScenario out;
+  out.thread_events = spec.thread_events;
+  const std::vector<double> arrivals =
+      SampleArrivalTimes(spec.rate, spec.num_queries, rng);
+  out.submissions.reserve(arrivals.size());
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    const double t = arrivals[i];
+    const std::vector<double> weights =
+        PoolWeightsAt(spec, num_templates, num_sfs, t);
+    size_t pick = rng->WeightedIndex(weights);
+    if (pick >= pool.size()) pick = 0;  // all-zero weights: degenerate spec
+    const auto& [tmpl, sf] = pool[pick];
+    Result<QueryPlan> plan = InstantiateTemplate(
+        spec.benchmark, specs[static_cast<size_t>(tmpl)], sf, rng);
+    LSCHED_CHECK(plan.ok()) << plan.status().ToString();
+
+    QuerySubmission sub;
+    sub.plan = std::move(plan).value();
+    sub.arrival_time = t;
+    sub.tag.tenant = static_cast<TenantId>(
+        spec.num_tenants > 1 ? static_cast<int>(i) % spec.num_tenants : 0);
+    if (spec.high_priority_fraction > 0.0 ||
+        spec.low_priority_fraction > 0.0) {
+      const double p = rng->Uniform();
+      if (p < spec.high_priority_fraction) {
+        sub.tag.priority = QueryPriority::kHigh;
+      } else if (p < spec.high_priority_fraction +
+                         spec.low_priority_fraction) {
+        sub.tag.priority = QueryPriority::kLow;
+      }
+    }
+    out.submissions.push_back(std::move(sub));
+
+    if (spec.cancel_fraction > 0.0 &&
+        rng->Uniform() < spec.cancel_fraction) {
+      // Cancel about one arrival gap after submission, so some cancels land
+      // pre-admission and some mid-run.
+      const double rate_here = std::max(spec.rate.RateAt(t), 1e-9);
+      out.cancels.push_back(CancelRequest{
+          static_cast<QueryId>(i), t + rng->Exponential(1.0 / rate_here)});
+    }
+  }
+  return out;
+}
+
+ScriptedIngress CompileIngress(const ScenarioSpec& spec, Rng* rng) {
+  CompiledScenario compiled = CompileScenario(spec, rng);
+  std::vector<QueryPlan> plans;
+  std::vector<IngressEvent> events;
+  plans.reserve(compiled.submissions.size());
+  for (size_t i = 0; i < compiled.submissions.size(); ++i) {
+    QuerySubmission& sub = compiled.submissions[i];
+    events.push_back(IngressEvent::Submit(sub.arrival_time,
+                                          static_cast<int>(i), sub.tag));
+    plans.push_back(std::move(sub.plan));
+  }
+  for (const CancelRequest& cr : compiled.cancels) {
+    events.push_back(
+        IngressEvent::Cancel(cr.time, static_cast<int>(cr.query)));
+  }
+  return ScriptedIngress(std::move(events), std::move(plans));
+}
+
+std::vector<ThreadPoolEvent> ScaleThreadEvents(
+    const std::vector<ThreadPoolEvent>& events, double time_scale) {
+  std::vector<ThreadPoolEvent> out = events;
+  for (ThreadPoolEvent& e : out) e.time *= time_scale;
+  return out;
+}
+
+AdversarialMixResult FindAdversarialMix(const ScenarioSpec& base,
+                                        Scheduler* policy,
+                                        const AdversarialSearchOptions& opts) {
+  // The search works on a stationary copy of the base scenario: drift off,
+  // explicit per-template weights as the search variable.
+  ScenarioSpec spec = base;
+  spec.drift = MixDrift{};
+  if (opts.eval_queries > 0) spec.num_queries = opts.eval_queries;
+  const int num_sfs = static_cast<int>(ScenarioScaleFactors(spec).size());
+  const int num_templates =
+      static_cast<int>(TemplatePool(PoolConfig(spec)).size()) / num_sfs;
+  LSCHED_CHECK(num_templates > 0);
+
+  Rng search_rng(opts.seed);
+  // Common random numbers: every candidate mix is compiled and simulated
+  // from this fixed seed, so regret differences are attributable to the mix
+  // alone (paired comparison), and the whole search replays from opts.seed.
+  const uint64_t eval_seed = search_rng.Next();
+
+  FifoScheduler fifo;
+  SjfScheduler sjf;
+  FairScheduler fair;
+  const std::vector<std::pair<std::string, Scheduler*>> heuristics = {
+      {"FIFO", &fifo}, {"SJF", &sjf}, {"Fair", &fair}};
+
+  int evaluations = 0;
+  const auto evaluate = [&](const std::vector<double>& weights,
+                            AdversarialMixResult* result) {
+    spec.drift.from.weights = weights;
+    Rng workload_rng(eval_seed);
+    const CompiledScenario compiled = CompileScenario(spec, &workload_rng);
+    SimEngineConfig ecfg;
+    ecfg.num_threads = opts.num_threads;
+    ecfg.seed = eval_seed;
+    ecfg.thread_events = compiled.thread_events;
+    ecfg.cancels = compiled.cancels;
+
+    result->weights = weights;
+    result->policy_latency =
+        SimEngine(ecfg).Run(compiled.submissions, policy).avg_latency;
+    result->best_heuristic_latency = 1e300;
+    for (const auto& [name, sched] : heuristics) {
+      const double lat =
+          SimEngine(ecfg).Run(compiled.submissions, sched).avg_latency;
+      if (lat < result->best_heuristic_latency) {
+        result->best_heuristic_latency = lat;
+        result->best_heuristic = name;
+      }
+    }
+    result->regret = result->policy_latency - result->best_heuristic_latency;
+    evaluations += 1 + static_cast<int>(heuristics.size());
+  };
+
+  AdversarialMixResult best;
+  std::vector<double> current(static_cast<size_t>(num_templates), 1.0);
+  evaluate(current, &best);
+  for (int it = 0; it < opts.iterations; ++it) {
+    // Log-normal perturbation of every weight, renormalized to mean 1 so
+    // the mix changes shape, not total mass.
+    std::vector<double> candidate = best.weights;
+    double sum = 0.0;
+    for (double& w : candidate) {
+      w *= std::exp(opts.step * search_rng.Normal());
+      sum += w;
+    }
+    for (double& w : candidate) {
+      w *= static_cast<double>(candidate.size()) / sum;
+    }
+    AdversarialMixResult trial;
+    evaluate(candidate, &trial);
+    if (trial.regret > best.regret) best = trial;
+  }
+  best.evaluations = evaluations;
+  return best;
+}
+
+const std::vector<std::string>& ScenarioNames() {
+  static const std::vector<std::string> kNames = {
+      "steady",     "diurnal", "flash_crowd",
+      "drift_ramp", "elastic", "adversarial"};
+  return kNames;
+}
+
+std::optional<ScenarioSpec> ScenarioByName(const std::string& name) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.num_tenants = 3;
+  spec.high_priority_fraction = 0.15;
+  spec.low_priority_fraction = 0.25;
+  if (name == "steady") {
+    // The control: constant-rate Poisson arrivals, uniform i.i.d. mix —
+    // distributionally identical to GenerateWorkload (scenario_test's
+    // KS check pins this).
+    spec.rate.base_rate = 20.0;
+    return spec;
+  }
+  if (name == "diurnal") {
+    // Day/night sinusoid starting at the trough: load swings 0.3x..1.7x
+    // around the base over a 2-second "day".
+    spec.rate.base_rate = 20.0;
+    spec.rate.diurnal_amplitude = 0.7;
+    spec.rate.diurnal_period_seconds = 2.0;
+    spec.rate.diurnal_phase_radians = -M_PI / 2.0;
+    return spec;
+  }
+  if (name == "flash_crowd") {
+    // Quiet baseline punctured by two 10x bursts.
+    spec.rate.base_rate = 8.0;
+    spec.rate.bursts = {{0.8, 0.4, 10.0}, {2.4, 0.4, 10.0}};
+    return spec;
+  }
+  if (name == "drift_ramp") {
+    // Template mix ramps from the low half of the split to the high half
+    // over [0.5, 2.0) — the traffic shape the PR-3 drift monitor ->
+    // OnlineLSched retrain trigger is tested end-to-end against.
+    spec.rate.base_rate = 20.0;
+    spec.drift.kind = MixDriftKind::kLinearRamp;
+    spec.drift.from.tilt = -4.0;
+    spec.drift.to.tilt = 4.0;
+    spec.drift.start_time = 0.5;
+    spec.drift.end_time = 2.0;
+    return spec;
+  }
+  if (name == "elastic") {
+    // Decima's scenario: the pool shrinks early, overgrows mid-run, then
+    // settles back. Deltas are authored for bases >= 3 threads (the pool
+    // never drops below base - 2).
+    spec.rate.base_rate = 20.0;
+    spec.thread_events = {{0.4, -2}, {1.0, +6}, {1.6, -4}};
+    return spec;
+  }
+  if (name == "adversarial") {
+    // Static fallback mix: heavy-template tilt + skewed scale factors under
+    // a flash burst. fig16_scenarios sharpens it per policy by running
+    // FindAdversarialMix and installing the found weights.
+    spec.rate.base_rate = 10.0;
+    spec.rate.bursts = {{1.0, 0.6, 6.0}};
+    spec.drift.from.tilt = 4.0;
+    spec.scale_factor_skew = 0.6;
+    return spec;
+  }
+  return std::nullopt;
+}
+
+}  // namespace lsched

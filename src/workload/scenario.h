@@ -1,0 +1,221 @@
+#ifndef LSCHED_WORKLOAD_SCENARIO_H_
+#define LSCHED_WORKLOAD_SCENARIO_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/scheduler.h"
+#include "exec/sim_engine.h"
+#include "serve/scripted_ingress.h"
+#include "util/rng.h"
+#include "workload/workload.h"
+
+namespace lsched {
+
+/// --- declarative workload scenarios (DESIGN.md §13) ------------------------
+///
+/// The i.i.d.-templates/exponential-arrivals generator in workload.h models
+/// the paper's §7.1 evaluation, but production traffic is diurnal, bursty,
+/// drifting, and occasionally adversarial. A ScenarioSpec describes such
+/// traffic declaratively; CompileScenario/CompileIngress lower it — through
+/// the same template pool and instantiation seam GenerateWorkload uses —
+/// into the engine-facing forms (QuerySubmission streams with scripted
+/// cancels and thread-pool events, or a multi-tenant ScriptedIngress).
+/// Compilation is a pure function of (spec, rng seed): the same seed
+/// regenerates the workload bit-identically.
+
+/// Piecewise-constant rate override: the curve's rate is `rate` for all
+/// times before `until` (the first matching phase wins; past the last
+/// phase the base rate applies). Times are script seconds — virtual seconds
+/// when the compiled workload drives SimEngine.
+struct RatePhase {
+  double until = 0.0;
+  double rate = 0.0;
+};
+
+/// A flash-crowd burst: for t in [start, start + duration) the rate is
+/// multiplied by `multiplier`.
+struct RateBurst {
+  double start = 0.0;
+  double duration = 0.0;
+  double multiplier = 1.0;
+};
+
+/// Time-varying arrival rate lambda(t) in queries per script second:
+///
+///   lambda(t) = phase_rate(t) * diurnal(t) * bursts(t)
+///
+/// where phase_rate is the piecewise-constant base, diurnal is the optional
+/// sinusoidal modulation 1 + A*sin(2*pi*t/P + phi) (clamped at 0), and
+/// bursts multiply while active. Arrivals are drawn from the inhomogeneous
+/// Poisson process with this intensity via Lewis–Shedler thinning
+/// (SampleArrivalTimes).
+struct RateCurve {
+  double base_rate = 20.0;  ///< queries/second when no phase matches
+  std::vector<RatePhase> phases;
+  /// Sinusoidal diurnal modulation; period 0 disables it. Amplitude must be
+  /// in [0, 1] so the intensity stays non-negative.
+  double diurnal_amplitude = 0.0;
+  double diurnal_period_seconds = 0.0;
+  double diurnal_phase_radians = 0.0;
+  std::vector<RateBurst> bursts;
+
+  /// The instantaneous intensity lambda(t) >= 0.
+  double RateAt(double t) const;
+
+  /// A global upper bound on RateAt over all t (the thinning envelope).
+  /// Conservative: overlapping bursts are bounded by the product of all
+  /// burst multipliers, so pathological specs only cost rejection rate,
+  /// never correctness.
+  double MaxRate() const;
+};
+
+/// A template-mix profile: the sampling weight of template position
+/// u in [0, 1] (position = rank within the split's template list) is
+///
+///   w(u) = exp(tilt * u)            when `weights` is empty,
+///   w(j) = weights[j mod |weights|] otherwise (explicit per-template
+///                                   weights, e.g. from FindAdversarialMix).
+///
+/// tilt = 0 is the uniform i.i.d. mix of GenerateWorkload; positive tilt
+/// favors high-ranked templates, negative low-ranked ones.
+struct MixProfile {
+  double tilt = 0.0;
+  std::vector<double> weights;
+};
+
+enum class MixDriftKind : uint8_t {
+  kNone = 0,      ///< stationary mix (`from` throughout)
+  kLinearRamp,    ///< linear interpolation from -> to over [start, end)
+  kAbruptSwitch,  ///< `from` before start_time, `to` at and after it
+};
+
+/// Template-mix drift over time — the traffic pattern the PR-3 drift
+/// monitor -> OnlineLSched retrain trigger exists for.
+struct MixDrift {
+  MixDriftKind kind = MixDriftKind::kNone;
+  MixProfile from;
+  MixProfile to;
+  double start_time = 0.0;
+  double end_time = 0.0;  ///< ramp end; ignored by kAbruptSwitch
+};
+
+/// The declarative scenario: arrival process, mix drift, scale-factor
+/// heterogeneity, pool elasticity, and multi-tenant tagging.
+struct ScenarioSpec {
+  std::string name = "custom";
+  Benchmark benchmark = Benchmark::kTpch;
+  WorkloadSplit split = WorkloadSplit::kTest;
+  int num_queries = 64;
+  RateCurve rate;
+  MixDrift drift;
+  /// Restrict to these scale factors (empty = the benchmark's defaults).
+  /// Queries draw their scale factor per-arrival, so a single scenario
+  /// mixes heterogeneous data sizes.
+  std::vector<int> scale_factors;
+  /// Skew of the per-query scale-factor draw in [0, 1): 0 = uniform over
+  /// the list; larger values bias toward the front (smaller) entries with
+  /// weight (rank+1)^(-6*skew).
+  double scale_factor_skew = 0.0;
+  /// Mid-run worker-pool elasticity (Decima's scenario), applied to
+  /// whichever engine runs the compiled workload. Times are script seconds;
+  /// use ScaleThreadEvents when replaying against a wall-clock engine.
+  std::vector<ThreadPoolEvent> thread_events;
+  /// Multi-tenant tagging: tenants round-robin over submissions; priority
+  /// classes are drawn per query from the two fractions (remainder normal).
+  int num_tenants = 1;
+  double high_priority_fraction = 0.0;
+  double low_priority_fraction = 0.0;
+  /// Fraction of submissions that also get a scripted cancellation shortly
+  /// after arrival (chaos/soak realism; 0 = none).
+  double cancel_fraction = 0.0;
+  uint64_t split_seed = 0xC0FFEE;
+};
+
+/// A scenario lowered to engine-facing form: tagged submissions (virtual
+/// arrival times), the scripted cancels, and the pool-elasticity events to
+/// install into the engine config.
+struct CompiledScenario {
+  std::vector<QuerySubmission> submissions;
+  std::vector<CancelRequest> cancels;
+  std::vector<ThreadPoolEvent> thread_events;
+};
+
+/// Draws the first `n` arrival times of the inhomogeneous Poisson process
+/// with intensity `curve` via Lewis–Shedler thinning: candidate points come
+/// from a homogeneous process at MaxRate(); each is accepted with
+/// probability RateAt(t)/MaxRate(). For a constant curve every candidate is
+/// accepted and the gaps are exactly Exponential(1/rate) — the `steady`
+/// scenario is distributionally identical to GenerateWorkload's arrivals.
+std::vector<double> SampleArrivalTimes(const RateCurve& curve, int n,
+                                       Rng* rng);
+
+/// The unnormalized sampling weights over TemplatePool(spec) entries at
+/// script time `t` (pool order: scale-factor-major, template-minor).
+/// Ramp interpolation is linear in weight space, so the expected template
+/// position moves monotonically from the `from` profile's mean to the
+/// `to` profile's mean — the property scenario_test asserts.
+std::vector<double> MixWeightsAt(const ScenarioSpec& spec, double t);
+
+/// Compiles `spec` into a SimEngine/RealEngine-ready workload. Pure in
+/// (spec, *rng): the same seed regenerates bit-identical output.
+CompiledScenario CompileScenario(const ScenarioSpec& spec, Rng* rng);
+
+/// Compiles `spec` into a deterministic multi-tenant ingress script (plan
+/// library = one plan per submission ordinal) for ServingDaemon::RunScript
+/// or live Replay.
+ScriptedIngress CompileIngress(const ScenarioSpec& spec, Rng* rng);
+
+/// Rescales event times (script seconds -> wall seconds) for replaying a
+/// scenario's elasticity against a wall-clock engine.
+std::vector<ThreadPoolEvent> ScaleThreadEvents(
+    const std::vector<ThreadPoolEvent>& events, double time_scale);
+
+/// --- ResQ-style adversarial mix search -------------------------------------
+
+struct AdversarialSearchOptions {
+  int iterations = 12;      ///< hill-climb steps (1 evaluation per step + 1)
+  int num_threads = 8;      ///< simulator pool for the inner evaluations
+  double step = 0.5;        ///< log-normal perturbation scale per weight
+  uint64_t seed = 1;        ///< drives perturbations AND the fixed
+                            ///< common-random-numbers evaluation workload
+  int eval_queries = 0;     ///< inner-evaluator workload size (0 = spec's)
+};
+
+struct AdversarialMixResult {
+  /// Per-template weights of the worst-found mix; install via
+  /// spec.drift.from = {0.0, weights} to compile it.
+  std::vector<double> weights;
+  double policy_latency = 0.0;          ///< avg latency of `policy` on it
+  double best_heuristic_latency = 0.0;  ///< best FIFO/SJF/Fair avg latency
+  std::string best_heuristic;
+  double regret = 0.0;  ///< policy_latency - best_heuristic_latency
+  int evaluations = 0;  ///< simulator episodes spent
+};
+
+/// Seed-deterministic hill climb over template-mix weights that maximizes
+/// `policy`'s regret versus the best of the untuned heuristics (FIFO, SJF,
+/// Fair) on the cost-model-backed simulator (the cheap inner evaluator,
+/// ResQ's search pattern). Every candidate is evaluated on the workload
+/// compiled from the SAME rng seed (common random numbers), so regret
+/// differences reflect the mix, not sampling noise. `policy` is Reset by
+/// each evaluation episode and must tolerate repeated episodes.
+AdversarialMixResult FindAdversarialMix(const ScenarioSpec& base,
+                                        Scheduler* policy,
+                                        const AdversarialSearchOptions& opts);
+
+/// --- the scenario registry -------------------------------------------------
+
+/// Preset names, in canonical grid order: steady, diurnal, flash_crowd,
+/// drift_ramp, elastic, adversarial.
+const std::vector<std::string>& ScenarioNames();
+
+/// The named preset, or nullopt for unknown names. Presets are authored on
+/// a ~4-script-second horizon at a ~20 q/s base rate; callers typically
+/// override num_queries/benchmark and rescale rates for their engine.
+std::optional<ScenarioSpec> ScenarioByName(const std::string& name);
+
+}  // namespace lsched
+
+#endif  // LSCHED_WORKLOAD_SCENARIO_H_

@@ -74,16 +74,22 @@ std::function<std::vector<QuerySubmission>(int, Rng*)> MakeEpisodeFactory(
     std::vector<int> scale_factors) {
   return [=](int episode, Rng* rng) {
     (void)episode;
+    // All of this episode's draws (query count, arrival rate, the workload
+    // itself) come from a forked child stream, so the caller's Rng advances
+    // by exactly one draw per episode regardless of the episode's size or
+    // parameters. Inserting unrelated draws between episodes — or changing
+    // these ranges — can therefore never shift later episodes' workloads.
+    Rng episode_rng = rng->Fork();
     WorkloadConfig config;
     config.benchmark = benchmark;
     config.split = WorkloadSplit::kTrain;
     config.num_queries = static_cast<int>(
-        rng->UniformInt(static_cast<int64_t>(min_queries),
-                        static_cast<int64_t>(max_queries)));
+        episode_rng.UniformInt(static_cast<int64_t>(min_queries),
+                               static_cast<int64_t>(max_queries)));
     config.mean_interarrival_seconds =
-        rng->Uniform(min_interarrival, max_interarrival);
+        episode_rng.Uniform(min_interarrival, max_interarrival);
     config.scale_factors = scale_factors;
-    return GenerateWorkload(config, rng);
+    return GenerateWorkload(config, &episode_rng);
   };
 }
 

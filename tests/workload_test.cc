@@ -162,5 +162,40 @@ TEST(WorkloadTest, EpisodeFactoryVariesSizes) {
   EXPECT_GT(sizes.size(), 2u);
 }
 
+TEST(WorkloadTest, EpisodeFactoryAdvancesCallerRngByExactlyOneDraw) {
+  // The factory runs every episode off a forked child stream, so the
+  // caller's Rng advances by exactly one draw per episode — independent of
+  // the episode's size and arrival parameters. Regression: drawing the
+  // episode directly from the caller's stream made later episodes depend on
+  // how many queries earlier ones happened to contain.
+  auto small = MakeEpisodeFactory(Benchmark::kTpch, 5, 5, 0.05, 0.05, {2});
+  auto large = MakeEpisodeFactory(Benchmark::kTpch, 14, 15, 0.05, 0.2, {2});
+
+  Rng a(91);
+  Rng b(91);
+  Rng c(91);
+  (void)small(0, &a);
+  (void)large(0, &b);
+  (void)c.Fork();
+  const uint64_t na = a.Next();
+  // Same caller state after episodes of very different sizes...
+  EXPECT_EQ(na, b.Next());
+  // ...which equals exactly one Fork() worth of consumption.
+  EXPECT_EQ(na, c.Next());
+
+  // And the second episode is identical whether or not the first episode's
+  // parameters differed.
+  Rng d(91);
+  Rng e(91);
+  (void)small(0, &d);
+  (void)large(0, &e);
+  const auto w_d = small(1, &d);
+  const auto w_e = small(1, &e);
+  ASSERT_EQ(w_d.size(), w_e.size());
+  for (size_t i = 0; i < w_d.size(); ++i) {
+    EXPECT_DOUBLE_EQ(w_d[i].arrival_time, w_e[i].arrival_time);
+  }
+}
+
 }  // namespace
 }  // namespace lsched

@@ -30,6 +30,10 @@
 //   --duration-seconds=S       soak budget (chaos)        [30]
 //   --workloads=N              max fuzzed workloads, 0 = until the
 //                              duration budget runs out (chaos)
+//   --scenario=NAME            shape the arrival stream with a workload
+//                              scenario preset (chaos, serve): steady,
+//                              diurnal, flash_crowd, drift_ramp, elastic,
+//                              adversarial. Empty = plain Poisson.
 //   --fault-log=PATH           where to dump the fault log when a chaos
 //                              iteration fails             [fault_log.txt]
 //   --tenants=N                serving tenants (serve)     [3]
@@ -57,6 +61,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -85,6 +90,7 @@
 #include "testing/invariants.h"
 #include "util/build_info.h"
 #include "util/clock.h"
+#include "workload/scenario.h"
 #include "workload/workload.h"
 
 namespace lsched {
@@ -106,6 +112,7 @@ struct Args {
   std::string decisions_path;
   double duration_seconds = 30.0;
   int workloads = 0;  // 0 = run until the duration budget is spent
+  std::string scenario;  // empty = plain Poisson arrivals
   std::string fault_log_path = "fault_log.txt";
   int tenants = 3;
   int max_live = 32;
@@ -194,6 +201,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->watch = true;
     } else if (const char* v25 = value("--interval-ms=")) {
       args->interval_ms = std::max(50, std::atoi(v25));
+    } else if (const char* v26 = value("--scenario=")) {
+      args->scenario = v26;
     } else if (args->command == "explain" && !arg.empty() && arg[0] != '-') {
       char* end = nullptr;
       args->explain_query = std::strtoll(arg.c_str(), &end, 10);
@@ -528,6 +537,37 @@ int ChaosFail(const Args& args, uint64_t seed, const std::string& what) {
   return 1;
 }
 
+/// Reports an unknown --scenario= value alongside the preset list. An empty
+/// name (scenario mode off) passes.
+bool CheckScenarioName(const std::string& name) {
+  if (name.empty() || ScenarioByName(name).has_value()) return true;
+  std::string have;
+  for (const std::string& n : ScenarioNames()) {
+    if (!have.empty()) have += ", ";
+    have += n;
+  }
+  std::fprintf(stderr, "unknown scenario '%s' (have: %s)\n", name.c_str(),
+               have.c_str());
+  return false;
+}
+
+/// Highest simultaneous logical pool size a run reaches: the base thread
+/// count plus the running maximum of the elasticity deltas.
+int PeakPool(int base, const std::vector<ThreadPoolEvent>& events) {
+  std::vector<ThreadPoolEvent> sorted = events;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const ThreadPoolEvent& a, const ThreadPoolEvent& b) {
+                     return a.time < b.time;
+                   });
+  int running = base;
+  int peak = base;
+  for (const ThreadPoolEvent& e : sorted) {
+    running += e.delta;
+    peak = std::max(peak, running);
+  }
+  return std::max(peak, base);
+}
+
 int RunChaos(const Args& args) {
   if (!kFaultsCompiledIn) {
     std::fprintf(stderr,
@@ -535,10 +575,12 @@ int RunChaos(const Args& args) {
                  "(reconfigure with -DLSCHED_FAULTS=ON)\n");
     return 2;
   }
+  if (!CheckScenarioName(args.scenario)) return 2;
   FuzzerOptions fopts;
   fopts.chaos = true;
   fopts.min_queries = 6;
   fopts.max_queries = 16;
+  fopts.scenario = args.scenario;
   const int sim_threads = std::max(1, args.threads);
   const int real_threads = std::max(1, std::min(args.threads, 8));
 
@@ -589,6 +631,8 @@ int RunChaos(const Args& args) {
     scfg.num_threads = sim_threads;
     scfg.seed = seed;
     scfg.cancels = w.cancels;
+    scfg.thread_events = w.sim_thread_events;  // scenario elasticity
+    const int sim_pool = PeakPool(sim_threads, w.sim_thread_events);
     EpisodeResult sim[2];
     for (int rep = 0; rep < 2; ++rep) {
       FaultInjector::Global().Install(w.faults);
@@ -599,7 +643,7 @@ int RunChaos(const Args& args) {
       sim[rep] = engine.Run(w.sim_queries, &validating);
       fallbacks += guarded.fallback_count();
       fires += FaultInjector::Global().total_fires();
-      const std::string err = check(sim[rep], validating, sim_threads, "sim");
+      const std::string err = check(sim[rep], validating, sim_pool, "sim");
       if (!err.empty()) return ChaosFail(args, seed, err);
     }
     const std::string diff = DiffEpisodeResults(sim[0], sim[1]);
@@ -614,6 +658,7 @@ int RunChaos(const Args& args) {
       RealEngineConfig rcfg;
       rcfg.num_threads = real_threads;
       rcfg.cancels = w.cancels;
+      rcfg.thread_events = w.real_thread_events;  // scenario elasticity
       SjfScheduler sjf;
       GuardedPolicy guarded(&sjf);
       ValidatingScheduler validating(&guarded);
@@ -622,7 +667,8 @@ int RunChaos(const Args& args) {
       fallbacks += guarded.fallback_count();
       fires += FaultInjector::Global().total_fires();
       const std::string err =
-          check(rr.episode, validating, real_threads, "real");
+          check(rr.episode, validating,
+                PeakPool(real_threads, w.real_thread_events), "real");
       if (!err.empty()) return ChaosFail(args, seed, err);
     }
     FaultInjector::Global().Clear();
@@ -892,6 +938,14 @@ int RunServe(const Args& args) {
   // drain gracefully and audit conservation — every accepted submission
   // must reach exactly one terminal state and the per-tenant ledgers must
   // sum back to the stream totals.
+  if (!CheckScenarioName(args.scenario)) return 2;
+  std::optional<ScenarioSpec> scenario;
+  if (!args.scenario.empty()) scenario = ScenarioByName(args.scenario);
+  // Scenario presets are authored at their own base rate; map that onto the
+  // wall clock so the preset's base rate lands on 1/--interarrival-ms and
+  // the traffic shape (bursts, diurnal swing) stretches accordingly.
+  const double time_scale =
+      scenario ? args.interarrival * scenario->rate.base_rate : 1.0;
   FuzzerOptions fopts;
   fopts.num_tenants = std::max(1, args.tenants);
   fopts.high_priority_fraction = 0.15;
@@ -908,6 +962,12 @@ int RunServe(const Args& args) {
   }
   cfg.real.num_threads = std::max(1, std::min(args.threads, 8));
   cfg.real.flush_window_queries = 8;
+  if (scenario) {
+    // Elasticity rides along: the preset's pool events, rescaled to wall
+    // seconds, fire once during the soak (ServeLoop applies due events).
+    cfg.real.thread_events =
+        ScaleThreadEvents(scenario->thread_events, time_scale);
+  }
   if (args.slo_ms > 0.0) {
     TenantSlo slo;
     slo.target_seconds = args.slo_ms / 1000.0;
@@ -965,8 +1025,28 @@ int RunServe(const Args& args) {
   int64_t submitted = 0;
   int64_t cancels_sent = 0;
   QueryId last_id = kInvalidQuery;
+  // Scenario presets describe a few seconds of traffic shape; cycle that
+  // window for the whole soak so a long run sees the pattern repeatedly.
+  constexpr double kScenarioCycleSeconds = 4.0;
   while (clock.ElapsedSeconds() < args.duration_seconds) {
-    const double gap = rng.Exponential(args.interarrival);
+    double gap;
+    if (scenario) {
+      // Lewis-Shedler thinning against the preset's rate curve, evaluated
+      // in scenario time (wall time / time_scale) modulo the cycle window.
+      const double lambda_max = scenario->rate.MaxRate();
+      double t = clock.ElapsedSeconds() / time_scale;
+      gap = 0.0;
+      do {
+        const double step = rng.Exponential(1.0 / lambda_max);
+        t += step;
+        gap += step * time_scale;
+      } while (gap < args.duration_seconds &&
+               rng.Uniform() * lambda_max >
+                   scenario->rate.RateAt(
+                       std::fmod(t, kScenarioCycleSeconds)));
+    } else {
+      gap = rng.Exponential(args.interarrival);
+    }
     const double remaining = args.duration_seconds - clock.ElapsedSeconds();
     if (remaining <= 0.0) break;
     std::this_thread::sleep_for(
@@ -1025,7 +1105,8 @@ int RunServe(const Args& args) {
   }
   const Status st =
       ValidateEpisodeResult(e, static_cast<size_t>(submitted),
-                            cfg.real.num_threads);
+                            PeakPool(cfg.real.num_threads,
+                                     cfg.real.thread_events));
   if (!st.ok()) return fail(st.ToString());
   if (e.final_statuses.size() != static_cast<size_t>(submitted)) {
     return fail("missing final statuses");
@@ -1096,7 +1177,8 @@ int main(int argc, char** argv) {
                  "[--episodes=N] [--queries=N] [--threads=N] [--batch] "
                  "[--model=PATH] [--out=PATH] [--transfer-from=PATH] "
                  "[--events=PATH] [--decisions=PATH] [--duration-seconds=S] "
-                 "[--workloads=N] [--fault-log=PATH] [--tenants=N] "
+                 "[--workloads=N] [--scenario=NAME] [--fault-log=PATH] "
+                 "[--tenants=N] "
                  "[--max-live=N] [--metrics-port=P] [--slo-ms=N] "
                  "[--slo-percentile=F] [--trace-out=PATH] "
                  "[--trace=PATH] [--profile-hz=F] [--profile-out=PATH] "
